@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Shared plumbing for the paper-reproduction benches: builds the
+ * paper-scale workload once per binary and provides the standard run
+ * wrapper plus table formatting.
+ */
+
+#ifndef MOMSIM_BENCH_BENCH_UTIL_HH
+#define MOMSIM_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <memory>
+
+#include "core/simulation.hh"
+#include "workloads/media_workload.hh"
+
+namespace momsim::bench
+{
+
+using core::RunResult;
+using core::Simulation;
+using cpu::CoreConfig;
+using cpu::FetchPolicy;
+using isa::SimdIsa;
+using mem::MemModel;
+using workloads::MediaWorkload;
+using workloads::WorkloadScale;
+
+/** Build (and cache per process) the paper-scale workload. */
+inline MediaWorkload &
+paperWorkload()
+{
+    static std::unique_ptr<MediaWorkload> wl = [] {
+        std::fprintf(stderr, "[bench] building paper-scale workload "
+                             "(both ISAs)...\n");
+        auto w = MediaWorkload::build(WorkloadScale::Paper);
+        std::fprintf(stderr, "[bench] workload ready\n");
+        return w;
+    }();
+    return *wl;
+}
+
+/** One standard data point: ISA x threads x memory x fetch policy. */
+inline RunResult
+runPoint(SimdIsa simd, int threads, MemModel memModel, FetchPolicy policy)
+{
+    MediaWorkload &wl = paperWorkload();
+    CoreConfig cfg = CoreConfig::preset(threads, simd, policy);
+    Simulation sim(cfg, memModel, wl.rotation(simd));
+    return sim.run();
+}
+
+/** The headline metric: IPC for MMX machines, EIPC for MOM machines. */
+inline double
+perf(const RunResult &r, SimdIsa simd)
+{
+    return simd == SimdIsa::Mom ? r.eipc : r.ipc;
+}
+
+inline const char *
+perfName(SimdIsa simd)
+{
+    return simd == SimdIsa::Mom ? "EIPC" : "IPC";
+}
+
+} // namespace momsim::bench
+
+#endif // MOMSIM_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Interactive-style configuration explorer: run any combination of ISA,
+ * thread count, memory model and fetch policy over the full workload.
+ *
+ *   $ ./example_fetch_policy_explorer [mmx|mom] [threads] \
+ *         [perfect|conventional|decoupled] [rr|ic|oc|bl]
+ *
+ * With no arguments, sweeps fetch policies at 8 threads on the
+ * decoupled MOM machine.
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "core/simulation.hh"
+#include "workloads/media_workload.hh"
+
+using namespace momsim;
+using workloads::MediaWorkload;
+using workloads::WorkloadScale;
+
+namespace
+{
+
+cpu::FetchPolicy
+parsePolicy(const char *str)
+{
+    if (std::strcmp(str, "ic") == 0)
+        return cpu::FetchPolicy::ICount;
+    if (std::strcmp(str, "oc") == 0)
+        return cpu::FetchPolicy::OCount;
+    if (std::strcmp(str, "bl") == 0)
+        return cpu::FetchPolicy::Balance;
+    return cpu::FetchPolicy::RoundRobin;
+}
+
+mem::MemModel
+parseMem(const char *str)
+{
+    if (std::strcmp(str, "perfect") == 0)
+        return mem::MemModel::Perfect;
+    if (std::strcmp(str, "decoupled") == 0)
+        return mem::MemModel::Decoupled;
+    return mem::MemModel::Conventional;
+}
+
+void
+runOne(MediaWorkload &wl, isa::SimdIsa simd, int threads,
+       mem::MemModel memModel, cpu::FetchPolicy pol)
+{
+    cpu::CoreConfig cfg = cpu::CoreConfig::preset(threads, simd, pol);
+    core::Simulation sim(cfg, memModel, wl.rotation(simd));
+    core::RunResult res = sim.run();
+    std::printf("%s x%d %-12s %-3s | IPC %5.2f  EIPC %5.2f | L1 %5.1f%% "
+                "lat %5.2f | IC %5.1f%%\n",
+                isa::toString(simd), threads, toString(memModel),
+                toString(pol), res.ipc, res.eipc, 100 * res.l1HitRate,
+                res.l1AvgLatency, 100 * res.icacheHitRate);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto wl = MediaWorkload::build(WorkloadScale::Paper);
+
+    if (argc >= 5) {
+        isa::SimdIsa simd = std::strcmp(argv[1], "mom") == 0
+            ? isa::SimdIsa::Mom : isa::SimdIsa::Mmx;
+        int threads = std::atoi(argv[2]);
+        if (threads < 1 || threads > 8)
+            threads = 8;
+        runOne(*wl, simd, threads, parseMem(argv[3]),
+               parsePolicy(argv[4]));
+        return 0;
+    }
+
+    std::printf("sweeping fetch policies (MOM, 8 threads, decoupled):\n");
+    for (cpu::FetchPolicy pol : { cpu::FetchPolicy::RoundRobin,
+                                  cpu::FetchPolicy::ICount,
+                                  cpu::FetchPolicy::OCount,
+                                  cpu::FetchPolicy::Balance }) {
+        runOne(*wl, isa::SimdIsa::Mom, 8, mem::MemModel::Decoupled, pol);
+    }
+    return 0;
+}

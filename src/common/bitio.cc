@@ -1,0 +1,59 @@
+#include "common/bitio.hh"
+
+#include "common/logging.hh"
+
+namespace momsim
+{
+
+void
+BitWriter::put(uint32_t value, int bits)
+{
+    MOMSIM_ASSERT(bits >= 0 && bits <= 32, "bit count out of range");
+    for (int i = bits - 1; i >= 0; --i) {
+        _cur = static_cast<uint8_t>((_cur << 1) | ((value >> i) & 1u));
+        if (++_curBits == 8) {
+            _data.push_back(_cur);
+            _cur = 0;
+            _curBits = 0;
+        }
+        ++_bits;
+    }
+}
+
+void
+BitWriter::alignByte()
+{
+    while (_curBits != 0)
+        put(0, 1);
+}
+
+uint32_t
+BitReader::get(int bits)
+{
+    uint32_t v = peek(bits);
+    skip(bits);
+    return v;
+}
+
+uint32_t
+BitReader::peek(int bits) const
+{
+    MOMSIM_ASSERT(bits >= 0 && bits <= 32, "bit count out of range");
+    uint32_t v = 0;
+    size_t p = _pos;
+    for (int i = 0; i < bits; ++i, ++p) {
+        uint32_t bit = 0;
+        if (p < _data.size() * 8)
+            bit = (_data[p / 8] >> (7 - (p % 8))) & 1u;
+        v = (v << 1) | bit;
+    }
+    return v;
+}
+
+void
+BitReader::skip(int bits)
+{
+    _pos += static_cast<size_t>(bits);
+}
+
+} // namespace momsim

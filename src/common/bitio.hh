@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Bit-granular stream writer/reader.
+ *
+ * The MPEG-2 and JPEG coders emit and parse variable-length codes through
+ * these classes. They are purely functional (host-side) containers; the
+ * *simulated* cost of bitstream work is recorded separately by the codecs
+ * through the scalar emitter.
+ */
+
+#ifndef MOMSIM_COMMON_BITIO_HH
+#define MOMSIM_COMMON_BITIO_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace momsim
+{
+
+/** Append-only MSB-first bit writer. */
+class BitWriter
+{
+  public:
+    /** Append the low @p bits bits of @p value, MSB first. 0<=bits<=32. */
+    void put(uint32_t value, int bits);
+
+    /** Pad with zero bits to the next byte boundary. */
+    void alignByte();
+
+    /** Number of bits written so far. */
+    size_t bitCount() const { return _bits; }
+
+    /** Finished bytes (call alignByte() first for a whole-byte view). */
+    const std::vector<uint8_t> &bytes() const { return _data; }
+
+  private:
+    std::vector<uint8_t> _data;
+    size_t _bits = 0;
+    uint8_t _cur = 0;
+    int _curBits = 0;
+};
+
+/** MSB-first bit reader over a byte buffer. */
+class BitReader
+{
+  public:
+    explicit BitReader(const std::vector<uint8_t> &data) : _data(data) {}
+
+    /** Read @p bits bits (0<=bits<=32) MSB first; returns them LSB-aligned. */
+    uint32_t get(int bits);
+
+    /** Peek without consuming. */
+    uint32_t peek(int bits) const;
+
+    /** Skip forward. */
+    void skip(int bits);
+
+    /** True once every whole bit has been consumed. */
+    bool exhausted() const { return _pos >= _data.size() * 8; }
+
+    size_t bitPos() const { return _pos; }
+
+  private:
+    const std::vector<uint8_t> &_data;
+    size_t _pos = 0;
+};
+
+} // namespace momsim
+
+#endif // MOMSIM_COMMON_BITIO_HH

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Saturating fixed-point arithmetic helpers.
+ *
+ * These are the scalar semantics shared by (a) the functional side of the
+ * media codecs (GSM 06.10 is specified in saturating 16-bit arithmetic,
+ * video pixel math clamps to [0,255]) and (b) the packed-element semantics
+ * of the MMX/MOM emulation libraries.
+ */
+
+#ifndef MOMSIM_COMMON_FIXED_HH
+#define MOMSIM_COMMON_FIXED_HH
+
+#include <algorithm>
+#include <cstdint>
+
+namespace momsim
+{
+
+/** Clamp a wide value into the signed 16-bit range. */
+inline int16_t
+satS16(int32_t v)
+{
+    return static_cast<int16_t>(std::min(32767, std::max(-32768, v)));
+}
+
+/** Clamp a wide value into the signed 8-bit range. */
+inline int8_t
+satS8(int32_t v)
+{
+    return static_cast<int8_t>(std::min(127, std::max(-128, v)));
+}
+
+/** Clamp a wide value into the unsigned 8-bit range (pixel clamp). */
+inline uint8_t
+satU8(int32_t v)
+{
+    return static_cast<uint8_t>(std::min(255, std::max(0, v)));
+}
+
+/** Clamp a wide value into the unsigned 16-bit range. */
+inline uint16_t
+satU16(int32_t v)
+{
+    return static_cast<uint16_t>(std::min(65535, std::max(0, v)));
+}
+
+/** Saturating 16-bit addition (GSM "add"). */
+inline int16_t
+satAdd16(int16_t a, int16_t b)
+{
+    return satS16(static_cast<int32_t>(a) + b);
+}
+
+/** Saturating 16-bit subtraction (GSM "sub"). */
+inline int16_t
+satSub16(int16_t a, int16_t b)
+{
+    return satS16(static_cast<int32_t>(a) - b);
+}
+
+/**
+ * GSM 06.10 MULT_R: Q15 multiply with rounding and saturation.
+ * (a*b + 16384) >> 15, with the -32768*-32768 corner saturated.
+ */
+inline int16_t
+gsmMultR(int16_t a, int16_t b)
+{
+    if (a == -32768 && b == -32768)
+        return 32767;
+    int32_t prod = static_cast<int32_t>(a) * b;
+    return satS16((prod + 16384) >> 15);
+}
+
+/** GSM 06.10 MULT: Q15 multiply, truncating, saturated corner. */
+inline int16_t
+gsmMult(int16_t a, int16_t b)
+{
+    if (a == -32768 && b == -32768)
+        return 32767;
+    return static_cast<int16_t>((static_cast<int32_t>(a) * b) >> 15);
+}
+
+/** Saturating absolute value (|INT16_MIN| saturates to INT16_MAX). */
+inline int16_t
+satAbs16(int16_t a)
+{
+    if (a == -32768)
+        return 32767;
+    return static_cast<int16_t>(a < 0 ? -a : a);
+}
+
+/** Arithmetic shift helpers with negative-count symmetry (GSM style). */
+inline int16_t
+shl16(int16_t a, int n)
+{
+    if (n < 0)
+        return static_cast<int16_t>(a >> std::min(15, -n));
+    if (n >= 15)
+        return static_cast<int16_t>(a == 0 ? 0 : (a > 0 ? 32767 : -32768));
+    return satS16(static_cast<int32_t>(a) << n);
+}
+
+inline int16_t
+shr16(int16_t a, int n)
+{
+    return shl16(a, -n);
+}
+
+/** Count of leading sign-redundant bits, used by GSM normalization. */
+inline int
+norm32(int32_t v)
+{
+    if (v == 0)
+        return 0;
+    if (v < 0)
+        v = ~v;
+    int n = 0;
+    while ((v & 0x40000000) == 0 && n < 31) {
+        v <<= 1;
+        ++n;
+    }
+    return n;
+}
+
+} // namespace momsim
+
+#endif // MOMSIM_COMMON_FIXED_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 tradition.
+ *
+ * panic()  — an internal invariant of the simulator was violated (a bug in
+ *            momsim itself); aborts so a debugger/core dump is useful.
+ * fatal()  — the simulation cannot continue because of a user error (bad
+ *            configuration, impossible parameter combination); exits cleanly.
+ * warn()   — something is approximated or suspicious but survivable.
+ * inform() — plain status output.
+ */
+
+#ifndef MOMSIM_COMMON_LOGGING_HH
+#define MOMSIM_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace momsim
+{
+
+/** printf-style formatting into a std::string. */
+std::string strfmt(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report an internal simulator bug and abort. */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Report an unrecoverable user/configuration error and exit(1). */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Report a survivable problem on stderr. */
+void warn(const std::string &msg);
+
+/** Report status on stdout. */
+void inform(const std::string &msg);
+
+/**
+ * Check a simulator invariant; on failure, panic with location info.
+ * Used instead of assert() so the message survives release builds.
+ */
+#define MOMSIM_ASSERT(cond, msg)                                              \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            ::momsim::panic(::momsim::strfmt(                                 \
+                "%s:%d: assertion '%s' failed: %s",                           \
+                __FILE__, __LINE__, #cond, (msg)));                           \
+        }                                                                     \
+    } while (0)
+
+} // namespace momsim
+
+#endif // MOMSIM_COMMON_LOGGING_HH

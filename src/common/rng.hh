@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * Every stochastic element of the simulator (synthetic images, audio,
+ * scene geometry) draws from an explicitly-seeded Xoshiro256** stream so
+ * that simulations are bit-reproducible across runs and platforms.
+ */
+
+#ifndef MOMSIM_COMMON_RNG_HH
+#define MOMSIM_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace momsim
+{
+
+/** Xoshiro256** generator (Blackman & Vigna), seeded via SplitMix64. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+    /** Re-initialize the full state from a single 64-bit seed. */
+    void
+    reseed(uint64_t seed)
+    {
+        uint64_t x = seed;
+        for (auto &word : state) {
+            // SplitMix64 step: guarantees non-zero, well-mixed state.
+            x += 0x9e3779b97f4a7c15ull;
+            uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        const uint64_t result = rotl(state[1] * 5, 7) * 9;
+        const uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        // Multiply-shift reduction; bias is negligible for bound << 2^64.
+        return static_cast<uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t
+    range(int64_t lo, int64_t hi)
+    {
+        return lo + static_cast<int64_t>(below(
+            static_cast<uint64_t>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    real()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Approximately-Gaussian sample (sum of uniforms), mean 0, sigma 1. */
+    double
+    gauss()
+    {
+        double acc = 0.0;
+        for (int i = 0; i < 12; ++i)
+            acc += real();
+        return acc - 6.0;
+    }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t state[4];
+};
+
+} // namespace momsim
+
+#endif // MOMSIM_COMMON_RNG_HH

@@ -1,0 +1,62 @@
+#include "common/stats.hh"
+
+#include "common/logging.hh"
+
+namespace momsim
+{
+
+uint64_t &
+StatGroup::counter(const std::string &key)
+{
+    for (auto &entry : _entries) {
+        if (entry.first == key)
+            return entry.second;
+    }
+    _entries.emplace_back(key, 0);
+    return _entries.back().second;
+}
+
+uint64_t
+StatGroup::get(const std::string &key) const
+{
+    for (const auto &entry : _entries) {
+        if (entry.first == key)
+            return entry.second;
+    }
+    return 0;
+}
+
+double
+StatGroup::ratio(const std::string &num, const std::string &den) const
+{
+    uint64_t d = get(den);
+    if (d == 0)
+        return 0.0;
+    return static_cast<double>(get(num)) / static_cast<double>(d);
+}
+
+std::string
+StatGroup::dump() const
+{
+    std::string out;
+    for (const auto &entry : _entries) {
+        out += strfmt("%s.%s = %llu\n", _name.c_str(), entry.first.c_str(),
+                      static_cast<unsigned long long>(entry.second));
+    }
+    return out;
+}
+
+void
+StatGroup::clear()
+{
+    for (auto &entry : _entries)
+        entry.second = 0;
+}
+
+std::string
+pct(double fraction, int decimals)
+{
+    return strfmt("%.*f%%", decimals, fraction * 100.0);
+}
+
+} // namespace momsim

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Minimal named-statistics registry.
+ *
+ * Simulator components register scalar counters and derived ratios in a
+ * StatGroup; benches and examples dump groups as aligned tables. This is a
+ * deliberately small stand-in for a full stats package: every statistic the
+ * paper reports (IPC, EIPC, hit rates, average latencies, instruction-mix
+ * percentages) is representable as a counter or a ratio of counters.
+ */
+
+#ifndef MOMSIM_COMMON_STATS_HH
+#define MOMSIM_COMMON_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace momsim
+{
+
+/** A named collection of uint64 counters with formatted dumping. */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name = "") : _name(std::move(name)) {}
+
+    /** Add (or fetch) a counter; returns a stable reference. */
+    uint64_t &counter(const std::string &key);
+
+    /** Read a counter (0 if absent). */
+    uint64_t get(const std::string &key) const;
+
+    /** Ratio of two counters; returns 0 when the denominator is zero. */
+    double ratio(const std::string &num, const std::string &den) const;
+
+    /** Render "name.key = value" lines. */
+    std::string dump() const;
+
+    /** Reset every counter to zero. */
+    void clear();
+
+    const std::string &name() const { return _name; }
+
+    const std::vector<std::pair<std::string, uint64_t>> &
+    entries() const
+    {
+        return _entries;
+    }
+
+  private:
+    std::string _name;
+    std::vector<std::pair<std::string, uint64_t>> _entries;
+};
+
+/** Fixed-width percentage formatting helper shared by the benches. */
+std::string pct(double fraction, int decimals = 1);
+
+} // namespace momsim
+
+#endif // MOMSIM_COMMON_STATS_HH

@@ -1,0 +1,97 @@
+#include "core/simulation.hh"
+
+#include "common/logging.hh"
+
+namespace momsim::core
+{
+
+Simulation::Simulation(const cpu::CoreConfig &cfg, mem::MemModel memModel,
+                       std::vector<WorkloadProgram> rotation,
+                       const mem::MemConfig &memCfg)
+    : _cfg(cfg),
+      _rotation(std::move(rotation)),
+      _mem(mem::makeMemorySystem(memModel, memCfg)),
+      _core(std::make_unique<cpu::SmtCore>(cfg, *_mem)),
+      _running(static_cast<size_t>(cfg.numThreads), 0)
+{
+    MOMSIM_ASSERT(!_rotation.empty(), "empty workload rotation");
+    for (const auto &wp : _rotation) {
+        MOMSIM_ASSERT(wp.prog != nullptr, "null program in rotation");
+        MOMSIM_ASSERT(wp.prog->simdIsa() == cfg.simd,
+                      "program ISA does not match core ISA");
+    }
+    for (int tid = 0; tid < cfg.numThreads; ++tid)
+        attachNext(tid);
+}
+
+void
+Simulation::attachNext(int tid)
+{
+    size_t idx = _nextProgram % _rotation.size();
+    _nextProgram += 1;
+    _running[static_cast<size_t>(tid)] = idx;
+    _core->attachProgram(tid, _rotation[idx].prog);
+}
+
+RunResult
+Simulation::run(int targetCompletions, uint64_t maxCycles)
+{
+    if (targetCompletions < 0)
+        targetCompletions = static_cast<int>(_rotation.size());
+
+    while (_completions < targetCompletions &&
+           _core->now() < maxCycles) {
+        _core->step();
+        for (int tid = 0; tid < _cfg.numThreads; ++tid) {
+            if (!_core->threadIdle(tid))
+                continue;
+            const WorkloadProgram &wp =
+                _rotation[_running[static_cast<size_t>(tid)]];
+            _completions += 1;
+            _mmxWorkDone += wp.mmxEq;
+            if (_completions >= targetCompletions) {
+                // Keep remaining contexts' partial work for EIPC.
+                break;
+            }
+            attachNext(tid);
+        }
+    }
+
+    if (_core->now() >= maxCycles)
+        warn("simulation hit the cycle limit before completing");
+
+    // Partial credit for programs still in flight, scaled into
+    // MMX-equivalent work by each program's own ratio.
+    uint64_t partial = 0;
+    for (int tid = 0; tid < _cfg.numThreads; ++tid) {
+        if (_core->threadIdle(tid))
+            continue;
+        const WorkloadProgram &wp =
+            _rotation[_running[static_cast<size_t>(tid)]];
+        uint64_t progEq = wp.prog->mix().eqInsts;
+        if (progEq == 0)
+            continue;
+        double frac = static_cast<double>(_core->threadCommittedEq(tid)) /
+                      static_cast<double>(progEq);
+        partial += static_cast<uint64_t>(frac *
+                       static_cast<double>(wp.mmxEq));
+    }
+
+    RunResult res;
+    res.cycles = _core->now();
+    res.committedEq = _core->committedEq();
+    res.ipc = _core->ipc();
+    res.eipc = res.cycles
+        ? static_cast<double>(_mmxWorkDone + partial) /
+          static_cast<double>(res.cycles)
+        : 0.0;
+    res.l1HitRate = _mem->l1HitRate();
+    res.icacheHitRate = _mem->icacheHitRate();
+    res.l1AvgLatency = _mem->l1AvgLatency();
+    res.mispredicts = _core->stats().get("mispredicts");
+    res.condBranches = _core->stats().get("condBranches");
+    res.completions = _completions;
+    return res;
+}
+
+} // namespace momsim::core

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Top-level simulation driver implementing the paper's methodology
+ * (Section 5.1): a fixed rotation of benchmark programs is spread over
+ * the hardware contexts; whenever a program completes, the next one from
+ * the list starts in that context (wrapping around), so the machine never
+ * runs below its context count; the run ends when as many program
+ * completions as list entries (8) have been observed.
+ *
+ * Metrics: IPC counts committed equivalent instructions per cycle; EIPC
+ * converts MOM work into MMX-equivalent instructions ("the IPC a SMT+MMX
+ * processor should reach in order to match the performance of the
+ * SMT+MOM processor") so the two ISAs are comparable.
+ */
+
+#ifndef MOMSIM_CORE_SIMULATION_HH
+#define MOMSIM_CORE_SIMULATION_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/smt_core.hh"
+#include "mem/hierarchy.hh"
+#include "trace/program.hh"
+
+namespace momsim::core
+{
+
+/** One rotation slot: a program plus its MMX-equivalent size. */
+struct WorkloadProgram
+{
+    const trace::Program *prog = nullptr;
+    /**
+     * Equivalent-instruction count of the MMX build of the same
+     * benchmark; used for EIPC. For MMX programs this equals the
+     * program's own eq count.
+     */
+    uint64_t mmxEq = 0;
+};
+
+/** Summary of one simulation run (one bench data point). */
+struct RunResult
+{
+    uint64_t cycles = 0;
+    uint64_t committedEq = 0;
+    double ipc = 0.0;           ///< native equivalent instructions / cycle
+    double eipc = 0.0;          ///< MMX-equivalent instructions / cycle
+    double l1HitRate = 0.0;
+    double icacheHitRate = 0.0;
+    double l1AvgLatency = 0.0;
+    uint64_t mispredicts = 0;
+    uint64_t condBranches = 0;
+    int completions = 0;
+};
+
+class Simulation
+{
+  public:
+    Simulation(const cpu::CoreConfig &cfg, mem::MemModel memModel,
+               std::vector<WorkloadProgram> rotation,
+               const mem::MemConfig &memCfg = {});
+
+    /**
+     * Run until @p targetCompletions programs finish (default: one pass
+     * over the rotation list) or @p maxCycles elapse.
+     */
+    RunResult run(int targetCompletions = -1,
+                  uint64_t maxCycles = 400'000'000ull);
+
+    cpu::SmtCore &coreRef() { return *_core; }
+    mem::MemorySystem &memRef() { return *_mem; }
+
+  private:
+    void attachNext(int tid);
+
+    cpu::CoreConfig _cfg;
+    std::vector<WorkloadProgram> _rotation;
+    std::unique_ptr<mem::MemorySystem> _mem;
+    std::unique_ptr<cpu::SmtCore> _core;
+    size_t _nextProgram = 0;
+    std::vector<size_t> _running;   ///< rotation index per context
+    int _completions = 0;
+    uint64_t _mmxWorkDone = 0;
+};
+
+} // namespace momsim::core
+
+#endif // MOMSIM_CORE_SIMULATION_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Configuration of the SMT core (Section 3, "Architectural Parameters").
+ *
+ * The machine is an 8-way R10000-flavoured out-of-order core: it fetches
+ * up to two groups of four instructions per cycle, renames through shared
+ * physical register pools, issues up to 4 integer + 4 memory + 4 FP
+ * operations per cycle, plus 2 MMX ops (two media FUs) or 1 MOM stream op
+ * (one media FU with two vector lanes) depending on the extension.
+ */
+
+#ifndef MOMSIM_CPU_CORE_CONFIG_HH
+#define MOMSIM_CPU_CORE_CONFIG_HH
+
+#include "cpu/fetch_policy.hh"
+#include "isa/simd_isa.hh"
+
+namespace momsim::cpu
+{
+
+struct CoreConfig
+{
+    int numThreads = 1;
+    isa::SimdIsa simd = isa::SimdIsa::Mmx;
+    FetchPolicy fetchPolicy = FetchPolicy::RoundRobin;
+
+    // Front end.
+    int fetchGroups = 2;            ///< thread groups per cycle
+    int fetchGroupSize = 4;         ///< instructions per group
+    int fetchQueueDepth = 16;       ///< per-thread fetch buffer
+    int decodeWidth = 8;
+    int mispredictPenalty = 3;      ///< redirect bubble after resolve
+
+    // Issue widths per queue (paper: 4 int, 4 mem, 4 fp; 2 MMX or 1 MOM).
+    int intIssue = 4;
+    int memIssue = 4;
+    int fpIssue = 4;
+    int simdIssue = 2;              ///< set to 1 for MOM by preset()
+
+    int vectorLanes = 2;            ///< MOM media FU width
+    int commitWidth = 8;
+
+    // Window / queue / register-file sizing (Table 1; see preset()).
+    int windowPerThread = 64;       ///< graduation-window share per thread
+    int intQueue = 32;
+    int memQueue = 32;
+    int fpQueue = 24;
+    int simdQueue = 24;
+    int intPhysRegs = 80;
+    int fpPhysRegs = 64;
+    int simdPhysRegs = 64;          ///< MMX regs, or MOM stream regs
+
+    /**
+     * The Table-1 presets: near-saturation sizes for 1/2/4/8 threads,
+     * derived by the saturation sweep in bench/table1_saturation (the
+     * paper's own procedure; its printed numbers are unreadable in the
+     * available scan).
+     */
+    static CoreConfig preset(int threads, isa::SimdIsa simd,
+                             FetchPolicy policy = FetchPolicy::RoundRobin);
+};
+
+} // namespace momsim::cpu
+
+#endif // MOMSIM_CPU_CORE_CONFIG_HH

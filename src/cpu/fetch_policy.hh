@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The four fetch-selection policies of Section 5.3.
+ *
+ *  ROUND_ROBIN  classic rotation among ready threads.
+ *  ICOUNT       Tullsen's policy: prioritize threads with the fewest
+ *               instructions decoded but not yet issued.
+ *  OCOUNT       ICOUNT extended with the Stream Length register: stream
+ *               instructions weigh as their remaining element count, so
+ *               a thread with long in-flight streams yields the front end.
+ *  BALANCE      mix scalar and vector fetch: when the vector pipeline is
+ *               empty, prefer threads that last fetched vector work;
+ *               otherwise prefer threads that did not.
+ */
+
+#ifndef MOMSIM_CPU_FETCH_POLICY_HH
+#define MOMSIM_CPU_FETCH_POLICY_HH
+
+namespace momsim::cpu
+{
+
+enum class FetchPolicy
+{
+    RoundRobin,
+    ICount,
+    OCount,
+    Balance,
+};
+
+inline const char *
+toString(FetchPolicy p)
+{
+    switch (p) {
+      case FetchPolicy::RoundRobin: return "RR";
+      case FetchPolicy::ICount:     return "IC";
+      case FetchPolicy::OCount:     return "OC";
+      case FetchPolicy::Balance:    return "BL";
+    }
+    return "?";
+}
+
+} // namespace momsim::cpu
+
+#endif // MOMSIM_CPU_FETCH_POLICY_HH

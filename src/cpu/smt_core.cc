@@ -1,0 +1,743 @@
+#include "cpu/smt_core.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace momsim::cpu
+{
+
+using isa::OpClass;
+using isa::QueueKind;
+using isa::RegClass;
+
+CoreConfig
+CoreConfig::preset(int threads, isa::SimdIsa simd, FetchPolicy policy)
+{
+    CoreConfig cfg;
+    cfg.numThreads = threads;
+    cfg.simd = simd;
+    cfg.fetchPolicy = policy;
+
+    // Near-saturation sizes from the table1_saturation sweep.
+    switch (threads) {
+      case 1:
+        cfg.windowPerThread = 64;
+        cfg.intQueue = 16;
+        cfg.memQueue = 16;
+        cfg.fpQueue = 12;
+        cfg.simdQueue = 12;
+        break;
+      case 2:
+        cfg.windowPerThread = 64;
+        cfg.intQueue = 24;
+        cfg.memQueue = 24;
+        cfg.fpQueue = 16;
+        cfg.simdQueue = 16;
+        break;
+      case 4:
+        cfg.windowPerThread = 48;
+        cfg.intQueue = 32;
+        cfg.memQueue = 32;
+        cfg.fpQueue = 24;
+        cfg.simdQueue = 24;
+        break;
+      default:
+        cfg.windowPerThread = 40;
+        cfg.intQueue = 48;
+        cfg.memQueue = 48;
+        cfg.fpQueue = 32;
+        cfg.simdQueue = 32;
+        break;
+    }
+
+    cfg.intPhysRegs = 32 * threads + 64;
+    cfg.fpPhysRegs = 32 * threads + 32;
+    if (simd == isa::SimdIsa::Mmx) {
+        cfg.simdPhysRegs = 32 * threads + 32;
+        cfg.simdIssue = 2;
+    } else {
+        // 16 stream registers + 2 accumulators per thread, plus slack.
+        cfg.simdPhysRegs = 18 * threads + 12;
+        cfg.simdIssue = 1;
+    }
+    return cfg;
+}
+
+SmtCore::SmtCore(const CoreConfig &cfg, mem::MemorySystem &mem)
+    : _cfg(cfg), _mem(mem), _threads(cfg.numThreads), _stats("core")
+{
+    MOMSIM_ASSERT(cfg.numThreads >= 1 && cfg.numThreads <= 8,
+                  "1..8 hardware contexts supported");
+    for (auto &t : _threads) {
+        t.rob.resize(static_cast<size_t>(cfg.windowPerThread));
+        std::fill(std::begin(t.rename), std::end(t.rename), -1);
+    }
+
+    int logicalSimd =
+        cfg.simd == isa::SimdIsa::Mmx ? isa::kNumLogicalMmx
+                                      : isa::kNumLogicalMomStream +
+                                        isa::kNumLogicalMomAcc;
+    _freeRegs[0] = cfg.intPhysRegs - 32 * cfg.numThreads;
+    _freeRegs[1] = cfg.fpPhysRegs - 32 * cfg.numThreads;
+    _freeRegs[2] = cfg.simdPhysRegs - logicalSimd * cfg.numThreads;
+    // MMX code also names MMX registers under the MOM machine (both
+    // extensions share the SIMD file organization).
+    if (cfg.simd == isa::SimdIsa::Mom)
+        _freeRegs[2] = std::max(_freeRegs[2], 12);
+    for (int p = 0; p < 3; ++p) {
+        MOMSIM_ASSERT(_freeRegs[p] >= 8,
+                      "physical register file too small for rename slack");
+    }
+}
+
+void
+SmtCore::attachProgram(int tid, const trace::Program *prog)
+{
+    MOMSIM_ASSERT(threadIdle(tid), "attach to a busy context");
+    Thread &t = _threads[static_cast<size_t>(tid)];
+    t.prog = prog;
+    t.cursor = 0;
+    t.head = t.tail = 0;
+    t.fetchReady = _now;
+    t.fetchQ.clear();
+    std::fill(std::begin(t.rename), std::end(t.rename), -1);
+    t.committedEq = 0;
+    t.iqCount = 0;
+    t.oqCount = 0;
+}
+
+bool
+SmtCore::threadIdle(int tid) const
+{
+    const Thread &t = _threads[static_cast<size_t>(tid)];
+    return t.prog == nullptr ||
+           (t.cursor >= t.prog->size() && t.head == t.tail &&
+            t.fetchQ.empty());
+}
+
+uint64_t
+SmtCore::threadCommittedEq(int tid) const
+{
+    return _threads[static_cast<size_t>(tid)].committedEq;
+}
+
+SmtCore::RobEntry &
+SmtCore::entryAt(Thread &t, uint64_t pos)
+{
+    return t.rob[pos % t.rob.size()];
+}
+
+const SmtCore::RobEntry &
+SmtCore::entryAt(const Thread &t, uint64_t pos) const
+{
+    return t.rob[pos % t.rob.size()];
+}
+
+int
+SmtCore::physPoolOf(isa::RegRef reg) const
+{
+    switch (isa::regClass(reg)) {
+      case RegClass::Int: return 0;
+      case RegClass::Fp:  return 1;
+      case RegClass::Mmx:
+      case RegClass::Mom: return 2;
+    }
+    return 0;
+}
+
+bool
+SmtCore::operandsReady(const Thread &t, const RobEntry &e) const
+{
+    for (int64_t p : e.prod) {
+        if (p < 0)
+            continue;
+        if (static_cast<uint64_t>(p) < t.head)
+            continue;       // producer already graduated
+        const RobEntry &src = entryAt(t, static_cast<uint64_t>(p));
+        if (src.pos != static_cast<uint64_t>(p))
+            continue;       // producer slot was recycled (graduated)
+        if (src.state != State::Done || src.doneCycle > _now)
+            return false;
+    }
+    return true;
+}
+
+void
+SmtCore::debugDump() const
+{
+    std::fprintf(stderr, "cycle %llu  momFuBusy=%lld  IQ sizes "
+                 "int=%zu mem=%zu fp=%zu simd=%zu streams=%zu  "
+                 "freeRegs=%d/%d/%d\n",
+                 static_cast<unsigned long long>(_now),
+                 static_cast<long long>(_momFuBusyUntil) -
+                     static_cast<long long>(_now),
+                 _intQ.size(), _memQ.size(), _fpQ.size(), _simdQ.size(),
+                 _activeStreams.size(),
+                 _freeRegs[0], _freeRegs[1], _freeRegs[2]);
+    for (int tid = 0; tid < _cfg.numThreads; ++tid) {
+        const Thread &t = _threads[static_cast<size_t>(tid)];
+        std::fprintf(stderr,
+                     "  t%d cursor=%zu/%zu inflight=%llu fq=%zu "
+                     "fetchReady=%+lld iq=%d",
+                     tid, t.cursor, t.prog ? t.prog->size() : 0,
+                     static_cast<unsigned long long>(t.tail - t.head),
+                     t.fetchQ.size(),
+                     static_cast<long long>(t.fetchReady) -
+                         static_cast<long long>(_now),
+                     t.iqCount);
+        if (t.head != t.tail) {
+            const RobEntry &e = entryAt(t, t.head);
+            std::fprintf(stderr, "  head: %s state=%d done=%+lld",
+                         isa::opName(e.inst.opcode()),
+                         static_cast<int>(e.state),
+                         static_cast<long long>(e.doneCycle) -
+                             static_cast<long long>(_now));
+        }
+        std::fprintf(stderr, "\n");
+    }
+}
+
+void
+SmtCore::step()
+{
+    commitStage();
+    streamStage();
+    issueStage();
+    dispatchStage();
+    fetchStage();
+    ++_now;
+}
+
+// ---------------------------------------------------------------------
+// Commit
+// ---------------------------------------------------------------------
+
+void
+SmtCore::commitStage()
+{
+    int budget = _cfg.commitWidth;
+    int n = _cfg.numThreads;
+    bool progress = true;
+    std::vector<bool> blocked(static_cast<size_t>(n), false);
+    while (budget > 0 && progress) {
+        progress = false;
+        for (int i = 0; i < n && budget > 0; ++i) {
+            int tid = (i + static_cast<int>(_now)) % n;
+            if (blocked[static_cast<size_t>(tid)])
+                continue;
+            Thread &t = _threads[static_cast<size_t>(tid)];
+            if (t.head == t.tail)
+                continue;
+            RobEntry &e = entryAt(t, t.head);
+            if (e.state != State::Done || e.doneCycle > _now) {
+                blocked[static_cast<size_t>(tid)] = true;
+                continue;
+            }
+
+            OpClass cls = e.inst.opClass();
+            bool scalarStore =
+                (cls == OpClass::Store || cls == OpClass::MmxStore);
+            if (scalarStore && !e.storeDone) {
+                mem::MemAccess req;
+                req.addr = e.inst.addr;
+                req.size = e.inst.accessSize;
+                req.isWrite = true;
+                req.isVector = (cls == OpClass::MmxStore);
+                req.threadId = tid;
+                mem::MemReply rep = _mem.access(_now, req);
+                if (!rep.accepted) {
+                    _stats.counter("commitStoreStalls") += 1;
+                    blocked[static_cast<size_t>(tid)] = true;
+                    continue;   // write buffer full; retry next cycle
+                }
+                e.storeDone = true;
+            }
+
+            // Graduate.
+            if (isa::isValidReg(e.inst.dst))
+                _freeRegs[physPoolOf(e.inst.dst)] += 1;
+            uint32_t eq = e.inst.eqInsts();
+            _committedRecords += 1;
+            _committedEq += eq;
+            t.committedEq += eq;
+            _stats.counter("commits") += 1;
+            switch (isa::mixGroup(cls)) {
+              case isa::MixGroup::Int:
+                _stats.counter("commitInt") += eq;
+                break;
+              case isa::MixGroup::Fp:
+                _stats.counter("commitFp") += eq;
+                break;
+              case isa::MixGroup::SimdArith:
+                _stats.counter("commitSimd") += eq;
+                break;
+              case isa::MixGroup::Mem:
+                _stats.counter("commitMem") += eq;
+                break;
+            }
+            e.state = State::Empty;
+            ++t.head;
+            --budget;
+            progress = true;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stream memory expansion
+// ---------------------------------------------------------------------
+
+void
+SmtCore::streamStage()
+{
+    // The stream memory unit sustains at most `vectorLanes` element
+    // accesses per cycle in total, shared by all in-flight streams (two
+    // address generators feeding the two vector ports).
+    int budget = _cfg.vectorLanes;
+    for (size_t i = 0; i < _activeStreams.size();) {
+        if (budget <= 0)
+            break;
+        IqEntry ref = _activeStreams[i];
+        Thread &t = _threads[static_cast<size_t>(ref.tid)];
+        RobEntry &e = entryAt(t, ref.pos);
+        if (e.pos != ref.pos || e.state != State::Executing) {
+            // Squashed or otherwise gone.
+            _activeStreams.erase(_activeStreams.begin() +
+                                 static_cast<long>(i));
+            continue;
+        }
+        uint32_t total = e.inst.memAccesses();
+        int issuedThisCycle = 0;
+        while (e.elemsIssued < total && issuedThisCycle < budget) {
+            mem::MemAccess req;
+            req.addr = e.inst.elementAddr(e.elemsIssued);
+            req.size = e.inst.accessSize;
+            req.isWrite = e.inst.isStore();
+            req.isVector = true;
+            req.nonTemporal = false;
+            req.threadId = ref.tid;
+            mem::MemReply rep = _mem.access(_now, req);
+            if (!rep.accepted)
+                break;
+            e.streamReady = std::max(e.streamReady, rep.readyCycle);
+            ++e.elemsIssued;
+            ++issuedThisCycle;
+        }
+        budget -= issuedThisCycle;
+        if (e.elemsIssued >= total) {
+            e.state = State::Done;
+            e.doneCycle = std::max(e.streamReady, _now + 1);
+            _activeStreams.erase(_activeStreams.begin() +
+                                 static_cast<long>(i));
+            continue;
+        }
+        ++i;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Issue
+// ---------------------------------------------------------------------
+
+bool
+SmtCore::tryExecute(int tid, RobEntry &e, QueueKind kind)
+{
+    const isa::OpInfo &info = isa::opInfo(e.inst.opcode());
+    OpClass cls = info.cls;
+
+    switch (kind) {
+      case QueueKind::Int:
+        if (cls == OpClass::IntDiv) {
+            if (_divBusyUntil > _now)
+                return false;
+            _divBusyUntil = _now + info.latency;
+        }
+        e.state = State::Done;
+        e.doneCycle = _now + info.latency;
+        if (e.mispredicted) {
+            _stats.counter("mispredicts") += 1;
+            flushThread(tid, e.pos);
+        }
+        return true;
+
+      case QueueKind::Fp:
+        if (cls == OpClass::FpDiv) {
+            if (_fdivBusyUntil > _now)
+                return false;
+            _fdivBusyUntil = _now + info.latency;
+        }
+        e.state = State::Done;
+        e.doneCycle = _now + info.latency;
+        return true;
+
+      case QueueKind::Simd:
+        if (isa::isMom(cls)) {
+            if (_momFuBusyUntil > _now)
+                return false;
+            uint32_t len = std::max<uint32_t>(1, e.inst.streamLen);
+            uint64_t occupancy =
+                (len + _cfg.vectorLanes - 1) /
+                static_cast<uint32_t>(_cfg.vectorLanes);
+            _momFuBusyUntil = _now + occupancy;
+            e.state = State::Done;
+            e.doneCycle = _now + info.latency + occupancy - 1;
+        } else {
+            e.state = State::Done;
+            e.doneCycle = _now + info.latency;
+        }
+        return true;
+
+      case QueueKind::Mem: {
+        if (cls == OpClass::MomLoad || cls == OpClass::MomStore) {
+            // Hand over to the stream engine.
+            e.state = State::Executing;
+            e.elemsIssued = 0;
+            e.streamReady = 0;
+            _activeStreams.push_back({ tid, e.pos });
+            return true;
+        }
+        if (e.inst.isStore()) {
+            // Address generation; the access happens at graduation.
+            e.state = State::Done;
+            e.doneCycle = _now + 1;
+            return true;
+        }
+        mem::MemAccess req;
+        req.addr = e.inst.addr;
+        req.size = e.inst.accessSize;
+        req.isWrite = false;
+        req.isVector = e.inst.isMmx();
+        req.threadId = tid;
+        mem::MemReply rep = _mem.access(_now, req);
+        if (!rep.accepted)
+            return false;       // retry next cycle
+        e.state = State::Done;
+        e.doneCycle = rep.readyCycle;
+        return true;
+      }
+    }
+    return false;
+}
+
+void
+SmtCore::issueFromQueue(std::vector<IqEntry> &queue, int width,
+                        QueueKind kind)
+{
+    int used = 0;
+    size_t keep = 0;
+    size_t i = 0;
+    for (; i < queue.size(); ++i) {
+        IqEntry ref = queue[i];
+        Thread &t = _threads[static_cast<size_t>(ref.tid)];
+        RobEntry &e = entryAt(t, ref.pos);
+        if (e.pos != ref.pos || e.state != State::Dispatched)
+            continue;           // squashed/stale: drop from the queue
+        if (used >= width) {
+            queue[keep++] = ref;
+            continue;
+        }
+        if (!operandsReady(t, e)) {
+            queue[keep++] = ref;
+            continue;
+        }
+        ++used;                 // an issue slot is consumed by the attempt
+        if (tryExecute(ref.tid, e, kind)) {
+            t.iqCount -= 1;
+            t.oqCount -= e.inst.eqInsts();
+            _stats.counter("issued") += 1;
+        } else {
+            queue[keep++] = ref;
+        }
+    }
+    queue.resize(keep);
+}
+
+void
+SmtCore::issueStage()
+{
+    issueFromQueue(_memQ, _cfg.memIssue, QueueKind::Mem);
+    issueFromQueue(_intQ, _cfg.intIssue, QueueKind::Int);
+    issueFromQueue(_fpQ, _cfg.fpIssue, QueueKind::Fp);
+    issueFromQueue(_simdQ, _cfg.simdIssue, QueueKind::Simd);
+}
+
+// ---------------------------------------------------------------------
+// Dispatch (decode + rename)
+// ---------------------------------------------------------------------
+
+void
+SmtCore::dispatchStage()
+{
+    int budget = _cfg.decodeWidth;
+    int n = _cfg.numThreads;
+    std::vector<bool> blocked(static_cast<size_t>(n), false);
+    bool progress = true;
+    while (budget > 0 && progress) {
+        progress = false;
+        for (int i = 0; i < n && budget > 0; ++i) {
+            int tid = (i + _dispatchRotate) % n;
+            if (blocked[static_cast<size_t>(tid)])
+                continue;
+            Thread &t = _threads[static_cast<size_t>(tid)];
+            if (t.fetchQ.empty())
+                continue;
+
+            // Structural checks.
+            if (t.tail - t.head >= t.rob.size()) {
+                blocked[static_cast<size_t>(tid)] = true;
+                _stats.counter("robFullStalls") += 1;
+                continue;
+            }
+            const FetchedInst &f = t.fetchQ.front();
+            QueueKind kind = isa::queueKind(f.inst.opClass());
+            std::vector<IqEntry> *queue = nullptr;
+            int cap = 0;
+            switch (kind) {
+              case QueueKind::Int:
+                queue = &_intQ;
+                cap = _cfg.intQueue;
+                break;
+              case QueueKind::Mem:
+                queue = &_memQ;
+                cap = _cfg.memQueue;
+                break;
+              case QueueKind::Fp:
+                queue = &_fpQ;
+                cap = _cfg.fpQueue;
+                break;
+              case QueueKind::Simd:
+                queue = &_simdQ;
+                cap = _cfg.simdQueue;
+                break;
+            }
+            bool isNop = f.inst.opClass() == OpClass::Nop;
+            if (!isNop && static_cast<int>(queue->size()) >= cap) {
+                blocked[static_cast<size_t>(tid)] = true;
+                _stats.counter("iqFullStalls") += 1;
+                continue;
+            }
+            if (isa::isValidReg(f.inst.dst) &&
+                _freeRegs[physPoolOf(f.inst.dst)] <= 0) {
+                blocked[static_cast<size_t>(tid)] = true;
+                _stats.counter("regFullStalls") += 1;
+                continue;
+            }
+
+            // Allocate and rename.
+            uint64_t pos = t.tail++;
+            RobEntry &e = entryAt(t, pos);
+            e = RobEntry{};
+            e.inst = f.inst;
+            e.pos = pos;
+            e.mispredicted = f.mispredicted;
+
+            isa::RegRef srcs[3] = { f.inst.src0, f.inst.src1, f.inst.src2 };
+            for (int sidx = 0; sidx < 3; ++sidx) {
+                e.prod[sidx] = isa::isValidReg(srcs[sidx])
+                    ? t.rename[srcs[sidx]] : -1;
+            }
+            if (isa::isValidReg(f.inst.dst)) {
+                e.prevWriter = t.rename[f.inst.dst];
+                t.rename[f.inst.dst] = static_cast<int64_t>(pos);
+                _freeRegs[physPoolOf(f.inst.dst)] -= 1;
+            }
+
+            if (isNop) {
+                e.state = State::Done;
+                e.doneCycle = _now;
+            } else {
+                e.state = State::Dispatched;
+                queue->push_back({ tid, pos });
+                t.iqCount += 1;
+                t.oqCount += e.inst.eqInsts();
+            }
+
+            t.fetchQ.pop_front();
+            --budget;
+            progress = true;
+            _stats.counter("dispatched") += 1;
+        }
+    }
+    _dispatchRotate = (_dispatchRotate + 1) % std::max(1, n);
+}
+
+// ---------------------------------------------------------------------
+// Fetch
+// ---------------------------------------------------------------------
+
+bool
+SmtCore::vectorPipeEmpty() const
+{
+    return _simdQ.empty() && _momFuBusyUntil <= _now;
+}
+
+std::vector<int>
+SmtCore::fetchOrder()
+{
+    std::vector<int> order;
+    order.reserve(static_cast<size_t>(_cfg.numThreads));
+    for (int i = 0; i < _cfg.numThreads; ++i)
+        order.push_back((i + _fetchRotate) % _cfg.numThreads);
+
+    switch (_cfg.fetchPolicy) {
+      case FetchPolicy::RoundRobin:
+        break;
+      case FetchPolicy::ICount:
+        std::stable_sort(order.begin(), order.end(), [this](int a, int b) {
+            return _threads[static_cast<size_t>(a)].iqCount <
+                   _threads[static_cast<size_t>(b)].iqCount;
+        });
+        break;
+      case FetchPolicy::OCount:
+        std::stable_sort(order.begin(), order.end(), [this](int a, int b) {
+            return _threads[static_cast<size_t>(a)].oqCount <
+                   _threads[static_cast<size_t>(b)].oqCount;
+        });
+        break;
+      case FetchPolicy::Balance: {
+        // Promote one thread of the class the vector pipeline needs to
+        // the front; the rest keep the round-robin rotation (the paper
+        // breaks same-priority ties round-robin — a full class sort
+        // would let two permanently-scalar threads monopolize both
+        // fetch groups and starve the machine).
+        bool wantVector = vectorPipeEmpty();
+        for (size_t i = 0; i < order.size(); ++i) {
+            if (_threads[static_cast<size_t>(order[i])].lastFetchVector ==
+                wantVector) {
+                int chosen = order[i];
+                order.erase(order.begin() + static_cast<long>(i));
+                order.insert(order.begin(), chosen);
+                break;
+            }
+        }
+        break;
+      }
+    }
+    _fetchRotate = (_fetchRotate + 1) % std::max(1, _cfg.numThreads);
+    return order;
+}
+
+void
+SmtCore::fetchStage()
+{
+    std::vector<int> order = fetchOrder();
+    size_t orderIdx = 0;
+
+    for (int g = 0; g < _cfg.fetchGroups; ++g) {
+        // Find the next eligible thread (the same thread may supply both
+        // groups when it is the only one ready).
+        int tid = -1;
+        for (size_t scanned = 0; scanned < order.size(); ++scanned) {
+            int cand = order[(orderIdx + scanned) % order.size()];
+            Thread &t = _threads[static_cast<size_t>(cand)];
+            if (!t.prog || t.cursor >= t.prog->size())
+                continue;
+            if (t.fetchReady > _now)
+                continue;
+            if (static_cast<int>(t.fetchQ.size()) + _cfg.fetchGroupSize >
+                _cfg.fetchQueueDepth)
+                continue;
+            tid = cand;
+            orderIdx = (orderIdx + scanned + 1) % order.size();
+            break;
+        }
+        if (tid < 0)
+            return;
+
+        Thread &t = _threads[static_cast<size_t>(tid)];
+        const auto &insts = t.prog->insts();
+        uint64_t groupPc = insts[t.cursor].pc;
+        mem::FetchReply rep = _mem.ifetch(_now, groupPc);
+        if (!rep.accepted) {
+            _stats.counter("ifetchRejected") += 1;
+            continue;       // I-cache port/bank conflict this cycle
+        }
+        if (!rep.hit) {
+            t.fetchReady = rep.readyCycle;
+            _stats.counter("icacheMissStalls") += 1;
+            continue;
+        }
+
+        bool fetchedVector = false;
+        for (int k = 0; k < _cfg.fetchGroupSize &&
+                        t.cursor < t.prog->size(); ++k) {
+            FetchedInst f;
+            f.inst = insts[t.cursor];
+            ++t.cursor;
+
+            if (f.inst.isCondBranch()) {
+                bool pred = _bpred.predict(tid, f.inst.pc);
+                bool actual = f.inst.taken();
+                f.mispredicted = (pred != actual);
+                _bpred.update(tid, f.inst.pc, actual);
+                _stats.counter("condBranches") += 1;
+            }
+            if (isa::isSimd(f.inst.opClass()))
+                fetchedVector = true;
+
+            t.fetchQ.push_back(f);
+            _stats.counter("fetched") += 1;
+
+            // A group ends at taken control flow.
+            if (f.inst.isControl() && f.inst.taken())
+                break;
+        }
+        t.lastFetchVector = fetchedVector;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Flush
+// ---------------------------------------------------------------------
+
+void
+SmtCore::flushThread(int tid, uint64_t branchPos)
+{
+    Thread &t = _threads[static_cast<size_t>(tid)];
+    RobEntry &branch = entryAt(t, branchPos);
+
+    // Roll back rename state and free registers, youngest first.
+    while (t.tail > branchPos + 1) {
+        uint64_t pos = --t.tail;
+        RobEntry &e = entryAt(t, pos);
+        if (e.pos != pos)
+            continue;
+        if (isa::isValidReg(e.inst.dst)) {
+            t.rename[e.inst.dst] = e.prevWriter;
+            _freeRegs[physPoolOf(e.inst.dst)] += 1;
+        }
+        if (e.state == State::Dispatched) {
+            t.iqCount -= 1;
+            t.oqCount -= e.inst.eqInsts();
+        }
+        e.state = State::Empty;
+        e.pos = ~0ull;
+        _stats.counter("squashed") += 1;
+    }
+
+    auto scrub = [tid, branchPos](std::vector<IqEntry> &q) {
+        q.erase(std::remove_if(q.begin(), q.end(),
+                               [tid, branchPos](const IqEntry &ref) {
+                    return ref.tid == tid && ref.pos > branchPos;
+                }), q.end());
+    };
+    scrub(_intQ);
+    scrub(_memQ);
+    scrub(_fpQ);
+    scrub(_simdQ);
+    scrub(_activeStreams);
+
+    // Redirect the front end. Dispatch follows fetch order exactly, so a
+    // thread's ROB position equals its trace index; the correct-path
+    // continuation starts right after the branch.
+    t.fetchQ.clear();
+    t.cursor = static_cast<size_t>(branchPos + 1);
+
+    t.fetchReady = std::max(t.fetchReady,
+                            branch.doneCycle +
+                            static_cast<uint64_t>(_cfg.mispredictPenalty));
+    _stats.counter("flushes") += 1;
+}
+
+} // namespace momsim::cpu

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * The SMT out-of-order core (Figure 2).
+ *
+ * Pipeline per cycle: commit (per-thread in-order graduation) -> advance
+ * in-flight stream memory operations -> issue from the four queues ->
+ * dispatch (decode/rename) -> fetch (policy-selected, up to 2 groups of
+ * 4). Mispredicted branches flush the offending thread's younger
+ * instructions, restore its rename state and stall its fetch for the
+ * redirect penalty.
+ *
+ * Execution is trace-driven: each thread walks a Program's dynamic
+ * instruction stream. Register dependences come from the traces' true
+ * dataflow; memory timing comes from the attached MemorySystem; wrong
+ * paths after a branch mispredict are charged as flush + redirect bubbles
+ * rather than executed (see DESIGN.md, substitutions).
+ */
+
+#ifndef MOMSIM_CPU_SMT_CORE_HH
+#define MOMSIM_CPU_SMT_CORE_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hh"
+#include "cpu/branch_predictor.hh"
+#include "cpu/core_config.hh"
+#include "isa/trace_inst.hh"
+#include "mem/hierarchy.hh"
+#include "trace/program.hh"
+
+namespace momsim::cpu
+{
+
+class SmtCore
+{
+  public:
+    SmtCore(const CoreConfig &cfg, mem::MemorySystem &mem);
+
+    /** Bind (or replace) the program running in hardware context @p tid. */
+    void attachProgram(int tid, const trace::Program *prog);
+
+    /** True once the context has fetched and committed its whole trace. */
+    bool threadIdle(int tid) const;
+
+    /** Committed equivalent instructions of the current program so far. */
+    uint64_t threadCommittedEq(int tid) const;
+
+    /** Advance the machine one cycle. */
+    void step();
+
+    uint64_t now() const { return _now; }
+
+    // ---- aggregate metrics ----
+    uint64_t committedRecords() const { return _committedRecords; }
+    uint64_t committedEq() const { return _committedEq; }
+
+    /** Committed equivalent instructions per cycle. */
+    double
+    ipc() const
+    {
+        return _now ? static_cast<double>(_committedEq) / _now : 0.0;
+    }
+
+    StatGroup &stats() { return _stats; }
+    BranchPredictor &predictor() { return _bpred; }
+    const CoreConfig &config() const { return _cfg; }
+
+    /** Dump per-thread pipeline state (debugging aid). */
+    void debugDump() const;
+
+  private:
+    enum class State : uint8_t
+    {
+        Empty,
+        Dispatched,     ///< waiting in an issue queue
+        Executing,      ///< issued; stream memory still expanding
+        Done,           ///< result ready at doneCycle
+    };
+
+    struct RobEntry
+    {
+        isa::TraceInst inst;
+        uint64_t pos = 0;           ///< absolute position (age within thread)
+        uint64_t doneCycle = 0;
+        int64_t prod[3] = { -1, -1, -1 };   ///< producer positions
+        int64_t prevWriter = -1;    ///< for rename rollback on flush
+        State state = State::Empty;
+        bool mispredicted = false;
+        bool storeDone = false;     ///< scalar store performed at commit
+        uint16_t elemsIssued = 0;   ///< stream memory progress
+        uint64_t streamReady = 0;   ///< max element completion
+    };
+
+    struct FetchedInst
+    {
+        isa::TraceInst inst;
+        bool mispredicted = false;
+    };
+
+    struct Thread
+    {
+        const trace::Program *prog = nullptr;
+        size_t cursor = 0;              ///< next trace index to fetch
+        uint64_t fetchReady = 0;        ///< icache stall / redirect
+        std::deque<FetchedInst> fetchQ;
+        std::vector<RobEntry> rob;      ///< circular, capacity = window
+        uint64_t head = 0;              ///< oldest in-flight position
+        uint64_t tail = 0;              ///< next position to allocate
+        int64_t rename[256];            ///< logical reg -> producer pos
+        uint64_t committedEq = 0;       ///< for the current program
+        int iqCount = 0;                ///< decoded-not-issued (ICOUNT)
+        int64_t oqCount = 0;            ///< eq-weighted (OCOUNT)
+        bool lastFetchVector = false;   ///< for BALANCE
+    };
+
+    struct IqEntry
+    {
+        int tid;
+        uint64_t pos;
+    };
+
+    void commitStage();
+    void issueStage();
+    void streamStage();
+    void dispatchStage();
+    void fetchStage();
+
+    bool operandsReady(const Thread &t, const RobEntry &e) const;
+    void flushThread(int tid, uint64_t branchPos);
+    RobEntry &entryAt(Thread &t, uint64_t pos);
+    const RobEntry &entryAt(const Thread &t, uint64_t pos) const;
+    int physPoolOf(isa::RegRef reg) const;
+    std::vector<int> fetchOrder();
+    bool vectorPipeEmpty() const;
+    void issueFromQueue(std::vector<IqEntry> &queue, int width,
+                        isa::QueueKind kind);
+    bool tryExecute(int tid, RobEntry &e, isa::QueueKind kind);
+
+    CoreConfig _cfg;
+    mem::MemorySystem &_mem;
+    BranchPredictor _bpred;
+
+    std::vector<Thread> _threads;
+    std::vector<IqEntry> _intQ, _memQ, _fpQ, _simdQ;
+    std::vector<IqEntry> _activeStreams;
+
+    // Shared physical register pools: [0]=int, [1]=fp, [2]=simd.
+    int _freeRegs[3] = { 0, 0, 0 };
+
+    // Unpipelined / occupied functional units.
+    uint64_t _divBusyUntil = 0;
+    uint64_t _fdivBusyUntil = 0;
+    uint64_t _momFuBusyUntil = 0;
+
+    uint64_t _now = 0;
+    uint64_t _committedRecords = 0;
+    uint64_t _committedEq = 0;
+    int _fetchRotate = 0;
+    int _dispatchRotate = 0;
+    StatGroup _stats;
+};
+
+} // namespace momsim::cpu
+
+#endif // MOMSIM_CPU_SMT_CORE_HH

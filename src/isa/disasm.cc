@@ -1,0 +1,71 @@
+#include "isa/trace_inst.hh"
+
+#include "common/logging.hh"
+
+namespace momsim::isa
+{
+
+const char *
+toString(RegClass c)
+{
+    switch (c) {
+      case RegClass::Int: return "r";
+      case RegClass::Fp:  return "f";
+      case RegClass::Mmx: return "mm";
+      case RegClass::Mom: return "v";
+    }
+    return "?";
+}
+
+namespace
+{
+
+std::string
+regStr(RegRef r)
+{
+    if (!isValidReg(r))
+        return "-";
+    RegClass cls = regClass(r);
+    int idx = regIndex(r);
+    if (cls == RegClass::Int && idx == kSlRegIndex)
+        return "sl";
+    if (cls == RegClass::Int && idx == kZeroRegIndex)
+        return "rz";
+    if (cls == RegClass::Mom && idx >= 16)
+        return strfmt("acc%d", idx - 16);
+    return strfmt("%s%d", toString(cls), idx);
+}
+
+} // namespace
+
+std::string
+disasm(const TraceInst &inst)
+{
+    std::string out = strfmt("%08x  %-10s", inst.pc, opName(inst.opcode()));
+    bool first = true;
+    auto append = [&](const std::string &operand) {
+        out += first ? " " : ", ";
+        out += operand;
+        first = false;
+    };
+    if (isValidReg(inst.dst))
+        append(regStr(inst.dst));
+    for (RegRef src : { inst.src0, inst.src1, inst.src2 }) {
+        if (isValidReg(src))
+            append(regStr(src));
+    }
+    if (inst.isMemory()) {
+        append(strfmt("[0x%x]", inst.addr));
+        if (inst.isMom()) {
+            out += strfmt(" len=%u stride=%d", inst.streamLen, inst.stride);
+        }
+    } else if (inst.isControl()) {
+        append(strfmt("-> 0x%x%s", inst.addr,
+                      inst.taken() ? " (T)" : " (NT)"));
+    } else if (inst.isMom() && inst.opClass() != OpClass::MomCtl) {
+        out += strfmt(" len=%u", inst.streamLen);
+    }
+    return out;
+}
+
+} // namespace momsim::isa

@@ -1,0 +1,70 @@
+#include "isa/opcodes.hh"
+
+#include "common/logging.hh"
+
+namespace momsim::isa
+{
+
+namespace
+{
+
+const OpInfo opTable[kNumOps] = {
+#define X(name, cls, lat, pipe) { #name, OpClass::cls, lat, pipe },
+    MOMSIM_SCALAR_OPS(X)
+    MOMSIM_MMX_OPS(X)
+    MOMSIM_MOM_OPS(X)
+#undef X
+};
+
+} // namespace
+
+const OpInfo &
+opInfo(Op op)
+{
+    uint16_t v = static_cast<uint16_t>(op);
+    MOMSIM_ASSERT(v < kNumOps, "opcode out of range");
+    return opTable[v];
+}
+
+const char *
+toString(OpClass c)
+{
+    switch (c) {
+      case OpClass::IntAlu:   return "IntAlu";
+      case OpClass::IntMul:   return "IntMul";
+      case OpClass::IntDiv:   return "IntDiv";
+      case OpClass::Branch:   return "Branch";
+      case OpClass::Jump:     return "Jump";
+      case OpClass::Load:     return "Load";
+      case OpClass::Store:    return "Store";
+      case OpClass::FpAlu:    return "FpAlu";
+      case OpClass::FpMul:    return "FpMul";
+      case OpClass::FpDiv:    return "FpDiv";
+      case OpClass::MmxAlu:   return "MmxAlu";
+      case OpClass::MmxMul:   return "MmxMul";
+      case OpClass::MmxLoad:  return "MmxLoad";
+      case OpClass::MmxStore: return "MmxStore";
+      case OpClass::MomAlu:   return "MomAlu";
+      case OpClass::MomMul:   return "MomMul";
+      case OpClass::MomAcc:   return "MomAcc";
+      case OpClass::MomLoad:  return "MomLoad";
+      case OpClass::MomStore: return "MomStore";
+      case OpClass::MomCtl:   return "MomCtl";
+      case OpClass::Nop:      return "Nop";
+    }
+    return "?";
+}
+
+const char *
+toString(MixGroup g)
+{
+    switch (g) {
+      case MixGroup::Int:       return "int";
+      case MixGroup::Fp:        return "fp";
+      case MixGroup::SimdArith: return "simd";
+      case MixGroup::Mem:       return "mem";
+    }
+    return "?";
+}
+
+} // namespace momsim::isa

@@ -1,0 +1,378 @@
+/**
+ * @file
+ * Full opcode enumeration for the three ISA layers the paper models:
+ *
+ *  - a scalar Alpha-flavoured core ISA (loads/stores, integer, control, FP);
+ *  - the MMX-like conventional packed µ-SIMD extension: an approximation of
+ *    the SSE integer opcodes with 67 instructions plus the paper's extras
+ *    (horizontal reductions, a three-source multiply-add);
+ *  - the MOM streaming vector µ-SIMD extension: 121 opcodes, loosely
+ *    MDMX-based, operating on streams of up to 16 MMX-like registers with
+ *    two 192-bit packed accumulators and a renamed stream-length register.
+ *
+ * The per-extension opcode counts (67 and 121) are exactly the counts the
+ * paper states in Section 3 and are pinned by static_asserts below.
+ *
+ * Format suffix conventions (MDMX style):
+ *   .OB = eight packed unsigned bytes in 64 bits
+ *   .QH = four packed signed halfwords in 64 bits
+ *   VS  = vector (op) broadcast-scalar-element variant
+ */
+
+#ifndef MOMSIM_ISA_OPCODES_HH
+#define MOMSIM_ISA_OPCODES_HH
+
+#include <cstdint>
+
+#include "isa/opclass.hh"
+
+namespace momsim::isa
+{
+
+// Columns: name, OpClass, execution latency (cycles), pipelined.
+// For MOM opcodes the latency is the per-element latency; the core adds
+// the ceil(streamLen / laneCount) occupancy on top.
+
+#define MOMSIM_SCALAR_OPS(X)                                                  \
+    /* scalar loads */                                                        \
+    X(LDBU,      Load,   1, true)  /* load byte, zero-extend          */      \
+    X(LDWU,      Load,   1, true)  /* load halfword, zero-extend      */      \
+    X(LDL,       Load,   1, true)  /* load 32-bit word                */      \
+    X(LDQ,       Load,   1, true)  /* load 64-bit quadword            */      \
+    X(FLDS,      Load,   1, true)  /* load FP single                  */      \
+    /* scalar stores */                                                       \
+    X(STB,       Store,  1, true)                                             \
+    X(STW,       Store,  1, true)                                             \
+    X(STL,       Store,  1, true)                                             \
+    X(STQ,       Store,  1, true)                                             \
+    X(FSTS,      Store,  1, true)                                             \
+    /* integer ALU */                                                         \
+    X(LDA,       IntAlu, 1, true)  /* address/immediate materialize   */      \
+    X(ADDL,      IntAlu, 1, true)                                             \
+    X(SUBL,      IntAlu, 1, true)                                             \
+    X(AND,       IntAlu, 1, true)                                             \
+    X(BIC,       IntAlu, 1, true)                                             \
+    X(OR,        IntAlu, 1, true)                                             \
+    X(ORNOT,     IntAlu, 1, true)                                             \
+    X(XOR,       IntAlu, 1, true)                                             \
+    X(SLL,       IntAlu, 1, true)                                             \
+    X(SRL,       IntAlu, 1, true)                                             \
+    X(SRA,       IntAlu, 1, true)                                             \
+    X(CMPEQ,     IntAlu, 1, true)                                             \
+    X(CMPLT,     IntAlu, 1, true)                                             \
+    X(CMPLE,     IntAlu, 1, true)                                             \
+    X(CMPULT,    IntAlu, 1, true)                                             \
+    X(CMOVEQ,    IntAlu, 1, true)                                             \
+    X(CMOVNE,    IntAlu, 1, true)                                             \
+    X(SEXTB,     IntAlu, 1, true)                                             \
+    X(SEXTW,     IntAlu, 1, true)                                             \
+    X(ZAPNOT,    IntAlu, 1, true)  /* byte mask                       */      \
+    /* integer multiply / divide */                                           \
+    X(MULL,      IntMul, 3, true)                                             \
+    X(UMULH,     IntMul, 3, true)                                             \
+    X(DIVL,      IntDiv, 20, false)                                           \
+    /* control */                                                             \
+    X(BEQ,       Branch, 1, true)                                             \
+    X(BNE,       Branch, 1, true)                                             \
+    X(BLT,       Branch, 1, true)                                             \
+    X(BGE,       Branch, 1, true)                                             \
+    X(BLE,       Branch, 1, true)                                             \
+    X(BGT,       Branch, 1, true)                                             \
+    X(BR,        Jump,   1, true)                                             \
+    X(JMP,       Jump,   1, true)                                             \
+    X(JSR,       Jump,   1, true)                                             \
+    X(RET,       Jump,   1, true)                                             \
+    /* floating point */                                                      \
+    X(FADD,      FpAlu,  4, true)                                             \
+    X(FSUB,      FpAlu,  4, true)                                             \
+    X(FMUL,      FpMul,  4, true)                                             \
+    X(FDIV,      FpDiv,  16, false)                                           \
+    X(FSQRT,     FpDiv,  20, false)                                           \
+    X(FCMP,      FpAlu,  4, true)                                             \
+    X(FCVTIF,    FpAlu,  4, true)                                             \
+    X(FCVTFI,    FpAlu,  4, true)                                             \
+    X(FABS,      FpAlu,  1, true)                                             \
+    X(FNEG,      FpAlu,  1, true)                                             \
+    /* misc */                                                                \
+    X(NOP,       Nop,    1, true)
+
+#define MOMSIM_MMX_OPS(X)                                                     \
+    /* packed add/subtract: wrapping, signed-sat, unsigned-sat (14) */        \
+    X(PADDB,     MmxAlu, 1, true)                                             \
+    X(PADDW,     MmxAlu, 1, true)                                             \
+    X(PADDD,     MmxAlu, 1, true)                                             \
+    X(PADDSB,    MmxAlu, 1, true)                                             \
+    X(PADDSW,    MmxAlu, 1, true)                                             \
+    X(PADDUSB,   MmxAlu, 1, true)                                             \
+    X(PADDUSW,   MmxAlu, 1, true)                                             \
+    X(PSUBB,     MmxAlu, 1, true)                                             \
+    X(PSUBW,     MmxAlu, 1, true)                                             \
+    X(PSUBD,     MmxAlu, 1, true)                                             \
+    X(PSUBSB,    MmxAlu, 1, true)                                             \
+    X(PSUBSW,    MmxAlu, 1, true)                                             \
+    X(PSUBUSB,   MmxAlu, 1, true)                                             \
+    X(PSUBUSW,   MmxAlu, 1, true)                                             \
+    /* packed multiply family (4) */                                          \
+    X(PMULLW,    MmxMul, 3, true)                                             \
+    X(PMULHW,    MmxMul, 3, true)                                             \
+    X(PMULHUW,   MmxMul, 3, true)                                             \
+    X(PMADDWD,   MmxMul, 3, true)                                             \
+    /* SSE-int extras: average, min/max, sum of absolute differences (7) */   \
+    X(PAVGB,     MmxAlu, 1, true)                                             \
+    X(PAVGW,     MmxAlu, 1, true)                                             \
+    X(PMAXUB,    MmxAlu, 1, true)                                             \
+    X(PMAXSW,    MmxAlu, 1, true)                                             \
+    X(PMINUB,    MmxAlu, 1, true)                                             \
+    X(PMINSW,    MmxAlu, 1, true)                                             \
+    X(PSADBW,    MmxMul, 3, true)                                             \
+    /* packed compares (6) */                                                 \
+    X(PCMPEQB,   MmxAlu, 1, true)                                             \
+    X(PCMPEQW,   MmxAlu, 1, true)                                             \
+    X(PCMPEQD,   MmxAlu, 1, true)                                             \
+    X(PCMPGTB,   MmxAlu, 1, true)                                             \
+    X(PCMPGTW,   MmxAlu, 1, true)                                             \
+    X(PCMPGTD,   MmxAlu, 1, true)                                             \
+    /* logical (4) */                                                         \
+    X(PAND,      MmxAlu, 1, true)                                             \
+    X(PANDN,     MmxAlu, 1, true)                                             \
+    X(POR,       MmxAlu, 1, true)                                             \
+    X(PXOR,      MmxAlu, 1, true)                                             \
+    /* shifts (8) */                                                          \
+    X(PSLLW,     MmxAlu, 1, true)                                             \
+    X(PSLLD,     MmxAlu, 1, true)                                             \
+    X(PSLLQ,     MmxAlu, 1, true)                                             \
+    X(PSRLW,     MmxAlu, 1, true)                                             \
+    X(PSRLD,     MmxAlu, 1, true)                                             \
+    X(PSRLQ,     MmxAlu, 1, true)                                             \
+    X(PSRAW,     MmxAlu, 1, true)                                             \
+    X(PSRAD,     MmxAlu, 1, true)                                             \
+    /* pack / unpack (9) */                                                   \
+    X(PACKSSWB,  MmxAlu, 1, true)                                             \
+    X(PACKSSDW,  MmxAlu, 1, true)                                             \
+    X(PACKUSWB,  MmxAlu, 1, true)                                             \
+    X(PUNPCKLBW, MmxAlu, 1, true)                                             \
+    X(PUNPCKLWD, MmxAlu, 1, true)                                             \
+    X(PUNPCKLDQ, MmxAlu, 1, true)                                             \
+    X(PUNPCKHBW, MmxAlu, 1, true)                                             \
+    X(PUNPCKHWD, MmxAlu, 1, true)                                             \
+    X(PUNPCKHDQ, MmxAlu, 1, true)                                             \
+    /* shuffle / insert / extract / mask-move (4) */                          \
+    X(PSHUFW,    MmxAlu, 1, true)                                             \
+    X(PINSRW,    MmxAlu, 1, true)                                             \
+    X(PEXTRW,    MmxAlu, 1, true)                                             \
+    X(PMOVMSKB,  MmxAlu, 1, true)                                             \
+    /* moves between files and memory (6) */                                  \
+    X(MOVDTM,    MmxAlu, 1, true)  /* int reg -> mmx low 32          */       \
+    X(MOVDFM,    MmxAlu, 1, true)  /* mmx low 32 -> int reg          */       \
+    X(MOVQRR,    MmxAlu, 1, true)                                             \
+    X(MOVQLD,    MmxLoad, 1, true)                                            \
+    X(MOVQST,    MmxStore, 1, true)                                           \
+    X(MOVNTQ,    MmxStore, 1, true) /* non-temporal store            */       \
+    /* paper extras: horizontal reductions + 3-source madd (5) */             \
+    X(PHSUMBW,   MmxMul, 3, true)  /* reduce-add 8 bytes -> word     */       \
+    X(PHSUMWD,   MmxMul, 3, true)  /* reduce-add 4 words -> dword    */       \
+    X(PHMAXW,    MmxAlu, 2, true)  /* horizontal max of words        */       \
+    X(PHMINW,    MmxAlu, 2, true)  /* horizontal min of words        */       \
+    X(PMADD3WD,  MmxMul, 3, true)  /* three-source multiply-add      */
+
+#define MOMSIM_MOM_OPS(X)                                                     \
+    /* dual-format streaming ALU (24) */                                      \
+    X(MADD_OB,   MomAlu, 1, true)                                             \
+    X(MADD_QH,   MomAlu, 1, true)                                             \
+    X(MADDS_OB,  MomAlu, 1, true)                                             \
+    X(MADDS_QH,  MomAlu, 1, true)                                             \
+    X(MADDUS_OB, MomAlu, 1, true)                                             \
+    X(MADDUS_QH, MomAlu, 1, true)                                             \
+    X(MSUB_OB,   MomAlu, 1, true)                                             \
+    X(MSUB_QH,   MomAlu, 1, true)                                             \
+    X(MSUBS_OB,  MomAlu, 1, true)                                             \
+    X(MSUBS_QH,  MomAlu, 1, true)                                             \
+    X(MSUBUS_OB, MomAlu, 1, true)                                             \
+    X(MSUBUS_QH, MomAlu, 1, true)                                             \
+    X(MMIN_OB,   MomAlu, 1, true)                                             \
+    X(MMIN_QH,   MomAlu, 1, true)                                             \
+    X(MMAX_OB,   MomAlu, 1, true)                                             \
+    X(MMAX_QH,   MomAlu, 1, true)                                             \
+    X(MAVG_OB,   MomAlu, 1, true)                                             \
+    X(MAVG_QH,   MomAlu, 1, true)                                             \
+    X(MCMPEQ_OB, MomAlu, 1, true)                                             \
+    X(MCMPEQ_QH, MomAlu, 1, true)                                             \
+    X(MCMPGT_OB, MomAlu, 1, true)                                             \
+    X(MCMPGT_QH, MomAlu, 1, true)                                             \
+    X(MABSD_OB,  MomAlu, 1, true)  /* |a-b| per element              */       \
+    X(MABSD_QH,  MomAlu, 1, true)                                             \
+    /* streaming multiplies (4) */                                            \
+    X(MMULL_QH,  MomMul, 3, true)                                             \
+    X(MMULH_QH,  MomMul, 3, true)                                             \
+    X(MMULHU_QH, MomMul, 3, true)                                             \
+    X(MMADD_QH,  MomMul, 3, true)  /* pmaddwd per element            */       \
+    /* streaming logical (4) */                                               \
+    X(MAND,      MomAlu, 1, true)                                             \
+    X(MANDN,     MomAlu, 1, true)                                             \
+    X(MOR,       MomAlu, 1, true)                                             \
+    X(MXOR,      MomAlu, 1, true)                                             \
+    /* streaming shifts (7) */                                                \
+    X(MSLL_QH,   MomAlu, 1, true)                                             \
+    X(MSRL_QH,   MomAlu, 1, true)                                             \
+    X(MSRA_QH,   MomAlu, 1, true)                                             \
+    X(MSLL_OB,   MomAlu, 1, true)                                             \
+    X(MSRL_OB,   MomAlu, 1, true)                                             \
+    X(MSLLQ,     MomAlu, 1, true)                                             \
+    X(MSRLQ,     MomAlu, 1, true)                                             \
+    /* streaming pack / unpack (9) */                                         \
+    X(MPACKSS_WB, MomAlu, 1, true)                                            \
+    X(MPACKSS_DW, MomAlu, 1, true)                                            \
+    X(MPACKUS_WB, MomAlu, 1, true)                                            \
+    X(MUNPCKL_BW, MomAlu, 1, true)                                            \
+    X(MUNPCKL_WD, MomAlu, 1, true)                                            \
+    X(MUNPCKL_DQ, MomAlu, 1, true)                                            \
+    X(MUNPCKH_BW, MomAlu, 1, true)                                            \
+    X(MUNPCKH_WD, MomAlu, 1, true)                                            \
+    X(MUNPCKH_DQ, MomAlu, 1, true)                                            \
+    /* vector (op) broadcast-scalar-element forms (12) */                     \
+    X(MADDVS_OB, MomAlu, 1, true)                                             \
+    X(MADDVS_QH, MomAlu, 1, true)                                             \
+    X(MSUBVS_QH, MomAlu, 1, true)                                             \
+    X(MMULLVS_QH, MomMul, 3, true)                                            \
+    X(MMULHVS_QH, MomMul, 3, true)                                            \
+    X(MMINVS_QH, MomAlu, 1, true)                                             \
+    X(MMAXVS_QH, MomAlu, 1, true)                                             \
+    X(MSLLVS_QH, MomAlu, 1, true)                                             \
+    X(MSRAVS_QH, MomAlu, 1, true)                                             \
+    X(MANDVS,    MomAlu, 1, true)                                             \
+    X(MORVS,     MomAlu, 1, true)                                             \
+    X(MXORVS,    MomAlu, 1, true)                                             \
+    /* 192-bit packed-accumulator family (20) */                              \
+    X(ACCADD_OB, MomAcc, 1, true)  /* acc += elements (widened)      */       \
+    X(ACCADD_QH, MomAcc, 1, true)                                             \
+    X(ACCSUB_OB, MomAcc, 1, true)                                             \
+    X(ACCSUB_QH, MomAcc, 1, true)                                             \
+    X(ACCMAC_QH, MomAcc, 3, true)  /* acc += a*b per halfword        */       \
+    X(ACCMACU_OB, MomAcc, 3, true)                                            \
+    X(ACCMACVS_QH, MomAcc, 3, true)                                           \
+    X(ACCSAD_OB, MomAcc, 3, true)  /* acc += |a-b| summed            */       \
+    X(ACCSQR_QH, MomAcc, 3, true)  /* acc += a*a                     */       \
+    X(ACCABSD_OB, MomAcc, 1, true)                                            \
+    X(RACC_OB,   MomAcc, 2, true)  /* read accumulator, truncate     */       \
+    X(RACC_QH,   MomAcc, 2, true)                                             \
+    X(RACCR_QH,  MomAcc, 2, true)  /* read with rounding             */       \
+    X(RACCS_QH,  MomAcc, 2, true)  /* read with saturation           */       \
+    X(RACCSR_QH, MomAcc, 2, true)                                             \
+    X(RACC_DW,   MomAcc, 2, true)  /* read full 64-bit lanes         */       \
+    X(ACCMAX_QH, MomAcc, 1, true)                                             \
+    X(ACCMIN_QH, MomAcc, 1, true)                                             \
+    X(CLRACC,    MomAcc, 1, true)                                             \
+    X(MOVACC,    MomAcc, 1, true)                                             \
+    /* streaming memory (11) */                                               \
+    X(MLDQ,      MomLoad, 1, true)  /* unit-stride stream load        */      \
+    X(MLDQS,     MomLoad, 1, true)  /* strided stream load            */      \
+    X(MLDQNT,    MomLoad, 1, true)  /* non-temporal stream load       */      \
+    X(MSTQ,      MomStore, 1, true)                                           \
+    X(MSTQS,     MomStore, 1, true)                                           \
+    X(MSTQNT,    MomStore, 1, true)                                           \
+    X(MLDBC,     MomLoad, 1, true)  /* load one qword, broadcast      */      \
+    X(MLDUB2QH,  MomLoad, 1, true)  /* load bytes, widen to halfwords */      \
+    X(MLDUB2QHS, MomLoad, 1, true)                                            \
+    X(MSTQH2UB,  MomStore, 1, true) /* store halfwords, sat to bytes  */      \
+    X(MSTQH2UBS, MomStore, 1, true)                                           \
+    /* stream control (6) */                                                  \
+    X(MSETLEN,   MomCtl, 1, true)  /* int reg -> stream-length reg   */       \
+    X(MRDLEN,    MomCtl, 1, true)                                             \
+    X(MMOVQ,     MomCtl, 1, true)  /* stream register move           */       \
+    X(MEXTR,     MomCtl, 1, true)  /* stream element -> mmx/int      */       \
+    X(MINSR,     MomCtl, 1, true)                                             \
+    X(MZERO,     MomCtl, 1, true)                                             \
+    /* extended ops (24) */                                                   \
+    X(MPACKRS_WB, MomAlu, 1, true) /* pack with rounding             */       \
+    X(MPACKRS_DW, MomAlu, 1, true)                                            \
+    X(MAVGR_OB,  MomAlu, 1, true)                                             \
+    X(MAVGR_QH,  MomAlu, 1, true)                                             \
+    X(MCMPGE_OB, MomAlu, 1, true)                                             \
+    X(MCMPGE_QH, MomAlu, 1, true)                                             \
+    X(MCMPLT_OB, MomAlu, 1, true)                                             \
+    X(MCMPLT_QH, MomAlu, 1, true)                                             \
+    X(MCMOV_OB,  MomAlu, 1, true)  /* mask select                    */       \
+    X(MCMOV_QH,  MomAlu, 1, true)                                             \
+    X(MABS_QH,   MomAlu, 1, true)                                             \
+    X(MNEG_QH,   MomAlu, 1, true)                                             \
+    X(MSCALEVS_QH, MomMul, 3, true) /* Q15 round-mult by scalar       */      \
+    X(MMULR_QH,  MomMul, 3, true)  /* Q15 round-mult vector          */       \
+    X(MPAIRADD_OB, MomAlu, 1, true)                                           \
+    X(MPAIRADD_QH, MomAlu, 1, true)                                           \
+    X(MSAD_OB,   MomMul, 3, true)  /* per-register psadbw            */       \
+    X(MSHUF_QH,  MomAlu, 1, true)                                             \
+    X(MLDL_M,    MomLoad, 1, true) /* 32-bit load into low half      */       \
+    X(MCLAMP_QH, MomAlu, 1, true)                                             \
+    X(MNOP,      MomCtl, 1, true)                                             \
+    X(MSRAR_QH,  MomAlu, 1, true)  /* arith shift right w/ rounding  */       \
+    X(MBITSEL,   MomAlu, 1, true)  /* three-source bitwise select    */       \
+    X(MSWAPHL,   MomAlu, 1, true)
+
+/** Every opcode across the three ISA layers. */
+enum class Op : uint16_t
+{
+#define X(name, cls, lat, pipe) name,
+    MOMSIM_SCALAR_OPS(X)
+    MOMSIM_MMX_OPS(X)
+    MOMSIM_MOM_OPS(X)
+#undef X
+    NumOps
+};
+
+constexpr uint16_t kNumOps = static_cast<uint16_t>(Op::NumOps);
+
+constexpr uint16_t kFirstMmxOp = static_cast<uint16_t>(Op::PADDB);
+constexpr uint16_t kLastMmxOp = static_cast<uint16_t>(Op::PMADD3WD);
+constexpr uint16_t kFirstMomOp = static_cast<uint16_t>(Op::MADD_OB);
+constexpr uint16_t kLastMomOp = static_cast<uint16_t>(Op::MSWAPHL);
+
+constexpr int kNumScalarOps = kFirstMmxOp;
+constexpr int kNumMmxOps = kLastMmxOp - kFirstMmxOp + 1;
+constexpr int kNumMomOps = kLastMomOp - kFirstMomOp + 1;
+
+// The paper, Section 3: "an approximation of SSE integer opcodes with 67
+// instructions" and "MOM has 121 different opcodes".
+static_assert(kNumMmxOps == 67, "MMX extension must have 67 opcodes");
+static_assert(kNumMomOps == 121, "MOM extension must have 121 opcodes");
+
+/** Static properties of an opcode. */
+struct OpInfo
+{
+    const char *name;   ///< mnemonic
+    OpClass cls;        ///< functional class
+    uint8_t latency;    ///< execution latency (per element for MOM)
+    bool pipelined;     ///< false => FU is busy for the whole latency
+};
+
+/** Look up the static properties of @p op. */
+const OpInfo &opInfo(Op op);
+
+inline OpClass
+opClass(Op op)
+{
+    return opInfo(op).cls;
+}
+
+inline const char *
+opName(Op op)
+{
+    return opInfo(op).name;
+}
+
+inline bool
+isMmxOp(Op op)
+{
+    uint16_t v = static_cast<uint16_t>(op);
+    return v >= kFirstMmxOp && v <= kLastMmxOp;
+}
+
+inline bool
+isMomOp(Op op)
+{
+    uint16_t v = static_cast<uint16_t>(op);
+    return v >= kFirstMomOp && v <= kLastMomOp;
+}
+
+} // namespace momsim::isa
+
+#endif // MOMSIM_ISA_OPCODES_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Logical register references.
+ *
+ * A RegRef packs a register class and index into one byte:
+ *   bits 7..6  class (int / fp / mmx / mom-stream)
+ *   bits 5..0  index within the class
+ *
+ * Register-file shapes per the paper:
+ *   - 32 logical integer registers; index 30 is the MOM stream-length (SL)
+ *     register, which is architecturally an integer register and is renamed
+ *     through the integer pool; index 31 is the hardwired zero register.
+ *   - 32 logical FP registers.
+ *   - 32 logical MMX registers ("as opposed to 8" in real SSE).
+ *   - 16 logical MOM stream registers (each up to 16 MMX-like registers),
+ *     plus 2 logical 192-bit packed accumulators at indices 16 and 17.
+ */
+
+#ifndef MOMSIM_ISA_REGS_HH
+#define MOMSIM_ISA_REGS_HH
+
+#include <cstdint>
+
+namespace momsim::isa
+{
+
+using RegRef = uint8_t;
+
+/** Register class encoded in a RegRef's top bits. */
+enum class RegClass : uint8_t
+{
+    Int = 0,
+    Fp = 1,
+    Mmx = 2,
+    Mom = 3,
+};
+
+constexpr RegRef kNoReg = 0xFF;
+
+constexpr int kNumLogicalInt = 32;
+constexpr int kNumLogicalFp = 32;
+constexpr int kNumLogicalMmx = 32;
+constexpr int kNumLogicalMomStream = 16;
+constexpr int kNumLogicalMomAcc = 2;
+
+/** Integer index of the stream-length register. */
+constexpr int kSlRegIndex = 30;
+/** Integer index of the hardwired zero register. */
+constexpr int kZeroRegIndex = 31;
+
+constexpr RegRef
+makeReg(RegClass cls, int index)
+{
+    return static_cast<RegRef>((static_cast<int>(cls) << 6) | (index & 0x3F));
+}
+
+constexpr RegRef intReg(int i) { return makeReg(RegClass::Int, i); }
+constexpr RegRef fpReg(int i) { return makeReg(RegClass::Fp, i); }
+constexpr RegRef mmxReg(int i) { return makeReg(RegClass::Mmx, i); }
+constexpr RegRef momReg(int i) { return makeReg(RegClass::Mom, i); }
+
+/** The two packed accumulators live in the MOM class above the streams. */
+constexpr RegRef accReg(int i) { return makeReg(RegClass::Mom, 16 + i); }
+
+/** The renamed-through-int-pool stream length register. */
+constexpr RegRef slReg() { return intReg(kSlRegIndex); }
+
+constexpr RegClass
+regClass(RegRef r)
+{
+    return static_cast<RegClass>((r >> 6) & 0x3);
+}
+
+constexpr int
+regIndex(RegRef r)
+{
+    return r & 0x3F;
+}
+
+constexpr bool
+isValidReg(RegRef r)
+{
+    return r != kNoReg;
+}
+
+const char *toString(RegClass c);
+
+} // namespace momsim::isa
+
+#endif // MOMSIM_ISA_REGS_HH

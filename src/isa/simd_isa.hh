@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Selector for which µ-SIMD extension a program / processor uses.
+ */
+
+#ifndef MOMSIM_ISA_SIMD_ISA_HH
+#define MOMSIM_ISA_SIMD_ISA_HH
+
+namespace momsim::isa
+{
+
+/** The two µ-SIMD extensions the paper compares on the same SMT core. */
+enum class SimdIsa
+{
+    Mmx,    ///< conventional packed 64-bit extension (SSE-int-like)
+    Mom,    ///< streaming vector µ-SIMD extension (the authors' MOM)
+};
+
+inline const char *
+toString(SimdIsa isa)
+{
+    return isa == SimdIsa::Mmx ? "MMX" : "MOM";
+}
+
+} // namespace momsim::isa
+
+#endif // MOMSIM_ISA_SIMD_ISA_HH

@@ -1,0 +1,399 @@
+#include "mem/cache.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace momsim::mem
+{
+
+namespace
+{
+
+bool
+isPow2(uint32_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+uint32_t
+log2u(uint32_t v)
+{
+    uint32_t n = 0;
+    while ((1u << n) < v)
+        ++n;
+    return n;
+}
+
+} // namespace
+
+Cache::Cache(const CacheConfig &cfg)
+    : _cfg(cfg),
+      _lineMask(cfg.lineBytes - 1),
+      _numSets(cfg.sizeBytes / (cfg.lineBytes * cfg.ways)),
+      _lines(static_cast<size_t>(_numSets) * cfg.ways),
+      _mshrs(cfg.numMshrs),
+      _wb(cfg.writeBufferEntries),
+      _banks(cfg.banks),
+      _stats(cfg.name)
+{
+    MOMSIM_ASSERT(isPow2(cfg.lineBytes), "line size must be a power of two");
+    MOMSIM_ASSERT(isPow2(_numSets), "set count must be a power of two");
+    MOMSIM_ASSERT(cfg.banks >= 1, "cache needs at least one bank");
+}
+
+uint32_t
+Cache::setIndex(uint64_t addr) const
+{
+    return static_cast<uint32_t>(
+        (addr >> log2u(_cfg.lineBytes)) & (_numSets - 1));
+}
+
+Cache::Line *
+Cache::findLine(uint64_t addr)
+{
+    uint64_t tag = lineAddr(addr);
+    Line *set = &_lines[static_cast<size_t>(setIndex(addr)) * _cfg.ways];
+    for (uint32_t w = 0; w < _cfg.ways; ++w) {
+        if (set[w].valid && set[w].tag == tag)
+            return &set[w];
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(uint64_t addr) const
+{
+    return const_cast<Cache *>(this)->findLine(addr);
+}
+
+Cache::Line &
+Cache::victimLine(uint64_t addr)
+{
+    Line *set = &_lines[static_cast<size_t>(setIndex(addr)) * _cfg.ways];
+    Line *victim = &set[0];
+    for (uint32_t w = 0; w < _cfg.ways; ++w) {
+        if (!set[w].valid)
+            return set[w];
+        if (set[w].lastUse < victim->lastUse)
+            victim = &set[w];
+    }
+    return *victim;
+}
+
+Cache::Mshr *
+Cache::findMshr(uint64_t line)
+{
+    for (auto &m : _mshrs) {
+        if (m.valid && m.lineAddr == line)
+            return &m;
+    }
+    return nullptr;
+}
+
+Cache::Mshr *
+Cache::freeMshr(uint64_t cycle)
+{
+    for (auto &m : _mshrs) {
+        // Lazily retire completed misses.
+        if (m.valid && m.filled && m.readyCycle <= cycle)
+            m.valid = false;
+        if (!m.valid)
+            return &m;
+    }
+    return nullptr;
+}
+
+bool
+Cache::takePort(uint64_t cycle)
+{
+    if (_portCycle != cycle) {
+        _portCycle = cycle;
+        _portsUsed = 0;
+    }
+    if (_portsUsed >= _cfg.portsPerCycle)
+        return false;
+    ++_portsUsed;
+    return true;
+}
+
+bool
+Cache::bankAvailable(uint32_t bank, uint64_t cycle) const
+{
+    const Bank &b = _banks[bank];
+    if (b.busyUntil > cycle)
+        return false;
+    if (b.curCycle == cycle && b.used >= _cfg.bankPumps)
+        return false;
+    return true;
+}
+
+void
+Cache::useBank(uint32_t bank, uint64_t cycle, uint32_t occupancy)
+{
+    Bank &b = _banks[bank];
+    if (b.curCycle != cycle) {
+        b.curCycle = cycle;
+        b.used = 0;
+    }
+    ++b.used;
+    if (occupancy > 1)
+        b.busyUntil = cycle + occupancy;
+}
+
+CacheResult
+Cache::lookup(uint64_t cycle, uint64_t addr, bool isWrite)
+{
+    CacheResult res;
+    uint64_t line = lineAddr(addr);
+    Line *hit = findLine(addr);
+
+    // Write-through stores complete into the write buffer whether the
+    // line is present or not; they are not architectural misses and are
+    // kept out of the (load) hit-rate statistics, as the paper's L1
+    // numbers are.
+    bool wtStore = isWrite && !_cfg.writeBack;
+
+    if (hit) {
+        hit->lastUse = ++_useTick;
+        if (isWrite && _cfg.writeBack)
+            hit->dirty = true;
+        res.accepted = true;
+        res.hit = true;
+        res.readyCycle = cycle + _cfg.hitLatency;
+        // The line may have been installed eagerly by an in-flight miss;
+        // a "delayed hit" must wait for that fill to land.
+        if (Mshr *pending = findMshr(line)) {
+            if (pending->readyCycle > res.readyCycle) {
+                res.readyCycle = pending->readyCycle;
+                _stats.counter("delayedHits") += 1;
+            }
+        }
+        if (wtStore) {
+            _stats.counter("storeAccesses") += 1;
+        } else {
+            _stats.counter("accesses") += 1;
+            _stats.counter("hits") += 1;
+            _stats.counter("latencySum") += res.readyCycle - cycle;
+        }
+        return res;
+    }
+
+    // Write-through caches do not allocate on store misses; the store
+    // proceeds to the write buffer (handled by the hierarchy glue).
+    if (wtStore) {
+        res.accepted = true;
+        res.hit = false;
+        res.readyCycle = cycle + _cfg.hitLatency;
+        _stats.counter("storeAccesses") += 1;
+        return res;
+    }
+
+    // Coalesce with an outstanding miss to the same line. A completed
+    // MSHR whose line has since been evicted must NOT satisfy new
+    // accesses (it carries no data any more): retire it and fall
+    // through to a fresh allocation.
+    if (Mshr *m = findMshr(line)) {
+        if (!m->filled || m->readyCycle > cycle) {
+            res.accepted = true;
+            res.hit = false;
+            res.readyCycle = std::max(m->readyCycle,
+                                      cycle + _cfg.hitLatency);
+            _stats.counter("accesses") += 1;
+            _stats.counter("misses") += 1;
+            _stats.counter("mshrCoalesced") += 1;
+            _stats.counter("latencySum") += res.readyCycle - cycle;
+            return res;
+        }
+        m->valid = false;
+    }
+
+    Mshr *m = freeMshr(cycle);
+    if (!m) {
+        _stats.counter("mshrFull") += 1;
+        return res;     // structural stall; retry
+    }
+
+    // Allocate eagerly; readyCycle carries the latency.
+    Line &victim = victimLine(addr);
+    if (victim.valid && victim.dirty) {
+        res.dirtyEviction = true;
+        res.victimAddr = victim.tag;
+    }
+    victim.valid = true;
+    victim.dirty = isWrite && _cfg.writeBack;
+    victim.tag = line;
+    victim.lastUse = ++_useTick;
+
+    m->valid = true;
+    m->filled = false;
+    m->lineAddr = line;
+    m->readyCycle = 0;
+
+    res.accepted = true;
+    res.hit = false;
+    res.needsFill = true;
+    res.missAddr = line;
+    res.readyCycle = 0;         // caller sets it after scheduling the fill
+    _stats.counter("accesses") += 1;
+    _stats.counter("misses") += 1;
+    return res;
+}
+
+CacheResult
+Cache::access(uint64_t cycle, uint64_t addr, bool isWrite)
+{
+    if (!takePort(cycle)) {
+        _stats.counter("portConflicts") += 1;
+        return {};
+    }
+
+    uint32_t bank = static_cast<uint32_t>(
+        (addr >> _cfg.bankShift) % _cfg.banks);
+    if (!bankAvailable(bank, cycle)) {
+        _stats.counter("bankConflicts") += 1;
+        return {};
+    }
+
+    CacheResult res = lookup(cycle, addr, isWrite);
+    if (res.accepted)
+        useBank(bank, cycle, 1);
+    return res;
+}
+
+CacheResult
+Cache::accessBlocking(uint64_t cycle, uint64_t addr, bool isWrite,
+                      uint32_t bytes)
+{
+    uint32_t bank = static_cast<uint32_t>(
+        (addr >> _cfg.bankShift) % _cfg.banks);
+
+    uint64_t start = cycle;
+    const Bank &b = _banks[bank];
+    start = std::max(start, b.busyUntil);
+    if (b.curCycle == start && b.used >= _cfg.bankPumps)
+        ++start;
+
+    // If every MSHR is pending, wait for the earliest one to retire.
+    if (!findLine(addr) && !(isWrite && !_cfg.writeBack) &&
+        !findMshr(lineAddr(addr))) {
+        if (!freeMshr(start)) {
+            uint64_t earliest = ~0ull;
+            for (const auto &m : _mshrs) {
+                if (m.valid && m.filled)
+                    earliest = std::min(earliest, m.readyCycle);
+            }
+            if (earliest != ~0ull)
+                start = std::max(start, earliest);
+            _stats.counter("mshrWait") += 1;
+        }
+    }
+
+    CacheResult res = lookup(start, addr, isWrite);
+    MOMSIM_ASSERT(res.accepted, "blocking access could not be admitted");
+    uint32_t occ = std::max(1u, bytes / _cfg.fillBytesPerCycle);
+    useBank(bank, start, occ);
+    // Express the queueing delay in the result.
+    if (res.readyCycle != 0 && start > cycle)
+        _stats.counter("queueCycles") += start - cycle;
+    return res;
+}
+
+void
+Cache::fillDone(uint64_t line, uint64_t readyCycle)
+{
+    Mshr *m = findMshr(line);
+    MOMSIM_ASSERT(m != nullptr, "fill for unknown miss");
+    m->readyCycle = readyCycle;
+    m->filled = true;
+}
+
+bool
+Cache::probe(uint64_t addr) const
+{
+    return findLine(addr) != nullptr;
+}
+
+bool
+Cache::invalidate(uint64_t addr)
+{
+    if (Line *l = findLine(addr)) {
+        l->valid = false;
+        l->dirty = false;
+        return true;
+    }
+    return false;
+}
+
+bool
+Cache::wbProbe(uint64_t cycle, uint64_t addr) const
+{
+    uint64_t line = lineAddr(addr);
+    for (const auto &e : _wb) {
+        if (e.valid && e.freeCycle > cycle && e.lineAddr == line)
+            return true;    // coalesces
+    }
+    for (const auto &e : _wb) {
+        if (!e.valid || e.freeCycle <= cycle)
+            return true;    // a slot is available
+    }
+    return false;
+}
+
+void
+Cache::wbInsert(uint64_t cycle, uint64_t addr, uint64_t drainDone,
+                bool *coalesced)
+{
+    uint64_t line = lineAddr(addr);
+    for (auto &e : _wb) {
+        if (e.valid && e.freeCycle > cycle && e.lineAddr == line) {
+            // Coalesced into a resident entry: no new drain traffic.
+            if (coalesced)
+                *coalesced = true;
+            _stats.counter("wbCoalesced") += 1;
+            return;
+        }
+    }
+    for (auto &e : _wb) {
+        if (!e.valid || e.freeCycle <= cycle) {
+            e.valid = true;
+            e.lineAddr = line;
+            e.freeCycle = drainDone;
+            if (coalesced)
+                *coalesced = false;
+            _stats.counter("wbInserts") += 1;
+            return;
+        }
+    }
+    panic("wbInsert without prior wbProbe success");
+}
+
+bool
+Cache::wbHit(uint64_t cycle, uint64_t addr) const
+{
+    uint64_t line = lineAddr(addr);
+    for (const auto &e : _wb) {
+        if (e.valid && e.freeCycle > cycle && e.lineAddr == line)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::reset()
+{
+    for (auto &l : _lines)
+        l = Line{};
+    for (auto &m : _mshrs)
+        m = Mshr{};
+    for (auto &e : _wb)
+        e = WbEntry{};
+    for (auto &b : _banks)
+        b = Bank{};
+    _portCycle = ~0ull;
+    _portsUsed = 0;
+    _useTick = 0;
+    _stats.clear();
+}
+
+} // namespace momsim::mem

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Generic set-associative cache timing model with banked access, MSHRs
+ * and (optionally) a coalescing write buffer — the building block for the
+ * paper's L1 data cache, instruction cache and unified L2.
+ *
+ * This is a timestamp-resource model: structures do not queue requests,
+ * they either accept an access (returning its completion cycle) or reject
+ * it (structural hazard — bank busy, MSHRs full, write buffer full), in
+ * which case the core retries on a later cycle, exactly as a stalled
+ * load/store unit would.
+ */
+
+#ifndef MOMSIM_MEM_CACHE_HH
+#define MOMSIM_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace momsim::mem
+{
+
+struct CacheConfig
+{
+    std::string name = "cache";
+    uint32_t sizeBytes = 32 * 1024;
+    uint32_t lineBytes = 32;
+    uint32_t ways = 1;
+    uint32_t banks = 8;
+    uint32_t bankShift = 3;         ///< bank = (addr >> shift) % banks
+    uint32_t hitLatency = 1;
+    uint32_t numMshrs = 8;
+    uint32_t writeBufferEntries = 8;
+    bool writeBack = false;         ///< false => write-through, no allocate
+    uint32_t portsPerCycle = 4;     ///< accesses accepted per cycle
+    uint32_t bankPumps = 1;         ///< accesses per bank per cycle
+                                    ///  (2 models a double-pumped array)
+    uint32_t fillBytesPerCycle = 16; ///< bank occupancy for line transfers
+};
+
+/** Outcome of a cache access attempt. */
+struct CacheResult
+{
+    bool accepted = false;      ///< false => structural hazard, retry
+    bool hit = false;
+    bool dirtyEviction = false; ///< write-back caches only
+    uint64_t victimAddr = 0;    ///< line address of the dirty victim
+    uint64_t readyCycle = 0;
+    uint64_t missAddr = 0;      ///< line address to fetch from next level
+    bool needsFill = false;     ///< true => caller must schedule the fill
+};
+
+/**
+ * Tag array + timing resources. The cache does not itself talk to the
+ * next level: on a miss it reports needsFill and the hierarchy glue
+ * schedules the lower-level access and calls fillDone() with the
+ * completion time. This keeps L1/L2/DRAM composition explicit.
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &cfg);
+
+    /**
+     * Try to perform an access.
+     * @param cycle   current cycle
+     * @param addr    byte address
+     * @param isWrite store or write-back traffic
+     * @return see CacheResult; if needsFill, the caller must complete the
+     *         miss with fillDone(missAddr, readyCycle).
+     */
+    CacheResult access(uint64_t cycle, uint64_t addr, bool isWrite);
+
+    /**
+     * Internal-traffic variant (fills and drains from an upper level):
+     * never rejects; instead waits for the bank / an MSHR, modelling the
+     * queue in front of the array. @p bytes sets the bank occupancy of
+     * the transfer.
+     */
+    CacheResult accessBlocking(uint64_t cycle, uint64_t addr, bool isWrite,
+                               uint32_t bytes);
+
+    /** Complete an outstanding miss: install the line, free the MSHR. */
+    void fillDone(uint64_t lineAddr, uint64_t readyCycle);
+
+    /** True if the line is present (used by coherence glue). */
+    bool probe(uint64_t addr) const;
+
+    /** Invalidate a line if present; returns true if it was. */
+    bool invalidate(uint64_t addr);
+
+    /**
+     * Write-buffer admission for write-through caches. Coalesces on line
+     * address. Returns false when the buffer is full (caller stalls).
+     * @param drainDone completion time of the drain to the next level,
+     *        supplied by the hierarchy glue via a callback-free contract:
+     *        callers first ask wbProbe() and then commit with wbInsert().
+     */
+    bool wbProbe(uint64_t cycle, uint64_t addr) const;
+    void wbInsert(uint64_t cycle, uint64_t addr, uint64_t drainDone,
+                  bool *coalesced = nullptr);
+    /** True if a pending write-buffer entry covers this line. */
+    bool wbHit(uint64_t cycle, uint64_t addr) const;
+
+    StatGroup &stats() { return _stats; }
+    const CacheConfig &config() const { return _cfg; }
+
+    double hitRate() const { return _stats.ratio("hits", "accesses"); }
+
+    double
+    avgLatency() const
+    {
+        return _stats.ratio("latencySum", "accesses");
+    }
+
+    void reset();
+
+  private:
+    struct Line
+    {
+        uint64_t tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        uint64_t lastUse = 0;
+    };
+
+    struct Mshr
+    {
+        uint64_t lineAddr = 0;
+        uint64_t readyCycle = 0;
+        bool valid = false;
+        bool filled = false;
+    };
+
+    struct WbEntry
+    {
+        uint64_t lineAddr = 0;
+        uint64_t freeCycle = 0;     ///< when the entry drains
+        bool valid = false;
+    };
+
+    struct Bank
+    {
+        uint64_t busyUntil = 0;
+        uint64_t curCycle = ~0ull;
+        uint32_t used = 0;
+    };
+
+    uint64_t lineAddr(uint64_t addr) const { return addr & ~_lineMask; }
+    uint32_t setIndex(uint64_t addr) const;
+    Line *findLine(uint64_t addr);
+    const Line *findLine(uint64_t addr) const;
+    Line &victimLine(uint64_t addr);
+    Mshr *findMshr(uint64_t lineAddr);
+    Mshr *freeMshr(uint64_t cycle);
+    bool takePort(uint64_t cycle);
+    bool bankAvailable(uint32_t bank, uint64_t cycle) const;
+    void useBank(uint32_t bank, uint64_t cycle, uint32_t occupancy);
+    CacheResult lookup(uint64_t cycle, uint64_t addr, bool isWrite);
+
+    CacheConfig _cfg;
+    uint64_t _lineMask;
+    uint32_t _numSets;
+    std::vector<Line> _lines;           ///< sets x ways
+    std::vector<Mshr> _mshrs;
+    std::vector<WbEntry> _wb;
+    std::vector<Bank> _banks;
+    uint64_t _portCycle = ~0ull;
+    uint32_t _portsUsed = 0;
+    uint64_t _useTick = 0;
+    StatGroup _stats;
+};
+
+} // namespace momsim::mem
+
+#endif // MOMSIM_MEM_CACHE_HH

@@ -1,0 +1,225 @@
+#include "trace/mmx_emitter.hh"
+
+#include "trace/packed.hh"
+
+namespace momsim::trace
+{
+
+using isa::Op;
+using isa::TraceInst;
+
+MVal
+MmxEmitter::loadQ(IVal base, int32_t disp)
+{
+    uint32_t addr = base.u() + static_cast<uint32_t>(disp);
+    TraceInst &inst = _tb.emit(Op::MOVQLD);
+    inst.dst = _tb.allocMmx();
+    inst.src0 = base.reg;
+    inst.addr = addr;
+    inst.accessSize = 8;
+    return { _tb.peek64(addr), inst.dst };
+}
+
+void
+MmxEmitter::storeQ(IVal base, int32_t disp, MVal val)
+{
+    uint32_t addr = base.u() + static_cast<uint32_t>(disp);
+    TraceInst &inst = _tb.emit(Op::MOVQST);
+    inst.src0 = val.reg;
+    inst.src1 = base.reg;
+    inst.addr = addr;
+    inst.accessSize = 8;
+    _tb.poke64(addr, val.v);
+}
+
+void
+MmxEmitter::storeNTQ(IVal base, int32_t disp, MVal val)
+{
+    uint32_t addr = base.u() + static_cast<uint32_t>(disp);
+    TraceInst &inst = _tb.emit(Op::MOVNTQ);
+    inst.src0 = val.reg;
+    inst.src1 = base.reg;
+    inst.addr = addr;
+    inst.accessSize = 8;
+    _tb.poke64(addr, val.v);
+}
+
+MVal
+MmxEmitter::zero()
+{
+    // PXOR reg,reg — dependence-breaking idiom, so no sources recorded.
+    TraceInst &inst = _tb.emit(Op::PXOR);
+    inst.dst = _tb.allocMmx();
+    return { 0, inst.dst };
+}
+
+MVal
+MmxEmitter::movdtm(IVal a)
+{
+    TraceInst &inst = _tb.emit(Op::MOVDTM);
+    inst.dst = _tb.allocMmx();
+    inst.src0 = a.reg;
+    return { static_cast<uint32_t>(a.v), inst.dst };
+}
+
+IVal
+MmxEmitter::movdfm(MVal a)
+{
+    TraceInst &inst = _tb.emit(Op::MOVDFM);
+    inst.dst = _tb.allocInt();
+    inst.src0 = a.reg;
+    return { static_cast<int32_t>(a.v & 0xFFFFFFFFull), inst.dst };
+}
+
+MVal
+MmxEmitter::splatW(IVal a)
+{
+    MVal low = movdtm(a);
+    uint64_t r = trace::splatW(static_cast<int16_t>(a.v & 0xFFFF));
+    TraceInst &inst = _tb.emit(Op::PSHUFW);
+    inst.dst = _tb.allocMmx();
+    inst.src0 = low.reg;
+    return { r, inst.dst };
+}
+
+IVal
+MmxEmitter::extractW(MVal a, int lane)
+{
+    TraceInst &inst = _tb.emit(Op::PEXTRW);
+    inst.dst = _tb.allocInt();
+    inst.src0 = a.reg;
+    return { laneW(a.v, lane & 3), inst.dst };
+}
+
+MVal
+MmxEmitter::unop(Op op, MVal a, uint64_t result)
+{
+    TraceInst &inst = _tb.emit(op);
+    inst.dst = _tb.allocMmx();
+    inst.src0 = a.reg;
+    return { result, inst.dst };
+}
+
+MVal
+MmxEmitter::binop(Op op, MVal a, MVal b, uint64_t result)
+{
+    TraceInst &inst = _tb.emit(op);
+    inst.dst = _tb.allocMmx();
+    inst.src0 = a.reg;
+    inst.src1 = b.reg;
+    return { result, inst.dst };
+}
+
+IVal
+MmxEmitter::reduceToInt(Op op, MVal a, int32_t result)
+{
+    TraceInst &red = _tb.emit(op);
+    red.dst = _tb.allocMmx();
+    red.src0 = a.reg;
+    TraceInst &mov = _tb.emit(Op::MOVDFM);
+    mov.dst = _tb.allocInt();
+    mov.src0 = red.dst;
+    return { result, mov.dst };
+}
+
+MVal MmxEmitter::paddusb(MVal a, MVal b) { return binop(Op::PADDUSB, a, b, trace::paddusb(a.v, b.v)); }
+MVal MmxEmitter::psubusb(MVal a, MVal b) { return binop(Op::PSUBUSB, a, b, trace::psubusb(a.v, b.v)); }
+MVal MmxEmitter::pavgb(MVal a, MVal b) { return binop(Op::PAVGB, a, b, trace::pavgb(a.v, b.v)); }
+MVal MmxEmitter::pmaxub(MVal a, MVal b) { return binop(Op::PMAXUB, a, b, trace::pmaxub(a.v, b.v)); }
+MVal MmxEmitter::pminub(MVal a, MVal b) { return binop(Op::PMINUB, a, b, trace::pminub(a.v, b.v)); }
+MVal MmxEmitter::psadbw(MVal a, MVal b) { return binop(Op::PSADBW, a, b, trace::psadbw(a.v, b.v)); }
+MVal MmxEmitter::pcmpeqb(MVal a, MVal b) { return binop(Op::PCMPEQB, a, b, trace::pcmpeqb(a.v, b.v)); }
+MVal MmxEmitter::pcmpgtb(MVal a, MVal b) { return binop(Op::PCMPGTB, a, b, trace::pcmpgtb(a.v, b.v)); }
+
+MVal MmxEmitter::paddw(MVal a, MVal b) { return binop(Op::PADDW, a, b, trace::paddw(a.v, b.v)); }
+MVal MmxEmitter::paddsw(MVal a, MVal b) { return binop(Op::PADDSW, a, b, trace::paddsw(a.v, b.v)); }
+MVal MmxEmitter::psubw(MVal a, MVal b) { return binop(Op::PSUBW, a, b, trace::psubw(a.v, b.v)); }
+MVal MmxEmitter::psubsw(MVal a, MVal b) { return binop(Op::PSUBSW, a, b, trace::psubsw(a.v, b.v)); }
+MVal MmxEmitter::pmullw(MVal a, MVal b) { return binop(Op::PMULLW, a, b, trace::pmullw(a.v, b.v)); }
+MVal MmxEmitter::pmulhw(MVal a, MVal b) { return binop(Op::PMULHW, a, b, trace::pmulhw(a.v, b.v)); }
+MVal MmxEmitter::pmaddwd(MVal a, MVal b) { return binop(Op::PMADDWD, a, b, trace::pmaddwd(a.v, b.v)); }
+MVal MmxEmitter::pmaxsw(MVal a, MVal b) { return binop(Op::PMAXSW, a, b, trace::pmaxsw(a.v, b.v)); }
+MVal MmxEmitter::pminsw(MVal a, MVal b) { return binop(Op::PMINSW, a, b, trace::pminsw(a.v, b.v)); }
+MVal MmxEmitter::pavgw(MVal a, MVal b) { return binop(Op::PAVGW, a, b, trace::pavgw(a.v, b.v)); }
+MVal MmxEmitter::pcmpeqw(MVal a, MVal b) { return binop(Op::PCMPEQW, a, b, trace::pcmpeqw(a.v, b.v)); }
+MVal MmxEmitter::pcmpgtw(MVal a, MVal b) { return binop(Op::PCMPGTW, a, b, trace::pcmpgtw(a.v, b.v)); }
+
+MVal
+MmxEmitter::paddd(MVal a, MVal b)
+{
+    uint64_t r = 0;
+    r = setLaneD(r, 0, static_cast<uint32_t>(laneD(a.v, 0) + laneD(b.v, 0)));
+    r = setLaneD(r, 1, static_cast<uint32_t>(laneD(a.v, 1) + laneD(b.v, 1)));
+    return binop(Op::PADDD, a, b, r);
+}
+
+MVal
+MmxEmitter::pmadd3wd(MVal a, MVal b, MVal c)
+{
+    uint64_t prod = trace::pmaddwd(a.v, b.v);
+    uint64_t r = 0;
+    r = setLaneD(r, 0, static_cast<uint32_t>(laneD(prod, 0) + laneD(c.v, 0)));
+    r = setLaneD(r, 1, static_cast<uint32_t>(laneD(prod, 1) + laneD(c.v, 1)));
+    TraceInst &inst = _tb.emit(Op::PMADD3WD);
+    inst.dst = _tb.allocMmx();
+    inst.src0 = a.reg;
+    inst.src1 = b.reg;
+    inst.src2 = c.reg;
+    return { r, inst.dst };
+}
+
+MVal MmxEmitter::pand(MVal a, MVal b) { return binop(Op::PAND, a, b, trace::pand(a.v, b.v)); }
+MVal MmxEmitter::pandn(MVal a, MVal b) { return binop(Op::PANDN, a, b, trace::pandn(a.v, b.v)); }
+MVal MmxEmitter::por(MVal a, MVal b) { return binop(Op::POR, a, b, trace::por(a.v, b.v)); }
+MVal MmxEmitter::pxor(MVal a, MVal b) { return binop(Op::PXOR, a, b, trace::pxor(a.v, b.v)); }
+
+MVal MmxEmitter::psllw(MVal a, int n) { return unop(Op::PSLLW, a, trace::psllw(a.v, n)); }
+MVal MmxEmitter::psrlw(MVal a, int n) { return unop(Op::PSRLW, a, trace::psrlw(a.v, n)); }
+MVal MmxEmitter::psraw(MVal a, int n) { return unop(Op::PSRAW, a, trace::psraw(a.v, n)); }
+MVal MmxEmitter::psllq(MVal a, int n) { return unop(Op::PSLLQ, a, n >= 64 ? 0 : a.v << n); }
+MVal MmxEmitter::psrlq(MVal a, int n) { return unop(Op::PSRLQ, a, n >= 64 ? 0 : a.v >> n); }
+
+MVal
+MmxEmitter::psrad(MVal a, int n)
+{
+    uint64_t r = 0;
+    int sh = n > 31 ? 31 : n;
+    r = setLaneD(r, 0, static_cast<uint32_t>(laneD(a.v, 0) >> sh));
+    r = setLaneD(r, 1, static_cast<uint32_t>(laneD(a.v, 1) >> sh));
+    return unop(Op::PSRAD, a, r);
+}
+
+MVal MmxEmitter::packuswb(MVal a, MVal b) { return binop(Op::PACKUSWB, a, b, trace::packuswb(a.v, b.v)); }
+MVal MmxEmitter::packsswb(MVal a, MVal b) { return binop(Op::PACKSSWB, a, b, trace::packsswb(a.v, b.v)); }
+MVal MmxEmitter::packssdw(MVal a, MVal b) { return binop(Op::PACKSSDW, a, b, trace::packssdw(a.v, b.v)); }
+MVal MmxEmitter::punpcklbw(MVal a, MVal b) { return binop(Op::PUNPCKLBW, a, b, trace::punpcklbw(a.v, b.v)); }
+MVal MmxEmitter::punpckhbw(MVal a, MVal b) { return binop(Op::PUNPCKHBW, a, b, trace::punpckhbw(a.v, b.v)); }
+MVal MmxEmitter::punpcklwd(MVal a, MVal b) { return binop(Op::PUNPCKLWD, a, b, trace::punpcklwd(a.v, b.v)); }
+MVal MmxEmitter::punpckhwd(MVal a, MVal b) { return binop(Op::PUNPCKHWD, a, b, trace::punpckhwd(a.v, b.v)); }
+
+MVal
+MmxEmitter::punpckldq(MVal a, MVal b)
+{
+    uint64_t r = (a.v & 0xFFFFFFFFull) | (b.v << 32);
+    return binop(Op::PUNPCKLDQ, a, b, r);
+}
+
+MVal
+MmxEmitter::punpckhdq(MVal a, MVal b)
+{
+    uint64_t r = (a.v >> 32) | (b.v & 0xFFFFFFFF00000000ull);
+    return binop(Op::PUNPCKHDQ, a, b, r);
+}
+
+MVal
+MmxEmitter::pshufw(MVal a, int imm)
+{
+    return unop(Op::PSHUFW, a, trace::pshufw(a.v, imm));
+}
+
+IVal MmxEmitter::phsumbw(MVal a) { return reduceToInt(Op::PHSUMBW, a, static_cast<int32_t>(trace::phsumbw(a.v))); }
+IVal MmxEmitter::phsumwd(MVal a) { return reduceToInt(Op::PHSUMWD, a, trace::phsumwd(a.v)); }
+IVal MmxEmitter::phmaxw(MVal a) { return reduceToInt(Op::PHMAXW, a, trace::phmaxw(a.v)); }
+IVal MmxEmitter::phminw(MVal a) { return reduceToInt(Op::PHMINW, a, trace::phminw(a.v)); }
+
+} // namespace momsim::trace

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * MmxEmitter: the conventional packed-µ-SIMD half of the emulation library.
+ *
+ * Models the paper's "approximation of SSE integer opcodes with 67
+ * instructions and 32 logical registers", including the added horizontal
+ * reductions and the three-source multiply-add. Every method computes the
+ * packed result (via trace/packed.hh) and records the instruction.
+ */
+
+#ifndef MOMSIM_TRACE_MMX_EMITTER_HH
+#define MOMSIM_TRACE_MMX_EMITTER_HH
+
+#include <cstdint>
+
+#include "trace/builder.hh"
+#include "trace/scalar_emitter.hh"
+
+namespace momsim::trace
+{
+
+/** A packed 64-bit value living in a logical MMX register. */
+struct MVal
+{
+    uint64_t v = 0;
+    isa::RegRef reg = isa::kNoReg;
+};
+
+class MmxEmitter
+{
+  public:
+    explicit MmxEmitter(TraceBuilder &tb) : _tb(tb) {}
+
+    // ------------- memory -------------
+    MVal loadQ(IVal base, int32_t disp = 0);
+    void storeQ(IVal base, int32_t disp, MVal val);
+    void storeNTQ(IVal base, int32_t disp, MVal val);
+
+    // ------------- moves / splats -------------
+    MVal zero();                                ///< PXOR idiom
+    MVal movdtm(IVal a);                        ///< int -> mmx low 32
+    IVal movdfm(MVal a);                        ///< mmx low 32 -> int
+    MVal splatW(IVal a);                        ///< MOVDTM + PSHUFW (2 ops)
+    IVal extractW(MVal a, int lane);            ///< PEXTRW (sign-extended)
+
+    // ------------- byte-lane arithmetic -------------
+    MVal paddusb(MVal a, MVal b);
+    MVal psubusb(MVal a, MVal b);
+    MVal pavgb(MVal a, MVal b);
+    MVal pmaxub(MVal a, MVal b);
+    MVal pminub(MVal a, MVal b);
+    MVal psadbw(MVal a, MVal b);
+    MVal pcmpeqb(MVal a, MVal b);
+    MVal pcmpgtb(MVal a, MVal b);
+
+    // ------------- halfword-lane arithmetic -------------
+    MVal paddw(MVal a, MVal b);
+    MVal paddsw(MVal a, MVal b);
+    MVal psubw(MVal a, MVal b);
+    MVal psubsw(MVal a, MVal b);
+    MVal pmullw(MVal a, MVal b);
+    MVal pmulhw(MVal a, MVal b);
+    MVal pmaddwd(MVal a, MVal b);
+    MVal pmadd3wd(MVal a, MVal b, MVal c);      ///< c + a*b pairs (extra op)
+    MVal pmaxsw(MVal a, MVal b);
+    MVal pminsw(MVal a, MVal b);
+    MVal pavgw(MVal a, MVal b);
+    MVal pcmpeqw(MVal a, MVal b);
+    MVal pcmpgtw(MVal a, MVal b);
+    MVal paddd(MVal a, MVal b);
+
+    // ------------- logical -------------
+    MVal pand(MVal a, MVal b);
+    MVal pandn(MVal a, MVal b);
+    MVal por(MVal a, MVal b);
+    MVal pxor(MVal a, MVal b);
+
+    // ------------- shifts (immediate count) -------------
+    MVal psllw(MVal a, int n);
+    MVal psrlw(MVal a, int n);
+    MVal psraw(MVal a, int n);
+    MVal psllq(MVal a, int n);
+    MVal psrlq(MVal a, int n);
+    MVal psrad(MVal a, int n);
+
+    // ------------- pack / unpack / shuffle -------------
+    MVal packuswb(MVal a, MVal b);
+    MVal packsswb(MVal a, MVal b);
+    MVal packssdw(MVal a, MVal b);
+    MVal punpcklbw(MVal a, MVal b);
+    MVal punpckhbw(MVal a, MVal b);
+    MVal punpcklwd(MVal a, MVal b);
+    MVal punpckhwd(MVal a, MVal b);
+    MVal punpckldq(MVal a, MVal b);
+    MVal punpckhdq(MVal a, MVal b);
+    MVal pshufw(MVal a, int imm);
+
+    // ------------- horizontal reductions (paper extras) -------------
+    IVal phsumbw(MVal a);                       ///< PHSUMBW + MOVDFM
+    IVal phsumwd(MVal a);                       ///< PHSUMWD + MOVDFM
+    IVal phmaxw(MVal a);
+    IVal phminw(MVal a);
+
+  private:
+    MVal unop(isa::Op op, MVal a, uint64_t result);
+    MVal binop(isa::Op op, MVal a, MVal b, uint64_t result);
+    IVal reduceToInt(isa::Op op, MVal a, int32_t result);
+
+    TraceBuilder &_tb;
+};
+
+} // namespace momsim::trace
+
+#endif // MOMSIM_TRACE_MMX_EMITTER_HH

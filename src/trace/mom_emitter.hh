@@ -1,0 +1,159 @@
+/**
+ * @file
+ * MomEmitter: the streaming-vector µ-SIMD half of the emulation library.
+ *
+ * A MOM stream value (SVal) is a vector of up to 16 MMX-like 64-bit
+ * registers. One emitted stream instruction covers the whole vector: the
+ * pipeline later expands it element-by-element across the media FU's two
+ * vector lanes, and the statistics layer weighs it by its stream length.
+ *
+ * Stream instructions implicitly read the stream-length (SL) register,
+ * which is architecturally an integer register (renamed through the
+ * integer pool) — setLen() writes it and subsequent stream ops carry the
+ * dependence.
+ *
+ * The two 192-bit packed accumulators perform reductions across a whole
+ * stream in one instruction (MDMX heritage); lanes are modelled with
+ * 64-bit headroom which strictly contains the architected 48-bit lanes.
+ */
+
+#ifndef MOMSIM_TRACE_MOM_EMITTER_HH
+#define MOMSIM_TRACE_MOM_EMITTER_HH
+
+#include <array>
+#include <cstdint>
+
+#include "trace/builder.hh"
+#include "trace/mmx_emitter.hh"
+#include "trace/scalar_emitter.hh"
+
+namespace momsim::trace
+{
+
+/** Maximum stream length (16 MMX-like registers per stream register). */
+constexpr int kMaxStreamLen = 16;
+
+/** A stream value: up to 16 packed 64-bit elements in a MOM register. */
+struct SVal
+{
+    std::array<uint64_t, kMaxStreamLen> e{};
+    int len = 0;
+    isa::RegRef reg = isa::kNoReg;
+};
+
+class MomEmitter
+{
+  public:
+    explicit MomEmitter(TraceBuilder &tb) : _tb(tb) {}
+
+    /** Write the stream-length register (1..16). */
+    void setLen(IVal n);
+
+    int curLen() const { return _len; }
+
+    // ------------- stream memory -------------
+    /** Strided load of len 64-bit elements (MLDQ / MLDQS). */
+    SVal loadQ(IVal base, int32_t disp, int32_t strideBytes);
+    /** Strided load of len*4 bytes widened to halfwords (MLDUB2QH[S]). */
+    SVal loadUB2QH(IVal base, int32_t disp, int32_t strideBytes);
+    /** Load one qword and broadcast it to the whole stream (MLDBC). */
+    SVal loadBC(IVal base, int32_t disp);
+    /** Strided store of len 64-bit elements (MSTQ / MSTQS). */
+    void storeQ(IVal base, int32_t disp, int32_t strideBytes, SVal v);
+    /** Non-temporal variant (MSTQNT). */
+    void storeNTQ(IVal base, int32_t disp, int32_t strideBytes, SVal v);
+    /** Saturating narrowing store: halfwords -> bytes (MSTQH2UB[S]). */
+    void storeQH2UB(IVal base, int32_t disp, int32_t strideBytes, SVal v);
+
+    // ------------- stream ALU (element-wise, both streams) -------------
+    SVal addQH(SVal a, SVal b);
+    SVal addsQH(SVal a, SVal b);
+    SVal subQH(SVal a, SVal b);
+    SVal subsQH(SVal a, SVal b);
+    SVal minQH(SVal a, SVal b);
+    SVal maxQH(SVal a, SVal b);
+    SVal avgQH(SVal a, SVal b);
+    SVal absQH(SVal a);
+    SVal addusOB(SVal a, SVal b);
+    SVal subusOB(SVal a, SVal b);
+    SVal avgOB(SVal a, SVal b);
+    SVal absdOB(SVal a, SVal b);
+    SVal mullQH(SVal a, SVal b);
+    SVal mulhQH(SVal a, SVal b);
+    SVal mulrQH(SVal a, SVal b);                ///< Q15 round multiply
+    SVal maddQH(SVal a, SVal b);                ///< pmaddwd per element
+    SVal andS(SVal a, SVal b);
+    SVal orS(SVal a, SVal b);
+    SVal xorS(SVal a, SVal b);
+    SVal bitsel(SVal mask, SVal a, SVal b);     ///< MBITSEL
+    SVal cmpgtQH(SVal a, SVal b);
+    SVal sllQH(SVal a, int n);
+    SVal sraQH(SVal a, int n);
+    SVal srarQH(SVal a, int n);                 ///< shift right w/ rounding
+    SVal packusWB(SVal a, SVal b);
+    SVal unpcklBW(SVal a, SVal b);
+    SVal unpckhBW(SVal a, SVal b);
+    SVal pairAddQH(SVal a);
+
+    // ------------- vector-scalar (broadcast element) forms -------------
+    SVal addVSQH(SVal a, MVal s);
+    SVal subVSQH(SVal a, MVal s);
+    SVal mullVSQH(SVal a, MVal s);
+    SVal mulhVSQH(SVal a, MVal s);
+    SVal scaleVSQH(SVal a, MVal s);             ///< Q15 round-mult by scalar
+    SVal maxVSQH(SVal a, MVal s);
+    SVal minVSQH(SVal a, MVal s);
+
+    // ------------- packed accumulators -------------
+    void clrAcc(int acc);
+    void accMacQH(int acc, SVal a, SVal b);     ///< acc.lane += sum_e a*b
+    void accMacVSQH(int acc, SVal a, MVal s);
+    void accSadOB(int acc, SVal a, SVal b);     ///< acc.lane0 += SAD
+    void accAddQH(int acc, SVal a);
+    void accSqrQH(int acc, SVal a);
+    void accMaxQH(int acc, SVal a);
+
+    /** Read accumulator lanes as saturated halfwords, >> rshift. */
+    MVal raccSQH(int acc, int rshift);
+    /** Read accumulator lanes 0/1 as two 32-bit lanes. */
+    MVal raccDW(int acc);
+    /** Read lane0 of the accumulator into an integer register (2 ops). */
+    IVal raccToInt(int acc);
+
+    // ------------- misc -------------
+    /**
+     * Emit a generic element-wise binary stream op. The returned SVal's
+     * element values are copies of @p a; the caller is responsible for
+     * overwriting them with the op's true semantics (used by kernel
+     * backends for ops outside the emitter's named set).
+     */
+    SVal rawBinop(isa::Op op, SVal a, SVal b);
+
+    /** Zero a stream register (MZERO). */
+    SVal zero();
+    /** Extract element @p idx into an MMX register (MEXTR). */
+    MVal extract(SVal a, int idx);
+    /** Insert an MMX value as element @p idx (MINSR). */
+    SVal insert(SVal a, int idx, MVal m);
+
+  private:
+    struct AccState
+    {
+        std::array<int64_t, 8> lane{};
+    };
+
+    SVal newStream(int len);
+    SVal binop(isa::Op op, SVal a, SVal b, uint64_t (*fn)(uint64_t, uint64_t));
+    SVal unop(isa::Op op, SVal a, uint64_t (*fn)(uint64_t));
+    SVal vsop(isa::Op op, SVal a, MVal s, uint64_t (*fn)(uint64_t, uint64_t));
+    isa::TraceInst &emitStream(isa::Op op, int len);
+
+    TraceBuilder &_tb;
+    int _len = 0;
+    isa::RegRef _slSrc = isa::kNoReg;   ///< register that last wrote SL
+    AccState _accs[2];
+};
+
+} // namespace momsim::trace
+
+#endif // MOMSIM_TRACE_MOM_EMITTER_HH

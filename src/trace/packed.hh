@@ -1,0 +1,582 @@
+/**
+ * @file
+ * Functional semantics of packed 64-bit µ-SIMD values.
+ *
+ * Both emulation libraries (MMX and MOM) share these element-wise
+ * operations: an MMX instruction applies one of them to a single 64-bit
+ * register, a MOM stream instruction maps the same operation over up to 16
+ * such registers. Layout conventions:
+ *
+ *   OB: eight unsigned bytes,  lane i at bits [8i+7  .. 8i]
+ *   QH: four signed halfwords, lane i at bits [16i+15 .. 16i]
+ *   DW: two 32-bit lanes
+ *
+ * All functions are pure; the emitters call them to compute the value side
+ * of each trace record, and the test suite cross-checks them against
+ * scalar reference loops.
+ */
+
+#ifndef MOMSIM_TRACE_PACKED_HH
+#define MOMSIM_TRACE_PACKED_HH
+
+#include <cstdint>
+
+#include "common/fixed.hh"
+
+namespace momsim::trace
+{
+
+// ---------------------------------------------------------------------
+// Lane access
+// ---------------------------------------------------------------------
+
+inline uint8_t
+laneB(uint64_t v, int i)
+{
+    return static_cast<uint8_t>(v >> (8 * i));
+}
+
+inline int16_t
+laneW(uint64_t v, int i)
+{
+    return static_cast<int16_t>(v >> (16 * i));
+}
+
+inline uint16_t
+laneUW(uint64_t v, int i)
+{
+    return static_cast<uint16_t>(v >> (16 * i));
+}
+
+inline int32_t
+laneD(uint64_t v, int i)
+{
+    return static_cast<int32_t>(v >> (32 * i));
+}
+
+inline uint64_t
+setLaneB(uint64_t v, int i, uint8_t x)
+{
+    int sh = 8 * i;
+    return (v & ~(0xFFull << sh)) | (static_cast<uint64_t>(x) << sh);
+}
+
+inline uint64_t
+setLaneW(uint64_t v, int i, uint16_t x)
+{
+    int sh = 16 * i;
+    return (v & ~(0xFFFFull << sh)) | (static_cast<uint64_t>(x) << sh);
+}
+
+inline uint64_t
+setLaneD(uint64_t v, int i, uint32_t x)
+{
+    int sh = 32 * i;
+    return (v & ~(0xFFFFFFFFull << sh)) | (static_cast<uint64_t>(x) << sh);
+}
+
+/** Build a packed value from four halfwords (lane 0 first). */
+inline uint64_t
+packW(int16_t w0, int16_t w1, int16_t w2, int16_t w3)
+{
+    uint64_t v = 0;
+    v = setLaneW(v, 0, static_cast<uint16_t>(w0));
+    v = setLaneW(v, 1, static_cast<uint16_t>(w1));
+    v = setLaneW(v, 2, static_cast<uint16_t>(w2));
+    v = setLaneW(v, 3, static_cast<uint16_t>(w3));
+    return v;
+}
+
+/** Broadcast one halfword into all four lanes. */
+inline uint64_t
+splatW(int16_t w)
+{
+    return packW(w, w, w, w);
+}
+
+/** Broadcast one byte into all eight lanes. */
+inline uint64_t
+splatB(uint8_t b)
+{
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v = setLaneB(v, i, b);
+    return v;
+}
+
+// ---------------------------------------------------------------------
+// Byte-lane (OB) operations
+// ---------------------------------------------------------------------
+
+template <typename Fn>
+inline uint64_t
+mapB(uint64_t a, uint64_t b, Fn fn)
+{
+    uint64_t r = 0;
+    for (int i = 0; i < 8; ++i)
+        r = setLaneB(r, i, fn(laneB(a, i), laneB(b, i)));
+    return r;
+}
+
+template <typename Fn>
+inline uint64_t
+mapW(uint64_t a, uint64_t b, Fn fn)
+{
+    uint64_t r = 0;
+    for (int i = 0; i < 4; ++i) {
+        r = setLaneW(r, i, static_cast<uint16_t>(
+            fn(laneW(a, i), laneW(b, i))));
+    }
+    return r;
+}
+
+inline uint64_t
+paddb(uint64_t a, uint64_t b)
+{
+    return mapB(a, b, [](uint8_t x, uint8_t y) {
+        return static_cast<uint8_t>(x + y); });
+}
+
+inline uint64_t
+paddusb(uint64_t a, uint64_t b)
+{
+    return mapB(a, b, [](uint8_t x, uint8_t y) {
+        return satU8(static_cast<int32_t>(x) + y); });
+}
+
+inline uint64_t
+psubb(uint64_t a, uint64_t b)
+{
+    return mapB(a, b, [](uint8_t x, uint8_t y) {
+        return static_cast<uint8_t>(x - y); });
+}
+
+inline uint64_t
+psubusb(uint64_t a, uint64_t b)
+{
+    return mapB(a, b, [](uint8_t x, uint8_t y) {
+        return satU8(static_cast<int32_t>(x) - y); });
+}
+
+inline uint64_t
+pavgb(uint64_t a, uint64_t b)
+{
+    return mapB(a, b, [](uint8_t x, uint8_t y) {
+        return static_cast<uint8_t>((x + y + 1) >> 1); });
+}
+
+inline uint64_t
+pmaxub(uint64_t a, uint64_t b)
+{
+    return mapB(a, b, [](uint8_t x, uint8_t y) {
+        return x > y ? x : y; });
+}
+
+inline uint64_t
+pminub(uint64_t a, uint64_t b)
+{
+    return mapB(a, b, [](uint8_t x, uint8_t y) {
+        return x < y ? x : y; });
+}
+
+inline uint64_t
+pcmpeqb(uint64_t a, uint64_t b)
+{
+    return mapB(a, b, [](uint8_t x, uint8_t y) {
+        return static_cast<uint8_t>(x == y ? 0xFF : 0); });
+}
+
+inline uint64_t
+pcmpgtb(uint64_t a, uint64_t b)
+{
+    return mapB(a, b, [](uint8_t x, uint8_t y) {
+        return static_cast<uint8_t>(
+            static_cast<int8_t>(x) > static_cast<int8_t>(y) ? 0xFF : 0); });
+}
+
+/** |a-b| per byte (MOM MABSD.OB). */
+inline uint64_t
+pabsdb(uint64_t a, uint64_t b)
+{
+    return mapB(a, b, [](uint8_t x, uint8_t y) {
+        return static_cast<uint8_t>(x > y ? x - y : y - x); });
+}
+
+/** Sum of absolute byte differences, result in lane 0 (PSADBW). */
+inline uint64_t
+psadbw(uint64_t a, uint64_t b)
+{
+    uint32_t sum = 0;
+    for (int i = 0; i < 8; ++i) {
+        int d = static_cast<int>(laneB(a, i)) - laneB(b, i);
+        sum += static_cast<uint32_t>(d < 0 ? -d : d);
+    }
+    return sum;
+}
+
+// ---------------------------------------------------------------------
+// Halfword-lane (QH) operations
+// ---------------------------------------------------------------------
+
+inline uint64_t
+paddw(uint64_t a, uint64_t b)
+{
+    return mapW(a, b, [](int16_t x, int16_t y) {
+        return static_cast<int16_t>(x + y); });
+}
+
+inline uint64_t
+paddsw(uint64_t a, uint64_t b)
+{
+    return mapW(a, b, [](int16_t x, int16_t y) { return satAdd16(x, y); });
+}
+
+inline uint64_t
+psubw(uint64_t a, uint64_t b)
+{
+    return mapW(a, b, [](int16_t x, int16_t y) {
+        return static_cast<int16_t>(x - y); });
+}
+
+inline uint64_t
+psubsw(uint64_t a, uint64_t b)
+{
+    return mapW(a, b, [](int16_t x, int16_t y) { return satSub16(x, y); });
+}
+
+inline uint64_t
+pmullw(uint64_t a, uint64_t b)
+{
+    return mapW(a, b, [](int16_t x, int16_t y) {
+        return static_cast<int16_t>((static_cast<int32_t>(x) * y) & 0xFFFF);
+    });
+}
+
+inline uint64_t
+pmulhw(uint64_t a, uint64_t b)
+{
+    return mapW(a, b, [](int16_t x, int16_t y) {
+        return static_cast<int16_t>((static_cast<int32_t>(x) * y) >> 16);
+    });
+}
+
+/** Q15 multiply with rounding per lane (MOM MMULR.QH / MSCALEVS.QH). */
+inline uint64_t
+pmulrw(uint64_t a, uint64_t b)
+{
+    return mapW(a, b, [](int16_t x, int16_t y) { return gsmMultR(x, y); });
+}
+
+inline uint64_t
+pmaxsw(uint64_t a, uint64_t b)
+{
+    return mapW(a, b, [](int16_t x, int16_t y) { return x > y ? x : y; });
+}
+
+inline uint64_t
+pminsw(uint64_t a, uint64_t b)
+{
+    return mapW(a, b, [](int16_t x, int16_t y) { return x < y ? x : y; });
+}
+
+inline uint64_t
+pavgw(uint64_t a, uint64_t b)
+{
+    return mapW(a, b, [](int16_t x, int16_t y) {
+        return static_cast<int16_t>(
+            (static_cast<int32_t>(static_cast<uint16_t>(x)) +
+             static_cast<uint16_t>(y) + 1) >> 1); });
+}
+
+inline uint64_t
+pcmpeqw(uint64_t a, uint64_t b)
+{
+    return mapW(a, b, [](int16_t x, int16_t y) {
+        return static_cast<int16_t>(x == y ? -1 : 0); });
+}
+
+inline uint64_t
+pcmpgtw(uint64_t a, uint64_t b)
+{
+    return mapW(a, b, [](int16_t x, int16_t y) {
+        return static_cast<int16_t>(x > y ? -1 : 0); });
+}
+
+/** Multiply-add pairs of halfwords into two 32-bit lanes (PMADDWD). */
+inline uint64_t
+pmaddwd(uint64_t a, uint64_t b)
+{
+    int32_t lo = static_cast<int32_t>(laneW(a, 0)) * laneW(b, 0) +
+                 static_cast<int32_t>(laneW(a, 1)) * laneW(b, 1);
+    int32_t hi = static_cast<int32_t>(laneW(a, 2)) * laneW(b, 2) +
+                 static_cast<int32_t>(laneW(a, 3)) * laneW(b, 3);
+    uint64_t r = 0;
+    r = setLaneD(r, 0, static_cast<uint32_t>(lo));
+    r = setLaneD(r, 1, static_cast<uint32_t>(hi));
+    return r;
+}
+
+inline uint64_t
+psllw(uint64_t a, int n)
+{
+    uint64_t r = 0;
+    for (int i = 0; i < 4; ++i) {
+        r = setLaneW(r, i, static_cast<uint16_t>(
+            n >= 16 ? 0 : (laneUW(a, i) << n)));
+    }
+    return r;
+}
+
+inline uint64_t
+psrlw(uint64_t a, int n)
+{
+    uint64_t r = 0;
+    for (int i = 0; i < 4; ++i) {
+        r = setLaneW(r, i, static_cast<uint16_t>(
+            n >= 16 ? 0 : (laneUW(a, i) >> n)));
+    }
+    return r;
+}
+
+inline uint64_t
+psraw(uint64_t a, int n)
+{
+    uint64_t r = 0;
+    int sh = n > 15 ? 15 : n;
+    for (int i = 0; i < 4; ++i) {
+        r = setLaneW(r, i,
+                     static_cast<uint16_t>(laneW(a, i) >> sh));
+    }
+    return r;
+}
+
+/** Arithmetic shift right with rounding per lane (MOM MSRAR.QH). */
+inline uint64_t
+psrarw(uint64_t a, int n)
+{
+    if (n <= 0)
+        return a;
+    uint64_t r = 0;
+    for (int i = 0; i < 4; ++i) {
+        int32_t x = laneW(a, i);
+        r = setLaneW(r, i, static_cast<uint16_t>(
+            static_cast<int16_t>((x + (1 << (n - 1))) >> n)));
+    }
+    return r;
+}
+
+/** Per-lane absolute value with saturation (MOM MABS.QH). */
+inline uint64_t
+pabsw(uint64_t a)
+{
+    uint64_t r = 0;
+    for (int i = 0; i < 4; ++i)
+        r = setLaneW(r, i, static_cast<uint16_t>(satAbs16(laneW(a, i))));
+    return r;
+}
+
+/** Adjacent-pair add of halfwords -> two 32-bit lanes (MPAIRADD.QH). */
+inline uint64_t
+ppairaddw(uint64_t a)
+{
+    uint64_t r = 0;
+    r = setLaneD(r, 0, static_cast<uint32_t>(
+        static_cast<int32_t>(laneW(a, 0)) + laneW(a, 1)));
+    r = setLaneD(r, 1, static_cast<uint32_t>(
+        static_cast<int32_t>(laneW(a, 2)) + laneW(a, 3)));
+    return r;
+}
+
+// ---------------------------------------------------------------------
+// Logical / pack / unpack / shuffle
+// ---------------------------------------------------------------------
+
+inline uint64_t pand(uint64_t a, uint64_t b) { return a & b; }
+inline uint64_t pandn(uint64_t a, uint64_t b) { return ~a & b; }
+inline uint64_t por(uint64_t a, uint64_t b) { return a | b; }
+inline uint64_t pxor(uint64_t a, uint64_t b) { return a ^ b; }
+
+/** Three-source bitwise select: mask ? a : b (MOM MBITSEL). */
+inline uint64_t
+pbitsel(uint64_t mask, uint64_t a, uint64_t b)
+{
+    return (mask & a) | (~mask & b);
+}
+
+/** Pack 8 halfwords (a then b) into 8 unsigned-saturated bytes. */
+inline uint64_t
+packuswb(uint64_t a, uint64_t b)
+{
+    uint64_t r = 0;
+    for (int i = 0; i < 4; ++i) {
+        r = setLaneB(r, i, satU8(laneW(a, i)));
+        r = setLaneB(r, i + 4, satU8(laneW(b, i)));
+    }
+    return r;
+}
+
+/** Pack 8 halfwords into 8 signed-saturated bytes. */
+inline uint64_t
+packsswb(uint64_t a, uint64_t b)
+{
+    uint64_t r = 0;
+    for (int i = 0; i < 4; ++i) {
+        r = setLaneB(r, i, static_cast<uint8_t>(satS8(laneW(a, i))));
+        r = setLaneB(r, i + 4, static_cast<uint8_t>(satS8(laneW(b, i))));
+    }
+    return r;
+}
+
+/** Pack 4 dwords (a then b) into 4 signed-saturated halfwords. */
+inline uint64_t
+packssdw(uint64_t a, uint64_t b)
+{
+    uint64_t r = 0;
+    r = setLaneW(r, 0, static_cast<uint16_t>(satS16(laneD(a, 0))));
+    r = setLaneW(r, 1, static_cast<uint16_t>(satS16(laneD(a, 1))));
+    r = setLaneW(r, 2, static_cast<uint16_t>(satS16(laneD(b, 0))));
+    r = setLaneW(r, 3, static_cast<uint16_t>(satS16(laneD(b, 1))));
+    return r;
+}
+
+/** Interleave low bytes of a and b: b0 a0 b1 a1 ... (PUNPCKLBW). */
+inline uint64_t
+punpcklbw(uint64_t a, uint64_t b)
+{
+    uint64_t r = 0;
+    for (int i = 0; i < 4; ++i) {
+        r = setLaneB(r, 2 * i, laneB(a, i));
+        r = setLaneB(r, 2 * i + 1, laneB(b, i));
+    }
+    return r;
+}
+
+inline uint64_t
+punpckhbw(uint64_t a, uint64_t b)
+{
+    uint64_t r = 0;
+    for (int i = 0; i < 4; ++i) {
+        r = setLaneB(r, 2 * i, laneB(a, i + 4));
+        r = setLaneB(r, 2 * i + 1, laneB(b, i + 4));
+    }
+    return r;
+}
+
+inline uint64_t
+punpcklwd(uint64_t a, uint64_t b)
+{
+    uint64_t r = 0;
+    r = setLaneW(r, 0, laneUW(a, 0));
+    r = setLaneW(r, 1, laneUW(b, 0));
+    r = setLaneW(r, 2, laneUW(a, 1));
+    r = setLaneW(r, 3, laneUW(b, 1));
+    return r;
+}
+
+inline uint64_t
+punpckhwd(uint64_t a, uint64_t b)
+{
+    uint64_t r = 0;
+    r = setLaneW(r, 0, laneUW(a, 2));
+    r = setLaneW(r, 1, laneUW(b, 2));
+    r = setLaneW(r, 2, laneUW(a, 3));
+    r = setLaneW(r, 3, laneUW(b, 3));
+    return r;
+}
+
+/** PSHUFW: select halfword lanes of a by 2-bit fields of imm. */
+inline uint64_t
+pshufw(uint64_t a, int imm)
+{
+    uint64_t r = 0;
+    for (int i = 0; i < 4; ++i)
+        r = setLaneW(r, i, laneUW(a, (imm >> (2 * i)) & 3));
+    return r;
+}
+
+/** Swap the two 32-bit halves (MOM MSWAPHL). */
+inline uint64_t
+pswaphl(uint64_t a)
+{
+    return (a >> 32) | (a << 32);
+}
+
+// ---------------------------------------------------------------------
+// Widening loads / narrowing stores (MOM MLDUB2QH / MSTQH2UB helpers)
+// ---------------------------------------------------------------------
+
+/** Zero-extend 4 packed bytes (low half of a) into 4 halfwords. */
+inline uint64_t
+widenUB2QH(uint32_t fourBytes)
+{
+    uint64_t r = 0;
+    for (int i = 0; i < 4; ++i) {
+        r = setLaneW(r, i, static_cast<uint16_t>(
+            (fourBytes >> (8 * i)) & 0xFF));
+    }
+    return r;
+}
+
+/** Saturate 4 halfwords to unsigned bytes, return packed 32 bits. */
+inline uint32_t
+narrowQH2UB(uint64_t a)
+{
+    uint32_t r = 0;
+    for (int i = 0; i < 4; ++i)
+        r |= static_cast<uint32_t>(satU8(laneW(a, i))) << (8 * i);
+    return r;
+}
+
+// ---------------------------------------------------------------------
+// Horizontal reductions (the paper's MMX extras)
+// ---------------------------------------------------------------------
+
+/** Sum of the eight unsigned bytes (PHSUMBW). */
+inline uint32_t
+phsumbw(uint64_t a)
+{
+    uint32_t sum = 0;
+    for (int i = 0; i < 8; ++i)
+        sum += laneB(a, i);
+    return sum;
+}
+
+/** Sum of the four signed halfwords (PHSUMWD). */
+inline int32_t
+phsumwd(uint64_t a)
+{
+    int32_t sum = 0;
+    for (int i = 0; i < 4; ++i)
+        sum += laneW(a, i);
+    return sum;
+}
+
+/** Sum of the two signed 32-bit lanes. */
+inline int64_t
+phsumd(uint64_t a)
+{
+    return static_cast<int64_t>(laneD(a, 0)) + laneD(a, 1);
+}
+
+/** Horizontal max/min of signed halfwords. */
+inline int16_t
+phmaxw(uint64_t a)
+{
+    int16_t m = laneW(a, 0);
+    for (int i = 1; i < 4; ++i)
+        m = std::max(m, laneW(a, i));
+    return m;
+}
+
+inline int16_t
+phminw(uint64_t a)
+{
+    int16_t m = laneW(a, 0);
+    for (int i = 1; i < 4; ++i)
+        m = std::min(m, laneW(a, i));
+    return m;
+}
+
+} // namespace momsim::trace
+
+#endif // MOMSIM_TRACE_PACKED_HH

@@ -1,0 +1,51 @@
+#include "trace/program.hh"
+
+namespace momsim::trace
+{
+
+MixSummary
+Program::mix() const
+{
+    MixSummary m;
+    for (const auto &inst : _insts) {
+        uint32_t eq = inst.eqInsts();
+        m.records += 1;
+        m.eqInsts += eq;
+        m.memAccesses += inst.memAccesses();
+        switch (isa::mixGroup(inst.opClass())) {
+          case isa::MixGroup::Int:
+            m.intOps += eq;
+            break;
+          case isa::MixGroup::Fp:
+            m.fpOps += eq;
+            break;
+          case isa::MixGroup::SimdArith:
+            m.simdOps += eq;
+            break;
+          case isa::MixGroup::Mem:
+            m.memOps += eq;
+            break;
+        }
+        if (inst.isCondBranch()) {
+            m.branches += 1;
+            if (inst.taken())
+                m.takenBranches += 1;
+        }
+    }
+    return m;
+}
+
+Program
+Program::rebased(uint32_t delta, const std::string &newName) const
+{
+    Program p(newName, _simd);
+    p._insts = _insts;
+    for (auto &inst : p._insts) {
+        inst.pc += delta;
+        if (inst.isMemory() || inst.isControl())
+            inst.addr += delta;
+    }
+    return p;
+}
+
+} // namespace momsim::trace

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * A Program is the dynamic instruction stream of one benchmark instance,
+ * produced by the emulation libraries and consumed by the SMT core.
+ */
+
+#ifndef MOMSIM_TRACE_PROGRAM_HH
+#define MOMSIM_TRACE_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/simd_isa.hh"
+#include "isa/trace_inst.hh"
+
+namespace momsim::trace
+{
+
+/** Table-3-style instruction accounting for one program. */
+struct MixSummary
+{
+    uint64_t records = 0;       ///< TraceInst records (MOM stream op = 1)
+    uint64_t eqInsts = 0;       ///< equivalent instructions (stream op = L)
+    uint64_t intOps = 0;        ///< eq-weighted integer arithmetic+control
+    uint64_t fpOps = 0;
+    uint64_t simdOps = 0;       ///< eq-weighted SIMD arithmetic
+    uint64_t memOps = 0;        ///< eq-weighted memory operations
+    uint64_t memAccesses = 0;   ///< individual cache accesses
+    uint64_t branches = 0;      ///< conditional branches
+    uint64_t takenBranches = 0;
+
+    double intPct() const { return frac(intOps); }
+    double fpPct() const { return frac(fpOps); }
+    double simdPct() const { return frac(simdOps); }
+    double memPct() const { return frac(memOps); }
+
+  private:
+    double
+    frac(uint64_t n) const
+    {
+        return eqInsts ? static_cast<double>(n) / eqInsts : 0.0;
+    }
+};
+
+/** A finished benchmark trace plus its identity and layout. */
+class Program
+{
+  public:
+    Program() = default;
+    Program(std::string name, isa::SimdIsa simd)
+        : _name(std::move(name)), _simd(simd)
+    {}
+
+    const std::string &name() const { return _name; }
+    isa::SimdIsa simdIsa() const { return _simd; }
+
+    const std::vector<isa::TraceInst> &insts() const { return _insts; }
+    std::vector<isa::TraceInst> &insts() { return _insts; }
+
+    size_t size() const { return _insts.size(); }
+    bool empty() const { return _insts.empty(); }
+
+    void append(const isa::TraceInst &inst) { _insts.push_back(inst); }
+
+    /** Compute the Table-3 accounting over the whole trace. */
+    MixSummary mix() const;
+
+    /**
+     * A copy with every code and data address shifted by @p delta.
+     * Used to give the second instance of a benchmark (the paper runs
+     * MPEG-2 decode twice) its own address space.
+     */
+    Program rebased(uint32_t delta, const std::string &newName) const;
+
+  private:
+    std::string _name;
+    isa::SimdIsa _simd = isa::SimdIsa::Mmx;
+    std::vector<isa::TraceInst> _insts;
+};
+
+} // namespace momsim::trace
+
+#endif // MOMSIM_TRACE_PROGRAM_HH

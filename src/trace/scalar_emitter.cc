@@ -1,0 +1,342 @@
+#include "trace/scalar_emitter.hh"
+
+#include <bit>
+#include <cmath>
+
+namespace momsim::trace
+{
+
+using isa::Op;
+using isa::TraceInst;
+
+IVal
+ScalarEmitter::imm(int32_t v)
+{
+    TraceInst &inst = _tb.emit(Op::LDA);
+    inst.dst = _tb.allocInt();
+    return { v, inst.dst };
+}
+
+IVal
+ScalarEmitter::copy(IVal a)
+{
+    return immop(Op::OR, a, a.v);
+}
+
+IVal
+ScalarEmitter::binop(Op op, IVal a, IVal b, int32_t result)
+{
+    TraceInst &inst = _tb.emit(op);
+    inst.dst = _tb.allocInt();
+    inst.src0 = a.reg;
+    inst.src1 = b.reg;
+    return { result, inst.dst };
+}
+
+IVal
+ScalarEmitter::immop(Op op, IVal a, int32_t result)
+{
+    TraceInst &inst = _tb.emit(op);
+    inst.dst = _tb.allocInt();
+    inst.src0 = a.reg;
+    return { result, inst.dst };
+}
+
+IVal ScalarEmitter::add(IVal a, IVal b) { return binop(Op::ADDL, a, b, a.v + b.v); }
+IVal ScalarEmitter::addi(IVal a, int32_t k) { return immop(Op::ADDL, a, a.v + k); }
+IVal ScalarEmitter::sub(IVal a, IVal b) { return binop(Op::SUBL, a, b, a.v - b.v); }
+IVal ScalarEmitter::subi(IVal a, int32_t k) { return immop(Op::SUBL, a, a.v - k); }
+IVal ScalarEmitter::mul(IVal a, IVal b) { return binop(Op::MULL, a, b, a.v * b.v); }
+IVal ScalarEmitter::muli(IVal a, int32_t k) { return immop(Op::MULL, a, a.v * k); }
+
+IVal
+ScalarEmitter::div(IVal a, IVal b)
+{
+    MOMSIM_ASSERT(b.v != 0, "emitted division by zero");
+    return binop(Op::DIVL, a, b, a.v / b.v);
+}
+
+IVal ScalarEmitter::and_(IVal a, IVal b) { return binop(Op::AND, a, b, a.v & b.v); }
+IVal ScalarEmitter::andi(IVal a, int32_t k) { return immop(Op::AND, a, a.v & k); }
+IVal ScalarEmitter::or_(IVal a, IVal b) { return binop(Op::OR, a, b, a.v | b.v); }
+IVal ScalarEmitter::ori(IVal a, int32_t k) { return immop(Op::OR, a, a.v | k); }
+IVal ScalarEmitter::xor_(IVal a, IVal b) { return binop(Op::XOR, a, b, a.v ^ b.v); }
+IVal ScalarEmitter::xori(IVal a, int32_t k) { return immop(Op::XOR, a, a.v ^ k); }
+
+IVal
+ScalarEmitter::slli(IVal a, int k)
+{
+    return immop(Op::SLL, a, static_cast<int32_t>(a.u() << (k & 31)));
+}
+
+IVal
+ScalarEmitter::srli(IVal a, int k)
+{
+    return immop(Op::SRL, a, static_cast<int32_t>(a.u() >> (k & 31)));
+}
+
+IVal
+ScalarEmitter::srai(IVal a, int k)
+{
+    return immop(Op::SRA, a, a.v >> (k & 31));
+}
+
+IVal
+ScalarEmitter::sextb(IVal a)
+{
+    return immop(Op::SEXTB, a, static_cast<int8_t>(a.v & 0xFF));
+}
+
+IVal
+ScalarEmitter::sextw(IVal a)
+{
+    return immop(Op::SEXTW, a, static_cast<int16_t>(a.v & 0xFFFF));
+}
+
+IVal ScalarEmitter::cmpeq(IVal a, IVal b) { return binop(Op::CMPEQ, a, b, a.v == b.v); }
+IVal ScalarEmitter::cmpeqi(IVal a, int32_t k) { return immop(Op::CMPEQ, a, a.v == k); }
+IVal ScalarEmitter::cmplt(IVal a, IVal b) { return binop(Op::CMPLT, a, b, a.v < b.v); }
+IVal ScalarEmitter::cmplti(IVal a, int32_t k) { return immop(Op::CMPLT, a, a.v < k); }
+IVal ScalarEmitter::cmple(IVal a, IVal b) { return binop(Op::CMPLE, a, b, a.v <= b.v); }
+IVal ScalarEmitter::cmpult(IVal a, IVal b) { return binop(Op::CMPULT, a, b, a.u() < b.u()); }
+
+IVal
+ScalarEmitter::cmovne(IVal cond, IVal ifTrue, IVal ifFalse)
+{
+    TraceInst &inst = _tb.emit(Op::CMOVNE);
+    inst.dst = _tb.allocInt();
+    inst.src0 = cond.reg;
+    inst.src1 = ifTrue.reg;
+    inst.src2 = ifFalse.reg;
+    return { cond.v != 0 ? ifTrue.v : ifFalse.v, inst.dst };
+}
+
+IVal
+ScalarEmitter::loadInt(Op op, IVal base, int32_t disp, int32_t value,
+                       uint8_t size)
+{
+    TraceInst &inst = _tb.emit(op);
+    inst.dst = _tb.allocInt();
+    inst.src0 = base.reg;
+    inst.addr = base.u() + static_cast<uint32_t>(disp);
+    inst.accessSize = size;
+    return { value, inst.dst };
+}
+
+void
+ScalarEmitter::storeInt(Op op, IVal base, int32_t disp, IVal val,
+                        uint8_t size)
+{
+    TraceInst &inst = _tb.emit(op);
+    inst.src0 = val.reg;
+    inst.src1 = base.reg;
+    inst.addr = base.u() + static_cast<uint32_t>(disp);
+    inst.accessSize = size;
+}
+
+IVal
+ScalarEmitter::loadU8(IVal base, int32_t disp)
+{
+    uint32_t addr = base.u() + static_cast<uint32_t>(disp);
+    return loadInt(Op::LDBU, base, disp, _tb.peek8(addr), 1);
+}
+
+IVal
+ScalarEmitter::loadU16(IVal base, int32_t disp)
+{
+    uint32_t addr = base.u() + static_cast<uint32_t>(disp);
+    return loadInt(Op::LDWU, base, disp, _tb.peek16(addr), 2);
+}
+
+IVal
+ScalarEmitter::loadS16(IVal base, int32_t disp)
+{
+    IVal raw = loadU16(base, disp);
+    return sextw(raw);
+}
+
+IVal
+ScalarEmitter::loadI32(IVal base, int32_t disp)
+{
+    uint32_t addr = base.u() + static_cast<uint32_t>(disp);
+    return loadInt(Op::LDL, base, disp,
+                   static_cast<int32_t>(_tb.peek32(addr)), 4);
+}
+
+void
+ScalarEmitter::storeU8(IVal base, int32_t disp, IVal val)
+{
+    storeInt(Op::STB, base, disp, val, 1);
+    _tb.poke8(base.u() + static_cast<uint32_t>(disp),
+              static_cast<uint8_t>(val.v));
+}
+
+void
+ScalarEmitter::storeI16(IVal base, int32_t disp, IVal val)
+{
+    storeInt(Op::STW, base, disp, val, 2);
+    _tb.poke16(base.u() + static_cast<uint32_t>(disp),
+               static_cast<uint16_t>(val.v));
+}
+
+void
+ScalarEmitter::storeI32(IVal base, int32_t disp, IVal val)
+{
+    storeInt(Op::STL, base, disp, val, 4);
+    _tb.poke32(base.u() + static_cast<uint32_t>(disp),
+               static_cast<uint32_t>(val.v));
+}
+
+FVal
+ScalarEmitter::fconst(float v)
+{
+    if (!_constPoolInit) {
+        uint32_t pool = _tb.alloc(4096, 64);
+        _constPool = imm(static_cast<int32_t>(pool));
+        _constPoolInit = true;
+    }
+    // Each constant occupies a fresh pool slot; real compilers dedupe,
+    // but the trace cost (one FLDS) is identical.
+    static_assert(sizeof(float) == 4);
+    uint32_t slot = _tb.alloc(4, 4);
+    _tb.poke32(slot, std::bit_cast<uint32_t>(v));
+    TraceInst &inst = _tb.emit(Op::FLDS);
+    inst.dst = _tb.allocFp();
+    inst.src0 = _constPool.reg;
+    inst.addr = slot;
+    inst.accessSize = 4;
+    return { v, inst.dst };
+}
+
+FVal
+ScalarEmitter::loadF(IVal base, int32_t disp)
+{
+    uint32_t addr = base.u() + static_cast<uint32_t>(disp);
+    TraceInst &inst = _tb.emit(Op::FLDS);
+    inst.dst = _tb.allocFp();
+    inst.src0 = base.reg;
+    inst.addr = addr;
+    inst.accessSize = 4;
+    return { std::bit_cast<float>(_tb.peek32(addr)), inst.dst };
+}
+
+void
+ScalarEmitter::storeF(IVal base, int32_t disp, FVal val)
+{
+    uint32_t addr = base.u() + static_cast<uint32_t>(disp);
+    TraceInst &inst = _tb.emit(Op::FSTS);
+    inst.src0 = val.reg;
+    inst.src1 = base.reg;
+    inst.addr = addr;
+    inst.accessSize = 4;
+    _tb.poke32(addr, std::bit_cast<uint32_t>(val.v));
+}
+
+FVal
+ScalarEmitter::fbinop(Op op, FVal a, FVal b, float result)
+{
+    TraceInst &inst = _tb.emit(op);
+    inst.dst = _tb.allocFp();
+    inst.src0 = a.reg;
+    inst.src1 = b.reg;
+    return { result, inst.dst };
+}
+
+FVal ScalarEmitter::fadd(FVal a, FVal b) { return fbinop(Op::FADD, a, b, a.v + b.v); }
+FVal ScalarEmitter::fsub(FVal a, FVal b) { return fbinop(Op::FSUB, a, b, a.v - b.v); }
+FVal ScalarEmitter::fmul(FVal a, FVal b) { return fbinop(Op::FMUL, a, b, a.v * b.v); }
+FVal ScalarEmitter::fdiv(FVal a, FVal b) { return fbinop(Op::FDIV, a, b, a.v / b.v); }
+
+FVal
+ScalarEmitter::fsqrt(FVal a)
+{
+    TraceInst &inst = _tb.emit(Op::FSQRT);
+    inst.dst = _tb.allocFp();
+    inst.src0 = a.reg;
+    return { std::sqrt(a.v), inst.dst };
+}
+
+FVal
+ScalarEmitter::fabs_(FVal a)
+{
+    TraceInst &inst = _tb.emit(Op::FABS);
+    inst.dst = _tb.allocFp();
+    inst.src0 = a.reg;
+    return { std::fabs(a.v), inst.dst };
+}
+
+FVal
+ScalarEmitter::fneg(FVal a)
+{
+    TraceInst &inst = _tb.emit(Op::FNEG);
+    inst.dst = _tb.allocFp();
+    inst.src0 = a.reg;
+    return { -a.v, inst.dst };
+}
+
+FVal
+ScalarEmitter::cvtIF(IVal a)
+{
+    TraceInst &inst = _tb.emit(Op::FCVTIF);
+    inst.dst = _tb.allocFp();
+    inst.src0 = a.reg;
+    return { static_cast<float>(a.v), inst.dst };
+}
+
+IVal
+ScalarEmitter::cvtFI(FVal a)
+{
+    TraceInst &inst = _tb.emit(Op::FCVTFI);
+    inst.dst = _tb.allocInt();
+    inst.src0 = a.reg;
+    return { static_cast<int32_t>(a.v), inst.dst };
+}
+
+IVal
+ScalarEmitter::fcmplt(FVal a, FVal b)
+{
+    TraceInst &inst = _tb.emit(Op::FCMP);
+    inst.dst = _tb.allocInt();
+    inst.src0 = a.reg;
+    inst.src1 = b.reg;
+    return { a.v < b.v ? 1 : 0, inst.dst };
+}
+
+void
+ScalarEmitter::condBr(IVal cond, bool taken)
+{
+    TraceInst &inst = _tb.emit(Op::BNE);
+    inst.src0 = cond.reg;
+    inst.flags |= isa::kFlagCond;
+    if (taken)
+        inst.flags |= isa::kFlagTaken;
+    // Forward target a few instructions ahead; the exact distance only
+    // matters for BTB indexing, which is modelled as precise.
+    inst.addr = _tb.pc() + 16;
+}
+
+void
+ScalarEmitter::call(const std::string &name, uint32_t span)
+{
+    _tb.callRoutine(name, span);
+}
+
+void
+ScalarEmitter::ret()
+{
+    _tb.returnFromRoutine();
+}
+
+void
+ScalarEmitter::loopBack(uint32_t head, IVal cond, bool again)
+{
+    _tb.loopBack(head, cond.reg, again);
+}
+
+void
+ScalarEmitter::nop()
+{
+    _tb.emit(Op::NOP);
+}
+
+} // namespace momsim::trace

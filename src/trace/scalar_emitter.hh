@@ -1,0 +1,136 @@
+/**
+ * @file
+ * ScalarEmitter: the Alpha-flavoured scalar half of the emulation library.
+ *
+ * Each method computes a real value *and* records the corresponding
+ * dynamic instruction(s), so a codec written against this API is both a
+ * working implementation and a trace generator. Value handles (IVal/FVal)
+ * carry the logical register that produced them, giving the simulated
+ * pipeline true dataflow.
+ */
+
+#ifndef MOMSIM_TRACE_SCALAR_EMITTER_HH
+#define MOMSIM_TRACE_SCALAR_EMITTER_HH
+
+#include <cstdint>
+
+#include "trace/builder.hh"
+
+namespace momsim::trace
+{
+
+/** A 32-bit integer value living in a logical integer register. */
+struct IVal
+{
+    int32_t v = 0;
+    isa::RegRef reg = isa::kNoReg;
+
+    uint32_t u() const { return static_cast<uint32_t>(v); }
+};
+
+/** A float value living in a logical FP register. */
+struct FVal
+{
+    float v = 0.0f;
+    isa::RegRef reg = isa::kNoReg;
+};
+
+class ScalarEmitter
+{
+  public:
+    explicit ScalarEmitter(TraceBuilder &tb) : _tb(tb) {}
+
+    TraceBuilder &builder() { return _tb; }
+
+    // ------------- constants and moves -------------
+    IVal imm(int32_t v);                       ///< LDA
+    IVal copy(IVal a);                         ///< OR a, zero
+
+    // ------------- integer arithmetic -------------
+    IVal add(IVal a, IVal b);
+    IVal addi(IVal a, int32_t k);
+    IVal sub(IVal a, IVal b);
+    IVal subi(IVal a, int32_t k);
+    IVal mul(IVal a, IVal b);
+    IVal muli(IVal a, int32_t k);
+    IVal div(IVal a, IVal b);                  ///< unpipelined IntDiv
+    IVal and_(IVal a, IVal b);
+    IVal andi(IVal a, int32_t k);
+    IVal or_(IVal a, IVal b);
+    IVal ori(IVal a, int32_t k);
+    IVal xor_(IVal a, IVal b);
+    IVal xori(IVal a, int32_t k);
+    IVal slli(IVal a, int k);
+    IVal srli(IVal a, int k);
+    IVal srai(IVal a, int k);
+    IVal sextb(IVal a);
+    IVal sextw(IVal a);
+
+    // ------------- comparisons and selects -------------
+    IVal cmpeq(IVal a, IVal b);                ///< 1 if equal else 0
+    IVal cmpeqi(IVal a, int32_t k);
+    IVal cmplt(IVal a, IVal b);                ///< signed <
+    IVal cmplti(IVal a, int32_t k);
+    IVal cmple(IVal a, IVal b);
+    IVal cmpult(IVal a, IVal b);               ///< unsigned <
+    IVal cmovne(IVal cond, IVal ifTrue, IVal ifFalse);
+
+    // ------------- memory -------------
+    IVal loadU8(IVal base, int32_t disp = 0);
+    IVal loadS16(IVal base, int32_t disp = 0); ///< LDWU + SEXTW (2 insts)
+    IVal loadU16(IVal base, int32_t disp = 0);
+    IVal loadI32(IVal base, int32_t disp = 0);
+    void storeU8(IVal base, int32_t disp, IVal val);
+    void storeI16(IVal base, int32_t disp, IVal val);
+    void storeI32(IVal base, int32_t disp, IVal val);
+
+    // ------------- floating point -------------
+    FVal fconst(float v);                      ///< load from constant pool
+    FVal loadF(IVal base, int32_t disp = 0);
+    void storeF(IVal base, int32_t disp, FVal val);
+    FVal fadd(FVal a, FVal b);
+    FVal fsub(FVal a, FVal b);
+    FVal fmul(FVal a, FVal b);
+    FVal fdiv(FVal a, FVal b);
+    FVal fsqrt(FVal a);
+    FVal fabs_(FVal a);
+    FVal fneg(FVal a);
+    FVal cvtIF(IVal a);
+    IVal cvtFI(FVal a);                        ///< truncate toward zero
+    IVal fcmplt(FVal a, FVal b);               ///< 1 if a<b (FCMP)
+
+    // ------------- control flow -------------
+    /**
+     * A data-dependent conditional branch whose real outcome was @p taken.
+     * The host `if` has already decided the path; this records the branch
+     * the compiled code would execute.
+     */
+    void condBr(IVal cond, bool taken);
+
+    /** Routine call/return (delegates to the builder's code layout). */
+    void call(const std::string &name, uint32_t span = kDefaultRoutineSpan);
+    void ret();
+
+    /** Loop support; see TraceBuilder. */
+    uint32_t loopHead() const { return _tb.loopHead(); }
+    void loopBack(uint32_t head, IVal cond, bool again);
+
+    void nop();
+
+  private:
+    IVal binop(isa::Op op, IVal a, IVal b, int32_t result);
+    IVal immop(isa::Op op, IVal a, int32_t result);
+    FVal fbinop(isa::Op op, FVal a, FVal b, float result);
+    IVal loadInt(isa::Op op, IVal base, int32_t disp, int32_t value,
+                 uint8_t size);
+    void storeInt(isa::Op op, IVal base, int32_t disp, IVal val,
+                  uint8_t size);
+
+    TraceBuilder &_tb;
+    IVal _constPool;            ///< lazy base pointer for FP constants
+    bool _constPoolInit = false;
+};
+
+} // namespace momsim::trace
+
+#endif // MOMSIM_TRACE_SCALAR_EMITTER_HH

@@ -1,0 +1,396 @@
+/**
+ * @file
+ * Dual vector backend for the media kernels.
+ *
+ * The vectorizable kernels (DCT, quantization, motion compensation,
+ * colour conversion, ...) are written once as templates over a backend:
+ *
+ *  - MmxBackend: one 64-bit packed value per operation; the caller loops
+ *    over blocks and pays scalar loop overhead per block (address
+ *    updates, counter, backward branch) — conventional µ-SIMD code.
+ *  - MomBackend: one *stream* per operation covering up to 16 blocks at
+ *    a fixed stride (MOM's second dimension of parallelism); the
+ *    per-block loop and its scalar overhead disappear, which is exactly
+ *    the instruction-count reduction mechanism of Table 3.
+ *
+ * Both backends compute identical values; only the instruction streams
+ * differ.
+ */
+
+#ifndef MOMSIM_WORKLOADS_BACKEND_HH
+#define MOMSIM_WORKLOADS_BACKEND_HH
+
+#include <map>
+
+#include "trace/mmx_emitter.hh"
+#include "trace/mom_emitter.hh"
+#include "trace/packed.hh"
+#include "trace/scalar_emitter.hh"
+
+namespace momsim::workloads
+{
+
+using trace::FVal;
+using trace::IVal;
+using trace::MmxEmitter;
+using trace::MomEmitter;
+using trace::MVal;
+using trace::ScalarEmitter;
+using trace::SVal;
+using trace::TraceBuilder;
+
+/**
+ * Small pool of packed constants living in simulated memory; loaded once
+ * per kernel invocation and cached per 64-bit pattern.
+ */
+class ConstPool
+{
+  public:
+    ConstPool(TraceBuilder &tb, ScalarEmitter &s, MmxEmitter &mx)
+        : _tb(tb), _s(s), _mx(mx)
+    {}
+
+    /** A packed constant register with all lanes = @p w. */
+    MVal
+    splatW(int16_t w)
+    {
+        return q(trace::splatW(w));
+    }
+
+    /** A packed constant with explicit lanes. */
+    MVal
+    packW(int16_t w0, int16_t w1, int16_t w2, int16_t w3)
+    {
+        return q(trace::packW(w0, w1, w2, w3));
+    }
+
+    MVal
+    zero()
+    {
+        return q(0);
+    }
+
+    /** Invalidate the register cache (new kernel = reload constants). */
+    void
+    spill()
+    {
+        _cached.clear();
+    }
+
+  private:
+    MVal
+    q(uint64_t bits)
+    {
+        auto hit = _cached.find(bits);
+        if (hit != _cached.end())
+            return hit->second;
+        uint32_t slot;
+        auto mem = _inMemory.find(bits);
+        if (mem != _inMemory.end()) {
+            slot = mem->second;
+        } else {
+            slot = _tb.alloc(8, 8);
+            _tb.poke64(slot, bits);
+            _inMemory.emplace(bits, slot);
+        }
+        if (!_poolBaseInit) {
+            _poolBase = _s.imm(static_cast<int32_t>(_tb.dataBase()));
+            _poolBaseInit = true;
+        }
+        MVal v = _mx.loadQ(_poolBase,
+                           static_cast<int32_t>(slot - _tb.dataBase()));
+        _cached.emplace(bits, v);
+        return v;
+    }
+
+    TraceBuilder &_tb;
+    ScalarEmitter &_s;
+    MmxEmitter &_mx;
+    IVal _poolBase;
+    bool _poolBaseInit = false;
+    std::map<uint64_t, uint32_t> _inMemory;
+    std::map<uint64_t, MVal> _cached;
+};
+
+/** Conventional packed-µ-SIMD backend: one block per kernel call. */
+class MmxBackend
+{
+  public:
+    using Vec = MVal;
+    static constexpr bool kIsStream = false;
+
+    MmxBackend(ScalarEmitter &s, MmxEmitter &mx, ConstPool &cp)
+        : _s(s), _mx(mx), _cp(cp)
+    {}
+
+    /** Number of blocks one kernel invocation covers. */
+    int batch() const { return 1; }
+
+    /** Prepare a batch; for MMX this is a no-op (strides unused). */
+    void beginBatch(int blocks, int blockStride, int pixelStride = 8)
+    {
+        (void)blocks;
+        (void)blockStride;
+        (void)pixelStride;
+        _cp.spill();
+    }
+
+    MVal constW(int16_t w) { return _cp.splatW(w); }
+
+    Vec load(IVal base, int32_t disp) { return _mx.loadQ(base, disp); }
+
+    /** A table qword shared by every block of the batch. */
+    Vec loadShared(IVal base, int32_t disp) { return _mx.loadQ(base, disp); }
+    void store(IVal base, int32_t disp, Vec v) { _mx.storeQ(base, disp, v); }
+    void storeNT(IVal base, int32_t disp, Vec v) { _mx.storeNTQ(base, disp, v); }
+
+    /** Load 4 pixels (bytes) widened to halfwords: MOVQ + PUNPCKLBW. */
+    Vec
+    loadPixels4(IVal base, int32_t disp)
+    {
+        MVal eight = _mx.loadQ(base, disp & ~7);
+        MVal z = _cp.zero();
+        // Select the half holding the 4 requested pixels.
+        if (disp & 4)
+            return _mx.punpckhbw(eight, z);
+        return _mx.punpcklbw(eight, z);
+    }
+
+    /** Store 4 halfwords as saturated bytes: PACKUSWB + MOVD-store. */
+    void
+    storePixels4(IVal base, int32_t disp, Vec v)
+    {
+        MVal packed = _mx.packuswb(v, v);
+        IVal word = _mx.movdfm(packed);
+        _s.storeI32(base, disp, word);
+    }
+
+    Vec add(Vec a, Vec b) { return _mx.paddw(a, b); }
+    Vec adds(Vec a, Vec b) { return _mx.paddsw(a, b); }
+    Vec sub(Vec a, Vec b) { return _mx.psubw(a, b); }
+    Vec subs(Vec a, Vec b) { return _mx.psubsw(a, b); }
+    Vec minW(Vec a, Vec b) { return _mx.pminsw(a, b); }
+    Vec maxW(Vec a, Vec b) { return _mx.pmaxsw(a, b); }
+    Vec mulh(Vec a, Vec b) { return _mx.pmulhw(a, b); }
+    Vec mullw(Vec a, Vec b) { return _mx.pmullw(a, b); }
+    Vec mullwC(Vec a, MVal c) { return _mx.pmullw(a, c); }
+    Vec mulhC(Vec a, MVal c) { return _mx.pmulhw(a, c); }
+    Vec mulrC(Vec a, MVal c)
+    {
+        // Q15 round-multiply: MMX has no rounding form; bias then mulh.
+        MVal biased = _mx.paddsw(a, _cp.splatW(1));
+        return _mx.pmulhw(biased, c);
+    }
+    Vec addC(Vec a, MVal c) { return _mx.paddsw(a, c); }
+    Vec subC(Vec a, MVal c) { return _mx.psubsw(a, c); }
+    Vec sll(Vec a, int n) { return _mx.psllw(a, n); }
+    Vec sra(Vec a, int n) { return _mx.psraw(a, n); }
+
+    /** Arithmetic shift right with rounding: 2 MMX ops (no MSRAR). */
+    Vec
+    srar(Vec a, int n)
+    {
+        if (n == 0)
+            return a;
+        MVal bias = _cp.splatW(static_cast<int16_t>(1 << (n - 1)));
+        return _mx.psraw(_mx.paddw(a, bias), n);
+    }
+
+    Vec unpcklwd(Vec a, Vec b) { return _mx.punpcklwd(a, b); }
+    Vec unpckhwd(Vec a, Vec b) { return _mx.punpckhwd(a, b); }
+    Vec unpckldq(Vec a, Vec b) { return _mx.punpckldq(a, b); }
+    Vec unpckhdq(Vec a, Vec b) { return _mx.punpckhdq(a, b); }
+
+    /** Per-lane select by sign mask. */
+    Vec
+    select(Vec mask, Vec a, Vec b)
+    {
+        MVal ta = _mx.pand(mask, a);
+        MVal tb = _mx.pandn(mask, b);
+        return _mx.por(ta, tb);
+    }
+
+    Vec cmpgt(Vec a, Vec b) { return _mx.pcmpgtw(a, b); }
+
+    /** A zeroed vector register (PXOR idiom). */
+    Vec zeroVec() { return _mx.zero(); }
+
+    /** |x| per lane; MMX has no PABSW, so max(x, 0-x): two ops. */
+    Vec
+    absW(Vec zero, Vec x)
+    {
+        return _mx.pmaxsw(x, _mx.psubsw(zero, x));
+    }
+
+    ScalarEmitter &scalar() { return _s; }
+    MmxEmitter &mmx() { return _mx; }
+
+  private:
+    ScalarEmitter &_s;
+    MmxEmitter &_mx;
+    ConstPool &_cp;
+};
+
+/** Streaming vector backend: one op covers a batch of blocks. */
+class MomBackend
+{
+  public:
+    using Vec = SVal;
+    static constexpr bool kIsStream = true;
+
+    MomBackend(ScalarEmitter &s, MmxEmitter &mx, MomEmitter &mv,
+               ConstPool &cp)
+        : _s(s), _mx(mx), _mv(mv), _cp(cp)
+    {}
+
+    int batch() const { return _len; }
+
+    /**
+     * Configure the stream: @p blocks consecutive blocks, one element
+     * each, spaced @p blockStride bytes apart in block arrays and
+     * @p pixelStride bytes apart in pixel planes.
+     */
+    void
+    beginBatch(int blocks, int blockStride, int pixelStride = 8)
+    {
+        _len = blocks;
+        _stride = blockStride;
+        _pixelStride = pixelStride;
+        _cp.spill();
+        _mv.setLen(_s.imm(blocks));
+    }
+
+    MVal constW(int16_t w) { return _cp.splatW(w); }
+
+    Vec
+    load(IVal base, int32_t disp)
+    {
+        return _mv.loadQ(base, disp, _stride);
+    }
+
+    /** A table qword shared by every block: broadcast load (MLDBC). */
+    Vec
+    loadShared(IVal base, int32_t disp)
+    {
+        return _mv.loadBC(base, disp);
+    }
+
+    void
+    store(IVal base, int32_t disp, Vec v)
+    {
+        _mv.storeQ(base, disp, _stride, v);
+    }
+
+    void
+    storeNT(IVal base, int32_t disp, Vec v)
+    {
+        _mv.storeNTQ(base, disp, _stride, v);
+    }
+
+    Vec
+    loadPixels4(IVal base, int32_t disp)
+    {
+        return _mv.loadUB2QH(base, disp, _pixelStride);
+    }
+
+    void
+    storePixels4(IVal base, int32_t disp, Vec v)
+    {
+        _mv.storeQH2UB(base, disp, _pixelStride, v);
+    }
+
+    Vec add(Vec a, Vec b) { return _mv.addQH(a, b); }
+    Vec adds(Vec a, Vec b) { return _mv.addsQH(a, b); }
+    Vec sub(Vec a, Vec b) { return _mv.subQH(a, b); }
+    Vec subs(Vec a, Vec b) { return _mv.subsQH(a, b); }
+    Vec minW(Vec a, Vec b) { return _mv.minQH(a, b); }
+    Vec maxW(Vec a, Vec b) { return _mv.maxQH(a, b); }
+    Vec mulh(Vec a, Vec b) { return _mv.mulhQH(a, b); }
+    Vec mullw(Vec a, Vec b) { return _mv.mullQH(a, b); }
+    Vec mullwC(Vec a, MVal c) { return _mv.mullVSQH(a, c); }
+    Vec mulhC(Vec a, MVal c) { return _mv.mulhVSQH(a, c); }
+    Vec mulrC(Vec a, MVal c) { return _mv.scaleVSQH(a, c); }
+    Vec addC(Vec a, MVal c) { return _mv.addVSQH(a, c); }
+    Vec subC(Vec a, MVal c) { return _mv.subVSQH(a, c); }
+    Vec sll(Vec a, int n) { return _mv.sllQH(a, n); }
+    Vec sra(Vec a, int n) { return _mv.sraQH(a, n); }
+    Vec srar(Vec a, int n) { return n == 0 ? a : _mv.srarQH(a, n); }
+
+    Vec
+    unpcklwd(Vec a, Vec b)
+    {
+        return binPacked(a, b, trace::punpcklwd, isa::Op::MUNPCKL_WD);
+    }
+
+    Vec
+    unpckhwd(Vec a, Vec b)
+    {
+        return binPacked(a, b, trace::punpckhwd, isa::Op::MUNPCKH_WD);
+    }
+
+    Vec
+    unpckldq(Vec a, Vec b)
+    {
+        return binPacked(a, b,
+                         [](uint64_t x, uint64_t y) {
+                             return (x & 0xFFFFFFFFull) | (y << 32);
+                         },
+                         isa::Op::MUNPCKL_DQ);
+    }
+
+    Vec
+    unpckhdq(Vec a, Vec b)
+    {
+        return binPacked(a, b,
+                         [](uint64_t x, uint64_t y) {
+                             return (x >> 32) | (y & 0xFFFFFFFF00000000ull);
+                         },
+                         isa::Op::MUNPCKH_DQ);
+    }
+
+    Vec
+    select(Vec mask, Vec a, Vec b)
+    {
+        return _mv.bitsel(mask, a, b);
+    }
+
+    Vec cmpgt(Vec a, Vec b) { return _mv.cmpgtQH(a, b); }
+
+    /** A zeroed stream register (MZERO). */
+    Vec zeroVec() { return _mv.zero(); }
+
+    /** |x| per lane: MABS.QH, one op (an honest MOM ISA advantage). */
+    Vec
+    absW(Vec zero, Vec x)
+    {
+        (void)zero;
+        return _mv.absQH(x);
+    }
+
+    ScalarEmitter &scalar() { return _s; }
+    MomEmitter &mom() { return _mv; }
+
+  private:
+    /** Element-wise binary stream op with explicit semantics. */
+    template <typename Fn>
+    Vec
+    binPacked(Vec a, Vec b, Fn fn, isa::Op op)
+    {
+        SVal r = _mv.rawBinop(op, a, b);
+        for (int i = 0; i < a.len; ++i)
+            r.e[i] = fn(a.e[i], b.e[i]);
+        return r;
+    }
+
+    ScalarEmitter &_s;
+    MmxEmitter &_mx;
+    MomEmitter &_mv;
+    ConstPool &_cp;
+    int _len = 0;
+    int _stride = 128;
+    int _pixelStride = 8;
+};
+
+} // namespace momsim::workloads
+
+#endif // MOMSIM_WORKLOADS_BACKEND_HH

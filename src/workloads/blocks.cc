@@ -1,0 +1,139 @@
+#include "workloads/blocks.hh"
+
+#include "common/fixed.hh"
+
+namespace momsim::workloads
+{
+
+namespace
+{
+
+using detail::mulcRef;
+
+/** One 1-D forward pass down the columns of an 8x8 int16 block. */
+void
+dctColumnsRef(int16_t *blk)
+{
+    for (int col = 0; col < 8; ++col) {
+        int16_t x[8];
+        for (int r = 0; r < 8; ++r)
+            x[r] = blk[r * 8 + col];
+
+        int16_t s07 = satAdd16(x[0], x[7]), d07 = satSub16(x[0], x[7]);
+        int16_t s16 = satAdd16(x[1], x[6]), d16 = satSub16(x[1], x[6]);
+        int16_t s25 = satAdd16(x[2], x[5]), d25 = satSub16(x[2], x[5]);
+        int16_t s34 = satAdd16(x[3], x[4]), d34 = satSub16(x[3], x[4]);
+
+        int16_t a = satAdd16(s07, s34), c = satSub16(s07, s34);
+        int16_t b = satAdd16(s16, s25), d = satSub16(s16, s25);
+
+        x[0] = mulcRef(satAdd16(a, b), DctConsts::c4);
+        x[4] = mulcRef(satSub16(a, b), DctConsts::c4);
+        x[2] = satAdd16(mulcRef(c, DctConsts::c2), mulcRef(d, DctConsts::c6));
+        x[6] = satSub16(mulcRef(c, DctConsts::c6), mulcRef(d, DctConsts::c2));
+
+        x[1] = satAdd16(
+            satAdd16(mulcRef(d07, DctConsts::c1), mulcRef(d16, DctConsts::c3)),
+            satAdd16(mulcRef(d25, DctConsts::c5), mulcRef(d34, DctConsts::c7)));
+        x[3] = satSub16(
+            satSub16(mulcRef(d07, DctConsts::c3), mulcRef(d16, DctConsts::c7)),
+            satAdd16(mulcRef(d25, DctConsts::c1), mulcRef(d34, DctConsts::c5)));
+        x[5] = satAdd16(
+            satSub16(mulcRef(d07, DctConsts::c5), mulcRef(d16, DctConsts::c1)),
+            satAdd16(mulcRef(d25, DctConsts::c7), mulcRef(d34, DctConsts::c3)));
+        x[7] = satAdd16(
+            satSub16(mulcRef(d07, DctConsts::c7), mulcRef(d16, DctConsts::c5)),
+            satSub16(mulcRef(d25, DctConsts::c3), mulcRef(d34, DctConsts::c1)));
+
+        for (int r = 0; r < 8; ++r)
+            blk[r * 8 + col] = x[r];
+    }
+}
+
+/** One 1-D inverse (DCT-III) pass down the columns. */
+void
+idctColumnsRef(int16_t *blk)
+{
+    for (int col = 0; col < 8; ++col) {
+        int16_t X[8];
+        for (int r = 0; r < 8; ++r)
+            X[r] = blk[r * 8 + col];
+
+        int16_t a = mulcRef(X[0], DctConsts::c4);
+        int16_t b = mulcRef(X[4], DctConsts::c4);
+        int16_t e0 = satAdd16(a, b), e1 = satSub16(a, b);
+        int16_t c = satAdd16(mulcRef(X[2], DctConsts::c2),
+                             mulcRef(X[6], DctConsts::c6));
+        int16_t d = satSub16(mulcRef(X[2], DctConsts::c6),
+                             mulcRef(X[6], DctConsts::c2));
+
+        int16_t s07 = satAdd16(e0, c), s34 = satSub16(e0, c);
+        int16_t s16 = satAdd16(e1, d), s25 = satSub16(e1, d);
+
+        int16_t o0 = satAdd16(
+            satAdd16(mulcRef(X[1], DctConsts::c1), mulcRef(X[3], DctConsts::c3)),
+            satAdd16(mulcRef(X[5], DctConsts::c5), mulcRef(X[7], DctConsts::c7)));
+        int16_t o1 = satSub16(
+            satSub16(mulcRef(X[1], DctConsts::c3), mulcRef(X[3], DctConsts::c7)),
+            satAdd16(mulcRef(X[5], DctConsts::c1), mulcRef(X[7], DctConsts::c5)));
+        int16_t o2 = satAdd16(
+            satSub16(mulcRef(X[1], DctConsts::c5), mulcRef(X[3], DctConsts::c1)),
+            satAdd16(mulcRef(X[5], DctConsts::c7), mulcRef(X[7], DctConsts::c3)));
+        int16_t o3 = satAdd16(
+            satSub16(mulcRef(X[1], DctConsts::c7), mulcRef(X[3], DctConsts::c5)),
+            satSub16(mulcRef(X[5], DctConsts::c3), mulcRef(X[7], DctConsts::c1)));
+
+        X[0] = satAdd16(s07, o0);
+        X[7] = satSub16(s07, o0);
+        X[1] = satAdd16(s16, o1);
+        X[6] = satSub16(s16, o1);
+        X[2] = satAdd16(s25, o2);
+        X[5] = satSub16(s25, o2);
+        X[3] = satAdd16(s34, o3);
+        X[4] = satSub16(s34, o3);
+
+        for (int r = 0; r < 8; ++r)
+            blk[r * 8 + col] = X[r];
+    }
+}
+
+void
+transposeRef(int16_t *blk)
+{
+    for (int r = 0; r < 8; ++r) {
+        for (int c = r + 1; c < 8; ++c)
+            std::swap(blk[r * 8 + c], blk[c * 8 + r]);
+    }
+}
+
+} // namespace
+
+void
+dct8x8Ref(const int16_t *in, int16_t *out)
+{
+    int16_t tmp[64];
+    for (int i = 0; i < 64; ++i)
+        tmp[i] = in[i];
+    dctColumnsRef(tmp);
+    transposeRef(tmp);
+    dctColumnsRef(tmp);
+    transposeRef(tmp);
+    for (int i = 0; i < 64; ++i)
+        out[i] = tmp[i];
+}
+
+void
+idct8x8Ref(const int16_t *in, int16_t *out)
+{
+    int16_t tmp[64];
+    for (int i = 0; i < 64; ++i)
+        tmp[i] = in[i];
+    idctColumnsRef(tmp);
+    transposeRef(tmp);
+    idctColumnsRef(tmp);
+    transposeRef(tmp);
+    for (int i = 0; i < 64; ++i)
+        out[i] = tmp[i];
+}
+
+} // namespace momsim::workloads

@@ -1,0 +1,373 @@
+/**
+ * @file
+ * The 8x8 block kernels shared by the video codecs (MPEG-2 and JPEG),
+ * written once as templates over the dual vector backend:
+ *
+ *  - forward DCT (Chen even/odd butterfly decomposition, Q15 constants,
+ *    each 1-D pass scales by 1/2 — the inverse undoes it exactly);
+ *  - inverse DCT (DCT-III flowgraph with the same constants);
+ *  - quantization by reciprocal multiply, dequantization by multiply;
+ *  - motion-compensated reconstruction (add residual + clamp to u8).
+ *
+ * Blocks are 8x8 int16 arrays with a 16-byte row pitch (128 bytes per
+ * block). Under the MMX backend one invocation processes one block;
+ * under the MOM backend one invocation processes a whole batch of
+ * consecutive blocks (the stream dimension).
+ *
+ * A scalar host-side reference (dct8x8Ref / idct8x8Ref) implements the
+ * identical arithmetic for the test suite to diff against.
+ */
+
+#ifndef MOMSIM_WORKLOADS_BLOCKS_HH
+#define MOMSIM_WORKLOADS_BLOCKS_HH
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+
+#include "workloads/backend.hh"
+
+namespace momsim::workloads
+{
+
+/** Bytes between consecutive 8x8 int16 blocks (8 rows x 16 B pitch). */
+constexpr int kBlockBytes = 128;
+
+/** Q15 cosine constants for the Chen butterflies. */
+struct DctConsts
+{
+    static constexpr int16_t c1 = 32138;    // cos(1*pi/16) * 32768
+    static constexpr int16_t c2 = 30274;
+    static constexpr int16_t c3 = 27246;
+    static constexpr int16_t c4 = 23170;
+    static constexpr int16_t c5 = 18205;
+    static constexpr int16_t c6 = 12540;
+    static constexpr int16_t c7 = 6393;
+};
+
+/** Host reference: one 8x8 forward DCT over int16 (same arithmetic). */
+void dct8x8Ref(const int16_t *in, int16_t *out);
+
+/** Host reference: matching inverse DCT. */
+void idct8x8Ref(const int16_t *in, int16_t *out);
+
+namespace detail
+{
+
+/** mulc(x, c) = (x * c) >> 16 per lane — matches pmulhw semantics. */
+inline int16_t
+mulcRef(int16_t x, int16_t c)
+{
+    return static_cast<int16_t>((static_cast<int32_t>(x) * c) >> 16);
+}
+
+/**
+ * One 1-D forward pass over a column group of 8 vectors (vector lane i
+ * is column i); outputs overwrite the input array.
+ */
+template <class B>
+void
+dctColumnPass(B &b, std::array<typename B::Vec, 8> &x)
+{
+    using V = typename B::Vec;
+    MVal C1 = b.constW(DctConsts::c1);
+    MVal C2 = b.constW(DctConsts::c2);
+    MVal C3 = b.constW(DctConsts::c3);
+    MVal C4 = b.constW(DctConsts::c4);
+    MVal C5 = b.constW(DctConsts::c5);
+    MVal C6 = b.constW(DctConsts::c6);
+    MVal C7 = b.constW(DctConsts::c7);
+
+    V s07 = b.adds(x[0], x[7]), d07 = b.subs(x[0], x[7]);
+    V s16 = b.adds(x[1], x[6]), d16 = b.subs(x[1], x[6]);
+    V s25 = b.adds(x[2], x[5]), d25 = b.subs(x[2], x[5]);
+    V s34 = b.adds(x[3], x[4]), d34 = b.subs(x[3], x[4]);
+
+    V a = b.adds(s07, s34), c = b.subs(s07, s34);
+    V bb = b.adds(s16, s25), d = b.subs(s16, s25);
+
+    x[0] = b.mulhC(b.adds(a, bb), C4);
+    x[4] = b.mulhC(b.subs(a, bb), C4);
+    x[2] = b.adds(b.mulhC(c, C2), b.mulhC(d, C6));
+    x[6] = b.subs(b.mulhC(c, C6), b.mulhC(d, C2));
+
+    x[1] = b.adds(b.adds(b.mulhC(d07, C1), b.mulhC(d16, C3)),
+                  b.adds(b.mulhC(d25, C5), b.mulhC(d34, C7)));
+    x[3] = b.subs(b.subs(b.mulhC(d07, C3), b.mulhC(d16, C7)),
+                  b.adds(b.mulhC(d25, C1), b.mulhC(d34, C5)));
+    x[5] = b.adds(b.subs(b.mulhC(d07, C5), b.mulhC(d16, C1)),
+                  b.adds(b.mulhC(d25, C7), b.mulhC(d34, C3)));
+    x[7] = b.adds(b.subs(b.mulhC(d07, C7), b.mulhC(d16, C5)),
+                  b.subs(b.mulhC(d25, C3), b.mulhC(d34, C1)));
+}
+
+/** One 1-D inverse (DCT-III) pass; exact inverse of dctColumnPass. */
+template <class B>
+void
+idctColumnPass(B &b, std::array<typename B::Vec, 8> &X)
+{
+    using V = typename B::Vec;
+    MVal C1 = b.constW(DctConsts::c1);
+    MVal C2 = b.constW(DctConsts::c2);
+    MVal C3 = b.constW(DctConsts::c3);
+    MVal C4 = b.constW(DctConsts::c4);
+    MVal C5 = b.constW(DctConsts::c5);
+    MVal C6 = b.constW(DctConsts::c6);
+    MVal C7 = b.constW(DctConsts::c7);
+
+    V a = b.mulhC(X[0], C4);
+    V bb = b.mulhC(X[4], C4);
+    V e0 = b.adds(a, bb), e1 = b.subs(a, bb);
+    V c = b.adds(b.mulhC(X[2], C2), b.mulhC(X[6], C6));
+    V d = b.subs(b.mulhC(X[2], C6), b.mulhC(X[6], C2));
+
+    V s07 = b.adds(e0, c), s34 = b.subs(e0, c);
+    V s16 = b.adds(e1, d), s25 = b.subs(e1, d);
+
+    V o0 = b.adds(b.adds(b.mulhC(X[1], C1), b.mulhC(X[3], C3)),
+                  b.adds(b.mulhC(X[5], C5), b.mulhC(X[7], C7)));
+    V o1 = b.subs(b.subs(b.mulhC(X[1], C3), b.mulhC(X[3], C7)),
+                  b.adds(b.mulhC(X[5], C1), b.mulhC(X[7], C5)));
+    V o2 = b.adds(b.subs(b.mulhC(X[1], C5), b.mulhC(X[3], C1)),
+                  b.adds(b.mulhC(X[5], C7), b.mulhC(X[7], C3)));
+    V o3 = b.adds(b.subs(b.mulhC(X[1], C7), b.mulhC(X[3], C5)),
+                  b.subs(b.mulhC(X[5], C3), b.mulhC(X[7], C1)));
+
+    // No rescale needed: the forward pass's mulc halving cancels inside
+    // the inverse butterfly (s07' = s07/2, o0 = d07/2, and their sum is
+    // exactly x0).
+    X[0] = b.adds(s07, o0);
+    X[7] = b.subs(s07, o0);
+    X[1] = b.adds(s16, o1);
+    X[6] = b.subs(s16, o1);
+    X[2] = b.adds(s25, o2);
+    X[5] = b.subs(s25, o2);
+    X[3] = b.adds(s34, o3);
+    X[4] = b.subs(s34, o3);
+}
+
+/** 4x4 halfword transpose of four vectors (classic unpack ladder). */
+template <class B>
+void
+transpose4(B &b, typename B::Vec &a0, typename B::Vec &a1,
+           typename B::Vec &a2, typename B::Vec &a3)
+{
+    using V = typename B::Vec;
+    V t0 = b.unpcklwd(a0, a1);
+    V t1 = b.unpckhwd(a0, a1);
+    V t2 = b.unpcklwd(a2, a3);
+    V t3 = b.unpckhwd(a2, a3);
+    a0 = b.unpckldq(t0, t2);
+    a1 = b.unpckhdq(t0, t2);
+    a2 = b.unpckldq(t1, t3);
+    a3 = b.unpckhdq(t1, t3);
+}
+
+/** Full 8x8 transpose over the lo/hi column-group vectors. */
+template <class B>
+void
+transpose8x8(B &b, std::array<typename B::Vec, 8> &lo,
+             std::array<typename B::Vec, 8> &hi)
+{
+    // Quadrants: [lo rows0-3] [hi rows0-3; lo rows4-7] [hi rows4-7].
+    transpose4(b, lo[0], lo[1], lo[2], lo[3]);      // Q00 in place
+    transpose4(b, hi[4], hi[5], hi[6], hi[7]);      // Q11 in place
+    transpose4(b, hi[0], hi[1], hi[2], hi[3]);      // Q01 -> new Q10
+    transpose4(b, lo[4], lo[5], lo[6], lo[7]);      // Q10 -> new Q01
+    for (int i = 0; i < 4; ++i)
+        std::swap(hi[i], lo[i + 4]);
+}
+
+} // namespace detail
+
+/**
+ * Forward 8x8 DCT over one batch of blocks at @p src, writing @p dst
+ * (both int16, 16-byte pitch; batch geometry set by b.beginBatch()).
+ */
+template <class B>
+void
+dct8x8(B &b, IVal src, IVal dst)
+{
+    std::array<typename B::Vec, 8> lo, hi;
+    for (int r = 0; r < 8; ++r) {
+        lo[static_cast<size_t>(r)] = b.load(src, r * 16);
+        hi[static_cast<size_t>(r)] = b.load(src, r * 16 + 8);
+    }
+    detail::dctColumnPass(b, lo);
+    detail::dctColumnPass(b, hi);
+    detail::transpose8x8(b, lo, hi);
+    detail::dctColumnPass(b, lo);
+    detail::dctColumnPass(b, hi);
+    detail::transpose8x8(b, lo, hi);
+    for (int r = 0; r < 8; ++r) {
+        b.store(dst, r * 16, lo[static_cast<size_t>(r)]);
+        b.store(dst, r * 16 + 8, hi[static_cast<size_t>(r)]);
+    }
+}
+
+/** Inverse 8x8 DCT (same geometry). */
+template <class B>
+void
+idct8x8(B &b, IVal src, IVal dst)
+{
+    std::array<typename B::Vec, 8> lo, hi;
+    for (int r = 0; r < 8; ++r) {
+        lo[static_cast<size_t>(r)] = b.load(src, r * 16);
+        hi[static_cast<size_t>(r)] = b.load(src, r * 16 + 8);
+    }
+    detail::idctColumnPass(b, lo);
+    detail::idctColumnPass(b, hi);
+    detail::transpose8x8(b, lo, hi);
+    detail::idctColumnPass(b, lo);
+    detail::idctColumnPass(b, hi);
+    detail::transpose8x8(b, lo, hi);
+    for (int r = 0; r < 8; ++r) {
+        b.store(dst, r * 16, lo[static_cast<size_t>(r)]);
+        b.store(dst, r * 16 + 8, hi[static_cast<size_t>(r)]);
+    }
+}
+
+/** Host reference for the quantizer: sign(x) * ((|x| * r) >> 16). */
+inline int16_t
+quantRef(int16_t x, int16_t recip)
+{
+    int16_t mag = satAbs16(x);
+    int16_t level = detail::mulcRef(mag, recip);
+    return x < 0 ? static_cast<int16_t>(-level) : level;
+}
+
+/**
+ * Quantize a batch of DCT blocks: level = sign(X)*((|X| * recip[pos])
+ * >> 16), reciprocal table packed per 4-lane group (16 qwords / block).
+ */
+template <class B>
+void
+quantBlock(B &b, IVal src, IVal dst, IVal recipTable)
+{
+    typename B::Vec zero = b.zeroVec();
+    for (int g = 0; g < 16; ++g) {
+        typename B::Vec x = b.load(src, g * 8);
+        typename B::Vec mag = b.absW(zero, x);
+        typename B::Vec level =
+            b.mulh(mag, b.loadShared(recipTable, g * 8));
+        typename B::Vec neg = b.cmpgt(zero, x);
+        typename B::Vec signedLevel =
+            b.select(neg, b.sub(zero, level), level);
+        b.store(dst, g * 8, signedLevel);
+    }
+}
+
+/** Dequantize: X = level * q[pos] (pmullw semantics). */
+template <class B>
+void
+dequantBlock(B &b, IVal src, IVal dst, IVal qTable)
+{
+    for (int g = 0; g < 16; ++g) {
+        typename B::Vec x = b.load(src, g * 8);
+        x = b.mullw(x, b.loadShared(qTable, g * 8));
+        b.store(dst, g * 8, x);
+    }
+}
+
+/**
+ * Reconstruct one row group: out_u8 = clamp(pred_u8 + residual_s16).
+ * One invocation covers a batch of rows (MOM: the whole 8x8 block with
+ * pixel stride = image pitch and residual stride = 16; MMX: one row,
+ * the caller loops). Displacements are relative to the row base.
+ */
+template <class B>
+void
+addClampRow(B &b, IVal pred, IVal residual, IVal out)
+{
+    for (int half = 0; half < 2; ++half) {
+        typename B::Vec p = b.loadPixels4(pred, half * 4);
+        typename B::Vec d = b.load(residual, half * 8);
+        typename B::Vec sum = b.adds(p, d);
+        b.storePixels4(out, half * 4, sum);
+    }
+}
+
+/** Extract one row group of residuals: blk_s16 = cur_u8 - pred_u8. */
+template <class B>
+void
+extractDiffRow(B &b, IVal cur, IVal pred, IVal blk)
+{
+    for (int half = 0; half < 2; ++half) {
+        typename B::Vec c = b.loadPixels4(cur, half * 4);
+        typename B::Vec p = b.loadPixels4(pred, half * 4);
+        b.store(blk, half * 8, b.subs(c, p));
+    }
+}
+
+/** Copy one row group of pixels (uncoded-block reconstruction). */
+template <class B>
+void
+copyPixelRow(B &b, IVal src, IVal dst)
+{
+    for (int half = 0; half < 2; ++half) {
+        typename B::Vec p = b.loadPixels4(src, half * 4);
+        b.storePixels4(dst, half * 4, p);
+    }
+}
+
+/**
+ * Row-kernel driver: runs @p rowFn over the 8 rows of one 8x8 block.
+ * Under MOM one batched invocation covers all rows (pixel stride =
+ * @p pitch, residual stride = 16); under MMX the driver emits the
+ * classic per-row loop with address updates and a backward branch.
+ */
+template <class B, typename RowFn>
+void
+forEachBlockRow(B &b, ScalarEmitter &s, IVal pixA, IVal pixB, IVal blk,
+                int pitch, RowFn rowFn)
+{
+    if (B::kIsStream) {
+        b.beginBatch(8, 16, pitch);
+        rowFn(b, pixA, pixB, blk);
+        return;
+    }
+    b.beginBatch(1, 16, pitch);
+    IVal a = s.copy(pixA);
+    IVal c = s.copy(pixB);
+    IVal blkRow = s.copy(blk);
+    IVal rows = s.imm(8);
+    uint32_t head = s.loopHead();
+    for (int r = 0; r < 8; ++r) {
+        rowFn(b, a, c, blkRow);
+        a = s.addi(a, pitch);
+        c = s.addi(c, pitch);
+        blkRow = s.addi(blkRow, 16);
+        rows = s.subi(rows, 1);
+        s.loopBack(head, rows, r + 1 < 8);
+    }
+}
+
+/**
+ * Block-sweep driver: runs @p blockFn over @p nBlocks consecutive
+ * 128-byte blocks starting at @p src / @p dst. MOM covers up to 16
+ * blocks per invocation; MMX emits the per-block loop.
+ */
+template <class B, typename BlockFn>
+void
+forEachBlock(B &b, ScalarEmitter &s, uint32_t src, uint32_t dst,
+             int nBlocks, BlockFn blockFn)
+{
+    int batch = B::kIsStream ? 16 : 1;
+    IVal pa = s.imm(static_cast<int32_t>(src));
+    IVal pb = s.imm(static_cast<int32_t>(dst));
+    IVal count = s.imm((nBlocks + batch - 1) / batch);
+    uint32_t head = s.loopHead();
+    for (int start = 0; start < nBlocks; start += batch) {
+        int n = std::min(batch, nBlocks - start);
+        b.beginBatch(n, kBlockBytes);
+        blockFn(b, pa, pb);
+        pa = s.addi(pa, n * kBlockBytes);
+        pb = s.addi(pb, n * kBlockBytes);
+        count = s.subi(count, 1);
+        s.loopBack(head, count, start + batch < nBlocks);
+    }
+}
+
+} // namespace momsim::workloads
+
+#endif // MOMSIM_WORKLOADS_BLOCKS_HH

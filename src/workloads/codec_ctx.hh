@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Bundles a TraceBuilder with the three emitters, the constant pool and
+ * both kernel backends — the standard toolkit each codec builds on.
+ */
+
+#ifndef MOMSIM_WORKLOADS_CODEC_CTX_HH
+#define MOMSIM_WORKLOADS_CODEC_CTX_HH
+
+#include "workloads/backend.hh"
+
+namespace momsim::workloads
+{
+
+struct CodecCtx
+{
+    trace::TraceBuilder tb;
+    ScalarEmitter s;
+    MmxEmitter mx;
+    MomEmitter mv;
+    ConstPool cp;
+    MmxBackend bmx;
+    MomBackend bmm;
+
+    CodecCtx(const char *name, isa::SimdIsa simd, uint32_t base,
+             uint32_t dataCapacity = 4u << 20)
+        : tb(name, simd, base, dataCapacity),
+          s(tb), mx(tb), mv(tb),
+          cp(tb, s, mx),
+          bmx(s, mx, cp),
+          bmm(s, mx, mv, cp)
+    {}
+};
+
+/** Select the backend matching a template parameter. */
+template <class B> B &backendOf(CodecCtx &ctx);
+
+template <>
+inline MmxBackend &
+backendOf<MmxBackend>(CodecCtx &ctx)
+{
+    return ctx.bmx;
+}
+
+template <>
+inline MomBackend &
+backendOf<MomBackend>(CodecCtx &ctx)
+{
+    return ctx.bmm;
+}
+
+} // namespace momsim::workloads
+
+#endif // MOMSIM_WORKLOADS_CODEC_CTX_HH

@@ -1,0 +1,605 @@
+#include "workloads/gsm.hh"
+
+#include <cmath>
+
+#include "common/fixed.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "workloads/codec_ctx.hh"
+#include "workloads/video_common.hh"
+
+namespace momsim::workloads
+{
+
+namespace
+{
+
+constexpr int kFrame = 160;
+constexpr int kSub = 40;
+constexpr int kOrder = 8;
+constexpr int kMinLag = 40;
+constexpr int kMaxLag = 120;
+constexpr int16_t kGainLevels[4] = { 3277, 11469, 21299, 32767 }; // Q15
+
+/** Deterministic voiced-speech-like source: pitch pulses + formants. */
+std::vector<int16_t>
+makeSpeech(int frames, uint64_t seed)
+{
+    Rng rng(seed);
+    int n = frames * kFrame;
+    std::vector<int16_t> out(static_cast<size_t>(n));
+    double f1 = 0.031, f2 = 0.094;
+    int pitch = 72;
+    double env = 0.0;
+    for (int i = 0; i < n; ++i) {
+        double t = static_cast<double>(i);
+        env = 0.999 * env + ((i % (kFrame * 8)) < kFrame * 6 ? 0.002 : 0.0);
+        double pulse = (i % pitch) < 3 ? 1.0 : 0.0;
+        double v = 1200.0 * std::sin(2 * 3.14159265 * f1 * t) +
+                   700.0 * std::sin(2 * 3.14159265 * f2 * t + 1.1) +
+                   900.0 * pulse;
+        v *= 0.4 + env;
+        v += static_cast<double>(rng.range(-60, 60));
+        out[static_cast<size_t>(i)] = satS16(static_cast<int32_t>(v * 0.9));
+    }
+    return out;
+}
+
+/**
+ * Vectorized dot product of two int16 buffers of length 40 (one LTP
+ * window): PMADDWD loop under MMX, a single ACCMAC stream under MOM.
+ */
+IVal
+dot40(CodecCtx &ctx, isa::SimdIsa simd, IVal a, IVal b)
+{
+    ScalarEmitter &s = ctx.s;
+    if (simd == isa::SimdIsa::Mom) {
+        MomEmitter &mv = ctx.mv;
+        if (mv.curLen() != 10)
+            mv.setLen(s.imm(10));
+        trace::SVal va = mv.loadQ(a, 0, 8);
+        trace::SVal vb = mv.loadQ(b, 0, 8);
+        mv.clrAcc(0);
+        mv.accMacQH(0, va, vb);
+        // Sum the four accumulator lanes through the scalar unit.
+        trace::MVal dw = mv.raccDW(0);
+        IVal lo = ctx.mx.movdfm(dw);
+        IVal hi = ctx.mx.movdfm(mv.raccDW(0));
+        (void)hi;
+        // Host truth: full 4-lane sum; the extra ops above model the
+        // 2-step readout.
+        int64_t total = 0;
+        // recompute host-side from the stream values
+        for (int e = 0; e < 10; ++e) {
+            for (int l = 0; l < 4; ++l) {
+                total += static_cast<int64_t>(
+                             trace::laneW(va.e[static_cast<size_t>(e)], l)) *
+                         trace::laneW(vb.e[static_cast<size_t>(e)], l);
+            }
+        }
+        return { static_cast<int32_t>(total), lo.reg };
+    }
+    MmxEmitter &mx = ctx.mx;
+    trace::MVal acc = mx.zero();
+    IVal pa = s.copy(a), pb = s.copy(b);
+    IVal cnt = s.imm(10);
+    uint32_t head = s.loopHead();
+    int64_t total = 0;
+    for (int q = 0; q < 10; ++q) {
+        trace::MVal va = mx.loadQ(pa, 0);
+        trace::MVal vb = mx.loadQ(pb, 0);
+        for (int l = 0; l < 4; ++l) {
+            total += static_cast<int64_t>(trace::laneW(va.v, l)) *
+                     trace::laneW(vb.v, l);
+        }
+        acc = mx.paddd(acc, mx.pmaddwd(va, vb));
+        pa = s.addi(pa, 8);
+        pb = s.addi(pb, 8);
+        cnt = s.subi(cnt, 1);
+        s.loopBack(head, cnt, q + 1 < 10);
+    }
+    // Horizontal 32-bit add: unpack-high + add + extract.
+    trace::MVal hi = mx.punpckhdq(acc, acc);
+    trace::MVal sum = mx.paddd(acc, hi);
+    IVal res = mx.movdfm(sum);
+    return { static_cast<int32_t>(total), res.reg };
+}
+
+/** Emitted-cost Schur recursion; returns Q15 reflection coefficients. */
+std::vector<int32_t>
+schur(CodecCtx &ctx, const int64_t *r)
+{
+    ScalarEmitter &s = ctx.s;
+    std::vector<int32_t> refl(kOrder, 0);
+    // Normalize r to Q15 relative to r[0].
+    if (r[0] == 0)
+        return refl;
+    double p[kOrder + 1], k[kOrder + 1];
+    for (int i = 0; i <= kOrder; ++i)
+        p[i] = static_cast<double>(r[i]);
+    double err = p[0];
+    double a[kOrder + 1][kOrder + 1] = {};
+    for (int m = 1; m <= kOrder; ++m) {
+        double acc = p[m];
+        for (int j = 1; j < m; ++j)
+            acc -= a[m - 1][j] * p[m - j];
+        double km = err > 1e-9 ? acc / err : 0.0;
+        km = std::max(-0.98, std::min(0.98, km));
+        k[m] = km;
+        a[m][m] = km;
+        for (int j = 1; j < m; ++j)
+            a[m][j] = a[m - 1][j] - km * a[m - 1][m - j];
+        err *= (1.0 - km * km);
+        refl[static_cast<size_t>(m - 1)] =
+            static_cast<int32_t>(km * 32767.0);
+        // Emitted cost of one recursion step: one divide plus the
+        // inner-product update.
+        IVal num = s.imm(static_cast<int32_t>(acc / 1024.0));
+        IVal den = s.imm(std::max(1, static_cast<int32_t>(err / 1024.0)));
+        IVal q = s.div(num, den);
+        for (int j = 1; j < m; ++j) {
+            IVal t = s.mul(q, s.imm(refl[static_cast<size_t>(j - 1)]));
+            s.srai(t, 15);
+        }
+    }
+    return refl;
+}
+
+/** Quantize a Q15 reflection coefficient to a 7-bit LAR-style code. */
+int
+quantLar(int32_t q15)
+{
+    int v = (q15 >> 9) + 64;
+    return std::max(0, std::min(127, v));
+}
+
+int32_t
+dequantLar(int code)
+{
+    return static_cast<int32_t>((code - 64) << 9);
+}
+
+struct GsmMem
+{
+    uint32_t samples;       ///< current frame, int16 x 160
+    uint32_t resid;         ///< short-term residual, int16 x 160
+    uint32_t history;       ///< past residual ring, int16 x (120+160)
+    uint32_t excite;        ///< LTP-removed excitation
+    uint32_t outBuf;        ///< decoder output frame
+    uint32_t bitBuf;
+};
+
+GsmMem
+allocGsm(CodecCtx &ctx)
+{
+    GsmMem m;
+    m.samples = ctx.tb.alloc(kFrame * 2, 64);
+    m.resid = ctx.tb.alloc(kFrame * 2, 64);
+    m.history = ctx.tb.alloc((kMaxLag + kFrame) * 2, 64);
+    m.excite = ctx.tb.alloc(kFrame * 2, 64);
+    m.outBuf = ctx.tb.alloc(kFrame * 2, 64);
+    m.bitBuf = ctx.tb.alloc(1u << 17, 64);
+    return m;
+}
+
+/**
+ * Lattice filter step cost, emitted per sample per stage. Host-side
+ * math runs in int32 Q15 (the same arithmetic for analysis and
+ * synthesis keeps the round trip coherent).
+ */
+void
+emitLatticeStage(ScalarEmitter &s, IVal r, IVal d, IVal u)
+{
+    IVal t = s.mul(r, u);
+    t = s.srai(t, 15);
+    s.sub(d, t);
+    IVal t2 = s.mul(r, d);
+    t2 = s.srai(t2, 15);
+    s.add(u, t2);
+}
+
+} // namespace
+
+trace::Program
+buildGsmEncoder(isa::SimdIsa simd, uint32_t base, const GsmConfig &cfg,
+                GsmStream *out)
+{
+    CodecCtx ctx("gsmenc", simd, base, 1u << 20);
+    ScalarEmitter &s = ctx.s;
+    GsmMem mem = allocGsm(ctx);
+
+    std::vector<int16_t> speech = makeSpeech(cfg.frames, cfg.seed);
+    if (out)
+        out->input = speech;
+
+    VlcWriter vlc(s, mem.bitBuf);
+    vlc.put(static_cast<uint32_t>(cfg.frames), 16);
+
+    // Persistent filter / predictor state (host side mirrors emitted).
+    std::vector<int32_t> hist(kMaxLag + kFrame, 0);    // residual history
+    int32_t preZ = 0;
+
+    for (int f = 0; f < cfg.frames; ++f) {
+        // ---- load + preemphasis ----
+        s.call("preprocess", 2048);
+        std::vector<int32_t> x(kFrame);
+        for (int i = 0; i < kFrame; ++i) {
+            int32_t raw = speech[static_cast<size_t>(f * kFrame + i)] / 2;
+            int32_t pre = raw - ((preZ * 28180) >> 15);
+            preZ = raw;
+            x[static_cast<size_t>(i)] = satS16(pre);
+            ctx.tb.poke16(mem.samples + static_cast<uint32_t>(i * 2),
+                          static_cast<uint16_t>(satS16(pre)));
+        }
+        {
+            IVal p = s.imm(static_cast<int32_t>(mem.samples));
+            IVal n = s.imm(kFrame);
+            uint32_t head = s.loopHead();
+            for (int i = 0; i < kFrame; ++i) {
+                IVal v = s.loadS16(p, i * 2);
+                IVal t = s.srai(s.muli(v, 28180), 15);
+                s.sub(v, t);
+                n = s.subi(n, 1);
+                s.loopBack(head, n, i + 1 < kFrame);
+            }
+        }
+        s.ret();
+
+        // ---- autocorrelation (vectorized) + Schur ----
+        s.call("lpc_analysis", 2048);
+        int64_t r[kOrder + 1];
+        for (int k = 0; k <= kOrder; ++k) {
+            int64_t acc = 0;
+            for (int i = 0; i < kFrame - k; ++i) {
+                acc += static_cast<int64_t>(x[static_cast<size_t>(i)]) *
+                       x[static_cast<size_t>(i + k)];
+            }
+            r[k] = acc;
+            // Emitted: four dot40 windows cover the 160-sample frame.
+            IVal pa = s.imm(static_cast<int32_t>(mem.samples));
+            IVal pb = s.imm(static_cast<int32_t>(
+                mem.samples + static_cast<uint32_t>(2 * k)));
+            IVal acc0 = dot40(ctx, simd, pa, pb);
+            for (int wdw = 1; wdw < 4; ++wdw) {
+                IVal qa = s.addi(pa, wdw * kSub * 2);
+                IVal qb = s.addi(pb, wdw * kSub * 2);
+                IVal part = dot40(ctx, simd, qa, qb);
+                acc0 = s.add(acc0, part);
+            }
+        }
+        std::vector<int32_t> refl = schur(ctx, r);
+        for (int k = 0; k < kOrder; ++k) {
+            int lar = quantLar(refl[static_cast<size_t>(k)]);
+            vlc.put(static_cast<uint32_t>(lar), 7);
+            refl[static_cast<size_t>(k)] = dequantLar(lar);
+        }
+        s.ret();
+
+        // ---- short-term analysis lattice (serial) ----
+        s.call("st_analysis", 2048);
+        std::vector<int32_t> d(kFrame);
+        {
+            std::vector<int32_t> u(kOrder, 0);
+            IVal rc[kOrder];
+            for (int k = 0; k < kOrder; ++k)
+                rc[k] = s.imm(refl[static_cast<size_t>(k)]);
+            IVal sp = s.imm(static_cast<int32_t>(mem.samples));
+            IVal rp = s.imm(static_cast<int32_t>(mem.resid));
+            IVal n = s.imm(kFrame);
+            uint32_t head = s.loopHead();
+            for (int i = 0; i < kFrame; ++i) {
+                int32_t di = x[static_cast<size_t>(i)];
+                IVal dv = s.loadS16(sp, i * 2);
+                for (int k = 0; k < kOrder; ++k) {
+                    int32_t rk = refl[static_cast<size_t>(k)];
+                    int32_t uk = u[static_cast<size_t>(k)];
+                    int32_t dNew = satS16(di - ((rk * uk) >> 15));
+                    u[static_cast<size_t>(k)] =
+                        satS16(uk + ((rk * dNew) >> 15));
+                    di = dNew;
+                    emitLatticeStage(s, rc[k], dv, dv);
+                }
+                d[static_cast<size_t>(i)] = di;
+                s.storeI16(rp, i * 2, dv);
+                ctx.tb.poke16(mem.resid + static_cast<uint32_t>(i * 2),
+                              static_cast<uint16_t>(satS16(di)));
+                n = s.subi(n, 1);
+                s.loopBack(head, n, i + 1 < kFrame);
+            }
+        }
+        s.ret();
+
+        // ---- per-subframe LTP + RPE ----
+        for (int sub = 0; sub < 4; ++sub) {
+            s.call("ltp_rpe", 2048);
+            int off = sub * kSub;
+            // Refresh the emitted history buffer (hist[kMaxLag + i]
+            // holds this frame's residual as it is consumed).
+            for (int i = 0; i < kSub; ++i) {
+                ctx.tb.poke16(mem.history + static_cast<uint32_t>(
+                                  (kMaxLag + off + i) * 2),
+                              static_cast<uint16_t>(satS16(
+                                  hist[static_cast<size_t>(
+                                      kMaxLag + off + i)] =
+                                      d[static_cast<size_t>(off + i)])));
+            }
+
+            // Lag search maximizing cross-correlation (vectorized dots).
+            int bestLag = kMinLag;
+            int64_t bestCorr = INT64_MIN;
+            IVal dsub = s.imm(static_cast<int32_t>(
+                mem.history + static_cast<uint32_t>((kMaxLag + off) * 2)));
+            IVal bestIv = s.imm(0);
+            for (int lag = kMinLag; lag <= kMaxLag; ++lag) {
+                IVal past = s.imm(static_cast<int32_t>(
+                    mem.history + static_cast<uint32_t>(
+                        (kMaxLag + off - lag) * 2)));
+                IVal corr = dot40(ctx, simd, dsub, past);
+                int64_t hc = 0;
+                for (int i = 0; i < kSub; ++i) {
+                    hc += static_cast<int64_t>(
+                              hist[static_cast<size_t>(kMaxLag + off + i)]) *
+                          hist[static_cast<size_t>(kMaxLag + off + i - lag)];
+                }
+                IVal gt = s.cmplt(bestIv, corr);
+                s.condBr(gt, hc > bestCorr);
+                bestIv = s.cmovne(gt, corr, bestIv);
+                if (hc > bestCorr) {
+                    bestCorr = hc;
+                    bestLag = lag;
+                }
+            }
+            // Gain = corr / energy, quantized to 2 bits.
+            int64_t energy = 1;
+            for (int i = 0; i < kSub; ++i) {
+                int32_t past = hist[static_cast<size_t>(
+                    kMaxLag + off + i - bestLag)];
+                energy += static_cast<int64_t>(past) * past;
+            }
+            double gain = static_cast<double>(bestCorr) /
+                          static_cast<double>(energy);
+            int gainIdx = 0;
+            double bestDist = 1e30;
+            for (int gi = 0; gi < 4; ++gi) {
+                double lvl = kGainLevels[gi] / 32768.0;
+                double dist = std::fabs(gain - lvl);
+                if (dist < bestDist) {
+                    bestDist = dist;
+                    gainIdx = gi;
+                }
+            }
+            IVal den = s.imm(std::max(1,
+                static_cast<int32_t>(energy >> 12)));
+            s.div(bestIv, den);
+            vlc.put(static_cast<uint32_t>(bestLag - kMinLag), 7);
+            vlc.put(static_cast<uint32_t>(gainIdx), 2);
+
+            // Excitation e = d - gain * past (emitted scalar loop).
+            int32_t g = kGainLevels[gainIdx];
+            std::vector<int32_t> e(kSub);
+            {
+                IVal gv = s.imm(g);
+                IVal ep = s.imm(static_cast<int32_t>(mem.excite));
+                IVal n = s.imm(kSub);
+                uint32_t head = s.loopHead();
+                for (int i = 0; i < kSub; ++i) {
+                    int32_t past = hist[static_cast<size_t>(
+                        kMaxLag + off + i - bestLag)];
+                    e[static_cast<size_t>(i)] = satS16(
+                        d[static_cast<size_t>(off + i)] -
+                        ((g * past) >> 15));
+                    IVal pv = s.loadS16(dsub, i * 2);
+                    IVal sc = s.srai(s.mul(pv, gv), 15);
+                    IVal ev = s.sub(pv, sc);
+                    s.storeI16(ep, i * 2, ev);
+                    n = s.subi(n, 1);
+                    s.loopBack(head, n, i + 1 < kSub);
+                }
+            }
+
+            // RPE: pick the strongest of 3 decimation phases.
+            int bestPhase = 0;
+            int64_t bestEn = -1;
+            for (int p = 0; p < 3; ++p) {
+                int64_t en = 0;
+                IVal acc = s.imm(0);
+                for (int i = p; i < kSub; i += 3) {
+                    int32_t v = e[static_cast<size_t>(i)];
+                    en += static_cast<int64_t>(v) * v;
+                    IVal ev = s.imm(v);
+                    acc = s.add(acc, s.srai(s.mul(ev, ev), 4));
+                }
+                s.condBr(acc, en > bestEn);
+                if (en > bestEn) {
+                    bestEn = en;
+                    bestPhase = p;
+                }
+            }
+            // APCM: 6-bit block scale + 3-bit samples.
+            int32_t maxAbs = 1;
+            for (int i = bestPhase; i < kSub; i += 3)
+                maxAbs = std::max(maxAbs,
+                                  std::abs(e[static_cast<size_t>(i)]));
+            int scaleBits = 0;
+            while ((maxAbs >> scaleBits) > 3 && scaleBits < 14)
+                ++scaleBits;
+            vlc.put(static_cast<uint32_t>(bestPhase), 2);
+            vlc.put(static_cast<uint32_t>(scaleBits), 4);
+            std::vector<int32_t> erec(kSub, 0);
+            for (int i = bestPhase; i < kSub; i += 3) {
+                int32_t q = e[static_cast<size_t>(i)] >> scaleBits;
+                q = std::max(-4, std::min(3, q));
+                vlc.put(static_cast<uint32_t>(q + 4), 3);
+                IVal ev = s.imm(e[static_cast<size_t>(i)]);
+                s.srai(ev, scaleBits);
+                erec[static_cast<size_t>(i)] =
+                    satS16(q << scaleBits);
+            }
+
+            // Feedback: rebuild this subframe's residual as the decoder
+            // will see it, and roll the history window.
+            for (int i = 0; i < kSub; ++i) {
+                int32_t past = hist[static_cast<size_t>(
+                    kMaxLag + off + i - bestLag)];
+                int32_t rec = satS16(((g * past) >> 15) +
+                                     erec[static_cast<size_t>(i)]);
+                hist[static_cast<size_t>(kMaxLag + off + i)] = rec;
+                ctx.tb.poke16(mem.history + static_cast<uint32_t>(
+                                  (kMaxLag + off + i) * 2),
+                              static_cast<uint16_t>(rec));
+                IVal t = s.loadS16(dsub, i * 2);
+                s.storeI16(dsub, i * 2, t);
+            }
+            s.ret();
+        }
+
+        // Roll history: keep the last kMaxLag reconstructed samples.
+        for (int i = 0; i < kMaxLag; ++i) {
+            hist[static_cast<size_t>(i)] =
+                hist[static_cast<size_t>(kFrame + i)];
+            ctx.tb.poke16(mem.history + static_cast<uint32_t>(i * 2),
+                          static_cast<uint16_t>(satS16(
+                              hist[static_cast<size_t>(i)])));
+        }
+    }
+
+    vlc.alignByte();
+    if (out) {
+        out->cfg = cfg;
+        out->bytes = vlc.writer().bytes();
+        out->bitCount = vlc.bitCount();
+    }
+    return ctx.tb.take();
+}
+
+trace::Program
+buildGsmDecoder(isa::SimdIsa simd, uint32_t base, const GsmStream &stream,
+                GsmDecoded *out)
+{
+    const GsmConfig &cfg = stream.cfg;
+    CodecCtx ctx("gsmdec", simd, base, 1u << 20);
+    ScalarEmitter &s = ctx.s;
+    GsmMem mem = allocGsm(ctx);
+
+    ctx.tb.pokeBytes(mem.bitBuf, stream.bytes.data(),
+                     static_cast<uint32_t>(stream.bytes.size()));
+    VlcReader vlc(s, stream.bytes, mem.bitBuf);
+    int frames = static_cast<int>(vlc.get(16));
+    MOMSIM_ASSERT(frames == cfg.frames, "gsm header mismatch");
+
+    std::vector<int32_t> hist(kMaxLag + kFrame, 0);
+    std::vector<int32_t> u(kOrder, 0);
+    int32_t deemZ = 0;
+    if (out)
+        out->samples.clear();
+
+    for (int f = 0; f < frames; ++f) {
+        s.call("gsm_decode_frame", 2048);
+        int32_t refl[kOrder];
+        for (int k = 0; k < kOrder; ++k)
+            refl[k] = dequantLar(static_cast<int>(vlc.get(7)));
+
+        std::vector<int32_t> d(kFrame, 0);
+        for (int sub = 0; sub < 4; ++sub) {
+            int off = sub * kSub;
+            int lag = kMinLag + static_cast<int>(vlc.get(7));
+            int gainIdx = static_cast<int>(vlc.get(2));
+            int phase = static_cast<int>(vlc.get(2));
+            int scaleBits = static_cast<int>(vlc.get(4));
+            int32_t g = kGainLevels[gainIdx];
+            std::vector<int32_t> erec(kSub, 0);
+            for (int i = phase; i < kSub; i += 3) {
+                int q = static_cast<int>(vlc.get(3)) - 4;
+                erec[static_cast<size_t>(i)] = satS16(q << scaleBits);
+                IVal ev = s.imm(q);
+                s.slli(ev, scaleBits);
+            }
+            IVal gv = s.imm(g);
+            for (int i = 0; i < kSub; ++i) {
+                int32_t past = hist[static_cast<size_t>(
+                    kMaxLag + off + i - lag)];
+                int32_t rec = satS16(((g * past) >> 15) +
+                                     erec[static_cast<size_t>(i)]);
+                hist[static_cast<size_t>(kMaxLag + off + i)] = rec;
+                d[static_cast<size_t>(off + i)] = rec;
+                ctx.tb.poke16(mem.history + static_cast<uint32_t>(
+                                  (kMaxLag + off + i) * 2),
+                              static_cast<uint16_t>(rec));
+                IVal pv = s.loadS16(s.imm(static_cast<int32_t>(
+                    mem.history + static_cast<uint32_t>(
+                        (kMaxLag + off + i - lag) * 2))), 0);
+                IVal sc = s.srai(s.mul(pv, gv), 15);
+                IVal rv = s.add(sc, s.imm(erec[static_cast<size_t>(i)]));
+                s.storeI16(s.imm(static_cast<int32_t>(
+                    mem.history + static_cast<uint32_t>(
+                        (kMaxLag + off + i) * 2))), 0, rv);
+            }
+        }
+
+        // Short-term synthesis lattice (inverse filter) + deemphasis.
+        IVal rc[kOrder];
+        for (int k = 0; k < kOrder; ++k)
+            rc[k] = s.imm(refl[k]);
+        IVal op = s.imm(static_cast<int32_t>(mem.outBuf));
+        IVal n = s.imm(kFrame);
+        uint32_t head = s.loopHead();
+        for (int i = 0; i < kFrame; ++i) {
+            int32_t acc = d[static_cast<size_t>(i)];
+            IVal dv = s.imm(acc);
+            for (int k = kOrder - 1; k >= 0; --k) {
+                acc = satS16(acc + ((refl[k] * u[static_cast<size_t>(k)])
+                                    >> 15));
+                u[static_cast<size_t>(k)] = satS16(
+                    u[static_cast<size_t>(k)] -
+                    ((refl[k] * acc) >> 15));
+                emitLatticeStage(s, rc[k], dv, dv);
+            }
+            // shift lattice memory
+            for (int k = kOrder - 1; k > 0; --k)
+                u[static_cast<size_t>(k)] = u[static_cast<size_t>(k - 1)];
+            u[0] = acc;
+            int32_t res = satS16(acc + ((deemZ * 28180) >> 15));
+            deemZ = res;
+            IVal dm = s.srai(s.muli(dv, 28180), 15);
+            IVal ov = s.add(dv, dm);
+            s.storeI16(op, i * 2, ov);
+            ctx.tb.poke16(mem.outBuf + static_cast<uint32_t>(i * 2),
+                          static_cast<uint16_t>(res));
+            if (out)
+                out->samples.push_back(satS16(res * 2));
+            n = s.subi(n, 1);
+            s.loopBack(head, n, i + 1 < kFrame);
+        }
+        // Roll history window.
+        for (int i = 0; i < kMaxLag; ++i)
+            hist[static_cast<size_t>(i)] =
+                hist[static_cast<size_t>(kFrame + i)];
+        s.ret();
+    }
+    (void)simd;
+    return ctx.tb.take();
+}
+
+double
+sampleCorrelation(const std::vector<int16_t> &a,
+                  const std::vector<int16_t> &b)
+{
+    size_t n = std::min(a.size(), b.size());
+    if (n == 0)
+        return 0.0;
+    double sa = 0, sb = 0, saa = 0, sbb = 0, sab = 0;
+    for (size_t i = 0; i < n; ++i) {
+        double x = a[i], y = b[i];
+        sa += x;
+        sb += y;
+        saa += x * x;
+        sbb += y * y;
+        sab += x * y;
+    }
+    double num = sab - sa * sb / static_cast<double>(n);
+    double den = std::sqrt((saa - sa * sa / static_cast<double>(n)) *
+                           (sbb - sb * sb / static_cast<double>(n)));
+    return den > 1e-9 ? num / den : 0.0;
+}
+
+} // namespace momsim::workloads

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * GSM 06.10-style full-rate speech encoder/decoder as emulation-library
+ * programs (the paper's MPEG-4 "audio speech" profile).
+ *
+ * Coding structure follows the standard: preemphasis, autocorrelation,
+ * Schur recursion to reflection coefficients, LAR quantization, lattice
+ * short-term analysis, and per-subframe long-term prediction (lag
+ * search by cross-correlation, quantized gain) with RPE-style
+ * decimation and block-adaptive PCM of the residual. The decoder
+ * inverts every stage. The bit packing uses the shared Exp-Golomb
+ * writer rather than the exact 06.10 frame format (see DESIGN.md).
+ *
+ * Speech is mostly serial integer DSP; only the correlation kernels
+ * vectorize — which is exactly why the gsm rows of Table 3 stay
+ * integer-dominated in both ISAs.
+ */
+
+#ifndef MOMSIM_WORKLOADS_GSM_HH
+#define MOMSIM_WORKLOADS_GSM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/simd_isa.hh"
+#include "trace/program.hh"
+
+namespace momsim::workloads
+{
+
+struct GsmConfig
+{
+    int frames = 35;        ///< 160-sample frames (20 ms each)
+    uint64_t seed = 99;
+};
+
+struct GsmStream
+{
+    GsmConfig cfg;
+    std::vector<uint8_t> bytes;
+    size_t bitCount = 0;
+    std::vector<int16_t> input;         ///< synthesized source speech
+};
+
+struct GsmDecoded
+{
+    std::vector<int16_t> samples;
+};
+
+trace::Program buildGsmEncoder(isa::SimdIsa simd, uint32_t memBase,
+                               const GsmConfig &cfg,
+                               GsmStream *out = nullptr);
+
+trace::Program buildGsmDecoder(isa::SimdIsa simd, uint32_t memBase,
+                               const GsmStream &stream,
+                               GsmDecoded *out = nullptr);
+
+/** Normalized cross-correlation of two equal-length sample buffers. */
+double sampleCorrelation(const std::vector<int16_t> &a,
+                         const std::vector<int16_t> &b);
+
+} // namespace momsim::workloads
+
+#endif // MOMSIM_WORKLOADS_GSM_HH

@@ -1,0 +1,463 @@
+#include "workloads/jpeg.hh"
+
+#include "common/logging.hh"
+#include "workloads/blocks.hh"
+#include "workloads/codec_ctx.hh"
+#include "workloads/video_common.hh"
+
+namespace momsim::workloads
+{
+
+namespace
+{
+
+constexpr int kZigzag[64] = {
+     0,  1,  8, 16,  9,  2,  3, 10,
+    17, 24, 32, 25, 18, 11,  4,  5,
+    12, 19, 26, 33, 40, 48, 41, 34,
+    27, 20, 13,  6,  7, 14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36,
+    29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46,
+    53, 60, 61, 54, 47, 55, 62, 63,
+};
+
+int
+qStep(const JpegConfig &cfg, int pos, bool chroma)
+{
+    if (pos == 0)
+        return std::max(4, cfg.quant / 2);
+    int r = pos / 8, c = pos % 8;
+    int ramp = ((r + c) * cfg.quant) / (chroma ? 10 : 14);
+    return cfg.quant + ramp;
+}
+
+struct Layout
+{
+    int w, h, nBlocksPerComp, nBlocks;
+    uint32_t rp, gp, bp;            ///< RGB input planes
+    uint32_t yp, cbp, crp;          ///< YCbCr planes
+    uint32_t gray;                  ///< 128 plane for level shift
+    uint32_t blkA, blkB, blkC;      ///< working block arrays
+    uint32_t recipY, recipC, qY, qC;
+    uint32_t bitBuf;
+};
+
+Layout
+makeLayout(CodecCtx &ctx, const JpegConfig &cfg)
+{
+    Layout L;
+    L.w = cfg.width;
+    L.h = cfg.height;
+    L.nBlocksPerComp = (L.w / 8) * (L.h / 8);
+    L.nBlocks = 3 * L.nBlocksPerComp;
+    uint32_t planeBytes = static_cast<uint32_t>(L.w) * L.h;
+    L.rp = ctx.tb.alloc(planeBytes, 64);
+    L.gp = ctx.tb.alloc(planeBytes, 64);
+    L.bp = ctx.tb.alloc(planeBytes, 64);
+    L.yp = ctx.tb.alloc(planeBytes, 64);
+    L.cbp = ctx.tb.alloc(planeBytes, 64);
+    L.crp = ctx.tb.alloc(planeBytes, 64);
+    L.gray = ctx.tb.alloc(planeBytes, 64);
+    for (uint32_t i = 0; i < planeBytes; ++i)
+        ctx.tb.poke8(L.gray + i, 128);
+    uint32_t blockBytes =
+        static_cast<uint32_t>(L.nBlocksPerComp) * kBlockBytes;
+    L.blkA = ctx.tb.alloc(blockBytes, 64);
+    L.blkB = ctx.tb.alloc(blockBytes, 64);
+    L.blkC = ctx.tb.alloc(blockBytes, 64);
+    L.recipY = ctx.tb.alloc(kBlockBytes, 64);
+    L.recipC = ctx.tb.alloc(kBlockBytes, 64);
+    L.qY = ctx.tb.alloc(kBlockBytes, 64);
+    L.qC = ctx.tb.alloc(kBlockBytes, 64);
+    L.bitBuf = ctx.tb.alloc(1u << 18, 64);
+    for (int pos = 0; pos < 64; ++pos) {
+        uint32_t off = static_cast<uint32_t>((pos / 8) * 16 +
+                                             (pos % 8) * 2);
+        int qy = qStep(cfg, pos, false), qc = qStep(cfg, pos, true);
+        ctx.tb.poke16(L.recipY + off,
+                      static_cast<uint16_t>(std::min(32767, 65536 / qy)));
+        ctx.tb.poke16(L.recipC + off,
+                      static_cast<uint16_t>(std::min(32767, 65536 / qc)));
+        ctx.tb.poke16(L.qY + off, static_cast<uint16_t>(qy));
+        ctx.tb.poke16(L.qC + off, static_cast<uint16_t>(qc));
+    }
+    return L;
+}
+
+/**
+ * Fixed-point BT.601-style colour conversion over 4 pixels per vector:
+ *   Y  = (38 R + 75 G + 15 B) >> 7          (Q7 keeps products in s16)
+ *   Cb = 128 + (B - Y) * 0.564              (Q15 round-multiply)
+ *   Cr = 128 + (R - Y) * 0.713
+ */
+template <class B>
+void
+rgbToYcc4(B &b, IVal rp, IVal gp, IVal bp, IVal yp, IVal cbp, IVal crp)
+{
+    MVal wr = b.constW(38), wg = b.constW(75), wb = b.constW(15);
+    MVal kCb = b.constW(18482), kCr = b.constW(23364);
+    MVal c128 = b.constW(128);
+    typename B::Vec r = b.loadPixels4(rp, 0);
+    typename B::Vec g = b.loadPixels4(gp, 0);
+    typename B::Vec bl = b.loadPixels4(bp, 0);
+    typename B::Vec y = b.sra(
+        b.add(b.add(b.mullwC(r, wr), b.mullwC(g, wg)), b.mullwC(bl, wb)),
+        7);
+    b.storePixels4(yp, 0, y);
+    typename B::Vec cb = b.addC(b.mulrC(b.subs(bl, y), kCb), c128);
+    typename B::Vec cr = b.addC(b.mulrC(b.subs(r, y), kCr), c128);
+    b.storePixels4(cbp, 0, cb);
+    b.storePixels4(crp, 0, cr);
+}
+
+/**
+ * Inverse conversion over 4 pixels per vector, with the byte store
+ * supplying the saturation:
+ *   R = Y + 1.403 Cr'   G = Y - 0.344 Cb' - 0.714 Cr'   B = Y + 1.773 Cb'
+ * Coefficients above 1.0 are applied as (x<<1) * (k/2 in Q15).
+ */
+template <class B>
+void
+yccToRgb4(B &b, IVal yp, IVal cbp, IVal crp, IVal rp, IVal gp, IVal bp)
+{
+    MVal c128 = b.constW(128);
+    MVal kR = b.constW(22986);      // 0.7015 in Q15 (x2 via shifts)
+    MVal kGb = b.constW(5637);      // 0.172 (x2)
+    MVal kGr = b.constW(11700);     // 0.357 (x2)
+    MVal kB = b.constW(29046);      // 0.8865 (x2)
+    typename B::Vec y = b.loadPixels4(yp, 0);
+    typename B::Vec cb = b.subC(b.loadPixels4(cbp, 0), c128);
+    typename B::Vec cr = b.subC(b.loadPixels4(crp, 0), c128);
+    typename B::Vec cb2 = b.sll(cb, 1);
+    typename B::Vec cr2 = b.sll(cr, 1);
+    typename B::Vec r = b.adds(y, b.sll(b.mulhC(cr2, kR), 1));
+    typename B::Vec g =
+        b.subs(b.subs(y, b.mulhC(cb2, kGb)), b.mulhC(cr2, kGr));
+    typename B::Vec bl = b.adds(y, b.sll(b.mulhC(cb2, kB), 1));
+    b.storePixels4(rp, 0, r);
+    b.storePixels4(gp, 0, g);
+    b.storePixels4(bp, 0, bl);
+}
+
+template <class B>
+void
+colorConvert(CodecCtx &ctx, B &b, const Layout &L)
+{
+    ScalarEmitter &s = ctx.s;
+    s.call("color_convert", 2048);
+    int quads = (L.w * L.h) / 4;
+    int batch = B::kIsStream ? 16 : 1;
+    IVal rp = s.imm(static_cast<int32_t>(L.rp));
+    IVal gp = s.imm(static_cast<int32_t>(L.gp));
+    IVal bp = s.imm(static_cast<int32_t>(L.bp));
+    IVal yp = s.imm(static_cast<int32_t>(L.yp));
+    IVal cbp = s.imm(static_cast<int32_t>(L.cbp));
+    IVal crp = s.imm(static_cast<int32_t>(L.crp));
+    IVal count = s.imm(quads / batch);
+    uint32_t head = s.loopHead();
+    for (int q = 0; q < quads; q += batch) {
+        int n = std::min(batch, quads - q);
+        b.beginBatch(n, 4, 4);      // 4-pixel groups, unit stride
+        rgbToYcc4(b, rp, gp, bp, yp, cbp, crp);
+        int step = n * 4;
+        rp = s.addi(rp, step);
+        gp = s.addi(gp, step);
+        bp = s.addi(bp, step);
+        yp = s.addi(yp, step);
+        cbp = s.addi(cbp, step);
+        crp = s.addi(crp, step);
+        count = s.subi(count, 1);
+        s.loopBack(head, count, q + batch < quads);
+    }
+    s.ret();
+}
+
+struct Component
+{
+    uint32_t plane;
+    uint32_t recip, q;
+    const char *name;
+};
+
+template <class B>
+trace::Program
+encodeImpl(isa::SimdIsa simd, uint32_t base, const JpegConfig &cfg,
+           JpegStream *out)
+{
+    CodecCtx ctx("jpegenc", simd, base);
+    B &b = backendOf<B>(ctx);
+    ScalarEmitter &s = ctx.s;
+    Layout L = makeLayout(ctx, cfg);
+
+    std::vector<uint8_t> r, g, bl;
+    makeRgbImage(L.w, L.h, cfg.seed, r, g, bl);
+    ctx.tb.pokeBytes(L.rp, r.data(), static_cast<uint32_t>(r.size()));
+    ctx.tb.pokeBytes(L.gp, g.data(), static_cast<uint32_t>(g.size()));
+    ctx.tb.pokeBytes(L.bp, bl.data(), static_cast<uint32_t>(bl.size()));
+
+    colorConvert(ctx, b, L);
+    if (out) {
+        out->y.resize(r.size());
+        out->cb.resize(r.size());
+        out->cr.resize(r.size());
+        ctx.tb.peekBytes(L.yp, out->y.data(),
+                         static_cast<uint32_t>(out->y.size()));
+        ctx.tb.peekBytes(L.cbp, out->cb.data(),
+                         static_cast<uint32_t>(out->cb.size()));
+        ctx.tb.peekBytes(L.crp, out->cr.data(),
+                         static_cast<uint32_t>(out->cr.size()));
+    }
+
+    VlcWriter vlc(s, L.bitBuf);
+    vlc.put(static_cast<uint32_t>(L.w / 8), 8);
+    vlc.put(static_cast<uint32_t>(L.h / 8), 8);
+    vlc.put(static_cast<uint32_t>(cfg.quant), 8);
+
+    Component comps[3] = {
+        { L.yp, L.recipY, L.qY, "Y" },
+        { L.cbp, L.recipC, L.qC, "Cb" },
+        { L.crp, L.recipC, L.qC, "Cr" },
+    };
+
+    int bw = L.w / 8;
+    for (const Component &comp : comps) {
+        // Level shift + blockize.
+        s.call("blockize", 2048);
+        for (int blk = 0; blk < L.nBlocksPerComp; ++blk) {
+            int px = (blk % bw) * 8, py = (blk / bw) * 8;
+            IVal cur = s.imm(static_cast<int32_t>(
+                comp.plane + static_cast<uint32_t>(py * L.w + px)));
+            IVal gray = s.imm(static_cast<int32_t>(L.gray));
+            IVal dst = s.imm(static_cast<int32_t>(
+                L.blkA + static_cast<uint32_t>(blk) * kBlockBytes));
+            forEachBlockRow(b, s, cur, gray, dst, L.w,
+                            [](B &bb, IVal a, IVal c, IVal d) {
+                                extractDiffRow(bb, a, c, d);
+                            });
+        }
+        s.ret();
+
+        s.call("dct_sweep", 2048);
+        forEachBlock(b, s, L.blkA, L.blkB, L.nBlocksPerComp,
+                     [](B &bb, IVal pa, IVal pb) { dct8x8(bb, pa, pb); });
+        s.ret();
+        s.call("quant_sweep", 2048);
+        IVal recip = s.imm(static_cast<int32_t>(comp.recip));
+        forEachBlock(b, s, L.blkB, L.blkC, L.nBlocksPerComp,
+                     [&](B &bb, IVal pa, IVal pb) {
+                         quantBlock(bb, pa, pb, recip);
+                     });
+        s.ret();
+
+        // Entropy: differential DC + (run, level) AC list per block.
+        s.call("entropy", 2048);
+        int prevDc = 0;
+        for (int blk = 0; blk < L.nBlocksPerComp; ++blk) {
+            uint32_t qb = L.blkC + static_cast<uint32_t>(blk) * kBlockBytes;
+            IVal qIv = s.imm(static_cast<int32_t>(qb));
+            IVal dc = s.loadS16(qIv, 0);
+            vlc.putSigned(dc.v - prevDc);
+            prevDc = dc.v;
+            int run = 0;
+            std::vector<std::pair<int, int>> list;
+            IVal zzTab = s.imm(static_cast<int32_t>(comp.recip));
+            IVal runIv = s.imm(0);
+            for (int i = 1; i < 64; ++i) {
+                int pos = kZigzag[i];
+                int off = (pos / 8) * 16 + (pos % 8) * 2;
+                // Huffman-coder integer core: scan-table lookup, coded-
+                // size classification, run bookkeeping.
+                IVal zz = s.loadU8(zzTab, i);
+                IVal lvl = s.loadS16(qIv, off);
+                IVal size = s.andi(s.xor_(lvl, zz), 15);
+                (void)size;
+                s.condBr(lvl, lvl.v != 0);
+                if (lvl.v != 0) {
+                    list.emplace_back(run, lvl.v);
+                    run = 0;
+                    runIv = s.imm(0);
+                } else {
+                    ++run;
+                    runIv = s.addi(runIv, 1);
+                }
+            }
+            vlc.putUnsigned(static_cast<uint32_t>(list.size()));
+            for (auto &[rr, lv] : list) {
+                vlc.putUnsigned(static_cast<uint32_t>(rr));
+                vlc.putSigned(lv);
+            }
+        }
+        s.ret();
+    }
+
+    vlc.alignByte();
+    if (out) {
+        out->cfg = cfg;
+        out->bytes = vlc.writer().bytes();
+        out->bitCount = vlc.bitCount();
+    }
+    return ctx.tb.take();
+}
+
+template <class B>
+trace::Program
+decodeImpl(isa::SimdIsa simd, uint32_t base, const JpegStream &stream,
+           JpegDecoded *out)
+{
+    const JpegConfig &cfg = stream.cfg;
+    CodecCtx ctx("jpegdec", simd, base);
+    B &b = backendOf<B>(ctx);
+    ScalarEmitter &s = ctx.s;
+    Layout L = makeLayout(ctx, cfg);
+
+    ctx.tb.pokeBytes(L.bitBuf, stream.bytes.data(),
+                     static_cast<uint32_t>(stream.bytes.size()));
+    VlcReader vlc(s, stream.bytes, L.bitBuf);
+    int bw = static_cast<int>(vlc.get(8));
+    int bh = static_cast<int>(vlc.get(8));
+    (void)vlc.get(8);
+    MOMSIM_ASSERT(bw == L.w / 8 && bh == L.h / 8, "jpeg header mismatch");
+
+    Component comps[3] = {
+        { L.yp, L.recipY, L.qY, "Y" },
+        { L.cbp, L.recipC, L.qC, "Cb" },
+        { L.crp, L.recipC, L.qC, "Cr" },
+    };
+
+    for (const Component &comp : comps) {
+        s.call("parse", 2048);
+        int prevDc = 0;
+        for (int blk = 0; blk < L.nBlocksPerComp; ++blk) {
+            uint32_t qb = L.blkC + static_cast<uint32_t>(blk) * kBlockBytes;
+            // Zero then scatter.
+            forEachBlock(b, s, qb, qb, 1, [](B &bb, IVal, IVal pb) {
+                auto zero = bb.zeroVec();
+                for (int g = 0; g < 16; ++g)
+                    bb.store(pb, g * 8, zero);
+            });
+            IVal qIv = s.imm(static_cast<int32_t>(qb));
+            prevDc += vlc.getSigned();
+            s.storeI16(qIv, 0, s.imm(prevDc));
+            uint32_t nnz = vlc.getUnsigned();
+            int scanPos = 0;
+            for (uint32_t n = 0; n < nnz; ++n) {
+                int run = static_cast<int>(vlc.getUnsigned());
+                int level = vlc.getSigned();
+                scanPos += run + 1;
+                int pos = kZigzag[std::min(scanPos, 63)];
+                int off = (pos / 8) * 16 + (pos % 8) * 2;
+                s.storeI16(qIv, off, s.imm(level));
+            }
+        }
+        s.ret();
+
+        s.call("dequant_sweep", 2048);
+        IVal qt = s.imm(static_cast<int32_t>(comp.q));
+        forEachBlock(b, s, L.blkC, L.blkB, L.nBlocksPerComp,
+                     [&](B &bb, IVal pa, IVal pb) {
+                         dequantBlock(bb, pa, pb, qt);
+                     });
+        s.ret();
+        s.call("idct_sweep", 2048);
+        forEachBlock(b, s, L.blkB, L.blkA, L.nBlocksPerComp,
+                     [](B &bb, IVal pa, IVal pb) { idct8x8(bb, pa, pb); });
+        s.ret();
+
+        // Un-blockize with +128 level shift.
+        s.call("unblockize", 2048);
+        for (int blk = 0; blk < L.nBlocksPerComp; ++blk) {
+            int px = (blk % bw) * 8, py = (blk / bw) * 8;
+            IVal gray = s.imm(static_cast<int32_t>(L.gray));
+            IVal dst = s.imm(static_cast<int32_t>(
+                comp.plane + static_cast<uint32_t>(py * L.w + px)));
+            IVal res = s.imm(static_cast<int32_t>(
+                L.blkA + static_cast<uint32_t>(blk) * kBlockBytes));
+            forEachBlockRow(b, s, gray, dst, res, L.w,
+                            [](B &bb, IVal a, IVal c, IVal d) {
+                                addClampRow(bb, a, d, c);
+                            });
+        }
+        s.ret();
+    }
+
+    // YCbCr -> RGB, vectorized like the forward conversion (the byte
+    // stores provide the saturation).
+    s.call("ycc_to_rgb", 2048);
+    uint32_t rOut = ctx.tb.alloc(static_cast<uint32_t>(L.w) * L.h, 64);
+    uint32_t gOut = ctx.tb.alloc(static_cast<uint32_t>(L.w) * L.h, 64);
+    uint32_t bOut = ctx.tb.alloc(static_cast<uint32_t>(L.w) * L.h, 64);
+    {
+        int quads = (L.w * L.h) / 4;
+        int batch = B::kIsStream ? 16 : 1;
+        IVal yv = s.imm(static_cast<int32_t>(L.yp));
+        IVal cbv = s.imm(static_cast<int32_t>(L.cbp));
+        IVal crv = s.imm(static_cast<int32_t>(L.crp));
+        IVal rv = s.imm(static_cast<int32_t>(rOut));
+        IVal gv = s.imm(static_cast<int32_t>(gOut));
+        IVal bv = s.imm(static_cast<int32_t>(bOut));
+        IVal count = s.imm(quads / batch);
+        uint32_t head = s.loopHead();
+        for (int q = 0; q < quads; q += batch) {
+            int n = std::min(batch, quads - q);
+            b.beginBatch(n, 4, 4);
+            yccToRgb4(b, yv, cbv, crv, rv, gv, bv);
+            int step = n * 4;
+            yv = s.addi(yv, step);
+            cbv = s.addi(cbv, step);
+            crv = s.addi(crv, step);
+            rv = s.addi(rv, step);
+            gv = s.addi(gv, step);
+            bv = s.addi(bv, step);
+            count = s.subi(count, 1);
+            s.loopBack(head, count, q + batch < quads);
+        }
+    }
+    s.ret();
+
+    if (out) {
+        size_t planeBytes = static_cast<size_t>(L.w) * L.h;
+        out->y.resize(planeBytes);
+        out->cb.resize(planeBytes);
+        out->cr.resize(planeBytes);
+        out->r.resize(planeBytes);
+        out->g.resize(planeBytes);
+        out->b.resize(planeBytes);
+        ctx.tb.peekBytes(L.yp, out->y.data(),
+                         static_cast<uint32_t>(planeBytes));
+        ctx.tb.peekBytes(L.cbp, out->cb.data(),
+                         static_cast<uint32_t>(planeBytes));
+        ctx.tb.peekBytes(L.crp, out->cr.data(),
+                         static_cast<uint32_t>(planeBytes));
+        ctx.tb.peekBytes(rOut, out->r.data(),
+                         static_cast<uint32_t>(planeBytes));
+        ctx.tb.peekBytes(gOut, out->g.data(),
+                         static_cast<uint32_t>(planeBytes));
+        ctx.tb.peekBytes(bOut, out->b.data(),
+                         static_cast<uint32_t>(planeBytes));
+    }
+    (void)simd;
+    return ctx.tb.take();
+}
+
+} // namespace
+
+trace::Program
+buildJpegEncoder(isa::SimdIsa simd, uint32_t base, const JpegConfig &cfg,
+                 JpegStream *out)
+{
+    if (simd == isa::SimdIsa::Mom)
+        return encodeImpl<MomBackend>(simd, base, cfg, out);
+    return encodeImpl<MmxBackend>(simd, base, cfg, out);
+}
+
+trace::Program
+buildJpegDecoder(isa::SimdIsa simd, uint32_t base, const JpegStream &stream,
+                 JpegDecoded *out)
+{
+    if (simd == isa::SimdIsa::Mom)
+        return decodeImpl<MomBackend>(simd, base, stream, out);
+    return decodeImpl<MmxBackend>(simd, base, stream, out);
+}
+
+} // namespace momsim::workloads

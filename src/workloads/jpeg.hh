@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Baseline-JPEG-style image encoder/decoder as emulation-library
+ * programs (the paper's MPEG-4 "still image 2D" profile).
+ *
+ * Real coding structure: planar RGB -> YCbCr colour conversion
+ * (vectorized fixed-point kernel), per-component 8x8 DCT, quantization,
+ * zig-zag scan with differential-DC + run/level entropy coding, and a
+ * decoder that inverts every stage. 4:4:4 sampling (legal baseline
+ * JPEG; keeps the kernels shared with MPEG-2 — see DESIGN.md).
+ */
+
+#ifndef MOMSIM_WORKLOADS_JPEG_HH
+#define MOMSIM_WORKLOADS_JPEG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/simd_isa.hh"
+#include "trace/program.hh"
+
+namespace momsim::workloads
+{
+
+struct JpegConfig
+{
+    int width = 176;        ///< multiple of 8
+    int height = 144;       ///< multiple of 8
+    int quant = 14;         ///< base quantizer step
+    uint64_t seed = 77;
+};
+
+struct JpegStream
+{
+    JpegConfig cfg;
+    std::vector<uint8_t> bytes;
+    size_t bitCount = 0;
+    /** Encoder-side YCbCr planes (pre-quantization truth for PSNR). */
+    std::vector<uint8_t> y, cb, cr;
+};
+
+struct JpegDecoded
+{
+    std::vector<uint8_t> y, cb, cr;
+    std::vector<uint8_t> r, g, b;
+};
+
+trace::Program buildJpegEncoder(isa::SimdIsa simd, uint32_t memBase,
+                                const JpegConfig &cfg,
+                                JpegStream *out = nullptr);
+
+trace::Program buildJpegDecoder(isa::SimdIsa simd, uint32_t memBase,
+                                const JpegStream &stream,
+                                JpegDecoded *out = nullptr);
+
+} // namespace momsim::workloads
+
+#endif // MOMSIM_WORKLOADS_JPEG_HH

@@ -1,0 +1,107 @@
+#include "workloads/media_workload.hh"
+
+#include "common/logging.hh"
+#include "workloads/gsm.hh"
+#include "workloads/jpeg.hh"
+#include "workloads/mesa.hh"
+#include "workloads/mpeg2.hh"
+
+namespace momsim::workloads
+{
+
+namespace
+{
+
+/**
+ * Address-space slot for each program instance (128 MB main memory).
+ * The per-slot stagger keeps different programs' hot lines from landing
+ * on identical cache indices (as an OS's varied text/heap placement
+ * does); perfectly aligned slots would make all eight threads thrash a
+ * single I-cache set.
+ */
+uint32_t
+slotBase(int slot)
+{
+    return (4u << 20) + static_cast<uint32_t>(slot) * (15u << 20) +
+           static_cast<uint32_t>(slot) * 0x21840u;
+}
+
+struct ScaledConfigs
+{
+    VideoConfig video;
+    JpegConfig jpeg;
+    GsmConfig gsm;
+    MesaConfig mesa;
+};
+
+ScaledConfigs
+configsFor(WorkloadScale scale)
+{
+    ScaledConfigs c;
+    if (scale == WorkloadScale::Tiny) {
+        c.video = { 48, 48, 2, 2, 14, 11 };
+        c.jpeg = { 48, 48, 14, 77 };
+        c.gsm = { 3, 99 };
+        c.mesa = { 64, 48, 8, 6, 1, 3 };
+    } else {
+        c.video = { 176, 144, 3, 4, 16, 11 };
+        c.jpeg = { 160, 128, 14, 77 };
+        c.gsm = { 55, 99 };
+        c.mesa = { 160, 120, 14, 10, 3, 3 };
+    }
+    return c;
+}
+
+} // namespace
+
+std::unique_ptr<MediaWorkload>
+MediaWorkload::build(WorkloadScale scale)
+{
+    auto wl = std::make_unique<MediaWorkload>();
+    ScaledConfigs cfg = configsFor(scale);
+
+    // Rotation order (Section 5.1). Slot -> benchmark:
+    //  0 mpeg2enc, 1 gsmdec, 2 mpeg2dec, 3 gsmenc,
+    //  4 jpegdec, 5 jpegenc, 6 mesa, 7 mpeg2dec (2nd instance)
+    wl->_names = { "mpeg2enc", "gsmdec", "mpeg2dec", "gsmenc",
+                   "jpegdec", "jpegenc", "mesa", "mpeg2dec2" };
+
+    for (isa::SimdIsa simd : { isa::SimdIsa::Mmx, isa::SimdIsa::Mom }) {
+        auto &arr = (simd == isa::SimdIsa::Mom) ? wl->_mom : wl->_mmx;
+
+        Mpeg2Bitstream videoStream;
+        arr[0] = buildMpeg2Encoder(simd, slotBase(0), cfg.video,
+                                   &videoStream);
+
+        GsmStream gsmStream;
+        arr[3] = buildGsmEncoder(simd, slotBase(3), cfg.gsm, &gsmStream);
+        arr[1] = buildGsmDecoder(simd, slotBase(1), gsmStream);
+
+        arr[2] = buildMpeg2Decoder(simd, slotBase(2), videoStream);
+        arr[7] = arr[2].rebased(slotBase(7) - slotBase(2), "mpeg2dec2");
+
+        JpegStream jpegStream;
+        arr[5] = buildJpegEncoder(simd, slotBase(5), cfg.jpeg,
+                                  &jpegStream);
+        arr[4] = buildJpegDecoder(simd, slotBase(4), jpegStream);
+
+        arr[6] = buildMesa(simd, slotBase(6), cfg.mesa);
+    }
+    return wl;
+}
+
+std::vector<core::WorkloadProgram>
+MediaWorkload::rotation(isa::SimdIsa simd) const
+{
+    std::vector<core::WorkloadProgram> rot;
+    rot.reserve(kNumPrograms);
+    for (int i = 0; i < kNumPrograms; ++i) {
+        core::WorkloadProgram wp;
+        wp.prog = &program(simd, i);
+        wp.mmxEq = _mmx[static_cast<size_t>(i)].mix().eqInsts;
+        rot.push_back(wp);
+    }
+    return rot;
+}
+
+} // namespace momsim::workloads

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The paper's multiprogrammed workload (Table 2): eight program
+ * instances approximating the MPEG-4 profiles, in the exact rotation
+ * order of Section 5.1 — MPEG-2 encoder, GSM decoder, MPEG-2 decoder,
+ * GSM encoder, JPEG decoder, JPEG encoder, mesa, and MPEG-2 decoder a
+ * second time ("the most significant program is included twice").
+ *
+ * Every benchmark is built in both ISAs; the MMX equivalent-instruction
+ * counts feed the EIPC metric for MOM runs.
+ */
+
+#ifndef MOMSIM_WORKLOADS_MEDIA_WORKLOAD_HH
+#define MOMSIM_WORKLOADS_MEDIA_WORKLOAD_HH
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/simulation.hh"
+#include "trace/program.hh"
+
+namespace momsim::workloads
+{
+
+/** How large the workload is built. */
+enum class WorkloadScale
+{
+    Tiny,       ///< unit/integration tests: seconds to build & run
+    Paper,      ///< bench runs: the full Table-2-shaped mix
+};
+
+class MediaWorkload
+{
+  public:
+    static constexpr int kNumPrograms = 8;
+
+    /** Build every program of both ISAs at the given scale. */
+    static std::unique_ptr<MediaWorkload> build(WorkloadScale scale);
+
+    /** Program name in rotation slot @p i (paper order). */
+    const std::string &name(int i) const { return _names[static_cast<size_t>(i)]; }
+
+    const trace::Program &program(isa::SimdIsa simd, int i) const
+    {
+        const auto &arr = (simd == isa::SimdIsa::Mom) ? _mom : _mmx;
+        return arr[static_cast<size_t>(i)];
+    }
+
+    /** The Section 5.1 rotation for a given ISA, with EIPC weights. */
+    std::vector<core::WorkloadProgram> rotation(isa::SimdIsa simd) const;
+
+  private:
+    std::array<trace::Program, kNumPrograms> _mmx;
+    std::array<trace::Program, kNumPrograms> _mom;
+    std::array<std::string, kNumPrograms> _names;
+};
+
+} // namespace momsim::workloads
+
+#endif // MOMSIM_WORKLOADS_MEDIA_WORKLOAD_HH

@@ -1,0 +1,275 @@
+#include "workloads/mesa.hh"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/logging.hh"
+#include "workloads/codec_ctx.hh"
+
+namespace momsim::workloads
+{
+
+namespace
+{
+
+struct Vec3
+{
+    float x, y, z;
+};
+
+struct Tri
+{
+    int v0, v1, v2;
+};
+
+/** Parametric torus mesh with per-vertex normals. */
+void
+makeTorus(int rings, int sides, std::vector<Vec3> &verts,
+          std::vector<Vec3> &normals, std::vector<Tri> &tris)
+{
+    const float R = 1.0f, r = 0.45f;
+    for (int i = 0; i < rings; ++i) {
+        float u = 2.0f * 3.14159265f * i / rings;
+        for (int j = 0; j < sides; ++j) {
+            float v = 2.0f * 3.14159265f * j / sides;
+            float cx = std::cos(u), sx = std::sin(u);
+            float cv = std::cos(v), sv = std::sin(v);
+            verts.push_back({ (R + r * cv) * cx, (R + r * cv) * sx,
+                              r * sv });
+            normals.push_back({ cv * cx, cv * sx, sv });
+        }
+    }
+    for (int i = 0; i < rings; ++i) {
+        for (int j = 0; j < sides; ++j) {
+            int a = i * sides + j;
+            int b = ((i + 1) % rings) * sides + j;
+            int c = i * sides + (j + 1) % sides;
+            int d = ((i + 1) % rings) * sides + (j + 1) % sides;
+            tris.push_back({ a, b, c });
+            tris.push_back({ b, d, c });
+        }
+    }
+}
+
+} // namespace
+
+trace::Program
+buildMesa(isa::SimdIsa simd, uint32_t base, const MesaConfig &cfg,
+          MesaRendered *out)
+{
+    CodecCtx ctx("mesa", simd, base, 2u << 20);
+    ScalarEmitter &s = ctx.s;
+    trace::TraceBuilder &tb = ctx.tb;
+
+    int W = cfg.width, H = cfg.height;
+    uint32_t colorBuf = tb.alloc(static_cast<uint32_t>(W) * H, 64);
+    uint32_t depthBuf = tb.alloc(static_cast<uint32_t>(W) * H * 4, 64);
+    uint32_t vtxBuf = tb.alloc(1, 64);          // placeholder base
+
+    std::vector<Vec3> verts, normals;
+    std::vector<Tri> tris;
+    makeTorus(cfg.rings, cfg.sides, verts, normals, tris);
+    (void)vtxBuf;
+
+    uint64_t pixelsShaded = 0, trianglesDrawn = 0;
+
+    for (int frame = 0; frame < cfg.frames; ++frame) {
+        // ---- clear buffers (scalar loop, as in a software rasterizer)
+        s.call("clear_buffers", 2048);
+        {
+            IVal cp = s.imm(static_cast<int32_t>(colorBuf));
+            IVal zp = s.imm(static_cast<int32_t>(depthBuf));
+            FVal farZ = s.fconst(1.0e9f);
+            IVal zero32 = s.imm(0x20202020);
+            IVal n = s.imm(W * H / 4);
+            uint32_t head = s.loopHead();
+            for (int i = 0; i < W * H / 4; ++i) {
+                s.storeI32(cp, i * 4, zero32);
+                for (int k = 0; k < 4; ++k)
+                    s.storeF(zp, (i * 4 + k) * 4, farZ);
+                n = s.subi(n, 1);
+                s.loopBack(head, n, i + 1 < W * H / 4);
+            }
+        }
+        s.ret();
+
+        // ---- transform + light vertices ----
+        float ang = 0.5f + 0.35f * frame;
+        float ca = std::cos(ang), sa = std::sin(ang);
+        float cb = std::cos(0.7f * ang), sb = std::sin(0.7f * ang);
+        // Rotation about Z then X, translate back, perspective.
+        auto xform = [&](const Vec3 &v) {
+            Vec3 t;
+            t.x = ca * v.x - sa * v.y;
+            t.y = sa * v.x + ca * v.y;
+            t.z = v.z;
+            float y2 = cb * t.y - sb * t.z;
+            float z2 = sb * t.y + cb * t.z;
+            t.y = y2;
+            t.z = z2 + 3.2f;
+            return t;
+        };
+        Vec3 light = { 0.4f, 0.5f, -0.77f };
+
+        struct SVert
+        {
+            float sx, sy, z;
+            int shade;
+        };
+        std::vector<SVert> sv(verts.size());
+
+        s.call("transform_light", 2048);
+        {
+            FVal fca = s.fconst(ca), fsa = s.fconst(sa);
+            FVal fcb = s.fconst(cb), fsb = s.fconst(sb);
+            FVal dist = s.fconst(3.2f);
+            FVal focal = s.fconst(110.0f);
+            FVal halfW = s.fconst(W / 2.0f), halfH = s.fconst(H / 2.0f);
+            FVal lx = s.fconst(light.x), ly = s.fconst(light.y),
+                 lz = s.fconst(light.z);
+            IVal cnt = s.imm(static_cast<int32_t>(verts.size()));
+            uint32_t head = s.loopHead();
+            for (size_t i = 0; i < verts.size(); ++i) {
+                Vec3 t = xform(verts[i]);
+                Vec3 nr = xform(normals[i]);
+                nr.z -= 3.2f;       // normals rotate, not translate
+                // Emit the same arithmetic through the FP pipeline.
+                FVal vx = s.fconst(verts[i].x);
+                FVal vy = s.fconst(verts[i].y);
+                FVal vz = s.fconst(verts[i].z);
+                FVal tx = s.fsub(s.fmul(fca, vx), s.fmul(fsa, vy));
+                FVal ty0 = s.fadd(s.fmul(fsa, vx), s.fmul(fca, vy));
+                FVal ty = s.fsub(s.fmul(fcb, ty0), s.fmul(fsb, vz));
+                FVal tz = s.fadd(s.fadd(s.fmul(fsb, ty0),
+                                        s.fmul(fcb, vz)), dist);
+                FVal inv = s.fdiv(focal, tz);
+                FVal sx = s.fadd(s.fmul(tx, inv), halfW);
+                FVal sy = s.fadd(s.fmul(ty, inv), halfH);
+                // Diffuse lighting on the rotated normal.
+                FVal nx = s.fconst(nr.x), ny = s.fconst(nr.y),
+                     nz = s.fconst(nr.z);
+                FVal dot = s.fadd(s.fadd(s.fmul(nx, lx), s.fmul(ny, ly)),
+                                  s.fmul(nz, lz));
+                FVal clamped = s.fabs_(dot);
+                IVal shade = s.cvtFI(s.fmul(clamped, s.fconst(220.0f)));
+                shade = s.addi(shade, 30);
+
+                float fz = t.z;
+                float finv = 110.0f / fz;
+                float fsx = t.x * finv + W / 2.0f;
+                float fsy = t.y * finv + H / 2.0f;
+                float dotH = std::fabs(nr.x * light.x + nr.y * light.y +
+                                       nr.z * light.z);
+                sv[i] = { fsx, fsy, fz,
+                          std::min(250, static_cast<int>(dotH * 220) + 30) };
+                (void)sx;
+                (void)sy;
+                (void)shade;
+                cnt = s.subi(cnt, 1);
+                s.loopBack(head, cnt, i + 1 < verts.size());
+            }
+        }
+        s.ret();
+
+        // ---- rasterize with z-buffer ----
+        s.call("rasterize", 2048);
+        IVal cbuf = s.imm(static_cast<int32_t>(colorBuf));
+        IVal zbuf = s.imm(static_cast<int32_t>(depthBuf));
+        for (const Tri &tri : tris) {
+            const SVert &a = sv[static_cast<size_t>(tri.v0)];
+            const SVert &b = sv[static_cast<size_t>(tri.v1)];
+            const SVert &c = sv[static_cast<size_t>(tri.v2)];
+            // Back-face cull via signed area.
+            float area = (b.sx - a.sx) * (c.sy - a.sy) -
+                         (c.sx - a.sx) * (b.sy - a.sy);
+            IVal areaIv = s.imm(static_cast<int32_t>(area * 16.0f));
+            s.condBr(areaIv, area <= 0.0f);
+            if (area <= 0.0f)
+                continue;
+            ++trianglesDrawn;
+            int minx = std::max(0, static_cast<int>(
+                std::floor(std::min({ a.sx, b.sx, c.sx }))));
+            int maxx = std::min(W - 1, static_cast<int>(
+                std::ceil(std::max({ a.sx, b.sx, c.sx }))));
+            int miny = std::max(0, static_cast<int>(
+                std::floor(std::min({ a.sy, b.sy, c.sy }))));
+            int maxy = std::min(H - 1, static_cast<int>(
+                std::ceil(std::max({ a.sy, b.sy, c.sy }))));
+            int shade = (a.shade + b.shade + c.shade) / 3;
+            IVal shadeIv = s.imm(shade);
+            float invArea = 1.0f / area;
+            float zavg = (a.z + b.z + c.z) / 3.0f;
+            FVal zIv = s.fconst(zavg);
+
+            IVal rows = s.imm(maxy - miny + 1);
+            uint32_t rowHead = s.loopHead();
+            for (int y = miny; y <= maxy; ++y) {
+                IVal cols = s.imm(maxx - minx + 1);
+                uint32_t colHead = s.loopHead();
+                for (int x = minx; x <= maxx; ++x) {
+                    float px = x + 0.5f, py = y + 0.5f;
+                    float w0 = (b.sx - a.sx) * (py - a.sy) -
+                               (px - a.sx) * (b.sy - a.sy);
+                    float w1 = (c.sx - b.sx) * (py - b.sy) -
+                               (px - b.sx) * (c.sy - b.sy);
+                    float w2 = (a.sx - c.sx) * (py - c.sy) -
+                               (px - c.sx) * (a.sy - c.sy);
+                    bool inside = w0 >= 0 && w1 >= 0 && w2 >= 0;
+                    // Edge tests in fixed point through the int pipe.
+                    IVal e0 = s.imm(static_cast<int32_t>(w0 * 16));
+                    IVal e1 = s.imm(static_cast<int32_t>(w1 * 16));
+                    IVal e2 = s.imm(static_cast<int32_t>(w2 * 16));
+                    IVal m = s.and_(s.and_(e0, e1), e2);
+                    s.condBr(m, !inside);
+                    if (inside) {
+                        (void)invArea;
+                        int idx = y * W + x;
+                        FVal zOld = s.loadF(zbuf, idx * 4);
+                        IVal lt = s.fcmplt(zIv, zOld);
+                        float zh;
+                        {
+                            uint32_t bits = tb.peek32(
+                                depthBuf + static_cast<uint32_t>(idx * 4));
+                            float f;
+                            static_assert(sizeof(f) == 4);
+                            std::memcpy(&f, &bits, 4);
+                            zh = f;
+                        }
+                        bool pass = zavg < zh;
+                        s.condBr(lt, !pass);
+                        if (pass) {
+                            s.storeF(zbuf, idx * 4, zIv);
+                            s.storeU8(cbuf, idx, shadeIv);
+                            ++pixelsShaded;
+                        }
+                    }
+                    cols = s.subi(cols, 1);
+                    s.loopBack(colHead, cols, x < maxx);
+                }
+                rows = s.subi(rows, 1);
+                s.loopBack(rowHead, rows, y < maxy);
+            }
+        }
+        s.ret();
+    }
+
+    if (out) {
+        out->width = W;
+        out->height = H;
+        out->color.resize(static_cast<size_t>(W) * H);
+        tb.peekBytes(colorBuf, out->color.data(),
+                     static_cast<uint32_t>(out->color.size()));
+        out->depth.resize(static_cast<size_t>(W) * H);
+        for (int i = 0; i < W * H; ++i) {
+            uint32_t bits = tb.peek32(depthBuf +
+                                      static_cast<uint32_t>(i * 4));
+            std::memcpy(&out->depth[static_cast<size_t>(i)], &bits, 4);
+        }
+        out->pixelsShaded = pixelsShaded;
+        out->trianglesDrawn = trianglesDrawn;
+    }
+    (void)simd;
+    return ctx.tb.take();
+}
+
+} // namespace momsim::workloads

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * A mesa-style software 3D pipeline as an emulation-library program
+ * (the paper's MPEG-4 "still image 3D graphics" profile).
+ *
+ * Implements the classic fixed-function path: model-view transform,
+ * perspective projection and viewport mapping (scalar FP), diffuse
+ * lighting, and a z-buffered edge-function rasterizer with flat-shaded
+ * spans (integer). As in the paper, this benchmark is *not* vectorized
+ * ("mesa has not been vectorized because our emulation libraries do not
+ * have floating-point µ-SIMD instructions"), so its MMX and MOM builds
+ * are identical instruction streams.
+ */
+
+#ifndef MOMSIM_WORKLOADS_MESA_HH
+#define MOMSIM_WORKLOADS_MESA_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/simd_isa.hh"
+#include "trace/program.hh"
+
+namespace momsim::workloads
+{
+
+struct MesaConfig
+{
+    int width = 160;
+    int height = 120;
+    int rings = 14;         ///< torus tessellation
+    int sides = 10;
+    int frames = 2;         ///< rotation steps rendered
+    uint64_t seed = 3;
+};
+
+struct MesaRendered
+{
+    int width = 0, height = 0;
+    /** Final frame's colour buffer (8-bit intensity). */
+    std::vector<uint8_t> color;
+    /** Final frame's depth buffer (float bits). */
+    std::vector<float> depth;
+    uint64_t pixelsShaded = 0;
+    uint64_t trianglesDrawn = 0;
+};
+
+trace::Program buildMesa(isa::SimdIsa simd, uint32_t memBase,
+                         const MesaConfig &cfg,
+                         MesaRendered *out = nullptr);
+
+} // namespace momsim::workloads
+
+#endif // MOMSIM_WORKLOADS_MESA_HH

@@ -1,0 +1,558 @@
+#include "workloads/mpeg2.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "workloads/blocks.hh"
+#include "workloads/codec_ctx.hh"
+#include "workloads/video_common.hh"
+
+namespace momsim::workloads
+{
+
+namespace
+{
+
+/** Standard zig-zag scan order (row-major index per scan position). */
+constexpr int kZigzag[64] = {
+     0,  1,  8, 16,  9,  2,  3, 10,
+    17, 24, 32, 25, 18, 11,  4,  5,
+    12, 19, 26, 33, 40, 48, 41, 34,
+    27, 20, 13,  6,  7, 14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36,
+    29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46,
+    53, 60, 61, 54, 47, 55, 62, 63,
+};
+
+/** Quantizer step per row-major coefficient position. */
+int
+qStep(const VideoConfig &cfg, int pos)
+{
+    if (pos == 0)
+        return std::max(4, cfg.quant / 2);
+    int r = pos / 8, c = pos % 8;
+    return cfg.quant + ((r + c) * cfg.quant) / 16;
+}
+
+struct Planes
+{
+    uint32_t y, cb, cr;
+};
+
+struct Layout
+{
+    int w, h, cw, ch, mbx, mby, nMb, nBlocks;
+    uint32_t curY, curCb, curCr;
+    Planes ref, next;
+    Planes gray;
+    uint32_t blkDiff, blkDct, blkQuant;
+    uint32_t deqBlk, idctBlk;
+    uint32_t recipTab, qTab;
+    uint32_t bitBuf;
+};
+
+Layout
+makeLayout(CodecCtx &ctx, const VideoConfig &cfg, bool encoder)
+{
+    Layout L;
+    L.w = cfg.width;
+    L.h = cfg.height;
+    L.cw = cfg.width / 2;
+    L.ch = cfg.height / 2;
+    L.mbx = L.w / 16;
+    L.mby = L.h / 16;
+    L.nMb = L.mbx * L.mby;
+    L.nBlocks = L.nMb * 6;
+
+    auto plane = [&](int w, int h) {
+        return ctx.tb.alloc(static_cast<uint32_t>(w) * h, 64);
+    };
+    L.curY = plane(L.w, L.h);
+    L.curCb = plane(L.cw, L.ch);
+    L.curCr = plane(L.cw, L.ch);
+    L.ref = { plane(L.w, L.h), plane(L.cw, L.ch), plane(L.cw, L.ch) };
+    L.next = { plane(L.w, L.h), plane(L.cw, L.ch), plane(L.cw, L.ch) };
+    L.gray = { plane(L.w, L.h), plane(L.cw, L.ch), plane(L.cw, L.ch) };
+    for (uint32_t p : { L.gray.y }) {
+        for (int i = 0; i < L.w * L.h; ++i)
+            ctx.tb.poke8(p + static_cast<uint32_t>(i), 128);
+    }
+    for (uint32_t p : { L.gray.cb, L.gray.cr }) {
+        for (int i = 0; i < L.cw * L.ch; ++i)
+            ctx.tb.poke8(p + static_cast<uint32_t>(i), 128);
+    }
+    uint32_t blockBytes = static_cast<uint32_t>(L.nBlocks) * kBlockBytes;
+    L.blkDiff = ctx.tb.alloc(blockBytes, 64);
+    L.blkDct = ctx.tb.alloc(blockBytes, 64);
+    L.blkQuant = ctx.tb.alloc(blockBytes, 64);
+    L.deqBlk = ctx.tb.alloc(kBlockBytes, 64);
+    L.idctBlk = ctx.tb.alloc(kBlockBytes, 64);
+    L.recipTab = ctx.tb.alloc(kBlockBytes, 64);
+    L.qTab = ctx.tb.alloc(kBlockBytes, 64);
+    L.bitBuf = ctx.tb.alloc(encoder ? (1u << 18) : (1u << 18), 64);
+
+    for (int pos = 0; pos < 64; ++pos) {
+        int q = qStep(cfg, pos);
+        int recip = std::min(32767, 65536 / q);
+        // Tables live in block geometry: 16B row pitch.
+        uint32_t off = static_cast<uint32_t>((pos / 8) * 16 + (pos % 8) * 2);
+        ctx.tb.poke16(L.recipTab + off, static_cast<uint16_t>(recip));
+        ctx.tb.poke16(L.qTab + off, static_cast<uint16_t>(q));
+    }
+    return L;
+}
+
+/** Geometry of one of the six 8x8 blocks of a macroblock. */
+struct BlockRef
+{
+    uint32_t curPlane, refPlane, newPlane, grayPlane;
+    int pitch;
+    int px, py;     // top-left pixel of the block in its plane
+    int mvx, mvy;   // motion vector applied to this plane
+};
+
+BlockRef
+blockRef(const Layout &L, Planes ref, Planes next, int mb, int k,
+         int mvx, int mvy)
+{
+    BlockRef r;
+    int bx = (mb % L.mbx) * 16, by = (mb / L.mbx) * 16;
+    int planeW, planeH;
+    if (k < 4) {
+        r.curPlane = L.curY;
+        r.refPlane = ref.y;
+        r.newPlane = next.y;
+        r.grayPlane = L.gray.y;
+        r.pitch = L.w;
+        r.px = bx + (k % 2) * 8;
+        r.py = by + (k / 2) * 8;
+        r.mvx = mvx;
+        r.mvy = mvy;
+        planeW = L.w;
+        planeH = L.h;
+    } else {
+        r.curPlane = (k == 4) ? L.curCb : L.curCr;
+        r.refPlane = (k == 4) ? ref.cb : ref.cr;
+        r.newPlane = (k == 4) ? next.cb : next.cr;
+        r.grayPlane = (k == 4) ? L.gray.cb : L.gray.cr;
+        r.pitch = L.cw;
+        r.px = bx / 2;
+        r.py = by / 2;
+        r.mvx = mvx / 2;
+        r.mvy = mvy / 2;
+        planeW = L.cw;
+        planeH = L.ch;
+    }
+    // Keep the motion-compensated block inside its plane (chroma
+    // half-vectors can poke past the edge after rounding). Both codec
+    // sides apply the same clamp, so they stay bit-identical.
+    r.mvx = std::max(-r.px, std::min(planeW - 8 - r.px, r.mvx));
+    r.mvy = std::max(-r.py, std::min(planeH - 8 - r.py, r.mvy));
+    return r;
+}
+
+uint32_t
+pixAddr(uint32_t plane, int pitch, int x, int y)
+{
+    return plane + static_cast<uint32_t>(y) * static_cast<uint32_t>(pitch) +
+           static_cast<uint32_t>(x);
+}
+
+template <class B>
+void
+reconBlock(CodecCtx &ctx, B &b, const Layout &L, const BlockRef &r,
+           bool coded, bool intra, uint32_t quantBlkAddr)
+{
+    ScalarEmitter &s = ctx.s;
+    uint32_t predPlane = intra ? r.grayPlane : r.refPlane;
+    int mvx = intra ? 0 : r.mvx;
+    int mvy = intra ? 0 : r.mvy;
+    uint32_t predA = pixAddr(predPlane, r.pitch, r.px + mvx, r.py + mvy);
+    uint32_t outA = pixAddr(r.newPlane, r.pitch, r.px, r.py);
+
+    IVal pred = s.imm(static_cast<int32_t>(predA));
+    IVal dst = s.imm(static_cast<int32_t>(outA));
+    if (!coded) {
+        forEachBlockRow(b, s, pred, dst, s.imm(0), r.pitch,
+                        [](B &bb, IVal a, IVal c, IVal) {
+                            copyPixelRow(bb, a, c);
+                        });
+        return;
+    }
+    IVal qsrc = s.imm(static_cast<int32_t>(quantBlkAddr));
+    IVal qtab = s.imm(static_cast<int32_t>(L.qTab));
+    forEachBlock(b, s, quantBlkAddr, L.deqBlk, 1,
+                 [&](B &bb, IVal pa, IVal pb) {
+                     dequantBlock(bb, pa, pb, qtab);
+                 });
+    (void)qsrc;
+    forEachBlock(b, s, L.deqBlk, L.idctBlk, 1,
+                 [](B &bb, IVal pa, IVal pb) { idct8x8(bb, pa, pb); });
+    IVal res = s.imm(static_cast<int32_t>(L.idctBlk));
+    forEachBlockRow(b, s, pred, dst, res, r.pitch,
+                    [](B &bb, IVal a, IVal c, IVal blk) {
+                        addClampRow(bb, a, blk, c);
+                    });
+}
+
+template <class B>
+trace::Program
+encodeImpl(isa::SimdIsa simd, uint32_t base, const VideoConfig &cfg,
+           Mpeg2Bitstream *out)
+{
+    CodecCtx ctx("mpeg2enc", simd, base);
+    B &b = backendOf<B>(ctx);
+    ScalarEmitter &s = ctx.s;
+    Layout L = makeLayout(ctx, cfg, true);
+    Planes ref = L.ref, next = L.next;
+
+    VlcWriter vlc(s, L.bitBuf);
+    vlc.put(static_cast<uint32_t>(L.mbx), 8);
+    vlc.put(static_cast<uint32_t>(L.mby), 8);
+    vlc.put(static_cast<uint32_t>(cfg.frames), 8);
+    vlc.put(static_cast<uint32_t>(cfg.quant), 8);
+
+    std::vector<int> mvx(static_cast<size_t>(L.nMb));
+    std::vector<int> mvy(static_cast<size_t>(L.nMb));
+
+    for (int f = 0; f < cfg.frames; ++f) {
+        bool intra = (f == 0);
+        // New input frame into the current planes.
+        auto y = makeLumaFrame(L.w, L.h, f, cfg.seed);
+        auto cbp = makeChromaFrame(L.cw, L.ch, f, cfg.seed, false);
+        auto crp = makeChromaFrame(L.cw, L.ch, f, cfg.seed, true);
+        ctx.tb.pokeBytes(L.curY, y.data(), static_cast<uint32_t>(y.size()));
+        ctx.tb.pokeBytes(L.curCb, cbp.data(),
+                         static_cast<uint32_t>(cbp.size()));
+        ctx.tb.pokeBytes(L.curCr, crp.data(),
+                         static_cast<uint32_t>(crp.size()));
+        if (out)
+            out->origY.push_back(y);
+
+        vlc.put(intra ? 1u : 0u, 1);
+
+        // ---- Motion estimation (P frames) ----
+        std::fill(mvx.begin(), mvx.end(), 0);
+        std::fill(mvy.begin(), mvy.end(), 0);
+        if (!intra) {
+            s.call("motion_search", 2048);
+            IVal refBase = s.imm(static_cast<int32_t>(ref.y));
+            for (int mb = 0; mb < L.nMb; ++mb) {
+                int bx = (mb % L.mbx) * 16, by = (mb / L.mbx) * 16;
+                IVal cur = s.imm(static_cast<int32_t>(
+                    pixAddr(L.curY, L.w, bx, by)));
+                int32_t best = INT32_MAX;
+                IVal bestIv = s.imm(INT32_MAX);
+                IVal mvCostTab = s.imm(static_cast<int32_t>(L.qTab));
+                for (int dy = -cfg.searchRange; dy <= cfg.searchRange; ++dy) {
+                    if (by + dy < 0 || by + dy + 16 > L.h)
+                        continue;
+                    for (int dx = -cfg.searchRange; dx <= cfg.searchRange;
+                         ++dx) {
+                        if (bx + dx < 0 || bx + dx + 16 > L.w)
+                            continue;
+                        // Candidate bookkeeping a real encoder performs:
+                        // window-bound checks and a rate-biased MV cost
+                        // looked up from a table.
+                        IVal cdx = s.imm(dx);
+                        IVal inWin = s.cmplti(cdx, cfg.searchRange + 1);
+                        s.condBr(inWin, true);
+                        IVal mvCost = s.loadU8(mvCostTab,
+                                               std::abs(dx) +
+                                               std::abs(dy));
+                        IVal refAddr = s.addi(refBase,
+                            (by + dy) * L.w + bx + dx);
+                        IVal sad = (simd == isa::SimdIsa::Mom)
+                            ? sad16x16Mom(s, ctx.mv, cur, refAddr, L.w)
+                            : sad16x16Mmx(s, ctx.mx, cur, refAddr, L.w);
+                        IVal biased = s.add(sad, mvCost);
+                        IVal lt = s.cmplt(biased, bestIv);
+                        s.condBr(lt, sad.v < best);
+                        bestIv = s.cmovne(lt, biased, bestIv);
+                        if (sad.v < best) {
+                            best = sad.v;
+                            mvx[static_cast<size_t>(mb)] = dx;
+                            mvy[static_cast<size_t>(mb)] = dy;
+                        }
+                    }
+                }
+            }
+            s.ret();
+        }
+
+        // ---- Mode decision: scalar activity measure per macroblock ----
+        // (intra/inter decision + quantizer adaptation bookkeeping; this
+        // is classic unvectorized encoder control code.)
+        s.call("mode_decision", 2048);
+        for (int mb = 0; mb < L.nMb; ++mb) {
+            int bx = (mb % L.mbx) * 16, by = (mb / L.mbx) * 16;
+            IVal p = s.imm(static_cast<int32_t>(
+                pixAddr(L.curY, L.w, bx, by)));
+            IVal sum = s.imm(0);
+            IVal sumSq = s.imm(0);
+            IVal rows = s.imm(8);
+            uint32_t head = s.loopHead();
+            for (int r = 0; r < 8; ++r) {          // sampled every 2nd row
+                for (int c = 0; c < 16; c += 4) {
+                    IVal px = s.loadU8(p, c);
+                    sum = s.add(sum, px);
+                    sumSq = s.add(sumSq, s.mul(px, px));
+                }
+                p = s.addi(p, 2 * L.w);
+                rows = s.subi(rows, 1);
+                s.loopBack(head, rows, r + 1 < 8);
+            }
+            IVal mean = s.srai(sum, 5);
+            IVal var = s.sub(s.srai(sumSq, 5), s.mul(mean, mean));
+            IVal act = s.cmplti(var, 4096);
+            s.condBr(act, var.v < 4096);
+        }
+        s.ret();
+
+        // ---- Residual extraction into the block array ----
+        s.call("extract_diff", 2048);
+        for (int mb = 0; mb < L.nMb; ++mb) {
+            for (int k = 0; k < 6; ++k) {
+                BlockRef r = blockRef(L, ref, next, mb, k,
+                                      mvx[static_cast<size_t>(mb)],
+                                      mvy[static_cast<size_t>(mb)]);
+                uint32_t predPlane = intra ? r.grayPlane : r.refPlane;
+                int mx = intra ? 0 : r.mvx, my = intra ? 0 : r.mvy;
+                IVal cur = s.imm(static_cast<int32_t>(
+                    pixAddr(r.curPlane, r.pitch, r.px, r.py)));
+                IVal pred = s.imm(static_cast<int32_t>(
+                    pixAddr(predPlane, r.pitch, r.px + mx, r.py + my)));
+                IVal blk = s.imm(static_cast<int32_t>(
+                    L.blkDiff + static_cast<uint32_t>(mb * 6 + k) *
+                    kBlockBytes));
+                forEachBlockRow(b, s, cur, pred, blk, r.pitch,
+                                [](B &bb, IVal a, IVal c, IVal d) {
+                                    extractDiffRow(bb, a, c, d);
+                                });
+            }
+        }
+        s.ret();
+
+        // ---- Transform and quantization sweeps ----
+        s.call("dct_sweep", 2048);
+        forEachBlock(b, s, L.blkDiff, L.blkDct, L.nBlocks,
+                     [](B &bb, IVal pa, IVal pb) { dct8x8(bb, pa, pb); });
+        s.ret();
+        s.call("quant_sweep", 2048);
+        IVal recip = s.imm(static_cast<int32_t>(L.recipTab));
+        forEachBlock(b, s, L.blkDct, L.blkQuant, L.nBlocks,
+                     [&](B &bb, IVal pa, IVal pb) {
+                         quantBlock(bb, pa, pb, recip);
+                     });
+        s.ret();
+
+        // ---- Entropy coding + in-loop reconstruction ----
+        s.call("entropy_recon", 2048);
+        for (int mb = 0; mb < L.nMb; ++mb) {
+            if (!intra) {
+                vlc.putSigned(mvx[static_cast<size_t>(mb)]);
+                vlc.putSigned(mvy[static_cast<size_t>(mb)]);
+            }
+            uint32_t cbp = 0;
+            uint32_t blkBase =
+                L.blkQuant + static_cast<uint32_t>(mb * 6) * kBlockBytes;
+            // Scan all six blocks (this is also the cbp computation).
+            std::vector<std::vector<std::pair<int, int>>> runs(6);
+            for (int k = 0; k < 6; ++k) {
+                uint32_t qb = blkBase + static_cast<uint32_t>(k) *
+                              kBlockBytes;
+                IVal qIv = s.imm(static_cast<int32_t>(qb));
+                IVal zzTab = s.imm(static_cast<int32_t>(L.recipTab));
+                IVal runIv = s.imm(0);
+                int run = 0;
+                for (int i = 0; i < 64; ++i) {
+                    int pos = kZigzag[i];
+                    int off = (pos / 8) * 16 + (pos % 8) * 2;
+                    // scan-order table lookup + address formation +
+                    // run-length update: the entropy coder's integer core
+                    IVal zz = s.loadU8(zzTab, i);
+                    IVal coefOff = s.slli(zz, 1);
+                    (void)coefOff;
+                    IVal lvl = s.loadS16(qIv, off);
+                    s.condBr(lvl, lvl.v != 0);
+                    if (lvl.v != 0) {
+                        runs[static_cast<size_t>(k)].emplace_back(run,
+                                                                  lvl.v);
+                        run = 0;
+                        runIv = s.imm(0);
+                    } else {
+                        ++run;
+                        runIv = s.addi(runIv, 1);
+                    }
+                }
+                if (!runs[static_cast<size_t>(k)].empty())
+                    cbp |= (1u << k);
+            }
+            vlc.put(cbp, 6);
+            for (int k = 0; k < 6; ++k) {
+                if (!(cbp & (1u << k)))
+                    continue;
+                const auto &list = runs[static_cast<size_t>(k)];
+                vlc.putUnsigned(static_cast<uint32_t>(list.size()));
+                for (auto &[run, level] : list) {
+                    vlc.putUnsigned(static_cast<uint32_t>(run));
+                    vlc.putSigned(level);
+                }
+            }
+            // Reconstruction mirrors the decoder exactly.
+            for (int k = 0; k < 6; ++k) {
+                BlockRef r = blockRef(L, ref, next, mb, k,
+                                      mvx[static_cast<size_t>(mb)],
+                                      mvy[static_cast<size_t>(mb)]);
+                reconBlock(ctx, b, L, r, (cbp >> k) & 1, intra,
+                           blkBase + static_cast<uint32_t>(k) *
+                           kBlockBytes);
+            }
+        }
+        s.ret();
+
+        // Capture the reconstruction and swap reference planes.
+        if (out) {
+            std::vector<uint8_t> ry(static_cast<size_t>(L.w) * L.h);
+            std::vector<uint8_t> rcb(static_cast<size_t>(L.cw) * L.ch);
+            std::vector<uint8_t> rcr(static_cast<size_t>(L.cw) * L.ch);
+            ctx.tb.peekBytes(next.y, ry.data(),
+                             static_cast<uint32_t>(ry.size()));
+            ctx.tb.peekBytes(next.cb, rcb.data(),
+                             static_cast<uint32_t>(rcb.size()));
+            ctx.tb.peekBytes(next.cr, rcr.data(),
+                             static_cast<uint32_t>(rcr.size()));
+            out->reconY.push_back(std::move(ry));
+            out->reconCb.push_back(std::move(rcb));
+            out->reconCr.push_back(std::move(rcr));
+        }
+        std::swap(ref, next);
+    }
+
+    vlc.alignByte();
+    if (out) {
+        out->cfg = cfg;
+        out->bytes = vlc.writer().bytes();
+        out->bitCount = vlc.bitCount();
+    }
+    return ctx.tb.take();
+}
+
+template <class B>
+trace::Program
+decodeImpl(isa::SimdIsa simd, uint32_t base, const Mpeg2Bitstream &stream,
+           Mpeg2Decoded *out)
+{
+    const VideoConfig &cfg = stream.cfg;
+    CodecCtx ctx("mpeg2dec", simd, base);
+    B &b = backendOf<B>(ctx);
+    ScalarEmitter &s = ctx.s;
+    Layout L = makeLayout(ctx, cfg, false);
+    Planes ref = L.ref, next = L.next;
+
+    ctx.tb.pokeBytes(L.bitBuf, stream.bytes.data(),
+                     static_cast<uint32_t>(stream.bytes.size()));
+    VlcReader vlc(s, stream.bytes, L.bitBuf);
+    int mbx = static_cast<int>(vlc.get(8));
+    int mby = static_cast<int>(vlc.get(8));
+    int frames = static_cast<int>(vlc.get(8));
+    (void)vlc.get(8);   // quant (tables already built from cfg)
+    MOMSIM_ASSERT(mbx == L.mbx && mby == L.mby && frames == cfg.frames,
+                  "bitstream header mismatch");
+
+    uint32_t scratchQuant = L.blkQuant;     // one block at a time
+
+    for (int f = 0; f < frames; ++f) {
+        bool intra = vlc.get(1) != 0;
+        for (int mb = 0; mb < L.nMb; ++mb) {
+            int mvx = 0, mvy = 0;
+            if (!intra) {
+                mvx = vlc.getSigned();
+                mvy = vlc.getSigned();
+            }
+            uint32_t cbp = vlc.get(6);
+            for (int k = 0; k < 6; ++k) {
+                BlockRef r = blockRef(L, ref, next, mb, k, mvx, mvy);
+                bool coded = (cbp >> k) & 1;
+                if (coded) {
+                    // Zero the scratch block, then scatter the levels.
+                    forEachBlock(b, s, scratchQuant, scratchQuant, 1,
+                                 [](B &bb, IVal, IVal pb) {
+                        auto zero = bb.zeroVec();
+                        for (int g = 0; g < 16; ++g)
+                            bb.store(pb, g * 8, zero);
+                    });
+                    IVal qIv = s.imm(static_cast<int32_t>(scratchQuant));
+                    uint32_t nnz = vlc.getUnsigned();
+                    int scanPos = 0;
+                    for (uint32_t n = 0; n < nnz; ++n) {
+                        int run = static_cast<int>(vlc.getUnsigned());
+                        int level = vlc.getSigned();
+                        scanPos += run;
+                        int pos = kZigzag[std::min(scanPos, 63)];
+                        ++scanPos;
+                        int off = (pos / 8) * 16 + (pos % 8) * 2;
+                        s.storeI16(qIv, off, s.imm(level));
+                    }
+                }
+                reconBlock(ctx, b, L, r, coded, intra, scratchQuant);
+            }
+        }
+        if (out) {
+            std::vector<uint8_t> ry(static_cast<size_t>(L.w) * L.h);
+            std::vector<uint8_t> rcb(static_cast<size_t>(L.cw) * L.ch);
+            std::vector<uint8_t> rcr(static_cast<size_t>(L.cw) * L.ch);
+            ctx.tb.peekBytes(next.y, ry.data(),
+                             static_cast<uint32_t>(ry.size()));
+            ctx.tb.peekBytes(next.cb, rcb.data(),
+                             static_cast<uint32_t>(rcb.size()));
+            ctx.tb.peekBytes(next.cr, rcr.data(),
+                             static_cast<uint32_t>(rcr.size()));
+            out->y.push_back(std::move(ry));
+            out->cb.push_back(std::move(rcb));
+            out->cr.push_back(std::move(rcr));
+        }
+        std::swap(ref, next);
+    }
+    (void)simd;
+    return ctx.tb.take();
+}
+
+} // namespace
+
+trace::Program
+buildMpeg2Encoder(isa::SimdIsa simd, uint32_t base, const VideoConfig &cfg,
+                  Mpeg2Bitstream *out)
+{
+    if (simd == isa::SimdIsa::Mom)
+        return encodeImpl<MomBackend>(simd, base, cfg, out);
+    return encodeImpl<MmxBackend>(simd, base, cfg, out);
+}
+
+trace::Program
+buildMpeg2Decoder(isa::SimdIsa simd, uint32_t base,
+                  const Mpeg2Bitstream &stream, Mpeg2Decoded *out)
+{
+    if (simd == isa::SimdIsa::Mom)
+        return decodeImpl<MomBackend>(simd, base, stream, out);
+    return decodeImpl<MmxBackend>(simd, base, stream, out);
+}
+
+double
+planePsnr(const std::vector<uint8_t> &a, const std::vector<uint8_t> &b)
+{
+    MOMSIM_ASSERT(a.size() == b.size() && !a.empty(),
+                  "psnr over mismatched planes");
+    double mse = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        double d = static_cast<double>(a[i]) - b[i];
+        mse += d * d;
+    }
+    mse /= static_cast<double>(a.size());
+    if (mse <= 1e-9)
+        return 99.0;
+    return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+} // namespace momsim::workloads

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * MPEG-2-style video encoder/decoder as emulation-library programs
+ * (the MPEG-4 "video" profile members of the paper's workload).
+ *
+ * The encoder implements the real MPEG-2 coding structure: an I-frame
+ * followed by P-frames with full-search block motion estimation (16x16
+ * SAD over +/-range), motion-compensated residuals, 8x8 DCT,
+ * quantization, zig-zag run-length entropy coding, and in-loop
+ * reconstruction that exactly mirrors the decoder. The bitstream syntax
+ * is a compact Exp-Golomb-based equivalent of the MPEG-2 macroblock
+ * layer (see DESIGN.md substitutions); the decoder parses it and
+ * reproduces the encoder's reconstruction bit-exactly.
+ *
+ * Both programs exist in MMX and MOM builds; the kernels come from
+ * workloads/blocks.hh via the dual backend.
+ */
+
+#ifndef MOMSIM_WORKLOADS_MPEG2_HH
+#define MOMSIM_WORKLOADS_MPEG2_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/simd_isa.hh"
+#include "trace/program.hh"
+
+namespace momsim::workloads
+{
+
+struct VideoConfig
+{
+    int width = 176;        ///< QCIF luma width  (multiple of 16)
+    int height = 144;       ///< QCIF luma height (multiple of 16)
+    int frames = 3;         ///< GOP prefix: I P P ...
+    int searchRange = 4;    ///< full-search window, +/- pixels
+    int quant = 16;         ///< base quantizer step
+    uint64_t seed = 1234;
+};
+
+/** Encoder products handed to the decoder build and the tests. */
+struct Mpeg2Bitstream
+{
+    VideoConfig cfg;
+    std::vector<uint8_t> bytes;
+    /** Encoder in-loop reconstruction (decoder must match exactly). */
+    std::vector<std::vector<uint8_t>> reconY, reconCb, reconCr;
+    /** Original frames for PSNR evaluation. */
+    std::vector<std::vector<uint8_t>> origY;
+    size_t bitCount = 0;
+};
+
+/** Decoder products for the tests. */
+struct Mpeg2Decoded
+{
+    std::vector<std::vector<uint8_t>> y, cb, cr;
+};
+
+/** Build the encoder program; fills @p out when non-null. */
+trace::Program buildMpeg2Encoder(isa::SimdIsa simd, uint32_t memBase,
+                                 const VideoConfig &cfg,
+                                 Mpeg2Bitstream *out = nullptr);
+
+/** Build the decoder program for an encoded stream. */
+trace::Program buildMpeg2Decoder(isa::SimdIsa simd, uint32_t memBase,
+                                 const Mpeg2Bitstream &stream,
+                                 Mpeg2Decoded *out = nullptr);
+
+/** PSNR between two planes (host-side metric for tests/examples). */
+double planePsnr(const std::vector<uint8_t> &a,
+                 const std::vector<uint8_t> &b);
+
+} // namespace momsim::workloads
+
+#endif // MOMSIM_WORKLOADS_MPEG2_HH

@@ -1,0 +1,193 @@
+#include "workloads/video_common.hh"
+
+#include <algorithm>
+
+#include "common/fixed.hh"
+
+namespace momsim::workloads
+{
+
+namespace
+{
+
+struct Blob
+{
+    double x, y;        // position at frame 0
+    double dx, dy;      // velocity (pixels per frame)
+    int w, h;
+    int base;           // base intensity
+    int texture;        // texture amplitude
+};
+
+std::vector<Blob>
+makeBlobs(int w, int h, uint64_t seed, int count)
+{
+    Rng rng(seed * 77 + 13);
+    std::vector<Blob> blobs;
+    for (int i = 0; i < count; ++i) {
+        Blob b;
+        b.x = rng.real() * w;
+        b.y = rng.real() * h;
+        b.dx = rng.range(-3, 3);
+        b.dy = rng.range(-2, 2);
+        b.w = static_cast<int>(rng.range(12, 40));
+        b.h = static_cast<int>(rng.range(12, 40));
+        b.base = static_cast<int>(rng.range(60, 200));
+        b.texture = static_cast<int>(rng.range(8, 48));
+        blobs.push_back(b);
+    }
+    return blobs;
+}
+
+} // namespace
+
+std::vector<uint8_t>
+makeLumaFrame(int w, int h, int frame, uint64_t seed)
+{
+    std::vector<uint8_t> plane(static_cast<size_t>(w) * h);
+    std::vector<Blob> blobs = makeBlobs(w, h, seed, 6);
+    Rng noise(seed ^ (0x9E37u + static_cast<uint64_t>(frame) * 1315423911u));
+
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            int v = 40 + (x * 60) / std::max(1, w) +
+                    (y * 40) / std::max(1, h);
+            plane[static_cast<size_t>(y) * w + x] = satU8(v);
+        }
+    }
+    for (const Blob &b : blobs) {
+        int bx = static_cast<int>(b.x + b.dx * frame);
+        int by = static_cast<int>(b.y + b.dy * frame);
+        for (int y = 0; y < b.h; ++y) {
+            int py = by + y;
+            if (py < 0 || py >= h)
+                continue;
+            for (int x = 0; x < b.w; ++x) {
+                int px = bx + x;
+                if (px < 0 || px >= w)
+                    continue;
+                // Texture is attached to the blob so it moves with it.
+                int tex = ((x * 7 + y * 13) % 17) * b.texture / 17;
+                plane[static_cast<size_t>(py) * w + px] =
+                    satU8(b.base + tex);
+            }
+        }
+    }
+    for (auto &px : plane) {
+        int n = static_cast<int>(noise.below(5)) - 2;
+        px = satU8(px + n);
+    }
+    return plane;
+}
+
+std::vector<uint8_t>
+makeChromaFrame(int w, int h, int frame, uint64_t seed, bool cr)
+{
+    std::vector<uint8_t> plane(static_cast<size_t>(w) * h);
+    std::vector<Blob> blobs = makeBlobs(w * 2, h * 2, seed, 6);
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            int v = 128 + (cr ? (x * 24) / std::max(1, w) - 12
+                              : (y * 24) / std::max(1, h) - 12);
+            plane[static_cast<size_t>(y) * w + x] = satU8(v);
+        }
+    }
+    for (const Blob &b : blobs) {
+        int bx = static_cast<int>(b.x + b.dx * frame) / 2;
+        int by = static_cast<int>(b.y + b.dy * frame) / 2;
+        int tint = cr ? (b.base / 3) - 20 : 20 - (b.base / 4);
+        for (int y = 0; y < b.h / 2; ++y) {
+            int py = by + y;
+            if (py < 0 || py >= h)
+                continue;
+            for (int x = 0; x < b.w / 2; ++x) {
+                int px = bx + x;
+                if (px < 0 || px >= w)
+                    continue;
+                plane[static_cast<size_t>(py) * w + px] =
+                    satU8(128 + tint);
+            }
+        }
+    }
+    return plane;
+}
+
+void
+makeRgbImage(int w, int h, uint64_t seed, std::vector<uint8_t> &r,
+             std::vector<uint8_t> &g, std::vector<uint8_t> &b)
+{
+    r.assign(static_cast<size_t>(w) * h, 0);
+    g = r;
+    b = r;
+    std::vector<Blob> blobs = makeBlobs(w, h, seed, 10);
+    Rng noise(seed * 31 + 7);
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            size_t i = static_cast<size_t>(y) * w + x;
+            r[i] = satU8(30 + (x * 180) / std::max(1, w));
+            g[i] = satU8(30 + (y * 180) / std::max(1, h));
+            b[i] = satU8(200 - (x * 120) / std::max(1, w));
+        }
+    }
+    for (const Blob &bl : blobs) {
+        for (int y = 0; y < bl.h; ++y) {
+            int py = static_cast<int>(bl.y) + y;
+            if (py < 0 || py >= h)
+                continue;
+            for (int x = 0; x < bl.w; ++x) {
+                int px = static_cast<int>(bl.x) + x;
+                if (px < 0 || px >= w)
+                    continue;
+                size_t i = static_cast<size_t>(py) * w + px;
+                int tex = ((x * 5 + y * 11) % 13) * bl.texture / 13;
+                r[i] = satU8(bl.base + tex);
+                g[i] = satU8(255 - bl.base + tex);
+                b[i] = satU8(bl.base / 2 + tex);
+            }
+        }
+    }
+    for (size_t i = 0; i < r.size(); ++i) {
+        r[i] = satU8(r[i] + static_cast<int>(noise.below(3)) - 1);
+        g[i] = satU8(g[i] + static_cast<int>(noise.below(3)) - 1);
+    }
+}
+
+IVal
+sad16x16Mmx(ScalarEmitter &s, MmxEmitter &mx, IVal cur, IVal ref, int pitch)
+{
+    MVal acc = mx.zero();
+    IVal c = s.copy(cur);
+    IVal r = s.copy(ref);
+    IVal rows = s.imm(16);
+    uint32_t head = s.loopHead();
+    for (int row = 0; row < 16; ++row) {
+        MVal cl = mx.loadQ(c, 0);
+        MVal ch = mx.loadQ(c, 8);
+        MVal rl = mx.loadQ(r, 0);
+        MVal rh = mx.loadQ(r, 8);
+        acc = mx.paddd(acc, mx.psadbw(cl, rl));
+        acc = mx.paddd(acc, mx.psadbw(ch, rh));
+        c = s.addi(c, pitch);
+        r = s.addi(r, pitch);
+        rows = s.subi(rows, 1);
+        s.loopBack(head, rows, row + 1 < 16);
+    }
+    return mx.movdfm(acc);
+}
+
+IVal
+sad16x16Mom(ScalarEmitter &s, MomEmitter &mv, IVal cur, IVal ref, int pitch)
+{
+    if (mv.curLen() != 16)
+        mv.setLen(s.imm(16));
+    SVal cl = mv.loadQ(cur, 0, pitch);
+    SVal ch = mv.loadQ(cur, 8, pitch);
+    SVal rl = mv.loadQ(ref, 0, pitch);
+    SVal rh = mv.loadQ(ref, 8, pitch);
+    mv.clrAcc(0);
+    mv.accSadOB(0, cl, rl);
+    mv.accSadOB(0, ch, rh);
+    return mv.raccToInt(0);
+}
+
+} // namespace momsim::workloads

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Shared pieces of the video codecs: deterministic synthetic video
+ * frames (the substitution for Mediabench's input clips — see DESIGN.md),
+ * 16x16 SAD kernels for motion estimation in both ISAs, and bitstream
+ * I/O wrappers that write real bits host-side while emitting the scalar
+ * instruction cost of the bit-twiddling (the "protocol overhead" that
+ * dominates Table 3's integer share).
+ */
+
+#ifndef MOMSIM_WORKLOADS_VIDEO_COMMON_HH
+#define MOMSIM_WORKLOADS_VIDEO_COMMON_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitio.hh"
+#include "common/rng.hh"
+#include "trace/mmx_emitter.hh"
+#include "trace/mom_emitter.hh"
+#include "trace/scalar_emitter.hh"
+
+namespace momsim::workloads
+{
+
+using trace::IVal;
+using trace::MmxEmitter;
+using trace::MomEmitter;
+using trace::MVal;
+using trace::ScalarEmitter;
+using trace::SVal;
+
+/**
+ * Deterministic synthetic video: a shaded background plus textured
+ * moving rectangles plus mild sensor noise. Motion between consecutive
+ * frames is a few pixels, so block motion search has real work to do.
+ */
+std::vector<uint8_t> makeLumaFrame(int w, int h, int frame, uint64_t seed);
+
+/** Chroma planes: downsampled colour wash following the same motion. */
+std::vector<uint8_t> makeChromaFrame(int w, int h, int frame, uint64_t seed,
+                                     bool cr);
+
+/** Synthetic planar RGB image for the JPEG codec. */
+void makeRgbImage(int w, int h, uint64_t seed, std::vector<uint8_t> &r,
+                  std::vector<uint8_t> &g, std::vector<uint8_t> &b);
+
+/**
+ * MMX 16x16 SAD: per row two 8-byte loads from each image, PSADBW,
+ * accumulate; plus the loop-control scalar overhead of real unrolled-
+ * by-one code. Returns the SAD in an integer register.
+ */
+IVal sad16x16Mmx(ScalarEmitter &s, MmxEmitter &mx, IVal cur, IVal ref,
+                 int pitch);
+
+/**
+ * MOM 16x16 SAD: two strided stream loads per image (left/right
+ * halves, stride = pitch, length 16) into ACCSAD.OB — no per-row loop.
+ */
+IVal sad16x16Mom(ScalarEmitter &s, MomEmitter &mv, IVal cur, IVal ref,
+                 int pitch);
+
+/**
+ * Bitstream writer pairing a host-side BitWriter with the emitted
+ * scalar cost of the buffer bookkeeping (shift/or/store/advance).
+ */
+class VlcWriter
+{
+  public:
+    VlcWriter(ScalarEmitter &s, uint32_t bufAddr)
+        : _s(s), _ptr(s.imm(static_cast<int32_t>(bufAddr)))
+    {}
+
+    /** Write @p bits bits of @p value; emits the bit-packing cost. */
+    void
+    put(uint32_t value, int bits)
+    {
+        _bw.put(value, bits);
+        // Real VLC writers look the code length up, shift the window,
+        // mask, or-accumulate and check for flushes — all integer work.
+        IVal v = _s.imm(static_cast<int32_t>(value));
+        IVal len = _s.andi(v, 31);                  // code-length extract
+        IVal shifted = _s.slli(v, bits & 15);
+        IVal merged = _s.or_(shifted, _acc.reg != isa::kNoReg
+                             ? _acc : _s.imm(0));
+        IVal room = _s.cmplti(len, 32 - (_pending & 31));
+        _s.condBr(room, (_pending + bits) < 32);
+        _acc = merged;
+        _pending += bits;
+        while (_pending >= 32) {
+            _s.storeI32(_ptr, _offset, _acc);
+            _offset += 4;
+            _acc = _s.srli(_acc, 16);
+            _pending -= 32;
+        }
+    }
+
+    /** Signed Exp-Golomb code (used for levels and motion vectors). */
+    void
+    putSigned(int32_t v)
+    {
+        uint32_t mapped = v <= 0 ? static_cast<uint32_t>(-2 * v)
+                                 : static_cast<uint32_t>(2 * v - 1);
+        putUnsigned(mapped);
+    }
+
+    /** Unsigned Exp-Golomb code. */
+    void
+    putUnsigned(uint32_t v)
+    {
+        uint32_t x = v + 1;
+        int len = 0;
+        while ((x >> len) > 1)
+            ++len;
+        put(0, len);
+        put(x, len + 1);
+    }
+
+    void
+    alignByte()
+    {
+        _bw.alignByte();
+    }
+
+    const BitWriter &writer() const { return _bw; }
+    size_t bitCount() const { return _bw.bitCount(); }
+
+  private:
+    ScalarEmitter &_s;
+    BitWriter _bw;
+    IVal _ptr;
+    IVal _acc;
+    int _pending = 0;
+    int32_t _offset = 0;
+};
+
+/** Bitstream reader: host BitReader + emitted parse cost. */
+class VlcReader
+{
+  public:
+    VlcReader(ScalarEmitter &s, const std::vector<uint8_t> &bytes,
+              uint32_t bufAddr)
+        : _s(s), _br(bytes), _ptr(s.imm(static_cast<int32_t>(bufAddr)))
+    {}
+
+    uint32_t
+    get(int bits)
+    {
+        uint32_t v = _br.get(bits);
+        // Real VLC decode: refill check, window shift/mask, and a code
+        // table walk (load + compare + branch) — all integer work.
+        if (_sinceLoad >= 24) {
+            _window = _s.loadI32(_ptr, _offset);
+            _offset += 4;
+            _sinceLoad = 0;
+        }
+        IVal win = _window.reg != isa::kNoReg ? _window : _s.imm(0);
+        IVal shifted = _s.srli(win, bits & 15);
+        IVal masked = _s.andi(shifted, 0xFFFF);
+        IVal probe = _s.loadU8(_ptr, static_cast<int32_t>(
+            (_offset + (static_cast<int32_t>(v) & 63))));
+        IVal cmp = _s.cmplt(probe, masked);
+        _s.condBr(cmp, (v & 1) != 0);
+        _window = masked;
+        _sinceLoad += bits;
+        return v;
+    }
+
+    int32_t
+    getSigned()
+    {
+        uint32_t mapped = getUnsigned();
+        if (mapped & 1)
+            return static_cast<int32_t>((mapped + 1) / 2);
+        return -static_cast<int32_t>(mapped / 2);
+    }
+
+    uint32_t
+    getUnsigned()
+    {
+        int len = 0;
+        while (_br.peek(len + 1) == 0 && len < 31)
+            ++len;
+        // emitted cost of the leading-zero scan
+        IVal probe = _s.andi(_window.reg != isa::kNoReg ? _window
+                                                        : _s.imm(0), 1);
+        _s.condBr(probe, len > 0);
+        uint32_t x = get(2 * len + 1);
+        return x - 1;
+    }
+
+    bool exhausted() const { return _br.exhausted(); }
+
+  private:
+    ScalarEmitter &_s;
+    BitReader _br;
+    IVal _ptr;
+    IVal _window;
+    int _sinceLoad = 99;        // force initial load
+    int32_t _offset = 0;
+};
+
+} // namespace momsim::workloads
+
+#endif // MOMSIM_WORKLOADS_VIDEO_COMMON_HH

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Edge-case pipeline tests: rename/flush interactions, physical
+ * register pool recovery, stream-length serialization, store-buffer
+ * back-pressure at commit, and cross-check properties between the two
+ * ISAs' pipelines.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/smt_core.hh"
+#include "trace/builder.hh"
+#include "trace/mom_emitter.hh"
+#include "trace/scalar_emitter.hh"
+
+namespace momsim::cpu
+{
+namespace
+{
+
+using trace::IVal;
+using trace::MomEmitter;
+using trace::Program;
+using trace::ScalarEmitter;
+using trace::SVal;
+using trace::TraceBuilder;
+
+constexpr uint32_t kBase = 16u << 20;
+
+uint64_t
+runProgram(const Program &prog, CoreConfig cfg,
+           mem::MemModel model = mem::MemModel::Perfect,
+           uint64_t maxCycles = 3'000'000, uint64_t *commits = nullptr)
+{
+    auto mem = mem::makeMemorySystem(model);
+    SmtCore core(cfg, *mem);
+    for (int tid = 0; tid < cfg.numThreads; ++tid)
+        core.attachProgram(tid, &prog);
+    auto allIdle = [&] {
+        for (int tid = 0; tid < cfg.numThreads; ++tid) {
+            if (!core.threadIdle(tid))
+                return false;
+        }
+        return true;
+    };
+    while (!allIdle() && core.now() < maxCycles)
+        core.step();
+    EXPECT_LT(core.now(), maxCycles) << "hang";
+    if (commits)
+        *commits = core.committedRecords();
+    return core.now();
+}
+
+TEST(CpuEdge, FlushInsideStreamOperationSquashesCleanly)
+{
+    // A mispredicted branch right before long stream ops: the stream
+    // engine must drop squashed streams and the re-fetched copies must
+    // complete exactly once.
+    TraceBuilder tb("t", isa::SimdIsa::Mom, kBase);
+    ScalarEmitter s(tb);
+    MomEmitter mv(tb);
+    uint32_t buf = tb.alloc(1 << 14);
+    mv.setLen(s.imm(16));
+    IVal base = s.imm(static_cast<int32_t>(buf));
+    uint32_t lfsr = 0xBEEF;
+    for (int i = 0; i < 150; ++i) {
+        IVal c = s.imm(static_cast<int32_t>(lfsr & 1));
+        s.condBr(c, (lfsr & 1) != 0);          // random => mispredicts
+        lfsr = (lfsr >> 1) ^ (-(lfsr & 1u) & 0xB400u);
+        SVal v = mv.loadQ(base, (i % 16) * 128, 8);
+        mv.storeQ(base, 8192 + (i % 16) * 128, 8, v);
+    }
+    Program p = tb.take();
+    uint64_t commits = 0;
+    runProgram(p, CoreConfig::preset(1, isa::SimdIsa::Mom),
+               mem::MemModel::Conventional, 3'000'000, &commits);
+    EXPECT_EQ(commits, p.size());
+}
+
+TEST(CpuEdge, RegisterPoolRecoversAfterFlushStorm)
+{
+    // Heavy mispredicts + dest-writing instructions: if flush leaked
+    // physical registers, dispatch would wedge long before the end.
+    TraceBuilder tb("t", isa::SimdIsa::Mmx, kBase);
+    ScalarEmitter s(tb);
+    uint32_t lfsr = 0x1234;
+    for (int i = 0; i < 4000; ++i) {
+        IVal a = s.imm(i);
+        IVal b = s.addi(a, 3);
+        s.condBr(b, (lfsr & 1) != 0);
+        lfsr = (lfsr >> 1) ^ (-(lfsr & 1u) & 0xB400u);
+    }
+    Program p = tb.take();
+    uint64_t commits = 0;
+    runProgram(p, CoreConfig::preset(1, isa::SimdIsa::Mmx),
+               mem::MemModel::Perfect, 3'000'000, &commits);
+    EXPECT_EQ(commits, p.size());
+}
+
+TEST(CpuEdge, StreamLengthWriteSerializesAgainstStreams)
+{
+    // Alternating MSETLEN and dependent stream ops: every stream op
+    // reads the SL register, so the chain must execute in order and
+    // the whole program must commit.
+    TraceBuilder tb("t", isa::SimdIsa::Mom, kBase);
+    ScalarEmitter s(tb);
+    MomEmitter mv(tb);
+    uint32_t buf = tb.alloc(1 << 14);
+    IVal base = s.imm(static_cast<int32_t>(buf));
+    for (int len : { 4, 16, 2, 8, 16, 1, 16 }) {
+        mv.setLen(s.imm(len));
+        SVal v = mv.loadQ(base, 0, 8);
+        mv.storeQ(base, 4096, 8, v);
+    }
+    Program p = tb.take();
+    uint64_t commits = 0;
+    uint64_t cycles = runProgram(p, CoreConfig::preset(1, isa::SimdIsa::Mom),
+                                 mem::MemModel::Perfect, 100'000, &commits);
+    EXPECT_EQ(commits, p.size());
+    EXPECT_GT(cycles, 30u);     // streams cannot all overlap
+}
+
+TEST(CpuEdge, CommitStallsWhenWriteBufferSaturates)
+{
+    // A dense burst of stores to distinct lines must back-pressure
+    // commit through the 8-entry coalescing write buffer without losing
+    // any instruction.
+    TraceBuilder tb("t", isa::SimdIsa::Mmx, kBase);
+    ScalarEmitter s(tb);
+    uint32_t buf = tb.alloc(1 << 16);
+    IVal base = s.imm(static_cast<int32_t>(buf));
+    IVal v = s.imm(42);
+    for (int i = 0; i < 600; ++i)
+        s.storeI32(base, i * 64, v);     // one line each
+    Program p = tb.take();
+    uint64_t commits = 0;
+    uint64_t cycles = runProgram(p, CoreConfig::preset(1, isa::SimdIsa::Mmx),
+                                 mem::MemModel::Conventional, 1'000'000,
+                                 &commits);
+    EXPECT_EQ(commits, p.size());
+    // Draining 600 distinct lines through the L2 takes many cycles.
+    EXPECT_GT(cycles, 1200u);
+}
+
+TEST(CpuEdge, EightContextsOfMixedIsaProgramsAreIsolated)
+{
+    // Same program attached to all 8 contexts: total commits must be
+    // exactly 8x the trace, and per-thread committed counts must agree
+    // (no cross-thread rename contamination).
+    TraceBuilder tb("t", isa::SimdIsa::Mmx, kBase);
+    ScalarEmitter s(tb);
+    IVal acc = s.imm(0);
+    for (int i = 0; i < 800; ++i)
+        acc = s.addi(acc, 1);
+    Program p = tb.take();
+
+    CoreConfig cfg = CoreConfig::preset(8, isa::SimdIsa::Mmx);
+    auto mem = mem::makeMemorySystem(mem::MemModel::Perfect);
+    SmtCore core(cfg, *mem);
+    for (int t = 0; t < 8; ++t)
+        core.attachProgram(t, &p);
+    while (true) {
+        bool idle = true;
+        for (int t = 0; t < 8; ++t)
+            idle = idle && core.threadIdle(t);
+        if (idle || core.now() > 1'000'000)
+            break;
+        core.step();
+    }
+    EXPECT_EQ(core.committedRecords(), p.size() * 8);
+    for (int t = 0; t < 8; ++t)
+        EXPECT_EQ(core.threadCommittedEq(t), p.mix().eqInsts) << t;
+}
+
+TEST(CpuEdge, MispredictPenaltyIsVisibleInCycles)
+{
+    // Identical work, one version with taken/not-taken noise branches,
+    // one with perfectly biased branches: the noisy one must be slower.
+    auto build = [](bool noisy) {
+        TraceBuilder tb("t", isa::SimdIsa::Mmx, kBase);
+        ScalarEmitter s(tb);
+        uint32_t lfsr = 0x7777;
+        for (int i = 0; i < 3000; ++i) {
+            IVal a = s.imm(i);
+            bool taken = noisy ? (lfsr & 1) != 0 : true;
+            s.condBr(a, taken);
+            lfsr = (lfsr >> 1) ^ (-(lfsr & 1u) & 0xB400u);
+        }
+        return tb.take();
+    };
+    Program biased = build(false);
+    Program noisy = build(true);
+    uint64_t cyclesBiased = runProgram(
+        biased, CoreConfig::preset(1, isa::SimdIsa::Mmx));
+    uint64_t cyclesNoisy = runProgram(
+        noisy, CoreConfig::preset(1, isa::SimdIsa::Mmx));
+    EXPECT_GT(cyclesNoisy, cyclesBiased + cyclesBiased / 4);
+}
+
+TEST(CpuEdge, DivergentQueuesDoNotBlockEachOther)
+{
+    // FP divides (unpipelined, 16 cycles) must not stop independent
+    // integer work from flowing: IPC stays well above the FP-only rate.
+    TraceBuilder tb("t", isa::SimdIsa::Mmx, kBase);
+    ScalarEmitter s(tb);
+    trace::FVal d = s.fconst(3.0f);
+    for (int i = 0; i < 200; ++i) {
+        d = s.fdiv(d, s.fconst(1.01f));
+        for (int k = 0; k < 8; ++k)
+            s.imm(k);
+    }
+    Program p = tb.take();
+    uint64_t commits = 0;
+    uint64_t cycles = runProgram(p, CoreConfig::preset(1, isa::SimdIsa::Mmx),
+                                 mem::MemModel::Perfect, 1'000'000,
+                                 &commits);
+    EXPECT_EQ(commits, p.size());
+    // 200 chained fdivs alone need >= 3200 cycles; the integer work
+    // must hide underneath rather than extend it much.
+    EXPECT_LT(cycles, 4600u);
+    EXPECT_GT(cycles, 3100u);
+}
+
+} // namespace
+} // namespace momsim::cpu

@@ -1,0 +1,409 @@
+/**
+ * @file
+ * Unit tests for the memory system: DRAM channel bandwidth/latency, cache
+ * hit/miss/LRU/MSHR/write-buffer behaviour, and the three hierarchies
+ * (perfect / conventional / decoupled with exclusive-bit coherence).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "mem/hierarchy.hh"
+
+namespace momsim::mem
+{
+namespace
+{
+
+TEST(Dram, LatencyAndOccupancy)
+{
+    RambusChannel ch;
+    uint64_t t1 = ch.access(0, 0x1000, 128, false);
+    // 56 latency + 128/4 = 32 transfer
+    EXPECT_EQ(t1, 56u + 32u);
+    // Back-to-back: second transfer queues behind channel occupancy.
+    uint64_t t2 = ch.access(0, 0x800000, 128, false);
+    EXPECT_GT(t2, t1);
+}
+
+TEST(Dram, DeviceInterleavingReducesQueueing)
+{
+    RambusChannel a, b;
+    // Same device repeatedly vs spread across devices.
+    uint64_t sameDone = 0, spreadDone = 0;
+    for (int i = 0; i < 8; ++i)
+        sameDone = a.access(0, 0x1000, 32, false);
+    for (int i = 0; i < 8; ++i)
+        spreadDone = b.access(0, 0x1000 + (static_cast<uint64_t>(i) << 12),
+                              32, false);
+    EXPECT_GE(sameDone, spreadDone);
+}
+
+CacheConfig
+smallL1()
+{
+    CacheConfig cfg;
+    cfg.name = "t1";
+    cfg.sizeBytes = 1024;
+    cfg.lineBytes = 32;
+    cfg.ways = 1;
+    cfg.banks = 4;
+    cfg.bankShift = 3;
+    cfg.hitLatency = 1;
+    cfg.numMshrs = 2;
+    cfg.writeBufferEntries = 2;
+    cfg.writeBack = false;
+    cfg.portsPerCycle = 4;
+    return cfg;
+}
+
+TEST(Cache, MissThenHit)
+{
+    Cache c(smallL1());
+    CacheResult m = c.access(0, 0x100, false);
+    ASSERT_TRUE(m.accepted);
+    EXPECT_FALSE(m.hit);
+    ASSERT_TRUE(m.needsFill);
+    c.fillDone(m.missAddr, 20);
+
+    // A hit on the still-in-flight line is a delayed hit: it waits for
+    // the fill to land.
+    CacheResult h = c.access(1, 0x104, false);   // same line
+    ASSERT_TRUE(h.accepted);
+    EXPECT_TRUE(h.hit);
+    EXPECT_EQ(h.readyCycle, 20u);
+    // Once the fill has landed, hits take one cycle.
+    CacheResult h2 = c.access(25, 0x104, false);
+    ASSERT_TRUE(h2.accepted);
+    EXPECT_TRUE(h2.hit);
+    EXPECT_EQ(h2.readyCycle, 26u);
+}
+
+TEST(Cache, DirectMappedConflictEvicts)
+{
+    Cache c(smallL1());   // 1KB DM, 32 sets of 32B
+    CacheResult a = c.access(0, 0x0, false);
+    c.fillDone(a.missAddr, 5);
+    // Same index, different tag (offset by cache size).
+    CacheResult b = c.access(10, 0x400, false);
+    ASSERT_TRUE(b.accepted);
+    EXPECT_FALSE(b.hit);
+    c.fillDone(b.missAddr, 15);
+    // The original line is gone.
+    CacheResult back = c.access(20, 0x0, false);
+    EXPECT_FALSE(back.hit);
+}
+
+TEST(Cache, TwoWayLruKeepsRecentlyUsed)
+{
+    CacheConfig cfg = smallL1();
+    cfg.ways = 2;
+    Cache c(cfg);
+    // Three lines mapping to the same set (set stride = 512B for 2-way 1KB).
+    auto r0 = c.access(0, 0x000, false);
+    c.fillDone(r0.missAddr, 1);
+    auto r1 = c.access(2, 0x200, false);
+    c.fillDone(r1.missAddr, 3);
+    // Touch line0 so line1 is LRU.
+    EXPECT_TRUE(c.access(4, 0x000, false).hit);
+    auto r2 = c.access(6, 0x400, false);   // evicts 0x200
+    c.fillDone(r2.missAddr, 8);
+    EXPECT_TRUE(c.access(10, 0x000, false).hit);
+    EXPECT_FALSE(c.access(11, 0x200, false).hit);
+}
+
+TEST(Cache, MshrLimitCausesStall)
+{
+    Cache c(smallL1());   // 2 MSHRs; addresses chosen on distinct banks
+    auto a = c.access(0, 0x000, false);   // bank 0, set 0
+    auto b = c.access(0, 0x108, false);   // bank 1, set 8
+    ASSERT_TRUE(a.needsFill);
+    ASSERT_TRUE(b.needsFill);
+    // Third distinct miss cannot get an MSHR.
+    auto d = c.access(0, 0x210, false);   // bank 2, set 16
+    EXPECT_FALSE(d.accepted);
+    EXPECT_GE(c.stats().get("mshrFull"), 1u);
+    // Coalescing to an outstanding line still works.
+    c.fillDone(a.missAddr, 50);
+    auto e = c.access(1, 0x008, false);
+    ASSERT_TRUE(e.accepted);
+    EXPECT_EQ(e.readyCycle, 50u);
+    // After the fill completes, the MSHR recycles.
+    auto f = c.access(60, 0x210, false);
+    EXPECT_TRUE(f.accepted);
+}
+
+TEST(Cache, BankConflictRejectsSameCycle)
+{
+    CacheConfig cfg = smallL1();
+    cfg.banks = 2;
+    cfg.bankShift = 3;
+    Cache c(cfg);
+    auto a = c.access(0, 0x000, false);     // bank 0
+    ASSERT_TRUE(a.accepted);
+    c.fillDone(a.missAddr, 2);
+    auto b = c.access(0, 0x010, false);     // also bank 0 (bit3=0? 0x10>>3=2 -> bank 0)
+    EXPECT_FALSE(b.accepted);
+    EXPECT_GE(c.stats().get("bankConflicts"), 1u);
+    auto d = c.access(0, 0x008, false);     // bank 1, same cycle: fine
+    EXPECT_TRUE(d.accepted);
+}
+
+TEST(Cache, DoublePumpedBankTakesTwoPerCycle)
+{
+    CacheConfig cfg = smallL1();
+    cfg.banks = 1;
+    cfg.bankPumps = 2;
+    cfg.portsPerCycle = 2;
+    Cache c(cfg);
+    auto a = c.access(0, 0x000, false);
+    auto b = c.access(0, 0x300, false);
+    EXPECT_TRUE(a.accepted);
+    EXPECT_TRUE(b.accepted);
+    auto d = c.access(0, 0x600, false);
+    EXPECT_FALSE(d.accepted);   // ports exhausted this cycle
+}
+
+TEST(Cache, PortLimitPerCycle)
+{
+    CacheConfig cfg = smallL1();
+    cfg.portsPerCycle = 2;
+    Cache c(cfg);
+    EXPECT_TRUE(c.access(0, 0x000, false).accepted);
+    EXPECT_TRUE(c.access(0, 0x008, false).accepted);
+    EXPECT_FALSE(c.access(0, 0x010, false).accepted);
+    EXPECT_GE(c.stats().get("portConflicts"), 1u);
+    // Next cycle the ports are fresh.
+    EXPECT_TRUE(c.access(1, 0x210, false).accepted);
+}
+
+TEST(Cache, WriteThroughStoreMissDoesNotAllocate)
+{
+    Cache c(smallL1());
+    auto w = c.access(0, 0x100, true);
+    ASSERT_TRUE(w.accepted);
+    EXPECT_FALSE(w.hit);
+    EXPECT_FALSE(w.needsFill);
+    // A later load still misses: the store did not allocate.
+    auto r = c.access(1, 0x100, false);
+    EXPECT_FALSE(r.hit);
+}
+
+TEST(Cache, WriteBackSetsDirtyAndEvicts)
+{
+    CacheConfig cfg = smallL1();
+    cfg.writeBack = true;
+    Cache c(cfg);
+    auto w = c.access(0, 0x040, true);
+    ASSERT_TRUE(w.needsFill);
+    c.fillDone(w.missAddr, 3);
+    // Conflict eviction of the dirty line reports the victim.
+    auto v = c.access(10, 0x440, false);
+    ASSERT_TRUE(v.accepted);
+    EXPECT_TRUE(v.dirtyEviction);
+    EXPECT_EQ(v.victimAddr, 0x040u);
+}
+
+TEST(Cache, WriteBufferCoalescesAndFills)
+{
+    Cache c(smallL1());   // 2 WB entries
+    EXPECT_TRUE(c.wbProbe(0, 0x100));
+    c.wbInsert(0, 0x100, 100);
+    bool coalesced = false;
+    c.wbInsert(0, 0x108, 100, &coalesced);   // same line
+    EXPECT_TRUE(coalesced);
+    c.wbInsert(0, 0x200, 100);
+    EXPECT_FALSE(c.wbProbe(1, 0x300));       // full with two lines
+    EXPECT_TRUE(c.wbProbe(1, 0x100));        // coalescing still admissible
+    EXPECT_TRUE(c.wbHit(5, 0x104));
+    EXPECT_FALSE(c.wbHit(200, 0x104));       // drained by then
+    EXPECT_TRUE(c.wbProbe(200, 0x300));      // slots recycled
+}
+
+TEST(Cache, BlockingAccessWaitsInsteadOfRejecting)
+{
+    CacheConfig cfg = smallL1();
+    cfg.banks = 1;
+    Cache c(cfg);
+    auto a = c.accessBlocking(0, 0x000, false, 32);
+    ASSERT_TRUE(a.accepted);
+    c.fillDone(a.missAddr, 40);
+    // Fill occupied the bank for 32/16 = 2 cycles; a second blocking
+    // access at the same cycle still gets served (later).
+    auto b = c.accessBlocking(0, 0x200, false, 32);
+    EXPECT_TRUE(b.accepted);
+}
+
+MemConfig
+testConfig()
+{
+    return MemConfig{};
+}
+
+TEST(Hierarchy, PerfectAlwaysHitsNextCycle)
+{
+    PerfectMemory pm;
+    MemAccess req;
+    req.addr = 0xDEAD00;
+    MemReply rep = pm.access(7, req);
+    EXPECT_TRUE(rep.accepted);
+    EXPECT_TRUE(rep.l1Hit);
+    EXPECT_EQ(rep.readyCycle, 8u);
+    EXPECT_DOUBLE_EQ(pm.l1HitRate(), 1.0);
+}
+
+TEST(Hierarchy, ConventionalLoadMissGoesThroughL2)
+{
+    ConventionalHierarchy h(testConfig());
+    MemAccess req;
+    req.addr = 16u << 20;
+    MemReply miss = h.access(0, req);
+    ASSERT_TRUE(miss.accepted);
+    EXPECT_FALSE(miss.l1Hit);
+    // L2 also misses -> DRAM: latency well beyond the 12-cycle L2.
+    EXPECT_GT(miss.readyCycle, 60u);
+
+    MemReply hit = h.access(miss.readyCycle + 1, req);
+    ASSERT_TRUE(hit.accepted);
+    EXPECT_TRUE(hit.l1Hit);
+    EXPECT_EQ(hit.readyCycle, miss.readyCycle + 2);
+
+    // A second L1 miss to the same L2 line is an L2 hit: ~12+1 cycles.
+    MemAccess near = req;
+    near.addr = req.addr + 64;   // same 128B L2 line, different L1 line
+    MemReply l2hit = h.access(miss.readyCycle + 5, near);
+    ASSERT_TRUE(l2hit.accepted);
+    EXPECT_FALSE(l2hit.l1Hit);
+    EXPECT_LE(l2hit.readyCycle, miss.readyCycle + 5 + 20);
+}
+
+TEST(Hierarchy, StoreCompletesIntoWriteBufferAndForwards)
+{
+    ConventionalHierarchy h(testConfig());
+    MemAccess st;
+    st.addr = 16u << 20;
+    st.isWrite = true;
+    MemReply w = h.access(0, st);
+    ASSERT_TRUE(w.accepted);
+    EXPECT_EQ(w.readyCycle, 1u);    // into the buffer, not to memory
+
+    // A load right behind it forwards from the write buffer.
+    MemAccess ld = st;
+    ld.isWrite = false;
+    MemReply f = h.access(1, ld);
+    ASSERT_TRUE(f.accepted);
+    EXPECT_TRUE(f.l1Hit);
+    EXPECT_EQ(f.readyCycle, 2u);
+    EXPECT_GE(h.statsOf("l1")->get("wbForwards"), 1u);
+}
+
+TEST(Hierarchy, IfetchMissesThenHits)
+{
+    ConventionalHierarchy h(testConfig());
+    FetchReply a = h.ifetch(0, 0x400000);
+    ASSERT_TRUE(a.accepted);
+    EXPECT_FALSE(a.hit);
+    EXPECT_GT(a.readyCycle, 12u);
+    FetchReply b = h.ifetch(a.readyCycle, 0x400004);
+    ASSERT_TRUE(b.accepted);
+    EXPECT_TRUE(b.hit);
+}
+
+TEST(Hierarchy, DecoupledVectorBypassesL1)
+{
+    DecoupledHierarchy h(testConfig());
+    MemAccess vec;
+    vec.addr = 32u << 20;
+    vec.isVector = true;
+    MemReply r = h.access(0, vec);
+    ASSERT_TRUE(r.accepted);
+    EXPECT_FALSE(r.l1Hit);
+    // The L1 saw nothing.
+    EXPECT_EQ(h.statsOf("l1")->get("accesses"), 0u);
+    EXPECT_GE(h.statsOf("l2")->get("accesses"), 1u);
+}
+
+TEST(Hierarchy, DecoupledVectorPortLimit)
+{
+    DecoupledHierarchy h(testConfig());
+    MemAccess vec;
+    vec.isVector = true;
+    vec.addr = 32u << 20;
+    MemReply a = h.access(0, vec);
+    vec.addr += 128;
+    MemReply b = h.access(0, vec);
+    vec.addr += 128;
+    MemReply c = h.access(0, vec);
+    EXPECT_TRUE(a.accepted);
+    EXPECT_TRUE(b.accepted);
+    EXPECT_FALSE(c.accepted);   // only 2 vector ports per cycle
+}
+
+TEST(Hierarchy, ExclusiveBitInvalidatesL1Copy)
+{
+    DecoupledHierarchy h(testConfig());
+    uint64_t addr = 48u << 20;
+
+    // Scalar load caches the line in L1.
+    MemAccess sc;
+    sc.addr = addr;
+    MemReply warm = h.access(0, sc);
+    ASSERT_TRUE(warm.accepted);
+    MemReply hit = h.access(warm.readyCycle + 1, sc);
+    EXPECT_TRUE(hit.l1Hit);
+
+    // Vector store to the same line must invalidate the L1 copy.
+    MemAccess vec;
+    vec.addr = addr;
+    vec.isVector = true;
+    vec.isWrite = true;
+    MemReply v = h.access(hit.readyCycle + 1, vec);
+    ASSERT_TRUE(v.accepted);
+    EXPECT_GE(h.statsOf("l2")->get("vecInvalidations"), 1u);
+
+    // The next scalar load misses in L1 again.
+    MemReply after = h.access(v.readyCycle + 1, sc);
+    ASSERT_TRUE(after.accepted);
+    EXPECT_FALSE(after.l1Hit);
+}
+
+TEST(Hierarchy, FactoryProducesAllModels)
+{
+    for (MemModel m : { MemModel::Perfect, MemModel::Conventional,
+                        MemModel::Decoupled }) {
+        auto sys = makeMemorySystem(m);
+        ASSERT_NE(sys, nullptr) << toString(m);
+        MemAccess req;
+        req.addr = 16u << 20;
+        MemReply rep = sys->access(0, req);
+        EXPECT_TRUE(rep.accepted) << toString(m);
+    }
+}
+
+TEST(Hierarchy, ThrashingDegradesHitRate)
+{
+    // Property: a working set far beyond 32 KB produces a much lower hit
+    // rate than one that fits; the Table-4 interference phenomenon in
+    // miniature.
+    auto run = [](uint32_t span) {
+        ConventionalHierarchy h(MemConfig{});
+        uint64_t cycle = 0;
+        for (int pass = 0; pass < 4; ++pass) {
+            for (uint32_t off = 0; off < span; off += 32) {
+                MemAccess req;
+                req.addr = (16u << 20) + off;
+                MemReply rep = h.access(cycle, req);
+                cycle = std::max(cycle + 1, rep.readyCycle);
+            }
+        }
+        return h.l1HitRate();
+    };
+    double small = run(8 * 1024);
+    double large = run(256 * 1024);
+    EXPECT_GT(small, 0.70);
+    EXPECT_LT(large, small - 0.3);
+}
+
+} // namespace
+} // namespace momsim::mem

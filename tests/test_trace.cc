@@ -1,0 +1,395 @@
+/**
+ * @file
+ * Unit tests for the emulation-library infrastructure: TraceBuilder code
+ * layout (routines, loops, PC reuse), simulated memory, register
+ * allocation, the three emitters' dataflow, and Program accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/builder.hh"
+#include "trace/mmx_emitter.hh"
+#include "trace/mom_emitter.hh"
+#include "trace/packed.hh"
+#include "trace/scalar_emitter.hh"
+
+namespace momsim::trace
+{
+namespace
+{
+
+constexpr uint32_t kBase = 16u << 20;
+
+TraceBuilder
+makeBuilder(isa::SimdIsa simd = isa::SimdIsa::Mmx)
+{
+    return TraceBuilder("test", simd, kBase);
+}
+
+TEST(Builder, AllocRespectsAlignment)
+{
+    TraceBuilder tb = makeBuilder();
+    uint32_t a = tb.alloc(10, 64);
+    uint32_t b = tb.alloc(10, 64);
+    EXPECT_EQ(a % 64, 0u);
+    EXPECT_EQ(b % 64, 0u);
+    EXPECT_GE(b, a + 10);
+    uint32_t c = tb.alloc(1, 1);
+    EXPECT_GE(c, b + 10);
+}
+
+TEST(Builder, MemoryPokePeekWidths)
+{
+    TraceBuilder tb = makeBuilder();
+    uint32_t a = tb.alloc(64);
+    tb.poke8(a, 0xAB);
+    EXPECT_EQ(tb.peek8(a), 0xAB);
+    tb.poke16(a + 2, 0xBEEF);
+    EXPECT_EQ(tb.peek16(a + 2), 0xBEEF);
+    tb.poke32(a + 4, 0x12345678u);
+    EXPECT_EQ(tb.peek32(a + 4), 0x12345678u);
+    tb.poke64(a + 8, 0x0123456789ABCDEFull);
+    EXPECT_EQ(tb.peek64(a + 8), 0x0123456789ABCDEFull);
+    // little-endian composition
+    EXPECT_EQ(tb.peek8(a + 8), 0xEF);
+}
+
+TEST(Builder, RoutineCallEmitsJsrRetAndReusesPcs)
+{
+    TraceBuilder tb = makeBuilder();
+    ScalarEmitter s(tb);
+
+    for (int pass = 0; pass < 2; ++pass) {
+        s.call("kernel");
+        s.imm(1);
+        s.imm(2);
+        s.ret();
+    }
+    Program p = tb.take();
+    // Layout: JSR, LDA, LDA, RET, JSR, LDA, LDA, RET
+    ASSERT_EQ(p.size(), 8u);
+    EXPECT_EQ(p.insts()[0].opClass(), isa::OpClass::Jump);
+    EXPECT_EQ(p.insts()[3].opClass(), isa::OpClass::Jump);
+    // Same routine => same PCs on both invocations.
+    EXPECT_EQ(p.insts()[1].pc, p.insts()[5].pc);
+    EXPECT_EQ(p.insts()[2].pc, p.insts()[6].pc);
+    // JSR targets the routine body.
+    EXPECT_EQ(p.insts()[0].addr, p.insts()[1].pc);
+}
+
+TEST(Builder, LoopBackReemitsIdenticalBodyPcs)
+{
+    TraceBuilder tb2 = makeBuilder();
+    ScalarEmitter s2(tb2);
+    IVal counter = s2.imm(3);
+    uint32_t h = s2.loopHead();
+    for (int i = 0; i < 3; ++i) {
+        s2.imm(100 + i);
+        counter = s2.subi(counter, 1);
+        s2.loopBack(h, counter, i + 1 < 3);
+    }
+    Program p = tb2.take();
+    // insts: LDA, [LDA, SUBL, BNE] x3
+    ASSERT_EQ(p.size(), 10u);
+    EXPECT_EQ(p.insts()[1].pc, p.insts()[4].pc);
+    EXPECT_EQ(p.insts()[4].pc, p.insts()[7].pc);
+    // Backward branches: first two taken, last not taken.
+    EXPECT_TRUE(p.insts()[3].taken());
+    EXPECT_TRUE(p.insts()[6].taken());
+    EXPECT_FALSE(p.insts()[9].taken());
+    EXPECT_EQ(p.insts()[3].addr, p.insts()[1].pc);
+}
+
+TEST(Builder, RegisterAllocatorAvoidsReservedIntRegs)
+{
+    TraceBuilder tb = makeBuilder();
+    for (int i = 0; i < 200; ++i) {
+        isa::RegRef r = tb.allocInt();
+        EXPECT_EQ(isa::regClass(r), isa::RegClass::Int);
+        EXPECT_NE(isa::regIndex(r), isa::kSlRegIndex);
+        EXPECT_NE(isa::regIndex(r), isa::kZeroRegIndex);
+    }
+    for (int i = 0; i < 40; ++i) {
+        isa::RegRef r = tb.allocMom();
+        EXPECT_EQ(isa::regClass(r), isa::RegClass::Mom);
+        EXPECT_LT(isa::regIndex(r), 16);
+    }
+}
+
+TEST(Scalar, ArithmeticComputesAndChainsRegs)
+{
+    TraceBuilder tb = makeBuilder();
+    ScalarEmitter s(tb);
+    IVal a = s.imm(10);
+    IVal b = s.imm(32);
+    IVal c = s.add(a, b);
+    EXPECT_EQ(c.v, 42);
+    IVal d = s.muli(c, 3);
+    EXPECT_EQ(d.v, 126);
+    IVal e = s.srai(s.subi(d, 2), 2);
+    EXPECT_EQ(e.v, 31);
+    Program p = tb.take();
+    // The ADDL must read both LDA destinations.
+    const auto &add = p.insts()[2];
+    EXPECT_EQ(add.src0, a.reg);
+    EXPECT_EQ(add.src1, b.reg);
+    EXPECT_EQ(add.dst, c.reg);
+}
+
+TEST(Scalar, MemoryRoundTripThroughSimulatedMemory)
+{
+    TraceBuilder tb = makeBuilder();
+    ScalarEmitter s(tb);
+    uint32_t buf = tb.alloc(64);
+    IVal base = s.imm(static_cast<int32_t>(buf));
+    s.storeU8(base, 0, s.imm(200));
+    s.storeI16(base, 2, s.imm(-1234));
+    s.storeI32(base, 4, s.imm(0x7FFFABCD));
+    EXPECT_EQ(s.loadU8(base, 0).v, 200);
+    EXPECT_EQ(s.loadS16(base, 2).v, -1234);
+    EXPECT_EQ(s.loadI32(base, 4).v, 0x7FFFABCD);
+    EXPECT_EQ(s.loadU16(base, 2).v, 0x10000 - 1234);
+}
+
+TEST(Scalar, FloatOpsAndConversion)
+{
+    TraceBuilder tb = makeBuilder();
+    ScalarEmitter s(tb);
+    FVal x = s.fconst(1.5f);
+    FVal y = s.fconst(2.25f);
+    EXPECT_FLOAT_EQ(s.fadd(x, y).v, 3.75f);
+    EXPECT_FLOAT_EQ(s.fmul(x, y).v, 3.375f);
+    EXPECT_FLOAT_EQ(s.fsqrt(s.fconst(9.0f)).v, 3.0f);
+    EXPECT_EQ(s.cvtFI(s.fconst(-2.7f)).v, -2);
+    EXPECT_FLOAT_EQ(s.cvtIF(s.imm(7)).v, 7.0f);
+    EXPECT_EQ(s.fcmplt(x, y).v, 1);
+    uint32_t buf = tb.alloc(16);
+    IVal b = s.imm(static_cast<int32_t>(buf));
+    s.storeF(b, 0, y);
+    EXPECT_FLOAT_EQ(s.loadF(b, 0).v, 2.25f);
+}
+
+TEST(Scalar, SelectAndCompare)
+{
+    TraceBuilder tb = makeBuilder();
+    ScalarEmitter s(tb);
+    IVal t = s.imm(11), f = s.imm(22);
+    EXPECT_EQ(s.cmovne(s.imm(1), t, f).v, 11);
+    EXPECT_EQ(s.cmovne(s.imm(0), t, f).v, 22);
+    EXPECT_EQ(s.cmplt(s.imm(-1), s.imm(1)).v, 1);
+    EXPECT_EQ(s.cmpult(s.imm(-1), s.imm(1)).v, 0);   // unsigned
+    EXPECT_EQ(s.cmpeqi(s.imm(5), 5).v, 1);
+}
+
+TEST(Mmx, LoadComputeStore)
+{
+    TraceBuilder tb = makeBuilder();
+    ScalarEmitter s(tb);
+    MmxEmitter mx(tb);
+    uint32_t buf = tb.alloc(64);
+    tb.poke64(buf, packW(100, 200, -300, 400));
+    tb.poke64(buf + 8, packW(1, 2, 3, 4));
+    IVal base = s.imm(static_cast<int32_t>(buf));
+    MVal a = mx.loadQ(base, 0);
+    MVal b = mx.loadQ(base, 8);
+    MVal c = mx.paddw(a, b);
+    mx.storeQ(base, 16, c);
+    EXPECT_EQ(laneW(tb.peek64(buf + 16), 0), 101);
+    EXPECT_EQ(laneW(tb.peek64(buf + 16), 2), -297);
+    // SAD through the paper's reduction extras
+    IVal sum = mx.phsumwd(c);
+    EXPECT_EQ(sum.v, 101 + 202 - 297 + 404);
+}
+
+TEST(Mmx, SplatBuildsTwoInstructions)
+{
+    TraceBuilder tb = makeBuilder();
+    ScalarEmitter s(tb);
+    MmxEmitter mx(tb);
+    size_t before = tb.instCount();
+    MVal sp = mx.splatW(s.imm(-9));
+    EXPECT_EQ(tb.instCount(), before + 3);  // LDA + MOVDTM + PSHUFW
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(laneW(sp.v, i), -9);
+}
+
+TEST(Mom, SetLenGatesStreamOps)
+{
+    TraceBuilder tb = makeBuilder(isa::SimdIsa::Mom);
+    ScalarEmitter s(tb);
+    MomEmitter mv(tb);
+    mv.setLen(s.imm(8));
+    EXPECT_EQ(mv.curLen(), 8);
+    Program p = tb.take();
+    const auto &setlen = p.insts().back();
+    EXPECT_EQ(setlen.opcode(), isa::Op::MSETLEN);
+    EXPECT_EQ(setlen.dst, isa::slReg());
+}
+
+TEST(Mom, StridedLoadComputesElementAddresses)
+{
+    TraceBuilder tb = makeBuilder(isa::SimdIsa::Mom);
+    ScalarEmitter s(tb);
+    MomEmitter mv(tb);
+    uint32_t buf = tb.alloc(4096);
+    for (int i = 0; i < 8; ++i)
+        tb.poke64(buf + 256u * i, splatW(static_cast<int16_t>(i)));
+    mv.setLen(s.imm(8));
+    IVal base = s.imm(static_cast<int32_t>(buf));
+    SVal v = mv.loadQ(base, 0, 256);
+    ASSERT_EQ(v.len, 8);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(laneW(v.e[i], 0), i);
+
+    Program p = tb.take();
+    const auto &ld = p.insts().back();
+    EXPECT_EQ(ld.opcode(), isa::Op::MLDQS);
+    EXPECT_EQ(ld.streamLen, 8);
+    EXPECT_EQ(ld.stride, 256);
+    EXPECT_EQ(ld.memAccesses(), 8u);
+    EXPECT_EQ(ld.elementAddr(3), buf + 768u);
+    EXPECT_EQ(ld.eqInsts(), 8u);
+}
+
+TEST(Mom, StreamArithmeticMapsOverElements)
+{
+    TraceBuilder tb = makeBuilder(isa::SimdIsa::Mom);
+    ScalarEmitter s(tb);
+    MomEmitter mv(tb);
+    uint32_t buf = tb.alloc(256);
+    for (int i = 0; i < 4; ++i) {
+        tb.poke64(buf + 8u * i, packW(10 * (i + 1), 0, 0, 0));
+        tb.poke64(buf + 64 + 8u * i, packW(1, 0, 0, 0));
+    }
+    mv.setLen(s.imm(4));
+    IVal base = s.imm(static_cast<int32_t>(buf));
+    SVal a = mv.loadQ(base, 0, 8);
+    SVal b = mv.loadQ(base, 64, 8);
+    SVal c = mv.addQH(a, b);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(laneW(c.e[i], 0), 10 * (i + 1) + 1);
+    SVal d = mv.subVSQH(c, MVal{ splatW(1), isa::mmxReg(0) });
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(laneW(d.e[i], 0), 10 * (i + 1));
+}
+
+TEST(Mom, WideningLoadAndNarrowingStore)
+{
+    TraceBuilder tb = makeBuilder(isa::SimdIsa::Mom);
+    ScalarEmitter s(tb);
+    MomEmitter mv(tb);
+    uint32_t src = tb.alloc(64), dst = tb.alloc(64);
+    for (int i = 0; i < 16; ++i)
+        tb.poke8(src + i, static_cast<uint8_t>(240 + i));
+    mv.setLen(s.imm(4));
+    IVal sb = s.imm(static_cast<int32_t>(src));
+    IVal db = s.imm(static_cast<int32_t>(dst));
+    SVal pix = mv.loadUB2QH(sb, 0, 4);
+    EXPECT_EQ(laneW(pix.e[0], 0), 240);
+    EXPECT_EQ(laneW(pix.e[3], 3), 255);
+    // add 20 with unsigned-byte saturation on the way back
+    SVal bright = mv.addVSQH(pix, MVal{ splatW(20), isa::mmxReg(1) });
+    mv.storeQH2UB(db, 0, 4, bright);
+    EXPECT_EQ(tb.peek8(dst + 0), 255);   // 260 saturates
+    EXPECT_EQ(tb.peek8(dst + 15), 255);
+}
+
+TEST(Mom, AccumulatorDotProduct)
+{
+    TraceBuilder tb = makeBuilder(isa::SimdIsa::Mom);
+    ScalarEmitter s(tb);
+    MomEmitter mv(tb);
+    uint32_t buf = tb.alloc(512);
+    // a = [1..16] per lane0; b = 2 everywhere
+    for (int i = 0; i < 16; ++i) {
+        tb.poke64(buf + 8u * i,
+                  packW(static_cast<int16_t>(i + 1), 0, 0, 0));
+        tb.poke64(buf + 128 + 8u * i, packW(2, 2, 2, 2));
+    }
+    mv.setLen(s.imm(16));
+    IVal base = s.imm(static_cast<int32_t>(buf));
+    SVal a = mv.loadQ(base, 0, 8);
+    SVal b = mv.loadQ(base, 128, 8);
+    mv.clrAcc(0);
+    mv.accMacQH(0, a, b);
+    IVal dot = mv.raccToInt(0);
+    // sum(1..16) * 2 = 272 in lane 0
+    EXPECT_EQ(dot.v, 272);
+}
+
+TEST(Mom, AccumulatorSad)
+{
+    TraceBuilder tb = makeBuilder(isa::SimdIsa::Mom);
+    ScalarEmitter s(tb);
+    MomEmitter mv(tb);
+    uint32_t buf = tb.alloc(512);
+    for (int i = 0; i < 8; ++i) {
+        tb.poke64(buf + 8u * i, splatB(100));
+        tb.poke64(buf + 128 + 8u * i, splatB(103));
+    }
+    mv.setLen(s.imm(8));
+    IVal base = s.imm(static_cast<int32_t>(buf));
+    SVal a = mv.loadQ(base, 0, 8);
+    SVal b = mv.loadQ(base, 128, 8);
+    mv.clrAcc(1);
+    mv.accSadOB(1, a, b);
+    EXPECT_EQ(mv.raccToInt(1).v, 3 * 8 * 8);
+}
+
+TEST(Mom, StreamOpsCarrySlDependence)
+{
+    TraceBuilder tb = makeBuilder(isa::SimdIsa::Mom);
+    ScalarEmitter s(tb);
+    MomEmitter mv(tb);
+    uint32_t buf = tb.alloc(256);
+    mv.setLen(s.imm(4));
+    IVal base = s.imm(static_cast<int32_t>(buf));
+    SVal a = mv.loadQ(base, 0, 8);
+    (void)a;
+    Program p = tb.take();
+    const auto &ld = p.insts().back();
+    EXPECT_EQ(ld.src2, isa::slReg());
+}
+
+TEST(Program, MixSummaryCountsEquivalents)
+{
+    TraceBuilder tb = makeBuilder(isa::SimdIsa::Mom);
+    ScalarEmitter s(tb);
+    MomEmitter mv(tb);
+    uint32_t buf = tb.alloc(512);
+    IVal base = s.imm(static_cast<int32_t>(buf));   // 1 int
+    mv.setLen(s.imm(10));                            // 1 int (LDA) + MSETLEN
+    SVal a = mv.loadQ(base, 0, 8);                   // mem x10
+    SVal b = mv.addQH(a, a);                         // simd x10
+    mv.storeQ(base, 256, 8, b);                      // mem x10
+    Program p = tb.take();
+    MixSummary m = p.mix();
+    EXPECT_EQ(m.records, 6u);
+    EXPECT_EQ(m.eqInsts, 2u + 1 + 10 + 10 + 10);
+    EXPECT_EQ(m.memOps, 20u);
+    EXPECT_EQ(m.simdOps, 10u + 1);   // stream add x10 + MSETLEN (ctl)
+    EXPECT_EQ(m.intOps, 2u);
+    EXPECT_EQ(m.memAccesses, 20u);
+}
+
+TEST(Program, RebaseShiftsCodeAndData)
+{
+    TraceBuilder tb = makeBuilder();
+    ScalarEmitter s(tb);
+    uint32_t buf = tb.alloc(64);
+    IVal base = s.imm(static_cast<int32_t>(buf));
+    s.storeU8(base, 0, s.imm(1));
+    Program p = tb.take();
+    Program q = p.rebased(0x100000, "copy");
+    ASSERT_EQ(q.size(), p.size());
+    for (size_t i = 0; i < p.size(); ++i) {
+        EXPECT_EQ(q.insts()[i].pc, p.insts()[i].pc + 0x100000);
+        if (p.insts()[i].isMemory()) {
+            EXPECT_EQ(q.insts()[i].addr, p.insts()[i].addr + 0x100000);
+        }
+    }
+    EXPECT_EQ(q.name(), "copy");
+}
+
+} // namespace
+} // namespace momsim::trace

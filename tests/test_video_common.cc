@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for the shared video-codec pieces: Exp-Golomb VLC round trips
+ * through the emitted-cost writer/reader, both SAD kernels against a
+ * host reference, and properties of the deterministic synthetic
+ * sources.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "trace/builder.hh"
+#include "workloads/video_common.hh"
+
+namespace momsim::workloads
+{
+namespace
+{
+
+constexpr uint32_t kBase = 16u << 20;
+
+TEST(Vlc, SignedUnsignedRoundTrip)
+{
+    trace::TraceBuilder tb("t", isa::SimdIsa::Mmx, kBase);
+    ScalarEmitter s(tb);
+    uint32_t buf = tb.alloc(1 << 16);
+    VlcWriter w(s, buf);
+
+    Rng rng(11);
+    std::vector<int32_t> signedVals;
+    std::vector<uint32_t> unsignedVals;
+    for (int i = 0; i < 500; ++i) {
+        int32_t sv = static_cast<int32_t>(rng.range(-2000, 2000));
+        uint32_t uv = static_cast<uint32_t>(rng.below(5000));
+        signedVals.push_back(sv);
+        unsignedVals.push_back(uv);
+        w.putSigned(sv);
+        w.putUnsigned(uv);
+    }
+    w.alignByte();
+
+    trace::TraceBuilder tb2("t2", isa::SimdIsa::Mmx, kBase);
+    ScalarEmitter s2(tb2);
+    uint32_t buf2 = tb2.alloc(1 << 16);
+    const auto &bytes = w.writer().bytes();
+    tb2.pokeBytes(buf2, bytes.data(), static_cast<uint32_t>(bytes.size()));
+    VlcReader r(s2, bytes, buf2);
+    for (int i = 0; i < 500; ++i) {
+        ASSERT_EQ(r.getSigned(), signedVals[static_cast<size_t>(i)]) << i;
+        ASSERT_EQ(r.getUnsigned(),
+                  unsignedVals[static_cast<size_t>(i)]) << i;
+    }
+}
+
+TEST(Vlc, EmitsParseCost)
+{
+    trace::TraceBuilder tb("t", isa::SimdIsa::Mmx, kBase);
+    ScalarEmitter s(tb);
+    uint32_t buf = tb.alloc(4096);
+    VlcWriter w(s, buf);
+    size_t before = tb.instCount();
+    for (int i = 0; i < 50; ++i)
+        w.putSigned(i - 25);
+    size_t emitted = tb.instCount() - before;
+    // Several integer ops per symbol: that is the protocol overhead.
+    EXPECT_GT(emitted, 50u * 4);
+}
+
+int
+hostSad16x16(trace::TraceBuilder &tb, uint32_t a, uint32_t b, int pitch)
+{
+    int sum = 0;
+    for (int y = 0; y < 16; ++y) {
+        for (int x = 0; x < 16; ++x) {
+            int pa = tb.peek8(a + static_cast<uint32_t>(y * pitch + x));
+            int pb = tb.peek8(b + static_cast<uint32_t>(y * pitch + x));
+            sum += std::abs(pa - pb);
+        }
+    }
+    return sum;
+}
+
+TEST(Sad, BothKernelsMatchHostReference)
+{
+    for (isa::SimdIsa simd : { isa::SimdIsa::Mmx, isa::SimdIsa::Mom }) {
+        trace::TraceBuilder tb("t", simd, kBase);
+        ScalarEmitter s(tb);
+        MmxEmitter mx(tb);
+        MomEmitter mv(tb);
+        int pitch = 64;
+        uint32_t a = tb.alloc(static_cast<uint32_t>(pitch) * 20);
+        uint32_t b = tb.alloc(static_cast<uint32_t>(pitch) * 20);
+        Rng rng(simd == isa::SimdIsa::Mmx ? 3 : 4);
+        for (int i = 0; i < pitch * 18; ++i) {
+            tb.poke8(a + static_cast<uint32_t>(i),
+                     static_cast<uint8_t>(rng.below(256)));
+            tb.poke8(b + static_cast<uint32_t>(i),
+                     static_cast<uint8_t>(rng.below(256)));
+        }
+        IVal av = s.imm(static_cast<int32_t>(a));
+        IVal bv = s.imm(static_cast<int32_t>(b));
+        IVal sad = simd == isa::SimdIsa::Mom
+            ? sad16x16Mom(s, mv, av, bv, pitch)
+            : sad16x16Mmx(s, mx, av, bv, pitch);
+        EXPECT_EQ(sad.v, hostSad16x16(tb, a, b, pitch))
+            << isa::toString(simd);
+    }
+}
+
+TEST(Sad, MomUsesFarFewerRecords)
+{
+    auto countRecords = [](isa::SimdIsa simd) {
+        trace::TraceBuilder tb("t", simd, kBase);
+        ScalarEmitter s(tb);
+        MmxEmitter mx(tb);
+        MomEmitter mv(tb);
+        uint32_t a = tb.alloc(64 * 20), b = tb.alloc(64 * 20);
+        IVal av = s.imm(static_cast<int32_t>(a));
+        IVal bv = s.imm(static_cast<int32_t>(b));
+        size_t before = tb.instCount();
+        if (simd == isa::SimdIsa::Mom)
+            sad16x16Mom(s, mv, av, bv, 64);
+        else
+            sad16x16Mmx(s, mx, av, bv, 64);
+        return tb.instCount() - before;
+    };
+    size_t mmx = countRecords(isa::SimdIsa::Mmx);
+    size_t mom = countRecords(isa::SimdIsa::Mom);
+    // The fetch/issue pressure reduction of stream instructions.
+    EXPECT_LT(mom * 5, mmx);
+}
+
+TEST(Synthetic, FramesAreDeterministicAndMove)
+{
+    auto f0a = makeLumaFrame(64, 48, 0, 9);
+    auto f0b = makeLumaFrame(64, 48, 0, 9);
+    EXPECT_EQ(f0a, f0b);                     // deterministic
+    auto f1 = makeLumaFrame(64, 48, 1, 9);
+    EXPECT_NE(f0a, f1);                      // motion between frames
+    int diff = 0;
+    for (size_t i = 0; i < f0a.size(); ++i)
+        diff += std::abs(static_cast<int>(f0a[i]) - f1[i]);
+    // Small per-frame motion: different but correlated.
+    EXPECT_GT(diff, 0);
+    EXPECT_LT(diff, static_cast<int>(f0a.size()) * 64);
+    auto g = makeLumaFrame(64, 48, 0, 10);
+    EXPECT_NE(f0a, g);                       // seed changes content
+}
+
+TEST(Synthetic, RgbImageHasStructure)
+{
+    std::vector<uint8_t> r, g, b;
+    makeRgbImage(64, 64, 5, r, g, b);
+    ASSERT_EQ(r.size(), 64u * 64u);
+    // Not flat: the DCT must have real work.
+    int distinct = 0;
+    std::array<bool, 256> seen{};
+    for (uint8_t v : r) {
+        if (!seen[v]) {
+            seen[v] = true;
+            ++distinct;
+        }
+    }
+    EXPECT_GT(distinct, 20);
+}
+
+} // namespace
+} // namespace momsim::workloads
