@@ -14,67 +14,78 @@
 
 #include <cstdio>
 
-#include "bench/bench_util.hh"
+#include "driver/bench_harness.hh"
 
 using namespace momsim;
-using namespace momsim::bench;
+using driver::BenchHarness;
+using driver::ExperimentSpec;
+using driver::ResultSink;
+using driver::SweepGrid;
+using driver::SweepVariant;
+using isa::SimdIsa;
+using mem::MemModel;
 
 namespace
 {
 
-double
-runWith(SimdIsa simd, const mem::MemConfig &memCfg)
+SweepVariant
+memVariant(const char *name, void (*apply)(mem::MemConfig &))
 {
-    MediaWorkload &wl = paperWorkload();
-    CoreConfig cfg = CoreConfig::preset(8, simd);
-    Simulation sim(cfg, MemModel::Conventional, wl.rotation(simd), memCfg);
-    RunResult r = sim.run();
-    return perf(r, simd);
+    return { name, [apply](ExperimentSpec &s) { s.tweakMem = apply; } };
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchHarness bench(argc, argv);
+
+    const std::vector<SweepVariant> variants = {
+        memVariant("baseline (paper)", [](mem::MemConfig &) {}),
+        memVariant("2 MSHRs (vs 8)", [](mem::MemConfig &m) {
+            m.l1.numMshrs = 2; }),
+        memVariant("4 MSHRs (vs 8)", [](mem::MemConfig &m) {
+            m.l1.numMshrs = 4; }),
+        memVariant("2-deep write buf (vs 8)", [](mem::MemConfig &m) {
+            m.l1.writeBufferEntries = 2; }),
+        memVariant("2 L1 banks (vs 8)", [](mem::MemConfig &m) {
+            m.l1.banks = 2; }),
+        memVariant("16 L1 banks (vs 8)", [](mem::MemConfig &m) {
+            m.l1.banks = 16; }),
+        memVariant("L2 latency 24 (vs 12)", [](mem::MemConfig &m) {
+            m.l2.hitLatency = 24; }),
+    };
+
+    SweepGrid grid;
+    grid.isas({ SimdIsa::Mmx, SimdIsa::Mom })
+        .threadCounts({ 8 })
+        .memModels({ MemModel::Conventional })
+        .variants(variants);
+    ResultSink sink = bench.run(grid);
+
     std::printf("Ablation: memory-system parameters "
                 "(8 threads, conventional)\n");
     std::printf("%-26s | %8s | %8s\n", "configuration", "MMX IPC",
                 "MOM EIPC");
     std::printf("---------------------------------------------------\n");
 
-    struct Variant
-    {
-        const char *name;
-        void (*apply)(mem::MemConfig &);
-    } variants[] = {
-        { "baseline (paper)", [](mem::MemConfig &) {} },
-        { "2 MSHRs (vs 8)", [](mem::MemConfig &m) {
-              m.l1.numMshrs = 2; } },
-        { "4 MSHRs (vs 8)", [](mem::MemConfig &m) {
-              m.l1.numMshrs = 4; } },
-        { "2-deep write buf (vs 8)", [](mem::MemConfig &m) {
-              m.l1.writeBufferEntries = 2; } },
-        { "2 L1 banks (vs 8)", [](mem::MemConfig &m) {
-              m.l1.banks = 2; } },
-        { "16 L1 banks (vs 8)", [](mem::MemConfig &m) {
-              m.l1.banks = 16; } },
-        { "L2 latency 24 (vs 12)", [](mem::MemConfig &m) {
-              m.l2.hitLatency = 24; } },
-    };
-
     double base[2] = { 0, 0 };
-    for (const Variant &v : variants) {
-        mem::MemConfig memCfg;
-        v.apply(memCfg);
-        double mmx = runWith(SimdIsa::Mmx, memCfg);
-        double mom = runWith(SimdIsa::Mom, memCfg);
+    for (const SweepVariant &v : variants) {
+        double mmx = sink.headlineAt(SimdIsa::Mmx, 8,
+                                     MemModel::Conventional,
+                                     cpu::FetchPolicy::RoundRobin,
+                                     v.label);
+        double mom = sink.headlineAt(SimdIsa::Mom, 8,
+                                     MemModel::Conventional,
+                                     cpu::FetchPolicy::RoundRobin,
+                                     v.label);
         if (base[0] == 0) {
             base[0] = mmx;
             base[1] = mom;
         }
         std::printf("%-26s | %8.2f | %8.2f   (%+.1f%% / %+.1f%%)\n",
-                    v.name, mmx, mom, 100 * (mmx / base[0] - 1),
+                    v.label.c_str(), mmx, mom, 100 * (mmx / base[0] - 1),
                     100 * (mom / base[1] - 1));
     }
     std::printf("---------------------------------------------------\n");

@@ -10,14 +10,26 @@
 
 #include <cstdio>
 
-#include "bench/bench_util.hh"
+#include "driver/bench_harness.hh"
 
 using namespace momsim;
-using namespace momsim::bench;
+using cpu::FetchPolicy;
+using driver::BenchHarness;
+using driver::ResultSink;
+using driver::SweepGrid;
+using isa::SimdIsa;
+using mem::MemModel;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchHarness bench(argc, argv);
+    SweepGrid grid;
+    grid.isas({ SimdIsa::Mmx, SimdIsa::Mom })
+        .threadCounts({ 1, 2, 4, 8 })
+        .memModels({ MemModel::Perfect });
+    ResultSink sink = bench.run(grid);
+
     std::printf("Figure 4: performance with perfect cache\n");
     std::printf("%-8s | %-10s | %-10s | MOM/MMX\n", "threads",
                 "MMX IPC", "MOM EIPC");
@@ -28,9 +40,8 @@ main()
         double v[2];
         int i = 0;
         for (SimdIsa simd : { SimdIsa::Mmx, SimdIsa::Mom }) {
-            RunResult r = runPoint(simd, threads, MemModel::Perfect,
+            v[i] = sink.headlineAt(simd, threads, MemModel::Perfect,
                                    FetchPolicy::RoundRobin);
-            v[i] = perf(r, simd);
             if (threads == 1)
                 base[i] = v[i];
             ++i;

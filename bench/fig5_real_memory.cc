@@ -10,14 +10,26 @@
 
 #include <cstdio>
 
-#include "bench/bench_util.hh"
+#include "driver/bench_harness.hh"
 
 using namespace momsim;
-using namespace momsim::bench;
+using cpu::FetchPolicy;
+using driver::BenchHarness;
+using driver::ResultSink;
+using driver::SweepGrid;
+using isa::SimdIsa;
+using mem::MemModel;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchHarness bench(argc, argv);
+    SweepGrid grid;
+    grid.isas({ SimdIsa::Mmx, SimdIsa::Mom })
+        .threadCounts({ 1, 2, 4, 8 })
+        .memModels({ MemModel::Perfect, MemModel::Conventional });
+    ResultSink sink = bench.run(grid);
+
     std::printf("Figure 5: performance under real memory system\n");
     std::printf("%-8s | %-22s | %-22s\n", "",
                 "MMX IPC (ideal/real)", "MOM EIPC (ideal/real)");
@@ -32,12 +44,11 @@ main()
         double ideal[2], realv[2];
         int i = 0;
         for (SimdIsa simd : { SimdIsa::Mmx, SimdIsa::Mom }) {
-            RunResult ri = runPoint(simd, threads, MemModel::Perfect,
-                                    FetchPolicy::RoundRobin);
-            RunResult rr = runPoint(simd, threads, MemModel::Conventional,
-                                    FetchPolicy::RoundRobin);
-            ideal[i] = perf(ri, simd);
-            realv[i] = perf(rr, simd);
+            ideal[i] = sink.headlineAt(simd, threads, MemModel::Perfect,
+                                       FetchPolicy::RoundRobin);
+            realv[i] = sink.headlineAt(simd, threads,
+                                       MemModel::Conventional,
+                                       FetchPolicy::RoundRobin);
             if (threads == 4)
                 real4[i] = realv[i];
             if (threads == 8) {

@@ -11,43 +11,22 @@
 
 #include <cstdio>
 
-#include "bench/bench_util.hh"
+#include "bench/policy_table.hh"
 
 using namespace momsim;
-using namespace momsim::bench;
+using driver::BenchHarness;
+using driver::ResultSink;
+using mem::MemModel;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchHarness bench(argc, argv);
+    ResultSink sink = bench.run(bench::policyGrid(MemModel::Conventional));
+
     std::printf("Figure 6: fetch policies, conventional hierarchy\n");
-    std::printf("%-6s %-8s | %8s %8s %8s %8s | best vs RR\n", "isa",
-                "threads", "RR", "IC", "OC", "BL");
-    std::printf("------------------------------------------------------"
-                "--------\n");
-    for (SimdIsa simd : { SimdIsa::Mmx, SimdIsa::Mom }) {
-        for (int threads : { 1, 2, 4, 8 }) {
-            double v[4];
-            int i = 0;
-            for (FetchPolicy pol : { FetchPolicy::RoundRobin,
-                                     FetchPolicy::ICount,
-                                     FetchPolicy::OCount,
-                                     FetchPolicy::Balance }) {
-                if (simd == SimdIsa::Mmx && pol == FetchPolicy::OCount) {
-                    v[i++] = 0.0;   // OCOUNT is MOM-specific (SL register)
-                    continue;
-                }
-                RunResult r = runPoint(simd, threads,
-                                       MemModel::Conventional, pol);
-                v[i++] = perf(r, simd);
-            }
-            double best = std::max({ v[1], v[2], v[3] });
-            std::printf("%-6s %-8d | %8.2f %8.2f %8.2f %8.2f | +%.1f%%\n",
-                        toString(simd), threads, v[0], v[1], v[2], v[3],
-                        100 * (best / v[0] - 1.0));
-        }
-    }
-    std::printf("------------------------------------------------------"
-                "--------\n");
+    double rr[2][4];
+    bench::printPolicyTable(sink, MemModel::Conventional, rr);
     std::printf("paper: gains only at high thread counts, up to ~9%%; "
                 "IC best for MMX, OC best for MOM\n");
     return 0;

@@ -11,53 +11,26 @@
 
 #include <cstdio>
 
-#include "bench/bench_util.hh"
+#include "bench/policy_table.hh"
 
 using namespace momsim;
-using namespace momsim::bench;
+using driver::BenchHarness;
+using driver::ResultSink;
+using mem::MemModel;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchHarness bench(argc, argv);
+    ResultSink sink = bench.run(bench::policyGrid(MemModel::Decoupled));
+
     std::printf("Figure 8: fetch policies, decoupled hierarchy\n");
-    std::printf("%-6s %-8s | %8s %8s %8s %8s | best vs RR\n", "isa",
-                "threads", "RR", "IC", "OC", "BL");
-    std::printf("------------------------------------------------------"
-                "--------\n");
-    double perf4[2] = { 0, 0 }, perf8[2] = { 0, 0 };
-    int isaIdx = 0;
-    for (SimdIsa simd : { SimdIsa::Mmx, SimdIsa::Mom }) {
-        for (int threads : { 1, 2, 4, 8 }) {
-            double v[4];
-            int i = 0;
-            for (FetchPolicy pol : { FetchPolicy::RoundRobin,
-                                     FetchPolicy::ICount,
-                                     FetchPolicy::OCount,
-                                     FetchPolicy::Balance }) {
-                if (simd == SimdIsa::Mmx && pol == FetchPolicy::OCount) {
-                    v[i++] = 0.0;
-                    continue;
-                }
-                RunResult r = runPoint(simd, threads, MemModel::Decoupled,
-                                       pol);
-                v[i++] = perf(r, simd);
-            }
-            if (threads == 4)
-                perf4[isaIdx] = v[0];
-            if (threads == 8)
-                perf8[isaIdx] = v[0];
-            double best = std::max({ v[1], v[2], v[3] });
-            std::printf("%-6s %-8d | %8.2f %8.2f %8.2f %8.2f | +%.1f%%\n",
-                        toString(simd), threads, v[0], v[1], v[2], v[3],
-                        100 * (best / v[0] - 1.0));
-        }
-        ++isaIdx;
-    }
-    std::printf("------------------------------------------------------"
-                "--------\n");
+    double rr[2][4];
+    bench::printPolicyTable(sink, MemModel::Decoupled, rr);
+    // rr[isa][thrIdx]: thread counts 1, 2, 4, 8 => indices 0..3.
     std::printf("8thr > 4thr with decoupling (paper: yes): MMX %s, "
                 "MOM %s\n",
-                perf8[0] > perf4[0] ? "yes" : "NO",
-                perf8[1] > perf4[1] ? "yes" : "NO");
+                rr[0][3] > rr[0][2] ? "yes" : "NO",
+                rr[1][3] > rr[1][2] ? "yes" : "NO");
     return 0;
 }

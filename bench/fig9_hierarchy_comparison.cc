@@ -11,16 +11,39 @@
  * (SMT+MOM).
  */
 
+#include <algorithm>
 #include <cstdio>
 
-#include "bench/bench_util.hh"
+#include "driver/bench_harness.hh"
 
 using namespace momsim;
-using namespace momsim::bench;
+using cpu::FetchPolicy;
+using driver::BenchHarness;
+using driver::ExperimentSpec;
+using driver::ResultSink;
+using driver::SweepGrid;
+using isa::SimdIsa;
+using mem::MemModel;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchHarness bench(argc, argv);
+    SweepGrid grid;
+    grid.isas({ SimdIsa::Mmx, SimdIsa::Mom })
+        .threadCounts({ 1, 2, 4, 8 })
+        .memModels({ MemModel::Perfect, MemModel::Conventional,
+                     MemModel::Decoupled })
+        .policies({ FetchPolicy::ICount, FetchPolicy::OCount })
+        .skip([](const ExperimentSpec &s) {
+            // The paper's figure pairs each ISA with its best policy.
+            return (s.simd == SimdIsa::Mmx &&
+                    s.policy == FetchPolicy::OCount) ||
+                   (s.simd == SimdIsa::Mom &&
+                    s.policy == FetchPolicy::ICount);
+        });
+    ResultSink sink = bench.run(grid);
+
     std::printf("Figure 9: hierarchies compared (MMX: ICOUNT, "
                 "MOM: OCOUNT)\n");
     std::printf("%-6s %-8s | %8s %8s %8s | decoupled vs ideal\n", "isa",
@@ -36,13 +59,12 @@ main()
         FetchPolicy pol = simd == SimdIsa::Mmx ? FetchPolicy::ICount
                                                : FetchPolicy::OCount;
         for (int threads : { 1, 2, 4, 8 }) {
-            RunResult ri = runPoint(simd, threads, MemModel::Perfect, pol);
-            RunResult rc = runPoint(simd, threads, MemModel::Conventional,
-                                    pol);
-            RunResult rd = runPoint(simd, threads, MemModel::Decoupled,
-                                    pol);
-            double vi = perf(ri, simd), vc = perf(rc, simd),
-                   vd = perf(rd, simd);
+            double vi = sink.headlineAt(simd, threads, MemModel::Perfect,
+                                        pol);
+            double vc = sink.headlineAt(simd, threads,
+                                        MemModel::Conventional, pol);
+            double vd = sink.headlineAt(simd, threads,
+                                        MemModel::Decoupled, pol);
             if (simd == SimdIsa::Mmx && threads == 1)
                 mmxBaseline = vc;
             best[isaIdx] = std::max(best[isaIdx], std::max(vc, vd));

@@ -12,14 +12,54 @@
 
 #include <cstdio>
 
-#include "bench/bench_util.hh"
+#include "common/logging.hh"
+#include "driver/bench_harness.hh"
 
 using namespace momsim;
-using namespace momsim::bench;
+using cpu::CoreConfig;
+using cpu::FetchPolicy;
+using driver::BenchHarness;
+using driver::ExperimentSpec;
+using driver::ResultSink;
+using driver::SweepGrid;
+using driver::SweepVariant;
+using isa::SimdIsa;
+using mem::MemModel;
+
+namespace
+{
+
+constexpr int kWindows[4] = { 16, 32, 64, 96 };
+
+SweepVariant
+windowVariant(int window)
+{
+    return { strfmt("win%d", window), [window](ExperimentSpec &s) {
+                 s.tweakCore = [window](CoreConfig &cfg) {
+                     cfg.windowPerThread = window;
+                     cfg.intPhysRegs = 32 * cfg.numThreads + window;
+                     cfg.fpPhysRegs =
+                         32 * cfg.numThreads + window / 2 + 16;
+                     cfg.simdPhysRegs =
+                         32 * cfg.numThreads + window / 2 + 16;
+                 };
+             } };
+}
+
+} // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchHarness bench(argc, argv);
+    SweepGrid grid;
+    grid.threadCounts({ 1, 2, 4, 8 })
+        .memModels({ MemModel::Perfect })
+        .variants({ windowVariant(kWindows[0]), windowVariant(kWindows[1]),
+                    windowVariant(kWindows[2]),
+                    windowVariant(kWindows[3]) });
+    ResultSink sink = bench.run(grid);
+
     std::printf("Table 1: near-saturation sizing per thread count "
                 "(ideal memory, MMX)\n");
     std::printf("%-8s | %-28s | shipped preset\n", "threads",
@@ -27,19 +67,13 @@ main()
     std::printf("------------------------------------------------------------"
                 "--------\n");
 
-    MediaWorkload &wl = paperWorkload();
     for (int threads : { 1, 2, 4, 8 }) {
         double ipcAt[4];
-        int windows[4] = { 16, 32, 64, 96 };
         for (int i = 0; i < 4; ++i) {
-            CoreConfig cfg = CoreConfig::preset(threads, SimdIsa::Mmx);
-            cfg.windowPerThread = windows[i];
-            cfg.intPhysRegs = 32 * threads + windows[i];
-            cfg.fpPhysRegs = 32 * threads + windows[i] / 2 + 16;
-            cfg.simdPhysRegs = 32 * threads + windows[i] / 2 + 16;
-            Simulation sim(cfg, MemModel::Perfect,
-                           wl.rotation(SimdIsa::Mmx));
-            ipcAt[i] = sim.run().ipc;
+            ipcAt[i] = sink.headlineAt(SimdIsa::Mmx, threads,
+                                       MemModel::Perfect,
+                                       FetchPolicy::RoundRobin,
+                                       strfmt("win%d", kWindows[i]));
         }
         int sat = 3;
         for (int i = 0; i < 4; ++i) {
@@ -52,7 +86,7 @@ main()
         std::printf("%-8d | 16:%4.2f 32:%4.2f 64:%4.2f 96:%4.2f "
                     "(sat @%2d) | win/thr=%d intPR=%d fpPR=%d simdPR=%d\n",
                     threads, ipcAt[0], ipcAt[1], ipcAt[2], ipcAt[3],
-                    windows[sat], preset.windowPerThread,
+                    kWindows[sat], preset.windowPerThread,
                     preset.intPhysRegs, preset.fpPhysRegs,
                     preset.simdPhysRegs);
     }

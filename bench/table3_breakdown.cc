@@ -13,15 +13,27 @@
 
 #include <cstdio>
 
-#include "bench/bench_util.hh"
+#include "driver/bench_harness.hh"
 
 using namespace momsim;
-using namespace momsim::bench;
+using driver::BenchHarness;
+using isa::SimdIsa;
+using workloads::MediaWorkload;
 
 int
-main()
+main(int argc, char **argv)
 {
-    MediaWorkload &wl = paperWorkload();
+    BenchHarness bench(argc, argv);
+    MediaWorkload &wl = bench.workload();
+
+    // 16 independent trace walks (8 programs x 2 ISAs) on the pool.
+    constexpr int kN = MediaWorkload::kNumPrograms;
+    trace::MixSummary mixes[2][kN];
+    bench.pool().parallelFor(2 * kN, [&](size_t task) {
+        SimdIsa simd = task < kN ? SimdIsa::Mmx : SimdIsa::Mom;
+        int i = static_cast<int>(task % kN);
+        mixes[task < kN ? 0 : 1][i] = wl.program(simd, i).mix();
+    });
 
     std::printf("Table 3: instruction breakdown (%%) and equivalent "
                 "instruction count (Kinst)\n");
@@ -34,9 +46,9 @@ main()
 
     uint64_t totMmx = 0, totMom = 0;
     double mmxIntW = 0, mmxSimdW = 0;
-    for (int i = 0; i < MediaWorkload::kNumPrograms; ++i) {
-        auto mmx = wl.program(isa::SimdIsa::Mmx, i).mix();
-        auto mom = wl.program(isa::SimdIsa::Mom, i).mix();
+    for (int i = 0; i < kN; ++i) {
+        const auto &mmx = mixes[0][i];
+        const auto &mom = mixes[1][i];
         totMmx += mmx.eqInsts;
         totMom += mom.eqInsts;
         mmxIntW += mmx.intPct() * static_cast<double>(mmx.eqInsts);

@@ -12,14 +12,27 @@
 
 #include <cstdio>
 
-#include "bench/bench_util.hh"
+#include "driver/bench_harness.hh"
 
 using namespace momsim;
-using namespace momsim::bench;
+using cpu::FetchPolicy;
+using driver::BenchHarness;
+using driver::ResultRow;
+using driver::ResultSink;
+using driver::SweepGrid;
+using isa::SimdIsa;
+using mem::MemModel;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchHarness bench(argc, argv);
+    SweepGrid grid;
+    grid.isas({ SimdIsa::Mmx, SimdIsa::Mom })
+        .threadCounts({ 1, 2, 4, 8 })
+        .memModels({ MemModel::Conventional });
+    ResultSink sink = bench.run(grid);
+
     std::printf("Table 4: cache behaviour vs threads "
                 "(conventional hierarchy)\n");
     std::printf("%-26s | %7s %7s %7s %7s\n", "metric", "1 thr", "2 thr",
@@ -31,11 +44,12 @@ main()
         double ihit[4], dhit[4], lat[4];
         int c = 0;
         for (int threads : { 1, 2, 4, 8 }) {
-            RunResult r = runPoint(simd, threads, MemModel::Conventional,
-                                   FetchPolicy::RoundRobin);
-            ihit[c] = r.icacheHitRate;
-            dhit[c] = r.l1HitRate;
-            lat[c] = r.l1AvgLatency;
+            const ResultRow *row =
+                sink.find(simd, threads, MemModel::Conventional,
+                          FetchPolicy::RoundRobin);
+            ihit[c] = row ? row->run.icacheHitRate : 0.0;
+            dhit[c] = row ? row->run.l1HitRate : 0.0;
+            lat[c] = row ? row->run.l1AvgLatency : 0.0;
             ++c;
         }
         std::printf("I-cache hit rate  %-8s | %6.1f%% %6.1f%% %6.1f%% "

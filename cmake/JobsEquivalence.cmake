@@ -1,0 +1,45 @@
+# Runs a bench twice — --jobs 1 and --jobs 4 — and fails unless the two
+# stdouts are byte-identical. This is the determinism acceptance gate
+# for the threaded experiment runner.
+#
+# Usage: cmake -DBENCH=<path> -DWORKDIR=<dir> -P JobsEquivalence.cmake
+
+if(NOT BENCH)
+  message(FATAL_ERROR "BENCH not set")
+endif()
+if(NOT WORKDIR)
+  set(WORKDIR ${CMAKE_CURRENT_BINARY_DIR})
+endif()
+
+get_filename_component(stem ${BENCH} NAME_WE)
+set(out1 ${WORKDIR}/${stem}.jobs1.out)
+set(outN ${WORKDIR}/${stem}.jobsN.out)
+
+execute_process(
+  COMMAND ${BENCH} --quick --jobs 1
+  OUTPUT_FILE ${out1}
+  RESULT_VARIABLE rc1
+)
+if(NOT rc1 EQUAL 0)
+  message(FATAL_ERROR "${BENCH} --quick --jobs 1 exited with ${rc1}")
+endif()
+
+execute_process(
+  COMMAND ${BENCH} --quick --jobs 4
+  OUTPUT_FILE ${outN}
+  RESULT_VARIABLE rcN
+)
+if(NOT rcN EQUAL 0)
+  message(FATAL_ERROR "${BENCH} --quick --jobs 4 exited with ${rcN}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${out1} ${outN}
+  RESULT_VARIABLE same
+)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR
+          "${stem}: stdout differs between --jobs 1 and --jobs 4 "
+          "(${out1} vs ${outN})")
+endif()
+message(STATUS "${stem}: --jobs 1 and --jobs 4 outputs are identical")

@@ -3,22 +3,26 @@
  * Interactive-style configuration explorer: run any combination of ISA,
  * thread count, memory model and fetch policy over the full workload.
  *
- *   $ ./example_fetch_policy_explorer [mmx|mom] [threads] \
- *         [perfect|conventional|decoupled] [rr|ic|oc|bl]
+ *   $ ./example_fetch_policy_explorer [--quick] [--jobs N] \
+ *         [mmx|mom] [threads] [perfect|conventional|decoupled] \
+ *         [rr|ic|oc|bl]
  *
- * With no arguments, sweeps fetch policies at 8 threads on the
- * decoupled MOM machine.
+ * With no positional arguments, sweeps the fetch policies at 8 threads
+ * on the decoupled MOM machine through the threaded experiment runner.
  */
 
 #include <cstdio>
 #include <cstring>
+#include <vector>
 
-#include "core/simulation.hh"
-#include "workloads/media_workload.hh"
+#include "driver/bench_harness.hh"
 
 using namespace momsim;
-using workloads::MediaWorkload;
-using workloads::WorkloadScale;
+using driver::BenchHarness;
+using driver::BenchOptions;
+using driver::ResultRow;
+using driver::ResultSink;
+using driver::SweepGrid;
 
 namespace
 {
@@ -46,17 +50,14 @@ parseMem(const char *str)
 }
 
 void
-runOne(MediaWorkload &wl, isa::SimdIsa simd, int threads,
-       mem::MemModel memModel, cpu::FetchPolicy pol)
+printRow(const ResultRow &r)
 {
-    cpu::CoreConfig cfg = cpu::CoreConfig::preset(threads, simd, pol);
-    core::Simulation sim(cfg, memModel, wl.rotation(simd));
-    core::RunResult res = sim.run();
     std::printf("%s x%d %-12s %-3s | IPC %5.2f  EIPC %5.2f | L1 %5.1f%% "
                 "lat %5.2f | IC %5.1f%%\n",
-                isa::toString(simd), threads, toString(memModel),
-                toString(pol), res.ipc, res.eipc, 100 * res.l1HitRate,
-                res.l1AvgLatency, 100 * res.icacheHitRate);
+                isa::toString(r.simd), r.threads, toString(r.memModel),
+                toString(r.policy), r.run.ipc, r.run.eipc,
+                100 * r.run.l1HitRate, r.run.l1AvgLatency,
+                100 * r.run.icacheHitRate);
 }
 
 } // namespace
@@ -64,25 +65,60 @@ runOne(MediaWorkload &wl, isa::SimdIsa simd, int threads,
 int
 main(int argc, char **argv)
 {
-    auto wl = MediaWorkload::build(WorkloadScale::Paper);
+    // Split harness flags ("--...") from the positional point spec.
+    std::vector<char *> flagArgs { argv[0] };
+    std::vector<char *> positional;
+    for (int i = 1; i < argc; ++i) {
+        // Only "--..." and the short flag aliases are harness flags;
+        // other "-"-prefixed tokens (e.g. a negative thread count)
+        // stay positional.
+        bool isFlag = std::strncmp(argv[i], "--", 2) == 0 ||
+                      std::strcmp(argv[i], "-j") == 0 ||
+                      std::strcmp(argv[i], "-h") == 0;
+        if (isFlag) {
+            flagArgs.push_back(argv[i]);
+            // Flags taking a value consume the next token too.
+            if (BenchOptions::takesValue(argv[i]) && i + 1 < argc)
+                flagArgs.push_back(argv[++i]);
+        } else {
+            positional.push_back(argv[i]);
+        }
+    }
+    BenchHarness bench(static_cast<int>(flagArgs.size()),
+                       flagArgs.data());
 
-    if (argc >= 5) {
-        isa::SimdIsa simd = std::strcmp(argv[1], "mom") == 0
-            ? isa::SimdIsa::Mom : isa::SimdIsa::Mmx;
-        int threads = std::atoi(argv[2]);
+    if (positional.size() >= 4) {
+        SweepGrid grid;
+        int threads = std::atoi(positional[1]);
         if (threads < 1 || threads > 8)
             threads = 8;
-        runOne(*wl, simd, threads, parseMem(argv[3]),
-               parsePolicy(argv[4]));
+        grid.isas({ std::strcmp(positional[0], "mom") == 0
+                        ? isa::SimdIsa::Mom
+                        : isa::SimdIsa::Mmx })
+            .threadCounts({ threads })
+            .memModels({ parseMem(positional[2]) })
+            .policies({ parsePolicy(positional[3]) });
+        ResultSink sink = bench.run(grid);
+        printRow(sink.rows()[0]);
         return 0;
     }
 
     std::printf("sweeping fetch policies (MOM, 8 threads, decoupled):\n");
-    for (cpu::FetchPolicy pol : { cpu::FetchPolicy::RoundRobin,
-                                  cpu::FetchPolicy::ICount,
-                                  cpu::FetchPolicy::OCount,
-                                  cpu::FetchPolicy::Balance }) {
-        runOne(*wl, isa::SimdIsa::Mom, 8, mem::MemModel::Decoupled, pol);
-    }
+    SweepGrid grid;
+    grid.isas({ isa::SimdIsa::Mom })
+        .threadCounts({ 8 })
+        .memModels({ mem::MemModel::Decoupled })
+        .policies({ cpu::FetchPolicy::RoundRobin, cpu::FetchPolicy::ICount,
+                    cpu::FetchPolicy::OCount, cpu::FetchPolicy::Balance });
+    ResultSink sink = bench.run(grid);
+    for (const ResultRow &r : sink.rows())
+        printRow(r);
+
+    std::vector<double> headlines;
+    for (const ResultRow &r : sink.rows())
+        headlines.push_back(r.headline);
+    std::printf("geomean %s across policies: %.2f\n",
+                ResultSink::headlineName(isa::SimdIsa::Mom),
+                ResultSink::geomean(headlines));
     return 0;
 }

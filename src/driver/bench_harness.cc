@@ -1,0 +1,126 @@
+#include "driver/bench_harness.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace momsim::driver
+{
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--jobs N] [--quick] [--seed S]\n"
+                 "          [--csv PATH] [--json PATH]\n",
+                 argv0);
+    std::exit(2);
+}
+
+const char *
+argValue(int argc, char **argv, int &i)
+{
+    if (i + 1 >= argc)
+        usage(argv[0]);
+    return argv[++i];
+}
+
+} // namespace
+
+bool
+BenchOptions::takesValue(const char *flag)
+{
+    return std::strcmp(flag, "--jobs") == 0 ||
+           std::strcmp(flag, "-j") == 0 ||
+           std::strcmp(flag, "--seed") == 0 ||
+           std::strcmp(flag, "--csv") == 0 ||
+           std::strcmp(flag, "--json") == 0;
+}
+
+BenchOptions
+BenchOptions::parse(int argc, char **argv)
+{
+    BenchOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--jobs") == 0 ||
+            std::strcmp(arg, "-j") == 0) {
+            opts.jobs = std::atoi(argValue(argc, argv, i));
+            if (opts.jobs < 1)
+                usage(argv[0]);
+        } else if (std::strcmp(arg, "--quick") == 0) {
+            opts.quick = true;
+        } else if (std::strcmp(arg, "--seed") == 0) {
+            opts.baseSeed = std::strtoull(argValue(argc, argv, i),
+                                          nullptr, 0);
+        } else if (std::strcmp(arg, "--csv") == 0) {
+            opts.csvPath = argValue(argc, argv, i);
+        } else if (std::strcmp(arg, "--json") == 0) {
+            opts.jsonPath = argValue(argc, argv, i);
+        } else if (std::strcmp(arg, "--help") == 0 ||
+                   std::strcmp(arg, "-h") == 0) {
+            usage(argv[0]);
+        } else {
+            std::fprintf(stderr, "unknown argument: %s\n", arg);
+            usage(argv[0]);
+        }
+    }
+    return opts;
+}
+
+BenchHarness::BenchHarness(const BenchOptions &opts)
+    : _opts(opts), _pool(opts.jobs)
+{}
+
+workloads::MediaWorkload &
+BenchHarness::workload()
+{
+    if (!_workload) {
+        const char *scale = _opts.quick ? "tiny" : "paper";
+        std::fprintf(stderr, "[bench] building %s-scale workload "
+                             "(both ISAs)...\n", scale);
+        _workload = workloads::MediaWorkload::build(
+            _opts.quick ? workloads::WorkloadScale::Tiny
+                        : workloads::WorkloadScale::Paper);
+        std::fprintf(stderr, "[bench] workload ready\n");
+    }
+    return *_workload;
+}
+
+ExperimentRunner &
+BenchHarness::runner()
+{
+    if (!_runner) {
+        _runner =
+            std::make_unique<ExperimentRunner>(workload(), _pool);
+    }
+    return *_runner;
+}
+
+ResultSink
+BenchHarness::run(const SweepGrid &grid)
+{
+    ResultSink sink = runner().run(grid, _opts.baseSeed);
+    std::fprintf(stderr,
+                 "[bench] %zu experiments on %d worker(s); "
+                 "serial cost %.0f ms\n",
+                 sink.size(), _pool.size(), sink.totalWallMs());
+    if (!_opts.csvPath.empty()) {
+        if (!sink.writeCsv(_opts.csvPath))
+            fatal("cannot write CSV to " + _opts.csvPath);
+        std::fprintf(stderr, "[bench] wrote %s\n", _opts.csvPath.c_str());
+    }
+    if (!_opts.jsonPath.empty()) {
+        if (!sink.writeJson(_opts.jsonPath))
+            fatal("cannot write JSON to " + _opts.jsonPath);
+        std::fprintf(stderr, "[bench] wrote %s\n", _opts.jsonPath.c_str());
+    }
+    return sink;
+}
+
+} // namespace momsim::driver

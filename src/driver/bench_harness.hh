@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Shared command-line harness for the figure/table benches and the
+ * examples — the successor of bench/bench_util.hh's hand-rolled loops.
+ *
+ * Every bench accepts:
+ *   --jobs N     worker threads for the sweep (default: all hardware)
+ *   --quick      tiny workload scale, for smoke tests and CI
+ *   --csv PATH   write the raw sweep results as CSV
+ *   --json PATH  write the raw sweep results as JSON
+ *   --seed S     base of the identity-derived per-task seeds recorded
+ *                in the CSV/JSON rows. Today's simulations are fully
+ *                deterministic and consume no randomness, so --seed
+ *                never changes results — it exists so future
+ *                stochastic components inherit per-task reproducibility
+ *
+ * The harness builds the workload once (lazily, at the scale --quick
+ * selects), owns the thread pool, and hands benches an
+ * ExperimentRunner. All harness chatter goes to stderr so stdout stays
+ * byte-comparable across --jobs settings.
+ */
+
+#ifndef MOMSIM_DRIVER_BENCH_HARNESS_HH
+#define MOMSIM_DRIVER_BENCH_HARNESS_HH
+
+#include <memory>
+#include <string>
+
+#include "driver/experiment.hh"
+
+namespace momsim::driver
+{
+
+struct BenchOptions
+{
+    int jobs = 0;               ///< 0 => hardware concurrency
+    bool quick = false;
+    uint64_t baseSeed = 0;
+    std::string csvPath;
+    std::string jsonPath;
+
+    /** Parse argv; exits with a usage message on unknown flags. */
+    static BenchOptions parse(int argc, char **argv);
+
+    /**
+     * True if @p flag is a harness flag that consumes the following
+     * token. For callers that mix harness flags with their own
+     * positional arguments (the explorer).
+     */
+    static bool takesValue(const char *flag);
+};
+
+class BenchHarness
+{
+  public:
+    explicit BenchHarness(const BenchOptions &opts);
+    BenchHarness(int argc, char **argv)
+        : BenchHarness(BenchOptions::parse(argc, argv))
+    {}
+
+    const BenchOptions &options() const { return _opts; }
+    bool quick() const { return _opts.quick; }
+
+    /** Paper scale normally, Tiny under --quick; built once, lazily. */
+    workloads::MediaWorkload &workload();
+
+    ThreadPool &pool() { return _pool; }
+    ExperimentRunner &runner();
+
+    /**
+     * Expand + run a grid with the harness seed, then honour any
+     * --csv/--json request and report sweep cost on stderr.
+     */
+    ResultSink run(const SweepGrid &grid);
+
+  private:
+    BenchOptions _opts;
+    ThreadPool _pool;
+    std::unique_ptr<workloads::MediaWorkload> _workload;
+    std::unique_ptr<ExperimentRunner> _runner;
+};
+
+} // namespace momsim::driver
+
+#endif // MOMSIM_DRIVER_BENCH_HARNESS_HH

@@ -1,0 +1,188 @@
+#include "driver/experiment.hh"
+
+#include <chrono>
+
+#include "common/logging.hh"
+#include "core/simulation.hh"
+
+namespace momsim::driver
+{
+
+uint64_t
+mixSeed(uint64_t base, const std::string &key)
+{
+    // FNV-1a over the key, folded into the base via SplitMix64.
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char c : key) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    uint64_t z = base ^ h;
+    z += 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::string
+ExperimentSpec::canonicalId() const
+{
+    std::string out = strfmt("%s/%dthr/%s/%s", isa::toString(simd), threads,
+                             mem::toString(memModel),
+                             cpu::toString(policy));
+    if (!variant.empty())
+        out += "/" + variant;
+    return out;
+}
+
+SweepGrid &
+SweepGrid::isas(std::vector<isa::SimdIsa> v)
+{
+    _isas = std::move(v);
+    return *this;
+}
+
+SweepGrid &
+SweepGrid::threadCounts(std::vector<int> v)
+{
+    _threads = std::move(v);
+    return *this;
+}
+
+SweepGrid &
+SweepGrid::memModels(std::vector<mem::MemModel> v)
+{
+    _mems = std::move(v);
+    return *this;
+}
+
+SweepGrid &
+SweepGrid::policies(std::vector<cpu::FetchPolicy> v)
+{
+    _policies = std::move(v);
+    return *this;
+}
+
+SweepGrid &
+SweepGrid::variants(std::vector<SweepVariant> v)
+{
+    _variants = std::move(v);
+    return *this;
+}
+
+SweepGrid &
+SweepGrid::skip(std::function<bool(const ExperimentSpec &)> pred)
+{
+    _skip = std::move(pred);
+    return *this;
+}
+
+SweepGrid &
+SweepGrid::limits(int targetCompletions, uint64_t maxCycles)
+{
+    _targetCompletions = targetCompletions;
+    _maxCycles = maxCycles;
+    return *this;
+}
+
+size_t
+SweepGrid::size() const
+{
+    size_t variants = _variants.empty() ? 1 : _variants.size();
+    return _isas.size() * _threads.size() * _mems.size() *
+           _policies.size() * variants;
+}
+
+std::vector<ExperimentSpec>
+SweepGrid::expand(uint64_t baseSeed) const
+{
+    static const std::vector<SweepVariant> kNoVariant { { "", nullptr } };
+    std::vector<ExperimentSpec> out;
+    out.reserve(size());
+    const std::vector<SweepVariant> &variants =
+        _variants.empty() ? kNoVariant : _variants;
+    for (isa::SimdIsa simd : _isas) {
+        for (int threads : _threads) {
+            for (mem::MemModel memModel : _mems) {
+                for (cpu::FetchPolicy policy : _policies) {
+                    for (const SweepVariant &variant : variants) {
+                        ExperimentSpec spec;
+                        spec.simd = simd;
+                        spec.threads = threads;
+                        spec.memModel = memModel;
+                        spec.policy = policy;
+                        spec.variant = variant.label;
+                        spec.targetCompletions = _targetCompletions;
+                        spec.maxCycles = _maxCycles;
+                        if (variant.apply)
+                            variant.apply(spec);
+                        spec.id = spec.canonicalId();
+                        // Seed from identity, not list position, so
+                        // skip() cannot shift the seeds of survivors.
+                        spec.seed = mixSeed(baseSeed, spec.id);
+                        if (_skip && _skip(spec))
+                            continue;
+                        out.push_back(std::move(spec));
+                    }
+                }
+            }
+        }
+    }
+    return out;
+}
+
+ResultRow
+ExperimentRunner::runOne(const ExperimentSpec &spec) const
+{
+    auto start = std::chrono::steady_clock::now();
+
+    cpu::CoreConfig cfg =
+        cpu::CoreConfig::preset(spec.threads, spec.simd, spec.policy);
+    if (spec.tweakCore)
+        spec.tweakCore(cfg);
+
+    mem::MemConfig memCfg;
+    if (spec.tweakMem)
+        spec.tweakMem(memCfg);
+
+    core::Simulation sim(cfg, spec.memModel,
+                         _workload.rotation(spec.simd), memCfg);
+    core::RunResult run = sim.run(spec.targetCompletions, spec.maxCycles);
+
+    ResultRow row;
+    row.id = spec.id.empty() ? spec.canonicalId() : spec.id;
+    row.simd = spec.simd;
+    row.threads = spec.threads;
+    row.memModel = spec.memModel;
+    row.policy = spec.policy;
+    row.variant = spec.variant;
+    row.seed = spec.seed;
+    row.run = run;
+    row.headline = ResultSink::headlineOf(run, spec.simd);
+    row.wallMs = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+    return row;
+}
+
+ResultSink
+ExperimentRunner::run(const std::vector<ExperimentSpec> &specs)
+{
+    std::vector<ResultRow> rows(specs.size());
+    _pool.parallelFor(specs.size(), [this, &specs, &rows](size_t i) {
+        rows[i] = runOne(specs[i]);
+    });
+
+    ResultSink sink;
+    for (ResultRow &row : rows)
+        sink.append(std::move(row));
+    return sink;
+}
+
+ResultSink
+ExperimentRunner::run(const SweepGrid &grid, uint64_t baseSeed)
+{
+    return run(grid.expand(baseSeed));
+}
+
+} // namespace momsim::driver

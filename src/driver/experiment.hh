@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Declarative experiment sweeps over the simulator's configuration
+ * space, executed by the work-stealing thread pool.
+ *
+ * The paper's figures and tables are all cartesian sweeps over the same
+ * four axes — µ-SIMD extension, hardware thread count, memory hierarchy
+ * and fetch policy — sometimes crossed with ad-hoc parameter variants
+ * (Table 1's window sizes, the memory-system ablation). SweepGrid
+ * captures that shape declaratively; ExperimentRunner executes every
+ * point of the expansion concurrently and delivers the results in sweep
+ * order, so a `--jobs 1` and a `--jobs N` run of the same grid are
+ * indistinguishable byte for byte.
+ *
+ * Determinism contract: each expanded spec carries a seed derived only
+ * from the grid's base seed and the spec's identity — never from the
+ * expansion index of a *filtered* list, wall-clock time, or the worker
+ * that happens to run it.
+ */
+
+#ifndef MOMSIM_DRIVER_EXPERIMENT_HH
+#define MOMSIM_DRIVER_EXPERIMENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cpu/core_config.hh"
+#include "driver/result_sink.hh"
+#include "driver/thread_pool.hh"
+#include "mem/hierarchy.hh"
+#include "workloads/media_workload.hh"
+
+namespace momsim::driver
+{
+
+/** One fully-specified simulation point. */
+struct ExperimentSpec
+{
+    std::string id;             ///< unique key; defaulted by SweepGrid
+    isa::SimdIsa simd = isa::SimdIsa::Mmx;
+    int threads = 1;
+    mem::MemModel memModel = mem::MemModel::Conventional;
+    cpu::FetchPolicy policy = cpu::FetchPolicy::RoundRobin;
+    std::string variant;        ///< grid-variant label ("" if none)
+    /**
+     * Identity-derived per-task seed, recorded in the ResultRow. The
+     * present simulator consumes no randomness at run time (workload
+     * synthesis is seeded separately, once per process), so this is
+     * provenance for the serialized results and the hook future
+     * stochastic components draw from — not a current Simulation input.
+     */
+    uint64_t seed = 0;
+
+    /** Optional parameter overrides applied after CoreConfig::preset. */
+    std::function<void(cpu::CoreConfig &)> tweakCore;
+    /** Optional memory-system overrides (ablation studies). */
+    std::function<void(mem::MemConfig &)> tweakMem;
+
+    int targetCompletions = -1;
+    uint64_t maxCycles = 400'000'000ull;
+
+    /** "isa/threads/mem/policy[/variant]" — stable lookup key. */
+    std::string canonicalId() const;
+};
+
+/** A labelled mutation crossed into the grid (ablation axes). */
+struct SweepVariant
+{
+    std::string label;
+    std::function<void(ExperimentSpec &)> apply;
+};
+
+/**
+ * Cartesian product builder. Unset axes default to a single element
+ * (MMX, 1 thread, conventional memory, round-robin fetch, no variant).
+ */
+class SweepGrid
+{
+  public:
+    SweepGrid &isas(std::vector<isa::SimdIsa> v);
+    SweepGrid &threadCounts(std::vector<int> v);
+    SweepGrid &memModels(std::vector<mem::MemModel> v);
+    SweepGrid &policies(std::vector<cpu::FetchPolicy> v);
+    SweepGrid &variants(std::vector<SweepVariant> v);
+
+    /** Drop points matching @p pred (e.g. OCOUNT on an MMX machine). */
+    SweepGrid &skip(std::function<bool(const ExperimentSpec &)> pred);
+
+    /** Run length bounds of every run in the grid. */
+    SweepGrid &limits(int targetCompletions, uint64_t maxCycles);
+
+    /** Full product size, before the skip predicate. */
+    size_t size() const;
+
+    /**
+     * Expand to the spec list in axis-nesting order (isa outermost,
+     * variant innermost), with ids and per-task seeds filled in.
+     */
+    std::vector<ExperimentSpec> expand(uint64_t baseSeed = 0) const;
+
+  private:
+    std::vector<isa::SimdIsa> _isas { isa::SimdIsa::Mmx };
+    std::vector<int> _threads { 1 };
+    std::vector<mem::MemModel> _mems { mem::MemModel::Conventional };
+    std::vector<cpu::FetchPolicy> _policies { cpu::FetchPolicy::RoundRobin };
+    std::vector<SweepVariant> _variants;
+    std::function<bool(const ExperimentSpec &)> _skip;
+    int _targetCompletions = -1;
+    uint64_t _maxCycles = 400'000'000ull;
+};
+
+/**
+ * Executes spec lists over a shared (read-only) MediaWorkload using a
+ * ThreadPool; every spec becomes one independent Simulation.
+ */
+class ExperimentRunner
+{
+  public:
+    ExperimentRunner(const workloads::MediaWorkload &workload,
+                     ThreadPool &pool)
+        : _workload(workload), _pool(pool)
+    {}
+
+    /** Run every spec; rows arrive in the sink in spec order. */
+    ResultSink run(const std::vector<ExperimentSpec> &specs);
+
+    /** Convenience: expand the grid, then run it. */
+    ResultSink run(const SweepGrid &grid, uint64_t baseSeed = 0);
+
+    /** Execute one spec on the calling thread. */
+    ResultRow runOne(const ExperimentSpec &spec) const;
+
+    ThreadPool &pool() { return _pool; }
+    const workloads::MediaWorkload &workload() const { return _workload; }
+
+  private:
+    const workloads::MediaWorkload &_workload;
+    ThreadPool &_pool;
+};
+
+/** SplitMix64 step — the seed-derivation primitive used by SweepGrid. */
+uint64_t mixSeed(uint64_t base, const std::string &key);
+
+} // namespace momsim::driver
+
+#endif // MOMSIM_DRIVER_EXPERIMENT_HH

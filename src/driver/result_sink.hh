@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Aggregation endpoint of the experiment runner.
+ *
+ * Every completed experiment lands here as one ResultRow, in sweep
+ * order (never completion order), so the sink's contents — and the CSV
+ * and JSON renderings — are byte-identical no matter how many worker
+ * threads executed the sweep.
+ *
+ * The sink also owns the presentation helpers the benches share: the
+ * headline metric (IPC for MMX machines, EIPC for MOM machines, the
+ * paper's comparison basis), geometric means, and table rules. These
+ * used to be copy-pasted across bench/bench_util.hh and the figure
+ * drivers.
+ */
+
+#ifndef MOMSIM_DRIVER_RESULT_SINK_HH
+#define MOMSIM_DRIVER_RESULT_SINK_HH
+
+#include <string>
+#include <vector>
+
+#include "core/simulation.hh"
+#include "cpu/fetch_policy.hh"
+#include "isa/simd_isa.hh"
+#include "mem/hierarchy.hh"
+
+namespace momsim::driver
+{
+
+/** One experiment's identity and measurements. */
+struct ResultRow
+{
+    std::string id;
+    isa::SimdIsa simd = isa::SimdIsa::Mmx;
+    int threads = 1;
+    mem::MemModel memModel = mem::MemModel::Conventional;
+    cpu::FetchPolicy policy = cpu::FetchPolicy::RoundRobin;
+    std::string variant;        ///< grid-variant label ("" if none)
+    uint64_t seed = 0;
+    core::RunResult run;
+    double headline = 0.0;      ///< IPC (MMX) or EIPC (MOM)
+    /** Wall-clock of this run; informational only, never serialized. */
+    double wallMs = 0.0;
+};
+
+class ResultSink
+{
+  public:
+    void append(ResultRow row) { _rows.push_back(std::move(row)); }
+
+    const std::vector<ResultRow> &rows() const { return _rows; }
+    size_t size() const { return _rows.size(); }
+    bool empty() const { return _rows.empty(); }
+
+    /** Row lookup by sweep coordinates; nullptr when absent/skipped. */
+    const ResultRow *find(isa::SimdIsa simd, int threads,
+                          mem::MemModel memModel, cpu::FetchPolicy policy,
+                          const std::string &variant = "") const;
+
+    /**
+     * Headline metric at the given coordinates, or 0.0 when the point
+     * was skipped (the benches print skipped combinations as 0.0).
+     */
+    double headlineAt(isa::SimdIsa simd, int threads,
+                      mem::MemModel memModel, cpu::FetchPolicy policy,
+                      const std::string &variant = "") const;
+
+    /** Sum of per-run wall clock (the serial cost of the sweep). */
+    double totalWallMs() const;
+
+    // ---- serialization (deterministic: sweep order, fixed formats) ----
+    std::string toCsv() const;
+    std::string toJson() const;
+    bool writeCsv(const std::string &path) const;
+    bool writeJson(const std::string &path) const;
+
+    // ---- shared presentation helpers (ex bench_util.hh) ----
+
+    /** The paper's comparison basis: IPC for MMX, EIPC for MOM. */
+    static double headlineOf(const core::RunResult &r, isa::SimdIsa simd);
+    static const char *headlineName(isa::SimdIsa simd);
+
+    /** Geometric mean; 0.0 for an empty set or any non-positive term. */
+    static double geomean(const std::vector<double> &xs);
+
+    /** A horizontal table rule of @p width characters. */
+    static std::string rule(int width, char fill = '-');
+
+  private:
+    std::vector<ResultRow> _rows;
+};
+
+} // namespace momsim::driver
+
+#endif // MOMSIM_DRIVER_RESULT_SINK_HH

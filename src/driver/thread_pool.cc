@@ -1,0 +1,157 @@
+#include "driver/thread_pool.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace momsim::driver
+{
+
+int
+ThreadPool::defaultWorkers()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int numWorkers)
+{
+    _size = numWorkers <= 0 ? defaultWorkers() : numWorkers;
+    _queues.reserve(static_cast<size_t>(_size));
+    for (int i = 0; i < _size; ++i)
+        _queues.push_back(std::make_unique<Queue>());
+    // Worker 0 is the calling thread; only spawn the helpers.
+    for (int i = 1; i < _size; ++i)
+        _threads.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _stopping = true;
+    }
+    _wake.notify_all();
+    for (auto &t : _threads)
+        t.join();
+}
+
+void
+ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &body)
+{
+    if (n == 0)
+        return;
+
+    if (_size == 1 || n == 1) {
+        // Serial reference path: exactly the order a plain loop gives.
+        for (size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        MOMSIM_ASSERT(_remaining == 0, "parallelFor is not reentrant");
+        _body = &body;
+        _remaining = n;
+        _firstError = nullptr;
+        _batchId += 1;
+        // Deal contiguous index blocks so neighbouring experiments
+        // (which tend to have similar cost) spread across workers.
+        size_t per = (n + static_cast<size_t>(_size) - 1) /
+                     static_cast<size_t>(_size);
+        size_t next = 0;
+        for (int w = 0; w < _size && next < n; ++w) {
+            std::lock_guard<std::mutex> qlock(_queues[w]->mutex);
+            size_t end = std::min(n, next + per);
+            for (size_t i = next; i < end; ++i)
+                _queues[w]->tasks.push_back(i);
+            next = end;
+        }
+    }
+    _wake.notify_all();
+
+    drain(0);
+
+    std::unique_lock<std::mutex> lock(_mutex);
+    _done.wait(lock, [this] { return _remaining == 0; });
+    _body = nullptr;
+    if (_firstError)
+        std::rethrow_exception(_firstError);
+}
+
+void
+ThreadPool::workerLoop(int self)
+{
+    uint64_t seenBatch = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(_mutex);
+            _wake.wait(lock, [this, seenBatch] {
+                return _stopping || (_batchId != seenBatch && _remaining > 0);
+            });
+            if (_stopping)
+                return;
+            seenBatch = _batchId;
+        }
+        drain(self);
+    }
+}
+
+void
+ThreadPool::drain(int self)
+{
+    size_t idx;
+    while (popOwn(self, idx) || steal(self, idx))
+        runTask(idx);
+    // Every deque is empty. A batch never adds tasks after the deal,
+    // so nothing further can become stealable: in-flight tasks finish
+    // on the workers that hold them. The caller blocks on _done in
+    // parallelFor, helpers go back to sleep in workerLoop.
+}
+
+bool
+ThreadPool::popOwn(int self, size_t &idx)
+{
+    Queue &q = *_queues[self];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    if (q.tasks.empty())
+        return false;
+    idx = q.tasks.back();   // LIFO on the owner: hot, just-dealt work
+    q.tasks.pop_back();
+    return true;
+}
+
+bool
+ThreadPool::steal(int self, size_t &idx)
+{
+    for (int off = 1; off < _size; ++off) {
+        int victim = (self + off) % _size;
+        Queue &q = *_queues[victim];
+        std::lock_guard<std::mutex> lock(q.mutex);
+        if (q.tasks.empty())
+            continue;
+        idx = q.tasks.front();  // FIFO on thieves: take the coldest task
+        q.tasks.pop_front();
+        return true;
+    }
+    return false;
+}
+
+void
+ThreadPool::runTask(size_t idx)
+{
+    try {
+        (*_body)(idx);
+    } catch (...) {
+        std::lock_guard<std::mutex> lock(_mutex);
+        if (!_firstError)
+            _firstError = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(_mutex);
+    _remaining -= 1;
+    if (_remaining == 0)
+        _done.notify_all();
+}
+
+} // namespace momsim::driver

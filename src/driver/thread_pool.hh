@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Work-stealing thread pool for the experiment runner.
+ *
+ * The pool exposes one primitive, parallelFor(n, body): run body(i) for
+ * every index in [0, n) across the workers. Indices are dealt into
+ * per-worker deques up front (contiguous blocks, deterministic); each
+ * worker drains its own deque LIFO and, when empty, steals FIFO from a
+ * victim so long-running tails are shared. Results must be written to
+ * per-index slots by the caller, which makes the outcome independent of
+ * the interleaving — the determinism contract the experiment runner
+ * builds on.
+ *
+ * A pool of size 1 never spawns a thread: parallelFor runs inline on
+ * the caller, which gives an exact serial reference for `--jobs 1`
+ * vs `--jobs N` equivalence checks.
+ */
+
+#ifndef MOMSIM_DRIVER_THREAD_POOL_HH
+#define MOMSIM_DRIVER_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace momsim::driver
+{
+
+class ThreadPool
+{
+  public:
+    /** @p numWorkers <= 0 selects the hardware concurrency. */
+    explicit ThreadPool(int numWorkers = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total workers, including the calling thread (>= 1). */
+    int size() const { return _size; }
+
+    /**
+     * Invoke @p body(i) for every i in [0, n); blocks until all
+     * complete. The first exception thrown by any body is rethrown
+     * here after the batch drains. Not reentrant.
+     */
+    void parallelFor(size_t n, const std::function<void(size_t)> &body);
+
+    /** The pool size used when the user does not pass --jobs. */
+    static int defaultWorkers();
+
+  private:
+    struct Queue
+    {
+        std::mutex mutex;
+        std::deque<size_t> tasks;
+    };
+
+    void workerLoop(int self);
+    void drain(int self);
+    bool popOwn(int self, size_t &idx);
+    bool steal(int self, size_t &idx);
+    void runTask(size_t idx);
+
+    int _size = 1;
+    std::vector<std::unique_ptr<Queue>> _queues;
+    std::vector<std::thread> _threads;
+
+    std::mutex _mutex;
+    std::condition_variable _wake;      ///< workers wait for a batch
+    std::condition_variable _done;      ///< caller waits for completion
+    const std::function<void(size_t)> *_body = nullptr;
+    size_t _remaining = 0;              ///< tasks not yet finished
+    uint64_t _batchId = 0;              ///< bumped per parallelFor call
+    bool _stopping = false;
+    std::exception_ptr _firstError;
+};
+
+} // namespace momsim::driver
+
+#endif // MOMSIM_DRIVER_THREAD_POOL_HH

@@ -1,13 +1,35 @@
 #include "trace/scalar_emitter.hh"
 
-#include <bit>
 #include <cmath>
+#include <cstring>
 
 namespace momsim::trace
 {
 
 using isa::Op;
 using isa::TraceInst;
+
+namespace
+{
+
+// C++17 stand-in for std::bit_cast (C++20).
+uint32_t
+floatBits(float v)
+{
+    uint32_t out;
+    std::memcpy(&out, &v, sizeof(out));
+    return out;
+}
+
+float
+bitsToFloat(uint32_t bits)
+{
+    float out;
+    std::memcpy(&out, &bits, sizeof(out));
+    return out;
+}
+
+} // namespace
 
 IVal
 ScalarEmitter::imm(int32_t v)
@@ -199,7 +221,7 @@ ScalarEmitter::fconst(float v)
     // but the trace cost (one FLDS) is identical.
     static_assert(sizeof(float) == 4);
     uint32_t slot = _tb.alloc(4, 4);
-    _tb.poke32(slot, std::bit_cast<uint32_t>(v));
+    _tb.poke32(slot, floatBits(v));
     TraceInst &inst = _tb.emit(Op::FLDS);
     inst.dst = _tb.allocFp();
     inst.src0 = _constPool.reg;
@@ -217,7 +239,7 @@ ScalarEmitter::loadF(IVal base, int32_t disp)
     inst.src0 = base.reg;
     inst.addr = addr;
     inst.accessSize = 4;
-    return { std::bit_cast<float>(_tb.peek32(addr)), inst.dst };
+    return { bitsToFloat(_tb.peek32(addr)), inst.dst };
 }
 
 void
@@ -229,7 +251,7 @@ ScalarEmitter::storeF(IVal base, int32_t disp, FVal val)
     inst.src1 = base.reg;
     inst.addr = addr;
     inst.accessSize = 4;
-    _tb.poke32(addr, std::bit_cast<uint32_t>(val.v));
+    _tb.poke32(addr, floatBits(val.v));
 }
 
 FVal

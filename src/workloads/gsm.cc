@@ -114,7 +114,7 @@ schur(CodecCtx &ctx, const int64_t *r)
     // Normalize r to Q15 relative to r[0].
     if (r[0] == 0)
         return refl;
-    double p[kOrder + 1], k[kOrder + 1];
+    double p[kOrder + 1];
     for (int i = 0; i <= kOrder; ++i)
         p[i] = static_cast<double>(r[i]);
     double err = p[0];
@@ -125,7 +125,6 @@ schur(CodecCtx &ctx, const int64_t *r)
             acc -= a[m - 1][j] * p[m - j];
         double km = err > 1e-9 ? acc / err : 0.0;
         km = std::max(-0.98, std::min(0.98, km));
-        k[m] = km;
         a[m][m] = km;
         for (int j = 1; j < m; ++j)
             a[m][j] = a[m - 1][j] - km * a[m - 1][m - j];

@@ -87,6 +87,13 @@ MediaWorkload::build(WorkloadScale scale)
 
         arr[6] = buildMesa(simd, slotBase(6), cfg.mesa);
     }
+
+    // The EIPC weights are invariant once the traces exist; computing
+    // them here keeps rotation() — called once per experiment, possibly
+    // from many driver threads — free of O(trace-length) walks.
+    for (int i = 0; i < kNumPrograms; ++i)
+        wl->_mmxEq[static_cast<size_t>(i)] =
+            wl->_mmx[static_cast<size_t>(i)].mix().eqInsts;
     return wl;
 }
 
@@ -98,7 +105,7 @@ MediaWorkload::rotation(isa::SimdIsa simd) const
     for (int i = 0; i < kNumPrograms; ++i) {
         core::WorkloadProgram wp;
         wp.prog = &program(simd, i);
-        wp.mmxEq = _mmx[static_cast<size_t>(i)].mix().eqInsts;
+        wp.mmxEq = _mmxEq[static_cast<size_t>(i)];
         rot.push_back(wp);
     }
     return rot;

@@ -55,6 +55,8 @@ class MediaWorkload
     std::array<trace::Program, kNumPrograms> _mmx;
     std::array<trace::Program, kNumPrograms> _mom;
     std::array<std::string, kNumPrograms> _names;
+    /** Cached MMX equivalent-instruction counts (the EIPC weights). */
+    std::array<uint64_t, kNumPrograms> _mmxEq {};
 };
 
 } // namespace momsim::workloads

@@ -220,11 +220,11 @@ encodeImpl(isa::SimdIsa simd, uint32_t base, const VideoConfig &cfg,
         bool intra = (f == 0);
         // New input frame into the current planes.
         auto y = makeLumaFrame(L.w, L.h, f, cfg.seed);
-        auto cbp = makeChromaFrame(L.cw, L.ch, f, cfg.seed, false);
+        auto cbPlane = makeChromaFrame(L.cw, L.ch, f, cfg.seed, false);
         auto crp = makeChromaFrame(L.cw, L.ch, f, cfg.seed, true);
         ctx.tb.pokeBytes(L.curY, y.data(), static_cast<uint32_t>(y.size()));
-        ctx.tb.pokeBytes(L.curCb, cbp.data(),
-                         static_cast<uint32_t>(cbp.size()));
+        ctx.tb.pokeBytes(L.curCb, cbPlane.data(),
+                         static_cast<uint32_t>(cbPlane.size()));
         ctx.tb.pokeBytes(L.curCr, crp.data(),
                          static_cast<uint32_t>(crp.size()));
         if (out)

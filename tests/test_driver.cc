@@ -1,0 +1,451 @@
+/**
+ * @file
+ * Tests for the experiment-runner subsystem: thread-pool coverage and
+ * determinism, sweep-grid cartesian expansion, seed stability, and the
+ * CSV/JSON serializations of the result sink.
+ *
+ * The load-bearing property is the determinism contract: the same sweep
+ * must produce byte-identical aggregated output whether it runs on one
+ * worker or many.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "driver/experiment.hh"
+#include "driver/result_sink.hh"
+#include "driver/thread_pool.hh"
+#include "workloads/media_workload.hh"
+
+namespace momsim::driver
+{
+namespace
+{
+
+using isa::SimdIsa;
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce)
+{
+    constexpr size_t kTasks = 1000;
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(kTasks);
+    pool.parallelFor(kTasks, [&](size_t i) { hits[i] += 1; });
+    for (size_t i = 0; i < kTasks; ++i)
+        ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, SingleWorkerRunsInlineInOrder)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.size(), 1);
+    std::vector<size_t> order;
+    std::thread::id caller = std::this_thread::get_id();
+    pool.parallelFor(16, [&](size_t i) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        order.push_back(i);
+    });
+    ASSERT_EQ(order.size(), 16u);
+    for (size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, DefaultSizeIsAtLeastOne)
+{
+    ThreadPool pool(0);
+    EXPECT_GE(pool.size(), 1);
+}
+
+TEST(ThreadPool, ZeroTasksIsANoOp)
+{
+    ThreadPool pool(4);
+    pool.parallelFor(0, [](size_t) { FAIL() << "body must not run"; });
+}
+
+TEST(ThreadPool, ReusableAcrossBatches)
+{
+    ThreadPool pool(3);
+    for (int round = 0; round < 5; ++round) {
+        std::atomic<size_t> sum { 0 };
+        pool.parallelFor(100, [&](size_t i) { sum += i; });
+        EXPECT_EQ(sum.load(), 4950u);
+    }
+}
+
+TEST(ThreadPool, PropagatesFirstException)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallelFor(64,
+                                  [](size_t i) {
+                                      if (i == 37)
+                                          throw std::runtime_error("boom");
+                                  }),
+                 std::runtime_error);
+    // Pool must stay usable after a failed batch.
+    std::atomic<int> ran { 0 };
+    pool.parallelFor(8, [&](size_t) { ran += 1; });
+    EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPool, UnbalancedTasksAllComplete)
+{
+    // Front-loaded costs force the tail workers to steal.
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(64);
+    pool.parallelFor(64, [&](size_t i) {
+        if (i < 4)
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        hits[i] += 1;
+    });
+    for (size_t i = 0; i < hits.size(); ++i)
+        ASSERT_EQ(hits[i].load(), 1);
+}
+
+// The acceptance-criterion speedup check. Registered as its own serial
+// CTest (driver_speedup) and filtered out of the main suite, because a
+// loaded machine would make any timing assertion flaky.
+TEST(ThreadPoolSpeedup, ParallelForBeatsSerialOnMulticore)
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (hw < 4)
+        GTEST_SKIP() << "needs >= 4 hardware threads, have " << hw;
+
+    constexpr size_t kTasks = 32;
+    auto spin = [](size_t) {
+        volatile uint64_t acc = 0;
+        for (uint64_t i = 0; i < 30'000'000ull; ++i)
+            acc += i;
+    };
+    auto timed = [&](ThreadPool &pool) {
+        auto t0 = std::chrono::steady_clock::now();
+        pool.parallelFor(kTasks, spin);
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+            .count();
+    };
+
+    ThreadPool serial(1), parallel(4);
+    timed(parallel);    // warm the workers before measuring
+    double t1 = timed(serial);
+    double t4 = timed(parallel);
+    EXPECT_GT(t1 / t4, 2.0)
+        << "serial " << t1 << "s vs 4 workers " << t4 << "s";
+}
+
+// ---------------------------------------------------------------------------
+// SweepGrid
+// ---------------------------------------------------------------------------
+
+TEST(SweepGrid, DefaultsToOnePoint)
+{
+    SweepGrid grid;
+    auto specs = grid.expand();
+    ASSERT_EQ(specs.size(), 1u);
+    EXPECT_EQ(specs[0].id, "MMX/1thr/conventional/RR");
+    EXPECT_EQ(specs[0].simd, SimdIsa::Mmx);
+    EXPECT_EQ(specs[0].threads, 1);
+}
+
+TEST(SweepGrid, CartesianExpansionNestsAxes)
+{
+    SweepGrid grid;
+    grid.isas({ SimdIsa::Mmx, SimdIsa::Mom })
+        .threadCounts({ 1, 2, 4 })
+        .memModels({ mem::MemModel::Perfect, mem::MemModel::Conventional })
+        .policies({ cpu::FetchPolicy::RoundRobin,
+                    cpu::FetchPolicy::ICount });
+    EXPECT_EQ(grid.size(), 24u);
+    auto specs = grid.expand();
+    ASSERT_EQ(specs.size(), 24u);
+    // isa outermost: first half MMX, second half MOM.
+    EXPECT_EQ(specs[0].simd, SimdIsa::Mmx);
+    EXPECT_EQ(specs[12].simd, SimdIsa::Mom);
+    // policy innermost: alternates fastest.
+    EXPECT_EQ(specs[0].policy, cpu::FetchPolicy::RoundRobin);
+    EXPECT_EQ(specs[1].policy, cpu::FetchPolicy::ICount);
+    EXPECT_EQ(specs[0].id, "MMX/1thr/perfect/RR");
+    EXPECT_EQ(specs[23].id, "MOM/4thr/conventional/IC");
+    // Every id unique.
+    for (size_t i = 0; i < specs.size(); ++i)
+        for (size_t j = i + 1; j < specs.size(); ++j)
+            ASSERT_NE(specs[i].id, specs[j].id);
+}
+
+TEST(SweepGrid, SkipDropsPointsWithoutShiftingSeeds)
+{
+    SweepGrid grid;
+    grid.isas({ SimdIsa::Mmx, SimdIsa::Mom })
+        .policies({ cpu::FetchPolicy::RoundRobin,
+                    cpu::FetchPolicy::OCount });
+    auto full = grid.expand(42);
+
+    grid.skip([](const ExperimentSpec &s) {
+        return s.simd == SimdIsa::Mmx &&
+               s.policy == cpu::FetchPolicy::OCount;
+    });
+    auto filtered = grid.expand(42);
+    ASSERT_EQ(full.size(), 4u);
+    ASSERT_EQ(filtered.size(), 3u);
+    // Surviving specs keep the identical identity-derived seeds.
+    for (const auto &spec : filtered) {
+        bool found = false;
+        for (const auto &ref : full) {
+            if (ref.id == spec.id) {
+                EXPECT_EQ(ref.seed, spec.seed);
+                found = true;
+            }
+        }
+        EXPECT_TRUE(found) << spec.id;
+    }
+}
+
+TEST(SweepGrid, VariantsCrossIntoTheProduct)
+{
+    SweepGrid grid;
+    grid.threadCounts({ 1, 2 })
+        .variants({
+            { "win16",
+              [](ExperimentSpec &s) {
+                  s.tweakCore = [](cpu::CoreConfig &c) {
+                      c.windowPerThread = 16;
+                  };
+              } },
+            { "win64",
+              [](ExperimentSpec &s) {
+                  s.tweakCore = [](cpu::CoreConfig &c) {
+                      c.windowPerThread = 64;
+                  };
+              } },
+        });
+    auto specs = grid.expand();
+    ASSERT_EQ(specs.size(), 4u);
+    EXPECT_EQ(specs[0].id, "MMX/1thr/conventional/RR/win16");
+    EXPECT_EQ(specs[1].id, "MMX/1thr/conventional/RR/win64");
+    EXPECT_EQ(specs[2].id, "MMX/2thr/conventional/RR/win16");
+    ASSERT_TRUE(specs[0].tweakCore);
+    cpu::CoreConfig cfg;
+    specs[0].tweakCore(cfg);
+    EXPECT_EQ(cfg.windowPerThread, 16);
+}
+
+TEST(SweepGrid, SeedsAreStableAndPerTaskDistinct)
+{
+    SweepGrid grid;
+    grid.threadCounts({ 1, 2, 4, 8 });
+    auto a = grid.expand(7);
+    auto b = grid.expand(7);
+    auto c = grid.expand(8);
+    ASSERT_EQ(a.size(), 4u);
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].seed, b[i].seed);
+        EXPECT_NE(a[i].seed, c[i].seed);    // base seed participates
+        for (size_t j = i + 1; j < a.size(); ++j)
+            EXPECT_NE(a[i].seed, a[j].seed);
+    }
+}
+
+TEST(SweepGrid, LimitsPropagate)
+{
+    SweepGrid grid;
+    grid.limits(3, 1000);
+    auto specs = grid.expand();
+    ASSERT_EQ(specs.size(), 1u);
+    EXPECT_EQ(specs[0].targetCompletions, 3);
+    EXPECT_EQ(specs[0].maxCycles, 1000u);
+}
+
+// ---------------------------------------------------------------------------
+// ResultSink serialization goldens
+// ---------------------------------------------------------------------------
+
+ResultRow
+makeRow(const std::string &id, SimdIsa simd, int threads,
+        cpu::FetchPolicy policy)
+{
+    ResultRow row;
+    row.id = id;
+    row.simd = simd;
+    row.threads = threads;
+    row.memModel = mem::MemModel::Conventional;
+    row.policy = policy;
+    row.seed = 99;
+    row.run.cycles = 1000;
+    row.run.committedEq = 2500;
+    row.run.ipc = 2.5;
+    row.run.eipc = 3.125;
+    row.run.l1HitRate = 0.984;
+    row.run.icacheHitRate = 0.999;
+    row.run.l1AvgLatency = 1.39;
+    row.run.mispredicts = 42;
+    row.run.condBranches = 420;
+    row.run.completions = 8;
+    row.headline = ResultSink::headlineOf(row.run, simd);
+    row.wallMs = 123.0;     // must never appear in serializations
+    return row;
+}
+
+TEST(ResultSink, CsvGolden)
+{
+    ResultSink sink;
+    sink.append(makeRow("MMX/1thr/conventional/RR", SimdIsa::Mmx, 1,
+                        cpu::FetchPolicy::RoundRobin));
+    sink.append(makeRow("MOM/8thr/conventional/IC", SimdIsa::Mom, 8,
+                        cpu::FetchPolicy::ICount));
+    EXPECT_EQ(
+        sink.toCsv(),
+        "id,isa,threads,mem,policy,variant,seed,cycles,committed_eq,"
+        "ipc,eipc,headline,l1_hit_rate,icache_hit_rate,l1_avg_latency,"
+        "mispredicts,cond_branches,completions\n"
+        "MMX/1thr/conventional/RR,MMX,1,conventional,RR,,99,1000,2500,"
+        "2.5,3.125,2.5,0.984,0.999,1.39,42,420,8\n"
+        "MOM/8thr/conventional/IC,MOM,8,conventional,IC,,99,1000,2500,"
+        "2.5,3.125,3.125,0.984,0.999,1.39,42,420,8\n");
+}
+
+TEST(ResultSink, JsonGolden)
+{
+    ResultSink sink;
+    sink.append(makeRow("MMX/1thr/conventional/RR", SimdIsa::Mmx, 1,
+                        cpu::FetchPolicy::RoundRobin));
+    EXPECT_EQ(
+        sink.toJson(),
+        "[\n"
+        "  {\"id\":\"MMX/1thr/conventional/RR\",\"isa\":\"MMX\","
+        "\"threads\":1,\"mem\":\"conventional\",\"policy\":\"RR\","
+        "\"variant\":\"\",\"seed\":99,\"cycles\":1000,"
+        "\"committed_eq\":2500,\"ipc\":2.5,\"eipc\":3.125,"
+        "\"headline\":2.5,\"l1_hit_rate\":0.984,"
+        "\"icache_hit_rate\":0.999,\"l1_avg_latency\":1.39,"
+        "\"mispredicts\":42,\"cond_branches\":420,\"completions\":8}\n"
+        "]\n");
+}
+
+TEST(ResultSink, CsvQuotesFieldsThatNeedIt)
+{
+    ResultRow row = makeRow("a,b", SimdIsa::Mmx, 1,
+                            cpu::FetchPolicy::RoundRobin);
+    row.variant = "quote\"y";
+    ResultSink sink;
+    sink.append(row);
+    std::string csv = sink.toCsv();
+    EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+    EXPECT_NE(csv.find("\"quote\"\"y\""), std::string::npos);
+}
+
+TEST(ResultSink, FindAndHeadlineAt)
+{
+    ResultSink sink;
+    sink.append(makeRow("MMX/1thr/conventional/RR", SimdIsa::Mmx, 1,
+                        cpu::FetchPolicy::RoundRobin));
+    EXPECT_NE(sink.find(SimdIsa::Mmx, 1, mem::MemModel::Conventional,
+                        cpu::FetchPolicy::RoundRobin),
+              nullptr);
+    EXPECT_EQ(sink.find(SimdIsa::Mom, 1, mem::MemModel::Conventional,
+                        cpu::FetchPolicy::RoundRobin),
+              nullptr);
+    EXPECT_DOUBLE_EQ(
+        sink.headlineAt(SimdIsa::Mmx, 1, mem::MemModel::Conventional,
+                        cpu::FetchPolicy::RoundRobin),
+        2.5);
+    // Skipped points read back as 0.0 — what the benches print.
+    EXPECT_DOUBLE_EQ(
+        sink.headlineAt(SimdIsa::Mmx, 8, mem::MemModel::Conventional,
+                        cpu::FetchPolicy::OCount),
+        0.0);
+}
+
+TEST(ResultSink, GeomeanAndRule)
+{
+    EXPECT_DOUBLE_EQ(ResultSink::geomean({ 2.0, 8.0 }), 4.0);
+    EXPECT_DOUBLE_EQ(ResultSink::geomean({}), 0.0);
+    EXPECT_DOUBLE_EQ(ResultSink::geomean({ 1.0, 0.0 }), 0.0);
+    EXPECT_EQ(ResultSink::rule(4), "----");
+    EXPECT_EQ(ResultSink::rule(3, '='), "===");
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end determinism: jobs=1 vs jobs=N byte-identical aggregates
+// ---------------------------------------------------------------------------
+
+const workloads::MediaWorkload &
+tinyWorkload()
+{
+    static auto wl =
+        workloads::MediaWorkload::build(workloads::WorkloadScale::Tiny);
+    return *wl;
+}
+
+SweepGrid
+integrationGrid()
+{
+    SweepGrid grid;
+    grid.isas({ SimdIsa::Mmx, SimdIsa::Mom })
+        .threadCounts({ 1, 2 })
+        .memModels({ mem::MemModel::Perfect,
+                     mem::MemModel::Conventional })
+        .policies({ cpu::FetchPolicy::RoundRobin,
+                    cpu::FetchPolicy::ICount });
+    return grid;
+}
+
+TEST(ExperimentRunner, SameSeedsSameStatsRegardlessOfThreadCount)
+{
+    SweepGrid grid = integrationGrid();
+
+    ThreadPool pool1(1);
+    ExperimentRunner serial(tinyWorkload(), pool1);
+    ResultSink a = serial.run(grid, 1234);
+
+    ThreadPool pool4(4);
+    ExperimentRunner threaded(tinyWorkload(), pool4);
+    ResultSink b = threaded.run(grid, 1234);
+
+    ASSERT_EQ(a.size(), 16u);
+    ASSERT_EQ(a.size(), b.size());
+    // The whole serializations must match byte for byte.
+    EXPECT_EQ(a.toCsv(), b.toCsv());
+    EXPECT_EQ(a.toJson(), b.toJson());
+    // And the structured results too, field by field.
+    for (size_t i = 0; i < a.size(); ++i) {
+        const ResultRow &ra = a.rows()[i], &rb = b.rows()[i];
+        EXPECT_EQ(ra.id, rb.id);
+        EXPECT_EQ(ra.seed, rb.seed);
+        EXPECT_EQ(ra.run.cycles, rb.run.cycles);
+        EXPECT_EQ(ra.run.committedEq, rb.run.committedEq);
+        EXPECT_DOUBLE_EQ(ra.run.ipc, rb.run.ipc);
+        EXPECT_DOUBLE_EQ(ra.run.eipc, rb.run.eipc);
+        EXPECT_EQ(ra.run.mispredicts, rb.run.mispredicts);
+    }
+    // Sanity: the simulations actually ran.
+    for (const ResultRow &row : a.rows()) {
+        EXPECT_GT(row.run.cycles, 0u) << row.id;
+        EXPECT_GT(row.headline, 0.0) << row.id;
+    }
+}
+
+TEST(ExperimentRunner, RunOneMatchesPooledRun)
+{
+    SweepGrid grid;
+    grid.threadCounts({ 2 });
+    auto specs = grid.expand(5);
+    ASSERT_EQ(specs.size(), 1u);
+
+    ThreadPool pool(2);
+    ExperimentRunner runner(tinyWorkload(), pool);
+    ResultRow direct = runner.runOne(specs[0]);
+    ResultSink pooled = runner.run(specs);
+    ASSERT_EQ(pooled.size(), 1u);
+    EXPECT_EQ(direct.run.cycles, pooled.rows()[0].run.cycles);
+    EXPECT_DOUBLE_EQ(direct.run.ipc, pooled.rows()[0].run.ipc);
+}
+
+} // namespace
+} // namespace momsim::driver
