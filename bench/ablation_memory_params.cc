@@ -39,7 +39,7 @@ memVariant(const char *name, void (*apply)(mem::MemConfig &))
 int
 main(int argc, char **argv)
 {
-    BenchHarness bench(argc, argv);
+    BenchHarness bench(argc, argv, "ablation");
 
     const std::vector<SweepVariant> variants = {
         memVariant("baseline (paper)", [](mem::MemConfig &) {}),

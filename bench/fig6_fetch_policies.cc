@@ -21,7 +21,7 @@ using mem::MemModel;
 int
 main(int argc, char **argv)
 {
-    BenchHarness bench(argc, argv);
+    BenchHarness bench(argc, argv, "fig6");
     ResultSink sink = bench.run(bench::policyGrid(MemModel::Conventional));
 
     std::printf("Figure 6: fetch policies, conventional hierarchy\n");

@@ -21,7 +21,7 @@ using mem::MemModel;
 int
 main(int argc, char **argv)
 {
-    BenchHarness bench(argc, argv);
+    BenchHarness bench(argc, argv, "fig8");
     ResultSink sink = bench.run(bench::policyGrid(MemModel::Decoupled));
 
     std::printf("Figure 8: fetch policies, decoupled hierarchy\n");

@@ -28,7 +28,7 @@ using mem::MemModel;
 int
 main(int argc, char **argv)
 {
-    BenchHarness bench(argc, argv);
+    BenchHarness bench(argc, argv, "fig9");
     SweepGrid grid;
     grid.isas({ SimdIsa::Mmx, SimdIsa::Mom })
         .threadCounts({ 1, 2, 4, 8 })

@@ -51,7 +51,7 @@ windowVariant(int window)
 int
 main(int argc, char **argv)
 {
-    BenchHarness bench(argc, argv);
+    BenchHarness bench(argc, argv, "table1");
     SweepGrid grid;
     grid.threadCounts({ 1, 2, 4, 8 })
         .memModels({ MemModel::Perfect })

@@ -18,7 +18,8 @@ using workloads::MediaWorkload;
 int
 main(int argc, char **argv)
 {
-    BenchHarness bench(argc, argv);
+    BenchHarness bench(argc, argv, "table2");
+    bench.declareNoSweep();
     MediaWorkload &wl = bench.workload();
 
     const char *profile[8] = {

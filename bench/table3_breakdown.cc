@@ -23,7 +23,8 @@ using workloads::MediaWorkload;
 int
 main(int argc, char **argv)
 {
-    BenchHarness bench(argc, argv);
+    BenchHarness bench(argc, argv, "table3");
+    bench.declareNoSweep();
     MediaWorkload &wl = bench.workload();
 
     // 16 independent trace walks (8 programs x 2 ISAs) on the pool.

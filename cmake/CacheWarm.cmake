@@ -1,0 +1,67 @@
+# Runs a bench twice with the same --cache-dir and fails unless the
+# second (warm) run reports zero simulated points while producing stdout
+# byte-identical to the first (cold) run. Also asserts the cold run did
+# simulate, so a broken always-hit cache cannot pass vacuously.
+#
+# Usage: cmake -DBENCH=<path> -DWORKDIR=<dir> -P CacheWarm.cmake
+
+if(NOT BENCH)
+  message(FATAL_ERROR "BENCH not set")
+endif()
+if(NOT WORKDIR)
+  set(WORKDIR ${CMAKE_CURRENT_BINARY_DIR})
+endif()
+
+get_filename_component(stem ${BENCH} NAME_WE)
+set(dir ${WORKDIR}/${stem}.cache_warm)
+file(REMOVE_RECURSE ${dir})
+file(MAKE_DIRECTORY ${dir})
+
+execute_process(
+  COMMAND ${BENCH} --quick --cache-dir ${dir}/store
+  OUTPUT_FILE ${dir}/cold.out
+  ERROR_FILE ${dir}/cold.err
+  RESULT_VARIABLE rc
+)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "${BENCH} cold run exited with ${rc}")
+endif()
+
+execute_process(
+  COMMAND ${BENCH} --quick --cache-dir ${dir}/store
+  OUTPUT_FILE ${dir}/warm.out
+  ERROR_FILE ${dir}/warm.err
+  RESULT_VARIABLE rc
+)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "${BENCH} warm run exited with ${rc}")
+endif()
+
+file(READ ${dir}/cold.err cold_err)
+string(FIND "${cold_err}" " simulated=0 " cold_pos)
+if(NOT cold_pos EQUAL -1)
+  message(FATAL_ERROR
+          "${stem}: the cold run claims it simulated nothing — the "
+          "cache hit on an empty store (see ${dir}/cold.err)")
+endif()
+
+file(READ ${dir}/warm.err warm_err)
+string(FIND "${warm_err}" " simulated=0 " warm_pos)
+if(warm_pos EQUAL -1)
+  message(FATAL_ERROR
+          "${stem}: the warm run re-simulated points (see "
+          "${dir}/warm.err)")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${dir}/cold.out ${dir}/warm.out
+  RESULT_VARIABLE same
+)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR
+          "${stem}: warm-cache stdout differs from the cold run "
+          "(${dir}/cold.out vs ${dir}/warm.out)")
+endif()
+message(STATUS
+        "${stem}: warm-cache re-run simulated 0 points with "
+        "byte-identical stdout")

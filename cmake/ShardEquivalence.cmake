@@ -1,0 +1,73 @@
+# Runs a bench three ways — unsharded, as 3 shard processes each with
+# its own --cache-dir store, then a --merge run over the three stores —
+# and fails unless the merged stdout is byte-identical to the unsharded
+# one AND the merge run simulated nothing (i.e. every point really was
+# served from the per-shard stores, not silently re-run).
+#
+# Usage: cmake -DBENCH=<path> -DWORKDIR=<dir> -P ShardEquivalence.cmake
+
+if(NOT BENCH)
+  message(FATAL_ERROR "BENCH not set")
+endif()
+if(NOT WORKDIR)
+  set(WORKDIR ${CMAKE_CURRENT_BINARY_DIR})
+endif()
+
+get_filename_component(stem ${BENCH} NAME_WE)
+set(dir ${WORKDIR}/${stem}.shard_equiv)
+file(REMOVE_RECURSE ${dir})
+file(MAKE_DIRECTORY ${dir})
+
+execute_process(
+  COMMAND ${BENCH} --quick
+  OUTPUT_FILE ${dir}/ref.out
+  RESULT_VARIABLE rc
+)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "${BENCH} --quick (reference) exited with ${rc}")
+endif()
+
+set(stores "")
+foreach(i RANGE 1 3)
+  execute_process(
+    COMMAND ${BENCH} --quick --shard ${i}/3 --cache-dir ${dir}/shard${i}
+    OUTPUT_FILE ${dir}/shard${i}.out
+    RESULT_VARIABLE rc
+  )
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${BENCH} --shard ${i}/3 exited with ${rc}")
+  endif()
+  list(APPEND stores ${dir}/shard${i}/results.jsonl)
+endforeach()
+
+list(JOIN stores "," merged_arg)
+execute_process(
+  COMMAND ${BENCH} --quick --merge ${merged_arg}
+  OUTPUT_FILE ${dir}/merged.out
+  ERROR_FILE ${dir}/merged.err
+  RESULT_VARIABLE rc
+)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "${BENCH} --merge exited with ${rc}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${dir}/ref.out ${dir}/merged.out
+  RESULT_VARIABLE same
+)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR
+          "${stem}: merged stdout differs from the unsharded run "
+          "(${dir}/ref.out vs ${dir}/merged.out)")
+endif()
+
+file(READ ${dir}/merged.err errtext)
+string(FIND "${errtext}" " simulated=0 " pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR
+          "${stem}: the merge run re-simulated points instead of "
+          "replaying the shard stores (see ${dir}/merged.err)")
+endif()
+message(STATUS
+        "${stem}: 3-shard merge is byte-identical to the unsharded run "
+        "and simulated nothing")

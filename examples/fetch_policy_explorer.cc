@@ -4,6 +4,7 @@
  * thread count, memory model and fetch policy over the full workload.
  *
  *   $ ./example_fetch_policy_explorer [--quick] [--jobs N] \
+ *         [--cache-dir DIR] [--shard I/N] [--merge FILES] [--dry-run] \
  *         [mmx|mom] [threads] [perfect|conventional|decoupled] \
  *         [rr|ic|oc|bl]
  *
@@ -85,7 +86,7 @@ main(int argc, char **argv)
         }
     }
     BenchHarness bench(static_cast<int>(flagArgs.size()),
-                       flagArgs.data());
+                       flagArgs.data(), "explorer");
 
     if (positional.size() >= 4) {
         SweepGrid grid;
@@ -99,6 +100,12 @@ main(int argc, char **argv)
             .memModels({ parseMem(positional[2]) })
             .policies({ parsePolicy(positional[3]) });
         ResultSink sink = bench.run(grid);
+        if (sink.empty()) {
+            // Under --shard the single point may belong to another
+            // shard; nothing of ours to print.
+            std::printf("(point assigned to another shard)\n");
+            return 0;
+        }
         printRow(sink.rows()[0]);
         return 0;
     }

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The repo's one content-hashing primitive: FNV-1a folding with a
+ * SplitMix64 finalizer per word. Used by the workload fingerprint
+ * (src/workloads/media_workload.cc) and the experiment config
+ * fingerprint (src/driver/result_store.cc) — one definition, so the
+ * two fingerprint sites can never drift apart.
+ */
+
+#ifndef MOMSIM_COMMON_HASH_HH
+#define MOMSIM_COMMON_HASH_HH
+
+#include <cstdint>
+#include <string>
+
+namespace momsim
+{
+
+/** FNV-1a 64-bit offset basis — the canonical starting value. */
+constexpr uint64_t kHashSeed = 0xcbf29ce484222325ull;
+
+/** Fold one 64-bit word into @p h (SplitMix64 finalizer + FNV step). */
+inline uint64_t
+hashMix64(uint64_t h, uint64_t v)
+{
+    v += 0x9e3779b97f4a7c15ull;
+    v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ull;
+    v = (v ^ (v >> 27)) * 0x94d049bb133111ebull;
+    v ^= v >> 31;
+    h ^= v;
+    h *= 0x100000001b3ull;
+    return h;
+}
+
+/** Fold a string byte-wise (FNV-1a), then its length. */
+inline uint64_t
+hashMixString(uint64_t h, const std::string &s)
+{
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return hashMix64(h, s.size());
+}
+
+} // namespace momsim
+
+#endif // MOMSIM_COMMON_HASH_HH

@@ -57,9 +57,6 @@ Simulation::run(int targetCompletions, uint64_t maxCycles)
         }
     }
 
-    if (_core->now() >= maxCycles)
-        warn("simulation hit the cycle limit before completing");
-
     // Partial credit for programs still in flight, scaled into
     // MMX-equivalent work by each program's own ratio.
     uint64_t partial = 0;
@@ -91,6 +88,8 @@ Simulation::run(int targetCompletions, uint64_t maxCycles)
     res.mispredicts = _core->stats().get("mispredicts");
     res.condBranches = _core->stats().get("condBranches");
     res.completions = _completions;
+    res.hitCycleLimit = _core->now() >= maxCycles &&
+                        _completions < targetCompletions;
     return res;
 }
 

@@ -53,6 +53,13 @@ struct RunResult
     uint64_t mispredicts = 0;
     uint64_t condBranches = 0;
     int completions = 0;
+    /**
+     * The run stopped at maxCycles before reaching its completion
+     * target. Carried as data (and serialized with every ResultRow)
+     * instead of a stderr warn: warns from pool workers interleave
+     * nondeterministically and are invisible in CSV/JSON output.
+     */
+    bool hitCycleLimit = false;
 };
 
 class Simulation

@@ -16,6 +16,8 @@
 #ifndef MOMSIM_CPU_FETCH_POLICY_HH
 #define MOMSIM_CPU_FETCH_POLICY_HH
 
+#include <cstring>
+
 namespace momsim::cpu
 {
 
@@ -37,6 +39,29 @@ toString(FetchPolicy p)
       case FetchPolicy::Balance:    return "BL";
     }
     return "?";
+}
+
+/** Inverse of toString(); false when @p s names no policy. */
+inline bool
+fromString(const char *s, FetchPolicy &out)
+{
+    if (std::strcmp(s, "RR") == 0) {
+        out = FetchPolicy::RoundRobin;
+        return true;
+    }
+    if (std::strcmp(s, "IC") == 0) {
+        out = FetchPolicy::ICount;
+        return true;
+    }
+    if (std::strcmp(s, "OC") == 0) {
+        out = FetchPolicy::OCount;
+        return true;
+    }
+    if (std::strcmp(s, "BL") == 0) {
+        out = FetchPolicy::Balance;
+        return true;
+    }
+    return false;
 }
 
 } // namespace momsim::cpu

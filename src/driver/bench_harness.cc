@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include "driver/result_store.hh"
 
 namespace momsim::driver
 {
@@ -17,7 +18,9 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [--jobs N] [--quick] [--seed S]\n"
-                 "          [--csv PATH] [--json PATH]\n",
+                 "          [--csv PATH] [--json PATH]\n"
+                 "          [--cache-dir DIR] [--shard I/N]\n"
+                 "          [--merge FILE[,FILE...]] [--dry-run]\n",
                  argv0);
     std::exit(2);
 }
@@ -30,6 +33,24 @@ argValue(int argc, char **argv, int &i)
     return argv[++i];
 }
 
+void
+printPlan(const RunPlan &plan, const std::string &name,
+          uint64_t fingerprint)
+{
+    std::printf("plan %s: total=%zu shard=%d/%d cached=%zu simulated=%zu "
+                "foreign=%zu fingerprint=%016llx schema=v%d\n",
+                name.c_str(), plan.points.size(), plan.shardIndex + 1,
+                plan.shardCount, plan.cachedMineCount(),
+                plan.simulateCount(),
+                plan.points.size() - plan.mineCount(),
+                static_cast<unsigned long long>(fingerprint),
+                kResultSchemaVersion);
+    for (const PlannedPoint &p : plan.points)
+        std::printf("  %-44s shard=%d/%d cost=%.2f %s\n",
+                    p.spec.id.c_str(), p.shard + 1, plan.shardCount,
+                    p.cost, p.cached ? "cached" : "miss");
+}
+
 } // namespace
 
 bool
@@ -39,7 +60,10 @@ BenchOptions::takesValue(const char *flag)
            std::strcmp(flag, "-j") == 0 ||
            std::strcmp(flag, "--seed") == 0 ||
            std::strcmp(flag, "--csv") == 0 ||
-           std::strcmp(flag, "--json") == 0;
+           std::strcmp(flag, "--json") == 0 ||
+           std::strcmp(flag, "--cache-dir") == 0 ||
+           std::strcmp(flag, "--shard") == 0 ||
+           std::strcmp(flag, "--merge") == 0;
 }
 
 BenchOptions
@@ -62,6 +86,34 @@ BenchOptions::parse(int argc, char **argv)
             opts.csvPath = argValue(argc, argv, i);
         } else if (std::strcmp(arg, "--json") == 0) {
             opts.jsonPath = argValue(argc, argv, i);
+        } else if (std::strcmp(arg, "--cache-dir") == 0) {
+            opts.cacheDir = argValue(argc, argv, i);
+        } else if (std::strcmp(arg, "--shard") == 0) {
+            const char *v = argValue(argc, argv, i);
+            int consumed = 0;
+            if (std::sscanf(v, "%d/%d%n", &opts.shardIndex,
+                            &opts.shardCount, &consumed) != 2 ||
+                v[consumed] != '\0' ||  // trailing garbage: "1/3,2/3"
+                opts.shardCount < 1 || opts.shardIndex < 1 ||
+                opts.shardIndex > opts.shardCount) {
+                std::fprintf(stderr, "bad --shard '%s' (want I/N with "
+                                     "1 <= I <= N)\n", v);
+                usage(argv[0]);
+            }
+        } else if (std::strcmp(arg, "--merge") == 0) {
+            std::string v = argValue(argc, argv, i);
+            size_t start = 0;
+            while (start <= v.size()) {
+                size_t comma = v.find(',', start);
+                if (comma == std::string::npos)
+                    comma = v.size();
+                if (comma > start)
+                    opts.mergePaths.push_back(
+                        v.substr(start, comma - start));
+                start = comma + 1;
+            }
+        } else if (std::strcmp(arg, "--dry-run") == 0) {
+            opts.dryRun = true;
         } else if (std::strcmp(arg, "--help") == 0 ||
                    std::strcmp(arg, "-h") == 0) {
             usage(argv[0]);
@@ -73,9 +125,39 @@ BenchOptions::parse(int argc, char **argv)
     return opts;
 }
 
-BenchHarness::BenchHarness(const BenchOptions &opts)
-    : _opts(opts), _pool(opts.jobs)
+BenchHarness::BenchHarness(const BenchOptions &opts, std::string name)
+    : _opts(opts), _name(std::move(name)), _pool(opts.jobs)
 {}
+
+BenchHarness::~BenchHarness()
+{
+    if (_ranSweep)
+        return;
+    if (_opts.dryRun || _opts.shardCount > 1 || !_opts.cacheDir.empty() ||
+        !_opts.mergePaths.empty()) {
+        std::fprintf(stderr,
+                     "[bench] note: --dry-run/--shard/--cache-dir/--merge "
+                     "affect sweeps only; %s ran none\n", _name.c_str());
+    }
+}
+
+void
+BenchHarness::declareNoSweep()
+{
+    _ranSweep = true;   // the destructor note would be redundant now
+    if (_opts.shardCount > 1 || !_opts.cacheDir.empty() ||
+        !_opts.mergePaths.empty()) {
+        std::fprintf(stderr,
+                     "[bench] note: %s has no sweep stage; "
+                     "--shard/--cache-dir/--merge have no effect\n",
+                     _name.c_str());
+    }
+    if (_opts.dryRun) {
+        std::printf("plan %s: no sweep stage (nothing to plan)\n",
+                    _name.c_str());
+        std::exit(0);
+    }
+}
 
 workloads::MediaWorkload &
 BenchHarness::workload()
@@ -105,7 +187,47 @@ BenchHarness::runner()
 ResultSink
 BenchHarness::run(const SweepGrid &grid)
 {
-    ResultSink sink = runner().run(grid, _opts.baseSeed);
+    _ranSweep = true;
+
+    ResultStore store;
+    const bool persist = !_opts.cacheDir.empty();
+    if (persist && !store.openDir(_opts.cacheDir))
+        fatal("cannot open --cache-dir " + _opts.cacheDir);
+    for (const std::string &path : _opts.mergePaths) {
+        if (!store.loadFile(path))
+            fatal("cannot read --merge store " + path);
+    }
+
+    const uint64_t fingerprint = workload().fingerprint();
+    RunPlan plan = planSweep(grid.expand(_opts.baseSeed), fingerprint,
+                             &store, _opts.shardIndex - 1,
+                             _opts.shardCount);
+
+    if (_opts.dryRun) {
+        printPlan(plan, _name, fingerprint);
+        std::exit(0);
+    }
+
+    if (_opts.shardCount > 1) {
+        // On stdout deliberately: anyone reading or piping a shard
+        // run's table must see it is partial. Unsharded and --merge
+        // runs never print this, so their stdout stays canonical.
+        std::printf("[shard %d/%d] partial sweep: %zu of %zu points; "
+                    "foreign points print as 0.0 — merge the per-shard "
+                    "stores for the full figure\n",
+                    _opts.shardIndex, _opts.shardCount, plan.mineCount(),
+                    plan.points.size());
+    }
+
+    std::fprintf(stderr,
+                 "[bench] %s plan: total=%zu cached=%zu simulated=%zu "
+                 "foreign=%zu (shard %d/%d)\n",
+                 _name.c_str(), plan.points.size(), plan.cachedMineCount(),
+                 plan.simulateCount(),
+                 plan.points.size() - plan.mineCount(), _opts.shardIndex,
+                 _opts.shardCount);
+
+    ResultSink sink = runner().run(plan, persist ? &store : nullptr);
     std::fprintf(stderr,
                  "[bench] %zu experiments on %d worker(s); "
                  "serial cost %.0f ms\n",

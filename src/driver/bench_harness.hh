@@ -4,20 +4,35 @@
  * examples — the successor of bench/bench_util.hh's hand-rolled loops.
  *
  * Every bench accepts:
- *   --jobs N     worker threads for the sweep (default: all hardware)
- *   --quick      tiny workload scale, for smoke tests and CI
- *   --csv PATH   write the raw sweep results as CSV
- *   --json PATH  write the raw sweep results as JSON
- *   --seed S     base of the identity-derived per-task seeds recorded
- *                in the CSV/JSON rows. Today's simulations are fully
- *                deterministic and consume no randomness, so --seed
- *                never changes results — it exists so future
- *                stochastic components inherit per-task reproducibility
+ *   --jobs N      worker threads for the sweep (default: all hardware)
+ *   --quick       tiny workload scale, for smoke tests and CI
+ *   --csv PATH    write the raw sweep results as CSV
+ *   --json PATH   write the raw sweep results as JSON
+ *   --seed S      base of the identity-derived per-task seeds recorded
+ *                 in the CSV/JSON rows. Today's simulations are fully
+ *                 deterministic and consume no randomness, so --seed
+ *                 never changes results — it exists so future
+ *                 stochastic components inherit per-task
+ *                 reproducibility
+ *   --cache-dir D persist completed rows to D/results.jsonl, keyed by
+ *                 (point id, workload fingerprint, schema version);
+ *                 re-runs simulate only the keys that miss and splice
+ *                 cached rows back so stdout stays byte-identical
+ *   --shard I/N   run only the I-th of N cost-weighted slices of the
+ *                 sweep (I is 1-based); the slicing is deterministic,
+ *                 so N processes with --cache-dir cover the sweep
+ *                 exactly once between them
+ *   --merge F,... preload per-shard store files as cache hits; with
+ *                 every shard present the run simulates nothing and
+ *                 reproduces the canonical unsharded output
+ *   --dry-run     print the plan (ids, shard assignment, cache
+ *                 hit/miss) and exit without simulating
  *
  * The harness builds the workload once (lazily, at the scale --quick
- * selects), owns the thread pool, and hands benches an
- * ExperimentRunner. All harness chatter goes to stderr so stdout stays
- * byte-comparable across --jobs settings.
+ * selects), owns the thread pool, plans every sweep through the result
+ * store (see result_store.hh), and hands benches an ExperimentRunner.
+ * All harness chatter goes to stderr so stdout stays byte-comparable
+ * across --jobs / --cache-dir / shard-and-merge settings.
  */
 
 #ifndef MOMSIM_DRIVER_BENCH_HARNESS_HH
@@ -25,6 +40,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "driver/experiment.hh"
 
@@ -35,9 +51,14 @@ struct BenchOptions
 {
     int jobs = 0;               ///< 0 => hardware concurrency
     bool quick = false;
+    bool dryRun = false;
     uint64_t baseSeed = 0;
+    int shardIndex = 1;         ///< 1-based, <= shardCount
+    int shardCount = 1;
     std::string csvPath;
     std::string jsonPath;
+    std::string cacheDir;
+    std::vector<std::string> mergePaths;
 
     /** Parse argv; exits with a usage message on unknown flags. */
     static BenchOptions parse(int argc, char **argv);
@@ -53,13 +74,16 @@ struct BenchOptions
 class BenchHarness
 {
   public:
-    explicit BenchHarness(const BenchOptions &opts);
-    BenchHarness(int argc, char **argv)
-        : BenchHarness(BenchOptions::parse(argc, argv))
+    explicit BenchHarness(const BenchOptions &opts,
+                          std::string name = "sweep");
+    BenchHarness(int argc, char **argv, std::string name = "sweep")
+        : BenchHarness(BenchOptions::parse(argc, argv), std::move(name))
     {}
+    ~BenchHarness();
 
     const BenchOptions &options() const { return _opts; }
     bool quick() const { return _opts.quick; }
+    const std::string &name() const { return _name; }
 
     /** Paper scale normally, Tiny under --quick; built once, lazily. */
     workloads::MediaWorkload &workload();
@@ -68,16 +92,28 @@ class BenchHarness
     ExperimentRunner &runner();
 
     /**
-     * Expand + run a grid with the harness seed, then honour any
-     * --csv/--json request and report sweep cost on stderr.
+     * Plan the grid (cache lookups, shard assignment), honour
+     * --dry-run, execute via the planned runner path, then honour any
+     * --csv/--json request and report plan + sweep cost on stderr.
      */
     ResultSink run(const SweepGrid &grid);
 
+    /**
+     * For benches with no sweep stage (table2/table3, which drive the
+     * pool directly). Call before doing any work: --dry-run prints an
+     * empty plan and exits immediately, and shard/cache/merge flags
+     * draw an upfront no-effect warning instead of N shard processes
+     * silently redoing 100% of the work each.
+     */
+    void declareNoSweep();
+
   private:
     BenchOptions _opts;
+    std::string _name;
     ThreadPool _pool;
     std::unique_ptr<workloads::MediaWorkload> _workload;
     std::unique_ptr<ExperimentRunner> _runner;
+    bool _ranSweep = false;
 };
 
 } // namespace momsim::driver

@@ -1,9 +1,11 @@
 #include "driver/experiment.hh"
 
 #include <chrono>
+#include <mutex>
 
 #include "common/logging.hh"
 #include "core/simulation.hh"
+#include "driver/result_store.hh"
 
 namespace momsim::driver
 {
@@ -183,6 +185,50 @@ ResultSink
 ExperimentRunner::run(const SweepGrid &grid, uint64_t baseSeed)
 {
     return run(grid.expand(baseSeed));
+}
+
+ResultSink
+ExperimentRunner::run(const RunPlan &plan, ResultStore *store)
+{
+    std::vector<size_t> todo;
+    for (size_t i = 0; i < plan.points.size(); ++i) {
+        const PlannedPoint &p = plan.points[i];
+        if (p.shard == plan.shardIndex && !p.cached)
+            todo.push_back(i);
+    }
+
+    // Persist each row the moment its simulation finishes (not after
+    // the whole sweep): an interrupted multi-hour run then resumes
+    // from its last completed point instead of from scratch. The store
+    // is not thread-safe, so puts serialize through a mutex.
+    std::mutex storeMutex;
+    std::vector<ResultRow> fresh(todo.size());
+    _pool.parallelFor(todo.size(),
+                      [this, &plan, &todo, &fresh, store,
+                       &storeMutex](size_t k) {
+                          ResultRow row = runOne(plan.points[todo[k]].spec);
+                          if (store) {
+                              std::lock_guard<std::mutex> lock(storeMutex);
+                              store->put(plan.points[todo[k]].key, row);
+                          }
+                          fresh[k] = std::move(row);
+                      });
+
+    // Splice in sweep order: cached rows verbatim, fresh rows from the
+    // pool.
+    ResultSink sink;
+    size_t k = 0;
+    for (const PlannedPoint &p : plan.points) {
+        if (p.shard != plan.shardIndex)
+            continue;
+        if (p.cached) {
+            sink.append(p.row);
+        } else {
+            sink.append(std::move(fresh[k]));
+            ++k;
+        }
+    }
+    return sink;
 }
 
 } // namespace momsim::driver

@@ -35,6 +35,9 @@
 namespace momsim::driver
 {
 
+class ResultStore;
+struct RunPlan;
+
 /** One fully-specified simulation point. */
 struct ExperimentSpec
 {
@@ -128,6 +131,15 @@ class ExperimentRunner
 
     /** Convenience: expand the grid, then run it. */
     ResultSink run(const SweepGrid &grid, uint64_t baseSeed = 0);
+
+    /**
+     * Execute a RunPlan (see result_store.hh): simulate only this
+     * shard's cache misses, splice cached rows back in sweep order,
+     * and persist freshly simulated rows to @p store when given. The
+     * sink holds exactly this shard's points — for an unsharded plan
+     * that is the whole sweep, byte-identical to run(specs).
+     */
+    ResultSink run(const RunPlan &plan, ResultStore *store = nullptr);
 
     /** Execute one spec on the calling thread. */
     ResultRow runOne(const ExperimentSpec &spec) const;

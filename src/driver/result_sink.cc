@@ -27,26 +27,6 @@ csvField(const std::string &s)
     return out;
 }
 
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    for (char c : s) {
-        if (c == '"' || c == '\\') {
-            out += '\\';
-            out += c;
-        } else if (c == '\n') {
-            out += "\\n";
-        } else if (static_cast<unsigned char>(c) < 0x20) {
-            // Raw control characters are illegal in JSON strings.
-            out += strfmt("\\u%04x", c);
-        } else {
-            out += c;
-        }
-    }
-    return out;
-}
-
 /** Fixed double rendering so serializations are byte-stable. */
 std::string
 num(double v)
@@ -67,6 +47,26 @@ writeFile(const std::string &path, const std::string &text)
 }
 
 } // namespace
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (c == '\n') {
+            out += "\\n";
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            // Raw control characters are illegal in JSON strings.
+            out += strfmt("\\u%04x", c);
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
 
 const ResultRow *
 ResultSink::find(isa::SimdIsa simd, int threads, mem::MemModel memModel,
@@ -106,7 +106,7 @@ ResultSink::toCsv() const
     std::string out =
         "id,isa,threads,mem,policy,variant,seed,cycles,committed_eq,"
         "ipc,eipc,headline,l1_hit_rate,icache_hit_rate,l1_avg_latency,"
-        "mispredicts,cond_branches,completions\n";
+        "mispredicts,cond_branches,completions,hit_cycle_limit\n";
     for (const ResultRow &r : _rows) {
         out += csvField(r.id);
         out += strfmt(",%s,%d,%s,%s,", isa::toString(r.simd), r.threads,
@@ -119,10 +119,10 @@ ResultSink::toCsv() const
         out += "," + num(r.run.ipc) + "," + num(r.run.eipc) + "," +
                num(r.headline) + "," + num(r.run.l1HitRate) + "," +
                num(r.run.icacheHitRate) + "," + num(r.run.l1AvgLatency);
-        out += strfmt(",%llu,%llu,%d\n",
+        out += strfmt(",%llu,%llu,%d,%d\n",
                       static_cast<unsigned long long>(r.run.mispredicts),
                       static_cast<unsigned long long>(r.run.condBranches),
-                      r.run.completions);
+                      r.run.completions, r.run.hitCycleLimit ? 1 : 0);
     }
     return out;
 }
@@ -151,10 +151,11 @@ ResultSink::toJson() const
                ",\"icache_hit_rate\":" + num(r.run.icacheHitRate) +
                ",\"l1_avg_latency\":" + num(r.run.l1AvgLatency);
         out += strfmt(",\"mispredicts\":%llu,\"cond_branches\":%llu,"
-                      "\"completions\":%d}",
+                      "\"completions\":%d,\"hit_cycle_limit\":%s}",
                       static_cast<unsigned long long>(r.run.mispredicts),
                       static_cast<unsigned long long>(r.run.condBranches),
-                      r.run.completions);
+                      r.run.completions,
+                      r.run.hitCycleLimit ? "true" : "false");
         out += i + 1 < _rows.size() ? ",\n" : "\n";
     }
     out += "]\n";

@@ -28,6 +28,13 @@
 namespace momsim::driver
 {
 
+/**
+ * Escape a string for embedding in a JSON double-quoted literal.
+ * Shared by the sink's presentation JSON and the result store's
+ * JSON-lines format so the two can never drift.
+ */
+std::string jsonEscape(const std::string &s);
+
 /** One experiment's identity and measurements. */
 struct ResultRow
 {

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Persistent, content-addressed storage for completed experiments, and
+ * the RunPlan layer that turns a sweep from "execute everything" into
+ * "simulate only what is missing, where this process is responsible".
+ *
+ * Every ResultRow is keyed by (canonical point id + run-length limits,
+ * workload content fingerprint, result-schema version), so a cached row
+ * is replayed only when the simulated configuration, the synthesized
+ * workload and the row format are all exactly the ones that produced
+ * it. Rows persist as JSON-lines (`results.jsonl` inside --cache-dir);
+ * doubles are written with enough digits that parsing returns the
+ * bit-identical value, which is what lets cached rows splice back into
+ * a sink with byte-identical CSV/JSON/stdout renderings.
+ *
+ * The same plan drives scale-out: planSweep() deals the expanded spec
+ * list across N shards with a cost model (8-thread and real-memory
+ * points are several times more expensive than 1-thread perfect-memory
+ * ones), deterministically — every shard process computes the identical
+ * assignment from the spec list alone, independent of its local cache
+ * state, so per-shard stores can be produced on different machines and
+ * merged into the canonical unsharded output.
+ */
+
+#ifndef MOMSIM_DRIVER_RESULT_STORE_HH
+#define MOMSIM_DRIVER_RESULT_STORE_HH
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "driver/experiment.hh"
+#include "driver/result_sink.hh"
+
+namespace momsim::driver
+{
+
+/**
+ * Version of the ResultRow on-disk format. Bump whenever a serialized
+ * field is added, removed or retyped; old stores then miss on every
+ * lookup instead of replaying rows that lack the new data.
+ * v2 = v1 (PR 1's row) + hit_cycle_limit.
+ */
+constexpr int kResultSchemaVersion = 2;
+
+/**
+ * Version of the simulator's *semantics*. Bump whenever a change to
+ * the core, memory or metric code alters simulation results without
+ * changing any config field or workload trace (those are content-
+ * hashed into the key already) — e.g. fixing an issue-queue scan bug.
+ * Deliberately a hand-bumped constant rather than a build hash: shard
+ * processes on different machines must agree on keys.
+ */
+constexpr int kSimCodeVersion = 1;
+
+/**
+ * Content hash of the configuration the spec actually simulates: the
+ * post-tweak CoreConfig and MemConfig, field by field. This is what
+ * keys a variant by its *parameters* rather than its label, so editing
+ * a tweak closure behind an unchanged label still invalidates cached
+ * rows.
+ */
+uint64_t configFingerprint(const ExperimentSpec &spec);
+
+/** One row as a single JSON line (no trailing newline, no wallMs). */
+std::string serializeResultRow(const ResultRow &row);
+
+/**
+ * Parse a line produced by serializeResultRow (or a store line, whose
+ * extra "key" field is ignored). Strict: every row field must be
+ * present and well formed, and a "schema" field must match
+ * kResultSchemaVersion. Doubles round-trip exactly.
+ */
+bool parseResultRow(const std::string &line, ResultRow &out);
+
+/** Store-line variant that also surfaces the cache key. */
+bool parseStoreLine(const std::string &line, std::string &key,
+                    ResultRow &out);
+
+/** The lookup key: canonical id + limits + fingerprint + schema. */
+std::string resultCacheKey(const ExperimentSpec &spec,
+                           uint64_t workloadFingerprint);
+
+/**
+ * Relative simulation cost of one point, used to deal shards evenly.
+ * Calibrated to the ROADMAP observation that 8-thread configurations
+ * cost ~4x the 1-thread ones; real-memory hierarchies add ~50% over
+ * the perfect one.
+ */
+double specCost(const ExperimentSpec &spec);
+
+/**
+ * Keyed row storage with optional JSON-lines persistence. openDir()
+ * binds the store to `<dir>/results.jsonl` (created on demand): rows
+ * already there become lookup hits and every put() appends. loadFile()
+ * merges another store's file read-only — the mechanism behind
+ * --merge. Later lines win, so appending the same key twice is
+ * harmless.
+ */
+class ResultStore
+{
+  public:
+    static constexpr const char *kFileName = "results.jsonl";
+
+    /** Create @p dir if needed, load its store file, append to it. */
+    bool openDir(const std::string &dir);
+
+    /**
+     * Merge @p path's rows into the lookup map without adopting it as
+     * the append target. A truncated final line (a crashed writer) is
+     * ignored; corruption anywhere else fails the load.
+     */
+    bool loadFile(const std::string &path);
+
+    const ResultRow *lookup(const std::string &key) const;
+
+    /** Insert (last wins) and, when openDir() succeeded, append. */
+    void put(const std::string &key, const ResultRow &row);
+
+    size_t size() const { return _rows.size(); }
+
+    /** Append-file path; empty for an in-memory store. */
+    const std::string &path() const { return _path; }
+
+  private:
+    std::unordered_map<std::string, ResultRow> _rows;
+    std::string _path;
+};
+
+/** One point of a planned sweep. */
+struct PlannedPoint
+{
+    ExperimentSpec spec;
+    std::string key;            ///< resultCacheKey of the spec
+    double cost = 1.0;          ///< specCost of the spec
+    int shard = 0;              ///< 0-based owning shard
+    bool cached = false;        ///< store hit at planning time
+    ResultRow row;              ///< the cached row (valid when cached)
+};
+
+/**
+ * The full sweep with per-point responsibilities resolved. Points stay
+ * in sweep order; the runner simulates exactly the points that are
+ * this shard's and missed the cache, and splices cached rows back in
+ * place.
+ */
+struct RunPlan
+{
+    std::vector<PlannedPoint> points;
+    int shardIndex = 0;         ///< 0-based
+    int shardCount = 1;
+
+    /** Points assigned to this shard. */
+    size_t mineCount() const;
+    /** This shard's points satisfied from the store. */
+    size_t cachedMineCount() const;
+    /** This shard's points that must be simulated. */
+    size_t simulateCount() const;
+};
+
+/**
+ * Key every spec, look it up in @p store (may be null), and deal the
+ * points across @p shardCount shards cost-weighted (longest-processing-
+ * time-first onto the least-loaded shard; ties break toward sweep
+ * order and the lowest shard, so the assignment is deterministic and
+ * identical in every shard process regardless of local cache state).
+ */
+RunPlan planSweep(std::vector<ExperimentSpec> specs,
+                  uint64_t workloadFingerprint,
+                  const ResultStore *store = nullptr, int shardIndex = 0,
+                  int shardCount = 1);
+
+} // namespace momsim::driver
+
+#endif // MOMSIM_DRIVER_RESULT_STORE_HH

@@ -6,6 +6,8 @@
 #ifndef MOMSIM_ISA_SIMD_ISA_HH
 #define MOMSIM_ISA_SIMD_ISA_HH
 
+#include <cstring>
+
 namespace momsim::isa
 {
 
@@ -20,6 +22,21 @@ inline const char *
 toString(SimdIsa isa)
 {
     return isa == SimdIsa::Mmx ? "MMX" : "MOM";
+}
+
+/** Inverse of toString(); false when @p s names no ISA. */
+inline bool
+fromString(const char *s, SimdIsa &out)
+{
+    if (std::strcmp(s, "MMX") == 0) {
+        out = SimdIsa::Mmx;
+        return true;
+    }
+    if (std::strcmp(s, "MOM") == 0) {
+        out = SimdIsa::Mom;
+        return true;
+    }
+    return false;
 }
 
 } // namespace momsim::isa

@@ -18,6 +18,24 @@ toString(MemModel m)
     return "?";
 }
 
+bool
+fromString(const char *s, MemModel &out)
+{
+    if (std::strcmp(s, "perfect") == 0) {
+        out = MemModel::Perfect;
+        return true;
+    }
+    if (std::strcmp(s, "conventional") == 0) {
+        out = MemModel::Conventional;
+        return true;
+    }
+    if (std::strcmp(s, "decoupled") == 0) {
+        out = MemModel::Decoupled;
+        return true;
+    }
+    return false;
+}
+
 MemConfig::MemConfig()
 {
     // L1: 32 KB, direct mapped, write-through, 32-byte lines, 8 banks,

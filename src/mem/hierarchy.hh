@@ -39,6 +39,9 @@ enum class MemModel
 
 const char *toString(MemModel m);
 
+/** Inverse of toString(); false when @p s names no hierarchy. */
+bool fromString(const char *s, MemModel &out);
+
 /** One data-side access request from the core. */
 struct MemAccess
 {

@@ -1,5 +1,6 @@
 #include "workloads/media_workload.hh"
 
+#include "common/hash.hh"
 #include "common/logging.hh"
 #include "workloads/gsm.hh"
 #include "workloads/jpeg.hh"
@@ -52,6 +53,29 @@ configsFor(WorkloadScale scale)
     return c;
 }
 
+/** Hash the complete dynamic instruction stream of one program. */
+uint64_t
+mixProgram(uint64_t h, const trace::Program &prog)
+{
+    h = hashMixString(h, prog.name());
+    h = hashMix64(h, prog.size());
+    for (const isa::TraceInst &ti : prog.insts()) {
+        h = hashMix64(h, (static_cast<uint64_t>(ti.pc) << 32) | ti.addr);
+        h = hashMix64(h, static_cast<uint64_t>(ti.op) |
+                             (static_cast<uint64_t>(ti.flags) << 16) |
+                             (static_cast<uint64_t>(ti.dst) << 24) |
+                             (static_cast<uint64_t>(ti.src0) << 32) |
+                             (static_cast<uint64_t>(ti.src1) << 40) |
+                             (static_cast<uint64_t>(ti.src2) << 48) |
+                             (static_cast<uint64_t>(ti.accessSize) << 56));
+        h = hashMix64(h, static_cast<uint64_t>(ti.streamLen) |
+                             (static_cast<uint64_t>(
+                                  static_cast<uint16_t>(ti.stride))
+                              << 8));
+    }
+    return h;
+}
+
 } // namespace
 
 std::unique_ptr<MediaWorkload>
@@ -94,6 +118,13 @@ MediaWorkload::build(WorkloadScale scale)
     for (int i = 0; i < kNumPrograms; ++i)
         wl->_mmxEq[static_cast<size_t>(i)] =
             wl->_mmx[static_cast<size_t>(i)].mix().eqInsts;
+
+    // Content fingerprint over both ISAs' traces (see fingerprint()).
+    uint64_t h = kHashSeed;
+    for (const auto *arr : { &wl->_mmx, &wl->_mom })
+        for (const trace::Program &prog : *arr)
+            h = mixProgram(h, prog);
+    wl->_fingerprint = h;
     return wl;
 }
 

@@ -51,12 +51,22 @@ class MediaWorkload
     /** The Section 5.1 rotation for a given ISA, with EIPC weights. */
     std::vector<core::WorkloadProgram> rotation(isa::SimdIsa simd) const;
 
+    /**
+     * Content hash over every program of both ISAs (names plus the full
+     * dynamic instruction streams), computed once at build time. Any
+     * change to workload synthesis — scale, codec parameters, emitter
+     * fixes — changes the fingerprint, which is what keys persisted
+     * ResultRows so stale cached results can never be replayed.
+     */
+    uint64_t fingerprint() const { return _fingerprint; }
+
   private:
     std::array<trace::Program, kNumPrograms> _mmx;
     std::array<trace::Program, kNumPrograms> _mom;
     std::array<std::string, kNumPrograms> _names;
     /** Cached MMX equivalent-instruction counts (the EIPC weights). */
     std::array<uint64_t, kNumPrograms> _mmxEq {};
+    uint64_t _fingerprint = 0;
 };
 
 } // namespace momsim::workloads

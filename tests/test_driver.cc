@@ -303,11 +303,11 @@ TEST(ResultSink, CsvGolden)
         sink.toCsv(),
         "id,isa,threads,mem,policy,variant,seed,cycles,committed_eq,"
         "ipc,eipc,headline,l1_hit_rate,icache_hit_rate,l1_avg_latency,"
-        "mispredicts,cond_branches,completions\n"
+        "mispredicts,cond_branches,completions,hit_cycle_limit\n"
         "MMX/1thr/conventional/RR,MMX,1,conventional,RR,,99,1000,2500,"
-        "2.5,3.125,2.5,0.984,0.999,1.39,42,420,8\n"
+        "2.5,3.125,2.5,0.984,0.999,1.39,42,420,8,0\n"
         "MOM/8thr/conventional/IC,MOM,8,conventional,IC,,99,1000,2500,"
-        "2.5,3.125,3.125,0.984,0.999,1.39,42,420,8\n");
+        "2.5,3.125,3.125,0.984,0.999,1.39,42,420,8,0\n");
 }
 
 TEST(ResultSink, JsonGolden)
@@ -324,7 +324,8 @@ TEST(ResultSink, JsonGolden)
         "\"committed_eq\":2500,\"ipc\":2.5,\"eipc\":3.125,"
         "\"headline\":2.5,\"l1_hit_rate\":0.984,"
         "\"icache_hit_rate\":0.999,\"l1_avg_latency\":1.39,"
-        "\"mispredicts\":42,\"cond_branches\":420,\"completions\":8}\n"
+        "\"mispredicts\":42,\"cond_branches\":420,\"completions\":8,"
+        "\"hit_cycle_limit\":false}\n"
         "]\n");
 }
 
@@ -429,6 +430,26 @@ TEST(ExperimentRunner, SameSeedsSameStatsRegardlessOfThreadCount)
         EXPECT_GT(row.run.cycles, 0u) << row.id;
         EXPECT_GT(row.headline, 0.0) << row.id;
     }
+}
+
+TEST(ExperimentRunner, CycleLimitSurfacesAsRowDataNotStderr)
+{
+    SweepGrid grid;
+    grid.limits(-1, 50);    // far too few cycles to finish the rotation
+    auto specs = grid.expand();
+    ASSERT_EQ(specs.size(), 1u);
+
+    ThreadPool pool(1);
+    ExperimentRunner runner(tinyWorkload(), pool);
+    ResultRow row = runner.runOne(specs[0]);
+    EXPECT_TRUE(row.run.hitCycleLimit);
+    EXPECT_LT(row.run.completions, 8);
+
+    ResultSink sink;
+    sink.append(row);
+    EXPECT_NE(sink.toCsv().find(",1\n"), std::string::npos);
+    EXPECT_NE(sink.toJson().find("\"hit_cycle_limit\":true"),
+              std::string::npos);
 }
 
 TEST(ExperimentRunner, RunOneMatchesPooledRun)

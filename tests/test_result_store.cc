@@ -1,0 +1,535 @@
+/**
+ * @file
+ * Tests for the result-store subsystem: ResultRow serialize→parse
+ * round-trips (every field, exact doubles), cache-key invalidation on
+ * workload-fingerprint and schema changes, on-disk store persistence,
+ * cost-weighted shard planning, and the end-to-end contracts the CI
+ * shard-equivalence and warm-cache jobs also enforce: a sharded-and-
+ * merged sweep is byte-identical to the unsharded run, and a warm
+ * cache simulates zero points.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "driver/experiment.hh"
+#include "driver/result_store.hh"
+#include "driver/thread_pool.hh"
+#include "workloads/media_workload.hh"
+
+namespace momsim::driver
+{
+namespace
+{
+
+using isa::SimdIsa;
+
+ResultRow
+sampleRow()
+{
+    ResultRow row;
+    row.id = "MOM/8thr/decoupled/OC/win64";
+    row.simd = SimdIsa::Mom;
+    row.threads = 8;
+    row.memModel = mem::MemModel::Decoupled;
+    row.policy = cpu::FetchPolicy::OCount;
+    row.variant = "win64";
+    row.seed = 0xdeadbeefcafef00dull;
+    row.run.cycles = 123456789012ull;
+    row.run.committedEq = 987654321098ull;
+    row.run.ipc = 1.0 / 3.0;                // not representable in %.6g
+    row.run.eipc = 0.1;
+    row.run.l1HitRate = 0.98431529999999997;
+    row.run.icacheHitRate = 1e-30;
+    row.run.l1AvgLatency = 12345.678901234567;
+    row.headline = 2.7182818284590452;
+    row.run.mispredicts = 424242;
+    row.run.condBranches = 8888888;
+    row.run.completions = 8;
+    row.run.hitCycleLimit = true;
+    row.wallMs = 555.0;                     // never serialized
+    return row;
+}
+
+void
+expectRowsBitIdentical(const ResultRow &a, const ResultRow &b)
+{
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.simd, b.simd);
+    EXPECT_EQ(a.threads, b.threads);
+    EXPECT_EQ(a.memModel, b.memModel);
+    EXPECT_EQ(a.policy, b.policy);
+    EXPECT_EQ(a.variant, b.variant);
+    EXPECT_EQ(a.seed, b.seed);
+    EXPECT_EQ(a.run.cycles, b.run.cycles);
+    EXPECT_EQ(a.run.committedEq, b.run.committedEq);
+    // EXPECT_EQ on doubles is exact ==; %.17g must round-trip bits.
+    EXPECT_EQ(a.run.ipc, b.run.ipc);
+    EXPECT_EQ(a.run.eipc, b.run.eipc);
+    EXPECT_EQ(a.headline, b.headline);
+    EXPECT_EQ(a.run.l1HitRate, b.run.l1HitRate);
+    EXPECT_EQ(a.run.icacheHitRate, b.run.icacheHitRate);
+    EXPECT_EQ(a.run.l1AvgLatency, b.run.l1AvgLatency);
+    EXPECT_EQ(a.run.mispredicts, b.run.mispredicts);
+    EXPECT_EQ(a.run.condBranches, b.run.condBranches);
+    EXPECT_EQ(a.run.completions, b.run.completions);
+    EXPECT_EQ(a.run.hitCycleLimit, b.run.hitCycleLimit);
+}
+
+// ---------------------------------------------------------------------------
+// Serialize / parse round-trip
+// ---------------------------------------------------------------------------
+
+TEST(ResultRowSerialization, RoundTripsEveryFieldExactly)
+{
+    ResultRow row = sampleRow();
+    std::string line = serializeResultRow(row);
+    ResultRow back;
+    ASSERT_TRUE(parseResultRow(line, back)) << line;
+    expectRowsBitIdentical(row, back);
+
+    // Round-trip is a fixed point: serializing the parse reproduces
+    // the identical line.
+    EXPECT_EQ(serializeResultRow(back), line);
+}
+
+TEST(ResultRowSerialization, FloatsAreFiniteDecimalText)
+{
+    std::string line = serializeResultRow(sampleRow());
+    EXPECT_EQ(line.find("nan"), std::string::npos);
+    EXPECT_EQ(line.find("inf"), std::string::npos);
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+}
+
+TEST(ResultRowSerialization, EscapedStringsSurvive)
+{
+    ResultRow row = sampleRow();
+    row.id = "we\"ird,id";
+    row.variant = "line\nbreak\tand\\slash";
+    ResultRow back;
+    ASSERT_TRUE(parseResultRow(serializeResultRow(row), back));
+    EXPECT_EQ(back.id, row.id);
+    EXPECT_EQ(back.variant, row.variant);
+}
+
+TEST(ResultRowSerialization, RejectsMissingFieldsAndGarbage)
+{
+    ResultRow out;
+    EXPECT_FALSE(parseResultRow("", out));
+    EXPECT_FALSE(parseResultRow("{}", out));
+    EXPECT_FALSE(parseResultRow("not json at all", out));
+
+    std::string line = serializeResultRow(sampleRow());
+    // Truncation loses the tail fields.
+    EXPECT_FALSE(parseResultRow(line.substr(0, line.size() / 2), out));
+    // Dropping one required field must fail, not default-fill.
+    std::string noSeed = line;
+    size_t pos = noSeed.find("\"seed\":");
+    ASSERT_NE(pos, std::string::npos);
+    size_t end = noSeed.find(',', pos);
+    noSeed.erase(pos, end - pos + 1);
+    EXPECT_FALSE(parseResultRow(noSeed, out));
+}
+
+TEST(ResultRowSerialization, RejectsForeignOrAbsentSchemaVersion)
+{
+    std::string line = serializeResultRow(sampleRow());
+    ResultRow out;
+    ASSERT_TRUE(parseResultRow(line, out));
+
+    std::string old = line;
+    size_t pos = old.find("\"schema\":");
+    ASSERT_NE(pos, std::string::npos);
+    old.replace(pos, std::string("\"schema\":2").size(), "\"schema\":1");
+    EXPECT_FALSE(parseResultRow(old, out));
+
+    // Schema is a required field, not an optional check: a line with
+    // no version at all must not parse as the current version.
+    std::string stripped = line;
+    size_t end = stripped.find(',', pos);
+    ASSERT_NE(end, std::string::npos);
+    stripped.erase(pos, end - pos + 1);
+    EXPECT_FALSE(parseResultRow(stripped, out));
+}
+
+// ---------------------------------------------------------------------------
+// Cache keys
+// ---------------------------------------------------------------------------
+
+ExperimentSpec
+sampleSpec()
+{
+    SweepGrid grid;
+    grid.isas({ SimdIsa::Mom }).threadCounts({ 8 });
+    return grid.expand(7)[0];
+}
+
+TEST(ResultCacheKey, StableForIdenticalInputs)
+{
+    EXPECT_EQ(resultCacheKey(sampleSpec(), 0x1234),
+              resultCacheKey(sampleSpec(), 0x1234));
+}
+
+TEST(ResultCacheKey, InvalidatedByWorkloadFingerprint)
+{
+    EXPECT_NE(resultCacheKey(sampleSpec(), 0x1234),
+              resultCacheKey(sampleSpec(), 0x1235));
+}
+
+TEST(ResultCacheKey, InvalidatedByPerTaskSeed)
+{
+    // Rows record their seed, so a --seed 7 run must never replay rows
+    // produced under a different base seed.
+    SweepGrid grid;
+    grid.isas({ SimdIsa::Mom }).threadCounts({ 8 });
+    ExperimentSpec a = grid.expand(7)[0];
+    ExperimentSpec b = grid.expand(8)[0];
+    ASSERT_NE(a.seed, b.seed);
+    EXPECT_NE(resultCacheKey(a, 1), resultCacheKey(b, 1));
+}
+
+TEST(ResultCacheKey, InvalidatedByRunLengthLimits)
+{
+    ExperimentSpec a = sampleSpec(), b = sampleSpec();
+    b.maxCycles = a.maxCycles / 2;
+    EXPECT_NE(resultCacheKey(a, 1), resultCacheKey(b, 1));
+    ExperimentSpec c = sampleSpec();
+    c.targetCompletions = 3;
+    EXPECT_NE(resultCacheKey(a, 1), resultCacheKey(c, 1));
+}
+
+TEST(ResultCacheKey, InvalidatedByTweakParametersBehindSameLabel)
+{
+    // Editing a variant's tweak closure must invalidate cached rows
+    // even when its label (and thus the canonical id) is unchanged.
+    auto specWithWindow = [](int window) {
+        ExperimentSpec s = sampleSpec();
+        s.variant = "win";
+        s.id = s.canonicalId();
+        s.tweakCore = [window](cpu::CoreConfig &c) {
+            c.windowPerThread = window;
+        };
+        return s;
+    };
+    ExperimentSpec a = specWithWindow(64), b = specWithWindow(16);
+    ASSERT_EQ(a.id, b.id);
+    EXPECT_NE(configFingerprint(a), configFingerprint(b));
+    EXPECT_NE(resultCacheKey(a, 1), resultCacheKey(b, 1));
+
+    ExperimentSpec c = sampleSpec();
+    c.tweakMem = [](mem::MemConfig &m) { m.l1.numMshrs = 4; };
+    EXPECT_NE(resultCacheKey(sampleSpec(), 1), resultCacheKey(c, 1));
+}
+
+TEST(ResultCacheKey, CarriesTheSchemaVersion)
+{
+    std::string key = resultCacheKey(sampleSpec(), 1);
+    EXPECT_NE(key.find(strfmt("|v%d", kResultSchemaVersion)),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// ResultStore persistence
+// ---------------------------------------------------------------------------
+
+void
+wipeStoreDir(const std::string &dir)
+{
+    std::remove((dir + "/" + ResultStore::kFileName).c_str());
+}
+
+TEST(ResultStore, PersistsAcrossReopen)
+{
+    const std::string dir = "test_result_store.persist";
+    wipeStoreDir(dir);
+
+    ResultRow row = sampleRow();
+    {
+        ResultStore store;
+        ASSERT_TRUE(store.openDir(dir));
+        EXPECT_EQ(store.size(), 0u);
+        EXPECT_EQ(store.lookup("k1"), nullptr);
+        store.put("k1", row);
+        EXPECT_EQ(store.size(), 1u);
+    }
+    ResultStore reopened;
+    ASSERT_TRUE(reopened.openDir(dir));
+    ASSERT_EQ(reopened.size(), 1u);
+    const ResultRow *hit = reopened.lookup("k1");
+    ASSERT_NE(hit, nullptr);
+    expectRowsBitIdentical(row, *hit);
+}
+
+TEST(ResultStore, LastPutWinsAndTruncatedTailIsIgnored)
+{
+    const std::string dir = "test_result_store.tail";
+    wipeStoreDir(dir);
+
+    ResultRow a = sampleRow(), b = sampleRow();
+    b.run.cycles = 1;
+    {
+        ResultStore store;
+        ASSERT_TRUE(store.openDir(dir));
+        store.put("k", a);
+        store.put("k", b);      // appended twice; later line wins
+    }
+    // Simulate a writer that died mid-append.
+    std::FILE *f =
+        std::fopen((dir + "/" + ResultStore::kFileName).c_str(), "a");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{\"key\":\"half", f);
+    std::fclose(f);
+
+    ResultStore reopened;
+    ASSERT_TRUE(reopened.openDir(dir));
+    ASSERT_EQ(reopened.size(), 1u);
+    EXPECT_EQ(reopened.lookup("k")->run.cycles, 1u);
+}
+
+TEST(ResultStore, ForeignSchemaRowsAreSkippedNotFatal)
+{
+    // A schema bump must turn old rows into misses, not make the
+    // store unloadable: same dir keeps working across versions.
+    const std::string dir = "test_result_store.schema";
+    wipeStoreDir(dir);
+    {
+        ResultStore store;
+        ASSERT_TRUE(store.openDir(dir));
+        store.put("knew", sampleRow());
+    }
+    // Splice in a v1-era row (mid-file, before the current-schema row).
+    const std::string file = dir + "/" + ResultStore::kFileName;
+    std::string current;
+    {
+        std::FILE *f = std::fopen(file.c_str(), "r");
+        ASSERT_NE(f, nullptr);
+        char buf[4096];
+        size_t n;
+        while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+            current.append(buf, n);
+        std::fclose(f);
+    }
+    std::string oldLine =
+        "{\"key\":\"kold\",\"schema\":1,\"id\":\"x\"}\n";
+    {
+        std::FILE *f = std::fopen(file.c_str(), "w");
+        ASSERT_NE(f, nullptr);
+        std::fputs(oldLine.c_str(), f);
+        std::fputs(current.c_str(), f);
+        std::fclose(f);
+    }
+    ResultStore reopened;
+    ASSERT_TRUE(reopened.openDir(dir));
+    EXPECT_EQ(reopened.size(), 1u);
+    EXPECT_EQ(reopened.lookup("kold"), nullptr);
+    EXPECT_NE(reopened.lookup("knew"), nullptr);
+}
+
+TEST(ResultStore, LoadFileMergesForeignStores)
+{
+    const std::string dirA = "test_result_store.mergeA";
+    const std::string dirB = "test_result_store.mergeB";
+    wipeStoreDir(dirA);
+    wipeStoreDir(dirB);
+    {
+        ResultStore a, b;
+        ASSERT_TRUE(a.openDir(dirA));
+        ASSERT_TRUE(b.openDir(dirB));
+        a.put("ka", sampleRow());
+        b.put("kb", sampleRow());
+    }
+    ResultStore merged;     // in-memory: loadFile never adopts a path
+    ASSERT_TRUE(merged.loadFile(dirA + "/" + ResultStore::kFileName));
+    ASSERT_TRUE(merged.loadFile(dirB + "/" + ResultStore::kFileName));
+    EXPECT_EQ(merged.size(), 2u);
+    EXPECT_NE(merged.lookup("ka"), nullptr);
+    EXPECT_NE(merged.lookup("kb"), nullptr);
+    EXPECT_TRUE(merged.path().empty());
+    EXPECT_FALSE(merged.loadFile("no/such/store.jsonl"));
+}
+
+// ---------------------------------------------------------------------------
+// Sweep planning: shard dealing and cache resolution
+// ---------------------------------------------------------------------------
+
+SweepGrid
+planGrid()
+{
+    SweepGrid grid;
+    grid.isas({ SimdIsa::Mmx, SimdIsa::Mom })
+        .threadCounts({ 1, 2, 4, 8 });
+    return grid;
+}
+
+TEST(PlanSweep, ShardsPartitionTheSweepDeterministically)
+{
+    auto specs = planGrid().expand(3);
+    std::set<std::string> covered;
+    for (int shard = 0; shard < 3; ++shard) {
+        RunPlan plan = planSweep(planGrid().expand(3), 9, nullptr,
+                                 shard, 3);
+        ASSERT_EQ(plan.points.size(), specs.size());
+        RunPlan again = planSweep(planGrid().expand(3), 9, nullptr,
+                                  shard, 3);
+        for (size_t i = 0; i < plan.points.size(); ++i) {
+            // Deterministic: same inputs, same dealing, in every
+            // process regardless of which shard it will execute.
+            EXPECT_EQ(plan.points[i].shard, again.points[i].shard);
+            EXPECT_EQ(plan.points[i].spec.id, specs[i].id);
+            if (plan.points[i].shard == shard)
+                covered.insert(plan.points[i].spec.id);
+        }
+        EXPECT_GT(plan.mineCount(), 0u) << "empty shard " << shard;
+        EXPECT_EQ(plan.simulateCount(), plan.mineCount());
+    }
+    // Union over shards = the whole sweep, each point exactly once.
+    EXPECT_EQ(covered.size(), specs.size());
+}
+
+TEST(PlanSweep, CostWeightingSeparatesExpensivePoints)
+{
+    // Two 8-thread points (the expensive ones): LPT dealing must not
+    // pile both onto one shard.
+    SweepGrid grid;
+    grid.isas({ SimdIsa::Mmx, SimdIsa::Mom }).threadCounts({ 1, 8 });
+    RunPlan plan = planSweep(grid.expand(0), 1, nullptr, 0, 2);
+    ASSERT_EQ(plan.points.size(), 4u);
+    int shardOf8[2] = { -1, -1 };
+    int n8 = 0;
+    for (const PlannedPoint &p : plan.points) {
+        EXPECT_GT(p.cost, 0.0);
+        if (p.spec.threads == 8)
+            shardOf8[n8++] = p.shard;
+    }
+    ASSERT_EQ(n8, 2);
+    EXPECT_NE(shardOf8[0], shardOf8[1]);
+}
+
+TEST(PlanSweep, EightThreadPointsCostAboutFourTimesOneThread)
+{
+    ExperimentSpec one = sampleSpec(), eight = sampleSpec();
+    one.threads = 1;
+    eight.threads = 8;
+    EXPECT_NEAR(specCost(eight) / specCost(one), 4.0, 1e-9);
+    // Real memory costs more than the perfect hierarchy.
+    ExperimentSpec perfect = one;
+    perfect.memModel = mem::MemModel::Perfect;
+    EXPECT_GT(specCost(one), specCost(perfect));
+}
+
+TEST(PlanSweep, ResolvesCachedPointsFromTheStore)
+{
+    auto specs = planGrid().expand(3);
+    ResultStore store;      // in-memory
+    ResultRow row = sampleRow();
+    store.put(resultCacheKey(specs[2], 77), row);
+
+    RunPlan plan = planSweep(planGrid().expand(3), 77, &store);
+    ASSERT_EQ(plan.points.size(), specs.size());
+    EXPECT_TRUE(plan.points[2].cached);
+    expectRowsBitIdentical(plan.points[2].row, row);
+    EXPECT_EQ(plan.cachedMineCount(), 1u);
+    EXPECT_EQ(plan.simulateCount(), specs.size() - 1);
+
+    // A different fingerprint must miss everywhere.
+    RunPlan cold = planSweep(planGrid().expand(3), 78, &store);
+    EXPECT_EQ(cold.cachedMineCount(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: warm cache simulates nothing; shard+merge == unsharded
+// ---------------------------------------------------------------------------
+
+const workloads::MediaWorkload &
+tinyWorkload()
+{
+    static auto wl =
+        workloads::MediaWorkload::build(workloads::WorkloadScale::Tiny);
+    return *wl;
+}
+
+SweepGrid
+integrationGrid()
+{
+    SweepGrid grid;
+    grid.isas({ SimdIsa::Mmx, SimdIsa::Mom })
+        .threadCounts({ 1, 2 })
+        .policies({ cpu::FetchPolicy::RoundRobin,
+                    cpu::FetchPolicy::ICount });
+    return grid;
+}
+
+TEST(RunPlanIntegration, WorkloadFingerprintIsNonZero)
+{
+    EXPECT_NE(tinyWorkload().fingerprint(), 0u);
+}
+
+TEST(RunPlanIntegration, WarmCacheRerunSimulatesZeroPoints)
+{
+    const std::string dir = "test_result_store.warm";
+    wipeStoreDir(dir);
+    const uint64_t fp = tinyWorkload().fingerprint();
+
+    ThreadPool pool(2);
+    ExperimentRunner runner(tinyWorkload(), pool);
+
+    ResultStore store;
+    ASSERT_TRUE(store.openDir(dir));
+    RunPlan cold = planSweep(integrationGrid().expand(11), fp, &store);
+    EXPECT_EQ(cold.simulateCount(), cold.points.size());
+    ResultSink first = runner.run(cold, &store);
+
+    RunPlan warm = planSweep(integrationGrid().expand(11), fp, &store);
+    EXPECT_EQ(warm.simulateCount(), 0u);
+    EXPECT_EQ(warm.cachedMineCount(), warm.points.size());
+    ResultSink second = runner.run(warm, nullptr);
+
+    EXPECT_EQ(first.toCsv(), second.toCsv());
+    EXPECT_EQ(first.toJson(), second.toJson());
+}
+
+TEST(RunPlanIntegration, ShardedStoresMergeToUnshardedOutput)
+{
+    const uint64_t fp = tinyWorkload().fingerprint();
+    ThreadPool pool(2);
+    ExperimentRunner runner(tinyWorkload(), pool);
+
+    // Reference: the unsharded sweep, no caching anywhere.
+    ResultSink reference =
+        runner.run(planSweep(integrationGrid().expand(5), fp, nullptr));
+
+    // Three shard "processes", each with its own store directory.
+    std::vector<std::string> storeFiles;
+    for (int shard = 0; shard < 3; ++shard) {
+        std::string dir =
+            strfmt("test_result_store.shard%d", shard);
+        wipeStoreDir(dir);
+        ResultStore store;
+        ASSERT_TRUE(store.openDir(dir));
+        RunPlan plan = planSweep(integrationGrid().expand(5), fp,
+                                 &store, shard, 3);
+        ResultSink slice = runner.run(plan, &store);
+        EXPECT_EQ(slice.size(), plan.mineCount());
+        storeFiles.push_back(store.path());
+    }
+
+    // The merge "process": every point is a cache hit, nothing runs.
+    ResultStore merged;
+    for (const std::string &file : storeFiles)
+        ASSERT_TRUE(merged.loadFile(file));
+    RunPlan mergePlan = planSweep(integrationGrid().expand(5), fp,
+                                  &merged);
+    EXPECT_EQ(mergePlan.simulateCount(), 0u);
+    ResultSink recombined = runner.run(mergePlan, nullptr);
+
+    EXPECT_EQ(reference.toCsv(), recombined.toCsv());
+    EXPECT_EQ(reference.toJson(), recombined.toJson());
+}
+
+} // namespace
+} // namespace momsim::driver
