@@ -62,34 +62,38 @@ main(int argc, char **argv)
         .threadCounts({ 8 })
         .memModels({ MemModel::Conventional })
         .variants(variants);
-    ResultSink sink = bench.run(grid);
+    ResultSink all = bench.run(grid);
 
     std::printf("Ablation: memory-system parameters "
                 "(8 threads, conventional)\n");
-    std::printf("%-26s | %8s | %8s\n", "configuration", "MMX IPC",
-                "MOM EIPC");
-    std::printf("---------------------------------------------------\n");
+    bench.perWorkload(all, [&variants](const ResultSink &sink,
+                                       const std::string &) {
+        std::printf("%-26s | %8s | %8s\n", "configuration", "MMX IPC",
+                    "MOM EIPC");
+        std::printf("---------------------------------------------------\n");
 
-    double base[2] = { 0, 0 };
-    for (const SweepVariant &v : variants) {
-        double mmx = sink.headlineAt(SimdIsa::Mmx, 8,
-                                     MemModel::Conventional,
-                                     cpu::FetchPolicy::RoundRobin,
-                                     v.label);
-        double mom = sink.headlineAt(SimdIsa::Mom, 8,
-                                     MemModel::Conventional,
-                                     cpu::FetchPolicy::RoundRobin,
-                                     v.label);
-        if (base[0] == 0) {
-            base[0] = mmx;
-            base[1] = mom;
+        double base[2] = { 0, 0 };
+        for (const SweepVariant &v : variants) {
+            double mmx = sink.headlineAt(SimdIsa::Mmx, 8,
+                                         MemModel::Conventional,
+                                         cpu::FetchPolicy::RoundRobin,
+                                         v.label);
+            double mom = sink.headlineAt(SimdIsa::Mom, 8,
+                                         MemModel::Conventional,
+                                         cpu::FetchPolicy::RoundRobin,
+                                         v.label);
+            if (base[0] == 0) {
+                base[0] = mmx;
+                base[1] = mom;
+            }
+            std::printf("%-26s | %8.2f | %8.2f   (%+.1f%% / %+.1f%%)\n",
+                        v.label.c_str(), mmx, mom,
+                        100 * (mmx / base[0] - 1),
+                        100 * (mom / base[1] - 1));
         }
-        std::printf("%-26s | %8.2f | %8.2f   (%+.1f%% / %+.1f%%)\n",
-                    v.label.c_str(), mmx, mom, 100 * (mmx / base[0] - 1),
-                    100 * (mom / base[1] - 1));
-    }
-    std::printf("---------------------------------------------------\n");
-    std::printf("(The paper's 8-MSHR / 8-entry / 8-bank choices sit near "
-                "the performance knee.)\n");
+        std::printf("---------------------------------------------------\n");
+        std::printf("(The paper's 8-MSHR / 8-entry / 8-bank choices sit "
+                    "near the performance knee.)\n");
+    });
     return 0;
 }

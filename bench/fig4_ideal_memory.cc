@@ -28,30 +28,34 @@ main(int argc, char **argv)
     grid.isas({ SimdIsa::Mmx, SimdIsa::Mom })
         .threadCounts({ 1, 2, 4, 8 })
         .memModels({ MemModel::Perfect });
-    ResultSink sink = bench.run(grid);
+    ResultSink all = bench.run(grid);
 
     std::printf("Figure 4: performance with perfect cache\n");
-    std::printf("%-8s | %-10s | %-10s | MOM/MMX\n", "threads",
-                "MMX IPC", "MOM EIPC");
-    std::printf("--------------------------------------------\n");
+    bench.perWorkload(all, [](const ResultSink &sink,
+                              const std::string &) {
+        std::printf("%-8s | %-10s | %-10s | MOM/MMX\n", "threads",
+                    "MMX IPC", "MOM EIPC");
+        std::printf("--------------------------------------------\n");
 
-    double base[2] = { 0, 0 };
-    for (int threads : { 1, 2, 4, 8 }) {
-        double v[2];
-        int i = 0;
-        for (SimdIsa simd : { SimdIsa::Mmx, SimdIsa::Mom }) {
-            v[i] = sink.headlineAt(simd, threads, MemModel::Perfect,
-                                   FetchPolicy::RoundRobin);
-            if (threads == 1)
-                base[i] = v[i];
-            ++i;
+        double base[2] = { 0, 0 };
+        for (int threads : { 1, 2, 4, 8 }) {
+            double v[2];
+            int i = 0;
+            for (SimdIsa simd : { SimdIsa::Mmx, SimdIsa::Mom }) {
+                v[i] = sink.headlineAt(simd, threads, MemModel::Perfect,
+                                       FetchPolicy::RoundRobin);
+                if (threads == 1)
+                    base[i] = v[i];
+                ++i;
+            }
+            std::printf("%-8d | %-10.2f | %-10.2f | %.2f\n", threads,
+                        v[0], v[1], v[1] / v[0]);
         }
-        std::printf("%-8d | %-10.2f | %-10.2f | %.2f\n", threads, v[0],
-                    v[1], v[1] / v[0]);
-    }
-    std::printf("--------------------------------------------\n");
-    std::printf("paper: MMX 2.47->5.00 (2.02x), MOM 2.98->6.19 (2.08x)\n");
-    std::printf("1-thread MOM/MMX advantage (paper ~1.20): %.2f\n",
-                base[1] / base[0]);
+        std::printf("--------------------------------------------\n");
+        std::printf("paper: MMX 2.47->5.00 (2.02x), MOM 2.98->6.19 "
+                    "(2.08x)\n");
+        std::printf("1-thread MOM/MMX advantage (paper ~1.20): %.2f\n",
+                    base[1] / base[0]);
+    });
     return 0;
 }

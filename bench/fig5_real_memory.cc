@@ -28,50 +28,54 @@ main(int argc, char **argv)
     grid.isas({ SimdIsa::Mmx, SimdIsa::Mom })
         .threadCounts({ 1, 2, 4, 8 })
         .memModels({ MemModel::Perfect, MemModel::Conventional });
-    ResultSink sink = bench.run(grid);
+    ResultSink all = bench.run(grid);
 
     std::printf("Figure 5: performance under real memory system\n");
-    std::printf("%-8s | %-22s | %-22s\n", "",
-                "MMX IPC (ideal/real)", "MOM EIPC (ideal/real)");
-    std::printf("%-8s | %-22s | %-22s\n", "threads", "and degradation",
-                "and degradation");
-    std::printf("---------------------------------------------------------"
-                "---\n");
+    bench.perWorkload(all, [](const ResultSink &sink,
+                              const std::string &) {
+        std::printf("%-8s | %-22s | %-22s\n", "",
+                    "MMX IPC (ideal/real)", "MOM EIPC (ideal/real)");
+        std::printf("%-8s | %-22s | %-22s\n", "threads",
+                    "and degradation", "and degradation");
+        std::printf("-----------------------------------------------------"
+                    "-------\n");
 
-    double degrade[2] = { 0, 0 };
-    double real4[2] = { 0, 0 }, real8[2] = { 0, 0 };
-    for (int threads : { 1, 2, 4, 8 }) {
-        double ideal[2], realv[2];
-        int i = 0;
-        for (SimdIsa simd : { SimdIsa::Mmx, SimdIsa::Mom }) {
-            ideal[i] = sink.headlineAt(simd, threads, MemModel::Perfect,
-                                       FetchPolicy::RoundRobin);
-            realv[i] = sink.headlineAt(simd, threads,
-                                       MemModel::Conventional,
-                                       FetchPolicy::RoundRobin);
-            if (threads == 4)
-                real4[i] = realv[i];
-            if (threads == 8) {
-                real8[i] = realv[i];
-                degrade[i] = 1.0 - realv[i] / ideal[i];
+        double degrade[2] = { 0, 0 };
+        double real4[2] = { 0, 0 }, real8[2] = { 0, 0 };
+        for (int threads : { 1, 2, 4, 8 }) {
+            double ideal[2], realv[2];
+            int i = 0;
+            for (SimdIsa simd : { SimdIsa::Mmx, SimdIsa::Mom }) {
+                ideal[i] = sink.headlineAt(simd, threads,
+                                           MemModel::Perfect,
+                                           FetchPolicy::RoundRobin);
+                realv[i] = sink.headlineAt(simd, threads,
+                                           MemModel::Conventional,
+                                           FetchPolicy::RoundRobin);
+                if (threads == 4)
+                    real4[i] = realv[i];
+                if (threads == 8) {
+                    real8[i] = realv[i];
+                    degrade[i] = 1.0 - realv[i] / ideal[i];
+                }
+                ++i;
             }
-            ++i;
+            std::printf("%-8d | %5.2f / %5.2f  (-%4.1f%%) | %5.2f / %5.2f"
+                        "  (-%4.1f%%)\n",
+                        threads, ideal[0], realv[0],
+                        100 * (1 - realv[0] / ideal[0]),
+                        ideal[1], realv[1],
+                        100 * (1 - realv[1] / ideal[1]));
         }
-        std::printf("%-8d | %5.2f / %5.2f  (-%4.1f%%) | %5.2f / %5.2f  "
-                    "(-%4.1f%%)\n",
-                    threads, ideal[0], realv[0],
-                    100 * (1 - realv[0] / ideal[0]),
-                    ideal[1], realv[1],
-                    100 * (1 - realv[1] / ideal[1]));
-    }
-    std::printf("---------------------------------------------------------"
-                "---\n");
-    std::printf("4thr > 8thr under real memory (paper: yes): MMX %s, "
-                "MOM %s\n",
-                real4[0] > real8[0] ? "yes" : "NO",
-                real4[1] > real8[1] ? "yes" : "NO");
-    std::printf("8-thread degradation (paper ~30%% MMX / ~12-15%% MOM): "
-                "MMX %.0f%%, MOM %.0f%%\n",
-                100 * degrade[0], 100 * degrade[1]);
+        std::printf("-----------------------------------------------------"
+                    "-------\n");
+        std::printf("4thr > 8thr under real memory (paper: yes): MMX %s, "
+                    "MOM %s\n",
+                    real4[0] > real8[0] ? "yes" : "NO",
+                    real4[1] > real8[1] ? "yes" : "NO");
+        std::printf("8-thread degradation (paper ~30%% MMX / ~12-15%% "
+                    "MOM): MMX %.0f%%, MOM %.0f%%\n",
+                    100 * degrade[0], 100 * degrade[1]);
+    });
     return 0;
 }

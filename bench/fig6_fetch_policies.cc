@@ -22,11 +22,14 @@ int
 main(int argc, char **argv)
 {
     BenchHarness bench(argc, argv, "fig6");
-    ResultSink sink = bench.run(bench::policyGrid(MemModel::Conventional));
+    ResultSink all = bench.run(bench::policyGrid(MemModel::Conventional));
 
     std::printf("Figure 6: fetch policies, conventional hierarchy\n");
-    double rr[2][4];
-    bench::printPolicyTable(sink, MemModel::Conventional, rr);
+    bench.perWorkload(all, [](const ResultSink &sink,
+                              const std::string &) {
+        double rr[2][4];
+        bench::printPolicyTable(sink, MemModel::Conventional, rr);
+    });
     std::printf("paper: gains only at high thread counts, up to ~9%%; "
                 "IC best for MMX, OC best for MOM\n");
     return 0;

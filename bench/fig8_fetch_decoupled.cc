@@ -22,15 +22,18 @@ int
 main(int argc, char **argv)
 {
     BenchHarness bench(argc, argv, "fig8");
-    ResultSink sink = bench.run(bench::policyGrid(MemModel::Decoupled));
+    ResultSink all = bench.run(bench::policyGrid(MemModel::Decoupled));
 
     std::printf("Figure 8: fetch policies, decoupled hierarchy\n");
-    double rr[2][4];
-    bench::printPolicyTable(sink, MemModel::Decoupled, rr);
-    // rr[isa][thrIdx]: thread counts 1, 2, 4, 8 => indices 0..3.
-    std::printf("8thr > 4thr with decoupling (paper: yes): MMX %s, "
-                "MOM %s\n",
-                rr[0][3] > rr[0][2] ? "yes" : "NO",
-                rr[1][3] > rr[1][2] ? "yes" : "NO");
+    bench.perWorkload(all, [](const ResultSink &sink,
+                              const std::string &) {
+        double rr[2][4];
+        bench::printPolicyTable(sink, MemModel::Decoupled, rr);
+        // rr[isa][thrIdx]: thread counts 1, 2, 4, 8 => indices 0..3.
+        std::printf("8thr > 4thr with decoupling (paper: yes): MMX %s, "
+                    "MOM %s\n",
+                    rr[0][3] > rr[0][2] ? "yes" : "NO",
+                    rr[1][3] > rr[1][2] ? "yes" : "NO");
+    });
     return 0;
 }

@@ -42,51 +42,54 @@ main(int argc, char **argv)
                    (s.simd == SimdIsa::Mom &&
                     s.policy == FetchPolicy::ICount);
         });
-    ResultSink sink = bench.run(grid);
+    ResultSink all = bench.run(grid);
 
     std::printf("Figure 9: hierarchies compared (MMX: ICOUNT, "
                 "MOM: OCOUNT)\n");
-    std::printf("%-6s %-8s | %8s %8s %8s | decoupled vs ideal\n", "isa",
-                "threads", "ideal", "conv", "decoup");
-    std::printf("----------------------------------------------------------"
-                "--\n");
+    bench.perWorkload(all, [](const ResultSink &sink,
+                              const std::string &) {
+        std::printf("%-6s %-8s | %8s %8s %8s | decoupled vs ideal\n",
+                    "isa", "threads", "ideal", "conv", "decoup");
+        std::printf("------------------------------------------------------"
+                    "------\n");
 
-    double mmxBaseline = 0.0;
-    double best[2] = { 0, 0 };
-    double idealAt8[2] = { 0, 0 }, decoupAt8[2] = { 0, 0 };
-    int isaIdx = 0;
-    for (SimdIsa simd : { SimdIsa::Mmx, SimdIsa::Mom }) {
-        FetchPolicy pol = simd == SimdIsa::Mmx ? FetchPolicy::ICount
-                                               : FetchPolicy::OCount;
-        for (int threads : { 1, 2, 4, 8 }) {
-            double vi = sink.headlineAt(simd, threads, MemModel::Perfect,
-                                        pol);
-            double vc = sink.headlineAt(simd, threads,
-                                        MemModel::Conventional, pol);
-            double vd = sink.headlineAt(simd, threads,
-                                        MemModel::Decoupled, pol);
-            if (simd == SimdIsa::Mmx && threads == 1)
-                mmxBaseline = vc;
-            best[isaIdx] = std::max(best[isaIdx], std::max(vc, vd));
-            if (threads == 8) {
-                idealAt8[isaIdx] = vi;
-                decoupAt8[isaIdx] = vd;
+        double mmxBaseline = 0.0;
+        double best[2] = { 0, 0 };
+        double idealAt8[2] = { 0, 0 }, decoupAt8[2] = { 0, 0 };
+        int isaIdx = 0;
+        for (SimdIsa simd : { SimdIsa::Mmx, SimdIsa::Mom }) {
+            FetchPolicy pol = simd == SimdIsa::Mmx ? FetchPolicy::ICount
+                                                   : FetchPolicy::OCount;
+            for (int threads : { 1, 2, 4, 8 }) {
+                double vi = sink.headlineAt(simd, threads,
+                                            MemModel::Perfect, pol);
+                double vc = sink.headlineAt(simd, threads,
+                                            MemModel::Conventional, pol);
+                double vd = sink.headlineAt(simd, threads,
+                                            MemModel::Decoupled, pol);
+                if (simd == SimdIsa::Mmx && threads == 1)
+                    mmxBaseline = vc;
+                best[isaIdx] = std::max(best[isaIdx], std::max(vc, vd));
+                if (threads == 8) {
+                    idealAt8[isaIdx] = vi;
+                    decoupAt8[isaIdx] = vd;
+                }
+                std::printf("%-6s %-8d | %8.2f %8.2f %8.2f | -%.0f%%\n",
+                            toString(simd), threads, vi, vc, vd,
+                            100 * (1 - vd / vi));
             }
-            std::printf("%-6s %-8d | %8.2f %8.2f %8.2f | -%.0f%%\n",
-                        toString(simd), threads, vi, vc, vd,
-                        100 * (1 - vd / vi));
+            ++isaIdx;
         }
-        ++isaIdx;
-    }
-    std::printf("----------------------------------------------------------"
-                "--\n");
-    std::printf("8-thread decoupled vs ideal (paper ~-30%% MMX, ~-15%% "
-                "MOM): MMX -%.0f%%, MOM -%.0f%%\n",
-                100 * (1 - decoupAt8[0] / idealAt8[0]),
-                100 * (1 - decoupAt8[1] / idealAt8[1]));
-    std::printf("\nHeadline speedups vs 1-thread MMX with real memory "
-                "(paper: 2.1x MMX, 3.3x MOM):\n");
-    std::printf("  SMT+MMX: %.2fx    SMT+MOM: %.2fx\n",
-                best[0] / mmxBaseline, best[1] / mmxBaseline);
+        std::printf("------------------------------------------------------"
+                    "------\n");
+        std::printf("8-thread decoupled vs ideal (paper ~-30%% MMX, "
+                    "~-15%% MOM): MMX -%.0f%%, MOM -%.0f%%\n",
+                    100 * (1 - decoupAt8[0] / idealAt8[0]),
+                    100 * (1 - decoupAt8[1] / idealAt8[1]));
+        std::printf("\nHeadline speedups vs 1-thread MMX with real memory "
+                    "(paper: 2.1x MMX, 3.3x MOM):\n");
+        std::printf("  SMT+MMX: %.2fx    SMT+MOM: %.2fx\n",
+                    best[0] / mmxBaseline, best[1] / mmxBaseline);
+    });
     return 0;
 }

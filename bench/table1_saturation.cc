@@ -58,41 +58,45 @@ main(int argc, char **argv)
         .variants({ windowVariant(kWindows[0]), windowVariant(kWindows[1]),
                     windowVariant(kWindows[2]),
                     windowVariant(kWindows[3]) });
-    ResultSink sink = bench.run(grid);
+    ResultSink all = bench.run(grid);
 
     std::printf("Table 1: near-saturation sizing per thread count "
                 "(ideal memory, MMX)\n");
-    std::printf("%-8s | %-28s | shipped preset\n", "threads",
-                "window/thread sweep (IPC)");
-    std::printf("------------------------------------------------------------"
-                "--------\n");
+    bench.perWorkload(all, [](const ResultSink &sink,
+                              const std::string &) {
+        std::printf("%-8s | %-28s | shipped preset\n", "threads",
+                    "window/thread sweep (IPC)");
+        std::printf("--------------------------------------------------------"
+                    "------------\n");
 
-    for (int threads : { 1, 2, 4, 8 }) {
-        double ipcAt[4];
-        for (int i = 0; i < 4; ++i) {
-            ipcAt[i] = sink.headlineAt(SimdIsa::Mmx, threads,
-                                       MemModel::Perfect,
-                                       FetchPolicy::RoundRobin,
-                                       strfmt("win%d", kWindows[i]));
-        }
-        int sat = 3;
-        for (int i = 0; i < 4; ++i) {
-            if (ipcAt[i] >= 0.98 * ipcAt[3]) {
-                sat = i;
-                break;
+        for (int threads : { 1, 2, 4, 8 }) {
+            double ipcAt[4];
+            for (int i = 0; i < 4; ++i) {
+                ipcAt[i] = sink.headlineAt(SimdIsa::Mmx, threads,
+                                           MemModel::Perfect,
+                                           FetchPolicy::RoundRobin,
+                                           strfmt("win%d", kWindows[i]));
             }
+            int sat = 3;
+            for (int i = 0; i < 4; ++i) {
+                if (ipcAt[i] >= 0.98 * ipcAt[3]) {
+                    sat = i;
+                    break;
+                }
+            }
+            CoreConfig preset = CoreConfig::preset(threads, SimdIsa::Mmx);
+            std::printf("%-8d | 16:%4.2f 32:%4.2f 64:%4.2f 96:%4.2f "
+                        "(sat @%2d) | win/thr=%d intPR=%d fpPR=%d "
+                        "simdPR=%d\n",
+                        threads, ipcAt[0], ipcAt[1], ipcAt[2], ipcAt[3],
+                        kWindows[sat], preset.windowPerThread,
+                        preset.intPhysRegs, preset.fpPhysRegs,
+                        preset.simdPhysRegs);
         }
-        CoreConfig preset = CoreConfig::preset(threads, SimdIsa::Mmx);
-        std::printf("%-8d | 16:%4.2f 32:%4.2f 64:%4.2f 96:%4.2f "
-                    "(sat @%2d) | win/thr=%d intPR=%d fpPR=%d simdPR=%d\n",
-                    threads, ipcAt[0], ipcAt[1], ipcAt[2], ipcAt[3],
-                    kWindows[sat], preset.windowPerThread,
-                    preset.intPhysRegs, preset.fpPhysRegs,
-                    preset.simdPhysRegs);
-    }
-    std::printf("------------------------------------------------------------"
-                "--------\n");
-    std::printf("(The shipped presets are the smallest near-saturation "
-                "points, the paper's criterion.)\n");
+        std::printf("--------------------------------------------------------"
+                    "------------\n");
+        std::printf("(The shipped presets are the smallest near-saturation "
+                    "points, the paper's criterion.)\n");
+    });
     return 0;
 }

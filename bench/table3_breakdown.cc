@@ -12,6 +12,7 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "driver/bench_harness.hh"
 
@@ -25,58 +26,67 @@ main(int argc, char **argv)
 {
     BenchHarness bench(argc, argv, "table3");
     bench.declareNoSweep();
-    MediaWorkload &wl = bench.workload();
 
-    // 16 independent trace walks (8 programs x 2 ISAs) on the pool.
-    constexpr int kN = MediaWorkload::kNumPrograms;
-    trace::MixSummary mixes[2][kN];
-    bench.pool().parallelFor(2 * kN, [&](size_t task) {
-        SimdIsa simd = task < kN ? SimdIsa::Mmx : SimdIsa::Mom;
-        int i = static_cast<int>(task % kN);
-        mixes[task < kN ? 0 : 1][i] = wl.program(simd, i).mix();
+    // One table per --workload selection (a single one by default).
+    bench.perWorkload([&](const MediaWorkload &wl, const std::string &) {
+
+        // Independent trace walks (each program x 2 ISAs) on the pool.
+        const size_t kN = static_cast<size_t>(wl.numPrograms());
+        std::vector<trace::MixSummary> mixes[2];
+        mixes[0].resize(kN);
+        mixes[1].resize(kN);
+        bench.pool().parallelFor(2 * kN, [&](size_t task) {
+            SimdIsa simd = task < kN ? SimdIsa::Mmx : SimdIsa::Mom;
+            int i = static_cast<int>(task % kN);
+            mixes[task < kN ? 0 : 1][static_cast<size_t>(i)] =
+                wl.program(simd, i).mix();
+        });
+
+        std::printf("Table 3: instruction breakdown (%%) and equivalent "
+                    "instruction count (Kinst; mix: %s)\n",
+                    wl.specName().c_str());
+        std::printf("%-10s | %22s | %22s | ratio\n", "",
+                    "MMX  int/fp/simd/mem", "MOM  int/fp/simd/mem");
+        std::printf("%-10s | %22s | %22s | MOM/MMX\n", "benchmark",
+                    "and Kinst", "and Kinst");
+        std::printf("----------------------------------------------------"
+                    "---------------------------\n");
+
+        uint64_t totMmx = 0, totMom = 0;
+        double mmxIntW = 0, mmxSimdW = 0;
+        for (size_t i = 0; i < kN; ++i) {
+            const auto &mmx = mixes[0][i];
+            const auto &mom = mixes[1][i];
+            totMmx += mmx.eqInsts;
+            totMom += mom.eqInsts;
+            mmxIntW += mmx.intPct() * static_cast<double>(mmx.eqInsts);
+            mmxSimdW += mmx.simdPct() * static_cast<double>(mmx.eqInsts);
+            std::printf("%-10s | %4.1f/%4.1f/%4.1f/%4.1f %6.0fK "
+                        "| %4.1f/%4.1f/%4.1f/%4.1f %6.0fK | %.2f\n",
+                        wl.name(static_cast<int>(i)).c_str(),
+                        100 * mmx.intPct(), 100 * mmx.fpPct(),
+                        100 * mmx.simdPct(), 100 * mmx.memPct(),
+                        static_cast<double>(mmx.eqInsts) / 1000.0,
+                        100 * mom.intPct(), 100 * mom.fpPct(),
+                        100 * mom.simdPct(), 100 * mom.memPct(),
+                        static_cast<double>(mom.eqInsts) / 1000.0,
+                        static_cast<double>(mom.eqInsts) /
+                            static_cast<double>(mmx.eqInsts));
+        }
+        std::printf("----------------------------------------------------"
+                    "---------------------------\n");
+        std::printf("%-10s | total %10.0fK        | total %10.0fK        "
+                    "| %.2f\n", "all",
+                    static_cast<double>(totMmx) / 1000.0,
+                    static_cast<double>(totMom) / 1000.0,
+                    static_cast<double>(totMom) /
+                        static_cast<double>(totMmx));
+        std::printf("\nMMX weighted integer share: %.1f%% (paper: ~62%%); "
+                    "SIMD share: %.1f%% (paper: ~16%%)\n",
+                    100 * mmxIntW / static_cast<double>(totMmx),
+                    100 * mmxSimdW / static_cast<double>(totMmx));
+        std::printf("Paper totals: 1429 vs 1087 Minst => MOM/MMX = "
+                    "0.76\n");
     });
-
-    std::printf("Table 3: instruction breakdown (%%) and equivalent "
-                "instruction count (Kinst)\n");
-    std::printf("%-10s | %22s | %22s | ratio\n", "",
-                "MMX  int/fp/simd/mem", "MOM  int/fp/simd/mem");
-    std::printf("%-10s | %22s | %22s | MOM/MMX\n", "benchmark",
-                "and Kinst", "and Kinst");
-    std::printf("--------------------------------------------------------"
-                "-----------------------\n");
-
-    uint64_t totMmx = 0, totMom = 0;
-    double mmxIntW = 0, mmxSimdW = 0;
-    for (int i = 0; i < kN; ++i) {
-        const auto &mmx = mixes[0][i];
-        const auto &mom = mixes[1][i];
-        totMmx += mmx.eqInsts;
-        totMom += mom.eqInsts;
-        mmxIntW += mmx.intPct() * static_cast<double>(mmx.eqInsts);
-        mmxSimdW += mmx.simdPct() * static_cast<double>(mmx.eqInsts);
-        std::printf("%-10s | %4.1f/%4.1f/%4.1f/%4.1f %6.0fK "
-                    "| %4.1f/%4.1f/%4.1f/%4.1f %6.0fK | %.2f\n",
-                    wl.name(i).c_str(),
-                    100 * mmx.intPct(), 100 * mmx.fpPct(),
-                    100 * mmx.simdPct(), 100 * mmx.memPct(),
-                    static_cast<double>(mmx.eqInsts) / 1000.0,
-                    100 * mom.intPct(), 100 * mom.fpPct(),
-                    100 * mom.simdPct(), 100 * mom.memPct(),
-                    static_cast<double>(mom.eqInsts) / 1000.0,
-                    static_cast<double>(mom.eqInsts) /
-                        static_cast<double>(mmx.eqInsts));
-    }
-    std::printf("--------------------------------------------------------"
-                "-----------------------\n");
-    std::printf("%-10s | total %10.0fK        | total %10.0fK        "
-                "| %.2f\n", "all",
-                static_cast<double>(totMmx) / 1000.0,
-                static_cast<double>(totMom) / 1000.0,
-                static_cast<double>(totMom) / static_cast<double>(totMmx));
-    std::printf("\nMMX weighted integer share: %.1f%% (paper: ~62%%); "
-                "SIMD share: %.1f%% (paper: ~16%%)\n",
-                100 * mmxIntW / static_cast<double>(totMmx),
-                100 * mmxSimdW / static_cast<double>(totMmx));
-    std::printf("Paper totals: 1429 vs 1087 Minst => MOM/MMX = 0.76\n");
     return 0;
 }

@@ -1,0 +1,147 @@
+# The workload-axis acceptance gate, in three parts:
+#
+#  (a) two workload specs in one grid produce per-workload-distinct
+#      fingerprints in the plan and per-workload rows in the CSV;
+#  (b) a warm --cache-dir re-run of the multi-workload sweep simulates
+#      zero points and reproduces the cold run's stdout byte for byte;
+#  (c) `--workload paper` is byte-identical to the flagless default
+#      (the pre-redesign behaviour) for fig6.
+#
+# Usage: cmake -DMIXBENCH=<path> -DFIG6=<path> -DWORKDIR=<dir>
+#              -P WorkloadAxis.cmake
+
+if(NOT MIXBENCH OR NOT FIG6)
+  message(FATAL_ERROR "MIXBENCH and FIG6 must be set")
+endif()
+if(NOT WORKDIR)
+  set(WORKDIR ${CMAKE_CURRENT_BINARY_DIR})
+endif()
+
+set(dir ${WORKDIR}/workload_axis)
+file(REMOVE_RECURSE ${dir})
+file(MAKE_DIRECTORY ${dir})
+
+set(mixargs --quick --jobs 2 --workload paper,gsmx8)
+
+# ---- (a) distinct fingerprints in the plan --------------------------------
+execute_process(
+  COMMAND ${MIXBENCH} ${mixargs} --dry-run
+  OUTPUT_FILE ${dir}/plan.out
+  ERROR_FILE ${dir}/plan.err
+  RESULT_VARIABLE rc
+)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "dry-run exited with ${rc}")
+endif()
+file(READ ${dir}/plan.out plan)
+string(REGEX MATCH "workload paper: fingerprint=([0-9a-f]+)" _ "${plan}")
+set(fp_paper ${CMAKE_MATCH_1})
+string(REGEX MATCH "workload gsmx8: fingerprint=([0-9a-f]+)" _ "${plan}")
+set(fp_gsm ${CMAKE_MATCH_1})
+if(NOT fp_paper OR NOT fp_gsm)
+  message(FATAL_ERROR
+          "plan is missing per-workload fingerprints (see ${dir}/plan.out)")
+endif()
+if(fp_paper STREQUAL fp_gsm)
+  message(FATAL_ERROR
+          "paper and gsmx8 report the same fingerprint ${fp_paper}")
+endif()
+
+# ---- (b) cold run, then a byte-identical zero-simulation warm run ---------
+execute_process(
+  COMMAND ${MIXBENCH} ${mixargs} --cache-dir ${dir}/store
+          --csv ${dir}/cold.csv
+  OUTPUT_FILE ${dir}/cold.out
+  ERROR_FILE ${dir}/cold.err
+  RESULT_VARIABLE rc
+)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "cold run exited with ${rc}")
+endif()
+file(READ ${dir}/cold.err cold_err)
+string(FIND "${cold_err}" " simulated=0 " cold_pos)
+if(NOT cold_pos EQUAL -1)
+  message(FATAL_ERROR
+          "the cold run claims it simulated nothing — the cache hit on "
+          "an empty store (see ${dir}/cold.err)")
+endif()
+
+# Per-workload rows: ids are workload-prefixed in the CSV.
+file(READ ${dir}/cold.csv csv)
+foreach(prefix "\npaper/" "\ngsmx8/")
+  string(FIND "${csv}" "${prefix}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR
+            "CSV has no rows for workload '${prefix}' (see ${dir}/cold.csv)")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${MIXBENCH} ${mixargs} --cache-dir ${dir}/store
+          --csv ${dir}/warm.csv
+  OUTPUT_FILE ${dir}/warm.out
+  ERROR_FILE ${dir}/warm.err
+  RESULT_VARIABLE rc
+)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "warm run exited with ${rc}")
+endif()
+file(READ ${dir}/warm.err warm_err)
+string(FIND "${warm_err}" " simulated=0 " warm_pos)
+if(warm_pos EQUAL -1)
+  message(FATAL_ERROR
+          "the warm multi-workload run re-simulated points (see "
+          "${dir}/warm.err)")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${dir}/cold.out ${dir}/warm.out
+  RESULT_VARIABLE same
+)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR
+          "warm stdout differs from cold (diff ${dir}/cold.out "
+          "${dir}/warm.out)")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${dir}/cold.csv ${dir}/warm.csv
+  RESULT_VARIABLE same
+)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR
+          "warm CSV differs from cold (diff ${dir}/cold.csv "
+          "${dir}/warm.csv)")
+endif()
+
+# ---- (c) --workload paper == the flagless default (fig6) ------------------
+execute_process(
+  COMMAND ${FIG6} --quick --jobs 2
+  OUTPUT_FILE ${dir}/fig6_default.out
+  ERROR_FILE ${dir}/fig6_default.err
+  RESULT_VARIABLE rc
+)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "fig6 default run exited with ${rc}")
+endif()
+execute_process(
+  COMMAND ${FIG6} --quick --jobs 2 --workload paper
+  OUTPUT_FILE ${dir}/fig6_paper.out
+  ERROR_FILE ${dir}/fig6_paper.err
+  RESULT_VARIABLE rc
+)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "fig6 --workload paper exited with ${rc}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${dir}/fig6_default.out ${dir}/fig6_paper.out
+  RESULT_VARIABLE same
+)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR
+          "fig6 --workload paper output differs from the default run "
+          "(diff ${dir}/fig6_default.out ${dir}/fig6_paper.out)")
+endif()
+
+message(STATUS "workload_axis: fingerprints distinct, warm re-run "
+               "byte-identical with zero simulations, --workload paper "
+               "matches the default")

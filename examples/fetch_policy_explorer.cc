@@ -106,7 +106,9 @@ main(int argc, char **argv)
             std::printf("(point assigned to another shard)\n");
             return 0;
         }
-        printRow(sink.rows()[0]);
+        // One row per selected --workload (a single one by default).
+        for (const ResultRow &r : sink.rows())
+            printRow(r);
         return 0;
     }
 
@@ -117,15 +119,18 @@ main(int argc, char **argv)
         .memModels({ mem::MemModel::Decoupled })
         .policies({ cpu::FetchPolicy::RoundRobin, cpu::FetchPolicy::ICount,
                     cpu::FetchPolicy::OCount, cpu::FetchPolicy::Balance });
-    ResultSink sink = bench.run(grid);
-    for (const ResultRow &r : sink.rows())
-        printRow(r);
+    ResultSink all = bench.run(grid);
+    bench.perWorkload(all, [](const ResultSink &sink,
+                              const std::string &) {
+        for (const ResultRow &r : sink.rows())
+            printRow(r);
 
-    std::vector<double> headlines;
-    for (const ResultRow &r : sink.rows())
-        headlines.push_back(r.headline);
-    std::printf("geomean %s across policies: %.2f\n",
-                ResultSink::headlineName(isa::SimdIsa::Mom),
-                ResultSink::geomean(headlines));
+        std::vector<double> headlines;
+        for (const ResultRow &r : sink.rows())
+            headlines.push_back(r.headline);
+        std::printf("geomean %s across policies: %.2f\n",
+                    ResultSink::headlineName(isa::SimdIsa::Mom),
+                    ResultSink::geomean(headlines));
+    });
     return 0;
 }

@@ -5,7 +5,8 @@
  * the hardware contexts; whenever a program completes, the next one from
  * the list starts in that context (wrapping around), so the machine never
  * runs below its context count; the run ends when as many program
- * completions as list entries (8) have been observed.
+ * completions as list entries have been observed (8 for the paper's
+ * Table-2 mix; workload specs of any rotation size run the same way).
  *
  * Metrics: IPC counts committed equivalent instructions per cycle; EIPC
  * converts MOM work into MMX-equivalent instructions ("the IPC a SMT+MMX

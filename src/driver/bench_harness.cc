@@ -1,11 +1,13 @@
 #include "driver/bench_harness.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
 #include "common/logging.hh"
 #include "driver/result_store.hh"
+#include "workloads/workload_spec.hh"
 
 namespace momsim::driver
 {
@@ -18,6 +20,7 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [--jobs N] [--quick] [--seed S]\n"
+                 "          [--workload NAME[,NAME...]] [--list-workloads]\n"
                  "          [--csv PATH] [--json PATH]\n"
                  "          [--cache-dir DIR] [--shard I/N]\n"
                  "          [--merge FILE[,FILE...]] [--dry-run]\n",
@@ -25,28 +28,40 @@ usage(const char *argv0)
     std::exit(2);
 }
 
-const char *
-argValue(int argc, char **argv, int &i)
+/** Split a comma-separated list, dropping empty segments. */
+void
+splitCommaList(const std::string &v, std::vector<std::string> &out)
 {
-    if (i + 1 >= argc)
-        usage(argv[0]);
-    return argv[++i];
+    size_t start = 0;
+    while (start <= v.size()) {
+        size_t comma = v.find(',', start);
+        if (comma == std::string::npos)
+            comma = v.size();
+        if (comma > start)
+            out.push_back(v.substr(start, comma - start));
+        start = comma + 1;
+    }
 }
 
 void
 printPlan(const RunPlan &plan, const std::string &name,
-          uint64_t fingerprint)
+          const std::vector<std::string> &workloadNames,
+          workloads::WorkloadRepo &repo)
 {
     std::printf("plan %s: total=%zu shard=%d/%d cached=%zu simulated=%zu "
-                "foreign=%zu fingerprint=%016llx schema=v%d\n",
+                "foreign=%zu schema=v%d\n",
                 name.c_str(), plan.points.size(), plan.shardIndex + 1,
                 plan.shardCount, plan.cachedMineCount(),
                 plan.simulateCount(),
                 plan.points.size() - plan.mineCount(),
-                static_cast<unsigned long long>(fingerprint),
                 kResultSchemaVersion);
+    for (const std::string &wl : workloadNames)
+        std::printf("  workload %s: fingerprint=%016llx programs=%d\n",
+                    wl.c_str(),
+                    static_cast<unsigned long long>(repo.fingerprintOf(wl)),
+                    repo.get(wl)->numPrograms());
     for (const PlannedPoint &p : plan.points)
-        std::printf("  %-44s shard=%d/%d cost=%.2f %s\n",
+        std::printf("  %-52s shard=%d/%d cost=%.2f %s\n",
                     p.spec.id.c_str(), p.shard + 1, plan.shardCount,
                     p.cost, p.cached ? "cached" : "miss");
 }
@@ -63,70 +78,150 @@ BenchOptions::takesValue(const char *flag)
            std::strcmp(flag, "--json") == 0 ||
            std::strcmp(flag, "--cache-dir") == 0 ||
            std::strcmp(flag, "--shard") == 0 ||
-           std::strcmp(flag, "--merge") == 0;
+           std::strcmp(flag, "--merge") == 0 ||
+           std::strcmp(flag, "--workload") == 0;
 }
 
-BenchOptions
-BenchOptions::parse(int argc, char **argv)
+bool
+BenchOptions::parseInto(int argc, char **argv, BenchOptions &out,
+                        std::string &error)
 {
     BenchOptions opts;
+    auto value = [&](int &i, const char **v) {
+        if (i + 1 >= argc) {
+            error = strfmt("%s expects a value", argv[i]);
+            return false;
+        }
+        *v = argv[++i];
+        return true;
+    };
+
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
+        const char *v = nullptr;
         if (std::strcmp(arg, "--jobs") == 0 ||
             std::strcmp(arg, "-j") == 0) {
-            opts.jobs = std::atoi(argValue(argc, argv, i));
-            if (opts.jobs < 1)
-                usage(argv[0]);
+            if (!value(i, &v))
+                return false;
+            opts.jobs = std::atoi(v);
+            if (opts.jobs < 1) {
+                error = strfmt("bad --jobs '%s' (want an integer >= 1)", v);
+                return false;
+            }
         } else if (std::strcmp(arg, "--quick") == 0) {
             opts.quick = true;
         } else if (std::strcmp(arg, "--seed") == 0) {
-            opts.baseSeed = std::strtoull(argValue(argc, argv, i),
-                                          nullptr, 0);
+            if (!value(i, &v))
+                return false;
+            opts.baseSeed = std::strtoull(v, nullptr, 0);
         } else if (std::strcmp(arg, "--csv") == 0) {
-            opts.csvPath = argValue(argc, argv, i);
+            if (!value(i, &v))
+                return false;
+            opts.csvPath = v;
         } else if (std::strcmp(arg, "--json") == 0) {
-            opts.jsonPath = argValue(argc, argv, i);
+            if (!value(i, &v))
+                return false;
+            opts.jsonPath = v;
         } else if (std::strcmp(arg, "--cache-dir") == 0) {
-            opts.cacheDir = argValue(argc, argv, i);
+            if (!value(i, &v))
+                return false;
+            opts.cacheDir = v;
         } else if (std::strcmp(arg, "--shard") == 0) {
-            const char *v = argValue(argc, argv, i);
+            if (!value(i, &v))
+                return false;
             int consumed = 0;
             if (std::sscanf(v, "%d/%d%n", &opts.shardIndex,
                             &opts.shardCount, &consumed) != 2 ||
                 v[consumed] != '\0' ||  // trailing garbage: "1/3,2/3"
                 opts.shardCount < 1 || opts.shardIndex < 1 ||
                 opts.shardIndex > opts.shardCount) {
-                std::fprintf(stderr, "bad --shard '%s' (want I/N with "
-                                     "1 <= I <= N)\n", v);
-                usage(argv[0]);
+                error = strfmt("bad --shard '%s' (want I/N with "
+                               "1 <= I <= N)", v);
+                return false;
             }
         } else if (std::strcmp(arg, "--merge") == 0) {
-            std::string v = argValue(argc, argv, i);
-            size_t start = 0;
-            while (start <= v.size()) {
-                size_t comma = v.find(',', start);
-                if (comma == std::string::npos)
-                    comma = v.size();
-                if (comma > start)
-                    opts.mergePaths.push_back(
-                        v.substr(start, comma - start));
-                start = comma + 1;
+            if (!value(i, &v))
+                return false;
+            splitCommaList(v, opts.mergePaths);
+        } else if (std::strcmp(arg, "--workload") == 0) {
+            if (!value(i, &v))
+                return false;
+            std::vector<std::string> names;
+            splitCommaList(v, names);
+            if (names.empty()) {
+                error = strfmt("bad --workload '%s' (want "
+                               "NAME[,NAME...])", v);
+                return false;
             }
+            for (const std::string &name : names) {
+                if (!workloads::WorkloadSpec::isKnown(name)) {
+                    error = strfmt("unknown workload '%s' (see "
+                                   "--list-workloads)", name.c_str());
+                    return false;
+                }
+                // Dedup, keeping first-seen order: a repeated name
+                // would expand duplicate sweep points with identical
+                // ids, seeds and cache keys.
+                if (std::find(opts.workloads.begin(),
+                              opts.workloads.end(),
+                              name) == opts.workloads.end())
+                    opts.workloads.push_back(name);
+            }
+        } else if (std::strcmp(arg, "--list-workloads") == 0) {
+            opts.listWorkloads = true;
         } else if (std::strcmp(arg, "--dry-run") == 0) {
             opts.dryRun = true;
         } else if (std::strcmp(arg, "--help") == 0 ||
                    std::strcmp(arg, "-h") == 0) {
-            usage(argv[0]);
+            error = "";     // empty error: plain usage request
+            return false;
         } else {
-            std::fprintf(stderr, "unknown argument: %s\n", arg);
-            usage(argv[0]);
+            error = strfmt("unknown argument: %s", arg);
+            return false;
         }
+    }
+    out = std::move(opts);
+    return true;
+}
+
+BenchOptions
+BenchOptions::parse(int argc, char **argv)
+{
+    BenchOptions opts;
+    std::string error;
+    if (!parseInto(argc, argv, opts, error)) {
+        if (!error.empty())
+            std::fprintf(stderr, "%s\n", error.c_str());
+        usage(argv[0]);
+    }
+    if (opts.listWorkloads) {
+        std::printf("workload registry (--workload NAME[,NAME...]):\n");
+        for (const workloads::WorkloadSpec &spec :
+             workloads::WorkloadSpec::registry()) {
+            std::string mix;
+            for (size_t i = 0; i < spec.slots.size(); ++i) {
+                if (i)
+                    mix += " ";
+                mix += workloads::toString(spec.slots[i]);
+            }
+            std::printf("  %-14s %s\n                 [%s]\n",
+                        spec.name.c_str(), spec.description.c_str(),
+                        mix.c_str());
+        }
+        std::printf("  %-14s the paper mix repeated N times "
+                    "(2 <= N <= 8)\n", "paperxN");
+        std::exit(0);
     }
     return opts;
 }
 
 BenchHarness::BenchHarness(const BenchOptions &opts, std::string name)
-    : _opts(opts), _name(std::move(name)), _pool(opts.jobs)
+    : _opts(opts), _name(std::move(name)), _pool(opts.jobs),
+      _repo(opts.quick ? workloads::WorkloadScale::Tiny
+                       : workloads::WorkloadScale::Paper),
+      _workloadNames(opts.workloads.empty()
+                         ? std::vector<std::string> { "paper" }
+                         : opts.workloads)
 {}
 
 BenchHarness::~BenchHarness()
@@ -159,28 +254,11 @@ BenchHarness::declareNoSweep()
     }
 }
 
-workloads::MediaWorkload &
-BenchHarness::workload()
-{
-    if (!_workload) {
-        const char *scale = _opts.quick ? "tiny" : "paper";
-        std::fprintf(stderr, "[bench] building %s-scale workload "
-                             "(both ISAs)...\n", scale);
-        _workload = workloads::MediaWorkload::build(
-            _opts.quick ? workloads::WorkloadScale::Tiny
-                        : workloads::WorkloadScale::Paper);
-        std::fprintf(stderr, "[bench] workload ready\n");
-    }
-    return *_workload;
-}
-
 ExperimentRunner &
 BenchHarness::runner()
 {
-    if (!_runner) {
-        _runner =
-            std::make_unique<ExperimentRunner>(workload(), _pool);
-    }
+    if (!_runner)
+        _runner = std::make_unique<ExperimentRunner>(_repo, _pool);
     return *_runner;
 }
 
@@ -188,6 +266,13 @@ ResultSink
 BenchHarness::run(const SweepGrid &grid)
 {
     _ranSweep = true;
+
+    // Grids that pin their own workload axis (the mix-sensitivity
+    // bench) win; everything else sweeps the --workload selection.
+    SweepGrid g = grid;
+    if (!g.hasExplicitWorkloads())
+        g.workloadSpecs(_workloadNames);
+    _lastWorkloads = g.workloadList();
 
     ResultStore store;
     const bool persist = !_opts.cacheDir.empty();
@@ -198,13 +283,25 @@ BenchHarness::run(const SweepGrid &grid)
             fatal("cannot read --merge store " + path);
     }
 
-    const uint64_t fingerprint = workload().fingerprint();
-    RunPlan plan = planSweep(grid.expand(_opts.baseSeed), fingerprint,
-                             &store, _opts.shardIndex - 1,
-                             _opts.shardCount);
+    // Every workload of the grid participates in the plan keys, so all
+    // of them must exist before planning; distinct specs synthesize
+    // concurrently on the pool.
+    std::vector<std::string> toBuild = _repo.missing(_lastWorkloads);
+    if (!toBuild.empty()) {
+        std::fprintf(stderr, "[bench] building %zu workload(s) at %s "
+                             "scale (both ISAs)...\n", toBuild.size(),
+                     _opts.quick ? "tiny" : "paper");
+        _pool.parallelFor(toBuild.size(), [this, &toBuild](size_t i) {
+            _repo.get(toBuild[i]);
+        });
+        std::fprintf(stderr, "[bench] workloads ready\n");
+    }
+
+    RunPlan plan = planSweep(g.expand(_opts.baseSeed), _repo, &store,
+                             _opts.shardIndex - 1, _opts.shardCount);
 
     if (_opts.dryRun) {
-        printPlan(plan, _name, fingerprint);
+        printPlan(plan, _name, _lastWorkloads, _repo);
         std::exit(0);
     }
 

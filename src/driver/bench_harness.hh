@@ -6,6 +6,12 @@
  * Every bench accepts:
  *   --jobs N      worker threads for the sweep (default: all hardware)
  *   --quick       tiny workload scale, for smoke tests and CI
+ *   --workload W[,W...]
+ *                 registry workload specs to sweep as an axis (default:
+ *                 "paper", the Table-2 mix). Repeatable; benches that
+ *                 pin their own workload axis note so
+ *   --list-workloads
+ *                 print the workload registry and exit
  *   --csv PATH    write the raw sweep results as CSV
  *   --json PATH   write the raw sweep results as JSON
  *   --seed S      base of the identity-derived per-task seeds recorded
@@ -15,9 +21,10 @@
  *                 stochastic components inherit per-task
  *                 reproducibility
  *   --cache-dir D persist completed rows to D/results.jsonl, keyed by
- *                 (point id, workload fingerprint, schema version);
- *                 re-runs simulate only the keys that miss and splice
- *                 cached rows back so stdout stays byte-identical
+ *                 (point id, per-workload fingerprint, schema
+ *                 version); re-runs simulate only the keys that miss
+ *                 and splice cached rows back so stdout stays
+ *                 byte-identical
  *   --shard I/N   run only the I-th of N cost-weighted slices of the
  *                 sweep (I is 1-based); the slicing is deterministic,
  *                 so N processes with --cache-dir cover the sweep
@@ -26,18 +33,22 @@
  *                 every shard present the run simulates nothing and
  *                 reproduces the canonical unsharded output
  *   --dry-run     print the plan (ids, shard assignment, cache
- *                 hit/miss) and exit without simulating
+ *                 hit/miss, per-workload fingerprints) and exit without
+ *                 simulating
  *
- * The harness builds the workload once (lazily, at the scale --quick
- * selects), owns the thread pool, plans every sweep through the result
- * store (see result_store.hh), and hands benches an ExperimentRunner.
- * All harness chatter goes to stderr so stdout stays byte-comparable
- * across --jobs / --cache-dir / shard-and-merge settings.
+ * The harness owns a WorkloadRepo (at the scale --quick selects) that
+ * builds each selected workload lazily, once, sharing it across every
+ * sweep point; distinct workloads build concurrently on the pool. It
+ * plans every sweep through the result store (see result_store.hh)
+ * and hands benches an ExperimentRunner. All harness chatter goes to
+ * stderr so stdout stays byte-comparable across --jobs / --cache-dir /
+ * shard-and-merge settings.
  */
 
 #ifndef MOMSIM_DRIVER_BENCH_HARNESS_HH
 #define MOMSIM_DRIVER_BENCH_HARNESS_HH
 
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
@@ -52,6 +63,7 @@ struct BenchOptions
     int jobs = 0;               ///< 0 => hardware concurrency
     bool quick = false;
     bool dryRun = false;
+    bool listWorkloads = false; ///< print the registry and exit
     uint64_t baseSeed = 0;
     int shardIndex = 1;         ///< 1-based, <= shardCount
     int shardCount = 1;
@@ -59,9 +71,24 @@ struct BenchOptions
     std::string jsonPath;
     std::string cacheDir;
     std::vector<std::string> mergePaths;
+    /** --workload selections; empty means the default ("paper"). */
+    std::vector<std::string> workloads;
 
-    /** Parse argv; exits with a usage message on unknown flags. */
+    /**
+     * Parse argv. On any problem (unknown flag, missing value, bad
+     * --shard, unknown workload) prints a one-line error plus usage
+     * and exits nonzero; --list-workloads prints the registry and
+     * exits 0.
+     */
     static BenchOptions parse(int argc, char **argv);
+
+    /**
+     * Non-exiting core of parse(): fills @p out, or returns false with
+     * a one-line description in @p error. Exists so argument handling
+     * is unit-testable without forking.
+     */
+    static bool parseInto(int argc, char **argv, BenchOptions &out,
+                          std::string &error);
 
     /**
      * True if @p flag is a harness flag that consumes the following
@@ -85,8 +112,18 @@ class BenchHarness
     bool quick() const { return _opts.quick; }
     const std::string &name() const { return _name; }
 
-    /** Paper scale normally, Tiny under --quick; built once, lazily. */
-    workloads::MediaWorkload &workload();
+    /**
+     * The user's --workload selection (default: {"paper"}). Benches
+     * with no sweep stage iterate this; sweeping benches get it folded
+     * into their grid by run().
+     */
+    const std::vector<std::string> &workloadNames() const
+    {
+        return _workloadNames;
+    }
+
+    /** The workload cache (Paper scale normally, Tiny under --quick). */
+    workloads::WorkloadRepo &repo() { return _repo; }
 
     ThreadPool &pool() { return _pool; }
     ExperimentRunner &runner();
@@ -95,8 +132,43 @@ class BenchHarness
      * Plan the grid (cache lookups, shard assignment), honour
      * --dry-run, execute via the planned runner path, then honour any
      * --csv/--json request and report plan + sweep cost on stderr.
+     * Grids that left the workload axis unset sweep the --workload
+     * selection.
      */
     ResultSink run(const SweepGrid &grid);
+
+    /**
+     * Invoke @p fn(sub-sink, name) once per workload of the last run()
+     * grid, in axis order, printing a stdout section header between
+     * workloads when there is more than one — so single-workload runs
+     * keep the one-table output shape they always had.
+     */
+    template <typename Fn>
+    void
+    perWorkload(const ResultSink &sink, Fn &&fn)
+    {
+        const std::vector<std::string> &names =
+            _lastWorkloads.empty() ? _workloadNames : _lastWorkloads;
+        for (const std::string &name : names) {
+            sectionHeader(names, name);
+            fn(sink.filtered(name), name);
+        }
+    }
+
+    /**
+     * The no-sweep-bench variant (table2/table3): @p fn(workload,
+     * name) once per --workload selection, building each lazily, with
+     * the same section-header rule as above.
+     */
+    template <typename Fn>
+    void
+    perWorkload(Fn &&fn)
+    {
+        for (const std::string &name : _workloadNames) {
+            sectionHeader(_workloadNames, name);
+            fn(*_repo.get(name), name);
+        }
+    }
 
     /**
      * For benches with no sweep stage (table2/table3, which drive the
@@ -108,10 +180,21 @@ class BenchHarness
     void declareNoSweep();
 
   private:
+    /** One header per mix, only when the run spans more than one. */
+    static void
+    sectionHeader(const std::vector<std::string> &names,
+                  const std::string &name)
+    {
+        if (names.size() > 1)
+            std::printf("\n=== workload: %s ===\n", name.c_str());
+    }
+
     BenchOptions _opts;
     std::string _name;
     ThreadPool _pool;
-    std::unique_ptr<workloads::MediaWorkload> _workload;
+    workloads::WorkloadRepo _repo;
+    std::vector<std::string> _workloadNames;
+    std::vector<std::string> _lastWorkloads;    ///< last run() grid axis
     std::unique_ptr<ExperimentRunner> _runner;
     bool _ranSweep = false;
 };

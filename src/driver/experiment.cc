@@ -29,12 +29,27 @@ mixSeed(uint64_t base, const std::string &key)
 std::string
 ExperimentSpec::canonicalId() const
 {
-    std::string out = strfmt("%s/%dthr/%s/%s", isa::toString(simd), threads,
+    std::string out = strfmt("%s/%s/%dthr/%s/%s", workload.c_str(),
+                             isa::toString(simd), threads,
                              mem::toString(memModel),
                              cpu::toString(policy));
     if (!variant.empty())
         out += "/" + variant;
     return out;
+}
+
+SweepGrid &
+SweepGrid::workloadSpecs(std::vector<std::string> v)
+{
+    MOMSIM_ASSERT(!v.empty(), "workload axis cannot be empty");
+    for (size_t i = 0; i < v.size(); ++i)
+        for (size_t j = i + 1; j < v.size(); ++j)
+            MOMSIM_ASSERT(v[i] != v[j],
+                          "duplicate workload in the axis: repeated "
+                          "names expand identical ids and seeds");
+    _workloads = std::move(v);
+    _explicitWorkloads = true;
+    return *this;
 }
 
 SweepGrid &
@@ -91,8 +106,8 @@ size_t
 SweepGrid::size() const
 {
     size_t variants = _variants.empty() ? 1 : _variants.size();
-    return _isas.size() * _threads.size() * _mems.size() *
-           _policies.size() * variants;
+    return _workloads.size() * _isas.size() * _threads.size() *
+           _mems.size() * _policies.size() * variants;
 }
 
 std::vector<ExperimentSpec>
@@ -103,12 +118,14 @@ SweepGrid::expand(uint64_t baseSeed) const
     out.reserve(size());
     const std::vector<SweepVariant> &variants =
         _variants.empty() ? kNoVariant : _variants;
+    for (const std::string &workload : _workloads) {
     for (isa::SimdIsa simd : _isas) {
         for (int threads : _threads) {
             for (mem::MemModel memModel : _mems) {
                 for (cpu::FetchPolicy policy : _policies) {
                     for (const SweepVariant &variant : variants) {
                         ExperimentSpec spec;
+                        spec.workload = workload;
                         spec.simd = simd;
                         spec.threads = threads;
                         spec.memModel = memModel;
@@ -130,6 +147,7 @@ SweepGrid::expand(uint64_t baseSeed) const
             }
         }
     }
+    }
     return out;
 }
 
@@ -147,12 +165,15 @@ ExperimentRunner::runOne(const ExperimentSpec &spec) const
     if (spec.tweakMem)
         spec.tweakMem(memCfg);
 
+    std::shared_ptr<const workloads::MediaWorkload> workload =
+        _repo.get(spec.workload);
     core::Simulation sim(cfg, spec.memModel,
-                         _workload.rotation(spec.simd), memCfg);
+                         workload->rotation(spec.simd), memCfg);
     core::RunResult run = sim.run(spec.targetCompletions, spec.maxCycles);
 
     ResultRow row;
     row.id = spec.id.empty() ? spec.canonicalId() : spec.id;
+    row.workload = spec.workload;
     row.simd = spec.simd;
     row.threads = spec.threads;
     row.memModel = spec.memModel;
@@ -167,13 +188,36 @@ ExperimentRunner::runOne(const ExperimentSpec &spec) const
     return row;
 }
 
+void
+ExperimentRunner::prebuildWorkloads(const std::vector<std::string> &names)
+{
+    // Distinct missing specs synthesize concurrently on the pool;
+    // without this, the first sweep point for each workload would
+    // build it serially inside runOne.
+    std::vector<std::string> todo = _repo.missing(names);
+    _pool.parallelFor(todo.size(),
+                      [this, &todo](size_t i) { _repo.get(todo[i]); });
+}
+
 ResultSink
 ExperimentRunner::run(const std::vector<ExperimentSpec> &specs)
 {
+    std::vector<std::string> names;
+    names.reserve(specs.size());
+    for (const ExperimentSpec &spec : specs)
+        names.push_back(spec.workload);
+    prebuildWorkloads(names);
+
+    std::vector<double> costs(specs.size());
+    for (size_t i = 0; i < specs.size(); ++i)
+        costs[i] = specCost(specs[i],
+                            _repo.get(specs[i].workload)->numPrograms());
+
     std::vector<ResultRow> rows(specs.size());
-    _pool.parallelFor(specs.size(), [this, &specs, &rows](size_t i) {
-        rows[i] = runOne(specs[i]);
-    });
+    _pool.parallelFor(specs.size(), costs,
+                      [this, &specs, &rows](size_t i) {
+                          rows[i] = runOne(specs[i]);
+                      });
 
     ResultSink sink;
     for (ResultRow &row : rows)
@@ -191,11 +235,19 @@ ResultSink
 ExperimentRunner::run(const RunPlan &plan, ResultStore *store)
 {
     std::vector<size_t> todo;
+    std::vector<double> costs;
+    std::vector<std::string> names;
     for (size_t i = 0; i < plan.points.size(); ++i) {
         const PlannedPoint &p = plan.points[i];
-        if (p.shard == plan.shardIndex && !p.cached)
+        if (p.shard == plan.shardIndex && !p.cached) {
             todo.push_back(i);
+            costs.push_back(p.cost);
+            names.push_back(p.spec.workload);
+        }
     }
+    // Only the workloads this shard actually simulates are built; a
+    // fully-cached re-run synthesizes nothing at all.
+    prebuildWorkloads(names);
 
     // Persist each row the moment its simulation finishes (not after
     // the whole sweep): an interrupted multi-hour run then resumes
@@ -203,7 +255,7 @@ ExperimentRunner::run(const RunPlan &plan, ResultStore *store)
     // is not thread-safe, so puts serialize through a mutex.
     std::mutex storeMutex;
     std::vector<ResultRow> fresh(todo.size());
-    _pool.parallelFor(todo.size(),
+    _pool.parallelFor(todo.size(), costs,
                       [this, &plan, &todo, &fresh, store,
                        &storeMutex](size_t k) {
                           ResultRow row = runOne(plan.points[todo[k]].spec);

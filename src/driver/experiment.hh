@@ -4,13 +4,18 @@
  * space, executed by the work-stealing thread pool.
  *
  * The paper's figures and tables are all cartesian sweeps over the same
- * four axes — µ-SIMD extension, hardware thread count, memory hierarchy
- * and fetch policy — sometimes crossed with ad-hoc parameter variants
- * (Table 1's window sizes, the memory-system ablation). SweepGrid
- * captures that shape declaratively; ExperimentRunner executes every
- * point of the expansion concurrently and delivers the results in sweep
- * order, so a `--jobs 1` and a `--jobs N` run of the same grid are
- * indistinguishable byte for byte.
+ * axes — workload mix, µ-SIMD extension, hardware thread count, memory
+ * hierarchy and fetch policy — sometimes crossed with ad-hoc parameter
+ * variants (Table 1's window sizes, the memory-system ablation).
+ * SweepGrid captures that shape declaratively; ExperimentRunner
+ * executes every point of the expansion concurrently and delivers the
+ * results in sweep order, so a `--jobs 1` and a `--jobs N` run of the
+ * same grid are indistinguishable byte for byte.
+ *
+ * Workloads are a first-class axis: each spec names a registry
+ * workload ("paper" by default) and the runner resolves it through a
+ * shared WorkloadRepo, so one process can sweep several mixes while
+ * each mix is synthesized exactly once.
  *
  * Determinism contract: each expanded spec carries a seed derived only
  * from the grid's base seed and the spec's identity — never from the
@@ -30,7 +35,7 @@
 #include "driver/result_sink.hh"
 #include "driver/thread_pool.hh"
 #include "mem/hierarchy.hh"
-#include "workloads/media_workload.hh"
+#include "workloads/workload_repo.hh"
 
 namespace momsim::driver
 {
@@ -42,6 +47,7 @@ struct RunPlan;
 struct ExperimentSpec
 {
     std::string id;             ///< unique key; defaulted by SweepGrid
+    std::string workload = "paper";     ///< registry workload name
     isa::SimdIsa simd = isa::SimdIsa::Mmx;
     int threads = 1;
     mem::MemModel memModel = mem::MemModel::Conventional;
@@ -64,7 +70,7 @@ struct ExperimentSpec
     int targetCompletions = -1;
     uint64_t maxCycles = 400'000'000ull;
 
-    /** "isa/threads/mem/policy[/variant]" — stable lookup key. */
+    /** "workload/isa/threads/mem/policy[/variant]" — stable key. */
     std::string canonicalId() const;
 };
 
@@ -77,16 +83,31 @@ struct SweepVariant
 
 /**
  * Cartesian product builder. Unset axes default to a single element
- * (MMX, 1 thread, conventional memory, round-robin fetch, no variant).
+ * (the paper workload, MMX, 1 thread, conventional memory, round-robin
+ * fetch, no variant).
  */
 class SweepGrid
 {
   public:
+    /**
+     * The workload axis: registry names ("paper", "mpeg2x8", ...),
+     * swept outermost. Benches normally leave this unset and let
+     * BenchHarness fold in the user's --workload selection; setting it
+     * explicitly (the mix-sensitivity bench) pins the axis.
+     */
+    SweepGrid &workloadSpecs(std::vector<std::string> v);
     SweepGrid &isas(std::vector<isa::SimdIsa> v);
     SweepGrid &threadCounts(std::vector<int> v);
     SweepGrid &memModels(std::vector<mem::MemModel> v);
     SweepGrid &policies(std::vector<cpu::FetchPolicy> v);
     SweepGrid &variants(std::vector<SweepVariant> v);
+
+    /** True once workloadSpecs() was called. */
+    bool hasExplicitWorkloads() const { return _explicitWorkloads; }
+    const std::vector<std::string> &workloadList() const
+    {
+        return _workloads;
+    }
 
     /** Drop points matching @p pred (e.g. OCOUNT on an MMX machine). */
     SweepGrid &skip(std::function<bool(const ExperimentSpec &)> pred);
@@ -98,12 +119,15 @@ class SweepGrid
     size_t size() const;
 
     /**
-     * Expand to the spec list in axis-nesting order (isa outermost,
-     * variant innermost), with ids and per-task seeds filled in.
+     * Expand to the spec list in axis-nesting order (workload
+     * outermost, then isa, variant innermost), with ids and per-task
+     * seeds filled in.
      */
     std::vector<ExperimentSpec> expand(uint64_t baseSeed = 0) const;
 
   private:
+    std::vector<std::string> _workloads { "paper" };
+    bool _explicitWorkloads = false;
     std::vector<isa::SimdIsa> _isas { isa::SimdIsa::Mmx };
     std::vector<int> _threads { 1 };
     std::vector<mem::MemModel> _mems { mem::MemModel::Conventional };
@@ -115,15 +139,18 @@ class SweepGrid
 };
 
 /**
- * Executes spec lists over a shared (read-only) MediaWorkload using a
- * ThreadPool; every spec becomes one independent Simulation.
+ * Executes spec lists by resolving each spec's workload through a
+ * shared WorkloadRepo and running one independent Simulation per spec
+ * on a ThreadPool. Distinct workloads named by a spec list are built
+ * concurrently on the pool before the sweep proper starts; the sweep's
+ * pool deal is cost-ordered (specCost) so the expensive points start
+ * first and the tail stays short.
  */
 class ExperimentRunner
 {
   public:
-    ExperimentRunner(const workloads::MediaWorkload &workload,
-                     ThreadPool &pool)
-        : _workload(workload), _pool(pool)
+    ExperimentRunner(workloads::WorkloadRepo &repo, ThreadPool &pool)
+        : _repo(repo), _pool(pool)
     {}
 
     /** Run every spec; rows arrive in the sink in spec order. */
@@ -145,10 +172,13 @@ class ExperimentRunner
     ResultRow runOne(const ExperimentSpec &spec) const;
 
     ThreadPool &pool() { return _pool; }
-    const workloads::MediaWorkload &workload() const { return _workload; }
+    workloads::WorkloadRepo &repo() { return _repo; }
 
   private:
-    const workloads::MediaWorkload &_workload;
+    /** Build every distinct workload the specs name, on the pool. */
+    void prebuildWorkloads(const std::vector<std::string> &names);
+
+    workloads::WorkloadRepo &_repo;
     ThreadPool &_pool;
 };
 

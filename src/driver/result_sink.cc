@@ -68,6 +68,17 @@ jsonEscape(const std::string &s)
     return out;
 }
 
+ResultSink
+ResultSink::filtered(const std::string &workload) const
+{
+    ResultSink out;
+    for (const ResultRow &r : _rows) {
+        if (r.workload == workload)
+            out.append(r);
+    }
+    return out;
+}
+
 const ResultRow *
 ResultSink::find(isa::SimdIsa simd, int threads, mem::MemModel memModel,
                  cpu::FetchPolicy policy, const std::string &variant) const
@@ -104,11 +115,14 @@ std::string
 ResultSink::toCsv() const
 {
     std::string out =
-        "id,isa,threads,mem,policy,variant,seed,cycles,committed_eq,"
-        "ipc,eipc,headline,l1_hit_rate,icache_hit_rate,l1_avg_latency,"
-        "mispredicts,cond_branches,completions,hit_cycle_limit\n";
+        "id,workload,isa,threads,mem,policy,variant,seed,cycles,"
+        "committed_eq,ipc,eipc,headline,l1_hit_rate,icache_hit_rate,"
+        "l1_avg_latency,mispredicts,cond_branches,completions,"
+        "hit_cycle_limit\n";
     for (const ResultRow &r : _rows) {
         out += csvField(r.id);
+        out += ",";
+        out += csvField(r.workload);
         out += strfmt(",%s,%d,%s,%s,", isa::toString(r.simd), r.threads,
                       mem::toString(r.memModel), cpu::toString(r.policy));
         out += csvField(r.variant);
@@ -135,6 +149,8 @@ ResultSink::toJson() const
         const ResultRow &r = _rows[i];
         out += "  {";
         out += strfmt("\"id\":\"%s\",", jsonEscape(r.id).c_str());
+        out += strfmt("\"workload\":\"%s\",",
+                      jsonEscape(r.workload).c_str());
         out += strfmt("\"isa\":\"%s\",\"threads\":%d,",
                       isa::toString(r.simd), r.threads);
         out += strfmt("\"mem\":\"%s\",\"policy\":\"%s\",",

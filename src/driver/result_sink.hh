@@ -39,6 +39,7 @@ std::string jsonEscape(const std::string &s);
 struct ResultRow
 {
     std::string id;
+    std::string workload = "paper";     ///< registry workload name
     isa::SimdIsa simd = isa::SimdIsa::Mmx;
     int threads = 1;
     mem::MemModel memModel = mem::MemModel::Conventional;
@@ -59,6 +60,14 @@ class ResultSink
     const std::vector<ResultRow> &rows() const { return _rows; }
     size_t size() const { return _rows.size(); }
     bool empty() const { return _rows.empty(); }
+
+    /**
+     * Rows of one workload, in sweep order. Multi-workload sweeps
+     * filter before using the coordinate lookups below, which are
+     * workload-agnostic (they return the first row at the
+     * coordinates, whatever mix produced it).
+     */
+    ResultSink filtered(const std::string &workload) const;
 
     /** Row lookup by sweep coordinates; nullptr when absent/skipped. */
     const ResultRow *find(isa::SimdIsa simd, int threads,

@@ -131,10 +131,10 @@ toDouble(const std::string &tok, double &out)
 /** Bit positions of the required row fields, for presence checking. */
 enum RowField : uint32_t
 {
-    kFSchema, kFId, kFIsa, kFThreads, kFMem, kFPolicy, kFVariant,
-    kFSeed, kFCycles, kFCommittedEq, kFIpc, kFEipc, kFHeadline, kFL1Hit,
-    kFIcacheHit, kFL1Lat, kFMispredicts, kFCondBranches, kFCompletions,
-    kFHitCycleLimit,
+    kFSchema, kFId, kFWorkload, kFIsa, kFThreads, kFMem, kFPolicy,
+    kFVariant, kFSeed, kFCycles, kFCommittedEq, kFIpc, kFEipc, kFHeadline,
+    kFL1Hit, kFIcacheHit, kFL1Lat, kFMispredicts, kFCondBranches,
+    kFCompletions, kFHitCycleLimit,
     kFCount,
 };
 
@@ -144,6 +144,7 @@ serializeRowFields(const ResultRow &r)
     std::string out;
     out += strfmt("\"schema\":%d,", kResultSchemaVersion);
     out += "\"id\":\"" + jsonEscape(r.id) + "\",";
+    out += "\"workload\":\"" + jsonEscape(r.workload) + "\",";
     out += strfmt("\"isa\":\"%s\",\"threads\":%d,", isa::toString(r.simd),
                   r.threads);
     out += strfmt("\"mem\":\"%s\",\"policy\":\"%s\",",
@@ -250,6 +251,9 @@ parseStoreLine(const std::string &line, std::string &key, ResultRow &out)
             } else if (name == "id") {
                 row.id = v;
                 mark(kFId);
+            } else if (name == "workload") {
+                row.workload = v;
+                mark(kFWorkload);
             } else if (name == "isa") {
                 if (!isa::fromString(v.c_str(), row.simd))
                     return false;
@@ -431,13 +435,16 @@ resultCacheKey(const ExperimentSpec &spec, uint64_t workloadFingerprint)
 }
 
 double
-specCost(const ExperimentSpec &spec)
+specCost(const ExperimentSpec &spec, int workloadPrograms)
 {
     // Linear fit through cost(1thr)=1, cost(8thr)=4 (ROADMAP's measured
     // ratio for the sweep-aware-scheduling item).
     double cost = (4.0 + 3.0 * spec.threads) / 7.0;
     if (spec.memModel != mem::MemModel::Perfect)
         cost *= 1.5;
+    // One run is one pass over the rotation: a 16-program mix is ~2x
+    // the work of the 8-program paper mix at the same configuration.
+    cost *= static_cast<double>(workloadPrograms) / 8.0;
     return cost;
 }
 
@@ -570,8 +577,10 @@ RunPlan::simulateCount() const
 }
 
 RunPlan
-planSweep(std::vector<ExperimentSpec> specs, uint64_t workloadFingerprint,
-          const ResultStore *store, int shardIndex, int shardCount)
+planSweep(std::vector<ExperimentSpec> specs,
+          const WorkloadFingerprintFn &fingerprintOf,
+          const SpecCostFn &costOf, const ResultStore *store,
+          int shardIndex, int shardCount)
 {
     MOMSIM_ASSERT(shardCount >= 1 && shardIndex >= 0 &&
                       shardIndex < shardCount,
@@ -583,8 +592,8 @@ planSweep(std::vector<ExperimentSpec> specs, uint64_t workloadFingerprint,
     plan.points.reserve(specs.size());
     for (ExperimentSpec &spec : specs) {
         PlannedPoint p;
-        p.key = resultCacheKey(spec, workloadFingerprint);
-        p.cost = specCost(spec);
+        p.key = resultCacheKey(spec, fingerprintOf(spec.workload));
+        p.cost = costOf(spec);
         p.spec = std::move(spec);
         if (store) {
             if (const ResultRow *hit = store->lookup(p.key)) {
@@ -615,6 +624,21 @@ planSweep(std::vector<ExperimentSpec> specs, uint64_t workloadFingerprint,
         load[best] += plan.points[idx].cost;
     }
     return plan;
+}
+
+RunPlan
+planSweep(std::vector<ExperimentSpec> specs, workloads::WorkloadRepo &repo,
+          const ResultStore *store, int shardIndex, int shardCount)
+{
+    return planSweep(
+        std::move(specs),
+        [&repo](const std::string &name) {
+            return repo.fingerprintOf(name);
+        },
+        [&repo](const ExperimentSpec &spec) {
+            return specCost(spec, repo.get(spec.workload)->numPrograms());
+        },
+        store, shardIndex, shardCount);
 }
 
 } // namespace momsim::driver

@@ -40,8 +40,9 @@ namespace momsim::driver
  * field is added, removed or retyped; old stores then miss on every
  * lookup instead of replaying rows that lack the new data.
  * v2 = v1 (PR 1's row) + hit_cycle_limit.
+ * v3 = v2 + workload (the registry workload-spec name).
  */
-constexpr int kResultSchemaVersion = 2;
+constexpr int kResultSchemaVersion = 3;
 
 /**
  * Version of the simulator's *semantics*. Bump whenever a change to
@@ -82,12 +83,14 @@ std::string resultCacheKey(const ExperimentSpec &spec,
                            uint64_t workloadFingerprint);
 
 /**
- * Relative simulation cost of one point, used to deal shards evenly.
- * Calibrated to the ROADMAP observation that 8-thread configurations
- * cost ~4x the 1-thread ones; real-memory hierarchies add ~50% over
- * the perfect one.
+ * Relative simulation cost of one point, used to deal shards and the
+ * thread pool's initial batches evenly. Calibrated to the ROADMAP
+ * observation that 8-thread configurations cost ~4x the 1-thread
+ * ones; real-memory hierarchies add ~50% over the perfect one. A run
+ * is one pass over the rotation, so cost scales linearly with the
+ * workload's program count (@p workloadPrograms; 8 = the paper mix).
  */
-double specCost(const ExperimentSpec &spec);
+double specCost(const ExperimentSpec &spec, int workloadPrograms = 8);
 
 /**
  * Keyed row storage with optional JSON-lines persistence. openDir()
@@ -158,15 +161,33 @@ struct RunPlan
     size_t simulateCount() const;
 };
 
+/** Per-spec workload fingerprint source (name -> content hash). */
+using WorkloadFingerprintFn = std::function<uint64_t(const std::string &)>;
+/** Per-spec cost model override (tests inject constants). */
+using SpecCostFn = std::function<double(const ExperimentSpec &)>;
+
 /**
  * Key every spec, look it up in @p store (may be null), and deal the
  * points across @p shardCount shards cost-weighted (longest-processing-
  * time-first onto the least-loaded shard; ties break toward sweep
  * order and the lowest shard, so the assignment is deterministic and
  * identical in every shard process regardless of local cache state).
+ * Each spec is keyed with its own workload's fingerprint, so one plan
+ * spans several mixes and invalidation stays per-workload.
  */
 RunPlan planSweep(std::vector<ExperimentSpec> specs,
-                  uint64_t workloadFingerprint,
+                  const WorkloadFingerprintFn &fingerprintOf,
+                  const SpecCostFn &costOf,
+                  const ResultStore *store = nullptr, int shardIndex = 0,
+                  int shardCount = 1);
+
+/**
+ * The common case: fingerprints and program counts from @p repo
+ * (workloads build on first use — callers wanting concurrency prebuild
+ * via WorkloadRepo::missing + the pool first).
+ */
+RunPlan planSweep(std::vector<ExperimentSpec> specs,
+                  workloads::WorkloadRepo &repo,
                   const ResultStore *store = nullptr, int shardIndex = 0,
                   int shardCount = 1);
 

@@ -1,6 +1,7 @@
 #include "driver/thread_pool.hh"
 
 #include <algorithm>
+#include <numeric>
 
 #include "common/logging.hh"
 
@@ -39,6 +40,16 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &body)
 {
+    static const std::vector<double> kNoCosts;
+    parallelFor(n, kNoCosts, body);
+}
+
+void
+ThreadPool::parallelFor(size_t n, const std::vector<double> &costs,
+                        const std::function<void(size_t)> &body)
+{
+    MOMSIM_ASSERT(costs.empty() || costs.size() == n,
+                  "costs must be empty or one per index");
     if (n == 0)
         return;
 
@@ -56,17 +67,51 @@ ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &body)
         _remaining = n;
         _firstError = nullptr;
         _batchId += 1;
-        // Deal contiguous index blocks so neighbouring experiments
-        // (which tend to have similar cost) spread across workers.
-        size_t per = (n + static_cast<size_t>(_size) - 1) /
-                     static_cast<size_t>(_size);
-        size_t next = 0;
-        for (int w = 0; w < _size && next < n; ++w) {
-            std::lock_guard<std::mutex> qlock(_queues[w]->mutex);
-            size_t end = std::min(n, next + per);
-            for (size_t i = next; i < end; ++i)
-                _queues[w]->tasks.push_back(i);
-            next = end;
+        if (costs.empty()) {
+            // Deal contiguous index blocks so neighbouring experiments
+            // (which tend to have similar cost) spread across workers.
+            size_t per = (n + static_cast<size_t>(_size) - 1) /
+                         static_cast<size_t>(_size);
+            size_t next = 0;
+            for (int w = 0; w < _size && next < n; ++w) {
+                std::lock_guard<std::mutex> qlock(_queues[w]->mutex);
+                size_t end = std::min(n, next + per);
+                for (size_t i = next; i < end; ++i)
+                    _queues[w]->tasks.push_back(i);
+                next = end;
+            }
+        } else {
+            // LPT deal: heaviest index onto the least-loaded worker.
+            // stable_sort + lowest-worker tie-break keep the schedule a
+            // pure function of (n, costs, _size).
+            std::vector<size_t> order(n);
+            std::iota(order.begin(), order.end(), size_t { 0 });
+            std::stable_sort(order.begin(), order.end(),
+                             [&costs](size_t a, size_t b) {
+                                 return costs[a] > costs[b];
+                             });
+            std::vector<std::vector<size_t>> dealt(
+                static_cast<size_t>(_size));
+            std::vector<double> load(static_cast<size_t>(_size), 0.0);
+            for (size_t idx : order) {
+                size_t best = 0;
+                for (size_t w = 1; w < load.size(); ++w) {
+                    if (load[w] < load[best])
+                        best = w;
+                }
+                dealt[best].push_back(idx);
+                load[best] += costs[idx];
+            }
+            for (int w = 0; w < _size; ++w) {
+                std::lock_guard<std::mutex> qlock(_queues[w]->mutex);
+                // Owners pop LIFO from the back: push in reverse so
+                // each worker starts with its heaviest assignment
+                // (thieves then take the lightest from the front).
+                const std::vector<size_t> &mine =
+                    dealt[static_cast<size_t>(w)];
+                for (auto it = mine.rbegin(); it != mine.rend(); ++it)
+                    _queues[w]->tasks.push_back(*it);
+            }
         }
     }
     _wake.notify_all();

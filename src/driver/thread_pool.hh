@@ -4,12 +4,19 @@
  *
  * The pool exposes one primitive, parallelFor(n, body): run body(i) for
  * every index in [0, n) across the workers. Indices are dealt into
- * per-worker deques up front (contiguous blocks, deterministic); each
- * worker drains its own deque LIFO and, when empty, steals FIFO from a
- * victim so long-running tails are shared. Results must be written to
- * per-index slots by the caller, which makes the outcome independent of
- * the interleaving — the determinism contract the experiment runner
- * builds on.
+ * per-worker deques up front (deterministically); each worker drains
+ * its own deque LIFO and, when empty, steals FIFO from a victim so
+ * long-running tails are shared. Results must be written to per-index
+ * slots by the caller, which makes the outcome independent of the
+ * interleaving — the determinism contract the experiment runner builds
+ * on.
+ *
+ * The deal is cost-aware when the caller knows per-index costs (the
+ * sweep planner's specCost): indices are assigned longest-processing-
+ * time-first onto the least-loaded worker, and each worker starts with
+ * its heaviest index, so an expensive tail task is never the last one
+ * dealt. Without costs the deal is contiguous blocks. Either way the
+ * assignment depends only on (n, costs, pool size) — never on timing.
  *
  * A pool of size 1 never spawns a thread: parallelFor runs inline on
  * the caller, which gives an exact serial reference for `--jobs 1`
@@ -51,6 +58,16 @@ class ThreadPool
      * here after the batch drains. Not reentrant.
      */
     void parallelFor(size_t n, const std::function<void(size_t)> &body);
+
+    /**
+     * As above, but deal indices cost-weighted: @p costs[i] is the
+     * relative expense of body(i), and the initial assignment is LPT
+     * (heaviest first onto the least-loaded worker). @p costs must be
+     * empty (contiguous deal) or hold exactly n entries. The result is
+     * identical to the uncosted overload — only the schedule differs.
+     */
+    void parallelFor(size_t n, const std::vector<double> &costs,
+                     const std::function<void(size_t)> &body);
 
     /** The pool size used when the user does not pass --jobs. */
     static int defaultWorkers();

@@ -76,48 +76,161 @@ mixProgram(uint64_t h, const trace::Program &prog)
     return h;
 }
 
+bool
+isEncoder(ProgramKind kind)
+{
+    return kind == ProgramKind::Mpeg2Enc || kind == ProgramKind::GsmEnc ||
+           kind == ProgramKind::JpegEnc;
+}
+
+/**
+ * Per-ISA build state: codec bitstreams flow from encoder builds to
+ * decoder builds. When a recipe holds a decoder but not its encoder,
+ * the stream comes from a throwaway encoder build placed in a scratch
+ * slot past the rotation's end — deterministic, so the decoder trace
+ * (and the fingerprint) depends only on the spec.
+ */
+struct BuildStreams
+{
+    Mpeg2Bitstream video;
+    GsmStream gsm;
+    JpegStream jpeg;
+    bool haveVideo = false, haveGsm = false, haveJpeg = false;
+    int scratchSlot = 0;        ///< next scratch slot (starts at size)
+};
+
 } // namespace
 
 std::unique_ptr<MediaWorkload>
 MediaWorkload::build(WorkloadScale scale)
 {
-    auto wl = std::make_unique<MediaWorkload>();
-    ScaledConfigs cfg = configsFor(scale);
+    return build(WorkloadSpec::paper(scale));
+}
 
-    // Rotation order (Section 5.1). Slot -> benchmark:
-    //  0 mpeg2enc, 1 gsmdec, 2 mpeg2dec, 3 gsmenc,
-    //  4 jpegdec, 5 jpegenc, 6 mesa, 7 mpeg2dec (2nd instance)
-    wl->_names = { "mpeg2enc", "gsmdec", "mpeg2dec", "gsmenc",
-                   "jpegdec", "jpegenc", "mesa", "mpeg2dec2" };
+std::unique_ptr<MediaWorkload>
+MediaWorkload::build(const WorkloadSpec &spec)
+{
+    MOMSIM_ASSERT(!spec.slots.empty(), "workload spec has no slots");
+    auto wl = std::make_unique<MediaWorkload>();
+    ScaledConfigs cfg = configsFor(spec.scale);
+    const int n = static_cast<int>(spec.slots.size());
+
+    wl->_specName = spec.name;
+    wl->_kinds = spec.slots;
+
+    // Instance names: the base benchmark name, with an ordinal suffix
+    // from the second copy on (the paper's second MPEG-2 decoder is
+    // "mpeg2dec2"). firstSlot[i] is the slot a duplicate rebases from.
+    std::vector<int> firstSlot(static_cast<size_t>(n));
+    int copies[kNumProgramKinds] = {};
+    for (int i = 0; i < n; ++i) {
+        ProgramKind kind = spec.slots[static_cast<size_t>(i)];
+        int &count = copies[static_cast<int>(kind)];
+        count += 1;
+        std::string name = toString(kind);
+        if (count > 1)
+            name += strfmt("%d", count);
+        wl->_names.push_back(std::move(name));
+        firstSlot[static_cast<size_t>(i)] = i;
+        for (int j = 0; j < i; ++j) {
+            if (spec.slots[static_cast<size_t>(j)] == kind) {
+                firstSlot[static_cast<size_t>(i)] = j;
+                break;
+            }
+        }
+    }
 
     for (isa::SimdIsa simd : { isa::SimdIsa::Mmx, isa::SimdIsa::Mom }) {
         auto &arr = (simd == isa::SimdIsa::Mom) ? wl->_mom : wl->_mmx;
+        arr.resize(static_cast<size_t>(n));
+        BuildStreams st;
+        st.scratchSlot = n;
 
-        Mpeg2Bitstream videoStream;
-        arr[0] = buildMpeg2Encoder(simd, slotBase(0), cfg.video,
-                                   &videoStream);
+        // Pass 1: encoders at their first slots, producing the codec
+        // streams the decoder builds consume.
+        for (int i = 0; i < n; ++i) {
+            ProgramKind kind = spec.slots[static_cast<size_t>(i)];
+            if (firstSlot[static_cast<size_t>(i)] != i || !isEncoder(kind))
+                continue;
+            uint32_t base = slotBase(i);
+            if (kind == ProgramKind::Mpeg2Enc) {
+                arr[static_cast<size_t>(i)] =
+                    buildMpeg2Encoder(simd, base, cfg.video, &st.video);
+                st.haveVideo = true;
+            } else if (kind == ProgramKind::GsmEnc) {
+                arr[static_cast<size_t>(i)] =
+                    buildGsmEncoder(simd, base, cfg.gsm, &st.gsm);
+                st.haveGsm = true;
+            } else {
+                arr[static_cast<size_t>(i)] =
+                    buildJpegEncoder(simd, base, cfg.jpeg, &st.jpeg);
+                st.haveJpeg = true;
+            }
+        }
 
-        GsmStream gsmStream;
-        arr[3] = buildGsmEncoder(simd, slotBase(3), cfg.gsm, &gsmStream);
-        arr[1] = buildGsmDecoder(simd, slotBase(1), gsmStream);
+        // Pass 2: decoders and mesa at their first slots; streams still
+        // missing come from throwaway scratch-slot encoder builds.
+        for (int i = 0; i < n; ++i) {
+            ProgramKind kind = spec.slots[static_cast<size_t>(i)];
+            if (firstSlot[static_cast<size_t>(i)] != i || isEncoder(kind))
+                continue;
+            uint32_t base = slotBase(i);
+            switch (kind) {
+              case ProgramKind::Mpeg2Dec:
+                if (!st.haveVideo) {
+                    buildMpeg2Encoder(simd, slotBase(st.scratchSlot++),
+                                      cfg.video, &st.video);
+                    st.haveVideo = true;
+                }
+                arr[static_cast<size_t>(i)] =
+                    buildMpeg2Decoder(simd, base, st.video);
+                break;
+              case ProgramKind::GsmDec:
+                if (!st.haveGsm) {
+                    buildGsmEncoder(simd, slotBase(st.scratchSlot++),
+                                    cfg.gsm, &st.gsm);
+                    st.haveGsm = true;
+                }
+                arr[static_cast<size_t>(i)] =
+                    buildGsmDecoder(simd, base, st.gsm);
+                break;
+              case ProgramKind::JpegDec:
+                if (!st.haveJpeg) {
+                    buildJpegEncoder(simd, slotBase(st.scratchSlot++),
+                                     cfg.jpeg, &st.jpeg);
+                    st.haveJpeg = true;
+                }
+                arr[static_cast<size_t>(i)] =
+                    buildJpegDecoder(simd, base, st.jpeg);
+                break;
+              default:
+                arr[static_cast<size_t>(i)] =
+                    buildMesa(simd, base, cfg.mesa);
+                break;
+            }
+        }
 
-        arr[2] = buildMpeg2Decoder(simd, slotBase(2), videoStream);
-        arr[7] = arr[2].rebased(slotBase(7) - slotBase(2), "mpeg2dec2");
-
-        JpegStream jpegStream;
-        arr[5] = buildJpegEncoder(simd, slotBase(5), cfg.jpeg,
-                                  &jpegStream);
-        arr[4] = buildJpegDecoder(simd, slotBase(4), jpegStream);
-
-        arr[6] = buildMesa(simd, slotBase(6), cfg.mesa);
+        // Pass 3: duplicate slots share the first instance's synthesis,
+        // rebased into their own address space.
+        for (int i = 0; i < n; ++i) {
+            int first = firstSlot[static_cast<size_t>(i)];
+            if (first == i)
+                continue;
+            arr[static_cast<size_t>(i)] =
+                arr[static_cast<size_t>(first)].rebased(
+                    slotBase(i) - slotBase(first),
+                    wl->_names[static_cast<size_t>(i)]);
+        }
     }
 
-    // The EIPC weights are invariant once the traces exist; computing
-    // them here keeps rotation() — called once per experiment, possibly
-    // from many driver threads — free of O(trace-length) walks.
-    for (int i = 0; i < kNumPrograms; ++i)
-        wl->_mmxEq[static_cast<size_t>(i)] =
-            wl->_mmx[static_cast<size_t>(i)].mix().eqInsts;
+    // The equivalent-instruction counts are invariant once the traces
+    // exist; computing them here keeps rotation() — called once per
+    // experiment, possibly from many driver threads — free of
+    // O(trace-length) walks.
+    for (int i = 0; i < n; ++i) {
+        wl->_mmxEq.push_back(wl->_mmx[static_cast<size_t>(i)].mix().eqInsts);
+        wl->_momEq.push_back(wl->_mom[static_cast<size_t>(i)].mix().eqInsts);
+    }
 
     // Content fingerprint over both ISAs' traces (see fingerprint()).
     uint64_t h = kHashSeed;
@@ -132,8 +245,8 @@ std::vector<core::WorkloadProgram>
 MediaWorkload::rotation(isa::SimdIsa simd) const
 {
     std::vector<core::WorkloadProgram> rot;
-    rot.reserve(kNumPrograms);
-    for (int i = 0; i < kNumPrograms; ++i) {
+    rot.reserve(_names.size());
+    for (int i = 0; i < numPrograms(); ++i) {
         core::WorkloadProgram wp;
         wp.prog = &program(simd, i);
         wp.mmxEq = _mmxEq[static_cast<size_t>(i)];

@@ -1,46 +1,55 @@
 /**
  * @file
- * The paper's multiprogrammed workload (Table 2): eight program
- * instances approximating the MPEG-4 profiles, in the exact rotation
- * order of Section 5.1 — MPEG-2 encoder, GSM decoder, MPEG-2 decoder,
- * GSM encoder, JPEG decoder, JPEG encoder, mesa, and MPEG-2 decoder a
- * second time ("the most significant program is included twice").
+ * An immutable multiprogrammed workload built from a WorkloadSpec
+ * recipe: one program instance per rotation slot, in both ISAs, with
+ * the MMX equivalent-instruction counts that feed the EIPC metric for
+ * MOM runs.
  *
- * Every benchmark is built in both ISAs; the MMX equivalent-instruction
- * counts feed the EIPC metric for MOM runs.
+ * The default recipe is the paper's Table-2 mix (eight program
+ * instances approximating the MPEG-4 profiles, in the exact rotation
+ * order of Section 5.1 — "the most significant program is included
+ * twice"), but any registry spec builds the same way: duplicate slots
+ * share one synthesis and are rebased into their own address space,
+ * and decoder slots whose matching encoder is absent from the mix get
+ * their bitstream from a throwaway encoder build.
  */
 
 #ifndef MOMSIM_WORKLOADS_MEDIA_WORKLOAD_HH
 #define MOMSIM_WORKLOADS_MEDIA_WORKLOAD_HH
 
-#include <array>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/simulation.hh"
 #include "trace/program.hh"
+#include "workloads/workload_spec.hh"
 
 namespace momsim::workloads
 {
 
-/** How large the workload is built. */
-enum class WorkloadScale
-{
-    Tiny,       ///< unit/integration tests: seconds to build & run
-    Paper,      ///< bench runs: the full Table-2-shaped mix
-};
-
 class MediaWorkload
 {
   public:
+    /** Rotation size of the paper's Table-2 mix (the default spec). */
     static constexpr int kNumPrograms = 8;
 
-    /** Build every program of both ISAs at the given scale. */
+    /** Build every program of both ISAs for @p spec's recipe. */
+    static std::unique_ptr<MediaWorkload> build(const WorkloadSpec &spec);
+
+    /** The paper mix at the given scale (the pre-spec default). */
     static std::unique_ptr<MediaWorkload> build(WorkloadScale scale);
 
-    /** Program name in rotation slot @p i (paper order). */
+    /** The spec name this workload was built from ("paper", ...). */
+    const std::string &specName() const { return _specName; }
+
+    int numPrograms() const { return static_cast<int>(_names.size()); }
+
+    /** Program instance name in rotation slot @p i ("mpeg2dec2"). */
     const std::string &name(int i) const { return _names[static_cast<size_t>(i)]; }
+
+    /** Benchmark role filling rotation slot @p i. */
+    ProgramKind kind(int i) const { return _kinds[static_cast<size_t>(i)]; }
 
     const trace::Program &program(isa::SimdIsa simd, int i) const
     {
@@ -48,24 +57,36 @@ class MediaWorkload
         return arr[static_cast<size_t>(i)];
     }
 
-    /** The Section 5.1 rotation for a given ISA, with EIPC weights. */
+    /** Equivalent-instruction count of slot @p i under @p simd. */
+    uint64_t eqInsts(isa::SimdIsa simd, int i) const
+    {
+        const auto &eq = (simd == isa::SimdIsa::Mom) ? _momEq : _mmxEq;
+        return eq[static_cast<size_t>(i)];
+    }
+
+    /** The spec's rotation for a given ISA, with EIPC weights. */
     std::vector<core::WorkloadProgram> rotation(isa::SimdIsa simd) const;
 
     /**
      * Content hash over every program of both ISAs (names plus the full
      * dynamic instruction streams), computed once at build time. Any
-     * change to workload synthesis — scale, codec parameters, emitter
-     * fixes — changes the fingerprint, which is what keys persisted
-     * ResultRows so stale cached results can never be replayed.
+     * change to workload synthesis — recipe, scale, codec parameters,
+     * emitter fixes — changes the fingerprint, which is what keys
+     * persisted ResultRows so stale cached results can never be
+     * replayed. Deliberately content-only: two spec names with an
+     * identical recipe hash equal, so their cached rows are shared.
      */
     uint64_t fingerprint() const { return _fingerprint; }
 
   private:
-    std::array<trace::Program, kNumPrograms> _mmx;
-    std::array<trace::Program, kNumPrograms> _mom;
-    std::array<std::string, kNumPrograms> _names;
-    /** Cached MMX equivalent-instruction counts (the EIPC weights). */
-    std::array<uint64_t, kNumPrograms> _mmxEq {};
+    std::vector<trace::Program> _mmx;
+    std::vector<trace::Program> _mom;
+    std::vector<std::string> _names;
+    std::vector<ProgramKind> _kinds;
+    /** Cached equivalent-instruction counts (MMX ones = EIPC weights). */
+    std::vector<uint64_t> _mmxEq;
+    std::vector<uint64_t> _momEq;
+    std::string _specName;
     uint64_t _fingerprint = 0;
 };
 

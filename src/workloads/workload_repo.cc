@@ -1,0 +1,60 @@
+#include "workloads/workload_repo.hh"
+
+#include <set>
+
+#include "common/logging.hh"
+
+namespace momsim::workloads
+{
+
+std::shared_ptr<const MediaWorkload>
+WorkloadRepo::get(const std::string &name)
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        auto it = _cache.find(name);
+        if (it != _cache.end())
+            return it->second;
+    }
+
+    WorkloadSpec spec;
+    if (!WorkloadSpec::byName(name, spec))
+        fatal("unknown workload '" + name + "' (see --list-workloads)");
+    spec.scale = _scale;
+
+    // Build outside the lock so distinct specs synthesize concurrently.
+    std::shared_ptr<const MediaWorkload> built = MediaWorkload::build(spec);
+
+    std::lock_guard<std::mutex> lock(_mutex);
+    auto [it, inserted] = _cache.emplace(name, std::move(built));
+    (void)inserted;     // lost race: the earlier identical build wins
+    return it->second;
+}
+
+uint64_t
+WorkloadRepo::fingerprintOf(const std::string &name)
+{
+    return get(name)->fingerprint();
+}
+
+std::vector<std::string>
+WorkloadRepo::missing(const std::vector<std::string> &names) const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    std::vector<std::string> out;
+    std::set<std::string> seen;
+    for (const std::string &name : names) {
+        if (_cache.count(name) == 0 && seen.insert(name).second)
+            out.push_back(name);
+    }
+    return out;
+}
+
+size_t
+WorkloadRepo::size() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _cache.size();
+}
+
+} // namespace momsim::workloads

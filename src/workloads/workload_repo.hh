@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Lazily-built, cached, immutable workloads keyed by spec name — the
+ * shared source every sweep point draws from. One MediaWorkload is
+ * built per (name, scale) for the whole process, shared across all
+ * sweep points and benches that reference it; distinct specs can be
+ * built concurrently (see missing() + a caller-side parallel loop).
+ */
+
+#ifndef MOMSIM_WORKLOADS_WORKLOAD_REPO_HH
+#define MOMSIM_WORKLOADS_WORKLOAD_REPO_HH
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "workloads/media_workload.hh"
+
+namespace momsim::workloads
+{
+
+class WorkloadRepo
+{
+  public:
+    explicit WorkloadRepo(WorkloadScale scale = WorkloadScale::Paper)
+        : _scale(scale)
+    {}
+
+    WorkloadScale scale() const { return _scale; }
+
+    /**
+     * The workload for registry spec @p name, built on first use and
+     * cached for the process lifetime. Thread-safe: concurrent calls
+     * for distinct names build concurrently; concurrent calls for the
+     * same missing name may both build, and the first insert wins (the
+     * builds are deterministic, so the loser's copy is identical and
+     * simply dropped). Unknown names are fatal — CLI layers validate
+     * against WorkloadSpec::isKnown first.
+     */
+    std::shared_ptr<const MediaWorkload> get(const std::string &name);
+
+    /** Content fingerprint of @p name's workload (builds on demand). */
+    uint64_t fingerprintOf(const std::string &name);
+
+    /**
+     * Deduplicated subset of @p names not yet built, in first-seen
+     * order. The idiom for concurrent prebuilds:
+     *   auto todo = repo.missing(grid.workloadList());
+     *   pool.parallelFor(todo.size(), [&](size_t i) { repo.get(todo[i]); });
+     */
+    std::vector<std::string> missing(
+        const std::vector<std::string> &names) const;
+
+    size_t size() const;
+
+  private:
+    WorkloadScale _scale;
+    mutable std::mutex _mutex;
+    std::unordered_map<std::string, std::shared_ptr<const MediaWorkload>>
+        _cache;
+};
+
+} // namespace momsim::workloads
+
+#endif // MOMSIM_WORKLOADS_WORKLOAD_REPO_HH

@@ -1,0 +1,134 @@
+#include "workloads/workload_spec.hh"
+
+#include "common/logging.hh"
+
+namespace momsim::workloads
+{
+
+namespace
+{
+
+using PK = ProgramKind;
+
+WorkloadSpec
+fixedSpec(const char *name, std::vector<ProgramKind> slots,
+          const char *description)
+{
+    WorkloadSpec spec;
+    spec.name = name;
+    spec.slots = std::move(slots);
+    spec.description = description;
+    return spec;
+}
+
+} // namespace
+
+const char *
+toString(ProgramKind kind)
+{
+    switch (kind) {
+      case PK::Mpeg2Enc: return "mpeg2enc";
+      case PK::Mpeg2Dec: return "mpeg2dec";
+      case PK::GsmEnc: return "gsmenc";
+      case PK::GsmDec: return "gsmdec";
+      case PK::JpegEnc: return "jpegenc";
+      case PK::JpegDec: return "jpegdec";
+      case PK::Mesa: return "mesa";
+    }
+    return "?";
+}
+
+WorkloadSpec
+WorkloadSpec::paper(WorkloadScale scale)
+{
+    // The exact Section 5.1 rotation: MPEG-2 encoder, GSM decoder,
+    // MPEG-2 decoder, GSM encoder, JPEG decoder, JPEG encoder, mesa,
+    // and MPEG-2 decoder a second time.
+    WorkloadSpec spec = fixedSpec(
+        "paper",
+        { PK::Mpeg2Enc, PK::GsmDec, PK::Mpeg2Dec, PK::GsmEnc, PK::JpegDec,
+          PK::JpegEnc, PK::Mesa, PK::Mpeg2Dec },
+        "the Table-2 mix (Section 5.1 rotation; the default)");
+    spec.scale = scale;
+    return spec;
+}
+
+std::vector<WorkloadSpec>
+WorkloadSpec::registry()
+{
+    std::vector<WorkloadSpec> out;
+    out.push_back(paper());
+    out.push_back(fixedSpec(
+        "decode-heavy",
+        { PK::Mpeg2Dec, PK::GsmDec, PK::JpegDec, PK::Mpeg2Dec, PK::JpegDec,
+          PK::GsmDec, PK::Mesa, PK::Mpeg2Dec },
+        "playback-shaped mix: seven decoders plus mesa"));
+    out.push_back(fixedSpec(
+        "encode-heavy",
+        { PK::Mpeg2Enc, PK::GsmEnc, PK::JpegEnc, PK::Mpeg2Enc, PK::JpegEnc,
+          PK::GsmEnc, PK::Mesa, PK::Mpeg2Enc },
+        "capture-shaped mix: seven encoders plus mesa"));
+    out.push_back(fixedSpec(
+        "mpeg2x8",
+        { PK::Mpeg2Enc, PK::Mpeg2Dec, PK::Mpeg2Enc, PK::Mpeg2Dec,
+          PK::Mpeg2Enc, PK::Mpeg2Dec, PK::Mpeg2Enc, PK::Mpeg2Dec },
+        "homogeneous video: four MPEG-2 encode/decode pairs"));
+    out.push_back(fixedSpec(
+        "gsmx8",
+        { PK::GsmEnc, PK::GsmDec, PK::GsmEnc, PK::GsmDec, PK::GsmEnc,
+          PK::GsmDec, PK::GsmEnc, PK::GsmDec },
+        "homogeneous speech: four GSM encode/decode pairs"));
+    out.push_back(fixedSpec(
+        "jpegx8",
+        { PK::JpegEnc, PK::JpegDec, PK::JpegEnc, PK::JpegDec, PK::JpegEnc,
+          PK::JpegDec, PK::JpegEnc, PK::JpegDec },
+        "homogeneous still image: four JPEG encode/decode pairs"));
+    return out;
+}
+
+bool
+WorkloadSpec::byName(const std::string &name, WorkloadSpec &out)
+{
+    for (WorkloadSpec &spec : registry()) {
+        if (spec.name == name) {
+            out = std::move(spec);
+            return true;
+        }
+    }
+
+    // "paperxN": the paper rotation repeated N times (2 <= N <= 8),
+    // scaling thread pressure without changing the mix's shape. N is a
+    // single bare digit — no signs, whitespace or leading zeros — so
+    // every accepted workload has exactly one name (names key cache
+    // rows and canonical ids; "paperx+3" aliasing "paperx3" would
+    // split their cache entries).
+    const std::string prefix = "paperx";
+    if (name.size() == prefix.size() + 1 &&
+        name.compare(0, prefix.size(), prefix) == 0) {
+        long n = name.back() - '0';
+        if (n >= 2 && n <= 8) {
+            WorkloadSpec base = paper();
+            WorkloadSpec spec;
+            spec.name = name;
+            spec.description = strfmt("the paper mix repeated %ld times "
+                                      "(%ld programs)", n,
+                                      n * static_cast<long>(
+                                              base.slots.size()));
+            for (long i = 0; i < n; ++i)
+                spec.slots.insert(spec.slots.end(), base.slots.begin(),
+                                  base.slots.end());
+            out = std::move(spec);
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+WorkloadSpec::isKnown(const std::string &name)
+{
+    WorkloadSpec unused;
+    return byName(name, unused);
+}
+
+} // namespace momsim::workloads

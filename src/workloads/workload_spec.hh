@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Workloads as named, parameterized inputs: a WorkloadSpec is a stable
+ * name plus a scale and a program-mix recipe (which benchmark fills
+ * each rotation slot, in order). The registry maps the names the
+ * driver's `--workload` axis accepts — the paper's Table-2 mix,
+ * decode-/encode-heavy variants, per-codec homogeneous mixes, and
+ * N-copies scalings of the paper mix — onto recipes, so benches can
+ * compare mixes instead of hard-wiring one process-global workload.
+ */
+
+#ifndef MOMSIM_WORKLOADS_WORKLOAD_SPEC_HH
+#define MOMSIM_WORKLOADS_WORKLOAD_SPEC_HH
+
+#include <string>
+#include <vector>
+
+namespace momsim::workloads
+{
+
+/** How large a workload is built. */
+enum class WorkloadScale
+{
+    Tiny,       ///< unit/integration tests: seconds to build & run
+    Paper,      ///< bench runs: the full Table-2-shaped data sets
+};
+
+/**
+ * One rotation-slot role. Values are dense so tables (profile names,
+ * data-set descriptions) can index by kind.
+ */
+enum class ProgramKind : int
+{
+    Mpeg2Enc = 0,
+    Mpeg2Dec,
+    GsmEnc,
+    GsmDec,
+    JpegEnc,
+    JpegDec,
+    Mesa,
+};
+
+constexpr int kNumProgramKinds = 7;
+
+/** Base benchmark name of a kind ("mpeg2enc", "gsmdec", ...). */
+const char *toString(ProgramKind kind);
+
+/** A named program-mix recipe at a given build scale. */
+struct WorkloadSpec
+{
+    std::string name;           ///< stable registry name ("paper", ...)
+    WorkloadScale scale = WorkloadScale::Paper;
+    std::vector<ProgramKind> slots;     ///< rotation recipe, in order
+    std::string description;    ///< one line for --list-workloads
+
+    /** The paper's Table-2 mix (Section 5.1 rotation order). */
+    static WorkloadSpec paper(WorkloadScale scale = WorkloadScale::Paper);
+
+    /**
+     * Resolve @p name against the registry. Fixed names first
+     * ("paper", "decode-heavy", "encode-heavy", "mpeg2x8", "gsmx8",
+     * "jpegx8"), then the scaled-mix pattern "paperxN" (the paper
+     * rotation repeated N times, 2 <= N <= 8). Returns false for
+     * unknown names; @p out.scale is left at its default and must be
+     * set by the caller.
+     */
+    static bool byName(const std::string &name, WorkloadSpec &out);
+
+    static bool isKnown(const std::string &name);
+
+    /** The fixed registry entries, for --list-workloads. */
+    static std::vector<WorkloadSpec> registry();
+};
+
+} // namespace momsim::workloads
+
+#endif // MOMSIM_WORKLOADS_WORKLOAD_SPEC_HH

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Tests for the bench harness's command-line contract: every flag
+ * round-trips through BenchOptions::parseInto, unknown flags and
+ * malformed values reject with a one-line error (never by reading past
+ * argv), --shard arguments are validated, and takesValue() agrees with
+ * the parser about which flags consume the following token.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "driver/bench_harness.hh"
+
+namespace momsim::driver
+{
+namespace
+{
+
+/** Run parseInto over a brace-list argv (argv[0] is added). */
+bool
+parseArgs(std::vector<std::string> args, BenchOptions &out,
+          std::string &error)
+{
+    std::vector<std::string> storage;
+    storage.push_back("bench");
+    for (std::string &a : args)
+        storage.push_back(std::move(a));
+    std::vector<char *> argv;
+    for (std::string &s : storage)
+        argv.push_back(s.data());
+    return BenchOptions::parseInto(static_cast<int>(argv.size()),
+                                   argv.data(), out, error);
+}
+
+BenchOptions
+expectOk(std::vector<std::string> args)
+{
+    BenchOptions opts;
+    std::string error;
+    EXPECT_TRUE(parseArgs(args, opts, error)) << error;
+    return opts;
+}
+
+std::string
+expectError(std::vector<std::string> args)
+{
+    BenchOptions opts;
+    std::string error;
+    EXPECT_FALSE(parseArgs(args, opts, error));
+    EXPECT_FALSE(error.empty());
+    return error;
+}
+
+TEST(BenchOptions, DefaultsAreNeutral)
+{
+    BenchOptions opts = expectOk({});
+    EXPECT_EQ(opts.jobs, 0);
+    EXPECT_FALSE(opts.quick);
+    EXPECT_FALSE(opts.dryRun);
+    EXPECT_FALSE(opts.listWorkloads);
+    EXPECT_EQ(opts.baseSeed, 0u);
+    EXPECT_EQ(opts.shardIndex, 1);
+    EXPECT_EQ(opts.shardCount, 1);
+    EXPECT_TRUE(opts.csvPath.empty());
+    EXPECT_TRUE(opts.jsonPath.empty());
+    EXPECT_TRUE(opts.cacheDir.empty());
+    EXPECT_TRUE(opts.mergePaths.empty());
+    EXPECT_TRUE(opts.workloads.empty());
+}
+
+TEST(BenchOptions, EveryFlagRoundTrips)
+{
+    BenchOptions opts = expectOk({ "--jobs", "3", "--quick", "--seed",
+                                   "0x2a", "--csv", "a.csv", "--json",
+                                   "b.json", "--cache-dir", "cache",
+                                   "--shard", "2/5", "--merge", "x,y",
+                                   "--workload", "paper,gsmx8",
+                                   "--dry-run" });
+    EXPECT_EQ(opts.jobs, 3);
+    EXPECT_TRUE(opts.quick);
+    EXPECT_TRUE(opts.dryRun);
+    EXPECT_EQ(opts.baseSeed, 42u);
+    EXPECT_EQ(opts.csvPath, "a.csv");
+    EXPECT_EQ(opts.jsonPath, "b.json");
+    EXPECT_EQ(opts.cacheDir, "cache");
+    EXPECT_EQ(opts.shardIndex, 2);
+    EXPECT_EQ(opts.shardCount, 5);
+    ASSERT_EQ(opts.mergePaths.size(), 2u);
+    EXPECT_EQ(opts.mergePaths[0], "x");
+    EXPECT_EQ(opts.mergePaths[1], "y");
+    ASSERT_EQ(opts.workloads.size(), 2u);
+    EXPECT_EQ(opts.workloads[0], "paper");
+    EXPECT_EQ(opts.workloads[1], "gsmx8");
+}
+
+TEST(BenchOptions, ShortJobsAliasAndRepeatableWorkload)
+{
+    BenchOptions opts = expectOk({ "-j", "2", "--workload", "paper",
+                                   "--workload", "mpeg2x8" });
+    EXPECT_EQ(opts.jobs, 2);
+    ASSERT_EQ(opts.workloads.size(), 2u);
+    EXPECT_EQ(opts.workloads[1], "mpeg2x8");
+}
+
+TEST(BenchOptions, ListWorkloadsIsAFlagNotAValue)
+{
+    BenchOptions opts = expectOk({ "--list-workloads" });
+    EXPECT_TRUE(opts.listWorkloads);
+    EXPECT_FALSE(BenchOptions::takesValue("--list-workloads"));
+}
+
+TEST(BenchOptions, UnknownFlagsReject)
+{
+    std::string error = expectError({ "--frobnicate" });
+    EXPECT_NE(error.find("--frobnicate"), std::string::npos);
+    expectError({ "--jobs3" });
+    expectError({ "stray" });
+}
+
+TEST(BenchOptions, ValueFlagsAtEndOfArgvErrorInsteadOfReadingPast)
+{
+    for (const char *flag : { "--jobs", "-j", "--seed", "--csv", "--json",
+                              "--cache-dir", "--shard", "--merge",
+                              "--workload" }) {
+        std::string error = expectError({ flag });
+        EXPECT_NE(error.find("expects a value"), std::string::npos)
+            << flag << ": " << error;
+    }
+}
+
+TEST(BenchOptions, TakesValueMatchesTheParser)
+{
+    for (const char *flag : { "--jobs", "-j", "--seed", "--csv", "--json",
+                              "--cache-dir", "--shard", "--merge",
+                              "--workload" })
+        EXPECT_TRUE(BenchOptions::takesValue(flag)) << flag;
+    for (const char *flag : { "--quick", "--dry-run", "--list-workloads",
+                              "--help", "-h" })
+        EXPECT_FALSE(BenchOptions::takesValue(flag)) << flag;
+}
+
+TEST(BenchOptions, ShardValidationRejectsOutOfRangeAndGarbage)
+{
+    // 1-based index: shard 0 does not exist.
+    EXPECT_NE(expectError({ "--shard", "0/3" }).find("bad --shard"),
+              std::string::npos);
+    // Index beyond the shard count.
+    EXPECT_NE(expectError({ "--shard", "4/3" }).find("bad --shard"),
+              std::string::npos);
+    // Malformed strings, trailing garbage, zero/negative counts.
+    for (const char *v : { "nonsense", "1/", "/3", "1//3", "1/3,2/3",
+                           "1/0", "-1/3", "0/0", "2", "" })
+        EXPECT_NE(expectError({ "--shard", v }).find("bad --shard"),
+                  std::string::npos) << "'" << v << "'";
+    // The boundary cases that must be accepted.
+    BenchOptions opts = expectOk({ "--shard", "1/1" });
+    EXPECT_EQ(opts.shardCount, 1);
+    opts = expectOk({ "--shard", "3/3" });
+    EXPECT_EQ(opts.shardIndex, 3);
+}
+
+TEST(BenchOptions, JobsMustBePositive)
+{
+    expectError({ "--jobs", "0" });
+    expectError({ "--jobs", "-2" });
+    expectError({ "--jobs", "banana" });
+}
+
+TEST(BenchOptions, WorkloadNamesAreValidatedAgainstTheRegistry)
+{
+    std::string error = expectError({ "--workload", "nonsense" });
+    EXPECT_NE(error.find("unknown workload 'nonsense'"),
+              std::string::npos);
+    EXPECT_NE(error.find("--list-workloads"), std::string::npos);
+    // Empty selections reject instead of silently sweeping nothing.
+    expectError({ "--workload", "," });
+    // Registry names and the paperxN pattern are accepted.
+    expectOk({ "--workload",
+               "paper,decode-heavy,encode-heavy,mpeg2x8,gsmx8,jpegx8" });
+    expectOk({ "--workload", "paperx2" });
+    expectError({ "--workload", "paperx1" });
+    expectError({ "--workload", "paperx9" });
+    expectError({ "--workload", "paperx2x" });
+    // No aliases: signs and leading zeros would split cache identities.
+    expectError({ "--workload", "paperx+3" });
+    expectError({ "--workload", "paperx03" });
+}
+
+TEST(BenchOptions, RepeatedWorkloadNamesAreDeduplicated)
+{
+    // Duplicates would expand sweep points with identical ids, seeds
+    // and cache keys; first-seen order wins.
+    BenchOptions opts = expectOk({ "--workload", "paper,paper",
+                                   "--workload", "gsmx8,paper" });
+    ASSERT_EQ(opts.workloads.size(), 2u);
+    EXPECT_EQ(opts.workloads[0], "paper");
+    EXPECT_EQ(opts.workloads[1], "gsmx8");
+}
+
+TEST(BenchOptions, HelpRequestsSurfaceAsEmptyError)
+{
+    BenchOptions opts;
+    std::string error = "sentinel";
+    EXPECT_FALSE(parseArgs({ "--help" }, opts, error));
+    EXPECT_TRUE(error.empty());
+    error = "sentinel";
+    EXPECT_FALSE(parseArgs({ "-h" }, opts, error));
+    EXPECT_TRUE(error.empty());
+}
+
+} // namespace
+} // namespace momsim::driver

@@ -20,7 +20,7 @@
 #include "driver/experiment.hh"
 #include "driver/result_sink.hh"
 #include "driver/thread_pool.hh"
-#include "workloads/media_workload.hh"
+#include "workloads/workload_repo.hh"
 
 namespace momsim::driver
 {
@@ -109,6 +109,30 @@ TEST(ThreadPool, UnbalancedTasksAllComplete)
         ASSERT_EQ(hits[i].load(), 1);
 }
 
+TEST(ThreadPool, CostedDealRunsEveryIndexExactlyOnce)
+{
+    constexpr size_t kTasks = 500;
+    ThreadPool pool(4);
+    std::vector<double> costs(kTasks);
+    for (size_t i = 0; i < kTasks; ++i)
+        costs[i] = static_cast<double>((i * 7919) % 97) + 1.0;
+    std::vector<std::atomic<int>> hits(kTasks);
+    pool.parallelFor(kTasks, costs, [&](size_t i) { hits[i] += 1; });
+    for (size_t i = 0; i < kTasks; ++i)
+        ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, CostedDealOnOneWorkerIsAPlainLoop)
+{
+    ThreadPool pool(1);
+    std::vector<size_t> order;
+    pool.parallelFor(8, { 1, 9, 2, 8, 3, 7, 4, 6 },
+                     [&](size_t i) { order.push_back(i); });
+    ASSERT_EQ(order.size(), 8u);
+    for (size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(order[i], i);
+}
+
 // The acceptance-criterion speedup check. Registered as its own serial
 // CTest (driver_speedup) and filtered out of the main suite, because a
 // loaded machine would make any timing assertion flaky.
@@ -149,9 +173,28 @@ TEST(SweepGrid, DefaultsToOnePoint)
     SweepGrid grid;
     auto specs = grid.expand();
     ASSERT_EQ(specs.size(), 1u);
-    EXPECT_EQ(specs[0].id, "MMX/1thr/conventional/RR");
+    EXPECT_EQ(specs[0].id, "paper/MMX/1thr/conventional/RR");
     EXPECT_EQ(specs[0].simd, SimdIsa::Mmx);
     EXPECT_EQ(specs[0].threads, 1);
+}
+
+TEST(SweepGrid, WorkloadAxisSweepsOutermost)
+{
+    SweepGrid grid;
+    EXPECT_FALSE(grid.hasExplicitWorkloads());
+    grid.workloadSpecs({ "paper", "mpeg2x8" })
+        .isas({ SimdIsa::Mmx, SimdIsa::Mom });
+    EXPECT_TRUE(grid.hasExplicitWorkloads());
+    EXPECT_EQ(grid.size(), 4u);
+    auto specs = grid.expand(3);
+    ASSERT_EQ(specs.size(), 4u);
+    EXPECT_EQ(specs[0].id, "paper/MMX/1thr/conventional/RR");
+    EXPECT_EQ(specs[1].id, "paper/MOM/1thr/conventional/RR");
+    EXPECT_EQ(specs[2].id, "mpeg2x8/MMX/1thr/conventional/RR");
+    EXPECT_EQ(specs[3].id, "mpeg2x8/MOM/1thr/conventional/RR");
+    EXPECT_EQ(specs[2].workload, "mpeg2x8");
+    // Seeds derive from the workload-qualified identity.
+    EXPECT_NE(specs[0].seed, specs[2].seed);
 }
 
 TEST(SweepGrid, CartesianExpansionNestsAxes)
@@ -171,8 +214,8 @@ TEST(SweepGrid, CartesianExpansionNestsAxes)
     // policy innermost: alternates fastest.
     EXPECT_EQ(specs[0].policy, cpu::FetchPolicy::RoundRobin);
     EXPECT_EQ(specs[1].policy, cpu::FetchPolicy::ICount);
-    EXPECT_EQ(specs[0].id, "MMX/1thr/perfect/RR");
-    EXPECT_EQ(specs[23].id, "MOM/4thr/conventional/IC");
+    EXPECT_EQ(specs[0].id, "paper/MMX/1thr/perfect/RR");
+    EXPECT_EQ(specs[23].id, "paper/MOM/4thr/conventional/IC");
     // Every id unique.
     for (size_t i = 0; i < specs.size(); ++i)
         for (size_t j = i + 1; j < specs.size(); ++j)
@@ -227,9 +270,9 @@ TEST(SweepGrid, VariantsCrossIntoTheProduct)
         });
     auto specs = grid.expand();
     ASSERT_EQ(specs.size(), 4u);
-    EXPECT_EQ(specs[0].id, "MMX/1thr/conventional/RR/win16");
-    EXPECT_EQ(specs[1].id, "MMX/1thr/conventional/RR/win64");
-    EXPECT_EQ(specs[2].id, "MMX/2thr/conventional/RR/win16");
+    EXPECT_EQ(specs[0].id, "paper/MMX/1thr/conventional/RR/win16");
+    EXPECT_EQ(specs[1].id, "paper/MMX/1thr/conventional/RR/win64");
+    EXPECT_EQ(specs[2].id, "paper/MMX/2thr/conventional/RR/win16");
     ASSERT_TRUE(specs[0].tweakCore);
     cpu::CoreConfig cfg;
     specs[0].tweakCore(cfg);
@@ -288,6 +331,7 @@ makeRow(const std::string &id, SimdIsa simd, int threads,
     row.run.condBranches = 420;
     row.run.completions = 8;
     row.headline = ResultSink::headlineOf(row.run, simd);
+    row.workload = "paper";
     row.wallMs = 123.0;     // must never appear in serializations
     return row;
 }
@@ -301,13 +345,14 @@ TEST(ResultSink, CsvGolden)
                         cpu::FetchPolicy::ICount));
     EXPECT_EQ(
         sink.toCsv(),
-        "id,isa,threads,mem,policy,variant,seed,cycles,committed_eq,"
-        "ipc,eipc,headline,l1_hit_rate,icache_hit_rate,l1_avg_latency,"
-        "mispredicts,cond_branches,completions,hit_cycle_limit\n"
-        "MMX/1thr/conventional/RR,MMX,1,conventional,RR,,99,1000,2500,"
-        "2.5,3.125,2.5,0.984,0.999,1.39,42,420,8,0\n"
-        "MOM/8thr/conventional/IC,MOM,8,conventional,IC,,99,1000,2500,"
-        "2.5,3.125,3.125,0.984,0.999,1.39,42,420,8,0\n");
+        "id,workload,isa,threads,mem,policy,variant,seed,cycles,"
+        "committed_eq,ipc,eipc,headline,l1_hit_rate,icache_hit_rate,"
+        "l1_avg_latency,mispredicts,cond_branches,completions,"
+        "hit_cycle_limit\n"
+        "MMX/1thr/conventional/RR,paper,MMX,1,conventional,RR,,99,1000,"
+        "2500,2.5,3.125,2.5,0.984,0.999,1.39,42,420,8,0\n"
+        "MOM/8thr/conventional/IC,paper,MOM,8,conventional,IC,,99,1000,"
+        "2500,2.5,3.125,3.125,0.984,0.999,1.39,42,420,8,0\n");
 }
 
 TEST(ResultSink, JsonGolden)
@@ -318,7 +363,8 @@ TEST(ResultSink, JsonGolden)
     EXPECT_EQ(
         sink.toJson(),
         "[\n"
-        "  {\"id\":\"MMX/1thr/conventional/RR\",\"isa\":\"MMX\","
+        "  {\"id\":\"MMX/1thr/conventional/RR\",\"workload\":\"paper\","
+        "\"isa\":\"MMX\","
         "\"threads\":1,\"mem\":\"conventional\",\"policy\":\"RR\","
         "\"variant\":\"\",\"seed\":99,\"cycles\":1000,"
         "\"committed_eq\":2500,\"ipc\":2.5,\"eipc\":3.125,"
@@ -376,12 +422,11 @@ TEST(ResultSink, GeomeanAndRule)
 // End-to-end determinism: jobs=1 vs jobs=N byte-identical aggregates
 // ---------------------------------------------------------------------------
 
-const workloads::MediaWorkload &
-tinyWorkload()
+workloads::WorkloadRepo &
+tinyRepo()
 {
-    static auto wl =
-        workloads::MediaWorkload::build(workloads::WorkloadScale::Tiny);
-    return *wl;
+    static workloads::WorkloadRepo repo(workloads::WorkloadScale::Tiny);
+    return repo;
 }
 
 SweepGrid
@@ -402,11 +447,11 @@ TEST(ExperimentRunner, SameSeedsSameStatsRegardlessOfThreadCount)
     SweepGrid grid = integrationGrid();
 
     ThreadPool pool1(1);
-    ExperimentRunner serial(tinyWorkload(), pool1);
+    ExperimentRunner serial(tinyRepo(), pool1);
     ResultSink a = serial.run(grid, 1234);
 
     ThreadPool pool4(4);
-    ExperimentRunner threaded(tinyWorkload(), pool4);
+    ExperimentRunner threaded(tinyRepo(), pool4);
     ResultSink b = threaded.run(grid, 1234);
 
     ASSERT_EQ(a.size(), 16u);
@@ -440,7 +485,7 @@ TEST(ExperimentRunner, CycleLimitSurfacesAsRowDataNotStderr)
     ASSERT_EQ(specs.size(), 1u);
 
     ThreadPool pool(1);
-    ExperimentRunner runner(tinyWorkload(), pool);
+    ExperimentRunner runner(tinyRepo(), pool);
     ResultRow row = runner.runOne(specs[0]);
     EXPECT_TRUE(row.run.hitCycleLimit);
     EXPECT_LT(row.run.completions, 8);
@@ -460,7 +505,7 @@ TEST(ExperimentRunner, RunOneMatchesPooledRun)
     ASSERT_EQ(specs.size(), 1u);
 
     ThreadPool pool(2);
-    ExperimentRunner runner(tinyWorkload(), pool);
+    ExperimentRunner runner(tinyRepo(), pool);
     ResultRow direct = runner.runOne(specs[0]);
     ResultSink pooled = runner.run(specs);
     ASSERT_EQ(pooled.size(), 1u);

@@ -20,7 +20,7 @@
 #include "driver/experiment.hh"
 #include "driver/result_store.hh"
 #include "driver/thread_pool.hh"
-#include "workloads/media_workload.hh"
+#include "workloads/workload_repo.hh"
 
 namespace momsim::driver
 {
@@ -29,11 +29,25 @@ namespace
 
 using isa::SimdIsa;
 
+/** Constant-fingerprint planSweep inputs for unit tests. */
+WorkloadFingerprintFn
+constFp(uint64_t fp)
+{
+    return [fp](const std::string &) { return fp; };
+}
+
+SpecCostFn
+defaultCost()
+{
+    return [](const ExperimentSpec &s) { return specCost(s); };
+}
+
 ResultRow
 sampleRow()
 {
     ResultRow row;
-    row.id = "MOM/8thr/decoupled/OC/win64";
+    row.id = "paper/MOM/8thr/decoupled/OC/win64";
+    row.workload = "paper";
     row.simd = SimdIsa::Mom;
     row.threads = 8;
     row.memModel = mem::MemModel::Decoupled;
@@ -60,6 +74,7 @@ void
 expectRowsBitIdentical(const ResultRow &a, const ResultRow &b)
 {
     EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.workload, b.workload);
     EXPECT_EQ(a.simd, b.simd);
     EXPECT_EQ(a.threads, b.threads);
     EXPECT_EQ(a.memModel, b.memModel);
@@ -110,10 +125,12 @@ TEST(ResultRowSerialization, EscapedStringsSurvive)
 {
     ResultRow row = sampleRow();
     row.id = "we\"ird,id";
+    row.workload = "mix\"quote";
     row.variant = "line\nbreak\tand\\slash";
     ResultRow back;
     ASSERT_TRUE(parseResultRow(serializeResultRow(row), back));
     EXPECT_EQ(back.id, row.id);
+    EXPECT_EQ(back.workload, row.workload);
     EXPECT_EQ(back.variant, row.variant);
 }
 
@@ -145,7 +162,8 @@ TEST(ResultRowSerialization, RejectsForeignOrAbsentSchemaVersion)
     std::string old = line;
     size_t pos = old.find("\"schema\":");
     ASSERT_NE(pos, std::string::npos);
-    old.replace(pos, std::string("\"schema\":2").size(), "\"schema\":1");
+    old.replace(pos, strfmt("\"schema\":%d", kResultSchemaVersion).size(),
+                "\"schema\":1");
     EXPECT_FALSE(parseResultRow(old, out));
 
     // Schema is a required field, not an optional check: a line with
@@ -224,6 +242,17 @@ TEST(ResultCacheKey, InvalidatedByTweakParametersBehindSameLabel)
     ExperimentSpec c = sampleSpec();
     c.tweakMem = [](mem::MemConfig &m) { m.l1.numMshrs = 4; };
     EXPECT_NE(resultCacheKey(sampleSpec(), 1), resultCacheKey(c, 1));
+}
+
+TEST(ResultCacheKey, InvalidatedByWorkloadNameAndFingerprint)
+{
+    // The canonical id carries the workload name, so two mixes never
+    // share a key even under a (hypothetically) colliding fingerprint.
+    ExperimentSpec a = sampleSpec();
+    ExperimentSpec b = a;
+    b.workload = "mpeg2x8";
+    b.id = b.canonicalId();
+    EXPECT_NE(resultCacheKey(a, 1), resultCacheKey(b, 1));
 }
 
 TEST(ResultCacheKey, CarriesTheSchemaVersion)
@@ -371,11 +400,11 @@ TEST(PlanSweep, ShardsPartitionTheSweepDeterministically)
     auto specs = planGrid().expand(3);
     std::set<std::string> covered;
     for (int shard = 0; shard < 3; ++shard) {
-        RunPlan plan = planSweep(planGrid().expand(3), 9, nullptr,
-                                 shard, 3);
+        RunPlan plan = planSweep(planGrid().expand(3), constFp(9),
+                                 defaultCost(), nullptr, shard, 3);
         ASSERT_EQ(plan.points.size(), specs.size());
-        RunPlan again = planSweep(planGrid().expand(3), 9, nullptr,
-                                  shard, 3);
+        RunPlan again = planSweep(planGrid().expand(3), constFp(9),
+                                  defaultCost(), nullptr, shard, 3);
         for (size_t i = 0; i < plan.points.size(); ++i) {
             // Deterministic: same inputs, same dealing, in every
             // process regardless of which shard it will execute.
@@ -397,7 +426,8 @@ TEST(PlanSweep, CostWeightingSeparatesExpensivePoints)
     // pile both onto one shard.
     SweepGrid grid;
     grid.isas({ SimdIsa::Mmx, SimdIsa::Mom }).threadCounts({ 1, 8 });
-    RunPlan plan = planSweep(grid.expand(0), 1, nullptr, 0, 2);
+    RunPlan plan = planSweep(grid.expand(0), constFp(1),
+                             defaultCost(), nullptr, 0, 2);
     ASSERT_EQ(plan.points.size(), 4u);
     int shardOf8[2] = { -1, -1 };
     int n8 = 0;
@@ -429,7 +459,8 @@ TEST(PlanSweep, ResolvesCachedPointsFromTheStore)
     ResultRow row = sampleRow();
     store.put(resultCacheKey(specs[2], 77), row);
 
-    RunPlan plan = planSweep(planGrid().expand(3), 77, &store);
+    RunPlan plan = planSweep(planGrid().expand(3), constFp(77),
+                             defaultCost(), &store);
     ASSERT_EQ(plan.points.size(), specs.size());
     EXPECT_TRUE(plan.points[2].cached);
     expectRowsBitIdentical(plan.points[2].row, row);
@@ -437,7 +468,8 @@ TEST(PlanSweep, ResolvesCachedPointsFromTheStore)
     EXPECT_EQ(plan.simulateCount(), specs.size() - 1);
 
     // A different fingerprint must miss everywhere.
-    RunPlan cold = planSweep(planGrid().expand(3), 78, &store);
+    RunPlan cold = planSweep(planGrid().expand(3), constFp(78),
+                             defaultCost(), &store);
     EXPECT_EQ(cold.cachedMineCount(), 0u);
 }
 
@@ -445,19 +477,21 @@ TEST(PlanSweep, ResolvesCachedPointsFromTheStore)
 // End-to-end: warm cache simulates nothing; shard+merge == unsharded
 // ---------------------------------------------------------------------------
 
-const workloads::MediaWorkload &
-tinyWorkload()
+workloads::WorkloadRepo &
+tinyRepo()
 {
-    static auto wl =
-        workloads::MediaWorkload::build(workloads::WorkloadScale::Tiny);
-    return *wl;
+    static workloads::WorkloadRepo repo(workloads::WorkloadScale::Tiny);
+    return repo;
 }
 
 SweepGrid
 integrationGrid()
 {
+    // Two workloads on purpose: the warm-cache and shard-merge
+    // contracts must hold per-workload across one multi-mix sweep.
     SweepGrid grid;
-    grid.isas({ SimdIsa::Mmx, SimdIsa::Mom })
+    grid.workloadSpecs({ "paper", "gsmx8" })
+        .isas({ SimdIsa::Mmx, SimdIsa::Mom })
         .threadCounts({ 1, 2 })
         .policies({ cpu::FetchPolicy::RoundRobin,
                     cpu::FetchPolicy::ICount });
@@ -466,25 +500,66 @@ integrationGrid()
 
 TEST(RunPlanIntegration, WorkloadFingerprintIsNonZero)
 {
-    EXPECT_NE(tinyWorkload().fingerprint(), 0u);
+    EXPECT_NE(tinyRepo().fingerprintOf("paper"), 0u);
+}
+
+TEST(RunPlanIntegration, DistinctSpecsGetDistinctFingerprintsAndRows)
+{
+    // Acceptance (a): two workload specs in one grid key with
+    // per-workload-distinct fingerprints and deliver per-workload rows.
+    workloads::WorkloadRepo &repo = tinyRepo();
+    EXPECT_NE(repo.fingerprintOf("paper"), repo.fingerprintOf("gsmx8"));
+
+    SweepGrid grid;
+    grid.workloadSpecs({ "paper", "gsmx8" });
+    RunPlan plan = planSweep(grid.expand(2), repo);
+    ASSERT_EQ(plan.points.size(), 2u);
+    EXPECT_NE(plan.points[0].key, plan.points[1].key);
+
+    ThreadPool pool(2);
+    ExperimentRunner runner(repo, pool);
+    ResultSink sink = runner.run(plan);
+    ASSERT_EQ(sink.size(), 2u);
+    EXPECT_EQ(sink.rows()[0].workload, "paper");
+    EXPECT_EQ(sink.rows()[1].workload, "gsmx8");
+    EXPECT_GT(sink.rows()[0].run.cycles, 0u);
+    EXPECT_GT(sink.rows()[1].run.cycles, 0u);
+    // The mixes really differ: distinct dynamic work.
+    EXPECT_NE(sink.rows()[0].run.committedEq,
+              sink.rows()[1].run.committedEq);
+    EXPECT_EQ(sink.filtered("gsmx8").size(), 1u);
+    EXPECT_EQ(sink.filtered("paper").size(), 1u);
+    EXPECT_EQ(sink.filtered("nope").size(), 0u);
+}
+
+TEST(RunPlanIntegration, ScaledMixCostsMoreThanThePaperMix)
+{
+    // specCost weights points by workload size: paperx2 has twice the
+    // programs, so its points deal ~2x the cost.
+    SweepGrid grid;
+    grid.workloadSpecs({ "paper", "paperx2" });
+    RunPlan plan = planSweep(grid.expand(0), tinyRepo());
+    ASSERT_EQ(plan.points.size(), 2u);
+    EXPECT_NEAR(plan.points[1].cost / plan.points[0].cost, 2.0, 1e-9);
 }
 
 TEST(RunPlanIntegration, WarmCacheRerunSimulatesZeroPoints)
 {
     const std::string dir = "test_result_store.warm";
     wipeStoreDir(dir);
-    const uint64_t fp = tinyWorkload().fingerprint();
 
     ThreadPool pool(2);
-    ExperimentRunner runner(tinyWorkload(), pool);
+    ExperimentRunner runner(tinyRepo(), pool);
 
     ResultStore store;
     ASSERT_TRUE(store.openDir(dir));
-    RunPlan cold = planSweep(integrationGrid().expand(11), fp, &store);
+    RunPlan cold = planSweep(integrationGrid().expand(11), tinyRepo(),
+                             &store);
     EXPECT_EQ(cold.simulateCount(), cold.points.size());
     ResultSink first = runner.run(cold, &store);
 
-    RunPlan warm = planSweep(integrationGrid().expand(11), fp, &store);
+    RunPlan warm = planSweep(integrationGrid().expand(11), tinyRepo(),
+                             &store);
     EXPECT_EQ(warm.simulateCount(), 0u);
     EXPECT_EQ(warm.cachedMineCount(), warm.points.size());
     ResultSink second = runner.run(warm, nullptr);
@@ -495,13 +570,12 @@ TEST(RunPlanIntegration, WarmCacheRerunSimulatesZeroPoints)
 
 TEST(RunPlanIntegration, ShardedStoresMergeToUnshardedOutput)
 {
-    const uint64_t fp = tinyWorkload().fingerprint();
     ThreadPool pool(2);
-    ExperimentRunner runner(tinyWorkload(), pool);
+    ExperimentRunner runner(tinyRepo(), pool);
 
     // Reference: the unsharded sweep, no caching anywhere.
-    ResultSink reference =
-        runner.run(planSweep(integrationGrid().expand(5), fp, nullptr));
+    ResultSink reference = runner.run(
+        planSweep(integrationGrid().expand(5), tinyRepo(), nullptr));
 
     // Three shard "processes", each with its own store directory.
     std::vector<std::string> storeFiles;
@@ -511,7 +585,7 @@ TEST(RunPlanIntegration, ShardedStoresMergeToUnshardedOutput)
         wipeStoreDir(dir);
         ResultStore store;
         ASSERT_TRUE(store.openDir(dir));
-        RunPlan plan = planSweep(integrationGrid().expand(5), fp,
+        RunPlan plan = planSweep(integrationGrid().expand(5), tinyRepo(),
                                  &store, shard, 3);
         ResultSink slice = runner.run(plan, &store);
         EXPECT_EQ(slice.size(), plan.mineCount());
@@ -522,7 +596,7 @@ TEST(RunPlanIntegration, ShardedStoresMergeToUnshardedOutput)
     ResultStore merged;
     for (const std::string &file : storeFiles)
         ASSERT_TRUE(merged.loadFile(file));
-    RunPlan mergePlan = planSweep(integrationGrid().expand(5), fp,
+    RunPlan mergePlan = planSweep(integrationGrid().expand(5), tinyRepo(),
                                   &merged);
     EXPECT_EQ(mergePlan.simulateCount(), 0u);
     ResultSink recombined = runner.run(mergePlan, nullptr);
