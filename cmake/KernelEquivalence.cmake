@@ -1,0 +1,85 @@
+# The kernel-refactor acceptance gate: the refactored simulation kernel
+# must reproduce the pre-refactor rows byte-identically. The golden
+# files under tests/golden/ were produced by the pre-refactor binary
+# (PR 3 head):
+#
+#   fig6_quick.csv      bench_fig6_fetch_policies --quick --csv  (v3 CSV)
+#   table2_quick.stdout bench_table2_workload --quick            (stdout)
+#
+# The current CSV carries two extra schema-v4 tail columns
+# (sim_kcps, wall_ms — nondeterministic self-measurement); they are
+# stripped before comparing, which is why they must stay the last two
+# columns.
+#
+# Usage: cmake -DFIG6=<path> -DTABLE2=<path> -DGOLDEN=<dir>
+#              -DWORKDIR=<dir> -P KernelEquivalence.cmake
+
+foreach(var FIG6 TABLE2 GOLDEN)
+  if(NOT ${var})
+    message(FATAL_ERROR "${var} not set")
+  endif()
+endforeach()
+if(NOT WORKDIR)
+  set(WORKDIR ${CMAKE_CURRENT_BINARY_DIR})
+endif()
+
+set(dir ${WORKDIR}/kernel_equivalence)
+file(REMOVE_RECURSE ${dir})
+file(MAKE_DIRECTORY ${dir})
+
+# --- fig6: CSV rows (exact doubles) modulo the two new tail columns ---
+execute_process(
+  COMMAND ${FIG6} --quick --csv ${dir}/fig6.csv
+  OUTPUT_FILE ${dir}/fig6.out
+  ERROR_FILE ${dir}/fig6.err
+  RESULT_VARIABLE rc
+)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "${FIG6} --quick exited with ${rc}")
+endif()
+
+file(READ ${dir}/fig6.csv csv)
+# Drop the final two comma-separated fields of every line (they cannot
+# contain commas or newlines, so the leftmost match is exactly the tail).
+string(REGEX REPLACE ",[^,\n]*,[^,\n]*\n" "\n" stripped "${csv}")
+file(WRITE ${dir}/fig6.stripped.csv "${stripped}")
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${dir}/fig6.stripped.csv ${GOLDEN}/fig6_quick.csv
+  RESULT_VARIABLE same
+)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR
+          "kernel_equivalence: fig6 --quick rows differ from the "
+          "pre-refactor kernel (${dir}/fig6.stripped.csv vs "
+          "${GOLDEN}/fig6_quick.csv) — the refactor changed simulation "
+          "results")
+endif()
+
+# --- table2: stdout byte-for-byte ---
+execute_process(
+  COMMAND ${TABLE2} --quick
+  OUTPUT_FILE ${dir}/table2.out
+  ERROR_FILE ${dir}/table2.err
+  RESULT_VARIABLE rc
+)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "${TABLE2} --quick exited with ${rc}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${dir}/table2.out ${GOLDEN}/table2_quick.stdout
+  RESULT_VARIABLE same
+)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR
+          "kernel_equivalence: table2 --quick stdout differs from the "
+          "pre-refactor output (${dir}/table2.out vs "
+          "${GOLDEN}/table2_quick.stdout)")
+endif()
+
+message(STATUS
+        "kernel_equivalence: fig6 + table2 --quick reproduce the "
+        "pre-refactor kernel byte for byte")

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Small bit-twiddling helpers shared by the structures that size their
+ * storage to powers of two for mask indexing.
+ */
+
+#ifndef MOMSIM_COMMON_BITS_HH
+#define MOMSIM_COMMON_BITS_HH
+
+#include <cstdint>
+
+namespace momsim
+{
+
+/** True when @p v is a power of two (v > 0). */
+inline bool
+isPow2(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Smallest power of two >= @p v (v >= 1). */
+inline uint64_t
+pow2Ceil(uint64_t v)
+{
+    uint64_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+} // namespace momsim
+
+#endif // MOMSIM_COMMON_BITS_HH

@@ -1,10 +1,24 @@
 #include "common/logging.hh"
 
 #include <cstdlib>
+#include <mutex>
 #include <vector>
 
 namespace momsim
 {
+
+namespace
+{
+
+/** Serializes multi-line stderr dumps from concurrent pool workers. */
+std::mutex &
+dumpMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+} // namespace
 
 std::string
 strfmt(const char *fmt, ...)
@@ -49,6 +63,14 @@ void
 inform(const std::string &msg)
 {
     std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+void
+dumpRaw(const std::string &text)
+{
+    std::lock_guard<std::mutex> lock(dumpMutex());
+    std::fwrite(text.data(), 1, text.size(), stderr);
+    std::fflush(stderr);
 }
 
 } // namespace momsim

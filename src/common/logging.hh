@@ -36,9 +36,31 @@ void warn(const std::string &msg);
 void inform(const std::string &msg);
 
 /**
- * Check a simulator invariant; on failure, panic with location info.
- * Used instead of assert() so the message survives release builds.
+ * Write a preformatted (possibly multi-line) block to stderr in one
+ * atomic operation. Debug dumps from pool workers go through this so
+ * concurrent dumps cannot interleave mid-line.
  */
+void dumpRaw(const std::string &text);
+
+/**
+ * Check a simulator invariant; on failure, panic with location info.
+ *
+ * Debug builds check and report. Release (NDEBUG) builds generate no
+ * code: the simulation kernel evaluates these on its hottest lines, so
+ * they must cost nothing when the build is for throughput. The operands
+ * stay compiled (and ODR-used, so disabling the check cannot introduce
+ * -Wunused breakage) behind an always-false branch the optimizer
+ * deletes. Keep conditions side-effect free.
+ */
+#ifdef NDEBUG
+#define MOMSIM_ASSERT(cond, msg)                                              \
+    do {                                                                      \
+        if (false) {                                                          \
+            (void)(cond);                                                     \
+            (void)(msg);                                                      \
+        }                                                                     \
+    } while (0)
+#else
 #define MOMSIM_ASSERT(cond, msg)                                              \
     do {                                                                      \
         if (!(cond)) {                                                        \
@@ -47,6 +69,7 @@ void inform(const std::string &msg);
                 __FILE__, __LINE__, #cond, (msg)));                           \
         }                                                                     \
     } while (0)
+#endif
 
 } // namespace momsim
 

@@ -13,9 +13,9 @@
 #define MOMSIM_COMMON_STATS_HH
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <utility>
-#include <vector>
 
 namespace momsim
 {
@@ -26,7 +26,13 @@ class StatGroup
   public:
     explicit StatGroup(std::string name = "") : _name(std::move(name)) {}
 
-    /** Add (or fetch) a counter; returns a stable reference. */
+    /**
+     * Add (or fetch) a counter; returns a stable reference. Stability
+     * is load-bearing: the simulation kernel caches these references so
+     * per-event accounting is an increment rather than a string lookup
+     * (entries live in a deque, so later registrations never move
+     * earlier counters).
+     */
     uint64_t &counter(const std::string &key);
 
     /** Read a counter (0 if absent). */
@@ -43,7 +49,7 @@ class StatGroup
 
     const std::string &name() const { return _name; }
 
-    const std::vector<std::pair<std::string, uint64_t>> &
+    const std::deque<std::pair<std::string, uint64_t>> &
     entries() const
     {
         return _entries;
@@ -51,7 +57,7 @@ class StatGroup
 
   private:
     std::string _name;
-    std::vector<std::pair<std::string, uint64_t>> _entries;
+    std::deque<std::pair<std::string, uint64_t>> _entries;
 };
 
 /** Fixed-width percentage formatting helper shared by the benches. */

@@ -1,5 +1,7 @@
 #include "core/simulation.hh"
 
+#include <chrono>
+
 #include "common/logging.hh"
 
 namespace momsim::core
@@ -14,11 +16,15 @@ Simulation::Simulation(const cpu::CoreConfig &cfg, mem::MemModel memModel,
       _core(std::make_unique<cpu::SmtCore>(cfg, *_mem)),
       _running(static_cast<size_t>(cfg.numThreads), 0)
 {
-    MOMSIM_ASSERT(!_rotation.empty(), "empty workload rotation");
+    // Unconditional (not MOMSIM_ASSERT, which Release compiles away):
+    // these validate caller-supplied configuration, once per run.
+    if (_rotation.empty())
+        panic("empty workload rotation");
     for (const auto &wp : _rotation) {
-        MOMSIM_ASSERT(wp.prog != nullptr, "null program in rotation");
-        MOMSIM_ASSERT(wp.prog->simdIsa() == cfg.simd,
-                      "program ISA does not match core ISA");
+        if (wp.prog == nullptr)
+            panic("null program in rotation");
+        if (wp.prog->simdIsa() != cfg.simd)
+            panic("program ISA does not match core ISA");
     }
     for (int tid = 0; tid < cfg.numThreads; ++tid)
         attachNext(tid);
@@ -39,9 +45,26 @@ Simulation::run(int targetCompletions, uint64_t maxCycles)
     if (targetCompletions < 0)
         targetCompletions = static_cast<int>(_rotation.size());
 
+    auto wallStart = std::chrono::steady_clock::now();
+    uint64_t cycleStart = _core->now();
+
+    // A context can only drain by committing its last instruction, so
+    // the per-cycle idle scan is pointless on commit-free cycles — with
+    // one exception: a freshly attached zero-instruction program is
+    // idle without ever committing, so a scan stays pending as long as
+    // the previous scan attached anything (and initially, for the
+    // programs attached at construction).
+    bool idleScanPending = true;
     while (_completions < targetCompletions &&
            _core->now() < maxCycles) {
-        _core->step();
+        // maxCycles caps the core's idle fast-forward, so a limited run
+        // ends at exactly the same cycle a naive per-cycle walk would.
+        uint64_t committedBefore = _core->committedRecords();
+        _core->step(maxCycles);
+        if (!idleScanPending &&
+            _core->committedRecords() == committedBefore)
+            continue;
+        idleScanPending = false;
         for (int tid = 0; tid < _cfg.numThreads; ++tid) {
             if (!_core->threadIdle(tid))
                 continue;
@@ -54,6 +77,7 @@ Simulation::run(int targetCompletions, uint64_t maxCycles)
                 break;
             }
             attachNext(tid);
+            idleScanPending = true;
         }
     }
 
@@ -90,6 +114,14 @@ Simulation::run(int targetCompletions, uint64_t maxCycles)
     res.completions = _completions;
     res.hitCycleLimit = _core->now() >= maxCycles &&
                         _completions < targetCompletions;
+    res.wallMs = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - wallStart)
+                     .count();
+    // Simulated kilocycles per wall second == cycles per wall ms.
+    uint64_t simmed = _core->now() - cycleStart;
+    res.simKcps = res.wallMs > 0.0
+        ? static_cast<double>(simmed) / res.wallMs
+        : 0.0;
     return res;
 }
 

@@ -61,6 +61,15 @@ struct RunResult
      * nondeterministically and are invisible in CSV/JSON output.
      */
     bool hitCycleLimit = false;
+    /**
+     * Simulator self-measurement (host wall clock of the run loop and
+     * simulated kilocycles per wall second). Nondeterministic by
+     * nature; serialized at the tail of every ResultRow (schema v4) so
+     * cached sweeps keep a per-point performance trajectory, but never
+     * printed by the figure benches, whose stdout stays byte-stable.
+     */
+    double wallMs = 0.0;
+    double simKcps = 0.0;
 };
 
 class Simulation

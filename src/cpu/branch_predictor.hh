@@ -31,6 +31,11 @@ class BranchPredictor
           _stats("bpred")
     {
         _history.fill(0);
+        // Cached: update() runs once per fetched conditional branch and
+        // must not do string-keyed lookups there.
+        _ctrUpdates = &_stats.counter("updates");
+        _ctrTaken = &_stats.counter("taken");
+        _ctrNotTaken = &_stats.counter("notTaken");
     }
 
     /** Predict the direction of the branch at @p pc for thread @p tid. */
@@ -53,8 +58,8 @@ class BranchPredictor
         _history[static_cast<size_t>(tid)] =
             ((_history[static_cast<size_t>(tid)] << 1) | (taken ? 1 : 0)) &
             mask;
-        _stats.counter("updates") += 1;
-        _stats.counter(taken ? "taken" : "notTaken") += 1;
+        *_ctrUpdates += 1;
+        *(taken ? _ctrTaken : _ctrNotTaken) += 1;
     }
 
     StatGroup &stats() { return _stats; }
@@ -73,6 +78,9 @@ class BranchPredictor
     std::vector<uint8_t> _counters;
     std::array<uint32_t, 16> _history{};
     StatGroup _stats;
+    uint64_t *_ctrUpdates = nullptr;
+    uint64_t *_ctrTaken = nullptr;
+    uint64_t *_ctrNotTaken = nullptr;
 };
 
 } // namespace momsim::cpu

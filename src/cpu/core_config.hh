@@ -51,6 +51,14 @@ struct CoreConfig
     int simdPhysRegs = 64;          ///< MMX regs, or MOM stream regs
 
     /**
+     * Let the core jump over cycles in which no pipeline stage can make
+     * progress (see SmtCore::nextEventCycle). Purely a simulator-speed
+     * knob: results are identical either way — the differential test in
+     * tests/test_kernel.cc holds both settings to the same RunResult.
+     */
+    bool enableFastForward = true;
+
+    /**
      * The Table-1 presets: near-saturation sizes for 1/2/4/8 threads,
      * derived by the saturation sweep in bench/table1_saturation (the
      * paper's own procedure; its printed numbers are unreadable in the

@@ -67,10 +67,20 @@ CoreConfig::preset(int threads, isa::SimdIsa simd, FetchPolicy policy)
 SmtCore::SmtCore(const CoreConfig &cfg, mem::MemorySystem &mem)
     : _cfg(cfg), _mem(mem), _threads(cfg.numThreads), _stats("core")
 {
-    MOMSIM_ASSERT(cfg.numThreads >= 1 && cfg.numThreads <= 8,
-                  "1..8 hardware contexts supported");
+    // Checked unconditionally (not via MOMSIM_ASSERT, which Release
+    // compiles away): the per-cycle commit/dispatch rounds use
+    // 8-slot stack arrays sized to this bound, so an oversized config
+    // must fail loudly here rather than corrupt the stack later.
+    if (cfg.numThreads < 1 || cfg.numThreads > 8)
+        panic(strfmt("numThreads=%d outside the supported 1..8 hardware "
+                     "contexts", cfg.numThreads));
     for (auto &t : _threads) {
-        t.rob.resize(static_cast<size_t>(cfg.windowPerThread));
+        // Storage is rounded up to a power of two so position lookup is
+        // a mask; the logical capacity stays exactly windowPerThread
+        // (dispatch checks tail - head against the configured window).
+        t.rob.resize(pow2Ceil(static_cast<uint64_t>(cfg.windowPerThread)));
+        t.robMask = t.rob.size() - 1;
+        t.fetchQ.init(static_cast<size_t>(cfg.fetchQueueDepth));
         std::fill(std::begin(t.rename), std::end(t.rename), -1);
     }
 
@@ -86,9 +96,34 @@ SmtCore::SmtCore(const CoreConfig &cfg, mem::MemorySystem &mem)
     if (cfg.simd == isa::SimdIsa::Mom)
         _freeRegs[2] = std::max(_freeRegs[2], 12);
     for (int p = 0; p < 3; ++p) {
-        MOMSIM_ASSERT(_freeRegs[p] >= 8,
-                      "physical register file too small for rename slack");
+        if (_freeRegs[p] < 8)
+            panic("physical register file too small for rename slack");
     }
+
+    _fetchOrderBuf.reserve(static_cast<size_t>(cfg.numThreads));
+
+    // Cache the hot counters once: the per-event cost becomes an
+    // increment instead of a string-keyed lookup (StatGroup references
+    // are stable for the group's lifetime).
+    _ctrCommits = &_stats.counter("commits");
+    _ctrCommitInt = &_stats.counter("commitInt");
+    _ctrCommitFp = &_stats.counter("commitFp");
+    _ctrCommitSimd = &_stats.counter("commitSimd");
+    _ctrCommitMem = &_stats.counter("commitMem");
+    _ctrIssued = &_stats.counter("issued");
+    _ctrDispatched = &_stats.counter("dispatched");
+    _ctrFetched = &_stats.counter("fetched");
+    _ctrCondBranches = &_stats.counter("condBranches");
+    _ctrRobFullStalls = &_stats.counter("robFullStalls");
+    _ctrIqFullStalls = &_stats.counter("iqFullStalls");
+    _ctrRegFullStalls = &_stats.counter("regFullStalls");
+    _ctrIdleCyclesSkipped = &_stats.counter("idleCyclesSkipped");
+    _ctrCommitStoreStalls = &_stats.counter("commitStoreStalls");
+    _ctrMispredicts = &_stats.counter("mispredicts");
+    _ctrFlushes = &_stats.counter("flushes");
+    _ctrSquashed = &_stats.counter("squashed");
+    _ctrIfetchRejected = &_stats.counter("ifetchRejected");
+    _ctrIcacheMissStalls = &_stats.counter("icacheMissStalls");
 }
 
 void
@@ -125,13 +160,13 @@ SmtCore::threadCommittedEq(int tid) const
 SmtCore::RobEntry &
 SmtCore::entryAt(Thread &t, uint64_t pos)
 {
-    return t.rob[pos % t.rob.size()];
+    return t.rob[pos & t.robMask];
 }
 
 const SmtCore::RobEntry &
 SmtCore::entryAt(const Thread &t, uint64_t pos) const
 {
-    return t.rob[pos % t.rob.size()];
+    return t.rob[pos & t.robMask];
 }
 
 int
@@ -146,67 +181,224 @@ SmtCore::physPoolOf(isa::RegRef reg) const
     return 0;
 }
 
-bool
-SmtCore::operandsReady(const Thread &t, const RobEntry &e) const
+// ---------------------------------------------------------------------
+// Readiness tracking
+// ---------------------------------------------------------------------
+
+void
+SmtCore::trackProducers(Thread &t, RobEntry &e)
 {
+    e.pendingProducers = 0;
+    e.readyCycle = 0;
     for (int64_t p : e.prod) {
         if (p < 0)
             continue;
         if (static_cast<uint64_t>(p) < t.head)
             continue;       // producer already graduated
-        const RobEntry &src = entryAt(t, static_cast<uint64_t>(p));
+        RobEntry &src = entryAt(t, static_cast<uint64_t>(p));
         if (src.pos != static_cast<uint64_t>(p))
             continue;       // producer slot was recycled (graduated)
-        if (src.state != State::Done || src.doneCycle > _now)
-            return false;
+        if (src.state == State::Done) {
+            e.readyCycle = std::max(e.readyCycle, src.doneCycle);
+        } else {
+            src.waiters.push_back({ e.pos, e.gen });
+            e.pendingProducers += 1;
+        }
     }
-    return true;
+}
+
+void
+SmtCore::relaxQueueBound(const RobEntry &e)
+{
+    uint64_t &bound = _queueMinReady[e.qKind];
+    bound = std::min(bound, e.readyCycle);
+}
+
+void
+SmtCore::wakeDependents(Thread &t, RobEntry &e)
+{
+    for (const Waiter &w : e.waiters) {
+        RobEntry &c = entryAt(t, w.pos);
+        if (c.pos != w.pos || c.gen != w.gen)
+            continue;       // consumer was squashed since registering
+        c.readyCycle = std::max(c.readyCycle, e.doneCycle);
+        c.pendingProducers -= 1;
+        if (c.pendingProducers == 0)
+            relaxQueueBound(c);
+    }
+    e.waiters.clear();
 }
 
 void
 SmtCore::debugDump() const
 {
-    std::fprintf(stderr, "cycle %llu  momFuBusy=%lld  IQ sizes "
-                 "int=%zu mem=%zu fp=%zu simd=%zu streams=%zu  "
-                 "freeRegs=%d/%d/%d\n",
-                 static_cast<unsigned long long>(_now),
-                 static_cast<long long>(_momFuBusyUntil) -
-                     static_cast<long long>(_now),
-                 _intQ.size(), _memQ.size(), _fpQ.size(), _simdQ.size(),
-                 _activeStreams.size(),
-                 _freeRegs[0], _freeRegs[1], _freeRegs[2]);
+    std::string out;
+    out += strfmt("cycle %llu  momFuBusy=%lld  IQ sizes "
+                  "int=%zu mem=%zu fp=%zu simd=%zu streams=%zu  "
+                  "freeRegs=%d/%d/%d\n",
+                  static_cast<unsigned long long>(_now),
+                  static_cast<long long>(_momFuBusyUntil) -
+                      static_cast<long long>(_now),
+                  _intQ.size(), _memQ.size(), _fpQ.size(), _simdQ.size(),
+                  _activeStreams.size(),
+                  _freeRegs[0], _freeRegs[1], _freeRegs[2]);
     for (int tid = 0; tid < _cfg.numThreads; ++tid) {
         const Thread &t = _threads[static_cast<size_t>(tid)];
-        std::fprintf(stderr,
-                     "  t%d cursor=%zu/%zu inflight=%llu fq=%zu "
-                     "fetchReady=%+lld iq=%d",
-                     tid, t.cursor, t.prog ? t.prog->size() : 0,
-                     static_cast<unsigned long long>(t.tail - t.head),
-                     t.fetchQ.size(),
-                     static_cast<long long>(t.fetchReady) -
-                         static_cast<long long>(_now),
-                     t.iqCount);
+        out += strfmt("  t%d cursor=%zu/%zu inflight=%llu fq=%zu "
+                      "fetchReady=%+lld iq=%d",
+                      tid, t.cursor, t.prog ? t.prog->size() : 0,
+                      static_cast<unsigned long long>(t.tail - t.head),
+                      t.fetchQ.size(),
+                      static_cast<long long>(t.fetchReady) -
+                          static_cast<long long>(_now),
+                      t.iqCount);
         if (t.head != t.tail) {
             const RobEntry &e = entryAt(t, t.head);
-            std::fprintf(stderr, "  head: %s state=%d done=%+lld",
-                         isa::opName(e.inst.opcode()),
-                         static_cast<int>(e.state),
-                         static_cast<long long>(e.doneCycle) -
-                             static_cast<long long>(_now));
+            out += strfmt("  head: %s state=%d done=%+lld",
+                          isa::opName(e.inst->opcode()),
+                          static_cast<int>(e.state),
+                          static_cast<long long>(e.doneCycle) -
+                              static_cast<long long>(_now));
         }
-        std::fprintf(stderr, "\n");
+        out += "\n";
     }
+    // One atomic write: dumps from concurrent pool workers must not
+    // interleave mid-line.
+    dumpRaw(out);
+}
+
+// ---------------------------------------------------------------------
+// Stepping and idle fast-forward
+// ---------------------------------------------------------------------
+
+uint64_t
+SmtCore::nextEventCycle() const
+{
+    // In-flight stream expansions issue elements every cycle.
+    if (!_activeStreams.empty())
+        return _now;
+
+    uint64_t next = ~0ull;
+
+    for (int tid = 0; tid < _cfg.numThreads; ++tid) {
+        const Thread &t = _threads[static_cast<size_t>(tid)];
+        // Commit: a Done head graduates (or retries its store) the
+        // cycle its result is ready. A non-Done head completes through
+        // an issue/stream event accounted below.
+        if (t.head != t.tail) {
+            const RobEntry &h = entryAt(t, t.head);
+            if (h.state == State::Done) {
+                if (h.doneCycle <= _now)
+                    return _now;
+                next = std::min(next, h.doneCycle);
+            }
+        }
+        // Dispatch: a fetch-queue head that passes the structural
+        // gates renames this cycle. A gated head unblocks only through
+        // commit/issue events.
+        if (!t.fetchQ.empty() &&
+            dispatchGate(t, t.fetchQ.front()) == DispatchGate::Ok)
+            return _now;
+        // Fetch: an eligible thread accesses the I-cache this cycle.
+        if (t.prog && t.cursor < t.prog->size() &&
+            static_cast<int>(t.fetchQ.size()) + _cfg.fetchGroupSize <=
+                _cfg.fetchQueueDepth) {
+            if (t.fetchReady <= _now)
+                return _now;
+            next = std::min(next, t.fetchReady);
+        }
+    }
+
+    // Issue: a ready entry attempts to issue every cycle, even when the
+    // attempt keeps failing on a busy FU or a rejected memory access —
+    // so readiness, not executability, is what schedules the machine.
+    for (const std::vector<IqEntry> *q :
+         { &_intQ, &_memQ, &_fpQ, &_simdQ }) {
+        for (const IqEntry &ref : *q) {
+            const RobEntry &e = *ref.entry;
+            if (e.pos != ref.pos || e.state != State::Dispatched)
+                return _now;    // stale entry: the issue scan drops it
+            if (e.pendingProducers > 0)
+                continue;       // wakes through a producer completion
+            if (e.readyCycle <= _now)
+                return _now;
+            next = std::min(next, e.readyCycle);
+        }
+    }
+    return next;
 }
 
 void
-SmtCore::step()
+SmtCore::fastForwardTo(uint64_t target)
 {
+    uint64_t skipped = target - _now;
+    uint64_t n = static_cast<uint64_t>(_cfg.numThreads);
+
+    // The naive path runs every stage on a no-op cycle; the only
+    // residue is the per-cycle rotation advance and one dispatch-stall
+    // count per gated thread per cycle. Replay both exactly.
+    _fetchRotate = static_cast<int>(
+        (static_cast<uint64_t>(_fetchRotate) + skipped) % n);
+    _dispatchRotate = static_cast<int>(
+        (static_cast<uint64_t>(_dispatchRotate) + skipped) % n);
+    for (int tid = 0; tid < _cfg.numThreads; ++tid) {
+        const Thread &t = _threads[static_cast<size_t>(tid)];
+        if (t.fetchQ.empty())
+            continue;
+        switch (dispatchGate(t, t.fetchQ.front())) {
+          case DispatchGate::RobFull:
+            *_ctrRobFullStalls += skipped;
+            break;
+          case DispatchGate::IqFull:
+            *_ctrIqFullStalls += skipped;
+            break;
+          case DispatchGate::RegFull:
+            *_ctrRegFullStalls += skipped;
+            break;
+          case DispatchGate::Ok:
+            break;      // unreachable: an Ok gate prevents fast-forward
+        }
+    }
+    *_ctrIdleCyclesSkipped += skipped;
+    _now = target;
+    // The jump landed on the next event; the machine acts this cycle.
+    _probablyIdle = false;
+}
+
+void
+SmtCore::step(uint64_t horizon)
+{
+    // Only pay for the idle scan when the previous cycle made no
+    // visible progress — a cheap heuristic that keeps the fast-forward
+    // machinery entirely off the busy path. Skipping the scan on an
+    // idle cycle is harmless (the stages no-op and account their own
+    // stalls), so results are identical either way.
+    if (_cfg.enableFastForward && _probablyIdle) {
+        uint64_t next = nextEventCycle();
+        if (next > _now) {
+            // Let the memory hierarchy cap the jump at its own next
+            // structural event (bank frees, miss completes, write
+            // buffer drains), then never skip past the caller's cycle
+            // horizon.
+            next = std::min(next, _mem.nextEventCycle(_now));
+            uint64_t target = std::min(next, horizon);
+            if (target <= _now)
+                target = _now + 1;
+            fastForwardTo(target);
+            return;
+        }
+    }
+    uint64_t before =
+        *_ctrCommits + *_ctrIssued + *_ctrDispatched + *_ctrFetched;
     commitStage();
     streamStage();
     issueStage();
     dispatchStage();
     fetchStage();
     ++_now;
+    uint64_t after =
+        *_ctrCommits + *_ctrIssued + *_ctrDispatched + *_ctrFetched;
+    _probablyIdle = after == before;
 }
 
 // ---------------------------------------------------------------------
@@ -218,69 +410,87 @@ SmtCore::commitStage()
 {
     int budget = _cfg.commitWidth;
     int n = _cfg.numThreads;
-    bool progress = true;
-    std::vector<bool> blocked(static_cast<size_t>(n), false);
-    while (budget > 0 && progress) {
-        progress = false;
-        for (int i = 0; i < n && budget > 0; ++i) {
-            int tid = (i + static_cast<int>(_now)) % n;
-            if (blocked[static_cast<size_t>(tid)])
-                continue;
-            Thread &t = _threads[static_cast<size_t>(tid)];
-            if (t.head == t.tail)
-                continue;
-            RobEntry &e = entryAt(t, t.head);
-            if (e.state != State::Done || e.doneCycle > _now) {
-                blocked[static_cast<size_t>(tid)] = true;
-                continue;
-            }
+    int start = static_cast<int>(_now % static_cast<uint64_t>(n));
 
-            OpClass cls = e.inst.opClass();
-            bool scalarStore =
-                (cls == OpClass::Store || cls == OpClass::MmxStore);
-            if (scalarStore && !e.storeDone) {
-                mem::MemAccess req;
-                req.addr = e.inst.addr;
-                req.size = e.inst.accessSize;
-                req.isWrite = true;
-                req.isVector = (cls == OpClass::MmxStore);
-                req.threadId = tid;
-                mem::MemReply rep = _mem.access(_now, req);
-                if (!rep.accepted) {
-                    _stats.counter("commitStoreStalls") += 1;
-                    blocked[static_cast<size_t>(tid)] = true;
-                    continue;   // write buffer full; retry next cycle
-                }
-                e.storeDone = true;
-            }
+    // Try to graduate one instruction from @p tid; false when the head
+    // is absent, not ready, or its store was rejected — all conditions
+    // that cannot clear within this cycle, so the thread drops out of
+    // the round-robin for the rest of the stage.
+    auto tryCommitOne = [this](int tid) -> bool {
+        Thread &t = _threads[static_cast<size_t>(tid)];
+        if (t.head == t.tail)
+            return false;
+        RobEntry &e = entryAt(t, t.head);
+        if (e.state != State::Done || e.doneCycle > _now)
+            return false;
 
-            // Graduate.
-            if (isa::isValidReg(e.inst.dst))
-                _freeRegs[physPoolOf(e.inst.dst)] += 1;
-            uint32_t eq = e.inst.eqInsts();
-            _committedRecords += 1;
-            _committedEq += eq;
-            t.committedEq += eq;
-            _stats.counter("commits") += 1;
-            switch (isa::mixGroup(cls)) {
-              case isa::MixGroup::Int:
-                _stats.counter("commitInt") += eq;
-                break;
-              case isa::MixGroup::Fp:
-                _stats.counter("commitFp") += eq;
-                break;
-              case isa::MixGroup::SimdArith:
-                _stats.counter("commitSimd") += eq;
-                break;
-              case isa::MixGroup::Mem:
-                _stats.counter("commitMem") += eq;
-                break;
+        OpClass cls = e.inst->opClass();
+        bool scalarStore =
+            (cls == OpClass::Store || cls == OpClass::MmxStore);
+        if (scalarStore && !e.storeDone) {
+            mem::MemAccess req;
+            req.addr = e.inst->addr;
+            req.size = e.inst->accessSize;
+            req.isWrite = true;
+            req.isVector = (cls == OpClass::MmxStore);
+            req.threadId = tid;
+            mem::MemReply rep = _mem.access(_now, req);
+            if (!rep.accepted) {
+                *_ctrCommitStoreStalls += 1;
+                return false;   // write buffer full; retry next cycle
             }
-            e.state = State::Empty;
-            ++t.head;
-            --budget;
-            progress = true;
+            e.storeDone = true;
         }
+
+        // Graduate.
+        if (isa::isValidReg(e.inst->dst))
+            _freeRegs[physPoolOf(e.inst->dst)] += 1;
+        uint32_t eq = e.inst->eqInsts();
+        _committedRecords += 1;
+        _committedEq += eq;
+        t.committedEq += eq;
+        *_ctrCommits += 1;
+        switch (isa::mixGroup(cls)) {
+          case isa::MixGroup::Int:
+            *_ctrCommitInt += eq;
+            break;
+          case isa::MixGroup::Fp:
+            *_ctrCommitFp += eq;
+            break;
+          case isa::MixGroup::SimdArith:
+            *_ctrCommitSimd += eq;
+            break;
+          case isa::MixGroup::Mem:
+            *_ctrCommitMem += eq;
+            break;
+        }
+        e.state = State::Empty;
+        ++t.head;
+        return true;
+    };
+
+    // Round-robin starting at (_now % n), one commit per thread per
+    // round; after the first round only the threads that just committed
+    // can commit again, so later rounds visit exactly those.
+    int active[8];
+    int numActive = 0;
+    int tid = start;
+    for (int i = 0; i < n && budget > 0;
+         ++i, tid = (tid + 1 == n ? 0 : tid + 1)) {
+        if (tryCommitOne(tid)) {
+            --budget;
+            active[numActive++] = tid;
+        }
+    }
+    while (budget > 0 && numActive > 0) {
+        int stillActive = 0;
+        for (int i = 0; i < numActive && budget > 0; ++i) {
+            if (tryCommitOne(active[i])) {
+                --budget;
+                active[stillActive++] = active[i];
+            }
+        }
+        numActive = stillActive;
     }
 }
 
@@ -300,20 +510,20 @@ SmtCore::streamStage()
             break;
         IqEntry ref = _activeStreams[i];
         Thread &t = _threads[static_cast<size_t>(ref.tid)];
-        RobEntry &e = entryAt(t, ref.pos);
+        RobEntry &e = *ref.entry;
         if (e.pos != ref.pos || e.state != State::Executing) {
             // Squashed or otherwise gone.
             _activeStreams.erase(_activeStreams.begin() +
                                  static_cast<long>(i));
             continue;
         }
-        uint32_t total = e.inst.memAccesses();
+        uint32_t total = e.inst->memAccesses();
         int issuedThisCycle = 0;
         while (e.elemsIssued < total && issuedThisCycle < budget) {
             mem::MemAccess req;
-            req.addr = e.inst.elementAddr(e.elemsIssued);
-            req.size = e.inst.accessSize;
-            req.isWrite = e.inst.isStore();
+            req.addr = e.inst->elementAddr(e.elemsIssued);
+            req.size = e.inst->accessSize;
+            req.isWrite = e.inst->isStore();
             req.isVector = true;
             req.nonTemporal = false;
             req.threadId = ref.tid;
@@ -328,6 +538,7 @@ SmtCore::streamStage()
         if (e.elemsIssued >= total) {
             e.state = State::Done;
             e.doneCycle = std::max(e.streamReady, _now + 1);
+            wakeDependents(t, e);
             _activeStreams.erase(_activeStreams.begin() +
                                  static_cast<long>(i));
             continue;
@@ -343,7 +554,7 @@ SmtCore::streamStage()
 bool
 SmtCore::tryExecute(int tid, RobEntry &e, QueueKind kind)
 {
-    const isa::OpInfo &info = isa::opInfo(e.inst.opcode());
+    const isa::OpInfo &info = isa::opInfo(e.inst->opcode());
     OpClass cls = info.cls;
 
     switch (kind) {
@@ -356,7 +567,7 @@ SmtCore::tryExecute(int tid, RobEntry &e, QueueKind kind)
         e.state = State::Done;
         e.doneCycle = _now + info.latency;
         if (e.mispredicted) {
-            _stats.counter("mispredicts") += 1;
+            *_ctrMispredicts += 1;
             flushThread(tid, e.pos);
         }
         return true;
@@ -375,7 +586,7 @@ SmtCore::tryExecute(int tid, RobEntry &e, QueueKind kind)
         if (isa::isMom(cls)) {
             if (_momFuBusyUntil > _now)
                 return false;
-            uint32_t len = std::max<uint32_t>(1, e.inst.streamLen);
+            uint32_t len = std::max<uint32_t>(1, e.inst->streamLen);
             uint64_t occupancy =
                 (len + _cfg.vectorLanes - 1) /
                 static_cast<uint32_t>(_cfg.vectorLanes);
@@ -394,20 +605,20 @@ SmtCore::tryExecute(int tid, RobEntry &e, QueueKind kind)
             e.state = State::Executing;
             e.elemsIssued = 0;
             e.streamReady = 0;
-            _activeStreams.push_back({ tid, e.pos });
+            _activeStreams.push_back({ &e, e.pos, tid });
             return true;
         }
-        if (e.inst.isStore()) {
+        if (e.inst->isStore()) {
             // Address generation; the access happens at graduation.
             e.state = State::Done;
             e.doneCycle = _now + 1;
             return true;
         }
         mem::MemAccess req;
-        req.addr = e.inst.addr;
-        req.size = e.inst.accessSize;
+        req.addr = e.inst->addr;
+        req.size = e.inst->accessSize;
         req.isWrite = false;
-        req.isVector = e.inst.isMmx();
+        req.isVector = e.inst->isMmx();
         req.threadId = tid;
         mem::MemReply rep = _mem.access(_now, req);
         if (!rep.accepted)
@@ -424,33 +635,60 @@ void
 SmtCore::issueFromQueue(std::vector<IqEntry> &queue, int width,
                         QueueKind kind)
 {
+    // Nothing can possibly be ready before the queue's bound: skip the
+    // scan outright. A skipped scan has no side effects (no entry
+    // issues, no compaction, no counters), so results are unchanged.
+    uint64_t &bound = _queueMinReady[static_cast<int>(kind)];
+    if (bound > _now)
+        return;
+
+    uint64_t nextReady = ~0ull;
     int used = 0;
     size_t keep = 0;
     size_t i = 0;
     for (; i < queue.size(); ++i) {
         IqEntry ref = queue[i];
-        Thread &t = _threads[static_cast<size_t>(ref.tid)];
-        RobEntry &e = entryAt(t, ref.pos);
+        RobEntry &e = *ref.entry;
+        // Compaction writes only once the kept range diverges from the
+        // scanned range (i.e. after the first issue/drop) — on most
+        // cycles most entries just stay put.
+        auto keepEntry = [&queue, &keep](size_t at, IqEntry entry) {
+            if (keep != at)
+                queue[keep] = entry;
+            ++keep;
+        };
         if (e.pos != ref.pos || e.state != State::Dispatched)
             continue;           // squashed/stale: drop from the queue
         if (used >= width) {
-            queue[keep++] = ref;
+            keepEntry(i, ref);      // ready now, out of issue slots
+            nextReady = std::min(nextReady, e.readyCycle);
             continue;
         }
-        if (!operandsReady(t, e)) {
-            queue[keep++] = ref;
+        if (e.pendingProducers > 0) {
+            keepEntry(i, ref);      // its wakeup will relax the bound
+            continue;
+        }
+        if (e.readyCycle > _now) {
+            keepEntry(i, ref);      // operands not ready yet
+            nextReady = std::min(nextReady, e.readyCycle);
             continue;
         }
         ++used;                 // an issue slot is consumed by the attempt
         if (tryExecute(ref.tid, e, kind)) {
+            Thread &t = _threads[static_cast<size_t>(ref.tid)];
+            if (e.state == State::Done)
+                wakeDependents(t, e);
             t.iqCount -= 1;
-            t.oqCount -= e.inst.eqInsts();
-            _stats.counter("issued") += 1;
+            t.oqCount -= e.inst->eqInsts();
+            *_ctrIssued += 1;
         } else {
-            queue[keep++] = ref;
+            keepEntry(i, ref);      // FU busy / access rejected: retry
+            nextReady = std::min(nextReady, e.readyCycle);
         }
     }
     queue.resize(keep);
+    // Exact as of this scan; later dispatches/wakeups only lower it.
+    bound = nextReady;
 }
 
 void
@@ -466,100 +704,156 @@ SmtCore::issueStage()
 // Dispatch (decode + rename)
 // ---------------------------------------------------------------------
 
+SmtCore::DispatchGate
+SmtCore::dispatchGate(const Thread &t, const FetchedInst &f,
+                      QueueKind *kindOut) const
+{
+    if (t.tail - t.head >= static_cast<uint64_t>(_cfg.windowPerThread))
+        return DispatchGate::RobFull;
+    QueueKind kind = isa::queueKind(f.inst->opClass());
+    if (kindOut)
+        *kindOut = kind;
+    const std::vector<IqEntry> *queue = nullptr;
+    int cap = 0;
+    switch (kind) {
+      case QueueKind::Int:
+        queue = &_intQ;
+        cap = _cfg.intQueue;
+        break;
+      case QueueKind::Mem:
+        queue = &_memQ;
+        cap = _cfg.memQueue;
+        break;
+      case QueueKind::Fp:
+        queue = &_fpQ;
+        cap = _cfg.fpQueue;
+        break;
+      case QueueKind::Simd:
+        queue = &_simdQ;
+        cap = _cfg.simdQueue;
+        break;
+    }
+    bool isNop = f.inst->opClass() == OpClass::Nop;
+    if (!isNop && static_cast<int>(queue->size()) >= cap)
+        return DispatchGate::IqFull;
+    if (isa::isValidReg(f.inst->dst) &&
+        _freeRegs[physPoolOf(f.inst->dst)] <= 0)
+        return DispatchGate::RegFull;
+    return DispatchGate::Ok;
+}
+
 void
 SmtCore::dispatchStage()
 {
     int budget = _cfg.decodeWidth;
     int n = _cfg.numThreads;
-    std::vector<bool> blocked(static_cast<size_t>(n), false);
-    bool progress = true;
-    while (budget > 0 && progress) {
-        progress = false;
-        for (int i = 0; i < n && budget > 0; ++i) {
-            int tid = (i + _dispatchRotate) % n;
-            if (blocked[static_cast<size_t>(tid)])
-                continue;
-            Thread &t = _threads[static_cast<size_t>(tid)];
-            if (t.fetchQ.empty())
-                continue;
+    int start = _dispatchRotate % n;
 
-            // Structural checks.
-            if (t.tail - t.head >= t.rob.size()) {
-                blocked[static_cast<size_t>(tid)] = true;
-                _stats.counter("robFullStalls") += 1;
-                continue;
-            }
-            const FetchedInst &f = t.fetchQ.front();
-            QueueKind kind = isa::queueKind(f.inst.opClass());
-            std::vector<IqEntry> *queue = nullptr;
-            int cap = 0;
-            switch (kind) {
-              case QueueKind::Int:
-                queue = &_intQ;
-                cap = _cfg.intQueue;
-                break;
-              case QueueKind::Mem:
-                queue = &_memQ;
-                cap = _cfg.memQueue;
-                break;
-              case QueueKind::Fp:
-                queue = &_fpQ;
-                cap = _cfg.fpQueue;
-                break;
-              case QueueKind::Simd:
-                queue = &_simdQ;
-                cap = _cfg.simdQueue;
-                break;
-            }
-            bool isNop = f.inst.opClass() == OpClass::Nop;
-            if (!isNop && static_cast<int>(queue->size()) >= cap) {
-                blocked[static_cast<size_t>(tid)] = true;
-                _stats.counter("iqFullStalls") += 1;
-                continue;
-            }
-            if (isa::isValidReg(f.inst.dst) &&
-                _freeRegs[physPoolOf(f.inst.dst)] <= 0) {
-                blocked[static_cast<size_t>(tid)] = true;
-                _stats.counter("regFullStalls") += 1;
-                continue;
-            }
+    // Decode/rename one instruction from @p tid; false when its fetch
+    // queue is empty or a structural gate blocks it (the gates only
+    // tighten within a cycle, so a refused thread drops out of the
+    // round-robin for the rest of the stage).
+    auto tryDispatchOne = [this](int tid) -> bool {
+        Thread &t = _threads[static_cast<size_t>(tid)];
+        if (t.fetchQ.empty())
+            return false;
 
-            // Allocate and rename.
-            uint64_t pos = t.tail++;
-            RobEntry &e = entryAt(t, pos);
-            e = RobEntry{};
-            e.inst = f.inst;
-            e.pos = pos;
-            e.mispredicted = f.mispredicted;
+        // Structural checks.
+        const FetchedInst &f = t.fetchQ.front();
+        QueueKind kind = QueueKind::Int;
+        switch (dispatchGate(t, f, &kind)) {
+          case DispatchGate::RobFull:
+            *_ctrRobFullStalls += 1;
+            return false;
+          case DispatchGate::IqFull:
+            *_ctrIqFullStalls += 1;
+            return false;
+          case DispatchGate::RegFull:
+            *_ctrRegFullStalls += 1;
+            return false;
+          case DispatchGate::Ok:
+            break;
+        }
+        std::vector<IqEntry> *queue = nullptr;
+        switch (kind) {
+          case QueueKind::Int:  queue = &_intQ;  break;
+          case QueueKind::Mem:  queue = &_memQ;  break;
+          case QueueKind::Fp:   queue = &_fpQ;   break;
+          case QueueKind::Simd: queue = &_simdQ; break;
+        }
+        bool isNop = f.inst->opClass() == OpClass::Nop;
 
-            isa::RegRef srcs[3] = { f.inst.src0, f.inst.src1, f.inst.src2 };
-            for (int sidx = 0; sidx < 3; ++sidx) {
-                e.prod[sidx] = isa::isValidReg(srcs[sidx])
-                    ? t.rename[srcs[sidx]] : -1;
-            }
-            if (isa::isValidReg(f.inst.dst)) {
-                e.prevWriter = t.rename[f.inst.dst];
-                t.rename[f.inst.dst] = static_cast<int64_t>(pos);
-                _freeRegs[physPoolOf(f.inst.dst)] -= 1;
-            }
+        // Allocate and rename. Fields are reset one by one (instead
+        // of assigning a fresh RobEntry) so the recycled slot keeps
+        // its waiter-list capacity.
+        uint64_t pos = t.tail++;
+        RobEntry &e = entryAt(t, pos);
+        e.inst = f.inst;
+        e.pos = pos;
+        e.qKind = static_cast<uint8_t>(kind);
+        e.doneCycle = 0;
+        e.prevWriter = -1;
+        e.mispredicted = f.mispredicted;
+        e.storeDone = false;
+        e.elemsIssued = 0;
+        e.streamReady = 0;
+        e.gen = ++t.genTick;
+        e.waiters.clear();
 
-            if (isNop) {
-                e.state = State::Done;
-                e.doneCycle = _now;
-            } else {
-                e.state = State::Dispatched;
-                queue->push_back({ tid, pos });
-                t.iqCount += 1;
-                t.oqCount += e.inst.eqInsts();
-            }
+        isa::RegRef srcs[3] = { f.inst->src0, f.inst->src1, f.inst->src2 };
+        for (int sidx = 0; sidx < 3; ++sidx) {
+            e.prod[sidx] = isa::isValidReg(srcs[sidx])
+                ? t.rename[srcs[sidx]] : -1;
+        }
+        trackProducers(t, e);
+        if (isa::isValidReg(f.inst->dst)) {
+            e.prevWriter = t.rename[f.inst->dst];
+            t.rename[f.inst->dst] = static_cast<int64_t>(pos);
+            _freeRegs[physPoolOf(f.inst->dst)] -= 1;
+        }
 
-            t.fetchQ.pop_front();
+        if (isNop) {
+            e.state = State::Done;
+            e.doneCycle = _now;
+        } else {
+            e.state = State::Dispatched;
+            queue->push_back({ &e, pos, tid });
+            t.iqCount += 1;
+            t.oqCount += e.inst->eqInsts();
+            if (e.pendingProducers == 0)
+                relaxQueueBound(e);
+        }
+
+        t.fetchQ.pop_front();
+        *_ctrDispatched += 1;
+        return true;
+    };
+
+    // Round-robin from _dispatchRotate, one instruction per thread per
+    // round; only threads that just dispatched stay in later rounds
+    // (a stall counter fires at the moment a thread drops out gated,
+    // exactly like the naive every-pass walk did).
+    int active[8];
+    int numActive = 0;
+    int tid = start;
+    for (int i = 0; i < n && budget > 0;
+         ++i, tid = (tid + 1 == n ? 0 : tid + 1)) {
+        if (tryDispatchOne(tid)) {
             --budget;
-            progress = true;
-            _stats.counter("dispatched") += 1;
+            active[numActive++] = tid;
         }
     }
-    _dispatchRotate = (_dispatchRotate + 1) % std::max(1, n);
+    while (budget > 0 && numActive > 0) {
+        int stillActive = 0;
+        for (int i = 0; i < numActive && budget > 0; ++i) {
+            if (tryDispatchOne(active[i])) {
+                --budget;
+                active[stillActive++] = active[i];
+            }
+        }
+        numActive = stillActive;
+    }
+    _dispatchRotate = (_dispatchRotate + 1 == n ? 0 : _dispatchRotate + 1);
 }
 
 // ---------------------------------------------------------------------
@@ -572,28 +866,44 @@ SmtCore::vectorPipeEmpty() const
     return _simdQ.empty() && _momFuBusyUntil <= _now;
 }
 
-std::vector<int>
+const std::vector<int> &
 SmtCore::fetchOrder()
 {
-    std::vector<int> order;
-    order.reserve(static_cast<size_t>(_cfg.numThreads));
-    for (int i = 0; i < _cfg.numThreads; ++i)
-        order.push_back((i + _fetchRotate) % _cfg.numThreads);
+    std::vector<int> &order = _fetchOrderBuf;
+    order.clear();
+    int n = _cfg.numThreads;
+    int tid = _fetchRotate % n;
+    for (int i = 0; i < n; ++i, tid = (tid + 1 == n ? 0 : tid + 1))
+        order.push_back(tid);
 
+    // Stable insertion sort over a precomputed key array: at most 8
+    // threads, runs every cycle, never touches an allocator, and loads
+    // each thread's counter once instead of per comparison.
+    int64_t keys[8];
+    auto sortByKeys = [&order, &keys]() {
+        for (size_t i = 1; i < order.size(); ++i) {
+            int v = order[i];
+            int64_t k = keys[v];
+            size_t j = i;
+            while (j > 0 && k < keys[order[j - 1]]) {
+                order[j] = order[j - 1];
+                --j;
+            }
+            order[j] = v;
+        }
+    };
     switch (_cfg.fetchPolicy) {
       case FetchPolicy::RoundRobin:
         break;
       case FetchPolicy::ICount:
-        std::stable_sort(order.begin(), order.end(), [this](int a, int b) {
-            return _threads[static_cast<size_t>(a)].iqCount <
-                   _threads[static_cast<size_t>(b)].iqCount;
-        });
+        for (int t = 0; t < n; ++t)
+            keys[t] = _threads[static_cast<size_t>(t)].iqCount;
+        sortByKeys();
         break;
       case FetchPolicy::OCount:
-        std::stable_sort(order.begin(), order.end(), [this](int a, int b) {
-            return _threads[static_cast<size_t>(a)].oqCount <
-                   _threads[static_cast<size_t>(b)].oqCount;
-        });
+        for (int t = 0; t < n; ++t)
+            keys[t] = _threads[static_cast<size_t>(t)].oqCount;
+        sortByKeys();
         break;
       case FetchPolicy::Balance: {
         // Promote one thread of the class the vector pipeline needs to
@@ -614,14 +924,14 @@ SmtCore::fetchOrder()
         break;
       }
     }
-    _fetchRotate = (_fetchRotate + 1) % std::max(1, _cfg.numThreads);
+    _fetchRotate = (_fetchRotate + 1 == n ? 0 : _fetchRotate + 1);
     return order;
 }
 
 void
 SmtCore::fetchStage()
 {
-    std::vector<int> order = fetchOrder();
+    const std::vector<int> &order = fetchOrder();
     size_t orderIdx = 0;
 
     for (int g = 0; g < _cfg.fetchGroups; ++g) {
@@ -650,12 +960,12 @@ SmtCore::fetchStage()
         uint64_t groupPc = insts[t.cursor].pc;
         mem::FetchReply rep = _mem.ifetch(_now, groupPc);
         if (!rep.accepted) {
-            _stats.counter("ifetchRejected") += 1;
+            *_ctrIfetchRejected += 1;
             continue;       // I-cache port/bank conflict this cycle
         }
         if (!rep.hit) {
             t.fetchReady = rep.readyCycle;
-            _stats.counter("icacheMissStalls") += 1;
+            *_ctrIcacheMissStalls += 1;
             continue;
         }
 
@@ -663,24 +973,24 @@ SmtCore::fetchStage()
         for (int k = 0; k < _cfg.fetchGroupSize &&
                         t.cursor < t.prog->size(); ++k) {
             FetchedInst f;
-            f.inst = insts[t.cursor];
+            f.inst = &insts[t.cursor];
             ++t.cursor;
 
-            if (f.inst.isCondBranch()) {
-                bool pred = _bpred.predict(tid, f.inst.pc);
-                bool actual = f.inst.taken();
+            if (f.inst->isCondBranch()) {
+                bool pred = _bpred.predict(tid, f.inst->pc);
+                bool actual = f.inst->taken();
                 f.mispredicted = (pred != actual);
-                _bpred.update(tid, f.inst.pc, actual);
-                _stats.counter("condBranches") += 1;
+                _bpred.update(tid, f.inst->pc, actual);
+                *_ctrCondBranches += 1;
             }
-            if (isa::isSimd(f.inst.opClass()))
+            if (isa::isSimd(f.inst->opClass()))
                 fetchedVector = true;
 
             t.fetchQ.push_back(f);
-            _stats.counter("fetched") += 1;
+            *_ctrFetched += 1;
 
             // A group ends at taken control flow.
-            if (f.inst.isControl() && f.inst.taken())
+            if (f.inst->isControl() && f.inst->taken())
                 break;
         }
         t.lastFetchVector = fetchedVector;
@@ -698,22 +1008,25 @@ SmtCore::flushThread(int tid, uint64_t branchPos)
     RobEntry &branch = entryAt(t, branchPos);
 
     // Roll back rename state and free registers, youngest first.
+    // Squashed entries keep their generation tag until the slot is
+    // reallocated, so wakeup records pointing at them stay inert (the
+    // pos is cleared here; a recycled slot gets a fresh gen).
     while (t.tail > branchPos + 1) {
         uint64_t pos = --t.tail;
         RobEntry &e = entryAt(t, pos);
         if (e.pos != pos)
             continue;
-        if (isa::isValidReg(e.inst.dst)) {
-            t.rename[e.inst.dst] = e.prevWriter;
-            _freeRegs[physPoolOf(e.inst.dst)] += 1;
+        if (isa::isValidReg(e.inst->dst)) {
+            t.rename[e.inst->dst] = e.prevWriter;
+            _freeRegs[physPoolOf(e.inst->dst)] += 1;
         }
         if (e.state == State::Dispatched) {
             t.iqCount -= 1;
-            t.oqCount -= e.inst.eqInsts();
+            t.oqCount -= e.inst->eqInsts();
         }
         e.state = State::Empty;
         e.pos = ~0ull;
-        _stats.counter("squashed") += 1;
+        *_ctrSquashed += 1;
     }
 
     auto scrub = [tid, branchPos](std::vector<IqEntry> &q) {
@@ -737,7 +1050,7 @@ SmtCore::flushThread(int tid, uint64_t branchPos)
     t.fetchReady = std::max(t.fetchReady,
                             branch.doneCycle +
                             static_cast<uint64_t>(_cfg.mispredictPenalty));
-    _stats.counter("flushes") += 1;
+    *_ctrFlushes += 1;
 }
 
 } // namespace momsim::cpu

@@ -14,16 +14,42 @@
  * dataflow; memory timing comes from the attached MemorySystem; wrong
  * paths after a branch mispredict are charged as flush + redirect bubbles
  * rather than executed (see DESIGN.md, substitutions).
+ *
+ * Simulation-throughput machinery (results are identical to the naive
+ * per-cycle walk; the kernel_equivalence CTest gate holds it to the
+ * pre-refactor rows byte for byte):
+ *
+ *  - Readiness tracking: instead of rescanning every issue-queue entry's
+ *    producers each cycle, each ROB entry carries a pending-producer
+ *    count and a ready cycle. Producers keep a wakeup list of waiting
+ *    consumers; completing an instruction decrements its consumers'
+ *    counts and relaxes their ready cycles, so the issue scan is O(1)
+ *    per entry. Wakeup records are validated by a per-entry generation
+ *    tag, which makes records from squashed (flushed) consumers inert
+ *    even after their ROB slot is recycled.
+ *
+ *  - Power-of-two ROB storage: the circular reorder buffer is sized to
+ *    the next power of two above the configured window so position
+ *    lookup is a mask, not a modulo. Logical capacity is still exactly
+ *    windowPerThread.
+ *
+ *  - Idle fast-forward: when no stage can make progress this cycle,
+ *    step() jumps straight to the next cycle at which anything can
+ *    change (earliest completion, fetch redirect, queue-entry ready
+ *    time, or a memory-structure event from
+ *    MemorySystem::nextEventCycle), advancing the round-robin rotations
+ *    and per-cycle stall statistics exactly as the skipped no-op cycles
+ *    would have.
  */
 
 #ifndef MOMSIM_CPU_SMT_CORE_HH
 #define MOMSIM_CPU_SMT_CORE_HH
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <vector>
 
+#include "common/bits.hh"
 #include "common/stats.hh"
 #include "cpu/branch_predictor.hh"
 #include "cpu/core_config.hh"
@@ -48,8 +74,12 @@ class SmtCore
     /** Committed equivalent instructions of the current program so far. */
     uint64_t threadCommittedEq(int tid) const;
 
-    /** Advance the machine one cycle. */
-    void step();
+    /**
+     * Advance the machine one cycle — or, when no stage can make
+     * progress, fast-forward to the next cycle at which one can (never
+     * past @p horizon, so a caller's cycle limit stays exact).
+     */
+    void step(uint64_t horizon = ~0ull);
 
     uint64_t now() const { return _now; }
 
@@ -80,46 +110,127 @@ class SmtCore
         Done,           ///< result ready at doneCycle
     };
 
+    /** One wakeup registration: a consumer waiting on a producer. */
+    struct Waiter
+    {
+        uint64_t pos;       ///< consumer ROB position
+        uint32_t gen;       ///< consumer generation at registration
+    };
+
+    /**
+     * Field order is deliberate: the scheduling fields every per-cycle
+     * scan touches (position/identity, completion and readiness state)
+     * come first so they share one cache line; the instruction payload
+     * and rename/flush bookkeeping follow.
+     */
     struct RobEntry
     {
-        isa::TraceInst inst;
         uint64_t pos = 0;           ///< absolute position (age within thread)
         uint64_t doneCycle = 0;
-        int64_t prod[3] = { -1, -1, -1 };   ///< producer positions
-        int64_t prevWriter = -1;    ///< for rename rollback on flush
+        // ---- readiness tracking ----
+        uint64_t readyCycle = 0;    ///< max doneCycle of resolved producers
+        int pendingProducers = 0;   ///< producers not yet executed
+        uint32_t gen = 0;           ///< bumped on (re)allocation
+        uint8_t qKind = 0;          ///< isa::QueueKind, fixed at dispatch
         State state = State::Empty;
         bool mispredicted = false;
         bool storeDone = false;     ///< scalar store performed at commit
         uint16_t elemsIssued = 0;   ///< stream memory progress
         uint64_t streamReady = 0;   ///< max element completion
+        int64_t prod[3] = { -1, -1, -1 };   ///< producer positions
+        int64_t prevWriter = -1;    ///< for rename rollback on flush
+        const isa::TraceInst *inst = nullptr;   ///< into the thread's trace
+        std::vector<Waiter> waiters;    ///< consumers to wake when Done
     };
 
+    /**
+     * Both the fetch queue and the ROB reference trace instructions by
+     * pointer into the (immutable) Program rather than by value: a
+     * thread's ROB position equals its trace index, so the pointed-at
+     * record outlives the entry, and the pipeline structures shrink to
+     * a fraction of the memory traffic per dispatched instruction.
+     */
     struct FetchedInst
     {
-        isa::TraceInst inst;
+        const isa::TraceInst *inst = nullptr;
         bool mispredicted = false;
     };
 
+    /**
+     * Fixed-capacity ring buffer for the per-thread fetch queue. The
+     * queue is bounded by fetchQueueDepth and lives on the kernel's
+     * hottest path (one push per fetched instruction, one pop per
+     * dispatched one), where std::deque's segmented bookkeeping is
+     * measurable overhead.
+     */
+    class FetchRing
+    {
+      public:
+        void
+        init(size_t capacity)
+        {
+            _buf.resize(pow2Ceil(capacity));
+            _mask = _buf.size() - 1;
+            _head = _tail = 0;
+        }
+
+        bool empty() const { return _head == _tail; }
+        size_t size() const { return _tail - _head; }
+        const FetchedInst &front() const { return _buf[_head & _mask]; }
+        void push_back(const FetchedInst &f) { _buf[_tail++ & _mask] = f; }
+        void pop_front() { ++_head; }
+        void clear() { _head = _tail = 0; }
+
+      private:
+        std::vector<FetchedInst> _buf;
+        uint64_t _mask = 0;
+        uint64_t _head = 0;
+        uint64_t _tail = 0;
+    };
+
+    /**
+     * The 2KB rename table sits last on purpose: the per-cycle
+     * commit/dispatch/fetch scans walk every thread's control fields,
+     * which this layout keeps within the struct's first cache lines.
+     */
     struct Thread
     {
         const trace::Program *prog = nullptr;
         size_t cursor = 0;              ///< next trace index to fetch
         uint64_t fetchReady = 0;        ///< icache stall / redirect
-        std::deque<FetchedInst> fetchQ;
-        std::vector<RobEntry> rob;      ///< circular, capacity = window
+        uint64_t robMask = 0;           ///< rob.size() - 1
         uint64_t head = 0;              ///< oldest in-flight position
         uint64_t tail = 0;              ///< next position to allocate
-        int64_t rename[256];            ///< logical reg -> producer pos
         uint64_t committedEq = 0;       ///< for the current program
+        uint32_t genTick = 0;           ///< generation source for entries
         int iqCount = 0;                ///< decoded-not-issued (ICOUNT)
         int64_t oqCount = 0;            ///< eq-weighted (OCOUNT)
         bool lastFetchVector = false;   ///< for BALANCE
+        FetchRing fetchQ;
+        std::vector<RobEntry> rob;      ///< circular, pow2-rounded storage
+        int64_t rename[256];            ///< logical reg -> producer pos
     };
 
+    /**
+     * Issue-queue/stream-list reference. Carries the entry pointer
+     * (ROB storage never moves after construction) so queue scans
+     * check readiness without touching the Thread indirection; tid and
+     * pos stay for flush scrubbing and staleness validation.
+     */
     struct IqEntry
     {
-        int tid;
+        RobEntry *entry;
         uint64_t pos;
+        int tid;
+    };
+
+    /** Why (or whether) the head of a thread's fetch queue can't rename. */
+    enum class DispatchGate : uint8_t
+    {
+        Ok,
+        RobFull,
+        IqFull,
+        RegFull,
     };
 
     void commitStage();
@@ -128,16 +239,37 @@ class SmtCore
     void dispatchStage();
     void fetchStage();
 
-    bool operandsReady(const Thread &t, const RobEntry &e) const;
     void flushThread(int tid, uint64_t branchPos);
     RobEntry &entryAt(Thread &t, uint64_t pos);
     const RobEntry &entryAt(const Thread &t, uint64_t pos) const;
     int physPoolOf(isa::RegRef reg) const;
-    std::vector<int> fetchOrder();
+    const std::vector<int> &fetchOrder();
     bool vectorPipeEmpty() const;
     void issueFromQueue(std::vector<IqEntry> &queue, int width,
                         isa::QueueKind kind);
     bool tryExecute(int tid, RobEntry &e, isa::QueueKind kind);
+
+    /** Resolve producers of a freshly allocated entry; register waiters. */
+    void trackProducers(Thread &t, RobEntry &e);
+    /** Producer @p e just reached Done: wake registered consumers. */
+    void wakeDependents(Thread &t, RobEntry &e);
+    /** Entry @p e became ready: lower its queue's earliest-ready bound. */
+    void relaxQueueBound(const RobEntry &e);
+    /**
+     * The structural gate dispatch would hit for thread @p t's head.
+     * On Ok, @p kindOut (when given) receives the target queue kind so
+     * the dispatcher doesn't re-derive it.
+     */
+    DispatchGate dispatchGate(const Thread &t, const FetchedInst &f,
+                              isa::QueueKind *kindOut = nullptr) const;
+
+    /**
+     * Earliest cycle >= _now at which any stage can make progress (_now
+     * itself when one can right now; ~0ull when nothing is scheduled).
+     */
+    uint64_t nextEventCycle() const;
+    /** Jump to @p target, accounting the skipped no-op cycles. */
+    void fastForwardTo(uint64_t target);
 
     CoreConfig _cfg;
     mem::MemorySystem &_mem;
@@ -146,6 +278,16 @@ class SmtCore
     std::vector<Thread> _threads;
     std::vector<IqEntry> _intQ, _memQ, _fpQ, _simdQ;
     std::vector<IqEntry> _activeStreams;
+
+    /**
+     * Per-queue lower bound (indexed by QueueKind) on the earliest
+     * cycle any entry can be ready: issueFromQueue skips its whole scan
+     * while the bound is in the future. Lowered when a ready entry
+     * dispatches or a wakeup clears an entry's last pending producer;
+     * recomputed exactly from the surviving entries after each scan. A
+     * too-low bound only costs a no-op scan, never correctness.
+     */
+    uint64_t _queueMinReady[4] = { ~0ull, ~0ull, ~0ull, ~0ull };
 
     // Shared physical register pools: [0]=int, [1]=fp, [2]=simd.
     int _freeRegs[3] = { 0, 0, 0 };
@@ -161,6 +303,39 @@ class SmtCore
     int _fetchRotate = 0;
     int _dispatchRotate = 0;
     StatGroup _stats;
+
+    // Per-cycle scratch (a member so the hot loop never allocates).
+    std::vector<int> _fetchOrderBuf;
+
+    // Hot-path counters, cached once so per-event accounting is an
+    // increment instead of a string lookup (StatGroup counter
+    // references are stable for the group's lifetime).
+    uint64_t *_ctrCommits = nullptr;
+    uint64_t *_ctrCommitInt = nullptr;
+    uint64_t *_ctrCommitFp = nullptr;
+    uint64_t *_ctrCommitSimd = nullptr;
+    uint64_t *_ctrCommitMem = nullptr;
+    uint64_t *_ctrIssued = nullptr;
+    uint64_t *_ctrDispatched = nullptr;
+    uint64_t *_ctrFetched = nullptr;
+    uint64_t *_ctrCondBranches = nullptr;
+    uint64_t *_ctrRobFullStalls = nullptr;
+    uint64_t *_ctrIqFullStalls = nullptr;
+    uint64_t *_ctrRegFullStalls = nullptr;
+    uint64_t *_ctrIdleCyclesSkipped = nullptr;
+    uint64_t *_ctrCommitStoreStalls = nullptr;
+    uint64_t *_ctrMispredicts = nullptr;
+    uint64_t *_ctrFlushes = nullptr;
+    uint64_t *_ctrSquashed = nullptr;
+    uint64_t *_ctrIfetchRejected = nullptr;
+    uint64_t *_ctrIcacheMissStalls = nullptr;
+
+    /**
+     * Set when the last stage pass made no visible progress; gates the
+     * nextEventCycle() scan so active cycles never pay for it. Purely a
+     * scheduling heuristic — results are identical with or without it.
+     */
+    bool _probablyIdle = false;
 };
 
 } // namespace momsim::cpu

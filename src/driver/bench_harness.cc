@@ -20,6 +20,7 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [--jobs N] [--quick] [--seed S]\n"
+                 "          [--max-cycles N]\n"
                  "          [--workload NAME[,NAME...]] [--list-workloads]\n"
                  "          [--csv PATH] [--json PATH]\n"
                  "          [--cache-dir DIR] [--shard I/N]\n"
@@ -74,6 +75,7 @@ BenchOptions::takesValue(const char *flag)
     return std::strcmp(flag, "--jobs") == 0 ||
            std::strcmp(flag, "-j") == 0 ||
            std::strcmp(flag, "--seed") == 0 ||
+           std::strcmp(flag, "--max-cycles") == 0 ||
            std::strcmp(flag, "--csv") == 0 ||
            std::strcmp(flag, "--json") == 0 ||
            std::strcmp(flag, "--cache-dir") == 0 ||
@@ -114,6 +116,18 @@ BenchOptions::parseInto(int argc, char **argv, BenchOptions &out,
             if (!value(i, &v))
                 return false;
             opts.baseSeed = std::strtoull(v, nullptr, 0);
+        } else if (std::strcmp(arg, "--max-cycles") == 0) {
+            if (!value(i, &v))
+                return false;
+            char *end = nullptr;
+            opts.maxCycles = std::strtoull(v, &end, 0);
+            // strtoull silently wraps negative input; reject it.
+            if (!end || *end != '\0' || *v == '\0' || *v == '-' ||
+                opts.maxCycles < 1) {
+                error = strfmt("bad --max-cycles '%s' (want an integer "
+                               ">= 1)", v);
+                return false;
+            }
         } else if (std::strcmp(arg, "--csv") == 0) {
             if (!value(i, &v))
                 return false;
@@ -273,6 +287,12 @@ BenchHarness::run(const SweepGrid &grid)
     if (!g.hasExplicitWorkloads())
         g.workloadSpecs(_workloadNames);
     _lastWorkloads = g.workloadList();
+
+    // --max-cycles overrides the grid's cycle cap. It lands in every
+    // spec's maxCycles, which resultCacheKey embeds — rows cached under
+    // one limit can never be replayed under another.
+    if (_opts.maxCycles != 0)
+        g.limits(g.targetCompletionsValue(), _opts.maxCycles);
 
     ResultStore store;
     const bool persist = !_opts.cacheDir.empty();

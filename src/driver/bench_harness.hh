@@ -14,6 +14,12 @@
  *                 print the workload registry and exit
  *   --csv PATH    write the raw sweep results as CSV
  *   --json PATH   write the raw sweep results as JSON
+ *   --max-cycles N
+ *                 cap every simulation at N cycles (default: the grid's
+ *                 own limit, normally 400M — the paper's rotation
+ *                 bound, unreachable at bench scale). The cap is part
+ *                 of the result-store key, so rows cached under
+ *                 different limits never collide
  *   --seed S      base of the identity-derived per-task seeds recorded
  *                 in the CSV/JSON rows. Today's simulations are fully
  *                 deterministic and consume no randomness, so --seed
@@ -65,6 +71,7 @@ struct BenchOptions
     bool dryRun = false;
     bool listWorkloads = false; ///< print the registry and exit
     uint64_t baseSeed = 0;
+    uint64_t maxCycles = 0;     ///< 0 => keep the grid's own limit
     int shardIndex = 1;         ///< 1-based, <= shardCount
     int shardCount = 1;
     std::string csvPath;

@@ -114,6 +114,8 @@ class SweepGrid
 
     /** Run length bounds of every run in the grid. */
     SweepGrid &limits(int targetCompletions, uint64_t maxCycles);
+    int targetCompletionsValue() const { return _targetCompletions; }
+    uint64_t maxCyclesValue() const { return _maxCycles; }
 
     /** Full product size, before the skip predicate. */
     size_t size() const;

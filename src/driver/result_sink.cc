@@ -114,11 +114,15 @@ ResultSink::totalWallMs() const
 std::string
 ResultSink::toCsv() const
 {
+    // sim_kcps and wall_ms (the run's nondeterministic self-measurement)
+    // stay the last two columns so consumers comparing simulation
+    // results can strip them with a single tail cut — the
+    // kernel_equivalence gate does exactly that.
     std::string out =
         "id,workload,isa,threads,mem,policy,variant,seed,cycles,"
         "committed_eq,ipc,eipc,headline,l1_hit_rate,icache_hit_rate,"
         "l1_avg_latency,mispredicts,cond_branches,completions,"
-        "hit_cycle_limit\n";
+        "hit_cycle_limit,sim_kcps,wall_ms\n";
     for (const ResultRow &r : _rows) {
         out += csvField(r.id);
         out += ",";
@@ -133,10 +137,11 @@ ResultSink::toCsv() const
         out += "," + num(r.run.ipc) + "," + num(r.run.eipc) + "," +
                num(r.headline) + "," + num(r.run.l1HitRate) + "," +
                num(r.run.icacheHitRate) + "," + num(r.run.l1AvgLatency);
-        out += strfmt(",%llu,%llu,%d,%d\n",
+        out += strfmt(",%llu,%llu,%d,%d",
                       static_cast<unsigned long long>(r.run.mispredicts),
                       static_cast<unsigned long long>(r.run.condBranches),
                       r.run.completions, r.run.hitCycleLimit ? 1 : 0);
+        out += "," + num(r.run.simKcps) + "," + num(r.run.wallMs) + "\n";
     }
     return out;
 }
@@ -167,11 +172,13 @@ ResultSink::toJson() const
                ",\"icache_hit_rate\":" + num(r.run.icacheHitRate) +
                ",\"l1_avg_latency\":" + num(r.run.l1AvgLatency);
         out += strfmt(",\"mispredicts\":%llu,\"cond_branches\":%llu,"
-                      "\"completions\":%d,\"hit_cycle_limit\":%s}",
+                      "\"completions\":%d,\"hit_cycle_limit\":%s",
                       static_cast<unsigned long long>(r.run.mispredicts),
                       static_cast<unsigned long long>(r.run.condBranches),
                       r.run.completions,
                       r.run.hitCycleLimit ? "true" : "false");
+        out += ",\"sim_kcps\":" + num(r.run.simKcps) +
+               ",\"wall_ms\":" + num(r.run.wallMs) + "}";
         out += i + 1 < _rows.size() ? ",\n" : "\n";
     }
     out += "]\n";

@@ -5,7 +5,11 @@
  * Every completed experiment lands here as one ResultRow, in sweep
  * order (never completion order), so the sink's contents — and the CSV
  * and JSON renderings — are byte-identical no matter how many worker
- * threads executed the sweep.
+ * threads executed the sweep, with one deliberate exception: the two
+ * schema-v4 tail columns (sim_kcps, wall_ms) are the run's wall-clock
+ * self-measurement and vary run to run. They stay last so consumers
+ * that compare simulation results can cut them with a single tail
+ * strip, which is exactly what the kernel_equivalence gate does.
  *
  * The sink also owns the presentation helpers the benches share: the
  * headline metric (IPC for MMX machines, EIPC for MOM machines, the
@@ -48,7 +52,12 @@ struct ResultRow
     uint64_t seed = 0;
     core::RunResult run;
     double headline = 0.0;      ///< IPC (MMX) or EIPC (MOM)
-    /** Wall-clock of this run; informational only, never serialized. */
+    /**
+     * Wall-clock of the whole experiment (workload resolution + run);
+     * informational only, never serialized. The *simulation loop's* own
+     * wall clock and throughput live in run.wallMs / run.simKcps and
+     * are serialized (schema v4) as the tail columns of CSV/JSON rows.
+     */
     double wallMs = 0.0;
 };
 

@@ -134,7 +134,7 @@ enum RowField : uint32_t
     kFSchema, kFId, kFWorkload, kFIsa, kFThreads, kFMem, kFPolicy,
     kFVariant, kFSeed, kFCycles, kFCommittedEq, kFIpc, kFEipc, kFHeadline,
     kFL1Hit, kFIcacheHit, kFL1Lat, kFMispredicts, kFCondBranches,
-    kFCompletions, kFHitCycleLimit,
+    kFCompletions, kFHitCycleLimit, kFSimKcps, kFWallMs,
     kFCount,
 };
 
@@ -165,8 +165,10 @@ serializeRowFields(const ResultRow &r)
                   static_cast<unsigned long long>(r.run.mispredicts),
                   static_cast<unsigned long long>(r.run.condBranches),
                   r.run.completions);
-    out += strfmt("\"hit_cycle_limit\":%s",
+    out += strfmt("\"hit_cycle_limit\":%s,",
                   r.run.hitCycleLimit ? "true" : "false");
+    out += "\"sim_kcps\":" + exactNum(r.run.simKcps) +
+           ",\"wall_ms\":" + exactNum(r.run.wallMs);
     return out;
 }
 
@@ -328,6 +330,12 @@ parseStoreLine(const std::string &line, std::string &key, ResultRow &out)
                 else
                     ok = false;
                 mark(kFHitCycleLimit);
+            } else if (name == "sim_kcps") {
+                ok = toDouble(tok, row.run.simKcps);
+                mark(kFSimKcps);
+            } else if (name == "wall_ms") {
+                ok = toDouble(tok, row.run.wallMs);
+                mark(kFWallMs);
             }
             if (!ok)
                 return false;
@@ -403,6 +411,10 @@ configFingerprint(const ExperimentSpec &spec)
     foldInt(c.intPhysRegs);
     foldInt(c.fpPhysRegs);
     foldInt(c.simdPhysRegs);
+    // Results-neutral by contract (the differential test enforces it),
+    // but folded anyway: the fingerprint is exhaustive over config
+    // fields, full stop.
+    foldInt(c.enableFastForward ? 1 : 0);
 
     foldCache(m.l1);
     foldCache(m.icache);

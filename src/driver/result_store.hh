@@ -41,8 +41,9 @@ namespace momsim::driver
  * lookup instead of replaying rows that lack the new data.
  * v2 = v1 (PR 1's row) + hit_cycle_limit.
  * v3 = v2 + workload (the registry workload-spec name).
+ * v4 = v3 + sim_kcps + wall_ms (the run's self-measured throughput).
  */
-constexpr int kResultSchemaVersion = 3;
+constexpr int kResultSchemaVersion = 4;
 
 /**
  * Version of the simulator's *semantics*. Bump whenever a change to
@@ -63,7 +64,12 @@ constexpr int kSimCodeVersion = 1;
  */
 uint64_t configFingerprint(const ExperimentSpec &spec);
 
-/** One row as a single JSON line (no trailing newline, no wallMs). */
+/**
+ * One row as a single JSON line (no trailing newline; ResultRow.wallMs
+ * — the experiment wall clock — is not serialized, but the run's own
+ * sim_kcps/wall_ms self-measurement is, so cached rows keep their
+ * original throughput numbers).
+ */
 std::string serializeResultRow(const ResultRow &row);
 
 /**

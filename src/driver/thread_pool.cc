@@ -48,8 +48,10 @@ void
 ThreadPool::parallelFor(size_t n, const std::vector<double> &costs,
                         const std::function<void(size_t)> &body)
 {
-    MOMSIM_ASSERT(costs.empty() || costs.size() == n,
-                  "costs must be empty or one per index");
+    // Unconditional (MOMSIM_ASSERT compiles away in Release): a
+    // mismatched cost vector would read out of bounds in the deal.
+    if (!costs.empty() && costs.size() != n)
+        panic("parallelFor: costs must be empty or one per index");
     if (n == 0)
         return;
 

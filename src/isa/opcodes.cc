@@ -5,10 +5,10 @@
 namespace momsim::isa
 {
 
-namespace
+namespace detail
 {
 
-const OpInfo opTable[kNumOps] = {
+const OpInfo kOpTable[kNumOps] = {
 #define X(name, cls, lat, pipe) { #name, OpClass::cls, lat, pipe },
     MOMSIM_SCALAR_OPS(X)
     MOMSIM_MMX_OPS(X)
@@ -16,15 +16,7 @@ const OpInfo opTable[kNumOps] = {
 #undef X
 };
 
-} // namespace
-
-const OpInfo &
-opInfo(Op op)
-{
-    uint16_t v = static_cast<uint16_t>(op);
-    MOMSIM_ASSERT(v < kNumOps, "opcode out of range");
-    return opTable[v];
-}
+} // namespace detail
 
 const char *
 toString(OpClass c)

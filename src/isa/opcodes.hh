@@ -24,6 +24,7 @@
 
 #include <cstdint>
 
+#include "common/logging.hh"
 #include "isa/opclass.hh"
 
 namespace momsim::isa
@@ -344,8 +345,26 @@ struct OpInfo
     bool pipelined;     ///< false => FU is busy for the whole latency
 };
 
-/** Look up the static properties of @p op. */
-const OpInfo &opInfo(Op op);
+namespace detail
+{
+/** The static opcode-property table (defined in opcodes.cc). */
+extern const OpInfo kOpTable[kNumOps];
+} // namespace detail
+
+/**
+ * Look up the static properties of @p op. Inline on purpose: every
+ * TraceInst accessor (opClass, isStore, eqInsts, ...) funnels through
+ * this on the simulation kernel's hottest lines, so it must compile to
+ * a single indexed load rather than a cross-TU call (the range check
+ * survives only in Debug builds, where MOMSIM_ASSERT is live).
+ */
+inline const OpInfo &
+opInfo(Op op)
+{
+    MOMSIM_ASSERT(static_cast<uint16_t>(op) < kNumOps,
+                  "opcode out of range");
+    return detail::kOpTable[static_cast<uint16_t>(op)];
+}
 
 inline OpClass
 opClass(Op op)

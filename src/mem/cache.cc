@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/bits.hh"
 #include "common/logging.hh"
 
 namespace momsim::mem
@@ -9,12 +10,6 @@ namespace momsim::mem
 
 namespace
 {
-
-bool
-isPow2(uint32_t v)
-{
-    return v != 0 && (v & (v - 1)) == 0;
-}
 
 uint32_t
 log2u(uint32_t v)
@@ -30,23 +25,46 @@ log2u(uint32_t v)
 Cache::Cache(const CacheConfig &cfg)
     : _cfg(cfg),
       _lineMask(cfg.lineBytes - 1),
+      _lineShift(log2u(cfg.lineBytes)),
       _numSets(cfg.sizeBytes / (cfg.lineBytes * cfg.ways)),
+      _bankMask(isPow2(cfg.banks) ? cfg.banks - 1 : 0),
       _lines(static_cast<size_t>(_numSets) * cfg.ways),
       _mshrs(cfg.numMshrs),
       _wb(cfg.writeBufferEntries),
       _banks(cfg.banks),
       _stats(cfg.name)
 {
-    MOMSIM_ASSERT(isPow2(cfg.lineBytes), "line size must be a power of two");
-    MOMSIM_ASSERT(isPow2(_numSets), "set count must be a power of two");
-    MOMSIM_ASSERT(cfg.banks >= 1, "cache needs at least one bank");
-}
+    // Construction-time configuration validation is unconditional
+    // (MOMSIM_ASSERT compiles away in Release, and a bad geometry here
+    // would silently mis-index sets or alias freelist slots forever).
+    if (!isPow2(cfg.lineBytes))
+        panic("cache '" + cfg.name + "': line size must be a power of two");
+    if (!isPow2(_numSets))
+        panic("cache '" + cfg.name + "': set count must be a power of two");
+    if (cfg.banks < 1)
+        panic("cache '" + cfg.name + "': needs at least one bank");
+    if (cfg.writeBufferEntries > 0xffff)
+        panic("cache '" + cfg.name + "': freelist indices are 16-bit");
 
-uint32_t
-Cache::setIndex(uint64_t addr) const
-{
-    return static_cast<uint32_t>(
-        (addr >> log2u(_cfg.lineBytes)) & (_numSets - 1));
+    _wbLive.reserve(cfg.writeBufferEntries);
+    _wbFree.reserve(cfg.writeBufferEntries);
+    for (uint32_t i = cfg.writeBufferEntries; i > 0; --i)
+        _wbFree.push_back(static_cast<uint16_t>(i - 1));
+
+    _ctrAccesses = &_stats.counter("accesses");
+    _ctrHits = &_stats.counter("hits");
+    _ctrMisses = &_stats.counter("misses");
+    _ctrLatencySum = &_stats.counter("latencySum");
+    _ctrStoreAccesses = &_stats.counter("storeAccesses");
+    _ctrPortConflicts = &_stats.counter("portConflicts");
+    _ctrBankConflicts = &_stats.counter("bankConflicts");
+    _ctrQueueCycles = &_stats.counter("queueCycles");
+    _ctrDelayedHits = &_stats.counter("delayedHits");
+    _ctrMshrCoalesced = &_stats.counter("mshrCoalesced");
+    _ctrWbCoalesced = &_stats.counter("wbCoalesced");
+    _ctrWbInserts = &_stats.counter("wbInserts");
+    _ctrMshrFull = &_stats.counter("mshrFull");
+    _ctrMshrWait = &_stats.counter("mshrWait");
 }
 
 Cache::Line *
@@ -84,6 +102,9 @@ Cache::victimLine(uint64_t addr)
 Cache::Mshr *
 Cache::findMshr(uint64_t line)
 {
+    // The common case on the hit path: nothing outstanding, no scan.
+    if (_mshrValidCount == 0)
+        return nullptr;
     for (auto &m : _mshrs) {
         if (m.valid && m.lineAddr == line)
             return &m;
@@ -91,17 +112,42 @@ Cache::findMshr(uint64_t line)
     return nullptr;
 }
 
+const Cache::Mshr *
+Cache::findMshr(uint64_t line) const
+{
+    return const_cast<Cache *>(this)->findMshr(line);
+}
+
 Cache::Mshr *
 Cache::freeMshr(uint64_t cycle)
 {
     for (auto &m : _mshrs) {
-        // Lazily retire completed misses.
-        if (m.valid && m.filled && m.readyCycle <= cycle)
+        // Lazily retire completed misses (at most one: the walk stops
+        // at the first usable slot — see the header note on why the
+        // one-at-a-time pattern is observable and must be preserved).
+        if (m.valid && m.filled && m.readyCycle <= cycle) {
             m.valid = false;
+            --_mshrValidCount;
+        }
         if (!m.valid)
             return &m;
     }
     return nullptr;
+}
+
+void
+Cache::wbPrune(uint64_t cycle) const
+{
+    // Liveness is membership in _wbLive; the entry's valid flag is left
+    // alone so this lazy recycling can run from const probes.
+    size_t keep = 0;
+    for (uint16_t idx : _wbLive) {
+        if (_wb[idx].freeCycle <= cycle)
+            _wbFree.push_back(idx);
+        else
+            _wbLive[keep++] = idx;
+    }
+    _wbLive.resize(keep);
 }
 
 bool
@@ -166,15 +212,15 @@ Cache::lookup(uint64_t cycle, uint64_t addr, bool isWrite)
         if (Mshr *pending = findMshr(line)) {
             if (pending->readyCycle > res.readyCycle) {
                 res.readyCycle = pending->readyCycle;
-                _stats.counter("delayedHits") += 1;
+                *_ctrDelayedHits += 1;
             }
         }
         if (wtStore) {
-            _stats.counter("storeAccesses") += 1;
+            *_ctrStoreAccesses += 1;
         } else {
-            _stats.counter("accesses") += 1;
-            _stats.counter("hits") += 1;
-            _stats.counter("latencySum") += res.readyCycle - cycle;
+            *_ctrAccesses += 1;
+            *_ctrHits += 1;
+            *_ctrLatencySum += res.readyCycle - cycle;
         }
         return res;
     }
@@ -185,7 +231,7 @@ Cache::lookup(uint64_t cycle, uint64_t addr, bool isWrite)
         res.accepted = true;
         res.hit = false;
         res.readyCycle = cycle + _cfg.hitLatency;
-        _stats.counter("storeAccesses") += 1;
+        *_ctrStoreAccesses += 1;
         return res;
     }
 
@@ -199,18 +245,19 @@ Cache::lookup(uint64_t cycle, uint64_t addr, bool isWrite)
             res.hit = false;
             res.readyCycle = std::max(m->readyCycle,
                                       cycle + _cfg.hitLatency);
-            _stats.counter("accesses") += 1;
-            _stats.counter("misses") += 1;
-            _stats.counter("mshrCoalesced") += 1;
-            _stats.counter("latencySum") += res.readyCycle - cycle;
+            *_ctrAccesses += 1;
+            *_ctrMisses += 1;
+            *_ctrMshrCoalesced += 1;
+            *_ctrLatencySum += res.readyCycle - cycle;
             return res;
         }
         m->valid = false;
+        --_mshrValidCount;
     }
 
     Mshr *m = freeMshr(cycle);
     if (!m) {
-        _stats.counter("mshrFull") += 1;
+        *_ctrMshrFull += 1;
         return res;     // structural stall; retry
     }
 
@@ -226,6 +273,7 @@ Cache::lookup(uint64_t cycle, uint64_t addr, bool isWrite)
     victim.lastUse = ++_useTick;
 
     m->valid = true;
+    ++_mshrValidCount;
     m->filled = false;
     m->lineAddr = line;
     m->readyCycle = 0;
@@ -235,8 +283,8 @@ Cache::lookup(uint64_t cycle, uint64_t addr, bool isWrite)
     res.needsFill = true;
     res.missAddr = line;
     res.readyCycle = 0;         // caller sets it after scheduling the fill
-    _stats.counter("accesses") += 1;
-    _stats.counter("misses") += 1;
+    *_ctrAccesses += 1;
+    *_ctrMisses += 1;
     return res;
 }
 
@@ -244,14 +292,13 @@ CacheResult
 Cache::access(uint64_t cycle, uint64_t addr, bool isWrite)
 {
     if (!takePort(cycle)) {
-        _stats.counter("portConflicts") += 1;
+        *_ctrPortConflicts += 1;
         return {};
     }
 
-    uint32_t bank = static_cast<uint32_t>(
-        (addr >> _cfg.bankShift) % _cfg.banks);
+    uint32_t bank = bankIndexOf(addr);
     if (!bankAvailable(bank, cycle)) {
-        _stats.counter("bankConflicts") += 1;
+        *_ctrBankConflicts += 1;
         return {};
     }
 
@@ -265,8 +312,7 @@ CacheResult
 Cache::accessBlocking(uint64_t cycle, uint64_t addr, bool isWrite,
                       uint32_t bytes)
 {
-    uint32_t bank = static_cast<uint32_t>(
-        (addr >> _cfg.bankShift) % _cfg.banks);
+    uint32_t bank = bankIndexOf(addr);
 
     uint64_t start = cycle;
     const Bank &b = _banks[bank];
@@ -285,7 +331,7 @@ Cache::accessBlocking(uint64_t cycle, uint64_t addr, bool isWrite,
             }
             if (earliest != ~0ull)
                 start = std::max(start, earliest);
-            _stats.counter("mshrWait") += 1;
+            *_ctrMshrWait += 1;
         }
     }
 
@@ -295,7 +341,7 @@ Cache::accessBlocking(uint64_t cycle, uint64_t addr, bool isWrite,
     useBank(bank, start, occ);
     // Express the queueing delay in the result.
     if (res.readyCycle != 0 && start > cycle)
-        _stats.counter("queueCycles") += start - cycle;
+        *_ctrQueueCycles += start - cycle;
     return res;
 }
 
@@ -328,14 +374,13 @@ Cache::invalidate(uint64_t addr)
 bool
 Cache::wbProbe(uint64_t cycle, uint64_t addr) const
 {
+    wbPrune(cycle);
+    if (!_wbFree.empty())
+        return true;    // a slot is available
     uint64_t line = lineAddr(addr);
-    for (const auto &e : _wb) {
-        if (e.valid && e.freeCycle > cycle && e.lineAddr == line)
+    for (uint16_t idx : _wbLive) {
+        if (_wb[idx].lineAddr == line)
             return true;    // coalesces
-    }
-    for (const auto &e : _wb) {
-        if (!e.valid || e.freeCycle <= cycle)
-            return true;    // a slot is available
     }
     return false;
 }
@@ -344,39 +389,63 @@ void
 Cache::wbInsert(uint64_t cycle, uint64_t addr, uint64_t drainDone,
                 bool *coalesced)
 {
+    wbPrune(cycle);
     uint64_t line = lineAddr(addr);
-    for (auto &e : _wb) {
-        if (e.valid && e.freeCycle > cycle && e.lineAddr == line) {
+    for (uint16_t idx : _wbLive) {
+        WbEntry &e = _wb[idx];
+        if (e.lineAddr == line) {
             // Coalesced into a resident entry: no new drain traffic.
             if (coalesced)
                 *coalesced = true;
-            _stats.counter("wbCoalesced") += 1;
+            *_ctrWbCoalesced += 1;
             return;
         }
     }
-    for (auto &e : _wb) {
-        if (!e.valid || e.freeCycle <= cycle) {
-            e.valid = true;
-            e.lineAddr = line;
-            e.freeCycle = drainDone;
-            if (coalesced)
-                *coalesced = false;
-            _stats.counter("wbInserts") += 1;
-            return;
-        }
-    }
-    panic("wbInsert without prior wbProbe success");
+    if (_wbFree.empty())
+        panic("wbInsert without prior wbProbe success");
+    uint16_t idx = _wbFree.back();
+    _wbFree.pop_back();
+    _wbLive.push_back(idx);
+    WbEntry &e = _wb[idx];
+    e.valid = true;
+    e.lineAddr = line;
+    e.freeCycle = drainDone;
+    if (coalesced)
+        *coalesced = false;
+    *_ctrWbInserts += 1;
 }
 
 bool
 Cache::wbHit(uint64_t cycle, uint64_t addr) const
 {
     uint64_t line = lineAddr(addr);
-    for (const auto &e : _wb) {
-        if (e.valid && e.freeCycle > cycle && e.lineAddr == line)
+    for (uint16_t idx : _wbLive) {
+        const WbEntry &e = _wb[idx];
+        if (e.freeCycle > cycle && e.lineAddr == line)
             return true;
     }
     return false;
+}
+
+uint64_t
+Cache::nextEventCycle(uint64_t cycle) const
+{
+    uint64_t next = ~0ull;
+    for (const Bank &b : _banks) {
+        if (b.busyUntil > cycle)
+            next = std::min(next, b.busyUntil);
+    }
+    if (_mshrValidCount > 0) {
+        for (const auto &m : _mshrs) {
+            if (m.valid && m.filled && m.readyCycle > cycle)
+                next = std::min(next, m.readyCycle);
+        }
+    }
+    for (uint16_t idx : _wbLive) {
+        if (_wb[idx].freeCycle > cycle)
+            next = std::min(next, _wb[idx].freeCycle);
+    }
+    return next;
 }
 
 void
@@ -390,6 +459,11 @@ Cache::reset()
         e = WbEntry{};
     for (auto &b : _banks)
         b = Bank{};
+    _mshrValidCount = 0;
+    _wbLive.clear();
+    _wbFree.clear();
+    for (uint32_t i = _cfg.writeBufferEntries; i > 0; --i)
+        _wbFree.push_back(static_cast<uint16_t>(i - 1));
     _portCycle = ~0ull;
     _portsUsed = 0;
     _useTick = 0;

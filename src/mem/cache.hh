@@ -9,6 +9,19 @@
  * it (structural hazard — bank busy, MSHRs full, write buffer full), in
  * which case the core retries on a later cycle, exactly as a stalled
  * load/store unit would.
+ *
+ * Hot-path layout: bank/set selection is shift-and-mask (power-of-two
+ * bank counts are masked, anything else falls back to modulo); the
+ * write-buffer pool is managed through live/free index lists so its
+ * scans touch only occupied entries; and the MSHR probe that runs on
+ * every lookup short-circuits on a valid-entry count — zero (no miss
+ * outstanding) on the overwhelmingly common hit path. The MSHR pool
+ * itself keeps the original lazy one-at-a-time retirement walk: which
+ * completed MSHRs are still visible at a given call is observable
+ * behavior (see freeMshr). nextEventCycle() exposes the earliest cycle
+ * any of these structures changes state, so the core's idle
+ * fast-forward can skip quiescent stretches without overshooting a
+ * memory event.
  */
 
 #ifndef MOMSIM_MEM_CACHE_HH
@@ -98,12 +111,22 @@ class Cache
      * @param drainDone completion time of the drain to the next level,
      *        supplied by the hierarchy glue via a callback-free contract:
      *        callers first ask wbProbe() and then commit with wbInsert().
+     * Cycles must be non-decreasing across calls (drained entries are
+     * lazily recycled against the most recent cycle seen).
      */
     bool wbProbe(uint64_t cycle, uint64_t addr) const;
     void wbInsert(uint64_t cycle, uint64_t addr, uint64_t drainDone,
                   bool *coalesced = nullptr);
     /** True if a pending write-buffer entry covers this line. */
     bool wbHit(uint64_t cycle, uint64_t addr) const;
+
+    /**
+     * Earliest cycle > @p cycle at which this cache's structural state
+     * changes on its own (a bank frees, an outstanding miss completes,
+     * a write-buffer entry drains); ~0ull when nothing is pending. Core
+     * fast-forward never jumps past this.
+     */
+    uint64_t nextEventCycle(uint64_t cycle) const;
 
     StatGroup &stats() { return _stats; }
     const CacheConfig &config() const { return _cfg; }
@@ -150,12 +173,41 @@ class Cache
     };
 
     uint64_t lineAddr(uint64_t addr) const { return addr & ~_lineMask; }
-    uint32_t setIndex(uint64_t addr) const;
+
+    uint32_t
+    setIndex(uint64_t addr) const
+    {
+        return static_cast<uint32_t>((addr >> _lineShift) & (_numSets - 1));
+    }
+
+    /** Bank selection: mask when the bank count is a power of two. */
+    uint32_t
+    bankIndexOf(uint64_t addr) const
+    {
+        uint64_t sliced = addr >> _cfg.bankShift;
+        return static_cast<uint32_t>(_bankMask ? (sliced & _bankMask)
+                                               : (sliced % _cfg.banks));
+    }
+
     Line *findLine(uint64_t addr);
     const Line *findLine(uint64_t addr) const;
     Line &victimLine(uint64_t addr);
+
     Mshr *findMshr(uint64_t lineAddr);
+    const Mshr *findMshr(uint64_t lineAddr) const;
+    /**
+     * Lazy index-ordered retire-and-take walk. Deliberately retires AT
+     * MOST one completed miss per call (the returned slot): completed
+     * MSHRs staying visible to findMshr until a walk reaches them is
+     * observable behavior (L2 calls arrive at non-monotonic cycles and
+     * may still coalesce with them), so an eager retire-all would
+     * change simulation results.
+     */
     Mshr *freeMshr(uint64_t cycle);
+
+    /** Recycle write-buffer entries whose drain completed. */
+    void wbPrune(uint64_t cycle) const;
+
     bool takePort(uint64_t cycle);
     bool bankAvailable(uint32_t bank, uint64_t cycle) const;
     void useBank(uint32_t bank, uint64_t cycle, uint32_t occupancy);
@@ -163,15 +215,46 @@ class Cache
 
     CacheConfig _cfg;
     uint64_t _lineMask;
+    uint32_t _lineShift;
     uint32_t _numSets;
+    uint64_t _bankMask;                 ///< banks-1 if pow2, else 0
     std::vector<Line> _lines;           ///< sets x ways
     std::vector<Mshr> _mshrs;
     std::vector<WbEntry> _wb;
     std::vector<Bank> _banks;
+    /**
+     * Number of valid MSHRs; the findMshr scan (on every lookup, hits
+     * included) short-circuits to "none" when zero — the common case on
+     * the hit path.
+     */
+    uint32_t _mshrValidCount = 0;
+    // Write-buffer index freelists: scans touch only occupied entries.
+    // Mutable because entries expire by time, so even const probes
+    // recycle lazily. Safe (unlike for MSHRs) because every wb call
+    // site passes the monotonically advancing core cycle and every
+    // predicate rechecks freeCycle explicitly.
+    mutable std::vector<uint16_t> _wbLive;
+    mutable std::vector<uint16_t> _wbFree;
     uint64_t _portCycle = ~0ull;
     uint32_t _portsUsed = 0;
     uint64_t _useTick = 0;
     StatGroup _stats;
+
+    // Hot-path counters, cached once (StatGroup references are stable).
+    uint64_t *_ctrAccesses = nullptr;
+    uint64_t *_ctrHits = nullptr;
+    uint64_t *_ctrMisses = nullptr;
+    uint64_t *_ctrLatencySum = nullptr;
+    uint64_t *_ctrStoreAccesses = nullptr;
+    uint64_t *_ctrPortConflicts = nullptr;
+    uint64_t *_ctrBankConflicts = nullptr;
+    uint64_t *_ctrQueueCycles = nullptr;
+    uint64_t *_ctrDelayedHits = nullptr;
+    uint64_t *_ctrMshrCoalesced = nullptr;
+    uint64_t *_ctrWbCoalesced = nullptr;
+    uint64_t *_ctrWbInserts = nullptr;
+    uint64_t *_ctrMshrFull = nullptr;
+    uint64_t *_ctrMshrWait = nullptr;
 };
 
 } // namespace momsim::mem

@@ -37,9 +37,19 @@ class RambusChannel
 {
   public:
     explicit RambusChannel(const DramConfig &cfg = {})
-        : _cfg(cfg), _stats("dram")
+        : _cfg(cfg),
+          _devMask((cfg.numDevices & (cfg.numDevices - 1)) == 0
+                       ? cfg.numDevices - 1
+                       : 0),
+          _stats("dram")
     {
         _deviceFree.fill(0);
+        // Cached so per-access accounting never does a string lookup
+        // (StatGroup references are stable).
+        _ctrReads = &_stats.counter("reads");
+        _ctrWrites = &_stats.counter("writes");
+        _ctrBytes = &_stats.counter("bytes");
+        _ctrQueueCycles = &_stats.counter("queueCycles");
     }
 
     /**
@@ -49,7 +59,9 @@ class RambusChannel
     uint64_t
     access(uint64_t cycle, uint64_t addr, uint32_t bytes, bool isWrite)
     {
-        uint32_t dev = (addr >> _cfg.deviceShift) % _cfg.numDevices;
+        uint64_t sliced = addr >> _cfg.deviceShift;
+        uint32_t dev = static_cast<uint32_t>(
+            _devMask ? (sliced & _devMask) : (sliced % _cfg.numDevices));
         uint64_t start = std::max({ cycle, _channelFree, _deviceFree[dev] });
         uint64_t occupancy =
             (bytes + _cfg.bytesPerCycle - 1) / _cfg.bytesPerCycle;
@@ -57,10 +69,29 @@ class RambusChannel
         _channelFree = start + occupancy;
         _deviceFree[dev] = start + _cfg.deviceBusy;
 
-        _stats.counter(isWrite ? "writes" : "reads") += 1;
-        _stats.counter("bytes") += bytes;
-        _stats.counter("queueCycles") += start - cycle;
+        *(isWrite ? _ctrWrites : _ctrReads) += 1;
+        *_ctrBytes += bytes;
+        *_ctrQueueCycles += start - cycle;
         return done;
+    }
+
+    /**
+     * Earliest cycle > @p cycle at which channel or device occupancy
+     * clears; ~0ull when the channel is idle. Lets the core's idle
+     * fast-forward stop at DRAM state changes.
+     */
+    uint64_t
+    nextEventCycle(uint64_t cycle) const
+    {
+        uint64_t next = ~0ull;
+        if (_channelFree > cycle)
+            next = _channelFree;
+        for (uint32_t d = 0; d < _cfg.numDevices && d < _deviceFree.size();
+             ++d) {
+            if (_deviceFree[d] > cycle)
+                next = std::min(next, _deviceFree[d]);
+        }
+        return next;
     }
 
     StatGroup &stats() { return _stats; }
@@ -76,9 +107,14 @@ class RambusChannel
 
   private:
     DramConfig _cfg;
+    uint64_t _devMask;          ///< numDevices-1 if pow2, else 0
     uint64_t _channelFree = 0;
     std::array<uint64_t, 16> _deviceFree{};
     StatGroup _stats;
+    uint64_t *_ctrReads = nullptr;
+    uint64_t *_ctrWrites = nullptr;
+    uint64_t *_ctrBytes = nullptr;
+    uint64_t *_ctrQueueCycles = nullptr;
 };
 
 } // namespace momsim::mem

@@ -1,5 +1,6 @@
 #include "mem/hierarchy.hh"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/logging.hh"
@@ -97,6 +98,20 @@ MemConfig::applyDecoupledShape()
 BaseHierarchy::BaseHierarchy(const MemConfig &cfg)
     : _cfg(cfg), _l1(cfg.l1), _ic(cfg.icache), _l2(cfg.l2), _dram(cfg.dram)
 {
+    _ctrL1WbFull = &_l1.stats().counter("wbFull");
+    _ctrL1WbForwards = &_l1.stats().counter("wbForwards");
+    _ctrL1LatencySum = &_l1.stats().counter("latencySum");
+    _ctrL2LatencySum = &_l2.stats().counter("latencySum");
+}
+
+uint64_t
+BaseHierarchy::nextEventCycle(uint64_t cycle) const
+{
+    uint64_t next = _l1.nextEventCycle(cycle);
+    next = std::min(next, _ic.nextEventCycle(cycle));
+    next = std::min(next, _l2.nextEventCycle(cycle));
+    next = std::min(next, _dram.nextEventCycle(cycle));
+    return next;
 }
 
 StatGroup *
@@ -125,7 +140,7 @@ BaseHierarchy::l2Read(uint64_t cycle, uint64_t addr, uint32_t bytes)
         uint64_t done = _dram.access(cycle + _cfg.l2.hitLatency, r.missAddr,
                                      _cfg.l2.lineBytes, false);
         _l2.fillDone(r.missAddr, done);
-        _l2.stats().counter("latencySum") += done - cycle;
+        *_ctrL2LatencySum += done - cycle;
         return done;
     }
     return r.readyCycle;
@@ -144,7 +159,7 @@ BaseHierarchy::l2Write(uint64_t cycle, uint64_t addr, uint32_t bytes)
         uint64_t done = _dram.access(cycle + _cfg.l2.hitLatency, r.missAddr,
                                      _cfg.l2.lineBytes, false);
         _l2.fillDone(r.missAddr, done);
-        _l2.stats().counter("latencySum") += done - cycle;
+        *_ctrL2LatencySum += done - cycle;
         return done;
     }
     return r.readyCycle;
@@ -154,7 +169,7 @@ bool
 BaseHierarchy::storeThroughWb(uint64_t cycle, uint64_t addr, MemReply &rep)
 {
     if (!_l1.wbProbe(cycle, addr)) {
-        _l1.stats().counter("wbFull") += 1;
+        *_ctrL1WbFull += 1;
         return false;
     }
     CacheResult r = _l1.access(cycle, addr, true);
@@ -206,7 +221,7 @@ ConventionalHierarchy::access(uint64_t cycle, const MemAccess &req)
     // Load forwarding from a resident write-buffer entry ("selective
     // flush": the matching entry services the load directly).
     if (_l1.wbHit(cycle, req.addr)) {
-        _l1.stats().counter("wbForwards") += 1;
+        *_ctrL1WbForwards += 1;
         rep.accepted = true;
         rep.l1Hit = true;
         rep.readyCycle = cycle + 1;
@@ -222,7 +237,7 @@ ConventionalHierarchy::access(uint64_t cycle, const MemAccess &req)
         uint64_t done = l2Read(cycle + _cfg.l1.hitLatency, r.missAddr,
                                _cfg.l1.lineBytes);
         _l1.fillDone(r.missAddr, done);
-        _l1.stats().counter("latencySum") += done - cycle;
+        *_ctrL1LatencySum += done - cycle;
         rep.readyCycle = done;
     } else {
         rep.readyCycle = r.readyCycle;
@@ -269,7 +284,7 @@ DecoupledHierarchy::scalarAccess(uint64_t cycle, const MemAccess &req)
         return rep;
     }
     if (_l1.wbHit(cycle, req.addr)) {
-        _l1.stats().counter("wbForwards") += 1;
+        *_ctrL1WbForwards += 1;
         rep.accepted = true;
         rep.l1Hit = true;
         rep.readyCycle = cycle + 1;
@@ -284,7 +299,7 @@ DecoupledHierarchy::scalarAccess(uint64_t cycle, const MemAccess &req)
         uint64_t done = l2Read(cycle + _cfg.l1.hitLatency, r.missAddr,
                                _cfg.l1.lineBytes);
         _l1.fillDone(r.missAddr, done);
-        _l1.stats().counter("latencySum") += done - cycle;
+        *_ctrL1LatencySum += done - cycle;
         rep.readyCycle = done;
         _vecOwned.erase(req.addr & ~static_cast<uint64_t>(
             _cfg.l2.lineBytes - 1));

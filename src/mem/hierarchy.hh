@@ -97,6 +97,20 @@ class MemorySystem
     /** Try one instruction-group fetch at @p pc. */
     virtual FetchReply ifetch(uint64_t cycle, uint64_t pc) = 0;
 
+    /**
+     * Earliest cycle > @p cycle at which the hierarchy's structural
+     * state changes on its own (a bank frees, a miss completes, a write
+     * buffer drains, DRAM occupancy clears); ~0ull when quiescent. The
+     * core's idle fast-forward never jumps past this, so a skipped
+     * stretch cannot straddle a memory event.
+     */
+    virtual uint64_t
+    nextEventCycle(uint64_t cycle) const
+    {
+        (void)cycle;
+        return ~0ull;       // stateless hierarchies never wake the core
+    }
+
     // ---- Table 4 metrics ----
     virtual double l1HitRate() const = 0;
     virtual double icacheHitRate() const = 0;
@@ -112,13 +126,16 @@ std::unique_ptr<MemorySystem> makeMemorySystem(MemModel model,
 class PerfectMemory : public MemorySystem
 {
   public:
-    PerfectMemory() : _stats("perfect") {}
+    PerfectMemory() : _stats("perfect")
+    {
+        _ctrAccesses = &_stats.counter("accesses");
+    }
 
     MemReply
     access(uint64_t cycle, const MemAccess &req) override
     {
         (void)req;
-        _stats.counter("accesses") += 1;
+        *_ctrAccesses += 1;
         return { true, true, cycle + 1 };
     }
 
@@ -136,6 +153,7 @@ class PerfectMemory : public MemorySystem
 
   private:
     StatGroup _stats;
+    uint64_t *_ctrAccesses = nullptr;
 };
 
 /** Shared plumbing for the two realistic hierarchies. */
@@ -145,6 +163,8 @@ class BaseHierarchy : public MemorySystem
     explicit BaseHierarchy(const MemConfig &cfg);
 
     FetchReply ifetch(uint64_t cycle, uint64_t pc) override;
+
+    uint64_t nextEventCycle(uint64_t cycle) const override;
 
     double l1HitRate() const override { return _l1.hitRate(); }
     double icacheHitRate() const override { return _ic.hitRate(); }
@@ -166,6 +186,13 @@ class BaseHierarchy : public MemorySystem
     Cache _ic;
     Cache _l2;
     RambusChannel _dram;
+    // Hierarchy-level counters on the member caches' stat groups,
+    // cached once (references are stable): these fire per store, per
+    // forwarded load and per fill on the data path.
+    uint64_t *_ctrL1WbFull = nullptr;
+    uint64_t *_ctrL1WbForwards = nullptr;
+    uint64_t *_ctrL1LatencySum = nullptr;
+    uint64_t *_ctrL2LatencySum = nullptr;
 };
 
 /** Figure 7(a): four general-purpose ports into the banked L1. */

@@ -233,6 +233,9 @@ TraceBuilder::take()
 {
     MOMSIM_ASSERT(_callStack.empty(),
                   "program finished inside an open routine");
+    // Warm the memoized mix so a finished program can be shared across
+    // threads without its first mix() call racing.
+    _program.mix();
     return std::move(_program);
 }
 

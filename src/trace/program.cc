@@ -4,7 +4,7 @@ namespace momsim::trace
 {
 
 MixSummary
-Program::mix() const
+Program::computeMix() const
 {
     MixSummary m;
     for (const auto &inst : _insts) {
@@ -45,6 +45,7 @@ Program::rebased(uint32_t delta, const std::string &newName) const
         if (inst.isMemory() || inst.isControl())
             inst.addr += delta;
     }
+    p.mix();    // warm the memoized mix before the copy is shared
     return p;
 }
 

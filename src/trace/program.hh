@@ -56,15 +56,42 @@ class Program
     isa::SimdIsa simdIsa() const { return _simd; }
 
     const std::vector<isa::TraceInst> &insts() const { return _insts; }
-    std::vector<isa::TraceInst> &insts() { return _insts; }
+
+    std::vector<isa::TraceInst> &
+    insts()
+    {
+        _mixValid = false;      // caller may mutate the trace
+        return _insts;
+    }
 
     size_t size() const { return _insts.size(); }
     bool empty() const { return _insts.empty(); }
 
-    void append(const isa::TraceInst &inst) { _insts.push_back(inst); }
+    void
+    append(const isa::TraceInst &inst)
+    {
+        _mixValid = false;
+        _insts.push_back(inst);
+    }
 
-    /** Compute the Table-3 accounting over the whole trace. */
-    MixSummary mix() const;
+    /**
+     * The Table-3 accounting over the whole trace. Memoized: the
+     * simulation driver reads eqInsts per run (partial-credit EIPC), so
+     * recomputing the O(trace) walk each time would dominate short
+     * runs. The cache is warmed by TraceBuilder::take()/rebased(), so
+     * programs shared read-only across pool workers never write it
+     * concurrently; warm (call once) before sharing any Program built
+     * another way.
+     */
+    const MixSummary &
+    mix() const
+    {
+        if (!_mixValid) {
+            _mix = computeMix();
+            _mixValid = true;
+        }
+        return _mix;
+    }
 
     /**
      * A copy with every code and data address shifted by @p delta.
@@ -74,9 +101,13 @@ class Program
     Program rebased(uint32_t delta, const std::string &newName) const;
 
   private:
+    MixSummary computeMix() const;
+
     std::string _name;
     isa::SimdIsa _simd = isa::SimdIsa::Mmx;
     std::vector<isa::TraceInst> _insts;
+    mutable MixSummary _mix;
+    mutable bool _mixValid = false;
 };
 
 } // namespace momsim::trace

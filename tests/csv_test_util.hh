@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Shared CSV helpers for test suites that compare serialized sweep
+ * results across runs.
+ */
+
+#ifndef MOMSIM_TESTS_CSV_TEST_UTIL_HH
+#define MOMSIM_TESTS_CSV_TEST_UTIL_HH
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace momsim::testutil
+{
+
+/**
+ * Drop the last two fields of every CSV line: sim_kcps and wall_ms are
+ * the run's wall-clock self-measurement (ResultRow schema v4),
+ * nondeterministic by nature and deliberately excluded from the
+ * byte-stability contract — they are the tail columns precisely so
+ * consumers can cut them like this (cmake/KernelEquivalence.cmake does
+ * the same with a regex).
+ */
+inline std::string
+stripSelfMeasurement(const std::string &csv)
+{
+    std::string out;
+    size_t start = 0;
+    while (start < csv.size()) {
+        size_t eol = csv.find('\n', start);
+        if (eol == std::string::npos)
+            eol = csv.size();
+        std::string line = csv.substr(start, eol - start);
+        for (int cut = 0; cut < 2; ++cut) {
+            size_t comma = line.rfind(',');
+            EXPECT_NE(comma, std::string::npos) << line;
+            line.resize(comma);
+        }
+        out += line;
+        out += '\n';
+        start = eol + 1;
+    }
+    return out;
+}
+
+} // namespace momsim::testutil
+
+#endif // MOMSIM_TESTS_CSV_TEST_UTIL_HH

@@ -62,6 +62,7 @@ TEST(BenchOptions, DefaultsAreNeutral)
     EXPECT_FALSE(opts.dryRun);
     EXPECT_FALSE(opts.listWorkloads);
     EXPECT_EQ(opts.baseSeed, 0u);
+    EXPECT_EQ(opts.maxCycles, 0u);
     EXPECT_EQ(opts.shardIndex, 1);
     EXPECT_EQ(opts.shardCount, 1);
     EXPECT_TRUE(opts.csvPath.empty());
@@ -74,7 +75,8 @@ TEST(BenchOptions, DefaultsAreNeutral)
 TEST(BenchOptions, EveryFlagRoundTrips)
 {
     BenchOptions opts = expectOk({ "--jobs", "3", "--quick", "--seed",
-                                   "0x2a", "--csv", "a.csv", "--json",
+                                   "0x2a", "--max-cycles", "500000",
+                                   "--csv", "a.csv", "--json",
                                    "b.json", "--cache-dir", "cache",
                                    "--shard", "2/5", "--merge", "x,y",
                                    "--workload", "paper,gsmx8",
@@ -83,6 +85,7 @@ TEST(BenchOptions, EveryFlagRoundTrips)
     EXPECT_TRUE(opts.quick);
     EXPECT_TRUE(opts.dryRun);
     EXPECT_EQ(opts.baseSeed, 42u);
+    EXPECT_EQ(opts.maxCycles, 500000u);
     EXPECT_EQ(opts.csvPath, "a.csv");
     EXPECT_EQ(opts.jsonPath, "b.json");
     EXPECT_EQ(opts.cacheDir, "cache");
@@ -122,9 +125,9 @@ TEST(BenchOptions, UnknownFlagsReject)
 
 TEST(BenchOptions, ValueFlagsAtEndOfArgvErrorInsteadOfReadingPast)
 {
-    for (const char *flag : { "--jobs", "-j", "--seed", "--csv", "--json",
-                              "--cache-dir", "--shard", "--merge",
-                              "--workload" }) {
+    for (const char *flag : { "--jobs", "-j", "--seed", "--max-cycles",
+                              "--csv", "--json", "--cache-dir", "--shard",
+                              "--merge", "--workload" }) {
         std::string error = expectError({ flag });
         EXPECT_NE(error.find("expects a value"), std::string::npos)
             << flag << ": " << error;
@@ -133,9 +136,9 @@ TEST(BenchOptions, ValueFlagsAtEndOfArgvErrorInsteadOfReadingPast)
 
 TEST(BenchOptions, TakesValueMatchesTheParser)
 {
-    for (const char *flag : { "--jobs", "-j", "--seed", "--csv", "--json",
-                              "--cache-dir", "--shard", "--merge",
-                              "--workload" })
+    for (const char *flag : { "--jobs", "-j", "--seed", "--max-cycles",
+                              "--csv", "--json", "--cache-dir", "--shard",
+                              "--merge", "--workload" })
         EXPECT_TRUE(BenchOptions::takesValue(flag)) << flag;
     for (const char *flag : { "--quick", "--dry-run", "--list-workloads",
                               "--help", "-h" })
@@ -167,6 +170,20 @@ TEST(BenchOptions, JobsMustBePositive)
     expectError({ "--jobs", "0" });
     expectError({ "--jobs", "-2" });
     expectError({ "--jobs", "banana" });
+}
+
+TEST(BenchOptions, MaxCyclesRoundTripsAndRejectsGarbage)
+{
+    // Decimal and 0x-prefixed values parse; 0 means "grid default" and
+    // is only reachable by not passing the flag at all.
+    EXPECT_EQ(expectOk({ "--max-cycles", "1" }).maxCycles, 1u);
+    EXPECT_EQ(expectOk({ "--max-cycles", "400000000" }).maxCycles,
+              400000000u);
+    EXPECT_EQ(expectOk({ "--max-cycles", "0x100" }).maxCycles, 256u);
+    for (const char *v : { "0", "banana", "12banana", "", "-5" })
+        EXPECT_NE(expectError({ "--max-cycles", v })
+                      .find("bad --max-cycles"),
+                  std::string::npos) << "'" << v << "'";
 }
 
 TEST(BenchOptions, WorkloadNamesAreValidatedAgainstTheRegistry)

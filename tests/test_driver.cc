@@ -17,9 +17,11 @@
 #include <thread>
 #include <vector>
 
+#include "common/logging.hh"
 #include "driver/experiment.hh"
 #include "driver/result_sink.hh"
 #include "driver/thread_pool.hh"
+#include "tests/csv_test_util.hh"
 #include "workloads/workload_repo.hh"
 
 namespace momsim::driver
@@ -332,6 +334,8 @@ makeRow(const std::string &id, SimdIsa simd, int threads,
     row.run.completions = 8;
     row.headline = ResultSink::headlineOf(row.run, simd);
     row.workload = "paper";
+    row.run.simKcps = 881.3;    // schema v4: serialized as tail columns
+    row.run.wallMs = 2.27;
     row.wallMs = 123.0;     // must never appear in serializations
     return row;
 }
@@ -348,11 +352,11 @@ TEST(ResultSink, CsvGolden)
         "id,workload,isa,threads,mem,policy,variant,seed,cycles,"
         "committed_eq,ipc,eipc,headline,l1_hit_rate,icache_hit_rate,"
         "l1_avg_latency,mispredicts,cond_branches,completions,"
-        "hit_cycle_limit\n"
+        "hit_cycle_limit,sim_kcps,wall_ms\n"
         "MMX/1thr/conventional/RR,paper,MMX,1,conventional,RR,,99,1000,"
-        "2500,2.5,3.125,2.5,0.984,0.999,1.39,42,420,8,0\n"
+        "2500,2.5,3.125,2.5,0.984,0.999,1.39,42,420,8,0,881.3,2.27\n"
         "MOM/8thr/conventional/IC,paper,MOM,8,conventional,IC,,99,1000,"
-        "2500,2.5,3.125,3.125,0.984,0.999,1.39,42,420,8,0\n");
+        "2500,2.5,3.125,3.125,0.984,0.999,1.39,42,420,8,0,881.3,2.27\n");
 }
 
 TEST(ResultSink, JsonGolden)
@@ -371,7 +375,8 @@ TEST(ResultSink, JsonGolden)
         "\"headline\":2.5,\"l1_hit_rate\":0.984,"
         "\"icache_hit_rate\":0.999,\"l1_avg_latency\":1.39,"
         "\"mispredicts\":42,\"cond_branches\":420,\"completions\":8,"
-        "\"hit_cycle_limit\":false}\n"
+        "\"hit_cycle_limit\":false,\"sim_kcps\":881.3,"
+        "\"wall_ms\":2.27}\n"
         "]\n");
 }
 
@@ -442,6 +447,8 @@ integrationGrid()
     return grid;
 }
 
+using testutil::stripSelfMeasurement;
+
 TEST(ExperimentRunner, SameSeedsSameStatsRegardlessOfThreadCount)
 {
     SweepGrid grid = integrationGrid();
@@ -456,9 +463,10 @@ TEST(ExperimentRunner, SameSeedsSameStatsRegardlessOfThreadCount)
 
     ASSERT_EQ(a.size(), 16u);
     ASSERT_EQ(a.size(), b.size());
-    // The whole serializations must match byte for byte.
-    EXPECT_EQ(a.toCsv(), b.toCsv());
-    EXPECT_EQ(a.toJson(), b.toJson());
+    // Every simulation-result column must match byte for byte; only
+    // the two self-measurement tail columns may differ between runs.
+    EXPECT_EQ(stripSelfMeasurement(a.toCsv()),
+              stripSelfMeasurement(b.toCsv()));
     // And the structured results too, field by field.
     for (size_t i = 0; i < a.size(); ++i) {
         const ResultRow &ra = a.rows()[i], &rb = b.rows()[i];
@@ -492,7 +500,10 @@ TEST(ExperimentRunner, CycleLimitSurfacesAsRowDataNotStderr)
 
     ResultSink sink;
     sink.append(row);
-    EXPECT_NE(sink.toCsv().find(",1\n"), std::string::npos);
+    // hit_cycle_limit=1 sits right after the completions column (the
+    // schema-v4 self-measurement columns follow it).
+    EXPECT_NE(sink.toCsv().find(strfmt(",%d,1,", row.run.completions)),
+              std::string::npos);
     EXPECT_NE(sink.toJson().find("\"hit_cycle_limit\":true"),
               std::string::npos);
 }
