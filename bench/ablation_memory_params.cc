@@ -4,7 +4,7 @@
  * (Section 3): the 8 MSHRs, the 8-deep coalescing write buffer and the
  * 8-bank L1 organization. Run on the stress configuration (8 threads,
  * conventional hierarchy, both ISAs) where these structures matter
- * most.
+ * most. Registered as `momsim ablation`.
  *
  * Expected: halving MSHRs or the write buffer visibly hurts — the
  * paper's choice sits near the knee; extra banks beyond 8 add little
@@ -14,10 +14,14 @@
 
 #include <cstdio>
 
-#include "driver/bench_harness.hh"
+#include "svc/bench_registry.hh"
 
-using namespace momsim;
-using driver::BenchHarness;
+namespace momsim::svc
+{
+
+namespace
+{
+
 using driver::ExperimentSpec;
 using driver::ResultSink;
 using driver::SweepGrid;
@@ -25,23 +29,16 @@ using driver::SweepVariant;
 using isa::SimdIsa;
 using mem::MemModel;
 
-namespace
-{
-
 SweepVariant
 memVariant(const char *name, void (*apply)(mem::MemConfig &))
 {
     return { name, [apply](ExperimentSpec &s) { s.tweakMem = apply; } };
 }
 
-} // namespace
-
-int
-main(int argc, char **argv)
+std::vector<SweepVariant>
+ablationVariants()
 {
-    BenchHarness bench(argc, argv, "ablation");
-
-    const std::vector<SweepVariant> variants = {
+    return {
         memVariant("baseline (paper)", [](mem::MemConfig &) {}),
         memVariant("2 MSHRs (vs 8)", [](mem::MemConfig &m) {
             m.l1.numMshrs = 2; }),
@@ -56,44 +53,63 @@ main(int argc, char **argv)
         memVariant("L2 latency 24 (vs 12)", [](mem::MemConfig &m) {
             m.l2.hitLatency = 24; }),
     };
-
-    SweepGrid grid;
-    grid.isas({ SimdIsa::Mmx, SimdIsa::Mom })
-        .threadCounts({ 8 })
-        .memModels({ MemModel::Conventional })
-        .variants(variants);
-    ResultSink all = bench.run(grid);
-
-    std::printf("Ablation: memory-system parameters "
-                "(8 threads, conventional)\n");
-    bench.perWorkload(all, [&variants](const ResultSink &sink,
-                                       const std::string &) {
-        std::printf("%-26s | %8s | %8s\n", "configuration", "MMX IPC",
-                    "MOM EIPC");
-        std::printf("---------------------------------------------------\n");
-
-        double base[2] = { 0, 0 };
-        for (const SweepVariant &v : variants) {
-            double mmx = sink.headlineAt(SimdIsa::Mmx, 8,
-                                         MemModel::Conventional,
-                                         cpu::FetchPolicy::RoundRobin,
-                                         v.label);
-            double mom = sink.headlineAt(SimdIsa::Mom, 8,
-                                         MemModel::Conventional,
-                                         cpu::FetchPolicy::RoundRobin,
-                                         v.label);
-            if (base[0] == 0) {
-                base[0] = mmx;
-                base[1] = mom;
-            }
-            std::printf("%-26s | %8.2f | %8.2f   (%+.1f%% / %+.1f%%)\n",
-                        v.label.c_str(), mmx, mom,
-                        100 * (mmx / base[0] - 1),
-                        100 * (mom / base[1] - 1));
-        }
-        std::printf("---------------------------------------------------\n");
-        std::printf("(The paper's 8-MSHR / 8-entry / 8-bank choices sit "
-                    "near the performance knee.)\n");
-    });
-    return 0;
 }
+
+} // namespace
+
+BenchDef
+makeAblationDef()
+{
+    BenchDef def;
+    def.name = "ablation";
+    def.oldBinary = "bench_ablation_memory_params";
+    def.summary = "Ablation: memory-system parameters at the knee";
+    def.grid = [](const driver::BenchOptions &) {
+        SweepGrid grid;
+        grid.isas({ SimdIsa::Mmx, SimdIsa::Mom })
+            .threadCounts({ 8 })
+            .memModels({ MemModel::Conventional })
+            .variants(ablationVariants());
+        return grid;
+    };
+    def.print = [](driver::BenchHarness &bench, const ResultSink &all) {
+        const std::vector<SweepVariant> variants = ablationVariants();
+        std::printf("Ablation: memory-system parameters "
+                    "(8 threads, conventional)\n");
+        bench.perWorkload(all, [&variants](const ResultSink &sink,
+                                           const std::string &) {
+            std::printf("%-26s | %8s | %8s\n", "configuration",
+                        "MMX IPC", "MOM EIPC");
+            std::printf("------------------------------------------------"
+                        "---\n");
+
+            double base[2] = { 0, 0 };
+            for (const SweepVariant &v : variants) {
+                double mmx = sink.headlineAt(SimdIsa::Mmx, 8,
+                                             MemModel::Conventional,
+                                             cpu::FetchPolicy::RoundRobin,
+                                             v.label);
+                double mom = sink.headlineAt(SimdIsa::Mom, 8,
+                                             MemModel::Conventional,
+                                             cpu::FetchPolicy::RoundRobin,
+                                             v.label);
+                if (base[0] == 0) {
+                    base[0] = mmx;
+                    base[1] = mom;
+                }
+                std::printf("%-26s | %8.2f | %8.2f   (%+.1f%% / "
+                            "%+.1f%%)\n",
+                            v.label.c_str(), mmx, mom,
+                            100 * (mmx / base[0] - 1),
+                            100 * (mom / base[1] - 1));
+            }
+            std::printf("------------------------------------------------"
+                        "---\n");
+            std::printf("(The paper's 8-MSHR / 8-entry / 8-bank choices "
+                        "sit near the performance knee.)\n");
+        });
+    };
+    return def;
+}
+
+} // namespace momsim::svc

@@ -1,7 +1,8 @@
 /**
  * @file
  * Reproduces Figure 4: throughput vs thread count under the ideal
- * memory system (no cache misses, no bank conflicts).
+ * memory system (no cache misses, no bank conflicts). Registered as
+ * `momsim fig4`.
  *
  * Expected shape (paper): SMT+MMX IPC grows 2.47 -> 5.0 from 1 to 8
  * threads (2.02x); SMT+MOM EIPC grows 2.98 -> 6.19 (2.08x); MOM stays
@@ -10,52 +11,62 @@
 
 #include <cstdio>
 
-#include "driver/bench_harness.hh"
+#include "svc/bench_registry.hh"
 
-using namespace momsim;
+namespace momsim::svc
+{
+
 using cpu::FetchPolicy;
-using driver::BenchHarness;
 using driver::ResultSink;
 using driver::SweepGrid;
 using isa::SimdIsa;
 using mem::MemModel;
 
-int
-main(int argc, char **argv)
+BenchDef
+makeFig4Def()
 {
-    BenchHarness bench(argc, argv, "fig4");
-    SweepGrid grid;
-    grid.isas({ SimdIsa::Mmx, SimdIsa::Mom })
-        .threadCounts({ 1, 2, 4, 8 })
-        .memModels({ MemModel::Perfect });
-    ResultSink all = bench.run(grid);
+    BenchDef def;
+    def.name = "fig4";
+    def.oldBinary = "bench_fig4_ideal_memory";
+    def.summary = "Figure 4: performance with perfect cache";
+    def.grid = [](const driver::BenchOptions &) {
+        SweepGrid grid;
+        grid.isas({ SimdIsa::Mmx, SimdIsa::Mom })
+            .threadCounts({ 1, 2, 4, 8 })
+            .memModels({ MemModel::Perfect });
+        return grid;
+    };
+    def.print = [](driver::BenchHarness &bench, const ResultSink &all) {
+        std::printf("Figure 4: performance with perfect cache\n");
+        bench.perWorkload(all, [](const ResultSink &sink,
+                                  const std::string &) {
+            std::printf("%-8s | %-10s | %-10s | MOM/MMX\n", "threads",
+                        "MMX IPC", "MOM EIPC");
+            std::printf("--------------------------------------------\n");
 
-    std::printf("Figure 4: performance with perfect cache\n");
-    bench.perWorkload(all, [](const ResultSink &sink,
-                              const std::string &) {
-        std::printf("%-8s | %-10s | %-10s | MOM/MMX\n", "threads",
-                    "MMX IPC", "MOM EIPC");
-        std::printf("--------------------------------------------\n");
-
-        double base[2] = { 0, 0 };
-        for (int threads : { 1, 2, 4, 8 }) {
-            double v[2];
-            int i = 0;
-            for (SimdIsa simd : { SimdIsa::Mmx, SimdIsa::Mom }) {
-                v[i] = sink.headlineAt(simd, threads, MemModel::Perfect,
-                                       FetchPolicy::RoundRobin);
-                if (threads == 1)
-                    base[i] = v[i];
-                ++i;
+            double base[2] = { 0, 0 };
+            for (int threads : { 1, 2, 4, 8 }) {
+                double v[2];
+                int i = 0;
+                for (SimdIsa simd : { SimdIsa::Mmx, SimdIsa::Mom }) {
+                    v[i] = sink.headlineAt(simd, threads,
+                                           MemModel::Perfect,
+                                           FetchPolicy::RoundRobin);
+                    if (threads == 1)
+                        base[i] = v[i];
+                    ++i;
+                }
+                std::printf("%-8d | %-10.2f | %-10.2f | %.2f\n", threads,
+                            v[0], v[1], v[1] / v[0]);
             }
-            std::printf("%-8d | %-10.2f | %-10.2f | %.2f\n", threads,
-                        v[0], v[1], v[1] / v[0]);
-        }
-        std::printf("--------------------------------------------\n");
-        std::printf("paper: MMX 2.47->5.00 (2.02x), MOM 2.98->6.19 "
-                    "(2.08x)\n");
-        std::printf("1-thread MOM/MMX advantage (paper ~1.20): %.2f\n",
-                    base[1] / base[0]);
-    });
-    return 0;
+            std::printf("--------------------------------------------\n");
+            std::printf("paper: MMX 2.47->5.00 (2.02x), MOM 2.98->6.19 "
+                        "(2.08x)\n");
+            std::printf("1-thread MOM/MMX advantage (paper ~1.20): %.2f\n",
+                        base[1] / base[0]);
+        });
+    };
+    return def;
 }
+
+} // namespace momsim::svc

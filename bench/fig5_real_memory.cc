@@ -1,7 +1,8 @@
 /**
  * @file
  * Reproduces Figure 5: performance under the real (conventional)
- * memory hierarchy, against the ideal-memory curves.
+ * memory hierarchy, against the ideal-memory curves. Registered as
+ * `momsim fig5`.
  *
  * Expected shape (paper): increasing threads gives diminishing returns
  * — 4 threads outperforms 8 under the conventional hierarchy; MOM is
@@ -10,72 +11,81 @@
 
 #include <cstdio>
 
-#include "driver/bench_harness.hh"
+#include "svc/bench_registry.hh"
 
-using namespace momsim;
+namespace momsim::svc
+{
+
 using cpu::FetchPolicy;
-using driver::BenchHarness;
 using driver::ResultSink;
 using driver::SweepGrid;
 using isa::SimdIsa;
 using mem::MemModel;
 
-int
-main(int argc, char **argv)
+BenchDef
+makeFig5Def()
 {
-    BenchHarness bench(argc, argv, "fig5");
-    SweepGrid grid;
-    grid.isas({ SimdIsa::Mmx, SimdIsa::Mom })
-        .threadCounts({ 1, 2, 4, 8 })
-        .memModels({ MemModel::Perfect, MemModel::Conventional });
-    ResultSink all = bench.run(grid);
+    BenchDef def;
+    def.name = "fig5";
+    def.oldBinary = "bench_fig5_real_memory";
+    def.summary = "Figure 5: performance under real memory system";
+    def.grid = [](const driver::BenchOptions &) {
+        SweepGrid grid;
+        grid.isas({ SimdIsa::Mmx, SimdIsa::Mom })
+            .threadCounts({ 1, 2, 4, 8 })
+            .memModels({ MemModel::Perfect, MemModel::Conventional });
+        return grid;
+    };
+    def.print = [](driver::BenchHarness &bench, const ResultSink &all) {
+        std::printf("Figure 5: performance under real memory system\n");
+        bench.perWorkload(all, [](const ResultSink &sink,
+                                  const std::string &) {
+            std::printf("%-8s | %-22s | %-22s\n", "",
+                        "MMX IPC (ideal/real)", "MOM EIPC (ideal/real)");
+            std::printf("%-8s | %-22s | %-22s\n", "threads",
+                        "and degradation", "and degradation");
+            std::printf("-----------------------------------------------"
+                        "-------------\n");
 
-    std::printf("Figure 5: performance under real memory system\n");
-    bench.perWorkload(all, [](const ResultSink &sink,
-                              const std::string &) {
-        std::printf("%-8s | %-22s | %-22s\n", "",
-                    "MMX IPC (ideal/real)", "MOM EIPC (ideal/real)");
-        std::printf("%-8s | %-22s | %-22s\n", "threads",
-                    "and degradation", "and degradation");
-        std::printf("-----------------------------------------------------"
-                    "-------\n");
-
-        double degrade[2] = { 0, 0 };
-        double real4[2] = { 0, 0 }, real8[2] = { 0, 0 };
-        for (int threads : { 1, 2, 4, 8 }) {
-            double ideal[2], realv[2];
-            int i = 0;
-            for (SimdIsa simd : { SimdIsa::Mmx, SimdIsa::Mom }) {
-                ideal[i] = sink.headlineAt(simd, threads,
-                                           MemModel::Perfect,
-                                           FetchPolicy::RoundRobin);
-                realv[i] = sink.headlineAt(simd, threads,
-                                           MemModel::Conventional,
-                                           FetchPolicy::RoundRobin);
-                if (threads == 4)
-                    real4[i] = realv[i];
-                if (threads == 8) {
-                    real8[i] = realv[i];
-                    degrade[i] = 1.0 - realv[i] / ideal[i];
+            double degrade[2] = { 0, 0 };
+            double real4[2] = { 0, 0 }, real8[2] = { 0, 0 };
+            for (int threads : { 1, 2, 4, 8 }) {
+                double ideal[2], realv[2];
+                int i = 0;
+                for (SimdIsa simd : { SimdIsa::Mmx, SimdIsa::Mom }) {
+                    ideal[i] = sink.headlineAt(simd, threads,
+                                               MemModel::Perfect,
+                                               FetchPolicy::RoundRobin);
+                    realv[i] = sink.headlineAt(simd, threads,
+                                               MemModel::Conventional,
+                                               FetchPolicy::RoundRobin);
+                    if (threads == 4)
+                        real4[i] = realv[i];
+                    if (threads == 8) {
+                        real8[i] = realv[i];
+                        degrade[i] = 1.0 - realv[i] / ideal[i];
+                    }
+                    ++i;
                 }
-                ++i;
+                std::printf("%-8d | %5.2f / %5.2f  (-%4.1f%%) | %5.2f / "
+                            "%5.2f  (-%4.1f%%)\n",
+                            threads, ideal[0], realv[0],
+                            100 * (1 - realv[0] / ideal[0]),
+                            ideal[1], realv[1],
+                            100 * (1 - realv[1] / ideal[1]));
             }
-            std::printf("%-8d | %5.2f / %5.2f  (-%4.1f%%) | %5.2f / %5.2f"
-                        "  (-%4.1f%%)\n",
-                        threads, ideal[0], realv[0],
-                        100 * (1 - realv[0] / ideal[0]),
-                        ideal[1], realv[1],
-                        100 * (1 - realv[1] / ideal[1]));
-        }
-        std::printf("-----------------------------------------------------"
-                    "-------\n");
-        std::printf("4thr > 8thr under real memory (paper: yes): MMX %s, "
-                    "MOM %s\n",
-                    real4[0] > real8[0] ? "yes" : "NO",
-                    real4[1] > real8[1] ? "yes" : "NO");
-        std::printf("8-thread degradation (paper ~30%% MMX / ~12-15%% "
-                    "MOM): MMX %.0f%%, MOM %.0f%%\n",
-                    100 * degrade[0], 100 * degrade[1]);
-    });
-    return 0;
+            std::printf("-----------------------------------------------"
+                        "-------------\n");
+            std::printf("4thr > 8thr under real memory (paper: yes): "
+                        "MMX %s, MOM %s\n",
+                        real4[0] > real8[0] ? "yes" : "NO",
+                        real4[1] > real8[1] ? "yes" : "NO");
+            std::printf("8-thread degradation (paper ~30%% MMX / ~12-15%% "
+                        "MOM): MMX %.0f%%, MOM %.0f%%\n",
+                        100 * degrade[0], 100 * degrade[1]);
+        });
+    };
+    return def;
 }
+
+} // namespace momsim::svc

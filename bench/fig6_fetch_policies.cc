@@ -1,7 +1,8 @@
 /**
  * @file
  * Reproduces Figure 6: impact of the fetch policies (RR / ICOUNT /
- * OCOUNT / BALANCE) under the conventional hierarchy.
+ * OCOUNT / BALANCE) under the conventional hierarchy. Registered as
+ * `momsim fig6`.
  *
  * Expected shape (paper): smart policies only pay off at high thread
  * counts (single-digit % over round robin, up to ~9%); ICOUNT is the
@@ -12,25 +13,33 @@
 #include <cstdio>
 
 #include "bench/policy_table.hh"
+#include "svc/bench_registry.hh"
 
-using namespace momsim;
-using driver::BenchHarness;
-using driver::ResultSink;
-using mem::MemModel;
-
-int
-main(int argc, char **argv)
+namespace momsim::svc
 {
-    BenchHarness bench(argc, argv, "fig6");
-    ResultSink all = bench.run(bench::policyGrid(MemModel::Conventional));
 
-    std::printf("Figure 6: fetch policies, conventional hierarchy\n");
-    bench.perWorkload(all, [](const ResultSink &sink,
-                              const std::string &) {
-        double rr[2][4];
-        bench::printPolicyTable(sink, MemModel::Conventional, rr);
-    });
-    std::printf("paper: gains only at high thread counts, up to ~9%%; "
-                "IC best for MMX, OC best for MOM\n");
-    return 0;
+BenchDef
+makeFig6Def()
+{
+    BenchDef def;
+    def.name = "fig6";
+    def.oldBinary = "bench_fig6_fetch_policies";
+    def.summary = "Figure 6: fetch policies, conventional hierarchy";
+    def.grid = [](const driver::BenchOptions &) {
+        return bench::policyGrid(mem::MemModel::Conventional);
+    };
+    def.print = [](driver::BenchHarness &bench,
+                   const driver::ResultSink &all) {
+        std::printf("Figure 6: fetch policies, conventional hierarchy\n");
+        bench.perWorkload(all, [](const driver::ResultSink &sink,
+                                  const std::string &) {
+            double rr[2][4];
+            bench::printPolicyTable(sink, mem::MemModel::Conventional, rr);
+        });
+        std::printf("paper: gains only at high thread counts, up to ~9%%; "
+                    "IC best for MMX, OC best for MOM\n");
+    };
+    return def;
 }
+
+} // namespace momsim::svc

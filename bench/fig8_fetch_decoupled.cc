@@ -2,7 +2,7 @@
  * @file
  * Reproduces Figure 8: fetch policies under the decoupled cache
  * hierarchy (scalar ports into the L1, vector ports straight into the
- * banked L2 with exclusive-bit coherence).
+ * banked L2 with exclusive-bit coherence). Registered as `momsim fig8`.
  *
  * Expected shape (paper): decoupling solves the cache-degradation
  * problem — 8 threads now beats 4; the fetch policies barely help
@@ -12,28 +12,36 @@
 #include <cstdio>
 
 #include "bench/policy_table.hh"
+#include "svc/bench_registry.hh"
 
-using namespace momsim;
-using driver::BenchHarness;
-using driver::ResultSink;
-using mem::MemModel;
-
-int
-main(int argc, char **argv)
+namespace momsim::svc
 {
-    BenchHarness bench(argc, argv, "fig8");
-    ResultSink all = bench.run(bench::policyGrid(MemModel::Decoupled));
 
-    std::printf("Figure 8: fetch policies, decoupled hierarchy\n");
-    bench.perWorkload(all, [](const ResultSink &sink,
-                              const std::string &) {
-        double rr[2][4];
-        bench::printPolicyTable(sink, MemModel::Decoupled, rr);
-        // rr[isa][thrIdx]: thread counts 1, 2, 4, 8 => indices 0..3.
-        std::printf("8thr > 4thr with decoupling (paper: yes): MMX %s, "
-                    "MOM %s\n",
-                    rr[0][3] > rr[0][2] ? "yes" : "NO",
-                    rr[1][3] > rr[1][2] ? "yes" : "NO");
-    });
-    return 0;
+BenchDef
+makeFig8Def()
+{
+    BenchDef def;
+    def.name = "fig8";
+    def.oldBinary = "bench_fig8_fetch_decoupled";
+    def.summary = "Figure 8: fetch policies, decoupled hierarchy";
+    def.grid = [](const driver::BenchOptions &) {
+        return bench::policyGrid(mem::MemModel::Decoupled);
+    };
+    def.print = [](driver::BenchHarness &bench,
+                   const driver::ResultSink &all) {
+        std::printf("Figure 8: fetch policies, decoupled hierarchy\n");
+        bench.perWorkload(all, [](const driver::ResultSink &sink,
+                                  const std::string &) {
+            double rr[2][4];
+            bench::printPolicyTable(sink, mem::MemModel::Decoupled, rr);
+            // rr[isa][thrIdx]: thread counts 1, 2, 4, 8 => indices 0..3.
+            std::printf("8thr > 4thr with decoupling (paper: yes): "
+                        "MMX %s, MOM %s\n",
+                        rr[0][3] > rr[0][2] ? "yes" : "NO",
+                        rr[1][3] > rr[1][2] ? "yes" : "NO");
+        });
+    };
+    return def;
 }
+
+} // namespace momsim::svc

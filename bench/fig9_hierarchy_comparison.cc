@@ -3,7 +3,8 @@
  * Reproduces Figure 9 and the paper's headline result: ideal vs
  * conventional vs decoupled hierarchies for both ISAs (ICOUNT for MMX,
  * OCOUNT for MOM, as in the paper's figure), and the end-to-end
- * speedups over the single-threaded MMX baseline.
+ * speedups over the single-threaded MMX baseline. Registered as
+ * `momsim fig9`.
  *
  * Expected shape (paper): with the decoupled hierarchy at 8 threads,
  * SMT+MOM sits only ~15% below ideal while SMT+MMX stays ~30% below;
@@ -14,82 +15,94 @@
 #include <algorithm>
 #include <cstdio>
 
-#include "driver/bench_harness.hh"
+#include "svc/bench_registry.hh"
 
-using namespace momsim;
+namespace momsim::svc
+{
+
 using cpu::FetchPolicy;
-using driver::BenchHarness;
 using driver::ExperimentSpec;
 using driver::ResultSink;
 using driver::SweepGrid;
 using isa::SimdIsa;
 using mem::MemModel;
 
-int
-main(int argc, char **argv)
+BenchDef
+makeFig9Def()
 {
-    BenchHarness bench(argc, argv, "fig9");
-    SweepGrid grid;
-    grid.isas({ SimdIsa::Mmx, SimdIsa::Mom })
-        .threadCounts({ 1, 2, 4, 8 })
-        .memModels({ MemModel::Perfect, MemModel::Conventional,
-                     MemModel::Decoupled })
-        .policies({ FetchPolicy::ICount, FetchPolicy::OCount })
-        .skip([](const ExperimentSpec &s) {
-            // The paper's figure pairs each ISA with its best policy.
-            return (s.simd == SimdIsa::Mmx &&
-                    s.policy == FetchPolicy::OCount) ||
-                   (s.simd == SimdIsa::Mom &&
-                    s.policy == FetchPolicy::ICount);
-        });
-    ResultSink all = bench.run(grid);
+    BenchDef def;
+    def.name = "fig9";
+    def.oldBinary = "bench_fig9_hierarchy_comparison";
+    def.summary = "Figure 9: hierarchies compared, headline speedups";
+    def.grid = [](const driver::BenchOptions &) {
+        SweepGrid grid;
+        grid.isas({ SimdIsa::Mmx, SimdIsa::Mom })
+            .threadCounts({ 1, 2, 4, 8 })
+            .memModels({ MemModel::Perfect, MemModel::Conventional,
+                         MemModel::Decoupled })
+            .policies({ FetchPolicy::ICount, FetchPolicy::OCount })
+            .skip([](const ExperimentSpec &s) {
+                // The paper's figure pairs each ISA with its best policy.
+                return (s.simd == SimdIsa::Mmx &&
+                        s.policy == FetchPolicy::OCount) ||
+                       (s.simd == SimdIsa::Mom &&
+                        s.policy == FetchPolicy::ICount);
+            });
+        return grid;
+    };
+    def.print = [](driver::BenchHarness &bench, const ResultSink &all) {
+        std::printf("Figure 9: hierarchies compared (MMX: ICOUNT, "
+                    "MOM: OCOUNT)\n");
+        bench.perWorkload(all, [](const ResultSink &sink,
+                                  const std::string &) {
+            std::printf("%-6s %-8s | %8s %8s %8s | decoupled vs ideal\n",
+                        "isa", "threads", "ideal", "conv", "decoup");
+            std::printf("------------------------------------------------"
+                        "------------\n");
 
-    std::printf("Figure 9: hierarchies compared (MMX: ICOUNT, "
-                "MOM: OCOUNT)\n");
-    bench.perWorkload(all, [](const ResultSink &sink,
-                              const std::string &) {
-        std::printf("%-6s %-8s | %8s %8s %8s | decoupled vs ideal\n",
-                    "isa", "threads", "ideal", "conv", "decoup");
-        std::printf("------------------------------------------------------"
-                    "------\n");
-
-        double mmxBaseline = 0.0;
-        double best[2] = { 0, 0 };
-        double idealAt8[2] = { 0, 0 }, decoupAt8[2] = { 0, 0 };
-        int isaIdx = 0;
-        for (SimdIsa simd : { SimdIsa::Mmx, SimdIsa::Mom }) {
-            FetchPolicy pol = simd == SimdIsa::Mmx ? FetchPolicy::ICount
-                                                   : FetchPolicy::OCount;
-            for (int threads : { 1, 2, 4, 8 }) {
-                double vi = sink.headlineAt(simd, threads,
-                                            MemModel::Perfect, pol);
-                double vc = sink.headlineAt(simd, threads,
-                                            MemModel::Conventional, pol);
-                double vd = sink.headlineAt(simd, threads,
-                                            MemModel::Decoupled, pol);
-                if (simd == SimdIsa::Mmx && threads == 1)
-                    mmxBaseline = vc;
-                best[isaIdx] = std::max(best[isaIdx], std::max(vc, vd));
-                if (threads == 8) {
-                    idealAt8[isaIdx] = vi;
-                    decoupAt8[isaIdx] = vd;
+            double mmxBaseline = 0.0;
+            double best[2] = { 0, 0 };
+            double idealAt8[2] = { 0, 0 }, decoupAt8[2] = { 0, 0 };
+            int isaIdx = 0;
+            for (SimdIsa simd : { SimdIsa::Mmx, SimdIsa::Mom }) {
+                FetchPolicy pol = simd == SimdIsa::Mmx
+                    ? FetchPolicy::ICount : FetchPolicy::OCount;
+                for (int threads : { 1, 2, 4, 8 }) {
+                    double vi = sink.headlineAt(simd, threads,
+                                                MemModel::Perfect, pol);
+                    double vc = sink.headlineAt(simd, threads,
+                                                MemModel::Conventional,
+                                                pol);
+                    double vd = sink.headlineAt(simd, threads,
+                                                MemModel::Decoupled, pol);
+                    if (simd == SimdIsa::Mmx && threads == 1)
+                        mmxBaseline = vc;
+                    best[isaIdx] = std::max(best[isaIdx],
+                                            std::max(vc, vd));
+                    if (threads == 8) {
+                        idealAt8[isaIdx] = vi;
+                        decoupAt8[isaIdx] = vd;
+                    }
+                    std::printf("%-6s %-8d | %8.2f %8.2f %8.2f | "
+                                "-%.0f%%\n",
+                                toString(simd), threads, vi, vc, vd,
+                                100 * (1 - vd / vi));
                 }
-                std::printf("%-6s %-8d | %8.2f %8.2f %8.2f | -%.0f%%\n",
-                            toString(simd), threads, vi, vc, vd,
-                            100 * (1 - vd / vi));
+                ++isaIdx;
             }
-            ++isaIdx;
-        }
-        std::printf("------------------------------------------------------"
-                    "------\n");
-        std::printf("8-thread decoupled vs ideal (paper ~-30%% MMX, "
-                    "~-15%% MOM): MMX -%.0f%%, MOM -%.0f%%\n",
-                    100 * (1 - decoupAt8[0] / idealAt8[0]),
-                    100 * (1 - decoupAt8[1] / idealAt8[1]));
-        std::printf("\nHeadline speedups vs 1-thread MMX with real memory "
-                    "(paper: 2.1x MMX, 3.3x MOM):\n");
-        std::printf("  SMT+MMX: %.2fx    SMT+MOM: %.2fx\n",
-                    best[0] / mmxBaseline, best[1] / mmxBaseline);
-    });
-    return 0;
+            std::printf("------------------------------------------------"
+                        "------------\n");
+            std::printf("8-thread decoupled vs ideal (paper ~-30%% MMX, "
+                        "~-15%% MOM): MMX -%.0f%%, MOM -%.0f%%\n",
+                        100 * (1 - decoupAt8[0] / idealAt8[0]),
+                        100 * (1 - decoupAt8[1] / idealAt8[1]));
+            std::printf("\nHeadline speedups vs 1-thread MMX with real "
+                        "memory (paper: 2.1x MMX, 3.3x MOM):\n");
+            std::printf("  SMT+MMX: %.2fx    SMT+MOM: %.2fx\n",
+                        best[0] / mmxBaseline, best[1] / mmxBaseline);
+        });
+    };
+    return def;
 }
+
+} // namespace momsim::svc

@@ -3,7 +3,8 @@
  * Reproduces Table 1 by the paper's own procedure: "preliminary
  * simulations in order to determine the number of physical registers
  * and the window sizes necessary to achieve reasonable (near
- * saturation) processor performance for 1, 2, 4 and 8 threads."
+ * saturation) processor performance for 1, 2, 4 and 8 threads".
+ * Registered as `momsim table1`.
  *
  * For each thread count this sweep scales the per-thread window and the
  * rename slack and reports where throughput saturates (within 2% of the
@@ -13,21 +14,22 @@
 #include <cstdio>
 
 #include "common/logging.hh"
-#include "driver/bench_harness.hh"
+#include "svc/bench_registry.hh"
 
-using namespace momsim;
+namespace momsim::svc
+{
+
+namespace
+{
+
 using cpu::CoreConfig;
 using cpu::FetchPolicy;
-using driver::BenchHarness;
 using driver::ExperimentSpec;
 using driver::ResultSink;
 using driver::SweepGrid;
 using driver::SweepVariant;
 using isa::SimdIsa;
 using mem::MemModel;
-
-namespace
-{
 
 constexpr int kWindows[4] = { 16, 32, 64, 96 };
 
@@ -48,55 +50,67 @@ windowVariant(int window)
 
 } // namespace
 
-int
-main(int argc, char **argv)
+BenchDef
+makeTable1Def()
 {
-    BenchHarness bench(argc, argv, "table1");
-    SweepGrid grid;
-    grid.threadCounts({ 1, 2, 4, 8 })
-        .memModels({ MemModel::Perfect })
-        .variants({ windowVariant(kWindows[0]), windowVariant(kWindows[1]),
-                    windowVariant(kWindows[2]),
-                    windowVariant(kWindows[3]) });
-    ResultSink all = bench.run(grid);
+    BenchDef def;
+    def.name = "table1";
+    def.oldBinary = "bench_table1_saturation";
+    def.summary = "Table 1: near-saturation sizing per thread count";
+    def.grid = [](const driver::BenchOptions &) {
+        SweepGrid grid;
+        grid.threadCounts({ 1, 2, 4, 8 })
+            .memModels({ MemModel::Perfect })
+            .variants({ windowVariant(kWindows[0]),
+                        windowVariant(kWindows[1]),
+                        windowVariant(kWindows[2]),
+                        windowVariant(kWindows[3]) });
+        return grid;
+    };
+    def.print = [](driver::BenchHarness &bench, const ResultSink &all) {
+        std::printf("Table 1: near-saturation sizing per thread count "
+                    "(ideal memory, MMX)\n");
+        bench.perWorkload(all, [](const ResultSink &sink,
+                                  const std::string &) {
+            std::printf("%-8s | %-28s | shipped preset\n", "threads",
+                        "window/thread sweep (IPC)");
+            std::printf("----------------------------------------------"
+                        "----------------------\n");
 
-    std::printf("Table 1: near-saturation sizing per thread count "
-                "(ideal memory, MMX)\n");
-    bench.perWorkload(all, [](const ResultSink &sink,
-                              const std::string &) {
-        std::printf("%-8s | %-28s | shipped preset\n", "threads",
-                    "window/thread sweep (IPC)");
-        std::printf("--------------------------------------------------------"
-                    "------------\n");
-
-        for (int threads : { 1, 2, 4, 8 }) {
-            double ipcAt[4];
-            for (int i = 0; i < 4; ++i) {
-                ipcAt[i] = sink.headlineAt(SimdIsa::Mmx, threads,
-                                           MemModel::Perfect,
-                                           FetchPolicy::RoundRobin,
-                                           strfmt("win%d", kWindows[i]));
-            }
-            int sat = 3;
-            for (int i = 0; i < 4; ++i) {
-                if (ipcAt[i] >= 0.98 * ipcAt[3]) {
-                    sat = i;
-                    break;
+            for (int threads : { 1, 2, 4, 8 }) {
+                double ipcAt[4];
+                for (int i = 0; i < 4; ++i) {
+                    ipcAt[i] = sink.headlineAt(SimdIsa::Mmx, threads,
+                                               MemModel::Perfect,
+                                               FetchPolicy::RoundRobin,
+                                               strfmt("win%d",
+                                                      kWindows[i]));
                 }
+                int sat = 3;
+                for (int i = 0; i < 4; ++i) {
+                    if (ipcAt[i] >= 0.98 * ipcAt[3]) {
+                        sat = i;
+                        break;
+                    }
+                }
+                CoreConfig preset =
+                    CoreConfig::preset(threads, SimdIsa::Mmx);
+                std::printf("%-8d | 16:%4.2f 32:%4.2f 64:%4.2f 96:%4.2f "
+                            "(sat @%2d) | win/thr=%d intPR=%d fpPR=%d "
+                            "simdPR=%d\n",
+                            threads, ipcAt[0], ipcAt[1], ipcAt[2],
+                            ipcAt[3], kWindows[sat],
+                            preset.windowPerThread, preset.intPhysRegs,
+                            preset.fpPhysRegs, preset.simdPhysRegs);
             }
-            CoreConfig preset = CoreConfig::preset(threads, SimdIsa::Mmx);
-            std::printf("%-8d | 16:%4.2f 32:%4.2f 64:%4.2f 96:%4.2f "
-                        "(sat @%2d) | win/thr=%d intPR=%d fpPR=%d "
-                        "simdPR=%d\n",
-                        threads, ipcAt[0], ipcAt[1], ipcAt[2], ipcAt[3],
-                        kWindows[sat], preset.windowPerThread,
-                        preset.intPhysRegs, preset.fpPhysRegs,
-                        preset.simdPhysRegs);
-        }
-        std::printf("--------------------------------------------------------"
-                    "------------\n");
-        std::printf("(The shipped presets are the smallest near-saturation "
-                    "points, the paper's criterion.)\n");
-    });
-    return 0;
+            std::printf("----------------------------------------------"
+                        "----------------------\n");
+            std::printf("(The shipped presets are the smallest "
+                        "near-saturation points, the paper's "
+                        "criterion.)\n");
+        });
+    };
+    return def;
 }
+
+} // namespace momsim::svc

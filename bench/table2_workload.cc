@@ -4,7 +4,7 @@
  * benchmark fills each MPEG-4 profile, its data set, and its measured
  * dynamic characteristics (our scaled equivalents of the paper's
  * columns). Defaults to the paper mix; --workload prints any registry
- * mix the same way.
+ * mix the same way. Registered as `momsim table2` (no sweep stage).
  */
 
 #include <cstdio>
@@ -12,16 +12,17 @@
 #include <vector>
 
 #include "common/logging.hh"
-#include "driver/bench_harness.hh"
+#include "svc/bench_registry.hh"
 
-using namespace momsim;
-using driver::BenchHarness;
-using isa::SimdIsa;
-using workloads::MediaWorkload;
-using workloads::ProgramKind;
+namespace momsim::svc
+{
 
 namespace
 {
+
+using isa::SimdIsa;
+using workloads::MediaWorkload;
+using workloads::ProgramKind;
 
 /** MPEG-4 profile each benchmark role stands in for. */
 const char *
@@ -69,60 +70,68 @@ ordinalSuffix(int n)
 
 } // namespace
 
-int
-main(int argc, char **argv)
+BenchDef
+makeTable2Def()
 {
-    BenchHarness bench(argc, argv, "table2");
-    bench.declareNoSweep();
+    BenchDef def;
+    def.name = "table2";
+    def.oldBinary = "bench_table2_workload";
+    def.summary = "Table 2: multiprogrammed workload description";
+    def.runNoSweep = [](driver::BenchHarness &bench) {
+        // One table per --workload selection (a single one by default).
+        bench.perWorkload([&](const MediaWorkload &wl,
+                              const std::string &) {
+            const int n = wl.numPrograms();
 
-    // One table per --workload selection (a single one by default).
-    bench.perWorkload([&](const MediaWorkload &wl, const std::string &) {
-        const int n = wl.numPrograms();
+            // Trace accounting is embarrassingly parallel: one task per
+            // program, results landing in per-index slots.
+            std::vector<trace::MixSummary> mixes(static_cast<size_t>(n));
+            bench.pool().parallelFor(static_cast<size_t>(n),
+                                     [&](size_t i) {
+                mixes[i] =
+                    wl.program(SimdIsa::Mmx, static_cast<int>(i)).mix();
+            });
 
-        // Trace accounting is embarrassingly parallel: one task per
-        // program, results landing in per-index slots.
-        std::vector<trace::MixSummary> mixes(static_cast<size_t>(n));
-        bench.pool().parallelFor(static_cast<size_t>(n), [&](size_t i) {
-            mixes[i] =
-                wl.program(SimdIsa::Mmx, static_cast<int>(i)).mix();
-        });
-
-        std::printf("Table 2: multiprogrammed workload description "
-                    "(mix: %s)\n", wl.specName().c_str());
-        std::printf("%-10s | %-29s | %-44s | %9s | %7s | %5s\n",
-                    "instance", "profile", "data set", "Kinst MMX",
-                    "branch%", "mem%");
-        std::printf("----------------------------------------------------"
-                    "----------------------------------------------------"
-                    "--------------\n");
-        int copies[workloads::kNumProgramKinds] = {};
-        for (int i = 0; i < n; ++i) {
-            const auto &mix = mixes[static_cast<size_t>(i)];
-            ProgramKind kind = wl.kind(i);
-            int ordinal = ++copies[static_cast<int>(kind)];
-            std::string profile = profileOf(kind);
-            if (ordinal > 1) {
-                // The paper annotates repeats:
-                // "MPEG-4 video (decode, 2nd)".
-                std::string marker =
-                    strfmt(", %d%s", ordinal, ordinalSuffix(ordinal));
-                if (!profile.empty() && profile.back() == ')')
-                    profile.insert(profile.size() - 1, marker);
-                else
-                    profile += " (" + marker.substr(2) + ")";
+            std::printf("Table 2: multiprogrammed workload description "
+                        "(mix: %s)\n", wl.specName().c_str());
+            std::printf("%-10s | %-29s | %-44s | %9s | %7s | %5s\n",
+                        "instance", "profile", "data set", "Kinst MMX",
+                        "branch%", "mem%");
+            std::printf("------------------------------------------------"
+                        "------------------------------------------------"
+                        "----------------------\n");
+            int copies[workloads::kNumProgramKinds] = {};
+            for (int i = 0; i < n; ++i) {
+                const auto &mix = mixes[static_cast<size_t>(i)];
+                ProgramKind kind = wl.kind(i);
+                int ordinal = ++copies[static_cast<int>(kind)];
+                std::string profile = profileOf(kind);
+                if (ordinal > 1) {
+                    // The paper annotates repeats:
+                    // "MPEG-4 video (decode, 2nd)".
+                    std::string marker =
+                        strfmt(", %d%s", ordinal, ordinalSuffix(ordinal));
+                    if (!profile.empty() && profile.back() == ')')
+                        profile.insert(profile.size() - 1, marker);
+                    else
+                        profile += " (" + marker.substr(2) + ")";
+                }
+                std::printf("%-10s | %-29s | %-44s | %9.0f | %6.1f%% | "
+                            "%4.1f%%\n",
+                            wl.name(i).c_str(), profile.c_str(),
+                            datasetOf(kind),
+                            static_cast<double>(mix.eqInsts) / 1000.0,
+                            100.0 * static_cast<double>(mix.branches) /
+                                static_cast<double>(mix.eqInsts),
+                            100.0 * mix.memPct());
             }
-            std::printf("%-10s | %-29s | %-44s | %9.0f | %6.1f%% | "
-                        "%4.1f%%\n",
-                        wl.name(i).c_str(), profile.c_str(),
-                        datasetOf(kind),
-                        static_cast<double>(mix.eqInsts) / 1000.0,
-                        100.0 * static_cast<double>(mix.branches) /
-                            static_cast<double>(mix.eqInsts),
-                        100.0 * mix.memPct());
-        }
-        std::printf("\n(The paper used Mediabench binaries with their "
-                    "reference inputs; these are the scaled\n synthetic "
-                    "equivalents — see DESIGN.md substitutions.)\n");
-    });
-    return 0;
+            std::printf("\n(The paper used Mediabench binaries with "
+                        "their reference inputs; these are the scaled\n"
+                        " synthetic equivalents — see DESIGN.md "
+                        "substitutions.)\n");
+        });
+    };
+    return def;
 }
+
+} // namespace momsim::svc

@@ -2,7 +2,8 @@
  * @file
  * Reproduces Table 3: instruction breakdown (% integer / fp / SIMD
  * arithmetic / memory) and equivalent-instruction counts per benchmark
- * under the MMX and MOM instruction sets.
+ * under the MMX and MOM instruction sets. Registered as
+ * `momsim table3` (no sweep stage).
  *
  * Expected shape (paper): the mix is dominated by integer instructions
  * under both ISAs (~62% average under MMX); SIMD arithmetic is a
@@ -14,79 +15,89 @@
 #include <cstdio>
 #include <vector>
 
-#include "driver/bench_harness.hh"
+#include "svc/bench_registry.hh"
 
-using namespace momsim;
-using driver::BenchHarness;
-using isa::SimdIsa;
-using workloads::MediaWorkload;
-
-int
-main(int argc, char **argv)
+namespace momsim::svc
 {
-    BenchHarness bench(argc, argv, "table3");
-    bench.declareNoSweep();
 
-    // One table per --workload selection (a single one by default).
-    bench.perWorkload([&](const MediaWorkload &wl, const std::string &) {
+BenchDef
+makeTable3Def()
+{
+    using isa::SimdIsa;
+    using workloads::MediaWorkload;
 
-        // Independent trace walks (each program x 2 ISAs) on the pool.
-        const size_t kN = static_cast<size_t>(wl.numPrograms());
-        std::vector<trace::MixSummary> mixes[2];
-        mixes[0].resize(kN);
-        mixes[1].resize(kN);
-        bench.pool().parallelFor(2 * kN, [&](size_t task) {
-            SimdIsa simd = task < kN ? SimdIsa::Mmx : SimdIsa::Mom;
-            int i = static_cast<int>(task % kN);
-            mixes[task < kN ? 0 : 1][static_cast<size_t>(i)] =
-                wl.program(simd, i).mix();
+    BenchDef def;
+    def.name = "table3";
+    def.oldBinary = "bench_table3_breakdown";
+    def.summary = "Table 3: instruction breakdown and eq-inst counts";
+    def.runNoSweep = [](driver::BenchHarness &bench) {
+        // One table per --workload selection (a single one by default).
+        bench.perWorkload([&](const MediaWorkload &wl,
+                              const std::string &) {
+
+            // Independent trace walks (each program x 2 ISAs) on the
+            // pool.
+            const size_t kN = static_cast<size_t>(wl.numPrograms());
+            std::vector<trace::MixSummary> mixes[2];
+            mixes[0].resize(kN);
+            mixes[1].resize(kN);
+            bench.pool().parallelFor(2 * kN, [&](size_t task) {
+                SimdIsa simd = task < kN ? SimdIsa::Mmx : SimdIsa::Mom;
+                int i = static_cast<int>(task % kN);
+                mixes[task < kN ? 0 : 1][static_cast<size_t>(i)] =
+                    wl.program(simd, i).mix();
+            });
+
+            std::printf("Table 3: instruction breakdown (%%) and "
+                        "equivalent instruction count (Kinst; mix: "
+                        "%s)\n", wl.specName().c_str());
+            std::printf("%-10s | %22s | %22s | ratio\n", "",
+                        "MMX  int/fp/simd/mem", "MOM  int/fp/simd/mem");
+            std::printf("%-10s | %22s | %22s | MOM/MMX\n", "benchmark",
+                        "and Kinst", "and Kinst");
+            std::printf("------------------------------------------------"
+                        "-------------------------------\n");
+
+            uint64_t totMmx = 0, totMom = 0;
+            double mmxIntW = 0, mmxSimdW = 0;
+            for (size_t i = 0; i < kN; ++i) {
+                const auto &mmx = mixes[0][i];
+                const auto &mom = mixes[1][i];
+                totMmx += mmx.eqInsts;
+                totMom += mom.eqInsts;
+                mmxIntW +=
+                    mmx.intPct() * static_cast<double>(mmx.eqInsts);
+                mmxSimdW +=
+                    mmx.simdPct() * static_cast<double>(mmx.eqInsts);
+                std::printf("%-10s | %4.1f/%4.1f/%4.1f/%4.1f %6.0fK "
+                            "| %4.1f/%4.1f/%4.1f/%4.1f %6.0fK | %.2f\n",
+                            wl.name(static_cast<int>(i)).c_str(),
+                            100 * mmx.intPct(), 100 * mmx.fpPct(),
+                            100 * mmx.simdPct(), 100 * mmx.memPct(),
+                            static_cast<double>(mmx.eqInsts) / 1000.0,
+                            100 * mom.intPct(), 100 * mom.fpPct(),
+                            100 * mom.simdPct(), 100 * mom.memPct(),
+                            static_cast<double>(mom.eqInsts) / 1000.0,
+                            static_cast<double>(mom.eqInsts) /
+                                static_cast<double>(mmx.eqInsts));
+            }
+            std::printf("------------------------------------------------"
+                        "-------------------------------\n");
+            std::printf("%-10s | total %10.0fK        | total %10.0fK  "
+                        "      | %.2f\n", "all",
+                        static_cast<double>(totMmx) / 1000.0,
+                        static_cast<double>(totMom) / 1000.0,
+                        static_cast<double>(totMom) /
+                            static_cast<double>(totMmx));
+            std::printf("\nMMX weighted integer share: %.1f%% (paper: "
+                        "~62%%); SIMD share: %.1f%% (paper: ~16%%)\n",
+                        100 * mmxIntW / static_cast<double>(totMmx),
+                        100 * mmxSimdW / static_cast<double>(totMmx));
+            std::printf("Paper totals: 1429 vs 1087 Minst => MOM/MMX = "
+                        "0.76\n");
         });
-
-        std::printf("Table 3: instruction breakdown (%%) and equivalent "
-                    "instruction count (Kinst; mix: %s)\n",
-                    wl.specName().c_str());
-        std::printf("%-10s | %22s | %22s | ratio\n", "",
-                    "MMX  int/fp/simd/mem", "MOM  int/fp/simd/mem");
-        std::printf("%-10s | %22s | %22s | MOM/MMX\n", "benchmark",
-                    "and Kinst", "and Kinst");
-        std::printf("----------------------------------------------------"
-                    "---------------------------\n");
-
-        uint64_t totMmx = 0, totMom = 0;
-        double mmxIntW = 0, mmxSimdW = 0;
-        for (size_t i = 0; i < kN; ++i) {
-            const auto &mmx = mixes[0][i];
-            const auto &mom = mixes[1][i];
-            totMmx += mmx.eqInsts;
-            totMom += mom.eqInsts;
-            mmxIntW += mmx.intPct() * static_cast<double>(mmx.eqInsts);
-            mmxSimdW += mmx.simdPct() * static_cast<double>(mmx.eqInsts);
-            std::printf("%-10s | %4.1f/%4.1f/%4.1f/%4.1f %6.0fK "
-                        "| %4.1f/%4.1f/%4.1f/%4.1f %6.0fK | %.2f\n",
-                        wl.name(static_cast<int>(i)).c_str(),
-                        100 * mmx.intPct(), 100 * mmx.fpPct(),
-                        100 * mmx.simdPct(), 100 * mmx.memPct(),
-                        static_cast<double>(mmx.eqInsts) / 1000.0,
-                        100 * mom.intPct(), 100 * mom.fpPct(),
-                        100 * mom.simdPct(), 100 * mom.memPct(),
-                        static_cast<double>(mom.eqInsts) / 1000.0,
-                        static_cast<double>(mom.eqInsts) /
-                            static_cast<double>(mmx.eqInsts));
-        }
-        std::printf("----------------------------------------------------"
-                    "---------------------------\n");
-        std::printf("%-10s | total %10.0fK        | total %10.0fK        "
-                    "| %.2f\n", "all",
-                    static_cast<double>(totMmx) / 1000.0,
-                    static_cast<double>(totMom) / 1000.0,
-                    static_cast<double>(totMom) /
-                        static_cast<double>(totMmx));
-        std::printf("\nMMX weighted integer share: %.1f%% (paper: ~62%%); "
-                    "SIMD share: %.1f%% (paper: ~16%%)\n",
-                    100 * mmxIntW / static_cast<double>(totMmx),
-                    100 * mmxSimdW / static_cast<double>(totMmx));
-        std::printf("Paper totals: 1429 vs 1087 Minst => MOM/MMX = "
-                    "0.76\n");
-    });
-    return 0;
+    };
+    return def;
 }
+
+} // namespace momsim::svc

@@ -2,7 +2,7 @@
  * @file
  * Reproduces Table 4: instruction-cache hit rate, L1 data hit rate and
  * average L1 latency as the thread count grows, for both ISAs under the
- * conventional hierarchy.
+ * conventional hierarchy. Registered as `momsim table4`.
  *
  * Expected shape (paper): hit rates fall monotonically with thread
  * count (mutual interference); MMX's L1 behaviour degrades more steeply
@@ -12,64 +12,75 @@
 
 #include <cstdio>
 
-#include "driver/bench_harness.hh"
+#include "svc/bench_registry.hh"
 
-using namespace momsim;
-using cpu::FetchPolicy;
-using driver::BenchHarness;
-using driver::ResultRow;
-using driver::ResultSink;
-using driver::SweepGrid;
-using isa::SimdIsa;
-using mem::MemModel;
-
-int
-main(int argc, char **argv)
+namespace momsim::svc
 {
-    BenchHarness bench(argc, argv, "table4");
-    SweepGrid grid;
-    grid.isas({ SimdIsa::Mmx, SimdIsa::Mom })
-        .threadCounts({ 1, 2, 4, 8 })
-        .memModels({ MemModel::Conventional });
-    ResultSink all = bench.run(grid);
 
-    std::printf("Table 4: cache behaviour vs threads "
-                "(conventional hierarchy)\n");
-    bench.perWorkload(all, [](const ResultSink &sink,
-                              const std::string &) {
-        std::printf("%-26s | %7s %7s %7s %7s\n", "metric", "1 thr",
-                    "2 thr", "4 thr", "8 thr");
-        std::printf("-------------------------------------------------------"
-                    "-------\n");
+BenchDef
+makeTable4Def()
+{
+    using cpu::FetchPolicy;
+    using driver::ResultRow;
+    using driver::ResultSink;
+    using driver::SweepGrid;
+    using isa::SimdIsa;
+    using mem::MemModel;
 
-        for (SimdIsa simd : { SimdIsa::Mmx, SimdIsa::Mom }) {
-            double ihit[4], dhit[4], lat[4];
-            int c = 0;
-            for (int threads : { 1, 2, 4, 8 }) {
-                const ResultRow *row =
-                    sink.find(simd, threads, MemModel::Conventional,
-                              FetchPolicy::RoundRobin);
-                ihit[c] = row ? row->run.icacheHitRate : 0.0;
-                dhit[c] = row ? row->run.l1HitRate : 0.0;
-                lat[c] = row ? row->run.l1AvgLatency : 0.0;
-                ++c;
+    BenchDef def;
+    def.name = "table4";
+    def.oldBinary = "bench_table4_cache_behavior";
+    def.summary = "Table 4: cache behaviour vs threads";
+    def.grid = [](const driver::BenchOptions &) {
+        SweepGrid grid;
+        grid.isas({ SimdIsa::Mmx, SimdIsa::Mom })
+            .threadCounts({ 1, 2, 4, 8 })
+            .memModels({ MemModel::Conventional });
+        return grid;
+    };
+    def.print = [](driver::BenchHarness &bench, const ResultSink &all) {
+        std::printf("Table 4: cache behaviour vs threads "
+                    "(conventional hierarchy)\n");
+        bench.perWorkload(all, [](const ResultSink &sink,
+                                  const std::string &) {
+            std::printf("%-26s | %7s %7s %7s %7s\n", "metric", "1 thr",
+                        "2 thr", "4 thr", "8 thr");
+            std::printf("-----------------------------------------------"
+                        "---------------\n");
+
+            for (SimdIsa simd : { SimdIsa::Mmx, SimdIsa::Mom }) {
+                double ihit[4], dhit[4], lat[4];
+                int c = 0;
+                for (int threads : { 1, 2, 4, 8 }) {
+                    const ResultRow *row =
+                        sink.find(simd, threads, MemModel::Conventional,
+                                  FetchPolicy::RoundRobin);
+                    ihit[c] = row ? row->run.icacheHitRate : 0.0;
+                    dhit[c] = row ? row->run.l1HitRate : 0.0;
+                    lat[c] = row ? row->run.l1AvgLatency : 0.0;
+                    ++c;
+                }
+                std::printf("I-cache hit rate  %-8s | %6.1f%% %6.1f%% "
+                            "%6.1f%% %6.1f%%\n", toString(simd),
+                            100 * ihit[0], 100 * ihit[1], 100 * ihit[2],
+                            100 * ihit[3]);
+                std::printf("L1 hit rate       %-8s | %6.1f%% %6.1f%% "
+                            "%6.1f%% %6.1f%%\n", toString(simd),
+                            100 * dhit[0], 100 * dhit[1], 100 * dhit[2],
+                            100 * dhit[3]);
+                std::printf("L1 avg latency    %-8s | %7.2f %7.2f %7.2f "
+                            "%7.2f\n",
+                            toString(simd), lat[0], lat[1], lat[2],
+                            lat[3]);
             }
-            std::printf("I-cache hit rate  %-8s | %6.1f%% %6.1f%% %6.1f%% "
-                        "%6.1f%%\n", toString(simd),
-                        100 * ihit[0], 100 * ihit[1], 100 * ihit[2],
-                        100 * ihit[3]);
-            std::printf("L1 hit rate       %-8s | %6.1f%% %6.1f%% %6.1f%% "
-                        "%6.1f%%\n", toString(simd),
-                        100 * dhit[0], 100 * dhit[1], 100 * dhit[2],
-                        100 * dhit[3]);
-            std::printf("L1 avg latency    %-8s | %7.2f %7.2f %7.2f "
-                        "%7.2f\n",
-                        toString(simd), lat[0], lat[1], lat[2], lat[3]);
-        }
-        std::printf("-------------------------------------------------------"
-                    "-------\n");
-        std::printf("paper: L1 hit MMX 98.4->86.8%%, MOM 98.4->93.7%%; "
-                    "latency MMX 1.39->6.81, MOM 1.74->4.51\n");
-    });
-    return 0;
+            std::printf("-----------------------------------------------"
+                        "---------------\n");
+            std::printf("paper: L1 hit MMX 98.4->86.8%%, MOM "
+                        "98.4->93.7%%; latency MMX 1.39->6.81, MOM "
+                        "1.74->4.51\n");
+        });
+    };
+    return def;
 }
+
+} // namespace momsim::svc

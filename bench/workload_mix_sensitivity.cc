@@ -3,6 +3,7 @@
  * Workload-mix sensitivity: sweeps ISA x thread count x workload mix
  * and reports, per mix, the MOM/MMX equivalent-instruction-count ratio
  * (Table 3's headline advantage) next to the simulated throughput.
+ * Registered as `momsim workload_mix`.
  *
  * The paper draws its conclusions from one fixed Table-2 mix, where
  * MOM needs ~0.76x the MMX instructions. That advantage is a property
@@ -19,78 +20,88 @@
 #include <cstdio>
 #include <string>
 
-#include "driver/bench_harness.hh"
+#include "svc/bench_registry.hh"
 
-using namespace momsim;
-using driver::BenchHarness;
-using driver::ResultSink;
-using driver::SweepGrid;
-using isa::SimdIsa;
-using mem::MemModel;
-
-int
-main(int argc, char **argv)
+namespace momsim::svc
 {
-    BenchHarness bench(argc, argv, "workload_mix");
 
-    SweepGrid grid;
-    grid.isas({ SimdIsa::Mmx, SimdIsa::Mom })
-        .threadCounts({ 1, 4, 8 })
-        .memModels({ MemModel::Conventional });
-    if (bench.options().workloads.empty()) {
-        // The bench's own default axis; an explicit --workload wins
-        // (BenchHarness folds it in when the grid leaves this unset).
-        grid.workloadSpecs({ "paper", "decode-heavy", "encode-heavy",
-                             "mpeg2x8", "gsmx8", "jpegx8" });
-    }
-    ResultSink all = bench.run(grid);
+BenchDef
+makeWorkloadMixDef()
+{
+    using driver::ResultSink;
+    using driver::SweepGrid;
+    using isa::SimdIsa;
+    using mem::MemModel;
 
-    std::printf("Workload-mix sensitivity: MOM's instruction-count "
-                "advantage across mixes\n");
-    std::printf("(conventional hierarchy, round-robin fetch; inst ratio "
-                "< 1.0 favours MOM)\n");
-
-    double ratioMin = 0.0, ratioMax = 0.0;
-    bench.perWorkload(all, [&](const ResultSink &sink,
-                               const std::string &name) {
-        const workloads::MediaWorkload &wl = *bench.repo().get(name);
-        uint64_t mmxEq = 0, momEq = 0;
-        for (int i = 0; i < wl.numPrograms(); ++i) {
-            mmxEq += wl.eqInsts(SimdIsa::Mmx, i);
-            momEq += wl.eqInsts(SimdIsa::Mom, i);
+    BenchDef def;
+    def.name = "workload_mix";
+    def.oldBinary = "bench_workload_mix_sensitivity";
+    def.summary = "Mix sensitivity: MOM's advantage across workloads";
+    def.grid = [](const driver::BenchOptions &opts) {
+        SweepGrid grid;
+        grid.isas({ SimdIsa::Mmx, SimdIsa::Mom })
+            .threadCounts({ 1, 4, 8 })
+            .memModels({ MemModel::Conventional });
+        if (opts.workloads.empty()) {
+            // The bench's own default axis; an explicit --workload wins
+            // (BenchHarness folds it in when the grid leaves this
+            // unset).
+            grid.workloadSpecs({ "paper", "decode-heavy", "encode-heavy",
+                                 "mpeg2x8", "gsmx8", "jpegx8" });
         }
-        double ratio = static_cast<double>(momEq) /
-                       static_cast<double>(mmxEq);
-        if (ratioMin == 0.0 || ratio < ratioMin)
-            ratioMin = ratio;
-        if (ratio > ratioMax)
-            ratioMax = ratio;
+        return grid;
+    };
+    def.print = [](driver::BenchHarness &bench, const ResultSink &all) {
+        std::printf("Workload-mix sensitivity: MOM's instruction-count "
+                    "advantage across mixes\n");
+        std::printf("(conventional hierarchy, round-robin fetch; inst "
+                    "ratio < 1.0 favours MOM)\n");
 
-        std::printf("MOM/MMX equivalent instructions: %.2f "
-                    "(%llu vs %llu Kinst, %d programs)\n", ratio,
-                    static_cast<unsigned long long>(momEq / 1000),
-                    static_cast<unsigned long long>(mmxEq / 1000),
-                    wl.numPrograms());
-        std::printf("%-8s | %8s | %8s | MOM/MMX\n", "threads", "MMX IPC",
-                    "MOM EIPC");
-        std::printf("----------------------------------------\n");
-        for (int threads : { 1, 4, 8 }) {
-            double mmx = sink.headlineAt(SimdIsa::Mmx, threads,
-                                         MemModel::Conventional,
-                                         cpu::FetchPolicy::RoundRobin);
-            double mom = sink.headlineAt(SimdIsa::Mom, threads,
-                                         MemModel::Conventional,
-                                         cpu::FetchPolicy::RoundRobin);
-            std::printf("%-8d | %8.2f | %8.2f | ", threads, mmx, mom);
-            if (mmx > 0.0 && mom > 0.0)
-                std::printf("%.2f\n", mom / mmx);
-            else
-                std::printf("n/a\n");   // point(s) absent (shard run)
-        }
-        std::printf("----------------------------------------\n");
-    });
+        double ratioMin = 0.0, ratioMax = 0.0;
+        bench.perWorkload(all, [&](const ResultSink &sink,
+                                   const std::string &name) {
+            const workloads::MediaWorkload &wl = *bench.repo().get(name);
+            uint64_t mmxEq = 0, momEq = 0;
+            for (int i = 0; i < wl.numPrograms(); ++i) {
+                mmxEq += wl.eqInsts(SimdIsa::Mmx, i);
+                momEq += wl.eqInsts(SimdIsa::Mom, i);
+            }
+            double ratio = static_cast<double>(momEq) /
+                           static_cast<double>(mmxEq);
+            if (ratioMin == 0.0 || ratio < ratioMin)
+                ratioMin = ratio;
+            if (ratio > ratioMax)
+                ratioMax = ratio;
 
-    std::printf("\ninstruction-ratio spread across mixes: %.2f .. %.2f "
-                "(paper mix: ~0.76)\n", ratioMin, ratioMax);
-    return 0;
+            std::printf("MOM/MMX equivalent instructions: %.2f "
+                        "(%llu vs %llu Kinst, %d programs)\n", ratio,
+                        static_cast<unsigned long long>(momEq / 1000),
+                        static_cast<unsigned long long>(mmxEq / 1000),
+                        wl.numPrograms());
+            std::printf("%-8s | %8s | %8s | MOM/MMX\n", "threads",
+                        "MMX IPC", "MOM EIPC");
+            std::printf("----------------------------------------\n");
+            for (int threads : { 1, 4, 8 }) {
+                double mmx = sink.headlineAt(SimdIsa::Mmx, threads,
+                                             MemModel::Conventional,
+                                             cpu::FetchPolicy::RoundRobin);
+                double mom = sink.headlineAt(SimdIsa::Mom, threads,
+                                             MemModel::Conventional,
+                                             cpu::FetchPolicy::RoundRobin);
+                std::printf("%-8d | %8.2f | %8.2f | ", threads, mmx,
+                            mom);
+                if (mmx > 0.0 && mom > 0.0)
+                    std::printf("%.2f\n", mom / mmx);
+                else
+                    std::printf("n/a\n");   // point absent (shard run)
+            }
+            std::printf("----------------------------------------\n");
+        });
+
+        std::printf("\ninstruction-ratio spread across mixes: %.2f .. "
+                    "%.2f (paper mix: ~0.76)\n", ratioMin, ratioMax);
+    };
+    return def;
 }
+
+} // namespace momsim::svc

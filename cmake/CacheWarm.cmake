@@ -3,7 +3,11 @@
 # byte-identical to the first (cold) run. Also asserts the cold run did
 # simulate, so a broken always-hit cache cannot pass vacuously.
 #
-# Usage: cmake -DBENCH=<path> -DWORKDIR=<dir> -P CacheWarm.cmake
+# BENCH is an executable; the optional SUBCMD is the momsim subcommand
+# to run (empty for a standalone binary).
+#
+# Usage: cmake -DBENCH=<path> [-DSUBCMD=<name>] -DWORKDIR=<dir>
+#              -P CacheWarm.cmake
 
 if(NOT BENCH)
   message(FATAL_ERROR "BENCH not set")
@@ -12,29 +16,33 @@ if(NOT WORKDIR)
   set(WORKDIR ${CMAKE_CURRENT_BINARY_DIR})
 endif()
 
-get_filename_component(stem ${BENCH} NAME_WE)
+if(SUBCMD)
+  set(stem ${SUBCMD})
+else()
+  get_filename_component(stem ${BENCH} NAME_WE)
+endif()
 set(dir ${WORKDIR}/${stem}.cache_warm)
 file(REMOVE_RECURSE ${dir})
 file(MAKE_DIRECTORY ${dir})
 
 execute_process(
-  COMMAND ${BENCH} --quick --cache-dir ${dir}/store
+  COMMAND ${BENCH} ${SUBCMD} --quick --cache-dir ${dir}/store
   OUTPUT_FILE ${dir}/cold.out
   ERROR_FILE ${dir}/cold.err
   RESULT_VARIABLE rc
 )
 if(NOT rc EQUAL 0)
-  message(FATAL_ERROR "${BENCH} cold run exited with ${rc}")
+  message(FATAL_ERROR "${BENCH} ${SUBCMD} cold run exited with ${rc}")
 endif()
 
 execute_process(
-  COMMAND ${BENCH} --quick --cache-dir ${dir}/store
+  COMMAND ${BENCH} ${SUBCMD} --quick --cache-dir ${dir}/store
   OUTPUT_FILE ${dir}/warm.out
   ERROR_FILE ${dir}/warm.err
   RESULT_VARIABLE rc
 )
 if(NOT rc EQUAL 0)
-  message(FATAL_ERROR "${BENCH} warm run exited with ${rc}")
+  message(FATAL_ERROR "${BENCH} ${SUBCMD} warm run exited with ${rc}")
 endif()
 
 file(READ ${dir}/cold.err cold_err)

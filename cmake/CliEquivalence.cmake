@@ -1,0 +1,49 @@
+# The CLI-redesign acceptance gate: `momsim <SUBCMD> --quick` stdout
+# must be byte-identical to the standalone bench binary the subcommand
+# replaced. The golden files under tests/golden/cli/ were captured from
+# those binaries at their final commit (bench_<name> --quick > golden),
+# so this gate is both the smoke test (the bench still runs end to end)
+# and the regression fence (the multi-tool path reproduces the old
+# binaries exactly, and future changes that move any figure's output
+# fail here).
+#
+# Usage: cmake -DMOMSIM=<path> -DSUBCMD=<name> -DGOLDEN=<file>
+#              -DWORKDIR=<dir> -P CliEquivalence.cmake
+
+foreach(var MOMSIM SUBCMD GOLDEN)
+  if(NOT ${var})
+    message(FATAL_ERROR "${var} not set")
+  endif()
+endforeach()
+if(NOT WORKDIR)
+  set(WORKDIR ${CMAKE_CURRENT_BINARY_DIR})
+endif()
+
+set(dir ${WORKDIR}/cli_equivalence)
+file(MAKE_DIRECTORY ${dir})
+
+execute_process(
+  COMMAND ${MOMSIM} ${SUBCMD} --quick
+  OUTPUT_FILE ${dir}/${SUBCMD}.out
+  ERROR_FILE ${dir}/${SUBCMD}.err
+  RESULT_VARIABLE rc
+)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "momsim ${SUBCMD} --quick exited with ${rc} "
+                      "(see ${dir}/${SUBCMD}.err)")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${dir}/${SUBCMD}.out ${GOLDEN}
+  RESULT_VARIABLE same
+)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR
+          "cli_equivalence: `momsim ${SUBCMD} --quick` stdout differs "
+          "from the removed bench binary's golden "
+          "(${dir}/${SUBCMD}.out vs ${GOLDEN})")
+endif()
+message(STATUS
+        "cli_equivalence: momsim ${SUBCMD} reproduces the old binary "
+        "byte for byte")

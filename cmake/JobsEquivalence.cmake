@@ -2,7 +2,11 @@
 # stdouts are byte-identical. This is the determinism acceptance gate
 # for the threaded experiment runner.
 #
-# Usage: cmake -DBENCH=<path> -DWORKDIR=<dir> -P JobsEquivalence.cmake
+# BENCH is an executable; the optional SUBCMD is the momsim subcommand
+# to run (empty for a standalone binary).
+#
+# Usage: cmake -DBENCH=<path> [-DSUBCMD=<name>] -DWORKDIR=<dir>
+#              -P JobsEquivalence.cmake
 
 if(NOT BENCH)
   message(FATAL_ERROR "BENCH not set")
@@ -11,26 +15,30 @@ if(NOT WORKDIR)
   set(WORKDIR ${CMAKE_CURRENT_BINARY_DIR})
 endif()
 
-get_filename_component(stem ${BENCH} NAME_WE)
+if(SUBCMD)
+  set(stem ${SUBCMD})
+else()
+  get_filename_component(stem ${BENCH} NAME_WE)
+endif()
 set(out1 ${WORKDIR}/${stem}.jobs1.out)
 set(outN ${WORKDIR}/${stem}.jobsN.out)
 
 execute_process(
-  COMMAND ${BENCH} --quick --jobs 1
+  COMMAND ${BENCH} ${SUBCMD} --quick --jobs 1
   OUTPUT_FILE ${out1}
   RESULT_VARIABLE rc1
 )
 if(NOT rc1 EQUAL 0)
-  message(FATAL_ERROR "${BENCH} --quick --jobs 1 exited with ${rc1}")
+  message(FATAL_ERROR "${BENCH} ${SUBCMD} --quick --jobs 1 exited with ${rc1}")
 endif()
 
 execute_process(
-  COMMAND ${BENCH} --quick --jobs 4
+  COMMAND ${BENCH} ${SUBCMD} --quick --jobs 4
   OUTPUT_FILE ${outN}
   RESULT_VARIABLE rcN
 )
 if(NOT rcN EQUAL 0)
-  message(FATAL_ERROR "${BENCH} --quick --jobs 4 exited with ${rcN}")
+  message(FATAL_ERROR "${BENCH} ${SUBCMD} --quick --jobs 4 exited with ${rcN}")
 endif()
 
 execute_process(

@@ -11,10 +11,10 @@
 # stripped before comparing, which is why they must stay the last two
 # columns.
 #
-# Usage: cmake -DFIG6=<path> -DTABLE2=<path> -DGOLDEN=<dir>
-#              -DWORKDIR=<dir> -P KernelEquivalence.cmake
+# Usage: cmake -DMOMSIM=<path> -DGOLDEN=<dir> -DWORKDIR=<dir>
+#              -P KernelEquivalence.cmake
 
-foreach(var FIG6 TABLE2 GOLDEN)
+foreach(var MOMSIM GOLDEN)
   if(NOT ${var})
     message(FATAL_ERROR "${var} not set")
   endif()
@@ -22,6 +22,9 @@ endforeach()
 if(NOT WORKDIR)
   set(WORKDIR ${CMAKE_CURRENT_BINARY_DIR})
 endif()
+
+set(FIG6 ${MOMSIM} fig6)
+set(TABLE2 ${MOMSIM} table2)
 
 set(dir ${WORKDIR}/kernel_equivalence)
 file(REMOVE_RECURSE ${dir})

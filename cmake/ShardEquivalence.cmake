@@ -4,7 +4,11 @@
 # one AND the merge run simulated nothing (i.e. every point really was
 # served from the per-shard stores, not silently re-run).
 #
-# Usage: cmake -DBENCH=<path> -DWORKDIR=<dir> -P ShardEquivalence.cmake
+# BENCH is an executable; the optional SUBCMD is the momsim subcommand
+# to run (empty for a standalone binary).
+#
+# Usage: cmake -DBENCH=<path> [-DSUBCMD=<name>] -DWORKDIR=<dir>
+#              -P ShardEquivalence.cmake
 
 if(NOT BENCH)
   message(FATAL_ERROR "BENCH not set")
@@ -13,42 +17,47 @@ if(NOT WORKDIR)
   set(WORKDIR ${CMAKE_CURRENT_BINARY_DIR})
 endif()
 
-get_filename_component(stem ${BENCH} NAME_WE)
+if(SUBCMD)
+  set(stem ${SUBCMD})
+else()
+  get_filename_component(stem ${BENCH} NAME_WE)
+endif()
 set(dir ${WORKDIR}/${stem}.shard_equiv)
 file(REMOVE_RECURSE ${dir})
 file(MAKE_DIRECTORY ${dir})
 
 execute_process(
-  COMMAND ${BENCH} --quick
+  COMMAND ${BENCH} ${SUBCMD} --quick
   OUTPUT_FILE ${dir}/ref.out
   RESULT_VARIABLE rc
 )
 if(NOT rc EQUAL 0)
-  message(FATAL_ERROR "${BENCH} --quick (reference) exited with ${rc}")
+  message(FATAL_ERROR "${BENCH} ${SUBCMD} --quick (reference) exited with ${rc}")
 endif()
 
 set(stores "")
 foreach(i RANGE 1 3)
   execute_process(
-    COMMAND ${BENCH} --quick --shard ${i}/3 --cache-dir ${dir}/shard${i}
+    COMMAND ${BENCH} ${SUBCMD} --quick --shard ${i}/3
+            --cache-dir ${dir}/shard${i}
     OUTPUT_FILE ${dir}/shard${i}.out
     RESULT_VARIABLE rc
   )
   if(NOT rc EQUAL 0)
-    message(FATAL_ERROR "${BENCH} --shard ${i}/3 exited with ${rc}")
+    message(FATAL_ERROR "${BENCH} ${SUBCMD} --shard ${i}/3 exited with ${rc}")
   endif()
   list(APPEND stores ${dir}/shard${i}/results.jsonl)
 endforeach()
 
 list(JOIN stores "," merged_arg)
 execute_process(
-  COMMAND ${BENCH} --quick --merge ${merged_arg}
+  COMMAND ${BENCH} ${SUBCMD} --quick --merge ${merged_arg}
   OUTPUT_FILE ${dir}/merged.out
   ERROR_FILE ${dir}/merged.err
   RESULT_VARIABLE rc
 )
 if(NOT rc EQUAL 0)
-  message(FATAL_ERROR "${BENCH} --merge exited with ${rc}")
+  message(FATAL_ERROR "${BENCH} ${SUBCMD} --merge exited with ${rc}")
 endif()
 
 execute_process(

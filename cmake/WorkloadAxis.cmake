@@ -7,15 +7,17 @@
 #  (c) `--workload paper` is byte-identical to the flagless default
 #      (the pre-redesign behaviour) for fig6.
 #
-# Usage: cmake -DMIXBENCH=<path> -DFIG6=<path> -DWORKDIR=<dir>
-#              -P WorkloadAxis.cmake
+# Usage: cmake -DMOMSIM=<path> -DWORKDIR=<dir> -P WorkloadAxis.cmake
 
-if(NOT MIXBENCH OR NOT FIG6)
-  message(FATAL_ERROR "MIXBENCH and FIG6 must be set")
+if(NOT MOMSIM)
+  message(FATAL_ERROR "MOMSIM must be set")
 endif()
 if(NOT WORKDIR)
   set(WORKDIR ${CMAKE_CURRENT_BINARY_DIR})
 endif()
+
+set(MIXBENCH ${MOMSIM} workload_mix)
+set(FIG6 ${MOMSIM} fig6)
 
 set(dir ${WORKDIR}/workload_axis)
 file(REMOVE_RECURSE ${dir})

@@ -1,136 +1,28 @@
 /**
  * @file
- * Interactive-style configuration explorer: run any combination of ISA,
- * thread count, memory model and fetch policy over the full workload.
+ * Thin wrapper keeping the example_fetch_policy_explorer binary name
+ * alive: the explorer itself is a registered bench (bench/explorer.cc)
+ * and `momsim explorer` is the primary spelling. This wrapper shows
+ * how an external binary embeds a registry entry — no hand-rolled
+ * flag/positional splitting (BenchOptions::parseInto's positional mode
+ * does it), no bespoke main() logic.
  *
  *   $ ./example_fetch_policy_explorer [--quick] [--jobs N] \
- *         [--cache-dir DIR] [--shard I/N] [--merge FILES] [--dry-run] \
  *         [mmx|mom] [threads] [perfect|conventional|decoupled] \
  *         [rr|ic|oc|bl]
- *
- * With no positional arguments, sweeps the fetch policies at 8 threads
- * on the decoupled MOM machine through the threaded experiment runner.
  */
 
 #include <cstdio>
-#include <cstring>
-#include <vector>
 
-#include "driver/bench_harness.hh"
-
-using namespace momsim;
-using driver::BenchHarness;
-using driver::BenchOptions;
-using driver::ResultRow;
-using driver::ResultSink;
-using driver::SweepGrid;
-
-namespace
-{
-
-cpu::FetchPolicy
-parsePolicy(const char *str)
-{
-    if (std::strcmp(str, "ic") == 0)
-        return cpu::FetchPolicy::ICount;
-    if (std::strcmp(str, "oc") == 0)
-        return cpu::FetchPolicy::OCount;
-    if (std::strcmp(str, "bl") == 0)
-        return cpu::FetchPolicy::Balance;
-    return cpu::FetchPolicy::RoundRobin;
-}
-
-mem::MemModel
-parseMem(const char *str)
-{
-    if (std::strcmp(str, "perfect") == 0)
-        return mem::MemModel::Perfect;
-    if (std::strcmp(str, "decoupled") == 0)
-        return mem::MemModel::Decoupled;
-    return mem::MemModel::Conventional;
-}
-
-void
-printRow(const ResultRow &r)
-{
-    std::printf("%s x%d %-12s %-3s | IPC %5.2f  EIPC %5.2f | L1 %5.1f%% "
-                "lat %5.2f | IC %5.1f%%\n",
-                isa::toString(r.simd), r.threads, toString(r.memModel),
-                toString(r.policy), r.run.ipc, r.run.eipc,
-                100 * r.run.l1HitRate, r.run.l1AvgLatency,
-                100 * r.run.icacheHitRate);
-}
-
-} // namespace
+#include "svc/bench_registry.hh"
 
 int
 main(int argc, char **argv)
 {
-    // Split harness flags ("--...") from the positional point spec.
-    std::vector<char *> flagArgs { argv[0] };
-    std::vector<char *> positional;
-    for (int i = 1; i < argc; ++i) {
-        // Only "--..." and the short flag aliases are harness flags;
-        // other "-"-prefixed tokens (e.g. a negative thread count)
-        // stay positional.
-        bool isFlag = std::strncmp(argv[i], "--", 2) == 0 ||
-                      std::strcmp(argv[i], "-j") == 0 ||
-                      std::strcmp(argv[i], "-h") == 0;
-        if (isFlag) {
-            flagArgs.push_back(argv[i]);
-            // Flags taking a value consume the next token too.
-            if (BenchOptions::takesValue(argv[i]) && i + 1 < argc)
-                flagArgs.push_back(argv[++i]);
-        } else {
-            positional.push_back(argv[i]);
-        }
+    const momsim::svc::BenchDef *def = momsim::svc::findBench("explorer");
+    if (!def) {
+        std::fprintf(stderr, "explorer is not registered\n");
+        return 1;
     }
-    BenchHarness bench(static_cast<int>(flagArgs.size()),
-                       flagArgs.data(), "explorer");
-
-    if (positional.size() >= 4) {
-        SweepGrid grid;
-        int threads = std::atoi(positional[1]);
-        if (threads < 1 || threads > 8)
-            threads = 8;
-        grid.isas({ std::strcmp(positional[0], "mom") == 0
-                        ? isa::SimdIsa::Mom
-                        : isa::SimdIsa::Mmx })
-            .threadCounts({ threads })
-            .memModels({ parseMem(positional[2]) })
-            .policies({ parsePolicy(positional[3]) });
-        ResultSink sink = bench.run(grid);
-        if (sink.empty()) {
-            // Under --shard the single point may belong to another
-            // shard; nothing of ours to print.
-            std::printf("(point assigned to another shard)\n");
-            return 0;
-        }
-        // One row per selected --workload (a single one by default).
-        for (const ResultRow &r : sink.rows())
-            printRow(r);
-        return 0;
-    }
-
-    std::printf("sweeping fetch policies (MOM, 8 threads, decoupled):\n");
-    SweepGrid grid;
-    grid.isas({ isa::SimdIsa::Mom })
-        .threadCounts({ 8 })
-        .memModels({ mem::MemModel::Decoupled })
-        .policies({ cpu::FetchPolicy::RoundRobin, cpu::FetchPolicy::ICount,
-                    cpu::FetchPolicy::OCount, cpu::FetchPolicy::Balance });
-    ResultSink all = bench.run(grid);
-    bench.perWorkload(all, [](const ResultSink &sink,
-                              const std::string &) {
-        for (const ResultRow &r : sink.rows())
-            printRow(r);
-
-        std::vector<double> headlines;
-        for (const ResultRow &r : sink.rows())
-            headlines.push_back(r.headline);
-        std::printf("geomean %s across policies: %.2f\n",
-                    ResultSink::headlineName(isa::SimdIsa::Mom),
-                    ResultSink::geomean(headlines));
-    });
-    return 0;
+    return momsim::svc::runBench(*def, argc, argv);
 }

@@ -1,47 +1,82 @@
 /**
  * @file
- * The paper's scenario end-to-end: a "media station" running the full
- * MPEG-4-profile multiprogrammed mix (MPEG-2, JPEG, GSM, mesa) on an
- * 8-thread SMT processor, comparing the MMX and MOM machines on the
- * decoupled hierarchy with their best fetch policies.
+ * The paper's scenario end-to-end, now through the service API: a
+ * "media station" running the full MPEG-4-profile multiprogrammed mix
+ * (MPEG-2, JPEG, GSM, mesa) on an 8-thread SMT processor, comparing
+ * the MMX and MOM machines on the decoupled hierarchy with their best
+ * fetch policies.
  *
- *   $ ./example_media_station
+ * This is the embedding example for SimService: build SimRequests in
+ * code (or parse them from JSON — the same wire format `momsim batch`
+ * serves), submit them to an in-process service, and read structured
+ * SimResponses back. No exit() paths, no CLI plumbing; errors would
+ * come back as (code, message) pairs.
+ *
+ *   $ ./example_media_station [--quick]
  */
 
 #include <cstdio>
+#include <cstring>
 
-#include "core/simulation.hh"
-#include "workloads/media_workload.hh"
+#include "svc/sim_service.hh"
 
 using namespace momsim;
-using workloads::MediaWorkload;
-using workloads::WorkloadScale;
+using svc::SimRequest;
+using svc::SimResponse;
+using svc::SimService;
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("building the 8-program MPEG-4-style workload...\n");
-    auto wl = MediaWorkload::build(WorkloadScale::Paper);
+    bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
 
-    for (isa::SimdIsa simd : { isa::SimdIsa::Mmx, isa::SimdIsa::Mom }) {
-        cpu::FetchPolicy pol = simd == isa::SimdIsa::Mmx
-            ? cpu::FetchPolicy::ICount : cpu::FetchPolicy::OCount;
-        cpu::CoreConfig cfg = cpu::CoreConfig::preset(8, simd, pol);
-        core::Simulation sim(cfg, mem::MemModel::Decoupled,
-                             wl->rotation(simd));
-        core::RunResult res = sim.run();
-        std::printf("\nSMT+%s, 8 threads, decoupled hierarchy, %s "
-                    "fetch:\n", isa::toString(simd), toString(pol));
-        std::printf("  cycles: %llu   completions: %d\n",
-                    static_cast<unsigned long long>(res.cycles),
-                    res.completions);
-        std::printf("  IPC %.2f   EIPC %.2f\n", res.ipc, res.eipc);
-        std::printf("  I-cache hit %.1f%%   L1 hit %.1f%%   L1 latency "
-                    "%.2f cyc\n", 100 * res.icacheHitRate,
-                    100 * res.l1HitRate, res.l1AvgLatency);
-        std::printf("  branch mispredicts: %llu / %llu cond branches\n",
-                    static_cast<unsigned long long>(res.mispredicts),
-                    static_cast<unsigned long long>(res.condBranches));
+    SimService service;
+
+    std::printf("media station: 8-program MPEG-4-style mix, 8 threads, "
+                "decoupled hierarchy\n");
+
+    // One request per machine, each ISA paired with its best fetch
+    // policy (the paper's headline configuration). The requests are
+    // plain data — serialize them with toJson() and they are exactly
+    // what `momsim batch` accepts on stdin.
+    for (const char *isaName : { "mmx", "mom" }) {
+        SimRequest req;
+        req.id = std::string("media-station-") + isaName;
+        req.isas = { isaName };
+        req.threads = { 8 };
+        req.memModels = { "decoupled" };
+        req.policies = { std::strcmp(isaName, "mmx") == 0 ? "icount"
+                                                          : "ocount" };
+        req.quick = quick;
+
+        SimResponse resp = service.submit(req);
+        if (!resp.ok) {
+            std::printf("request %s failed: [%s] %s\n", req.id.c_str(),
+                        resp.errorCode.c_str(),
+                        resp.errorMessage.c_str());
+            return 1;
+        }
+        for (const driver::ResultRow &r : resp.rows) {
+            std::printf("\nSMT+%s, %d threads, %s hierarchy, %s "
+                        "fetch:\n", isa::toString(r.simd), r.threads,
+                        toString(r.memModel), toString(r.policy));
+            std::printf("  cycles: %llu   completions: %d\n",
+                        static_cast<unsigned long long>(r.run.cycles),
+                        r.run.completions);
+            std::printf("  IPC %.2f   EIPC %.2f\n", r.run.ipc,
+                        r.run.eipc);
+            std::printf("  I-cache hit %.1f%%   L1 hit %.1f%%   L1 "
+                        "latency %.2f cyc\n", 100 * r.run.icacheHitRate,
+                        100 * r.run.l1HitRate, r.run.l1AvgLatency);
+            std::printf("  branch mispredicts: %llu / %llu cond "
+                        "branches\n",
+                        static_cast<unsigned long long>(
+                            r.run.mispredicts),
+                        static_cast<unsigned long long>(
+                            r.run.condBranches));
+        }
+        std::printf("  (request %s: %zu point(s), %.0f ms)\n",
+                    resp.id.c_str(), resp.rows.size(), resp.wallMs);
     }
     return 0;
 }

@@ -18,14 +18,8 @@ namespace
 [[noreturn]] void
 usage(const char *argv0)
 {
-    std::fprintf(stderr,
-                 "usage: %s [--jobs N] [--quick] [--seed S]\n"
-                 "          [--max-cycles N]\n"
-                 "          [--workload NAME[,NAME...]] [--list-workloads]\n"
-                 "          [--csv PATH] [--json PATH]\n"
-                 "          [--cache-dir DIR] [--shard I/N]\n"
-                 "          [--merge FILE[,FILE...]] [--dry-run]\n",
-                 argv0);
+    std::string text = BenchOptions::usageText(argv0);
+    std::fprintf(stderr, "%s\n", text.c_str());
     std::exit(2);
 }
 
@@ -69,24 +63,125 @@ printPlan(const RunPlan &plan, const std::string &name,
 
 } // namespace
 
+const std::vector<BenchFlagInfo> &
+BenchOptions::flagTable()
+{
+    // The one place a harness flag is declared. parseInto() dispatches
+    // over these spellings; test_bench_options asserts the two agree
+    // (every table flag parses, every parsed flag is in the table).
+    static const std::vector<BenchFlagInfo> table = {
+        { "--jobs", "-j", "N",
+          "worker threads for the sweep (default: all hardware)" },
+        { "--quick", nullptr, nullptr,
+          "tiny workload scale, for smoke tests and CI" },
+        { "--workload", nullptr, "NAME[,NAME...]",
+          "registry workload specs to sweep as an axis (default: "
+          "\"paper\", the Table-2 mix); repeatable" },
+        { "--list-workloads", nullptr, nullptr,
+          "print the workload registry and exit" },
+        { "--csv", nullptr, "PATH",
+          "write the raw sweep results as CSV" },
+        { "--json", nullptr, "PATH",
+          "write the raw sweep results as JSON" },
+        { "--max-cycles", nullptr, "N",
+          "cap every simulation at N cycles (default: the grid's own "
+          "limit, normally 400M)" },
+        { "--seed", nullptr, "S",
+          "base of the identity-derived per-task seeds recorded in the "
+          "CSV/JSON rows" },
+        { "--cache-dir", nullptr, "DIR",
+          "persist completed rows to DIR/results.jsonl and replay them "
+          "on re-runs" },
+        { "--shard", nullptr, "I/N",
+          "run only the I-th of N cost-weighted slices of the sweep "
+          "(1-based)" },
+        { "--merge", nullptr, "FILE[,FILE...]",
+          "preload per-shard store files as cache hits" },
+        { "--dry-run", nullptr, nullptr,
+          "print the plan (ids, shards, cache hits, fingerprints) and "
+          "exit without simulating" },
+        { "--help", "-h", nullptr, "print this help and exit" },
+    };
+    return table;
+}
+
 bool
 BenchOptions::takesValue(const char *flag)
 {
-    return std::strcmp(flag, "--jobs") == 0 ||
-           std::strcmp(flag, "-j") == 0 ||
-           std::strcmp(flag, "--seed") == 0 ||
-           std::strcmp(flag, "--max-cycles") == 0 ||
-           std::strcmp(flag, "--csv") == 0 ||
-           std::strcmp(flag, "--json") == 0 ||
-           std::strcmp(flag, "--cache-dir") == 0 ||
-           std::strcmp(flag, "--shard") == 0 ||
-           std::strcmp(flag, "--merge") == 0 ||
-           std::strcmp(flag, "--workload") == 0;
+    for (const BenchFlagInfo &info : flagTable()) {
+        if (std::strcmp(flag, info.flag) == 0 ||
+            (info.alias && std::strcmp(flag, info.alias) == 0))
+            return info.valueName != nullptr;
+    }
+    return false;
+}
+
+bool
+BenchOptions::isKnownFlag(const char *arg)
+{
+    for (const BenchFlagInfo &info : flagTable()) {
+        if (std::strcmp(arg, info.flag) == 0 ||
+            (info.alias && std::strcmp(arg, info.alias) == 0))
+            return true;
+    }
+    return false;
+}
+
+std::string
+BenchOptions::usageText(const char *argv0)
+{
+    // One bracketed token per table entry, wrapped at ~72 columns and
+    // aligned under the first flag.
+    std::string head = strfmt("usage: %s ", argv0);
+    std::string indent(head.size() > 30 ? 10 : head.size(), ' ');
+    std::string out = head;
+    size_t col = head.size();
+    bool first = true;
+    for (const BenchFlagInfo &info : flagTable()) {
+        std::string tok = "[";
+        tok += info.flag;
+        if (info.valueName) {
+            tok += ' ';
+            tok += info.valueName;
+        }
+        tok += ']';
+        if (!first && col + 1 + tok.size() > 72) {
+            out += "\n" + indent;
+            col = indent.size();
+        } else if (!first) {
+            out += ' ';
+            ++col;
+        }
+        out += tok;
+        col += tok.size();
+        first = false;
+    }
+    return out;
+}
+
+std::string
+BenchOptions::helpText()
+{
+    std::string out;
+    for (const BenchFlagInfo &info : flagTable()) {
+        std::string spelling = info.flag;
+        if (info.alias) {
+            spelling += ", ";
+            spelling += info.alias;
+        }
+        if (info.valueName) {
+            spelling += ' ';
+            spelling += info.valueName;
+        }
+        out += strfmt("  %-28s %s\n", spelling.c_str(), info.help);
+    }
+    return out;
 }
 
 bool
 BenchOptions::parseInto(int argc, char **argv, BenchOptions &out,
-                        std::string &error)
+                        std::string &error,
+                        std::vector<std::string> *positionals)
 {
     BenchOptions opts;
     auto value = [&](int &i, const char **v) {
@@ -189,6 +284,11 @@ BenchOptions::parseInto(int argc, char **argv, BenchOptions &out,
                    std::strcmp(arg, "-h") == 0) {
             error = "";     // empty error: plain usage request
             return false;
+        } else if (positionals && std::strncmp(arg, "--", 2) != 0) {
+            // Subcommands with positional operands: every token that
+            // is not a "--" flag (or a known short alias, handled
+            // above) stays positional — including negative numbers.
+            positionals->push_back(arg);
         } else {
             error = strfmt("unknown argument: %s", arg);
             return false;
@@ -201,11 +301,25 @@ BenchOptions::parseInto(int argc, char **argv, BenchOptions &out,
 BenchOptions
 BenchOptions::parse(int argc, char **argv)
 {
+    return parse(argc, argv, nullptr);
+}
+
+BenchOptions
+BenchOptions::parse(int argc, char **argv,
+                    std::vector<std::string> *positionals)
+{
     BenchOptions opts;
     std::string error;
-    if (!parseInto(argc, argv, opts, error)) {
-        if (!error.empty())
-            std::fprintf(stderr, "%s\n", error.c_str());
+    if (!parseInto(argc, argv, opts, error, positionals)) {
+        if (error.empty()) {
+            // An explicit --help/-h request: full generated help on
+            // stdout, success exit — unlike real parse errors, which
+            // go to stderr with exit 2.
+            std::printf("%s\n\nflags:\n%s",
+                        usageText(argv[0]).c_str(), helpText().c_str());
+            std::exit(0);
+        }
+        std::fprintf(stderr, "%s\n", error.c_str());
         usage(argv[0]);
     }
     if (opts.listWorkloads) {
@@ -283,16 +397,12 @@ BenchHarness::run(const SweepGrid &grid)
 
     // Grids that pin their own workload axis (the mix-sensitivity
     // bench) win; everything else sweeps the --workload selection.
+    // applyRunSelection is shared with SimService::submit, so the CLI
+    // and the service agree on these key-affecting folds by
+    // construction.
     SweepGrid g = grid;
-    if (!g.hasExplicitWorkloads())
-        g.workloadSpecs(_workloadNames);
+    applyRunSelection(g, _workloadNames, _opts.maxCycles);
     _lastWorkloads = g.workloadList();
-
-    // --max-cycles overrides the grid's cycle cap. It lands in every
-    // spec's maxCycles, which resultCacheKey embeds — rows cached under
-    // one limit can never be replayed under another.
-    if (_opts.maxCycles != 0)
-        g.limits(g.targetCompletionsValue(), _opts.maxCycles);
 
     ResultStore store;
     const bool persist = !_opts.cacheDir.empty();

@@ -1,46 +1,31 @@
 /**
  * @file
- * Shared command-line harness for the figure/table benches and the
- * examples — the successor of bench/bench_util.hh's hand-rolled loops.
+ * Shared command-line harness for the figure/table subcommands of the
+ * `momsim` multi-tool and the examples — the successor of
+ * bench/bench_util.hh's hand-rolled loops.
  *
- * Every bench accepts:
- *   --jobs N      worker threads for the sweep (default: all hardware)
- *   --quick       tiny workload scale, for smoke tests and CI
- *   --workload W[,W...]
- *                 registry workload specs to sweep as an axis (default:
- *                 "paper", the Table-2 mix). Repeatable; benches that
- *                 pin their own workload axis note so
- *   --list-workloads
- *                 print the workload registry and exit
- *   --csv PATH    write the raw sweep results as CSV
- *   --json PATH   write the raw sweep results as JSON
- *   --max-cycles N
- *                 cap every simulation at N cycles (default: the grid's
- *                 own limit, normally 400M — the paper's rotation
- *                 bound, unreachable at bench scale). The cap is part
- *                 of the result-store key, so rows cached under
- *                 different limits never collide
- *   --seed S      base of the identity-derived per-task seeds recorded
- *                 in the CSV/JSON rows. Today's simulations are fully
- *                 deterministic and consume no randomness, so --seed
- *                 never changes results — it exists so future
- *                 stochastic components inherit per-task
- *                 reproducibility
- *   --cache-dir D persist completed rows to D/results.jsonl, keyed by
- *                 (point id, per-workload fingerprint, schema
- *                 version); re-runs simulate only the keys that miss
- *                 and splice cached rows back so stdout stays
- *                 byte-identical
- *   --shard I/N   run only the I-th of N cost-weighted slices of the
- *                 sweep (I is 1-based); the slicing is deterministic,
- *                 so N processes with --cache-dir cover the sweep
- *                 exactly once between them
- *   --merge F,... preload per-shard store files as cache hits; with
- *                 every shard present the run simulates nothing and
- *                 reproduces the canonical unsharded output
- *   --dry-run     print the plan (ids, shard assignment, cache
- *                 hit/miss, per-workload fingerprints) and exit without
- *                 simulating
+ * The flags every subcommand accepts are defined once, in
+ * BenchOptions::flagTable(): spelling, alias, value placeholder and
+ * help line. takesValue(), the usage synopsis, `momsim help <bench>`
+ * and this documentation all derive from that table, so they cannot
+ * drift from the parser. Flags worth extra context beyond their table
+ * help line:
+ *
+ *   --max-cycles  the cap is part of the result-store key, so rows
+ *                 cached under different limits never collide
+ *   --seed        today's simulations are fully deterministic and
+ *                 consume no randomness, so --seed never changes
+ *                 results — it exists so future stochastic components
+ *                 inherit per-task reproducibility
+ *   --cache-dir   rows are keyed by (point id, per-workload
+ *                 fingerprint, schema version); re-runs simulate only
+ *                 the keys that miss and splice cached rows back so
+ *                 stdout stays byte-identical
+ *   --shard       the slicing is deterministic and cost-weighted, so N
+ *                 processes with --cache-dir cover the sweep exactly
+ *                 once between them
+ *   --merge       with every shard's store present the run simulates
+ *                 nothing and reproduces the canonical unsharded output
  *
  * The harness owns a WorkloadRepo (at the scale --quick selects) that
  * builds each selected workload lazily, once, sharing it across every
@@ -63,6 +48,22 @@
 
 namespace momsim::driver
 {
+
+/**
+ * One harness flag: its spelling, optional short alias, the
+ * placeholder name of its value (nullptr for boolean flags) and a
+ * one-line help string. The single source of truth behind
+ * BenchOptions::takesValue(), the generated usage/help text and the
+ * `momsim help` output — the parser, the usage string and the docs can
+ * no longer drift apart.
+ */
+struct BenchFlagInfo
+{
+    const char *flag;           ///< "--jobs"
+    const char *alias;          ///< "-j", or nullptr
+    const char *valueName;      ///< "N", or nullptr for boolean flags
+    const char *help;           ///< one-line description
+};
 
 struct BenchOptions
 {
@@ -90,19 +91,43 @@ struct BenchOptions
     static BenchOptions parse(int argc, char **argv);
 
     /**
+     * As parse(), but tokens that are not harness flags land in
+     * @p positionals (in argv order) instead of erroring — the calling
+     * convention of subcommands that take positional arguments (the
+     * explorer). "-"-prefixed tokens other than the known aliases stay
+     * positional too, so a negative number is never eaten as a flag.
+     */
+    static BenchOptions parse(int argc, char **argv,
+                              std::vector<std::string> *positionals);
+
+    /**
      * Non-exiting core of parse(): fills @p out, or returns false with
      * a one-line description in @p error. Exists so argument handling
-     * is unit-testable without forking.
+     * is unit-testable without forking. When @p positionals is given,
+     * non-flag tokens collect there instead of rejecting.
      */
     static bool parseInto(int argc, char **argv, BenchOptions &out,
-                          std::string &error);
+                          std::string &error,
+                          std::vector<std::string> *positionals = nullptr);
 
     /**
      * True if @p flag is a harness flag that consumes the following
-     * token. For callers that mix harness flags with their own
-     * positional arguments (the explorer).
+     * token. Derived from flagTable(). For callers that mix harness
+     * flags with their own positional arguments.
      */
     static bool takesValue(const char *flag);
+
+    /** True if @p arg is any known harness flag (either spelling). */
+    static bool isKnownFlag(const char *arg);
+
+    /** The flag registry every piece of help text is generated from. */
+    static const std::vector<BenchFlagInfo> &flagTable();
+
+    /** The generated one-screen usage synopsis (no trailing newline). */
+    static std::string usageText(const char *argv0);
+
+    /** The generated per-flag help table (flag, value, description). */
+    static std::string helpText();
 };
 
 class BenchHarness

@@ -26,6 +26,20 @@ mixSeed(uint64_t base, const std::string &key)
     return z ^ (z >> 31);
 }
 
+void
+applyRunSelection(SweepGrid &grid,
+                  const std::vector<std::string> &workloads,
+                  uint64_t maxCycles)
+{
+    if (!grid.hasExplicitWorkloads()) {
+        grid.workloadSpecs(workloads.empty()
+                               ? std::vector<std::string> { "paper" }
+                               : workloads);
+    }
+    if (maxCycles != 0)
+        grid.limits(grid.targetCompletionsValue(), maxCycles);
+}
+
 std::string
 ExperimentSpec::canonicalId() const
 {

@@ -184,6 +184,21 @@ class ExperimentRunner
     ThreadPool &_pool;
 };
 
+/**
+ * Fold a caller's run selection into @p grid, the one way every entry
+ * point does it: grids that left the workload axis unset sweep
+ * @p workloads (or "paper" when that is empty; grids that pinned their
+ * own axis win), and a nonzero @p maxCycles overrides the grid's cycle
+ * cap — which lands in every spec's maxCycles and therefore in the
+ * result-store keys, so rows cached under one limit never replay under
+ * another. Shared by BenchHarness::run (the CLI) and
+ * svc::SimService::submit (the service) so the two paths cannot drift
+ * on key-affecting semantics.
+ */
+void applyRunSelection(SweepGrid &grid,
+                       const std::vector<std::string> &workloads,
+                       uint64_t maxCycles);
+
 /** SplitMix64 step — the seed-derivation primitive used by SweepGrid. */
 uint64_t mixSeed(uint64_t base, const std::string &key);
 

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Minimal recursive JSON reader for the service API boundary.
+ *
+ * The result store's flat JSON-lines parser (result_store.cc) cannot
+ * represent the nested arrays a SimRequest carries, so the service
+ * layer gets a real (if small) document model: objects, arrays,
+ * strings, numbers, booleans and null, with strict errors (position-
+ * annotated), duplicate-key rejection and no trailing garbage. Numbers
+ * keep their raw token so 64-bit integers (seeds, cycle caps) never
+ * round-trip through a double.
+ *
+ * This is a reader, not a writer: serialization stays hand-rolled at
+ * each call site (as the result store does) so field order is explicit
+ * and deterministic.
+ */
+
+#ifndef MOMSIM_SVC_JSON_HH
+#define MOMSIM_SVC_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace momsim::svc
+{
+
+struct JsonValue
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;       ///< valid when kind == Bool
+    std::string text;           ///< string value, or the raw number token
+    std::vector<JsonValue> items;                       ///< Array
+    std::vector<std::pair<std::string, JsonValue>> fields;  ///< Object
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isBool() const { return kind == Kind::Bool; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** Object field lookup; nullptr when absent (or not an object). */
+    const JsonValue *field(const std::string &name) const;
+
+    /** Number conversions; false on non-numbers or range/format. */
+    bool toU64(uint64_t &out) const;
+    bool toInt(int &out) const;
+    bool toDouble(double &out) const;
+};
+
+/**
+ * Parse @p text as one JSON document. On failure returns false and
+ * puts a one-line, position-annotated description in @p error.
+ * Trailing non-whitespace after the document is an error.
+ */
+bool parseJson(const std::string &text, JsonValue &out,
+               std::string &error);
+
+/** Escape for a JSON string literal (same dialect as the sink's). */
+std::string jsonQuote(const std::string &s);
+
+} // namespace momsim::svc
+
+#endif // MOMSIM_SVC_JSON_HH

@@ -1,0 +1,342 @@
+/**
+ * @file
+ * `momsim` — the single multi-tool CLI in front of the simulation
+ * engine, replacing the per-figure bench binaries:
+ *
+ *   momsim <bench> [flags]   run a registered figure/table (byte-
+ *                            identical stdout to the removed binary)
+ *   momsim list              print the bench registry (old binary ->
+ *                            subcommand migration table)
+ *   momsim help [bench]      generated usage + flag table
+ *   momsim batch [...]       read JSONL SimRequests on stdin, execute
+ *                            them through one shared SimService with
+ *                            concurrent client threads, stream JSONL
+ *                            SimResponses to stdout in input order —
+ *                            the first traffic-serving entry point
+ *
+ * batch flags:
+ *   --jobs N      simulation pool workers (default: all hardware)
+ *   --parallel M  concurrent client submitters (default 2; capped 16)
+ *   --no-timing   zero wallMs/sim_kcps in responses so identical
+ *                 request streams produce byte-identical output (the
+ *                 batch determinism gate runs this)
+ *
+ * Responses are emitted strictly in request order, tagged with each
+ * request's echoed id, so output is deterministic no matter how the
+ * submitters interleave; a malformed line produces an error response
+ * in its slot rather than aborting the stream.
+ */
+
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+#include "svc/bench_registry.hh"
+#include "svc/sim_service.hh"
+
+namespace momsim::svc
+{
+
+namespace
+{
+
+int
+usage(std::FILE *to, int rc)
+{
+    std::fprintf(to,
+                 "usage: momsim <command> [flags]\n"
+                 "\n"
+                 "commands:\n"
+                 "  <bench>       one of the registered figures/tables "
+                 "(momsim list)\n"
+                 "  list          print the bench registry\n"
+                 "  help [bench]  flag table and per-bench usage\n"
+                 "  batch         serve JSONL SimRequests from stdin\n"
+                 "\n"
+                 "run `momsim help` for the shared bench flags.\n");
+    return rc;
+}
+
+int
+runList()
+{
+    std::printf("registered benches (momsim <name> [flags]):\n");
+    std::printf("  %-15s %-34s %s\n", "name", "replaces", "summary");
+    for (const BenchDef &def : benchRegistry()) {
+        std::printf("  %-15s %-34s %s\n", def.name.c_str(),
+                    def.oldBinary.c_str(), def.summary.c_str());
+    }
+    std::printf("\nplus: batch (JSONL request server), help, list\n");
+    return 0;
+}
+
+int
+runHelp(int argc, char **argv)
+{
+    if (argc >= 1) {
+        if (std::strcmp(argv[0], "batch") == 0) {
+            std::printf(
+                "momsim batch — serve JSONL SimRequests from stdin\n"
+                "\n"
+                "usage: momsim batch [--jobs N] [--parallel M] "
+                "[--no-timing]\n"
+                "\n"
+                "flags:\n"
+                "  --jobs, -j N     simulation pool workers (default: "
+                "all hardware)\n"
+                "  --parallel M     concurrent client submitters "
+                "(default 2, max 16)\n"
+                "  --no-timing      zero wallMs/sim_kcps in responses "
+                "so identical\n"
+                "                   request streams emit byte-identical "
+                "output\n"
+                "\n"
+                "One SimRequest JSON object per input line "
+                "(schemaVersion %d); one\nSimResponse per output line, "
+                "in input order, tagged with the request's\nid. "
+                "Malformed lines produce ok:false responses in their "
+                "slot.\n",
+                kSimRequestSchemaVersion);
+            return 0;
+        }
+        const BenchDef *def = findBench(argv[0]);
+        if (!def) {
+            std::fprintf(stderr, "momsim help: unknown bench '%s'\n",
+                         argv[0]);
+            return 2;
+        }
+        std::string name = "momsim " + def->name;
+        std::printf("%s — %s\n\n%s\n\nflags:\n%s",
+                    name.c_str(), def->summary.c_str(),
+                    driver::BenchOptions::usageText(name.c_str()).c_str(),
+                    driver::BenchOptions::helpText().c_str());
+        return 0;
+    }
+    std::printf("momsim — DLP+TLP media-workload simulator "
+                "multi-tool\n\n");
+    usage(stdout, 0);
+    std::printf("\nshared bench flags:\n%s",
+                driver::BenchOptions::helpText().c_str());
+    return 0;
+}
+
+/**
+ * The JSONL request loop. The main thread reads stdin and feeds a
+ * bounded queue; M submitter threads call SimService::submit (the
+ * service serializes actual pool use — M buys request pipelining and
+ * exercises the concurrent-submit contract, not extra simulation
+ * parallelism); one emitter thread writes responses in sequence order.
+ */
+int
+runBatch(int argc, char **argv)
+{
+    int jobs = 0;
+    int parallel = 2;
+    bool withTiming = true;
+    for (int i = 0; i < argc; ++i) {
+        const char *arg = argv[i];
+        // Strict like the bench flags: the whole token must be a
+        // positive integer ("4x" or "2/3" reject, they don't truncate).
+        auto intValue = [&](int &out) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "momsim batch: %s expects a value\n",
+                             arg);
+                return false;
+            }
+            const char *v = argv[++i];
+            char *end = nullptr;
+            long parsed = std::strtol(v, &end, 10);
+            if (*v == '\0' || !end || *end != '\0' || parsed < 1 ||
+                parsed > 1 << 20) {
+                std::fprintf(stderr,
+                             "momsim batch: bad %s '%s' (want an "
+                             "integer >= 1)\n", arg, v);
+                return false;
+            }
+            out = static_cast<int>(parsed);
+            return true;
+        };
+        if (std::strcmp(arg, "--jobs") == 0 ||
+            std::strcmp(arg, "-j") == 0) {
+            if (!intValue(jobs))
+                return 2;
+        } else if (std::strcmp(arg, "--parallel") == 0) {
+            if (!intValue(parallel))
+                return 2;
+            if (parallel > 16)
+                parallel = 16;
+        } else if (std::strcmp(arg, "--no-timing") == 0) {
+            withTiming = false;
+        } else {
+            std::fprintf(stderr, "momsim batch: unknown argument %s\n",
+                         arg);
+            return 2;
+        }
+    }
+
+    SimServiceConfig cfg;
+    cfg.jobs = jobs;
+    SimService service(cfg);
+
+    struct Item
+    {
+        size_t seq;
+        std::string line;
+    };
+
+    std::mutex mutex;
+    std::condition_variable workCv;   // submitters wait for input
+    std::condition_variable emitCv;   // emitter waits for responses
+    std::condition_variable spaceCv;  // reader waits for queue space
+    std::deque<Item> pending;
+    std::map<size_t, std::string> ready;    // seq -> response JSON
+    bool inputDone = false;
+    size_t accepted = 0;
+    // Bound the input backlog so a huge request stream against a slow
+    // sweep cannot grow memory with the whole unread file; the reader
+    // blocks once the submitters fall this far behind.
+    const size_t maxPending = static_cast<size_t>(2 * parallel) + 8;
+
+    auto submitLoop = [&]() {
+        for (;;) {
+            Item item;
+            {
+                std::unique_lock<std::mutex> lock(mutex);
+                workCv.wait(lock, [&] {
+                    return !pending.empty() || inputDone;
+                });
+                if (pending.empty())
+                    return;
+                item = std::move(pending.front());
+                pending.pop_front();
+            }
+            spaceCv.notify_one();
+            SimRequest req;
+            std::string error;
+            std::string json;
+            if (SimRequest::fromJson(item.line, req, error)) {
+                json = service.submit(req).toJson(withTiming);
+            } else {
+                json = SimResponse::failure("", errc::kBadRequest, error)
+                           .toJson(withTiming);
+            }
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                ready.emplace(item.seq, std::move(json));
+            }
+            emitCv.notify_one();
+        }
+    };
+
+    auto emitLoop = [&]() {
+        size_t next = 0;
+        for (;;) {
+            std::string json;
+            {
+                std::unique_lock<std::mutex> lock(mutex);
+                emitCv.wait(lock, [&] {
+                    return ready.count(next) != 0 ||
+                           (inputDone && pending.empty() &&
+                            next >= accepted);
+                });
+                auto it = ready.find(next);
+                if (it == ready.end())
+                    return;     // all input drained and emitted
+                json = std::move(it->second);
+                ready.erase(it);
+            }
+            // In-order, line-buffered: each response is one line,
+            // flushed, so a streaming client sees it as soon as its
+            // turn comes.
+            std::fwrite(json.data(), 1, json.size(), stdout);
+            std::fputc('\n', stdout);
+            std::fflush(stdout);
+            ++next;
+        }
+    };
+
+    std::vector<std::thread> submitters;
+    for (int i = 0; i < parallel; ++i)
+        submitters.emplace_back(submitLoop);
+    std::thread emitter(emitLoop);
+
+    // The main thread is the reader: one request per input line; blank
+    // lines are skipped (convenient for hand-written request files).
+    std::string line;
+    int c;
+    auto dispatch = [&]() {
+        if (line.empty())
+            return;
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            spaceCv.wait(lock,
+                         [&] { return pending.size() < maxPending; });
+            pending.push_back({ accepted++, std::move(line) });
+        }
+        workCv.notify_one();
+        line.clear();
+    };
+    while ((c = std::fgetc(stdin)) != EOF) {
+        if (c == '\n')
+            dispatch();
+        else
+            line += static_cast<char>(c);
+    }
+    dispatch();     // a final line without trailing newline
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        inputDone = true;
+    }
+    workCv.notify_all();
+    for (std::thread &t : submitters)
+        t.join();
+    emitCv.notify_all();
+    emitter.join();
+    return 0;
+}
+
+int
+runRegistered(const BenchDef &def, int argc, char **argv)
+{
+    // Synthesize argv[0] = "momsim <bench>" so usage/error text names
+    // the subcommand; the remaining tokens pass through unchanged.
+    std::string argv0 = "momsim " + def.name;
+    std::vector<char *> args;
+    args.push_back(argv0.data());
+    for (int i = 0; i < argc; ++i)
+        args.push_back(argv[i]);
+    return runBench(def, static_cast<int>(args.size()), args.data());
+}
+
+} // namespace
+
+} // namespace momsim::svc
+
+int
+main(int argc, char **argv)
+{
+    using namespace momsim::svc;
+
+    if (argc < 2)
+        return usage(stderr, 2);
+    const char *cmd = argv[1];
+    if (std::strcmp(cmd, "list") == 0)
+        return runList();
+    if (std::strcmp(cmd, "help") == 0 || std::strcmp(cmd, "--help") == 0 ||
+        std::strcmp(cmd, "-h") == 0)
+        return runHelp(argc - 2, argv + 2);
+    if (std::strcmp(cmd, "batch") == 0)
+        return runBatch(argc - 2, argv + 2);
+    if (const BenchDef *def = findBench(cmd))
+        return runRegistered(*def, argc - 2, argv + 2);
+    std::fprintf(stderr, "momsim: unknown command '%s'\n\n", cmd);
+    return usage(stderr, 2);
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The request half of the momsim service API.
+ *
+ * A SimRequest names a sweep either by registered bench ("fig6",
+ * "table4", ... — the grids behind the paper's figures) or by explicit
+ * axes (isas x threads x memModels x policies), crossed with registry
+ * workloads, plus run limits and shard/cache options. It is the JSON
+ * boundary the `momsim batch` traffic endpoint and embedding clients
+ * speak; the wire format is versioned (schemaVersion) and parsing is
+ * strict — unknown fields, wrong types and foreign versions reject
+ * with a one-line error instead of guessing.
+ *
+ * Variants (ad-hoc parameter tweak closures) are deliberately not
+ * expressible as explicit axes — closures do not serialize. Benches
+ * that need them (table1, ablation) are reachable by name, where the
+ * registered grid factory supplies the closures.
+ */
+
+#ifndef MOMSIM_SVC_SIM_REQUEST_HH
+#define MOMSIM_SVC_SIM_REQUEST_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace momsim::svc
+{
+
+/** Version of the SimRequest wire format. Bump on any field change. */
+constexpr int kSimRequestSchemaVersion = 1;
+
+struct SimRequest
+{
+    /** Client-chosen tag echoed verbatim in the SimResponse. */
+    std::string id;
+
+    /**
+     * Registered bench name ("fig6", ...). Empty means the request
+     * carries explicit axes instead; the two are mutually exclusive.
+     */
+    std::string bench;
+
+    /** Registry workload names; empty means the default ("paper"). */
+    std::vector<std::string> workloads;
+
+    // ---- explicit axes (only valid when bench is empty) ----
+    std::vector<std::string> isas;      ///< "mmx" / "mom"
+    std::vector<int> threads;           ///< 1..8
+    std::vector<std::string> memModels; ///< "perfect"/"conventional"/...
+    std::vector<std::string> policies;  ///< "rr"/"icount"/"ocount"/...
+
+    bool quick = false;         ///< tiny workload scale
+    uint64_t maxCycles = 0;     ///< 0 => the grid's own limit
+    uint64_t seed = 0;          ///< base of the per-task seeds
+    int shardIndex = 1;         ///< 1-based, <= shardCount
+    int shardCount = 1;
+    std::string cacheDir;       ///< "" => no persistence
+
+    /** One-line JSON, fixed field order (JSONL-ready). */
+    std::string toJson() const;
+
+    /**
+     * Strict parse of one JSON document. Requires schemaVersion ==
+     * kSimRequestSchemaVersion; rejects unknown fields, wrong types
+     * and malformed JSON with a one-line description in @p error.
+     * Structural validity only — semantic checks (known bench, known
+     * workloads, shard bounds) happen in SimService::submit so they
+     * come back as structured SimResponse errors.
+     */
+    static bool fromJson(const std::string &json, SimRequest &out,
+                         std::string &error);
+};
+
+} // namespace momsim::svc
+
+#endif // MOMSIM_SVC_SIM_REQUEST_HH

@@ -1,0 +1,57 @@
+#include "svc/sim_response.hh"
+
+#include "common/logging.hh"
+#include "driver/result_store.hh"
+#include "svc/json.hh"
+
+namespace momsim::svc
+{
+
+std::string
+SimResponse::toJson(bool withTiming) const
+{
+    std::string out = "{";
+    out += strfmt("\"schemaVersion\":%d,", kSimResponseSchemaVersion);
+    out += "\"id\":" + jsonQuote(id) + ",";
+    out += strfmt("\"ok\":%s,", ok ? "true" : "false");
+    if (!ok) {
+        out += "\"error\":{\"code\":" + jsonQuote(errorCode) +
+               ",\"message\":" + jsonQuote(errorMessage) + "}";
+        return out + "}";
+    }
+    out += "\"bench\":" + jsonQuote(bench) + ",";
+    out += strfmt("\"plan\":{\"total\":%zu,\"cached\":%zu,"
+                  "\"simulated\":%zu},",
+                  totalPoints, cachedPoints, simulatedPoints);
+    out += strfmt("\"wallMs\":%.3f,", withTiming ? wallMs : 0.0);
+    out += "\"rows\":[";
+    for (size_t i = 0; i < rows.size(); ++i) {
+        if (i)
+            out += ',';
+        if (withTiming) {
+            out += driver::serializeResultRow(rows[i]);
+        } else {
+            // The row schema keeps its shape (parsers stay happy); only
+            // the nondeterministic self-measurement is zeroed.
+            driver::ResultRow r = rows[i];
+            r.run.simKcps = 0.0;
+            r.run.wallMs = 0.0;
+            out += driver::serializeResultRow(r);
+        }
+    }
+    return out + "]}";
+}
+
+SimResponse
+SimResponse::failure(const std::string &id, const std::string &code,
+                     const std::string &message)
+{
+    SimResponse resp;
+    resp.id = id;
+    resp.ok = false;
+    resp.errorCode = code;
+    resp.errorMessage = message;
+    return resp;
+}
+
+} // namespace momsim::svc

@@ -1,0 +1,287 @@
+#include "svc/sim_service.hh"
+
+#include <chrono>
+
+#include "common/logging.hh"
+#include "driver/result_store.hh"
+#include "svc/bench_registry.hh"
+#include "workloads/workload_spec.hh"
+
+namespace momsim::svc
+{
+
+namespace
+{
+
+double
+nowMs()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double, std::milli>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+/**
+ * Request-friendly axis spellings. The result store's fromString
+ * parsers accept exactly the serialization tokens ("MMX", "RR", ...);
+ * the API boundary additionally takes the lowercase names clients
+ * naturally write, without touching the store's strict round-trip.
+ */
+bool
+parseIsa(const std::string &s, isa::SimdIsa &out)
+{
+    if (s == "mmx" || s == "MMX") {
+        out = isa::SimdIsa::Mmx;
+        return true;
+    }
+    if (s == "mom" || s == "MOM") {
+        out = isa::SimdIsa::Mom;
+        return true;
+    }
+    return false;
+}
+
+bool
+parseMemModel(const std::string &s, mem::MemModel &out)
+{
+    return mem::fromString(s.c_str(), out);
+}
+
+bool
+parsePolicy(const std::string &s, cpu::FetchPolicy &out)
+{
+    if (s == "rr" || s == "RR" || s == "round-robin") {
+        out = cpu::FetchPolicy::RoundRobin;
+        return true;
+    }
+    if (s == "ic" || s == "IC" || s == "icount") {
+        out = cpu::FetchPolicy::ICount;
+        return true;
+    }
+    if (s == "oc" || s == "OC" || s == "ocount") {
+        out = cpu::FetchPolicy::OCount;
+        return true;
+    }
+    if (s == "bl" || s == "BL" || s == "balance") {
+        out = cpu::FetchPolicy::Balance;
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+SimService::SimService(SimServiceConfig cfg)
+    : _pool(cfg.jobs), _paperRepo(workloads::WorkloadScale::Paper),
+      _tinyRepo(workloads::WorkloadScale::Tiny)
+{}
+
+bool
+SimService::resolveGrid(const SimRequest &req, driver::SweepGrid &grid,
+                        std::string &benchName,
+                        SimResponse &error) const
+{
+    const bool hasAxes = !req.isas.empty() || !req.threads.empty() ||
+                         !req.memModels.empty() || !req.policies.empty();
+
+    if (!req.bench.empty()) {
+        if (hasAxes) {
+            error = SimResponse::failure(
+                req.id, errc::kBadRequest,
+                "\"bench\" and explicit axes are mutually exclusive");
+            return false;
+        }
+        const BenchDef *def = findBench(req.bench);
+        if (!def) {
+            error = SimResponse::failure(
+                req.id, errc::kUnknownBench,
+                strfmt("unknown bench \"%s\" (see `momsim list`)",
+                       req.bench.c_str()));
+            return false;
+        }
+        if (!def->hasSweep()) {
+            error = SimResponse::failure(
+                req.id, errc::kNoSweep,
+                strfmt("bench \"%s\" has no sweep stage; use the "
+                       "`momsim %s` CLI for its analysis tables",
+                       req.bench.c_str(), req.bench.c_str()));
+            return false;
+        }
+        // The grid factory sees the request's workload selection the
+        // same way it sees a CLI --workload (the mix-sensitivity bench
+        // pins its own axis only when the selection is empty).
+        driver::BenchOptions opts;
+        opts.quick = req.quick;
+        opts.workloads = req.workloads;
+        grid = def->grid(opts);
+        benchName = def->name;
+        return true;
+    }
+
+    // Explicit axes: unset ones default to a single element, exactly
+    // like SweepGrid's own defaults. Duplicate values (checked on the
+    // *parsed* value, so "mmx" and "MMX" collide) reject — they would
+    // expand duplicate sweep points with identical ids, seeds and
+    // cache keys, the same bug class the workload axis rejects above.
+    auto duplicateIn = [&](const auto &values, const std::string &name,
+                           const char *axis) {
+        for (size_t i = 0; i + 1 < values.size(); ++i) {
+            if (values[i] == values.back()) {
+                error = SimResponse::failure(
+                    req.id, errc::kBadAxis,
+                    strfmt("duplicate %s \"%s\"", axis, name.c_str()));
+                return true;
+            }
+        }
+        return false;
+    };
+
+    std::vector<isa::SimdIsa> isas;
+    for (const std::string &s : req.isas) {
+        isa::SimdIsa v;
+        if (!parseIsa(s, v)) {
+            error = SimResponse::failure(
+                req.id, errc::kBadAxis,
+                strfmt("unknown isa \"%s\"", s.c_str()));
+            return false;
+        }
+        isas.push_back(v);
+        if (duplicateIn(isas, s, "isa"))
+            return false;
+    }
+    std::vector<mem::MemModel> mems;
+    for (const std::string &s : req.memModels) {
+        mem::MemModel v;
+        if (!parseMemModel(s, v)) {
+            error = SimResponse::failure(
+                req.id, errc::kBadAxis,
+                strfmt("unknown memModel \"%s\"", s.c_str()));
+            return false;
+        }
+        mems.push_back(v);
+        if (duplicateIn(mems, s, "memModel"))
+            return false;
+    }
+    std::vector<cpu::FetchPolicy> policies;
+    for (const std::string &s : req.policies) {
+        cpu::FetchPolicy v;
+        if (!parsePolicy(s, v)) {
+            error = SimResponse::failure(
+                req.id, errc::kBadAxis,
+                strfmt("unknown policy \"%s\"", s.c_str()));
+            return false;
+        }
+        policies.push_back(v);
+        if (duplicateIn(policies, s, "policy"))
+            return false;
+    }
+    for (size_t i = 0; i < req.threads.size(); ++i) {
+        int t = req.threads[i];
+        if (t < 1 || t > 8) {
+            error = SimResponse::failure(
+                req.id, errc::kBadAxis,
+                strfmt("thread count %d out of range 1..8", t));
+            return false;
+        }
+        for (size_t j = 0; j < i; ++j) {
+            if (req.threads[j] == t) {
+                error = SimResponse::failure(
+                    req.id, errc::kBadAxis,
+                    strfmt("duplicate thread count %d", t));
+                return false;
+            }
+        }
+    }
+
+    if (!isas.empty())
+        grid.isas(std::move(isas));
+    if (!req.threads.empty())
+        grid.threadCounts(req.threads);
+    if (!mems.empty())
+        grid.memModels(std::move(mems));
+    if (!policies.empty())
+        grid.policies(std::move(policies));
+    benchName.clear();
+    return true;
+}
+
+SimResponse
+SimService::submit(const SimRequest &req)
+{
+    const double t0 = nowMs();
+
+    // ---- request validation, all via structured errors ----
+    if (req.shardCount < 1 || req.shardIndex < 1 ||
+        req.shardIndex > req.shardCount) {
+        return SimResponse::failure(
+            req.id, errc::kBadShard,
+            strfmt("bad shard %d/%d (want 1 <= I <= N)", req.shardIndex,
+                   req.shardCount));
+    }
+    for (const std::string &name : req.workloads) {
+        if (!workloads::WorkloadSpec::isKnown(name)) {
+            return SimResponse::failure(
+                req.id, errc::kUnknownWorkload,
+                strfmt("unknown workload \"%s\" (see "
+                       "--list-workloads)", name.c_str()));
+        }
+    }
+    for (size_t i = 0; i < req.workloads.size(); ++i) {
+        for (size_t j = i + 1; j < req.workloads.size(); ++j) {
+            if (req.workloads[i] == req.workloads[j]) {
+                return SimResponse::failure(
+                    req.id, errc::kBadRequest,
+                    strfmt("duplicate workload \"%s\"",
+                           req.workloads[i].c_str()));
+            }
+        }
+    }
+
+    driver::SweepGrid grid;
+    std::string benchName;
+    SimResponse error;
+    if (!resolveGrid(req, grid, benchName, error))
+        return error;
+
+    // The same fold the CLI harness applies — shared so the two entry
+    // points cannot drift on key-affecting semantics.
+    driver::applyRunSelection(grid, req.workloads, req.maxCycles);
+
+    // ---- execution (serialized: parallelFor is not reentrant) ----
+    std::lock_guard<std::mutex> lock(_runMutex);
+
+    driver::ResultStore store;
+    const bool persist = !req.cacheDir.empty();
+    if (persist && !store.openDir(req.cacheDir)) {
+        return SimResponse::failure(
+            req.id, errc::kCacheDir,
+            strfmt("cannot open cacheDir \"%s\"", req.cacheDir.c_str()));
+    }
+
+    workloads::WorkloadRepo &repo = this->repo(req.quick);
+    std::vector<std::string> toBuild = repo.missing(grid.workloadList());
+    _pool.parallelFor(toBuild.size(), [&repo, &toBuild](size_t i) {
+        repo.get(toBuild[i]);
+    });
+
+    driver::RunPlan plan =
+        planSweep(grid.expand(req.seed), repo, persist ? &store : nullptr,
+                  req.shardIndex - 1, req.shardCount);
+
+    driver::ExperimentRunner runner(repo, _pool);
+    driver::ResultSink sink = runner.run(plan, persist ? &store : nullptr);
+
+    SimResponse resp;
+    resp.id = req.id;
+    resp.ok = true;
+    resp.bench = benchName;
+    resp.totalPoints = plan.points.size();
+    resp.cachedPoints = plan.cachedMineCount();
+    resp.simulatedPoints = plan.simulateCount();
+    resp.rows = sink.rows();
+    resp.wallMs = nowMs() - t0;
+    return resp;
+}
+
+} // namespace momsim::svc

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * SimService — the embeddable, library-first execution engine behind
+ * the momsim CLI's `batch` mode and any in-process client.
+ *
+ * One SimService owns the process-wide simulation resources exactly
+ * once — the work-stealing ThreadPool, one WorkloadRepo per scale
+ * (paper / tiny) and, per request, the ResultStore a request's
+ * cacheDir names — and executes SimRequests submitted from any number
+ * of client threads. submit() is thread-safe and never calls exit():
+ * every outcome, including the bad-workload and bad-shard cases the
+ * old bench binaries died on, comes back as a structured SimResponse.
+ *
+ * Determinism contract: a SimRequest's response rows depend only on
+ * the request (and its cache contents), never on submission
+ * concurrency — N client threads submitting concurrently produce
+ * byte-identical responses (modulo the explicitly-timed fields) to a
+ * serial replay. Sweep execution serializes internally on one pool
+ * (parallelFor is not reentrant); concurrency between clients is a
+ * queueing property, not a results property.
+ */
+
+#ifndef MOMSIM_SVC_SIM_SERVICE_HH
+#define MOMSIM_SVC_SIM_SERVICE_HH
+
+#include <mutex>
+
+#include "driver/experiment.hh"
+#include "driver/thread_pool.hh"
+#include "svc/sim_request.hh"
+#include "svc/sim_response.hh"
+#include "workloads/workload_repo.hh"
+
+namespace momsim::svc
+{
+
+struct SimServiceConfig
+{
+    int jobs = 0;               ///< pool workers; 0 => all hardware
+};
+
+class SimService
+{
+  public:
+    explicit SimService(SimServiceConfig cfg = {});
+
+    SimService(const SimService &) = delete;
+    SimService &operator=(const SimService &) = delete;
+
+    /**
+     * Execute @p req and return its response. Thread-safe; requests
+     * from concurrent callers queue on the internal run lock. Never
+     * exits, never throws for request-shaped problems (only for
+     * simulator bugs, which panic as they always have).
+     */
+    SimResponse submit(const SimRequest &req);
+
+    /** The shared pool (for clients that also run their own loops). */
+    driver::ThreadPool &pool() { return _pool; }
+
+    /** The repo serving requests at @p quick scale. */
+    workloads::WorkloadRepo &repo(bool quick)
+    {
+        return quick ? _tinyRepo : _paperRepo;
+    }
+
+  private:
+    /** Build the grid a request describes, or a structured error. */
+    bool resolveGrid(const SimRequest &req, driver::SweepGrid &grid,
+                     std::string &benchName, SimResponse &error) const;
+
+    driver::ThreadPool _pool;
+    workloads::WorkloadRepo _paperRepo;
+    workloads::WorkloadRepo _tinyRepo;
+    std::mutex _runMutex;       ///< serializes pool use across clients
+};
+
+} // namespace momsim::svc
+
+#endif // MOMSIM_SVC_SIM_SERVICE_HH

@@ -145,6 +145,87 @@ TEST(BenchOptions, TakesValueMatchesTheParser)
         EXPECT_FALSE(BenchOptions::takesValue(flag)) << flag;
 }
 
+TEST(BenchOptions, FlagTableAgreesWithTheParser)
+{
+    // Every value-taking table flag must be known to the parser and
+    // error with "expects a value" at end-of-argv; boolean flags must
+    // parse standalone. This is the anti-drift contract: a flag added
+    // to parseInto() without a table row (or vice versa) fails here.
+    for (const BenchFlagInfo &info : BenchOptions::flagTable()) {
+        EXPECT_TRUE(BenchOptions::isKnownFlag(info.flag)) << info.flag;
+        if (info.alias)
+            EXPECT_TRUE(BenchOptions::isKnownFlag(info.alias))
+                << info.alias;
+        EXPECT_NE(info.help, nullptr) << info.flag;
+        if (std::string(info.flag) == "--help")
+            continue;   // help "fails" parse by design (empty error)
+        if (info.valueName) {
+            std::string error = expectError({ info.flag });
+            EXPECT_NE(error.find("expects a value"), std::string::npos)
+                << info.flag << ": " << error;
+        } else if (std::string(info.flag) != "--list-workloads") {
+            expectOk({ info.flag });
+        } else {
+            expectOk({ info.flag });    // flag parses; parse() exits later
+        }
+    }
+    // And the reverse direction: the parser rejects flags the table
+    // does not declare, so parseInto cannot grow a hidden flag.
+    EXPECT_FALSE(BenchOptions::isKnownFlag("--frobnicate"));
+    expectError({ "--frobnicate" });
+}
+
+TEST(BenchOptions, UsageAndHelpAreGeneratedFromTheTable)
+{
+    std::string usage = BenchOptions::usageText("momsim fig6");
+    std::string help = BenchOptions::helpText();
+    EXPECT_NE(usage.find("usage: momsim fig6"), std::string::npos);
+    for (const BenchFlagInfo &info : BenchOptions::flagTable()) {
+        EXPECT_NE(usage.find(info.flag), std::string::npos) << info.flag;
+        EXPECT_NE(help.find(info.flag), std::string::npos) << info.flag;
+        EXPECT_NE(help.find(info.help), std::string::npos) << info.flag;
+    }
+}
+
+TEST(BenchOptions, PositionalsCollectWhenRequested)
+{
+    // The explorer's calling convention: flags anywhere, everything
+    // else positional — including "-"-prefixed non-flags.
+    BenchOptions opts;
+    std::string error;
+    std::vector<std::string> positionals;
+    std::vector<std::string> storage = { "bench",   "mom",  "--quick",
+                                         "8",       "-j",   "2",
+                                         "decoupled", "oc", "-5" };
+    std::vector<char *> argv;
+    for (std::string &s : storage)
+        argv.push_back(s.data());
+    ASSERT_TRUE(BenchOptions::parseInto(static_cast<int>(argv.size()),
+                                        argv.data(), opts, error,
+                                        &positionals))
+        << error;
+    EXPECT_TRUE(opts.quick);
+    EXPECT_EQ(opts.jobs, 2);
+    ASSERT_EQ(positionals.size(), 5u);
+    EXPECT_EQ(positionals[0], "mom");
+    EXPECT_EQ(positionals[1], "8");
+    EXPECT_EQ(positionals[2], "decoupled");
+    EXPECT_EQ(positionals[3], "oc");
+    EXPECT_EQ(positionals[4], "-5");
+
+    // Unknown "--" flags still reject even in positional mode.
+    positionals.clear();
+    std::vector<std::string> bad = { "bench", "--frobnicate" };
+    std::vector<char *> argv2;
+    for (std::string &s : bad)
+        argv2.push_back(s.data());
+    EXPECT_FALSE(BenchOptions::parseInto(static_cast<int>(argv2.size()),
+                                         argv2.data(), opts, error,
+                                         &positionals));
+    // Without the positional sink, stray tokens keep rejecting.
+    EXPECT_FALSE(parseArgs({ "stray" }, opts, error));
+}
+
 TEST(BenchOptions, ShardValidationRejectsOutOfRangeAndGarbage)
 {
     // 1-based index: shard 0 does not exist.
