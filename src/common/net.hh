@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Small POSIX plumbing for the socket transports: RAII file
+ * descriptors, full-write loops, loopback/unix socket setup and the
+ * process-wide graceful-shutdown signal latch.
+ *
+ * Everything here is transport mechanics with no simulator knowledge —
+ * the service layer (src/svc/) composes these into listeners and
+ * connections. All functions report failures as return values plus an
+ * error string; nothing exits.
+ */
+
+#ifndef MOMSIM_COMMON_NET_HH
+#define MOMSIM_COMMON_NET_HH
+
+#include <cstddef>
+#include <string>
+#include <utility>
+
+namespace momsim::net
+{
+
+/** Movable owner of one POSIX fd; closes on destruction. */
+class FdGuard
+{
+  public:
+    FdGuard() = default;
+    explicit FdGuard(int fd) : _fd(fd) {}
+    ~FdGuard() { reset(); }
+
+    FdGuard(const FdGuard &) = delete;
+    FdGuard &operator=(const FdGuard &) = delete;
+
+    FdGuard(FdGuard &&other) noexcept : _fd(other.release()) {}
+    FdGuard &
+    operator=(FdGuard &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            _fd = other.release();
+        }
+        return *this;
+    }
+
+    int get() const { return _fd; }
+    bool valid() const { return _fd >= 0; }
+
+    /** Give up ownership without closing. */
+    int
+    release()
+    {
+        int fd = _fd;
+        _fd = -1;
+        return fd;
+    }
+
+    /** Close the held fd (if any) and adopt @p fd. */
+    void reset(int fd = -1);
+
+  private:
+    int _fd = -1;
+};
+
+/**
+ * Ignore SIGPIPE process-wide. Every transport entry point calls this
+ * first: a client closing its pipe or socket mid-stream must surface
+ * as a write error the emitter can handle, not a process kill.
+ */
+void ignoreSigpipe();
+
+/**
+ * Install SIGINT/SIGTERM handlers that count deliveries and write one
+ * byte to @p wakeFd (a pipe write end) so a poll()-based accept loop
+ * wakes promptly. Async-signal-safe. Call once per process.
+ */
+void installShutdownSignals(int wakeFd);
+
+/** Deliveries so far: 0 = run, 1 = graceful drain, >= 2 = hurry up. */
+int shutdownRequestCount();
+
+/** Write all @p n bytes of @p data to @p fd, retrying short writes
+ *  and EINTR. False on any unrecoverable write error. */
+bool writeAll(int fd, const void *data, size_t n);
+
+/** Read up to @p n bytes; retries EINTR. Returns bytes read, 0 on
+ *  EOF, -1 on error. */
+long readSome(int fd, void *buf, size_t n);
+
+// ---- socket setup: each returns an fd >= 0, or -1 with *error* ----
+
+/** Listening TCP socket bound to host:port (port 0 = ephemeral). */
+int listenTcp(const std::string &host, int port, std::string &error);
+
+/** Listening unix-domain socket at @p path (unlinks a stale one). */
+int listenUnix(const std::string &path, std::string &error);
+
+/** Blocking TCP connect to host:port. */
+int connectTcp(const std::string &host, int port, std::string &error);
+
+/** Blocking unix-domain connect to @p path. */
+int connectUnix(const std::string &path, std::string &error);
+
+/** The local port a bound TCP fd actually got (after port 0). */
+int boundTcpPort(int fd);
+
+/**
+ * Arrange for close(fd) to reset the connection immediately
+ * (SO_LINGER 0) — the "abrupt client disconnect" a robust server must
+ * survive; used by `momsim client --abort` and the tests.
+ */
+void setAbortiveClose(int fd);
+
+} // namespace momsim::net
+
+#endif // MOMSIM_COMMON_NET_HH

@@ -1,0 +1,69 @@
+#include "svc/axis_parse.hh"
+
+#include <cctype>
+
+namespace momsim::svc
+{
+
+namespace
+{
+
+std::string
+lowered(const std::string &s)
+{
+    std::string out = s;
+    for (char &c : out)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+} // namespace
+
+bool
+parseIsaToken(const std::string &s, isa::SimdIsa &out)
+{
+    const std::string t = lowered(s);
+    if (t == "mmx") {
+        out = isa::SimdIsa::Mmx;
+        return true;
+    }
+    if (t == "mom") {
+        out = isa::SimdIsa::Mom;
+        return true;
+    }
+    return false;
+}
+
+bool
+parseMemModelToken(const std::string &s, mem::MemModel &out)
+{
+    // The store tokens are already lowercase, so folding the input is
+    // all the case-insensitivity this axis needs.
+    return mem::fromString(lowered(s).c_str(), out);
+}
+
+bool
+parsePolicyToken(const std::string &s, cpu::FetchPolicy &out)
+{
+    const std::string t = lowered(s);
+    if (t == "rr" || t == "round-robin") {
+        out = cpu::FetchPolicy::RoundRobin;
+        return true;
+    }
+    if (t == "ic" || t == "icount") {
+        out = cpu::FetchPolicy::ICount;
+        return true;
+    }
+    if (t == "oc" || t == "ocount") {
+        out = cpu::FetchPolicy::OCount;
+        return true;
+    }
+    if (t == "bl" || t == "balance") {
+        out = cpu::FetchPolicy::Balance;
+        return true;
+    }
+    return false;
+}
+
+} // namespace momsim::svc

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Request-boundary parsing of sweep-axis tokens.
+ *
+ * The result store's fromString parsers accept exactly the
+ * serialization tokens ("MMX", "RR", "perfect", ...) — that strictness
+ * protects on-disk round-trips and must not loosen. The API boundary
+ * is the opposite contract: clients write "mom", "Mmx", "Round-Robin"
+ * or "ICOUNT" and mean the same axis value, so all three enum axes
+ * parse case-insensitively here, with the long and short policy
+ * spellings both accepted. One unit so `momsim batch`, `momsim serve`
+ * and embedders cannot drift on which spellings a request may use.
+ */
+
+#ifndef MOMSIM_SVC_AXIS_PARSE_HH
+#define MOMSIM_SVC_AXIS_PARSE_HH
+
+#include <string>
+
+#include "cpu/fetch_policy.hh"
+#include "isa/simd_isa.hh"
+#include "mem/hierarchy.hh"
+
+namespace momsim::svc
+{
+
+/** "mmx" / "mom", any case. */
+bool parseIsaToken(const std::string &s, isa::SimdIsa &out);
+
+/** "perfect" / "conventional" / "decoupled", any case. */
+bool parseMemModelToken(const std::string &s, mem::MemModel &out);
+
+/** "rr"/"round-robin", "ic"/"icount", "oc"/"ocount", "bl"/"balance",
+ *  any case. */
+bool parsePolicyToken(const std::string &s, cpu::FetchPolicy &out);
+
+} // namespace momsim::svc
+
+#endif // MOMSIM_SVC_AXIS_PARSE_HH

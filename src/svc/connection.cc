@@ -1,0 +1,90 @@
+#include "svc/connection.hh"
+
+#include <sys/socket.h>
+
+#include "svc/sequencer.hh"
+#include "svc/sim_service.hh"
+
+namespace momsim::svc
+{
+
+Connection::Connection(int fd, SimService &service, Options opts,
+                       std::string clientTag)
+    : _fd(fd), _service(service), _opts(opts),
+      _clientTag(std::move(clientTag))
+{}
+
+Connection::~Connection()
+{
+    join();
+}
+
+void
+Connection::start()
+{
+    _thread = std::thread([this] { run(); });
+}
+
+void
+Connection::shutdownRead()
+{
+    if (_fd.valid())
+        ::shutdown(_fd.get(), SHUT_RD);
+}
+
+void
+Connection::join()
+{
+    if (_thread.joinable())
+        _thread.join();
+}
+
+void
+Connection::run()
+{
+    const int fd = _fd.get();
+
+    ResponseSequencer::Config cfg;
+    cfg.submit = [this](const SimRequest &req) {
+        return _service.submit(req);
+    };
+    cfg.emit = [fd](const std::string &line) {
+        // One response per write call keeps lines intact on the wire;
+        // a failed write (client gone) flips the sequencer to drain.
+        std::string out = line + "\n";
+        return net::writeAll(fd, out.data(), out.size());
+    };
+    cfg.parallel = _opts.parallel;
+    cfg.maxPending = _opts.maxPending;
+    cfg.shedOnFull = true;      // a full queue sheds, never stalls
+    cfg.withTiming = _opts.withTiming;
+    cfg.clientTag = _clientTag;
+    ResponseSequencer seq(cfg);
+
+    char buf[4096];
+    std::string line;
+    for (;;) {
+        long got = net::readSome(fd, buf, sizeof(buf));
+        if (got <= 0)
+            break;      // EOF, half-close, reset or forced drain
+        for (long i = 0; i < got; ++i) {
+            if (buf[i] == '\n') {
+                seq.push(std::move(line));
+                line.clear();
+            } else {
+                line += buf[i];
+            }
+        }
+        if (seq.writeFailed())
+            break;      // client stopped reading; its input is moot
+    }
+    seq.push(std::move(line));  // final request without trailing newline
+    seq.finish();
+    // Half-close so the client sees EOF right after the last response
+    // instead of waiting for this object to be reaped. The fd itself
+    // stays owned until destruction (shutdownRead() may still race).
+    ::shutdown(fd, SHUT_WR);
+    _done.store(true, std::memory_order_release);
+}
+
+} // namespace momsim::svc

@@ -1,0 +1,134 @@
+#include "svc/listener.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace momsim::svc
+{
+
+bool
+Listener::open(const Options &opts, std::string &error)
+{
+    if (opts.tcpPort < 0 && opts.unixPath.empty()) {
+        error = "no listen address (need a TCP port and/or a unix "
+                "socket path)";
+        return false;
+    }
+    if (opts.tcpPort >= 0) {
+        int fd = net::listenTcp(opts.host, opts.tcpPort, error);
+        if (fd < 0)
+            return false;
+        _tcp.reset(fd);
+        _host = opts.host;
+    }
+    if (!opts.unixPath.empty()) {
+        int fd = net::listenUnix(opts.unixPath, error);
+        if (fd < 0) {
+            _tcp.reset();
+            return false;
+        }
+        _unix.reset(fd);
+        _unixPath = opts.unixPath;
+    }
+    int pipeFds[2];
+    if (::pipe(pipeFds) != 0) {
+        error = strfmt("pipe: %s", std::strerror(errno));
+        close();
+        return false;
+    }
+    _wakeRead.reset(pipeFds[0]);
+    _wakeWrite.reset(pipeFds[1]);
+    return true;
+}
+
+int
+Listener::acceptClient()
+{
+    for (;;) {
+        struct pollfd fds[3];
+        int n = 0;
+        int tcpSlot = -1, unixSlot = -1;
+        if (_wakeRead.valid()) {
+            fds[n] = { _wakeRead.get(), POLLIN, 0 };
+            ++n;
+        }
+        if (_tcp.valid()) {
+            tcpSlot = n;
+            fds[n] = { _tcp.get(), POLLIN, 0 };
+            ++n;
+        }
+        if (_unix.valid()) {
+            unixSlot = n;
+            fds[n] = { _unix.get(), POLLIN, 0 };
+            ++n;
+        }
+        if (n == 0 || !_wakeRead.valid())
+            return -1;      // closed; nothing left to accept on
+
+        int rc = ::poll(fds, static_cast<nfds_t>(n), -1);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;   // signal: loop re-checks via the self-pipe
+            return -1;
+        }
+        // Wake byte (signal handler or wake()): stop accepting. Check
+        // first so a drain request wins over a racing connection.
+        if (fds[0].revents & POLLIN)
+            return -1;
+        for (int slot : { tcpSlot, unixSlot }) {
+            if (slot < 0 || !(fds[slot].revents & POLLIN))
+                continue;
+            int client = ::accept(fds[slot].fd, nullptr, nullptr);
+            if (client >= 0)
+                return client;
+            // A client that vanished between poll and accept is not
+            // a listener failure; try again.
+        }
+    }
+}
+
+void
+Listener::wake()
+{
+    if (_wakeWrite.valid()) {
+        char byte = 'w';
+        [[maybe_unused]] ssize_t n = ::write(_wakeWrite.get(), &byte, 1);
+    }
+}
+
+int
+Listener::boundPort() const
+{
+    return _tcp.valid() ? net::boundTcpPort(_tcp.get()) : -1;
+}
+
+std::vector<std::string>
+Listener::boundAddresses() const
+{
+    std::vector<std::string> out;
+    if (_tcp.valid())
+        out.push_back(strfmt("tcp:%s:%d", _host.c_str(), boundPort()));
+    if (_unix.valid())
+        out.push_back("unix:" + _unixPath);
+    return out;
+}
+
+void
+Listener::close()
+{
+    _tcp.reset();
+    if (_unix.valid()) {
+        _unix.reset();
+        ::unlink(_unixPath.c_str());
+    }
+    // The self-pipe stays open until destruction: a signal arriving
+    // after close() must still find a valid fd to write to.
+}
+
+} // namespace momsim::svc

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Listener — the accept side of `momsim serve`: owns the listening
+ * sockets (TCP loopback-by-default and/or unix-domain) plus a self-
+ * pipe, and multiplexes them with poll() so a signal handler can wake
+ * the accept loop instantly for graceful drain.
+ *
+ * Pure transport: no simulator or service knowledge. The serve loop
+ * composes it with Connection (per-client thread) and SimService.
+ */
+
+#ifndef MOMSIM_SVC_LISTENER_HH
+#define MOMSIM_SVC_LISTENER_HH
+
+#include <string>
+#include <vector>
+
+#include "common/net.hh"
+
+namespace momsim::svc
+{
+
+class Listener
+{
+  public:
+    struct Options
+    {
+        /** TCP port to listen on; -1 = no TCP, 0 = ephemeral. */
+        int tcpPort = -1;
+        /** TCP bind address. Loopback by default: exposing a
+         *  simulation farm beyond the host is an explicit choice. */
+        std::string host = "127.0.0.1";
+        /** Unix-domain socket path; empty = no unix listener. */
+        std::string unixPath;
+    };
+
+    Listener() = default;
+    ~Listener() { close(); }
+
+    Listener(const Listener &) = delete;
+    Listener &operator=(const Listener &) = delete;
+
+    /** Bind + listen on every configured address. False (with
+     *  @p error) if options name no address or any bind fails. */
+    bool open(const Options &opts, std::string &error);
+
+    /**
+     * Block until a client connects or wake() / a shutdown signal
+     * fires. Returns the connected fd (caller owns it), or -1 when
+     * the loop should stop accepting.
+     */
+    int acceptClient();
+
+    /** Make a pending or future acceptClient() return -1. */
+    void wake();
+
+    /** Write end of the self-pipe, for installShutdownSignals(). */
+    int wakeWriteFd() const { return _wakeWrite.get(); }
+
+    /** The TCP port actually bound (after port 0), or -1. */
+    int boundPort() const;
+
+    /** Human/machine-readable bound addresses: "tcp:HOST:PORT",
+     *  "unix:PATH" — the lines `--ready-file` publishes. */
+    std::vector<std::string> boundAddresses() const;
+
+    /** Close the listening sockets and unlink the unix path. Accepted
+     *  connections are unaffected. Idempotent. */
+    void close();
+
+  private:
+    net::FdGuard _tcp;
+    net::FdGuard _unix;
+    net::FdGuard _wakeRead;
+    net::FdGuard _wakeWrite;
+    std::string _host;
+    std::string _unixPath;
+};
+
+} // namespace momsim::svc
+
+#endif // MOMSIM_SVC_LISTENER_HH

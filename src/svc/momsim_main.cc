@@ -11,35 +11,42 @@
  *   momsim batch [...]       read JSONL SimRequests on stdin, execute
  *                            them through one shared SimService with
  *                            concurrent client threads, stream JSONL
- *                            SimResponses to stdout in input order —
- *                            the first traffic-serving entry point
+ *                            SimResponses to stdout in input order
+ *   momsim serve [...]       the same service as a long-lived daemon:
+ *                            JSONL per connection over TCP and/or a
+ *                            unix socket, warm across requests
+ *   momsim client [...]      loopback client for serve (stdin -> wire
+ *                            -> stdout); also the test harness's tool
  *
  * batch flags:
  *   --jobs N      simulation pool workers (default: all hardware)
  *   --parallel M  concurrent client submitters (default 2; capped 16)
+ *   --client C    client tag echoed in every response (default none)
  *   --no-timing   zero wallMs/sim_kcps in responses so identical
  *                 request streams produce byte-identical output (the
  *                 batch determinism gate runs this)
  *
- * Responses are emitted strictly in request order, tagged with each
- * request's echoed id, so output is deterministic no matter how the
- * submitters interleave; a malformed line produces an error response
- * in its slot rather than aborting the stream.
+ * batch and serve are two transports over one state machine
+ * (svc/sequencer.hh): responses are emitted strictly in request
+ * order, tagged with each request's echoed id (salvaged from the
+ * line even when it does not parse), so output is deterministic no
+ * matter how the submitters interleave; a malformed line produces an
+ * error response in its slot rather than aborting the stream; SIGPIPE
+ * is ignored and a dead output pipe drains the remaining input
+ * without simulating it.
  */
 
-#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <deque>
-#include <map>
-#include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/net.hh"
 #include "svc/bench_registry.hh"
+#include "svc/sequencer.hh"
+#include "svc/serve_main.hh"
 #include "svc/sim_service.hh"
 
 namespace momsim::svc
@@ -60,6 +67,10 @@ usage(std::FILE *to, int rc)
                  "  list          print the bench registry\n"
                  "  help [bench]  flag table and per-bench usage\n"
                  "  batch         serve JSONL SimRequests from stdin\n"
+                 "  serve         long-lived JSONL daemon (TCP/unix "
+                 "socket)\n"
+                 "  client        stream stdin to a momsim serve "
+                 "daemon\n"
                  "\n"
                  "run `momsim help` for the shared bench flags.\n");
     return rc;
@@ -74,7 +85,8 @@ runList()
         std::printf("  %-15s %-34s %s\n", def.name.c_str(),
                     def.oldBinary.c_str(), def.summary.c_str());
     }
-    std::printf("\nplus: batch (JSONL request server), help, list\n");
+    std::printf("\nplus: batch (JSONL request server), serve (socket "
+                "daemon), client, help, list\n");
     return 0;
 }
 
@@ -87,13 +99,15 @@ runHelp(int argc, char **argv)
                 "momsim batch — serve JSONL SimRequests from stdin\n"
                 "\n"
                 "usage: momsim batch [--jobs N] [--parallel M] "
-                "[--no-timing]\n"
+                "[--client C] [--no-timing]\n"
                 "\n"
                 "flags:\n"
                 "  --jobs, -j N     simulation pool workers (default: "
                 "all hardware)\n"
                 "  --parallel M     concurrent client submitters "
                 "(default 2, max 16)\n"
+                "  --client C       client tag echoed in every "
+                "response (default none)\n"
                 "  --no-timing      zero wallMs/sim_kcps in responses "
                 "so identical\n"
                 "                   request streams emit byte-identical "
@@ -105,6 +119,60 @@ runHelp(int argc, char **argv)
                 "Malformed lines produce ok:false responses in their "
                 "slot.\n",
                 kSimRequestSchemaVersion);
+            return 0;
+        }
+        if (std::strcmp(argv[0], "serve") == 0) {
+            std::printf(
+                "momsim serve — long-lived SimRequest daemon over TCP "
+                "and/or a unix socket\n"
+                "\n"
+                "usage: momsim serve (--port N [--host H] | --unix "
+                "PATH) [flags]\n"
+                "\n"
+                "flags:\n"
+                "  --port N         listen on TCP HOST:N (0 = pick an "
+                "ephemeral port)\n"
+                "  --host H         TCP bind address (default "
+                "127.0.0.1)\n"
+                "  --unix PATH      listen on a unix-domain socket\n"
+                "  --jobs, -j N     simulation pool workers (default: "
+                "all hardware)\n"
+                "  --parallel M     submitter threads per connection "
+                "(default 2, max 16)\n"
+                "  --max-clients N  concurrent connections before "
+                "shedding (default 32)\n"
+                "  --max-pending N  per-connection admission queue "
+                "bound (default 2*M+8)\n"
+                "  --cache-dir DIR  persistent result store shared "
+                "across all requests\n"
+                "  --ready-file P   write the bound addresses to P "
+                "once listening\n"
+                "  --no-timing      zero wall-clock fields (byte-"
+                "stable responses)\n"
+                "\n"
+                "Wire format: one SimRequest JSON object per line in, "
+                "one SimResponse\nper line out, in request order per "
+                "connection. Responses carry a\n\"client\" tag (the "
+                "request's own, or the connection's id). Over quota\n"
+                "the server answers ok:false code:overloaded instead "
+                "of stalling.\nSIGINT/SIGTERM drains gracefully: stop "
+                "accepting, finish in-flight\nrequests, flush, exit 0 "
+                "(second signal: stop reading new requests).\n");
+            return 0;
+        }
+        if (std::strcmp(argv[0], "client") == 0) {
+            std::printf(
+                "momsim client — stream JSONL requests to a momsim "
+                "serve daemon\n"
+                "\n"
+                "usage: momsim client (--connect HOST:PORT | --unix "
+                "PATH) [--abort]\n"
+                "\n"
+                "Sends stdin to the server (half-closing at EOF) and "
+                "prints response\nlines to stdout until the server "
+                "finishes. --abort resets the\nconnection after "
+                "sending without reading responses (fault-injection\n"
+                "for the disconnect-hardening tests).\n");
             return 0;
         }
         const BenchDef *def = findBench(argv[0]);
@@ -129,11 +197,12 @@ runHelp(int argc, char **argv)
 }
 
 /**
- * The JSONL request loop. The main thread reads stdin and feeds a
- * bounded queue; M submitter threads call SimService::submit (the
- * service serializes actual pool use — M buys request pipelining and
+ * The JSONL request loop: stdin/stdout as a transport over the shared
+ * ResponseSequencer. The main thread reads stdin and push()es lines;
+ * the sequencer's M submitters call SimService::submit (the service
+ * serializes actual pool use — M buys request pipelining and
  * exercises the concurrent-submit contract, not extra simulation
- * parallelism); one emitter thread writes responses in sequence order.
+ * parallelism) and its emitter writes responses in sequence order.
  */
 int
 runBatch(int argc, char **argv)
@@ -141,6 +210,7 @@ runBatch(int argc, char **argv)
     int jobs = 0;
     int parallel = 2;
     bool withTiming = true;
+    std::string clientTag;
     for (int i = 0; i < argc; ++i) {
         const char *arg = argv[i];
         // Strict like the bench flags: the whole token must be a
@@ -173,6 +243,13 @@ runBatch(int argc, char **argv)
                 return 2;
             if (parallel > 16)
                 parallel = 16;
+        } else if (std::strcmp(arg, "--client") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "momsim batch: --client expects a value\n");
+                return 2;
+            }
+            clientTag = argv[++i];
         } else if (std::strcmp(arg, "--no-timing") == 0) {
             withTiming = false;
         } else {
@@ -182,124 +259,60 @@ runBatch(int argc, char **argv)
         }
     }
 
+    // A downstream consumer closing the pipe must surface as a write
+    // error the emitter handles, not a SIGPIPE kill mid-stream.
+    net::ignoreSigpipe();
+
     SimServiceConfig cfg;
     cfg.jobs = jobs;
     SimService service(cfg);
 
-    struct Item
-    {
-        size_t seq;
-        std::string line;
+    ResponseSequencer::Config scfg;
+    scfg.submit = [&service](const SimRequest &req) {
+        return service.submit(req);
     };
-
-    std::mutex mutex;
-    std::condition_variable workCv;   // submitters wait for input
-    std::condition_variable emitCv;   // emitter waits for responses
-    std::condition_variable spaceCv;  // reader waits for queue space
-    std::deque<Item> pending;
-    std::map<size_t, std::string> ready;    // seq -> response JSON
-    bool inputDone = false;
-    size_t accepted = 0;
-    // Bound the input backlog so a huge request stream against a slow
-    // sweep cannot grow memory with the whole unread file; the reader
-    // blocks once the submitters fall this far behind.
-    const size_t maxPending = static_cast<size_t>(2 * parallel) + 8;
-
-    auto submitLoop = [&]() {
-        for (;;) {
-            Item item;
-            {
-                std::unique_lock<std::mutex> lock(mutex);
-                workCv.wait(lock, [&] {
-                    return !pending.empty() || inputDone;
-                });
-                if (pending.empty())
-                    return;
-                item = std::move(pending.front());
-                pending.pop_front();
-            }
-            spaceCv.notify_one();
-            SimRequest req;
-            std::string error;
-            std::string json;
-            if (SimRequest::fromJson(item.line, req, error)) {
-                json = service.submit(req).toJson(withTiming);
-            } else {
-                json = SimResponse::failure("", errc::kBadRequest, error)
-                           .toJson(withTiming);
-            }
-            {
-                std::lock_guard<std::mutex> lock(mutex);
-                ready.emplace(item.seq, std::move(json));
-            }
-            emitCv.notify_one();
-        }
+    scfg.emit = [](const std::string &line) {
+        // In-order, line-buffered: each response is one line, flushed,
+        // so a streaming client sees it as soon as its turn comes.
+        if (std::fwrite(line.data(), 1, line.size(), stdout) !=
+            line.size())
+            return false;
+        if (std::fputc('\n', stdout) == EOF)
+            return false;
+        return std::fflush(stdout) == 0;
     };
-
-    auto emitLoop = [&]() {
-        size_t next = 0;
-        for (;;) {
-            std::string json;
-            {
-                std::unique_lock<std::mutex> lock(mutex);
-                emitCv.wait(lock, [&] {
-                    return ready.count(next) != 0 ||
-                           (inputDone && pending.empty() &&
-                            next >= accepted);
-                });
-                auto it = ready.find(next);
-                if (it == ready.end())
-                    return;     // all input drained and emitted
-                json = std::move(it->second);
-                ready.erase(it);
-            }
-            // In-order, line-buffered: each response is one line,
-            // flushed, so a streaming client sees it as soon as its
-            // turn comes.
-            std::fwrite(json.data(), 1, json.size(), stdout);
-            std::fputc('\n', stdout);
-            std::fflush(stdout);
-            ++next;
-        }
-    };
-
-    std::vector<std::thread> submitters;
-    for (int i = 0; i < parallel; ++i)
-        submitters.emplace_back(submitLoop);
-    std::thread emitter(emitLoop);
+    scfg.parallel = parallel;
+    scfg.shedOnFull = false;    // stdin backpressure, never shed
+    scfg.withTiming = withTiming;
+    scfg.clientTag = clientTag;
+    ResponseSequencer seq(scfg);
 
     // The main thread is the reader: one request per input line; blank
     // lines are skipped (convenient for hand-written request files).
     std::string line;
     int c;
-    auto dispatch = [&]() {
-        if (line.empty())
-            return;
-        {
-            std::unique_lock<std::mutex> lock(mutex);
-            spaceCv.wait(lock,
-                         [&] { return pending.size() < maxPending; });
-            pending.push_back({ accepted++, std::move(line) });
-        }
-        workCv.notify_one();
-        line.clear();
-    };
     while ((c = std::fgetc(stdin)) != EOF) {
-        if (c == '\n')
-            dispatch();
-        else
+        if (c == '\n') {
+            seq.push(std::move(line));
+            line.clear();
+            if (seq.writeFailed())
+                break;  // undeliverable: drain, don't simulate
+        } else {
             line += static_cast<char>(c);
+        }
     }
-    dispatch();     // a final line without trailing newline
-    {
-        std::lock_guard<std::mutex> lock(mutex);
-        inputDone = true;
+    seq.push(std::move(line));  // a final line without trailing newline
+    seq.finish();
+
+    if (seq.writeFailed()) {
+        std::fprintf(stderr,
+                     "momsim batch: stdout write failed (consumer "
+                     "closed the pipe?); emitted %zu of %zu accepted "
+                     "response(s), remaining input dropped without "
+                     "simulating\n",
+                     seq.emitted(), seq.accepted());
+        return 1;
     }
-    workCv.notify_all();
-    for (std::thread &t : submitters)
-        t.join();
-    emitCv.notify_all();
-    emitter.join();
     return 0;
 }
 
@@ -335,6 +348,10 @@ main(int argc, char **argv)
         return runHelp(argc - 2, argv + 2);
     if (std::strcmp(cmd, "batch") == 0)
         return runBatch(argc - 2, argv + 2);
+    if (std::strcmp(cmd, "serve") == 0)
+        return runServe(argc - 2, argv + 2);
+    if (std::strcmp(cmd, "client") == 0)
+        return runClient(argc - 2, argv + 2);
     if (const BenchDef *def = findBench(cmd))
         return runRegistered(*def, argc - 2, argv + 2);
     std::fprintf(stderr, "momsim: unknown command '%s'\n\n", cmd);

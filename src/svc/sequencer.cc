@@ -1,0 +1,192 @@
+#include "svc/sequencer.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace momsim::svc
+{
+
+ResponseSequencer::ResponseSequencer(Config cfg) : _cfg(std::move(cfg))
+{
+    _cfg.parallel = std::max(1, std::min(16, _cfg.parallel));
+    if (_cfg.maxPending == 0) {
+        // The PR 5 batch bound: enough backlog to keep the submitters
+        // busy, small enough that a huge stream against a slow sweep
+        // cannot pull the whole unread input into memory.
+        _cfg.maxPending = static_cast<size_t>(2 * _cfg.parallel) + 8;
+    }
+    for (int i = 0; i < _cfg.parallel; ++i)
+        _submitters.emplace_back([this] { submitLoop(); });
+    _emitter = std::thread([this] { emitLoop(); });
+}
+
+ResponseSequencer::~ResponseSequencer()
+{
+    finish();
+}
+
+void
+ResponseSequencer::push(std::string line)
+{
+    if (line.empty())
+        return;
+    bool shed = false;
+    {
+        std::unique_lock<std::mutex> lock(_mutex);
+        if (_writeFailed.load(std::memory_order_relaxed))
+            return;     // nothing pushed now can ever be delivered
+        if (_cfg.shedOnFull) {
+            shed = _pending.size() >= _cfg.maxPending;
+        } else {
+            _spaceCv.wait(lock, [&] {
+                return _pending.size() < _cfg.maxPending ||
+                       _writeFailed.load(std::memory_order_relaxed);
+            });
+            if (_writeFailed.load(std::memory_order_relaxed))
+                return;
+        }
+        if (shed) {
+            // Answer in-slot without executing: the structured
+            // kOverloaded error keeps the response stream in input
+            // order and tells the client the request was never run.
+            SimResponse resp = SimResponse::failure(
+                salvageTopLevelId(line), errc::kOverloaded,
+                strfmt("request queue full (max %zu pending); request "
+                       "not executed", _cfg.maxPending));
+            resp.client = _cfg.clientTag;
+            _ready.emplace(_accepted++, resp.toJson(_cfg.withTiming));
+            ++_shed;
+        } else {
+            _pending.push_back({ _accepted++, std::move(line) });
+        }
+    }
+    if (shed)
+        _emitCv.notify_one();
+    else
+        _workCv.notify_one();
+}
+
+void
+ResponseSequencer::submitLoop()
+{
+    for (;;) {
+        Item item;
+        {
+            std::unique_lock<std::mutex> lock(_mutex);
+            _workCv.wait(lock, [&] {
+                return !_pending.empty() || _inputDone;
+            });
+            if (_pending.empty())
+                return;
+            item = std::move(_pending.front());
+            _pending.pop_front();
+        }
+        _spaceCv.notify_one();
+        // Once delivery is dead there is no point simulating: drain
+        // the queue so finish() completes, but skip the work.
+        std::string json;
+        bool produced = false;
+        if (!_writeFailed.load(std::memory_order_acquire)) {
+            SimRequest req;
+            std::string error;
+            SimResponse resp;
+            if (SimRequest::fromJson(item.line, req, error)) {
+                resp = _cfg.submit(req);
+                resp.client =
+                    req.client.empty() ? _cfg.clientTag : req.client;
+            } else {
+                resp = SimResponse::failure(salvageTopLevelId(item.line),
+                                            errc::kBadRequest, error);
+                resp.client = _cfg.clientTag;
+            }
+            json = resp.toJson(_cfg.withTiming);
+            produced = true;
+        }
+        {
+            std::lock_guard<std::mutex> lock(_mutex);
+            // Even a dropped item claims its slot (empty marker) so
+            // the emitter's in-order cursor can pass it.
+            _ready.emplace(item.seq,
+                           produced ? std::move(json) : std::string());
+        }
+        _emitCv.notify_one();
+    }
+}
+
+void
+ResponseSequencer::emitLoop()
+{
+    size_t next = 0;
+    for (;;) {
+        std::string json;
+        {
+            std::unique_lock<std::mutex> lock(_mutex);
+            _emitCv.wait(lock, [&] {
+                return _ready.count(next) != 0 ||
+                       (_inputDone && _pending.empty() &&
+                        next >= _accepted);
+            });
+            auto it = _ready.find(next);
+            if (it == _ready.end())
+                return;     // all input drained and emitted
+            json = std::move(it->second);
+            _ready.erase(it);
+        }
+        ++next;
+        if (json.empty())
+            continue;   // slot dropped after delivery died
+        if (_cfg.emit(json)) {
+            std::lock_guard<std::mutex> lock(_mutex);
+            ++_emittedCount;
+            continue;
+        }
+        // Delivery is dead: flip to drain mode and wake everyone —
+        // a blocked push() must stop waiting for space and the
+        // submitters must stop simulating. The emitter keeps running
+        // only to retire remaining slots so finish() terminates.
+        _writeFailed.store(true, std::memory_order_release);
+        _spaceCv.notify_all();
+        _workCv.notify_all();
+    }
+}
+
+void
+ResponseSequencer::finish()
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        if (_finished)
+            return;
+        _finished = true;
+        _inputDone = true;
+    }
+    _workCv.notify_all();
+    for (std::thread &t : _submitters)
+        t.join();
+    _emitCv.notify_all();
+    _emitter.join();
+}
+
+size_t
+ResponseSequencer::accepted() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _accepted;
+}
+
+size_t
+ResponseSequencer::emitted() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _emittedCount;
+}
+
+size_t
+ResponseSequencer::shedCount() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _shed;
+}
+
+} // namespace momsim::svc

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * ResponseSequencer — the in-order request/response state machine
+ * shared by the two transports (`momsim batch` over stdin/stdout and
+ * `momsim serve` over sockets), extracted from the PR 5 batch loop so
+ * the transports cannot fork its semantics.
+ *
+ * One sequencer instance drives one input stream: the transport's
+ * reader thread push()es raw request lines; N submitter threads parse
+ * and execute them through the configured submit hook (SimService in
+ * production); one emitter thread hands finished responses to the
+ * emit hook strictly in input order, no matter how the submitters
+ * interleave. The pending queue is bounded (maxPending): in blocking
+ * mode (batch — stdin has natural backpressure) a full queue blocks
+ * push(); in shedding mode (serve — a stalled socket must not stall
+ * the daemon) a full queue answers the request immediately with a
+ * structured kOverloaded error in its sequence slot, without
+ * executing it.
+ *
+ * Delivery failure (emit returning false: the client closed the pipe
+ * or socket) flips the sequencer into drain mode — queued and future
+ * lines are discarded *without being simulated*, since their output
+ * can no longer be delivered, and the transport observes writeFailed()
+ * to stop reading.
+ *
+ * Error responses echo the request's id even when the line does not
+ * parse (salvageTopLevelId), so a client can always correlate a
+ * failure with the request that caused it.
+ */
+
+#ifndef MOMSIM_SVC_SEQUENCER_HH
+#define MOMSIM_SVC_SEQUENCER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/sim_request.hh"
+#include "svc/sim_response.hh"
+
+namespace momsim::svc
+{
+
+class ResponseSequencer
+{
+  public:
+    struct Config
+    {
+        /** Executes one parsed request (SimService::submit in
+         *  production; injectable for tests). Must be callable from
+         *  several submitter threads at once. */
+        std::function<SimResponse(const SimRequest &)> submit;
+
+        /** Delivers one serialized response line (no newline). Called
+         *  only from the emitter thread, strictly in input order.
+         *  Returning false marks delivery as dead. */
+        std::function<bool(const std::string &jsonLine)> emit;
+
+        int parallel = 2;       ///< submitter threads (clamped 1..16)
+        size_t maxPending = 0;  ///< input backlog bound; 0 => auto
+        bool shedOnFull = false; ///< true: kOverloaded instead of block
+        bool withTiming = true; ///< serialize wall-clock fields
+        std::string clientTag;  ///< default client id for responses
+    };
+
+    /** Starts the submitter and emitter threads immediately. */
+    explicit ResponseSequencer(Config cfg);
+
+    /** Implies finish() if the transport has not called it. */
+    ~ResponseSequencer();
+
+    ResponseSequencer(const ResponseSequencer &) = delete;
+    ResponseSequencer &operator=(const ResponseSequencer &) = delete;
+
+    /**
+     * Feed one raw input line (without its newline). Blank lines are
+     * skipped — convenient for hand-written request files and
+     * harmless on the wire. Blocking mode may wait for queue space;
+     * shedding mode never blocks.
+     */
+    void push(std::string line);
+
+    /**
+     * Input is exhausted (EOF / connection closed for reading): wait
+     * for every accepted request to be answered and emitted, then
+     * join all worker threads. Idempotent.
+     */
+    void finish();
+
+    /** Delivery died (emit returned false); reader should stop. */
+    bool writeFailed() const
+    {
+        return _writeFailed.load(std::memory_order_acquire);
+    }
+
+    size_t accepted() const;    ///< lines accepted (incl. shed slots)
+    size_t emitted() const;     ///< responses actually delivered
+    size_t shedCount() const;   ///< kOverloaded responses issued
+
+  private:
+    struct Item
+    {
+        size_t seq;
+        std::string line;
+    };
+
+    void submitLoop();
+    void emitLoop();
+
+    Config _cfg;
+
+    mutable std::mutex _mutex;
+    std::condition_variable _workCv;   ///< submitters wait for input
+    std::condition_variable _emitCv;   ///< emitter waits for responses
+    std::condition_variable _spaceCv;  ///< push() waits for queue space
+    std::deque<Item> _pending;
+    std::map<size_t, std::string> _ready;   ///< seq -> response JSON
+    bool _inputDone = false;
+    size_t _accepted = 0;
+    size_t _emittedCount = 0;
+    size_t _shed = 0;
+    std::atomic<bool> _writeFailed{ false };
+
+    std::vector<std::thread> _submitters;
+    std::thread _emitter;
+    bool _finished = false;
+};
+
+} // namespace momsim::svc
+
+#endif // MOMSIM_SVC_SEQUENCER_HH

@@ -82,6 +82,8 @@ SimRequest::toJson() const
     std::string out = "{";
     out += strfmt("\"schemaVersion\":%d,", kSimRequestSchemaVersion);
     out += "\"id\":" + jsonQuote(id) + ",";
+    if (!client.empty())
+        out += "\"client\":" + jsonQuote(client) + ",";
     out += "\"bench\":" + jsonQuote(bench) + ",";
     out += "\"workloads\":" + stringArray(workloads) + ",";
     out += "\"isas\":" + stringArray(isas) + ",";
@@ -135,16 +137,17 @@ SimRequest::fromJson(const std::string &json, SimRequest &out,
         const JsonValue &v = f.second;
         if (name == "schemaVersion") {
             continue;   // validated above
-        } else if (name == "id" || name == "bench" ||
-                   name == "cacheDir") {
+        } else if (name == "id" || name == "client" ||
+                   name == "bench" || name == "cacheDir") {
             if (!v.isString()) {
                 error = strfmt("field \"%s\" must be a string",
                                name.c_str());
                 return false;
             }
-            (name == "id" ? req.id
-                          : name == "bench" ? req.bench
-                                            : req.cacheDir) = v.text;
+            (name == "id"       ? req.id
+             : name == "client" ? req.client
+             : name == "bench"  ? req.bench
+                                : req.cacheDir) = v.text;
         } else if (name == "workloads") {
             if (!readStringArray(v, "workloads", req.workloads, error))
                 return false;
@@ -197,6 +200,94 @@ SimRequest::fromJson(const std::string &json, SimRequest &out,
     }
     out = std::move(req);
     return true;
+}
+
+namespace
+{
+
+/**
+ * Read one JSON string literal starting at the opening quote
+ * (line[pos] == '"'). On success leaves @p pos one past the closing
+ * quote and fills @p out with the unescaped value. Conservative: an
+ * unterminated string or an escape it does not understand fails, and
+ * the caller salvages nothing rather than something wrong.
+ */
+bool
+scanString(const std::string &line, size_t &pos, std::string &out)
+{
+    out.clear();
+    for (++pos; pos < line.size(); ++pos) {
+        char c = line[pos];
+        if (c == '"') {
+            ++pos;
+            return true;
+        }
+        if (c != '\\') {
+            out += c;
+            continue;
+        }
+        if (++pos >= line.size())
+            return false;
+        switch (line[pos]) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          default: return false;    // \uXXXX etc.: too clever to salvage
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+std::string
+salvageTopLevelId(const std::string &line)
+{
+    // Walk the line tracking brace/bracket depth and string literals;
+    // at depth 1, a string immediately followed by ':' is a key. The
+    // input is known-malformed somewhere, so the walk never trusts it:
+    // any string that fails to scan ends the salvage.
+    int depth = 0;
+    size_t pos = 0;
+    bool atKey = false;     // last token was a depth-1 key named "id"
+    while (pos < line.size()) {
+        char c = line[pos];
+        if (c == '"') {
+            std::string text;
+            if (!scanString(line, pos, text))
+                return "";
+            if (atKey)
+                return text;    // the value of a top-level "id" key
+            size_t look = pos;
+            while (look < line.size() &&
+                   std::isspace(static_cast<unsigned char>(line[look])))
+                ++look;
+            if (look < line.size() && line[look] == ':' && depth == 1 &&
+                text == "id") {
+                atKey = true;
+                pos = look + 1;
+                while (pos < line.size() &&
+                       std::isspace(
+                           static_cast<unsigned char>(line[pos])))
+                    ++pos;
+                // A non-string id ("id":3) is not salvageable as a tag.
+                if (pos >= line.size() || line[pos] != '"')
+                    return "";
+            }
+            continue;
+        }
+        if (c == '{' || c == '[')
+            ++depth;
+        else if (c == '}' || c == ']')
+            --depth;
+        ++pos;
+    }
+    return "";
 }
 
 } // namespace momsim::svc

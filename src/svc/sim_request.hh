@@ -36,6 +36,16 @@ struct SimRequest
     std::string id;
 
     /**
+     * Client identity echoed in the response's "client" field. A
+     * request that leaves it empty gets the transport's default tag
+     * (the connection's id under `momsim serve`, `--client` under
+     * `momsim batch`), so every response names which client's request
+     * produced it even when requests from many connections interleave
+     * in one server log.
+     */
+    std::string client;
+
+    /**
      * Registered bench name ("fig6", ...). Empty means the request
      * carries explicit axes instead; the two are mutually exclusive.
      */
@@ -71,6 +81,17 @@ struct SimRequest
     static bool fromJson(const std::string &json, SimRequest &out,
                          std::string &error);
 };
+
+/**
+ * Best-effort recovery of the top-level "id" string from a line that
+ * failed fromJson, so even the bad_request response for an unparseable
+ * request can echo the tag the client sent and be correlated. Lenient
+ * by design: scans for a top-level `"id": "<string>"` pair without
+ * requiring the rest of the line to be JSON at all; returns "" when no
+ * such pair can be salvaged. Never used on the success path — real
+ * parsing stays strict.
+ */
+std::string salvageTopLevelId(const std::string &line);
 
 } // namespace momsim::svc
 

@@ -13,6 +13,8 @@ SimResponse::toJson(bool withTiming) const
     std::string out = "{";
     out += strfmt("\"schemaVersion\":%d,", kSimResponseSchemaVersion);
     out += "\"id\":" + jsonQuote(id) + ",";
+    if (!client.empty())
+        out += "\"client\":" + jsonQuote(client) + ",";
     out += strfmt("\"ok\":%s,", ok ? "true" : "false");
     if (!ok) {
         out += "\"error\":{\"code\":" + jsonQuote(errorCode) +

@@ -49,11 +49,21 @@ constexpr const char *kBadAxis = "bad_axis";
 constexpr const char *kBadShard = "bad_shard";
 /** cacheDir could not be opened or its store not read. */
 constexpr const char *kCacheDir = "cache_dir";
+/** Load shed: admission queue full or --max-clients reached. The
+ *  request was NOT executed; retry against a less-loaded server. */
+constexpr const char *kOverloaded = "overloaded";
 } // namespace errc
 
 struct SimResponse
 {
     std::string id;             ///< echo of SimRequest.id
+    /**
+     * The client this response answers: the request's own client tag,
+     * or the transport's default (connection id under `momsim serve`,
+     * `--client` under `momsim batch`). Serialized only when non-empty
+     * so untagged single-client streams keep the original wire shape.
+     */
+    std::string client;
     bool ok = false;
 
     // ---- failure (valid when !ok) ----

@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "driver/result_store.hh"
+#include "svc/axis_parse.hh"
 #include "svc/bench_registry.hh"
 #include "workloads/workload_spec.hh"
 
@@ -20,54 +21,6 @@ nowMs()
     return std::chrono::duration<double, std::milli>(
                clock::now().time_since_epoch())
         .count();
-}
-
-/**
- * Request-friendly axis spellings. The result store's fromString
- * parsers accept exactly the serialization tokens ("MMX", "RR", ...);
- * the API boundary additionally takes the lowercase names clients
- * naturally write, without touching the store's strict round-trip.
- */
-bool
-parseIsa(const std::string &s, isa::SimdIsa &out)
-{
-    if (s == "mmx" || s == "MMX") {
-        out = isa::SimdIsa::Mmx;
-        return true;
-    }
-    if (s == "mom" || s == "MOM") {
-        out = isa::SimdIsa::Mom;
-        return true;
-    }
-    return false;
-}
-
-bool
-parseMemModel(const std::string &s, mem::MemModel &out)
-{
-    return mem::fromString(s.c_str(), out);
-}
-
-bool
-parsePolicy(const std::string &s, cpu::FetchPolicy &out)
-{
-    if (s == "rr" || s == "RR" || s == "round-robin") {
-        out = cpu::FetchPolicy::RoundRobin;
-        return true;
-    }
-    if (s == "ic" || s == "IC" || s == "icount") {
-        out = cpu::FetchPolicy::ICount;
-        return true;
-    }
-    if (s == "oc" || s == "OC" || s == "ocount") {
-        out = cpu::FetchPolicy::OCount;
-        return true;
-    }
-    if (s == "bl" || s == "BL" || s == "balance") {
-        out = cpu::FetchPolicy::Balance;
-        return true;
-    }
-    return false;
 }
 
 } // namespace
@@ -140,7 +93,7 @@ SimService::resolveGrid(const SimRequest &req, driver::SweepGrid &grid,
     std::vector<isa::SimdIsa> isas;
     for (const std::string &s : req.isas) {
         isa::SimdIsa v;
-        if (!parseIsa(s, v)) {
+        if (!parseIsaToken(s, v)) {
             error = SimResponse::failure(
                 req.id, errc::kBadAxis,
                 strfmt("unknown isa \"%s\"", s.c_str()));
@@ -153,7 +106,7 @@ SimService::resolveGrid(const SimRequest &req, driver::SweepGrid &grid,
     std::vector<mem::MemModel> mems;
     for (const std::string &s : req.memModels) {
         mem::MemModel v;
-        if (!parseMemModel(s, v)) {
+        if (!parseMemModelToken(s, v)) {
             error = SimResponse::failure(
                 req.id, errc::kBadAxis,
                 strfmt("unknown memModel \"%s\"", s.c_str()));
@@ -166,7 +119,7 @@ SimService::resolveGrid(const SimRequest &req, driver::SweepGrid &grid,
     std::vector<cpu::FetchPolicy> policies;
     for (const std::string &s : req.policies) {
         cpu::FetchPolicy v;
-        if (!parsePolicy(s, v)) {
+        if (!parsePolicyToken(s, v)) {
             error = SimResponse::failure(
                 req.id, errc::kBadAxis,
                 strfmt("unknown policy \"%s\"", s.c_str()));
@@ -251,12 +204,27 @@ SimService::submit(const SimRequest &req)
     // ---- execution (serialized: parallelFor is not reentrant) ----
     std::lock_guard<std::mutex> lock(_runMutex);
 
-    driver::ResultStore store;
-    const bool persist = !req.cacheDir.empty();
-    if (persist && !store.openDir(req.cacheDir)) {
-        return SimResponse::failure(
-            req.id, errc::kCacheDir,
-            strfmt("cannot open cacheDir \"%s\"", req.cacheDir.c_str()));
+    // Store selection: a request naming its own cacheDir gets that
+    // store (the service-lifetime one if the dirs coincide — two open
+    // appenders on one file would interleave rows); a request naming
+    // none inherits the service's shared store when openCache() bound
+    // one, which is how a warm daemon turns repeat traffic into cache
+    // replays instead of simulations.
+    driver::ResultStore localStore;
+    driver::ResultStore *store = nullptr;
+    if (!req.cacheDir.empty()) {
+        if (_sharedStore && req.cacheDir == _sharedDir) {
+            store = _sharedStore.get();
+        } else if (localStore.openDir(req.cacheDir)) {
+            store = &localStore;
+        } else {
+            return SimResponse::failure(
+                req.id, errc::kCacheDir,
+                strfmt("cannot open cacheDir \"%s\"",
+                       req.cacheDir.c_str()));
+        }
+    } else if (_sharedStore) {
+        store = _sharedStore.get();
     }
 
     workloads::WorkloadRepo &repo = this->repo(req.quick);
@@ -266,11 +234,11 @@ SimService::submit(const SimRequest &req)
     });
 
     driver::RunPlan plan =
-        planSweep(grid.expand(req.seed), repo, persist ? &store : nullptr,
+        planSweep(grid.expand(req.seed), repo, store,
                   req.shardIndex - 1, req.shardCount);
 
     driver::ExperimentRunner runner(repo, _pool);
-    driver::ResultSink sink = runner.run(plan, persist ? &store : nullptr);
+    driver::ResultSink sink = runner.run(plan, store);
 
     SimResponse resp;
     resp.id = req.id;
@@ -282,6 +250,27 @@ SimService::submit(const SimRequest &req)
     resp.rows = sink.rows();
     resp.wallMs = nowMs() - t0;
     return resp;
+}
+
+bool
+SimService::openCache(const std::string &dir, std::string &error)
+{
+    std::lock_guard<std::mutex> lock(_runMutex);
+    auto store = std::make_unique<driver::ResultStore>();
+    if (!store->openDir(dir)) {
+        error = strfmt("cannot open cache dir \"%s\"", dir.c_str());
+        return false;
+    }
+    _sharedStore = std::move(store);
+    _sharedDir = dir;
+    return true;
+}
+
+std::string
+SimService::cacheDir() const
+{
+    std::lock_guard<std::mutex> lock(_runMutex);
+    return _sharedDir;
 }
 
 } // namespace momsim::svc

@@ -23,9 +23,12 @@
 #ifndef MOMSIM_SVC_SIM_SERVICE_HH
 #define MOMSIM_SVC_SIM_SERVICE_HH
 
+#include <memory>
 #include <mutex>
+#include <string>
 
 #include "driver/experiment.hh"
+#include "driver/result_store.hh"
 #include "driver/thread_pool.hh"
 #include "svc/sim_request.hh"
 #include "svc/sim_response.hh"
@@ -55,6 +58,21 @@ class SimService
      */
     SimResponse submit(const SimRequest &req);
 
+    /**
+     * Open (or create) @p dir as the service-lifetime result store.
+     * Requests that name no cacheDir of their own — and requests
+     * naming this same dir — then share one warm store: rows cached
+     * by any earlier request (or a previous process) replay instead
+     * of re-simulating, the amortization a long-lived daemon exists
+     * for. Requests naming a *different* cacheDir still get their own
+     * per-request store, as before. Thread-safe; false + @p error if
+     * the directory cannot be opened.
+     */
+    bool openCache(const std::string &dir, std::string &error);
+
+    /** The directory openCache() bound, or "" when none. */
+    std::string cacheDir() const;
+
     /** The shared pool (for clients that also run their own loops). */
     driver::ThreadPool &pool() { return _pool; }
 
@@ -72,7 +90,11 @@ class SimService
     driver::ThreadPool _pool;
     workloads::WorkloadRepo _paperRepo;
     workloads::WorkloadRepo _tinyRepo;
-    std::mutex _runMutex;       ///< serializes pool use across clients
+    mutable std::mutex _runMutex;       ///< serializes pool use across clients
+
+    // The service-lifetime store (openCache); used under _runMutex.
+    std::unique_ptr<driver::ResultStore> _sharedStore;
+    std::string _sharedDir;
 };
 
 } // namespace momsim::svc

@@ -1,0 +1,116 @@
+#!/usr/bin/env bash
+# serve_equivalence — the acceptance gate for `momsim serve`:
+#
+#  (1) the same request stream answered via `momsim batch --no-timing`
+#      and via a loopback `momsim client` against a running daemon is
+#      byte-identical (batch and serve are two transports over one
+#      SimService + ResponseSequencer);
+#  (2) an abrupt client disconnect (`momsim client --abort`: send all,
+#      RST without reading) must not take the daemon down — the next
+#      client is served normally, still byte-identical;
+#  (3) both transports work on one daemon: unix socket and TCP
+#      (ephemeral port published through --ready-file);
+#  (4) SIGTERM with a connection in flight drains gracefully: the
+#      in-flight request is answered, the daemon exits 0.
+#
+# Usage: serve_equivalence.sh <momsim-binary> <workdir>
+set -u
+
+MOMSIM=$1
+WORKDIR=${2:-.}
+dir="$WORKDIR/serve_equivalence"
+rm -rf "$dir"
+mkdir -p "$dir"
+
+server_pid=""
+fail() {
+    echo "serve_equivalence: FAIL: $*" >&2
+    [ -n "$server_pid" ] && kill -9 "$server_pid" 2>/dev/null
+    exit 1
+}
+
+# The stream exercises the ok path, a structured error and a malformed
+# line with a salvageable id — all three must cross the wire intact.
+cat > "$dir/requests.jsonl" <<'EOF'
+{"schemaVersion":1,"id":"eq-axes","isas":["mmx","mom"],"threads":[1],"memModels":["perfect"],"quick":true,"maxCycles":100000}
+{"schemaVersion":1,"id":"eq-bad","workloads":["nonsense"],"quick":true}
+{"id":"eq-mangled", this line is not json
+EOF
+
+# ---- reference runs: batch with the tags serve will auto-assign ----
+# Daemon connections are tagged c<serial> in accept order; the batch
+# runs below pin the same tags so each comparison is byte-for-byte.
+for tag in c1 c3 c4; do
+    timeout 120 "$MOMSIM" batch --no-timing --client "$tag" \
+        < "$dir/requests.jsonl" > "$dir/batch.$tag.out" \
+        2> "$dir/batch.$tag.err" \
+        || fail "momsim batch --client $tag exited $?"
+done
+
+# ---- start one daemon on both transports ----
+sock="$dir/momsim.sock"
+ready="$dir/ready"
+"$MOMSIM" serve --unix "$sock" --port 0 --no-timing \
+    --ready-file "$ready" 2> "$dir/serve.err" &
+server_pid=$!
+
+for _ in $(seq 1 200); do
+    [ -f "$ready" ] && break
+    kill -0 "$server_pid" 2>/dev/null \
+        || fail "daemon died during startup (see $dir/serve.err)"
+    sleep 0.05
+done
+[ -f "$ready" ] || fail "daemon never wrote --ready-file"
+port=$(sed -n 's/^tcp:127\.0\.0\.1:\([0-9]*\)$/\1/p' "$ready")
+[ -n "$port" ] || fail "no tcp address in ready file: $(cat "$ready")"
+
+# ---- (1) connection 1: unix loopback, byte-identical to batch ----
+timeout 120 "$MOMSIM" client --unix "$sock" \
+    < "$dir/requests.jsonl" > "$dir/serve.c1.out" \
+    || fail "client (unix) exited $?"
+cmp -s "$dir/batch.c1.out" "$dir/serve.c1.out" \
+    || fail "serve (unix) differs from batch (see $dir/batch.c1.out vs $dir/serve.c1.out)"
+
+# ---- (2) connection 2: abrupt disconnect; connection 3 must still
+#          be served, byte-identically ----
+timeout 120 "$MOMSIM" client --unix "$sock" --abort \
+    < "$dir/requests.jsonl" || fail "client --abort exited $?"
+kill -0 "$server_pid" 2>/dev/null \
+    || fail "daemon died after abrupt client disconnect"
+timeout 120 "$MOMSIM" client --unix "$sock" \
+    < "$dir/requests.jsonl" > "$dir/serve.c3.out" \
+    || fail "client (after abort) exited $?"
+cmp -s "$dir/batch.c3.out" "$dir/serve.c3.out" \
+    || fail "serve after abrupt disconnect differs from batch"
+
+# ---- (3) connection 4: same daemon over TCP ----
+timeout 120 "$MOMSIM" client --connect "127.0.0.1:$port" \
+    < "$dir/requests.jsonl" > "$dir/serve.c4.out" \
+    || fail "client (tcp) exited $?"
+cmp -s "$dir/batch.c4.out" "$dir/serve.c4.out" \
+    || fail "serve (tcp) differs from batch"
+
+# ---- (4) SIGTERM with a request in flight: answered, exit 0 ----
+fifo="$dir/fifo"
+mkfifo "$fifo"
+timeout 120 "$MOMSIM" client --unix "$sock" \
+    < "$fifo" > "$dir/drain.out" &
+client_pid=$!
+exec 3> "$fifo"     # hold the write end open: connection stays live
+printf '%s\n' '{"schemaVersion":1,"id":"drain-1","isas":["mmx"],"threads":[1],"memModels":["perfect"],"quick":true,"maxCycles":100000}' >&3
+sleep 0.3           # let the request reach the daemon
+kill -TERM "$server_pid"
+sleep 0.3
+exec 3>&-           # client EOF: the connection can now drain
+wait "$client_pid" || fail "drain client exited non-zero"
+wait "$server_pid"
+rc=$?
+[ "$rc" -eq 0 ] || fail "daemon exited $rc after SIGTERM drain (see $dir/serve.err)"
+server_pid=""
+grep -q '"id":"drain-1"' "$dir/drain.out" \
+    || fail "in-flight request dropped during drain (see $dir/drain.out)"
+grep -q '"ok":true' "$dir/drain.out" \
+    || fail "in-flight request failed during drain (see $dir/drain.out)"
+[ -S "$sock" ] && fail "daemon left its unix socket behind"
+
+echo "serve_equivalence: batch==serve (unix+tcp), abrupt disconnect survived, SIGTERM drained in-flight work, exit 0"

@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "svc/axis_parse.hh"
 #include "svc/bench_registry.hh"
 #include "svc/json.hh"
 #include "svc/sim_request.hh"
@@ -394,6 +395,150 @@ TEST(SimService, BenchRequestRunsTheRegisteredGrid)
     EXPECT_EQ(resp.rows.size(), 28u);
     // Row ids carry the canonical sweep coordinates.
     EXPECT_EQ(resp.rows[0].workload, "paper");
+}
+
+// ---------------------------------------------------------------------
+// Axis token parsing (case-insensitive across all three axes)
+// ---------------------------------------------------------------------
+
+TEST(AxisParse, AcceptsEveryAxisTokenCaseInsensitively)
+{
+    isa::SimdIsa isa;
+    for (const char *s : { "mmx", "Mmx", "MMX" }) {
+        EXPECT_TRUE(parseIsaToken(s, isa)) << s;
+        EXPECT_EQ(isa, isa::SimdIsa::Mmx) << s;
+    }
+    for (const char *s : { "mom", "MOM", "MoM" }) {
+        EXPECT_TRUE(parseIsaToken(s, isa)) << s;
+        EXPECT_EQ(isa, isa::SimdIsa::Mom) << s;
+    }
+
+    mem::MemModel mm;
+    for (const char *s : { "perfect", "Perfect", "PERFECT" }) {
+        EXPECT_TRUE(parseMemModelToken(s, mm)) << s;
+        EXPECT_EQ(mm, mem::MemModel::Perfect) << s;
+    }
+    EXPECT_TRUE(parseMemModelToken("CONVENTIONAL", mm));
+    EXPECT_EQ(mm, mem::MemModel::Conventional);
+    EXPECT_TRUE(parseMemModelToken("Decoupled", mm));
+    EXPECT_EQ(mm, mem::MemModel::Decoupled);
+
+    cpu::FetchPolicy fp;
+    for (const char *s : { "rr", "RR", "round-robin", "Round-Robin" }) {
+        EXPECT_TRUE(parsePolicyToken(s, fp)) << s;
+        EXPECT_EQ(fp, cpu::FetchPolicy::RoundRobin) << s;
+    }
+    for (const char *s : { "ic", "ICount", "icount" }) {
+        EXPECT_TRUE(parsePolicyToken(s, fp)) << s;
+        EXPECT_EQ(fp, cpu::FetchPolicy::ICount) << s;
+    }
+    for (const char *s : { "oc", "OCount", "OCOUNT" }) {
+        EXPECT_TRUE(parsePolicyToken(s, fp)) << s;
+        EXPECT_EQ(fp, cpu::FetchPolicy::OCount) << s;
+    }
+    for (const char *s : { "bl", "BL", "Balance", "balance" }) {
+        EXPECT_TRUE(parsePolicyToken(s, fp)) << s;
+        EXPECT_EQ(fp, cpu::FetchPolicy::Balance) << s;
+    }
+}
+
+TEST(AxisParse, RejectsNonTokens)
+{
+    isa::SimdIsa isa;
+    for (const char *s : { "", "mmx2", "sse", "m mx" })
+        EXPECT_FALSE(parseIsaToken(s, isa)) << s;
+    mem::MemModel mm;
+    for (const char *s : { "", "perfectx", "fast" })
+        EXPECT_FALSE(parseMemModelToken(s, mm)) << s;
+    cpu::FetchPolicy fp;
+    for (const char *s : { "", "round robin", "roundrobin", "rrx" })
+        EXPECT_FALSE(parsePolicyToken(s, fp)) << s;
+}
+
+TEST(SimService, AxisSpellingsAreCaseInsensitive)
+{
+    // "Mmx"/"Round-Robin" used to reject while "mmx"/"rr" passed; all
+    // spellings of one value must now name the same sweep point.
+    SimService service;
+    SimRequest req = tinyRequest("cs1");
+    req.isas = { "MMX" };
+    req.threads = { 1 };
+    req.memModels = { "Perfect" };
+    req.policies = { "Round-Robin" };
+    SimResponse upper = service.submit(req);
+    ASSERT_TRUE(upper.ok) << upper.errorMessage;
+
+    req.id = "cs1";     // same id => byte-identical comparison works
+    req.isas = { "mmx" };
+    req.memModels = { "perfect" };
+    req.policies = { "rr" };
+    SimResponse lower = service.submit(req);
+    ASSERT_TRUE(lower.ok) << lower.errorMessage;
+    EXPECT_EQ(upper.toJson(false), lower.toJson(false));
+
+    // Case-insensitivity extends to duplicate detection: two spellings
+    // of one value are one value, not two axis entries.
+    req.id = "cs2";
+    req.isas = { "mmx", "MMX" };
+    SimResponse dup = service.submit(req);
+    EXPECT_FALSE(dup.ok);
+    EXPECT_EQ(dup.errorCode, errc::kBadAxis);
+}
+
+// ---------------------------------------------------------------------
+// Malformed-line id salvage (batch/serve error correlation)
+// ---------------------------------------------------------------------
+
+TEST(SalvageTopLevelId, RecoversIdsFromUnparseableLines)
+{
+    // Truncated object: still has a readable top-level id.
+    EXPECT_EQ(salvageTopLevelId("{\"id\":\"req-17\",\"threads\":[1,"),
+              "req-17");
+    // Key order doesn't matter.
+    EXPECT_EQ(salvageTopLevelId(
+                  "{\"bench\":\"fig6\",\"id\":\"later\" nonsense"),
+              "later");
+    // Escapes in the value decode.
+    EXPECT_EQ(salvageTopLevelId("{\"id\":\"a\\\"b\\\\c\", xx"),
+              "a\"b\\c");
+    // A nested "id" must not leak out as the request id.
+    EXPECT_EQ(salvageTopLevelId(
+                  "{\"meta\":{\"id\":\"inner\"},\"threads\":bad"),
+              "");
+    // Arrays are depth too.
+    EXPECT_EQ(salvageTopLevelId("{\"a\":[{\"id\":\"x\"}], bad"), "");
+    // Non-string ids and garbage salvage nothing.
+    EXPECT_EQ(salvageTopLevelId("{\"id\":42, bad"), "");
+    EXPECT_EQ(salvageTopLevelId("complete garbage"), "");
+    EXPECT_EQ(salvageTopLevelId(""), "");
+}
+
+// ---------------------------------------------------------------------
+// Client tagging (request-carried, echoed in responses)
+// ---------------------------------------------------------------------
+
+TEST(SimRequest, ClientFieldRoundTripsAndStaysOptional)
+{
+    SimRequest req = tinyRequest("tag1");
+    // Untagged requests keep the PR 5 wire shape exactly: no "client"
+    // key is serialized at all.
+    EXPECT_EQ(req.toJson().find("\"client\""), std::string::npos);
+
+    req.client = "farm-worker-3";
+    SimRequest back;
+    std::string error;
+    ASSERT_TRUE(SimRequest::fromJson(req.toJson(), back, error))
+        << error;
+    EXPECT_EQ(back.client, "farm-worker-3");
+    EXPECT_EQ(back.toJson(), req.toJson());
+
+    SimResponse resp;
+    resp.id = "tag1";
+    resp.ok = true;
+    EXPECT_EQ(resp.toJson().find("\"client\""), std::string::npos);
+    resp.client = "farm-worker-3";
+    EXPECT_NE(resp.toJson().find("\"client\":\"farm-worker-3\""),
+              std::string::npos);
 }
 
 TEST(SimService, ShardedRequestReturnsOnlyItsSlice)
