@@ -48,8 +48,13 @@ makeSimThroughputDef()
     def.print = [](driver::BenchHarness &bench, const ResultSink &all) {
         std::printf("Simulation-kernel throughput (conventional "
                     "hierarchy, RR fetch)\n");
-        bench.perWorkload(all, [](const ResultSink &sink,
-                                  const std::string &) {
+        // The execution mode this process measured: batched runs
+        // produce byte-identical rows but different wall times, so the
+        // summary row names the mode for cross-run comparison.
+        const int jobs = bench.pool().size();
+        const int batch = bench.options().batch;
+        bench.perWorkload(all, [jobs, batch](const ResultSink &sink,
+                                             const std::string &) {
             std::printf("%-6s %-8s | %12s %9s %10s\n", "isa", "threads",
                         "sim Mcycles", "wall ms", "Mcycles/s");
             std::printf("%s\n", ResultSink::rule(52).c_str());
@@ -68,6 +73,9 @@ makeSimThroughputDef()
                 : 0.0;
             std::printf("%-15s | %12.2f %9.0f %10.2f\n", "aggregate",
                         totalMcycles, totalWallMs, aggregate);
+            std::string mode = strfmt("jobs=%d batch=%d", jobs, batch);
+            std::printf("%-15s | %12s %9s %10.2f\n", mode.c_str(), "",
+                        "", aggregate);
         });
         std::printf("(simulator self-measurement; see README \"Kernel "
                     "performance\" for the tracked trajectory)\n");

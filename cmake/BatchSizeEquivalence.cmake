@@ -1,0 +1,52 @@
+# Runs a bench with no --batch flag and again with --batch K for K in
+# 1, 2, 4, and fails unless all four stdouts are byte-identical. This
+# is the determinism acceptance gate for the batched (interleaved)
+# execution mode of ExperimentRunner: grouping K sweep points into one
+# worker task and advancing their simulations in fixed cycle quanta
+# must never change a single result byte.
+#
+# Usage: cmake -DBENCH=<momsim> -DSUBCMD=<name> -DWORKDIR=<dir>
+#              -P BatchSizeEquivalence.cmake
+
+if(NOT BENCH)
+  message(FATAL_ERROR "BENCH not set")
+endif()
+if(NOT SUBCMD)
+  message(FATAL_ERROR "SUBCMD not set")
+endif()
+if(NOT WORKDIR)
+  set(WORKDIR ${CMAKE_CURRENT_BINARY_DIR})
+endif()
+
+set(base ${WORKDIR}/${SUBCMD}.nobatch.out)
+execute_process(
+  COMMAND ${BENCH} ${SUBCMD} --quick
+  OUTPUT_FILE ${base}
+  RESULT_VARIABLE rc
+)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "${BENCH} ${SUBCMD} --quick exited with ${rc}")
+endif()
+
+foreach(k 1 2 4)
+  set(out ${WORKDIR}/${SUBCMD}.batch${k}.out)
+  execute_process(
+    COMMAND ${BENCH} ${SUBCMD} --quick --batch ${k}
+    OUTPUT_FILE ${out}
+    RESULT_VARIABLE rc
+  )
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "${BENCH} ${SUBCMD} --quick --batch ${k} exited with ${rc}")
+  endif()
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${base} ${out}
+    RESULT_VARIABLE same
+  )
+  if(NOT same EQUAL 0)
+    message(FATAL_ERROR
+            "${SUBCMD}: stdout differs between no --batch and "
+            "--batch ${k} (${base} vs ${out})")
+  endif()
+endforeach()
+message(STATUS "${SUBCMD}: --batch 1/2/4 outputs match the unbatched run")

@@ -5,23 +5,24 @@
 namespace momsim
 {
 
-uint64_t &
-StatGroup::counter(const std::string &key)
+StatId
+StatGroup::id(const std::string &key)
 {
-    for (auto &entry : _entries) {
-        if (entry.first == key)
-            return entry.second;
+    for (size_t i = 0; i < _keys.size(); ++i) {
+        if (_keys[i] == key)
+            return static_cast<StatId>(i);
     }
-    _entries.emplace_back(key, 0);
-    return _entries.back().second;
+    _keys.push_back(key);
+    _values.push_back(0);
+    return static_cast<StatId>(_values.size() - 1);
 }
 
 uint64_t
 StatGroup::get(const std::string &key) const
 {
-    for (const auto &entry : _entries) {
-        if (entry.first == key)
-            return entry.second;
+    for (size_t i = 0; i < _keys.size(); ++i) {
+        if (_keys[i] == key)
+            return _values[i];
     }
     return 0;
 }
@@ -39,9 +40,9 @@ std::string
 StatGroup::dump() const
 {
     std::string out;
-    for (const auto &entry : _entries) {
-        out += strfmt("%s.%s = %llu\n", _name.c_str(), entry.first.c_str(),
-                      static_cast<unsigned long long>(entry.second));
+    for (size_t i = 0; i < _keys.size(); ++i) {
+        out += strfmt("%s.%s = %llu\n", _name.c_str(), _keys[i].c_str(),
+                      static_cast<unsigned long long>(_values[i]));
     }
     return out;
 }
@@ -49,8 +50,8 @@ StatGroup::dump() const
 void
 StatGroup::clear()
 {
-    for (auto &entry : _entries)
-        entry.second = 0;
+    for (auto &value : _values)
+        value = 0;
 }
 
 std::string

@@ -7,18 +7,32 @@
  * deliberately small stand-in for a full stats package: every statistic the
  * paper reports (IPC, EIPC, hit rates, average latencies, instruction-mix
  * percentages) is representable as a counter or a ratio of counters.
+ *
+ * Counters are stored structure-of-arrays (a name column and a value
+ * column) and hot-path users hold StatId indices into the value column.
+ * Indices stay valid across later registrations, so components resolve
+ * their ids once at construction and per-event accounting is a single
+ * indexed increment.
  */
 
 #ifndef MOMSIM_COMMON_STATS_HH
 #define MOMSIM_COMMON_STATS_HH
 
+#include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <string>
 #include <utility>
+#include <vector>
 
 namespace momsim
 {
+
+/**
+ * Stable index of one counter inside its StatGroup. Unlike a cached
+ * `uint64_t*` (which a vector reallocation would invalidate), an id
+ * survives any number of later registrations.
+ */
+using StatId = uint32_t;
 
 /** A named collection of uint64 counters with formatted dumping. */
 class StatGroup
@@ -27,13 +41,21 @@ class StatGroup
     explicit StatGroup(std::string name = "") : _name(std::move(name)) {}
 
     /**
-     * Add (or fetch) a counter; returns a stable reference. Stability
-     * is load-bearing: the simulation kernel caches these references so
-     * per-event accounting is an increment rather than a string lookup
-     * (entries live in a deque, so later registrations never move
-     * earlier counters).
+     * Register (or find) a counter and return its stable id. Hot-path
+     * components call this once at construction and use at() per event.
      */
-    uint64_t &counter(const std::string &key);
+    StatId id(const std::string &key);
+
+    /** Access a counter by id. O(1), never invalidated. */
+    uint64_t &at(StatId id) { return _values[id]; }
+    uint64_t at(StatId id) const { return _values[id]; }
+
+    /**
+     * Add (or fetch) a counter; returns a reference for immediate use.
+     * The reference is only guaranteed valid until the next
+     * registration — cache an id() instead of the reference.
+     */
+    uint64_t &counter(const std::string &key) { return _values[id(key)]; }
 
     /** Read a counter (0 if absent). */
     uint64_t get(const std::string &key) const;
@@ -49,15 +71,13 @@ class StatGroup
 
     const std::string &name() const { return _name; }
 
-    const std::deque<std::pair<std::string, uint64_t>> &
-    entries() const
-    {
-        return _entries;
-    }
+    size_t size() const { return _values.size(); }
+    const std::string &keyAt(StatId id) const { return _keys[id]; }
 
   private:
     std::string _name;
-    std::deque<std::pair<std::string, uint64_t>> _entries;
+    std::vector<std::string> _keys;
+    std::vector<uint64_t> _values;
 };
 
 /** Fixed-width percentage formatting helper shared by the benches. */

@@ -42,29 +42,49 @@ Simulation::attachNext(int tid)
 RunResult
 Simulation::run(int targetCompletions, uint64_t maxCycles)
 {
+    begin(targetCompletions, maxCycles);
+    while (!advance(maxCycles)) {
+    }
+    return finish();
+}
+
+void
+Simulation::begin(int targetCompletions, uint64_t maxCycles)
+{
+    if (_phase != Phase::Fresh)
+        panic("Simulation::begin on an already-started run");
     if (targetCompletions < 0)
         targetCompletions = static_cast<int>(_rotation.size());
+    _target = targetCompletions;
+    _maxCycles = maxCycles;
+    _cycleStart = _core->now();
+    _phase = Phase::Running;
+    if (_completions >= _target || _core->now() >= _maxCycles)
+        _phase = Phase::Done;
+}
+
+bool
+Simulation::advance(uint64_t cycleBudget)
+{
+    if (_phase == Phase::Fresh)
+        panic("Simulation::advance before begin");
+    if (_phase == Phase::Done)
+        return true;
 
     auto wallStart = std::chrono::steady_clock::now();
-    uint64_t cycleStart = _core->now();
-
-    // A context can only drain by committing its last instruction, so
-    // the per-cycle idle scan is pointless on commit-free cycles — with
-    // one exception: a freshly attached zero-instruction program is
-    // idle without ever committing, so a scan stays pending as long as
-    // the previous scan attached anything (and initially, for the
-    // programs attached at construction).
-    bool idleScanPending = true;
-    while (_completions < targetCompletions &&
-           _core->now() < maxCycles) {
-        // maxCycles caps the core's idle fast-forward, so a limited run
-        // ends at exactly the same cycle a naive per-cycle walk would.
+    // The slice's horizon caps the core's idle fast-forward at a
+    // nearer cycle, which is byte-identical to an uncapped run: the
+    // core simulates exactly the cycles a naive per-cycle walk would.
+    uint64_t headroom = _maxCycles - _core->now();
+    uint64_t horizon = _core->now() +
+                       (cycleBudget < headroom ? cycleBudget : headroom);
+    while (_completions < _target && _core->now() < horizon) {
         uint64_t committedBefore = _core->committedRecords();
-        _core->step(maxCycles);
-        if (!idleScanPending &&
+        _core->step(horizon);
+        if (!_idleScanPending &&
             _core->committedRecords() == committedBefore)
             continue;
-        idleScanPending = false;
+        _idleScanPending = false;
         for (int tid = 0; tid < _cfg.numThreads; ++tid) {
             if (!_core->threadIdle(tid))
                 continue;
@@ -72,14 +92,28 @@ Simulation::run(int targetCompletions, uint64_t maxCycles)
                 _rotation[_running[static_cast<size_t>(tid)]];
             _completions += 1;
             _mmxWorkDone += wp.mmxEq;
-            if (_completions >= targetCompletions) {
+            if (_completions >= _target) {
                 // Keep remaining contexts' partial work for EIPC.
                 break;
             }
             attachNext(tid);
-            idleScanPending = true;
+            _idleScanPending = true;
         }
     }
+    _wallMs += std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - wallStart)
+                   .count();
+
+    if (_completions >= _target || _core->now() >= _maxCycles)
+        _phase = Phase::Done;
+    return _phase == Phase::Done;
+}
+
+RunResult
+Simulation::finish()
+{
+    if (_phase != Phase::Done)
+        panic("Simulation::finish before the run completed");
 
     // Partial credit for programs still in flight, scaled into
     // MMX-equivalent work by each program's own ratio.
@@ -112,13 +146,11 @@ Simulation::run(int targetCompletions, uint64_t maxCycles)
     res.mispredicts = _core->stats().get("mispredicts");
     res.condBranches = _core->stats().get("condBranches");
     res.completions = _completions;
-    res.hitCycleLimit = _core->now() >= maxCycles &&
-                        _completions < targetCompletions;
-    res.wallMs = std::chrono::duration<double, std::milli>(
-                     std::chrono::steady_clock::now() - wallStart)
-                     .count();
+    res.hitCycleLimit = _core->now() >= _maxCycles &&
+                        _completions < _target;
+    res.wallMs = _wallMs;
     // Simulated kilocycles per wall second == cycles per wall ms.
-    uint64_t simmed = _core->now() - cycleStart;
+    uint64_t simmed = _core->now() - _cycleStart;
     res.simKcps = res.wallMs > 0.0
         ? static_cast<double>(simmed) / res.wallMs
         : 0.0;

@@ -81,15 +81,40 @@ class Simulation
 
     /**
      * Run until @p targetCompletions programs finish (default: one pass
-     * over the rotation list) or @p maxCycles elapse.
+     * over the rotation list) or @p maxCycles elapse. Equivalent to
+     * begin() + advance() to completion + finish().
      */
     RunResult run(int targetCompletions = -1,
                   uint64_t maxCycles = 400'000'000ull);
+
+    /**
+     * Resumable form of run(), for callers interleaving several
+     * simulations (batched sweep execution): begin() arms the run,
+     * each advance() simulates up to @p cycleBudget further cycles,
+     * and finish() produces the RunResult once advance() reported
+     * completion. The cycle budget only caps the core's idle
+     * fast-forward at a nearer horizon, which is byte-identical to an
+     * uncapped run by construction — a chunked run produces exactly
+     * the same RunResult as one run() call, whatever the budgets.
+     */
+    void begin(int targetCompletions = -1,
+               uint64_t maxCycles = 400'000'000ull);
+
+    /** Simulate up to @p cycleBudget more cycles; true once done. */
+    bool advance(uint64_t cycleBudget);
+
+    /** True once the run hit its completion target or cycle limit. */
+    bool done() const { return _phase == Phase::Done; }
+
+    /** Summarize the completed run; legal only once done(). */
+    RunResult finish();
 
     cpu::SmtCore &coreRef() { return *_core; }
     mem::MemorySystem &memRef() { return *_mem; }
 
   private:
+    enum class Phase : uint8_t { Fresh, Running, Done };
+
     void attachNext(int tid);
 
     cpu::CoreConfig _cfg;
@@ -100,6 +125,21 @@ class Simulation
     std::vector<size_t> _running;   ///< rotation index per context
     int _completions = 0;
     uint64_t _mmxWorkDone = 0;
+    Phase _phase = Phase::Fresh;
+    int _target = 0;
+    uint64_t _maxCycles = 0;
+    uint64_t _cycleStart = 0;
+    /**
+     * A context can only drain by committing its last instruction, so
+     * the per-cycle idle scan is pointless on commit-free cycles —
+     * with one exception: a freshly attached zero-instruction program
+     * is idle without ever committing, so a scan stays pending as long
+     * as the previous scan attached anything (and initially, for the
+     * programs attached at construction). Persists across advance()
+     * slices so chunked runs scan exactly where run() would.
+     */
+    bool _idleScanPending = true;
+    double _wallMs = 0.0;           ///< accumulated across advance()s
 };
 
 } // namespace momsim::core

@@ -33,9 +33,9 @@ class BranchPredictor
         _history.fill(0);
         // Cached: update() runs once per fetched conditional branch and
         // must not do string-keyed lookups there.
-        _ctrUpdates = &_stats.counter("updates");
-        _ctrTaken = &_stats.counter("taken");
-        _ctrNotTaken = &_stats.counter("notTaken");
+        _ctrUpdates = _stats.id("updates");
+        _ctrTaken = _stats.id("taken");
+        _ctrNotTaken = _stats.id("notTaken");
     }
 
     /** Predict the direction of the branch at @p pc for thread @p tid. */
@@ -58,8 +58,8 @@ class BranchPredictor
         _history[static_cast<size_t>(tid)] =
             ((_history[static_cast<size_t>(tid)] << 1) | (taken ? 1 : 0)) &
             mask;
-        *_ctrUpdates += 1;
-        *(taken ? _ctrTaken : _ctrNotTaken) += 1;
+        _stats.at(_ctrUpdates) += 1;
+        _stats.at(taken ? _ctrTaken : _ctrNotTaken) += 1;
     }
 
     StatGroup &stats() { return _stats; }
@@ -78,9 +78,9 @@ class BranchPredictor
     std::vector<uint8_t> _counters;
     std::array<uint32_t, 16> _history{};
     StatGroup _stats;
-    uint64_t *_ctrUpdates = nullptr;
-    uint64_t *_ctrTaken = nullptr;
-    uint64_t *_ctrNotTaken = nullptr;
+    StatId _ctrUpdates = 0;
+    StatId _ctrTaken = 0;
+    StatId _ctrNotTaken = 0;
 };
 
 } // namespace momsim::cpu

@@ -1,6 +1,7 @@
 #include "cpu/smt_core.hh"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/logging.hh"
 
@@ -74,14 +75,55 @@ SmtCore::SmtCore(const CoreConfig &cfg, mem::MemorySystem &mem)
     if (cfg.numThreads < 1 || cfg.numThreads > 8)
         panic(strfmt("numThreads=%d outside the supported 1..8 hardware "
                      "contexts", cfg.numThreads));
-    for (auto &t : _threads) {
-        // Storage is rounded up to a power of two so position lookup is
-        // a mask; the logical capacity stays exactly windowPerThread
-        // (dispatch checks tail - head against the configured window).
-        t.rob.resize(pow2Ceil(static_cast<uint64_t>(cfg.windowPerThread)));
-        t.robMask = t.rob.size() - 1;
-        t.fetchQ.init(static_cast<size_t>(cfg.fetchQueueDepth));
-        std::fill(std::begin(t.rename), std::end(t.rename), -1);
+
+    // Structure-of-arrays ROB state: one arena carries the hot columns
+    // for every (thread, window slot), the per-thread rename tables and
+    // the fetch-ring buffers. Storage per thread is rounded up to a
+    // power of two so position lookup is a mask; the logical capacity
+    // stays exactly windowPerThread (dispatch checks tail - head
+    // against the configured window).
+    uint64_t robSize = pow2Ceil(static_cast<uint64_t>(cfg.windowPerThread));
+    _robMask = robSize - 1;
+    _numSlots = static_cast<size_t>(cfg.numThreads) *
+                static_cast<size_t>(robSize);
+    size_t fqCap = static_cast<size_t>(
+        pow2Ceil(static_cast<uint64_t>(cfg.fetchQueueDepth)));
+
+    size_t off = 0;
+    auto carve = [&off](size_t bytes) {
+        size_t at = off;
+        off = (off + bytes + 63) & ~static_cast<size_t>(63);
+        return at;
+    };
+    size_t oPos = carve(_numSlots * sizeof(uint64_t));
+    size_t oHot = carve(_numSlots * sizeof(SlotHot));
+    size_t oRename = carve(static_cast<size_t>(cfg.numThreads) * 256 *
+                           sizeof(int64_t));
+    size_t oRings = carve(static_cast<size_t>(cfg.numThreads) * fqCap *
+                          sizeof(FetchedInst));
+
+    _arenaStore = std::make_unique<std::byte[]>(off + 64);
+    std::byte *base = _arenaStore.get();
+    base += (64 - reinterpret_cast<uintptr_t>(base) % 64) % 64;
+    // All-zero bytes are the correct initial value for every column
+    // (pos 0, zero hot record = cycle 0 + gen 0 + State::Empty, null
+    // fetch records); the rename tables are refilled with -1 below.
+    std::memset(base, 0, off);
+    _colPos = reinterpret_cast<uint64_t *>(base + oPos);
+    _hot = reinterpret_cast<SlotHot *>(base + oHot);
+    int64_t *renameBase = reinterpret_cast<int64_t *>(base + oRename);
+    FetchedInst *ringBase = reinterpret_cast<FetchedInst *>(base + oRings);
+
+    _cold.assign(_numSlots, RobCold{});
+    _waiters.assign(_numSlots, {});
+
+    for (int tid = 0; tid < cfg.numThreads; ++tid) {
+        Thread &t = _threads[static_cast<size_t>(tid)];
+        t.slotBase = static_cast<uint32_t>(
+            static_cast<uint64_t>(tid) * robSize);
+        t.rename = renameBase + static_cast<size_t>(tid) * 256;
+        std::fill(t.rename, t.rename + 256, -1);
+        t.fetchQ.init(ringBase + static_cast<size_t>(tid) * fqCap, fqCap);
     }
 
     int logicalSimd =
@@ -102,28 +144,28 @@ SmtCore::SmtCore(const CoreConfig &cfg, mem::MemorySystem &mem)
 
     _fetchOrderBuf.reserve(static_cast<size_t>(cfg.numThreads));
 
-    // Cache the hot counters once: the per-event cost becomes an
-    // increment instead of a string-keyed lookup (StatGroup references
-    // are stable for the group's lifetime).
-    _ctrCommits = &_stats.counter("commits");
-    _ctrCommitInt = &_stats.counter("commitInt");
-    _ctrCommitFp = &_stats.counter("commitFp");
-    _ctrCommitSimd = &_stats.counter("commitSimd");
-    _ctrCommitMem = &_stats.counter("commitMem");
-    _ctrIssued = &_stats.counter("issued");
-    _ctrDispatched = &_stats.counter("dispatched");
-    _ctrFetched = &_stats.counter("fetched");
-    _ctrCondBranches = &_stats.counter("condBranches");
-    _ctrRobFullStalls = &_stats.counter("robFullStalls");
-    _ctrIqFullStalls = &_stats.counter("iqFullStalls");
-    _ctrRegFullStalls = &_stats.counter("regFullStalls");
-    _ctrIdleCyclesSkipped = &_stats.counter("idleCyclesSkipped");
-    _ctrCommitStoreStalls = &_stats.counter("commitStoreStalls");
-    _ctrMispredicts = &_stats.counter("mispredicts");
-    _ctrFlushes = &_stats.counter("flushes");
-    _ctrSquashed = &_stats.counter("squashed");
-    _ctrIfetchRejected = &_stats.counter("ifetchRejected");
-    _ctrIcacheMissStalls = &_stats.counter("icacheMissStalls");
+    // Resolve the hot counters once: the per-event cost becomes an
+    // indexed increment instead of a string-keyed lookup (StatIds stay
+    // valid across later registrations).
+    _ctrCommits = _stats.id("commits");
+    _ctrCommitInt = _stats.id("commitInt");
+    _ctrCommitFp = _stats.id("commitFp");
+    _ctrCommitSimd = _stats.id("commitSimd");
+    _ctrCommitMem = _stats.id("commitMem");
+    _ctrIssued = _stats.id("issued");
+    _ctrDispatched = _stats.id("dispatched");
+    _ctrFetched = _stats.id("fetched");
+    _ctrCondBranches = _stats.id("condBranches");
+    _ctrRobFullStalls = _stats.id("robFullStalls");
+    _ctrIqFullStalls = _stats.id("iqFullStalls");
+    _ctrRegFullStalls = _stats.id("regFullStalls");
+    _ctrIdleCyclesSkipped = _stats.id("idleCyclesSkipped");
+    _ctrCommitStoreStalls = _stats.id("commitStoreStalls");
+    _ctrMispredicts = _stats.id("mispredicts");
+    _ctrFlushes = _stats.id("flushes");
+    _ctrSquashed = _stats.id("squashed");
+    _ctrIfetchRejected = _stats.id("ifetchRejected");
+    _ctrIcacheMissStalls = _stats.id("icacheMissStalls");
 }
 
 void
@@ -136,7 +178,7 @@ SmtCore::attachProgram(int tid, const trace::Program *prog)
     t.head = t.tail = 0;
     t.fetchReady = _now;
     t.fetchQ.clear();
-    std::fill(std::begin(t.rename), std::end(t.rename), -1);
+    std::fill(t.rename, t.rename + 256, -1);
     t.committedEq = 0;
     t.iqCount = 0;
     t.oqCount = 0;
@@ -157,18 +199,6 @@ SmtCore::threadCommittedEq(int tid) const
     return _threads[static_cast<size_t>(tid)].committedEq;
 }
 
-SmtCore::RobEntry &
-SmtCore::entryAt(Thread &t, uint64_t pos)
-{
-    return t.rob[pos & t.robMask];
-}
-
-const SmtCore::RobEntry &
-SmtCore::entryAt(const Thread &t, uint64_t pos) const
-{
-    return t.rob[pos & t.robMask];
-}
-
 int
 SmtCore::physPoolOf(isa::RegRef reg) const
 {
@@ -185,48 +215,53 @@ SmtCore::physPoolOf(isa::RegRef reg) const
 // Readiness tracking
 // ---------------------------------------------------------------------
 
-void
-SmtCore::trackProducers(Thread &t, RobEntry &e)
+int
+SmtCore::trackProducers(Thread &t, size_t slot, uint64_t pos, uint64_t gen)
 {
-    e.pendingProducers = 0;
-    e.readyCycle = 0;
-    for (int64_t p : e.prod) {
+    int pending = 0;
+    uint64_t ready = 0;
+    for (int64_t p : _cold[slot].prod) {
         if (p < 0)
             continue;
-        if (static_cast<uint64_t>(p) < t.head)
+        uint64_t pp = static_cast<uint64_t>(p);
+        if (pp < t.head)
             continue;       // producer already graduated
-        RobEntry &src = entryAt(t, static_cast<uint64_t>(p));
-        if (src.pos != static_cast<uint64_t>(p))
+        size_t sp = slotOf(t, pp);
+        if (_colPos[sp] != pp)
             continue;       // producer slot was recycled (graduated)
-        if (src.state == State::Done) {
-            e.readyCycle = std::max(e.readyCycle, src.doneCycle);
+        const SlotHot h = _hot[sp];
+        if (metaState(h.meta) == State::Done) {
+            ready = std::max(ready, h.when);
         } else {
-            src.waiters.push_back({ e.pos, e.gen });
-            e.pendingProducers += 1;
+            _waiters[sp].push_back({ pos, gen });
+            pending += 1;
         }
     }
+    _hot[slot].when = ready;
+    return pending;
 }
 
 void
-SmtCore::relaxQueueBound(const RobEntry &e)
+SmtCore::wakeDependents(Thread &t, size_t slot)
 {
-    uint64_t &bound = _queueMinReady[e.qKind];
-    bound = std::min(bound, e.readyCycle);
-}
-
-void
-SmtCore::wakeDependents(Thread &t, RobEntry &e)
-{
-    for (const Waiter &w : e.waiters) {
-        RobEntry &c = entryAt(t, w.pos);
-        if (c.pos != w.pos || c.gen != w.gen)
+    std::vector<Waiter> &ws = _waiters[slot];
+    uint64_t done = _hot[slot].when;
+    for (const Waiter &w : ws) {
+        size_t sc = slotOf(t, w.pos);
+        uint64_t m = _hot[sc].meta;
+        // Generations are unique per allocation, so a tag match proves
+        // the registration still names this slot's current instruction;
+        // it must then also still be waiting (only a Dispatched slot
+        // can carry a pending count — nops carry no sources).
+        if (metaGen(m) != w.gen || metaState(m) != State::Dispatched)
             continue;       // consumer was squashed since registering
-        c.readyCycle = std::max(c.readyCycle, e.doneCycle);
-        c.pendingProducers -= 1;
-        if (c.pendingProducers == 0)
-            relaxQueueBound(c);
+        _hot[sc].when = std::max(_hot[sc].when, done);
+        m -= kMetaPendOne;
+        _hot[sc].meta = m;
+        if (metaPending(m) == 0)
+            relaxQueueBound(sc);
     }
-    e.waiters.clear();
+    ws.clear();
 }
 
 void
@@ -253,11 +288,11 @@ SmtCore::debugDump() const
                           static_cast<long long>(_now),
                       t.iqCount);
         if (t.head != t.tail) {
-            const RobEntry &e = entryAt(t, t.head);
+            size_t s = slotOf(t, t.head);
             out += strfmt("  head: %s state=%d done=%+lld",
-                          isa::opName(e.inst->opcode()),
-                          static_cast<int>(e.state),
-                          static_cast<long long>(e.doneCycle) -
+                          isa::opName(_cold[s].inst->opcode()),
+                          static_cast<int>(metaState(_hot[s].meta)),
+                          static_cast<long long>(_hot[s].when) -
                               static_cast<long long>(_now));
         }
         out += "\n";
@@ -265,6 +300,88 @@ SmtCore::debugDump() const
     // One atomic write: dumps from concurrent pool workers must not
     // interleave mid-line.
     dumpRaw(out);
+}
+
+std::string
+SmtCore::debugLayoutIssue() const
+{
+    uint64_t robSize = _robMask + 1;
+    for (int tid = 0; tid < _cfg.numThreads; ++tid) {
+        const Thread &t = _threads[static_cast<size_t>(tid)];
+        if (t.slotBase != static_cast<uint64_t>(tid) * robSize)
+            return strfmt("t%d slotBase %u != tid*robSize", tid, t.slotBase);
+        if (t.tail - t.head > static_cast<uint64_t>(_cfg.windowPerThread))
+            return strfmt("t%d inflight %llu exceeds window", tid,
+                          static_cast<unsigned long long>(t.tail - t.head));
+        for (uint64_t pos = t.head; pos < t.tail; ++pos) {
+            size_t s = slotOf(t, pos);
+            if (_colPos[s] != pos && _colPos[s] != ~0ull)
+                return strfmt("t%d pos %llu: slot holds foreign pos", tid,
+                              static_cast<unsigned long long>(pos));
+            if (_colPos[s] != pos)
+                continue;   // squashed slot awaiting reallocation
+            if (metaState(_hot[s].meta) == State::Empty)
+                return strfmt("t%d pos %llu: live slot is Empty", tid,
+                              static_cast<unsigned long long>(pos));
+            if (_cold[s].inst == nullptr)
+                return strfmt("t%d pos %llu: live slot has no inst", tid,
+                              static_cast<unsigned long long>(pos));
+            uint64_t g = metaGen(_hot[s].meta);
+            if (g == 0 || g > (t.genTick & kMetaGenMask))
+                return strfmt("t%d pos %llu: gen %llu outside (0, %llu]",
+                              tid, static_cast<unsigned long long>(pos),
+                              static_cast<unsigned long long>(g),
+                              static_cast<unsigned long long>(t.genTick));
+        }
+    }
+
+    // Queue references must resolve to their slot; live per-thread
+    // occupancy must match the iq/oq fetch-policy counters.
+    int64_t iqLive[8] = {};
+    int64_t oqLive[8] = {};
+    for (const std::vector<IqEntry> *q :
+         { &_intQ, &_memQ, &_fpQ, &_simdQ, &_activeStreams }) {
+        for (const IqEntry &ref : *q) {
+            if (ref.tid < 0 || ref.tid >= _cfg.numThreads)
+                return strfmt("queue ref tid %d out of range", ref.tid);
+            const Thread &t = _threads[static_cast<size_t>(ref.tid)];
+            if (ref.slot != slotOf(t, ref.pos))
+                return strfmt("t%d pos %llu: ref slot %u != slotOf",
+                              ref.tid,
+                              static_cast<unsigned long long>(ref.pos),
+                              ref.slot);
+            if (metaGen(_hot[ref.slot].meta) == ref.gen &&
+                metaState(_hot[ref.slot].meta) == State::Dispatched) {
+                iqLive[ref.tid] += 1;
+                oqLive[ref.tid] += _cold[ref.slot].inst->eqInsts();
+            }
+        }
+    }
+    for (int tid = 0; tid < _cfg.numThreads; ++tid) {
+        const Thread &t = _threads[static_cast<size_t>(tid)];
+        if (iqLive[tid] != t.iqCount)
+            return strfmt("t%d iqCount %d != live dispatched %lld", tid,
+                          t.iqCount, static_cast<long long>(iqLive[tid]));
+        if (oqLive[tid] != t.oqCount)
+            return strfmt("t%d oqCount %lld != live eq %lld", tid,
+                          static_cast<long long>(t.oqCount),
+                          static_cast<long long>(oqLive[tid]));
+    }
+
+    // Wakeup registrations never run ahead of the owning thread's
+    // generation source (a tag from the future could resurrect).
+    for (size_t s = 0; s < _numSlots; ++s) {
+        int tid = static_cast<int>(s / robSize);
+        const Thread &t = _threads[static_cast<size_t>(tid)];
+        for (const Waiter &w : _waiters[s]) {
+            if (w.gen == 0 || w.gen > (t.genTick & kMetaGenMask))
+                return strfmt("t%d slot %zu: waiter gen %llu outside "
+                              "(0, %llu]", tid, s,
+                              static_cast<unsigned long long>(w.gen),
+                              static_cast<unsigned long long>(t.genTick));
+        }
+    }
+    return std::string();
 }
 
 // ---------------------------------------------------------------------
@@ -286,11 +403,11 @@ SmtCore::nextEventCycle() const
         // cycle its result is ready. A non-Done head completes through
         // an issue/stream event accounted below.
         if (t.head != t.tail) {
-            const RobEntry &h = entryAt(t, t.head);
-            if (h.state == State::Done) {
-                if (h.doneCycle <= _now)
+            const SlotHot h = _hot[slotOf(t, t.head)];
+            if (metaState(h.meta) == State::Done) {
+                if (h.when <= _now)
                     return _now;
-                next = std::min(next, h.doneCycle);
+                next = std::min(next, h.when);
             }
         }
         // Dispatch: a fetch-queue head that passes the structural
@@ -312,17 +429,20 @@ SmtCore::nextEventCycle() const
     // Issue: a ready entry attempts to issue every cycle, even when the
     // attempt keeps failing on a busy FU or a rejected memory access —
     // so readiness, not executability, is what schedules the machine.
+    // One 16-byte hot-record load per entry answers validation
+    // (generation + state), the pending count and the ready cycle.
     for (const std::vector<IqEntry> *q :
          { &_intQ, &_memQ, &_fpQ, &_simdQ }) {
         for (const IqEntry &ref : *q) {
-            const RobEntry &e = *ref.entry;
-            if (e.pos != ref.pos || e.state != State::Dispatched)
+            const SlotHot h = _hot[ref.slot];
+            if (metaGen(h.meta) != ref.gen ||
+                metaState(h.meta) != State::Dispatched)
                 return _now;    // stale entry: the issue scan drops it
-            if (e.pendingProducers > 0)
+            if (metaPending(h.meta) > 0)
                 continue;       // wakes through a producer completion
-            if (e.readyCycle <= _now)
+            if (h.when <= _now)
                 return _now;
-            next = std::min(next, e.readyCycle);
+            next = std::min(next, h.when);
         }
     }
     return next;
@@ -347,19 +467,19 @@ SmtCore::fastForwardTo(uint64_t target)
             continue;
         switch (dispatchGate(t, t.fetchQ.front())) {
           case DispatchGate::RobFull:
-            *_ctrRobFullStalls += skipped;
+            _stats.at(_ctrRobFullStalls) += skipped;
             break;
           case DispatchGate::IqFull:
-            *_ctrIqFullStalls += skipped;
+            _stats.at(_ctrIqFullStalls) += skipped;
             break;
           case DispatchGate::RegFull:
-            *_ctrRegFullStalls += skipped;
+            _stats.at(_ctrRegFullStalls) += skipped;
             break;
           case DispatchGate::Ok:
             break;      // unreachable: an Ok gate prevents fast-forward
         }
     }
-    *_ctrIdleCyclesSkipped += skipped;
+    _stats.at(_ctrIdleCyclesSkipped) += skipped;
     _now = target;
     // The jump landed on the next event; the machine acts this cycle.
     _probablyIdle = false;
@@ -389,7 +509,8 @@ SmtCore::step(uint64_t horizon)
         }
     }
     uint64_t before =
-        *_ctrCommits + *_ctrIssued + *_ctrDispatched + *_ctrFetched;
+        _stats.at(_ctrCommits) + _stats.at(_ctrIssued) +
+        _stats.at(_ctrDispatched) + _stats.at(_ctrFetched);
     commitStage();
     streamStage();
     issueStage();
@@ -397,7 +518,8 @@ SmtCore::step(uint64_t horizon)
     fetchStage();
     ++_now;
     uint64_t after =
-        *_ctrCommits + *_ctrIssued + *_ctrDispatched + *_ctrFetched;
+        _stats.at(_ctrCommits) + _stats.at(_ctrIssued) +
+        _stats.at(_ctrDispatched) + _stats.at(_ctrFetched);
     _probablyIdle = after == before;
 }
 
@@ -415,56 +537,60 @@ SmtCore::commitStage()
     // Try to graduate one instruction from @p tid; false when the head
     // is absent, not ready, or its store was rejected — all conditions
     // that cannot clear within this cycle, so the thread drops out of
-    // the round-robin for the rest of the stage.
+    // the round-robin for the rest of the stage. The ready check reads
+    // only the state/done columns; the cold payload is touched once a
+    // graduation is certain.
     auto tryCommitOne = [this](int tid) -> bool {
         Thread &t = _threads[static_cast<size_t>(tid)];
         if (t.head == t.tail)
             return false;
-        RobEntry &e = entryAt(t, t.head);
-        if (e.state != State::Done || e.doneCycle > _now)
+        size_t s = slotOf(t, t.head);
+        const SlotHot h = _hot[s];
+        if (metaState(h.meta) != State::Done || h.when > _now)
             return false;
 
-        OpClass cls = e.inst->opClass();
+        RobCold &cold = _cold[s];
+        OpClass cls = cold.inst->opClass();
         bool scalarStore =
             (cls == OpClass::Store || cls == OpClass::MmxStore);
-        if (scalarStore && !e.storeDone) {
+        if (scalarStore && !cold.storeDone) {
             mem::MemAccess req;
-            req.addr = e.inst->addr;
-            req.size = e.inst->accessSize;
+            req.addr = cold.inst->addr;
+            req.size = cold.inst->accessSize;
             req.isWrite = true;
             req.isVector = (cls == OpClass::MmxStore);
             req.threadId = tid;
             mem::MemReply rep = _mem.access(_now, req);
             if (!rep.accepted) {
-                *_ctrCommitStoreStalls += 1;
+                _stats.at(_ctrCommitStoreStalls) += 1;
                 return false;   // write buffer full; retry next cycle
             }
-            e.storeDone = true;
+            cold.storeDone = true;
         }
 
         // Graduate.
-        if (isa::isValidReg(e.inst->dst))
-            _freeRegs[physPoolOf(e.inst->dst)] += 1;
-        uint32_t eq = e.inst->eqInsts();
+        if (isa::isValidReg(cold.inst->dst))
+            _freeRegs[physPoolOf(cold.inst->dst)] += 1;
+        uint32_t eq = cold.inst->eqInsts();
         _committedRecords += 1;
         _committedEq += eq;
         t.committedEq += eq;
-        *_ctrCommits += 1;
+        _stats.at(_ctrCommits) += 1;
         switch (isa::mixGroup(cls)) {
           case isa::MixGroup::Int:
-            *_ctrCommitInt += eq;
+            _stats.at(_ctrCommitInt) += eq;
             break;
           case isa::MixGroup::Fp:
-            *_ctrCommitFp += eq;
+            _stats.at(_ctrCommitFp) += eq;
             break;
           case isa::MixGroup::SimdArith:
-            *_ctrCommitSimd += eq;
+            _stats.at(_ctrCommitSimd) += eq;
             break;
           case isa::MixGroup::Mem:
-            *_ctrCommitMem += eq;
+            _stats.at(_ctrCommitMem) += eq;
             break;
         }
-        e.state = State::Empty;
+        setMetaState(s, State::Empty);
         ++t.head;
         return true;
     };
@@ -510,35 +636,37 @@ SmtCore::streamStage()
             break;
         IqEntry ref = _activeStreams[i];
         Thread &t = _threads[static_cast<size_t>(ref.tid)];
-        RobEntry &e = *ref.entry;
-        if (e.pos != ref.pos || e.state != State::Executing) {
+        size_t s = ref.slot;
+        if (metaGen(_hot[s].meta) != ref.gen ||
+            metaState(_hot[s].meta) != State::Executing) {
             // Squashed or otherwise gone.
             _activeStreams.erase(_activeStreams.begin() +
                                  static_cast<long>(i));
             continue;
         }
-        uint32_t total = e.inst->memAccesses();
+        RobCold &cold = _cold[s];
+        uint32_t total = cold.inst->memAccesses();
         int issuedThisCycle = 0;
-        while (e.elemsIssued < total && issuedThisCycle < budget) {
+        while (cold.elemsIssued < total && issuedThisCycle < budget) {
             mem::MemAccess req;
-            req.addr = e.inst->elementAddr(e.elemsIssued);
-            req.size = e.inst->accessSize;
-            req.isWrite = e.inst->isStore();
+            req.addr = cold.inst->elementAddr(cold.elemsIssued);
+            req.size = cold.inst->accessSize;
+            req.isWrite = cold.inst->isStore();
             req.isVector = true;
             req.nonTemporal = false;
             req.threadId = ref.tid;
             mem::MemReply rep = _mem.access(_now, req);
             if (!rep.accepted)
                 break;
-            e.streamReady = std::max(e.streamReady, rep.readyCycle);
-            ++e.elemsIssued;
+            cold.streamReady = std::max(cold.streamReady, rep.readyCycle);
+            ++cold.elemsIssued;
             ++issuedThisCycle;
         }
         budget -= issuedThisCycle;
-        if (e.elemsIssued >= total) {
-            e.state = State::Done;
-            e.doneCycle = std::max(e.streamReady, _now + 1);
-            wakeDependents(t, e);
+        if (cold.elemsIssued >= total) {
+            setMetaState(s, State::Done);
+            _hot[s].when = std::max(cold.streamReady, _now + 1);
+            wakeDependents(t, s);
             _activeStreams.erase(_activeStreams.begin() +
                                  static_cast<long>(i));
             continue;
@@ -552,9 +680,10 @@ SmtCore::streamStage()
 // ---------------------------------------------------------------------
 
 bool
-SmtCore::tryExecute(int tid, RobEntry &e, QueueKind kind)
+SmtCore::tryExecute(int tid, size_t slot, QueueKind kind)
 {
-    const isa::OpInfo &info = isa::opInfo(e.inst->opcode());
+    RobCold &cold = _cold[slot];
+    const isa::OpInfo &info = isa::opInfo(cold.inst->opcode());
     OpClass cls = info.cls;
 
     switch (kind) {
@@ -564,11 +693,11 @@ SmtCore::tryExecute(int tid, RobEntry &e, QueueKind kind)
                 return false;
             _divBusyUntil = _now + info.latency;
         }
-        e.state = State::Done;
-        e.doneCycle = _now + info.latency;
-        if (e.mispredicted) {
-            *_ctrMispredicts += 1;
-            flushThread(tid, e.pos);
+        setMetaState(slot, State::Done);
+        _hot[slot].when = _now + info.latency;
+        if (cold.mispredicted) {
+            _stats.at(_ctrMispredicts) += 1;
+            flushThread(tid, _colPos[slot]);
         }
         return true;
 
@@ -578,53 +707,55 @@ SmtCore::tryExecute(int tid, RobEntry &e, QueueKind kind)
                 return false;
             _fdivBusyUntil = _now + info.latency;
         }
-        e.state = State::Done;
-        e.doneCycle = _now + info.latency;
+        setMetaState(slot, State::Done);
+        _hot[slot].when = _now + info.latency;
         return true;
 
       case QueueKind::Simd:
         if (isa::isMom(cls)) {
             if (_momFuBusyUntil > _now)
                 return false;
-            uint32_t len = std::max<uint32_t>(1, e.inst->streamLen);
+            uint32_t len = std::max<uint32_t>(1, cold.inst->streamLen);
             uint64_t occupancy =
                 (len + _cfg.vectorLanes - 1) /
                 static_cast<uint32_t>(_cfg.vectorLanes);
             _momFuBusyUntil = _now + occupancy;
-            e.state = State::Done;
-            e.doneCycle = _now + info.latency + occupancy - 1;
+            setMetaState(slot, State::Done);
+            _hot[slot].when = _now + info.latency + occupancy - 1;
         } else {
-            e.state = State::Done;
-            e.doneCycle = _now + info.latency;
+            setMetaState(slot, State::Done);
+            _hot[slot].when = _now + info.latency;
         }
         return true;
 
       case QueueKind::Mem: {
         if (cls == OpClass::MomLoad || cls == OpClass::MomStore) {
             // Hand over to the stream engine.
-            e.state = State::Executing;
-            e.elemsIssued = 0;
-            e.streamReady = 0;
-            _activeStreams.push_back({ &e, e.pos, tid });
+            setMetaState(slot, State::Executing);
+            cold.elemsIssued = 0;
+            cold.streamReady = 0;
+            _activeStreams.push_back({ _colPos[slot],
+                                       metaGen(_hot[slot].meta),
+                                       static_cast<uint32_t>(slot), tid });
             return true;
         }
-        if (e.inst->isStore()) {
+        if (cold.inst->isStore()) {
             // Address generation; the access happens at graduation.
-            e.state = State::Done;
-            e.doneCycle = _now + 1;
+            setMetaState(slot, State::Done);
+            _hot[slot].when = _now + 1;
             return true;
         }
         mem::MemAccess req;
-        req.addr = e.inst->addr;
-        req.size = e.inst->accessSize;
+        req.addr = cold.inst->addr;
+        req.size = cold.inst->accessSize;
         req.isWrite = false;
-        req.isVector = e.inst->isMmx();
+        req.isVector = cold.inst->isMmx();
         req.threadId = tid;
         mem::MemReply rep = _mem.access(_now, req);
         if (!rep.accepted)
             return false;       // retry next cycle
-        e.state = State::Done;
-        e.doneCycle = rep.readyCycle;
+        setMetaState(slot, State::Done);
+        _hot[slot].when = rep.readyCycle;
         return true;
       }
     }
@@ -642,13 +773,17 @@ SmtCore::issueFromQueue(std::vector<IqEntry> &queue, int width,
     if (bound > _now)
         return;
 
+    // The scan body reads one 16-byte hot record per entry: generation
+    // and state validate the reference, the pending count and the
+    // timestamp decide readiness — the common keep-in-place iterations
+    // touch one dense array and no per-entry payload.
     uint64_t nextReady = ~0ull;
     int used = 0;
     size_t keep = 0;
     size_t i = 0;
     for (; i < queue.size(); ++i) {
         IqEntry ref = queue[i];
-        RobEntry &e = *ref.entry;
+        size_t s = ref.slot;
         // Compaction writes only once the kept range diverges from the
         // scanned range (i.e. after the first issue/drop) — on most
         // cycles most entries just stay put.
@@ -657,33 +792,35 @@ SmtCore::issueFromQueue(std::vector<IqEntry> &queue, int width,
                 queue[keep] = entry;
             ++keep;
         };
-        if (e.pos != ref.pos || e.state != State::Dispatched)
+        const SlotHot h = _hot[s];
+        if (metaGen(h.meta) != ref.gen ||
+            metaState(h.meta) != State::Dispatched)
             continue;           // squashed/stale: drop from the queue
         if (used >= width) {
             keepEntry(i, ref);      // ready now, out of issue slots
-            nextReady = std::min(nextReady, e.readyCycle);
+            nextReady = std::min(nextReady, h.when);
             continue;
         }
-        if (e.pendingProducers > 0) {
+        if (metaPending(h.meta) > 0) {
             keepEntry(i, ref);      // its wakeup will relax the bound
             continue;
         }
-        if (e.readyCycle > _now) {
+        if (h.when > _now) {
             keepEntry(i, ref);      // operands not ready yet
-            nextReady = std::min(nextReady, e.readyCycle);
+            nextReady = std::min(nextReady, h.when);
             continue;
         }
         ++used;                 // an issue slot is consumed by the attempt
-        if (tryExecute(ref.tid, e, kind)) {
+        if (tryExecute(ref.tid, s, kind)) {
             Thread &t = _threads[static_cast<size_t>(ref.tid)];
-            if (e.state == State::Done)
-                wakeDependents(t, e);
+            if (metaState(_hot[s].meta) == State::Done)
+                wakeDependents(t, s);
             t.iqCount -= 1;
-            t.oqCount -= e.inst->eqInsts();
-            *_ctrIssued += 1;
+            t.oqCount -= _cold[s].inst->eqInsts();
+            _stats.at(_ctrIssued) += 1;
         } else {
             keepEntry(i, ref);      // FU busy / access rejected: retry
-            nextReady = std::min(nextReady, e.readyCycle);
+            nextReady = std::min(nextReady, h.when);
         }
     }
     queue.resize(keep);
@@ -763,13 +900,13 @@ SmtCore::dispatchStage()
         QueueKind kind = QueueKind::Int;
         switch (dispatchGate(t, f, &kind)) {
           case DispatchGate::RobFull:
-            *_ctrRobFullStalls += 1;
+            _stats.at(_ctrRobFullStalls) += 1;
             return false;
           case DispatchGate::IqFull:
-            *_ctrIqFullStalls += 1;
+            _stats.at(_ctrIqFullStalls) += 1;
             return false;
           case DispatchGate::RegFull:
-            *_ctrRegFullStalls += 1;
+            _stats.at(_ctrRegFullStalls) += 1;
             return false;
           case DispatchGate::Ok:
             break;
@@ -783,49 +920,50 @@ SmtCore::dispatchStage()
         }
         bool isNop = f.inst->opClass() == OpClass::Nop;
 
-        // Allocate and rename. Fields are reset one by one (instead
-        // of assigning a fresh RobEntry) so the recycled slot keeps
-        // its waiter-list capacity.
+        // Allocate and rename: reset the recycled slot's columns and
+        // cold payload (the waiter vector is cleared, not replaced, so
+        // it keeps its capacity). The metadata word — generation,
+        // pending count, queue kind, state — is assembled in registers
+        // and written once.
         uint64_t pos = t.tail++;
-        RobEntry &e = entryAt(t, pos);
-        e.inst = f.inst;
-        e.pos = pos;
-        e.qKind = static_cast<uint8_t>(kind);
-        e.doneCycle = 0;
-        e.prevWriter = -1;
-        e.mispredicted = f.mispredicted;
-        e.storeDone = false;
-        e.elemsIssued = 0;
-        e.streamReady = 0;
-        e.gen = ++t.genTick;
-        e.waiters.clear();
+        size_t s = slotOf(t, pos);
+        RobCold &cold = _cold[s];
+        cold.inst = f.inst;
+        _colPos[s] = pos;
+        cold.prevWriter = -1;
+        cold.mispredicted = f.mispredicted;
+        cold.storeDone = false;
+        cold.elemsIssued = 0;
+        cold.streamReady = 0;
+        uint64_t gen = ++t.genTick & kMetaGenMask;
+        _waiters[s].clear();
 
         isa::RegRef srcs[3] = { f.inst->src0, f.inst->src1, f.inst->src2 };
         for (int sidx = 0; sidx < 3; ++sidx) {
-            e.prod[sidx] = isa::isValidReg(srcs[sidx])
+            cold.prod[sidx] = isa::isValidReg(srcs[sidx])
                 ? t.rename[srcs[sidx]] : -1;
         }
-        trackProducers(t, e);
+        int pending = trackProducers(t, s, pos, gen);
         if (isa::isValidReg(f.inst->dst)) {
-            e.prevWriter = t.rename[f.inst->dst];
+            cold.prevWriter = t.rename[f.inst->dst];
             t.rename[f.inst->dst] = static_cast<int64_t>(pos);
             _freeRegs[physPoolOf(f.inst->dst)] -= 1;
         }
 
         if (isNop) {
-            e.state = State::Done;
-            e.doneCycle = _now;
+            _hot[s].meta = metaPack(gen, pending, kind, State::Done);
+            _hot[s].when = _now;
         } else {
-            e.state = State::Dispatched;
-            queue->push_back({ &e, pos, tid });
+            _hot[s].meta = metaPack(gen, pending, kind, State::Dispatched);
+            queue->push_back({ pos, gen, static_cast<uint32_t>(s), tid });
             t.iqCount += 1;
-            t.oqCount += e.inst->eqInsts();
-            if (e.pendingProducers == 0)
-                relaxQueueBound(e);
+            t.oqCount += cold.inst->eqInsts();
+            if (pending == 0)
+                relaxQueueBound(s);
         }
 
         t.fetchQ.pop_front();
-        *_ctrDispatched += 1;
+        _stats.at(_ctrDispatched) += 1;
         return true;
     };
 
@@ -960,12 +1098,12 @@ SmtCore::fetchStage()
         uint64_t groupPc = insts[t.cursor].pc;
         mem::FetchReply rep = _mem.ifetch(_now, groupPc);
         if (!rep.accepted) {
-            *_ctrIfetchRejected += 1;
+            _stats.at(_ctrIfetchRejected) += 1;
             continue;       // I-cache port/bank conflict this cycle
         }
         if (!rep.hit) {
             t.fetchReady = rep.readyCycle;
-            *_ctrIcacheMissStalls += 1;
+            _stats.at(_ctrIcacheMissStalls) += 1;
             continue;
         }
 
@@ -981,13 +1119,13 @@ SmtCore::fetchStage()
                 bool actual = f.inst->taken();
                 f.mispredicted = (pred != actual);
                 _bpred.update(tid, f.inst->pc, actual);
-                *_ctrCondBranches += 1;
+                _stats.at(_ctrCondBranches) += 1;
             }
             if (isa::isSimd(f.inst->opClass()))
                 fetchedVector = true;
 
             t.fetchQ.push_back(f);
-            *_ctrFetched += 1;
+            _stats.at(_ctrFetched) += 1;
 
             // A group ends at taken control flow.
             if (f.inst->isControl() && f.inst->taken())
@@ -1005,28 +1143,29 @@ void
 SmtCore::flushThread(int tid, uint64_t branchPos)
 {
     Thread &t = _threads[static_cast<size_t>(tid)];
-    RobEntry &branch = entryAt(t, branchPos);
 
     // Roll back rename state and free registers, youngest first.
-    // Squashed entries keep their generation tag until the slot is
-    // reallocated, so wakeup records pointing at them stay inert (the
-    // pos is cleared here; a recycled slot gets a fresh gen).
+    // Squashed slots keep their generation tag until reallocated, so
+    // wakeup records pointing at them stay inert (the pos column is
+    // set to the squash sentinel here; a recycled slot gets a fresh
+    // gen).
     while (t.tail > branchPos + 1) {
         uint64_t pos = --t.tail;
-        RobEntry &e = entryAt(t, pos);
-        if (e.pos != pos)
+        size_t s = slotOf(t, pos);
+        if (_colPos[s] != pos)
             continue;
-        if (isa::isValidReg(e.inst->dst)) {
-            t.rename[e.inst->dst] = e.prevWriter;
-            _freeRegs[physPoolOf(e.inst->dst)] += 1;
+        const RobCold &cold = _cold[s];
+        if (isa::isValidReg(cold.inst->dst)) {
+            t.rename[cold.inst->dst] = cold.prevWriter;
+            _freeRegs[physPoolOf(cold.inst->dst)] += 1;
         }
-        if (e.state == State::Dispatched) {
+        if (metaState(_hot[s].meta) == State::Dispatched) {
             t.iqCount -= 1;
-            t.oqCount -= e.inst->eqInsts();
+            t.oqCount -= cold.inst->eqInsts();
         }
-        e.state = State::Empty;
-        e.pos = ~0ull;
-        *_ctrSquashed += 1;
+        setMetaState(s, State::Empty);
+        _colPos[s] = ~0ull;
+        _stats.at(_ctrSquashed) += 1;
     }
 
     auto scrub = [tid, branchPos](std::vector<IqEntry> &q) {
@@ -1048,9 +1187,9 @@ SmtCore::flushThread(int tid, uint64_t branchPos)
     t.cursor = static_cast<size_t>(branchPos + 1);
 
     t.fetchReady = std::max(t.fetchReady,
-                            branch.doneCycle +
+                            _hot[slotOf(t, branchPos)].when +
                             static_cast<uint64_t>(_cfg.mispredictPenalty));
-    *_ctrFlushes += 1;
+    _stats.at(_ctrFlushes) += 1;
 }
 
 } // namespace momsim::cpu

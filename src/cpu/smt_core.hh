@@ -19,12 +19,26 @@
  * per-cycle walk; the kernel_equivalence CTest gate holds it to the
  * pre-refactor rows byte for byte):
  *
+ *  - Structure-of-arrays ROB storage: the scheduling state every
+ *    per-cycle scan touches lives in flat arrays — a position column
+ *    and a 16-byte hot record per slot pairing a packed metadata word
+ *    (generation tag, pending-producer count, queue kind, state) with
+ *    a single state-dependent timestamp (ready cycle while waiting,
+ *    done cycle once complete) — one slot per (thread, window entry),
+ *    all carved from a single core-owned arena together with the
+ *    per-thread rename tables and fetch-queue rings. Queue entries
+ *    validate by generation tag, so a scan's entire readiness test is
+ *    one 16-byte load per entry; a dispatch initializes the whole
+ *    record with two stores. The wide per-instruction payload (trace
+ *    pointer, producer positions, rename rollback, stream progress)
+ *    sits in a cold side array touched once per dispatch/issue/commit.
+ *
  *  - Readiness tracking: instead of rescanning every issue-queue entry's
- *    producers each cycle, each ROB entry carries a pending-producer
+ *    producers each cycle, each ROB slot carries a pending-producer
  *    count and a ready cycle. Producers keep a wakeup list of waiting
  *    consumers; completing an instruction decrements its consumers'
  *    counts and relaxes their ready cycles, so the issue scan is O(1)
- *    per entry. Wakeup records are validated by a per-entry generation
+ *    per entry. Wakeup records are validated by a per-slot generation
  *    tag, which makes records from squashed (flushed) consumers inert
  *    even after their ROB slot is recycled.
  *
@@ -45,8 +59,10 @@
 #ifndef MOMSIM_CPU_SMT_CORE_HH
 #define MOMSIM_CPU_SMT_CORE_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/bits.hh"
@@ -101,6 +117,18 @@ class SmtCore
     /** Dump per-thread pipeline state (debugging aid). */
     void debugDump() const;
 
+    /**
+     * Cross-check the structure-of-arrays invariants (test hook; see
+     * tests/test_kernel.cc). Returns an empty string when consistent,
+     * else a description of the first violated invariant. Checked:
+     * every in-flight position maps to a slot whose position column
+     * holds the position (live) or the squash sentinel; live slots are
+     * never State::Empty; queue/stream references resolve to their
+     * slot; per-thread queue occupancy counters match the queues;
+     * waiter generation tags never run ahead of the owning thread.
+     */
+    std::string debugLayoutIssue() const;
+
   private:
     enum class State : uint8_t
     {
@@ -114,33 +142,23 @@ class SmtCore
     struct Waiter
     {
         uint64_t pos;       ///< consumer ROB position
-        uint32_t gen;       ///< consumer generation at registration
+        uint64_t gen;       ///< consumer generation at registration
     };
 
     /**
-     * Field order is deliberate: the scheduling fields every per-cycle
-     * scan touches (position/identity, completion and readiness state)
-     * come first so they share one cache line; the instruction payload
-     * and rename/flush bookkeeping follow.
+     * Per-slot payload the per-cycle scans never touch: read/written
+     * once per dispatch, issue or commit of that instruction. The hot
+     * scheduling state lives in the flat columns (_colPos etc.).
      */
-    struct RobEntry
+    struct RobCold
     {
-        uint64_t pos = 0;           ///< absolute position (age within thread)
-        uint64_t doneCycle = 0;
-        // ---- readiness tracking ----
-        uint64_t readyCycle = 0;    ///< max doneCycle of resolved producers
-        int pendingProducers = 0;   ///< producers not yet executed
-        uint32_t gen = 0;           ///< bumped on (re)allocation
-        uint8_t qKind = 0;          ///< isa::QueueKind, fixed at dispatch
-        State state = State::Empty;
+        const isa::TraceInst *inst = nullptr;   ///< into the thread's trace
+        int64_t prod[3] = { -1, -1, -1 };       ///< producer positions
+        int64_t prevWriter = -1;    ///< for rename rollback on flush
+        uint64_t streamReady = 0;   ///< max element completion
+        uint16_t elemsIssued = 0;   ///< stream memory progress
         bool mispredicted = false;
         bool storeDone = false;     ///< scalar store performed at commit
-        uint16_t elemsIssued = 0;   ///< stream memory progress
-        uint64_t streamReady = 0;   ///< max element completion
-        int64_t prod[3] = { -1, -1, -1 };   ///< producer positions
-        int64_t prevWriter = -1;    ///< for rename rollback on flush
-        const isa::TraceInst *inst = nullptr;   ///< into the thread's trace
-        std::vector<Waiter> waiters;    ///< consumers to wake when Done
     };
 
     /**
@@ -160,17 +178,17 @@ class SmtCore
      * Fixed-capacity ring buffer for the per-thread fetch queue. The
      * queue is bounded by fetchQueueDepth and lives on the kernel's
      * hottest path (one push per fetched instruction, one pop per
-     * dispatched one), where std::deque's segmented bookkeeping is
-     * measurable overhead.
+     * dispatched one). Storage is a caller-provided span carved from
+     * the core arena so every thread's ring sits in one allocation.
      */
     class FetchRing
     {
       public:
         void
-        init(size_t capacity)
+        init(FetchedInst *storage, size_t capacityPow2)
         {
-            _buf.resize(pow2Ceil(capacity));
-            _mask = _buf.size() - 1;
+            _buf = storage;
+            _mask = capacityPow2 - 1;
             _head = _tail = 0;
         }
 
@@ -182,46 +200,50 @@ class SmtCore
         void clear() { _head = _tail = 0; }
 
       private:
-        std::vector<FetchedInst> _buf;
+        FetchedInst *_buf = nullptr;
         uint64_t _mask = 0;
         uint64_t _head = 0;
         uint64_t _tail = 0;
     };
 
     /**
-     * The 2KB rename table sits last on purpose: the per-cycle
-     * commit/dispatch/fetch scans walk every thread's control fields,
-     * which this layout keeps within the struct's first cache lines.
+     * Per-thread control state. The wide per-entry structures (ROB
+     * columns, rename table, fetch-ring storage) live in the core
+     * arena; the thread carries its slot base and pointers into it, so
+     * the per-cycle commit/dispatch/fetch scans walking every thread
+     * stay within a few cache lines per thread.
      */
     struct Thread
     {
         const trace::Program *prog = nullptr;
         size_t cursor = 0;              ///< next trace index to fetch
-        uint64_t fetchReady = 0;        ///< icache stall / redirect
-        uint64_t robMask = 0;           ///< rob.size() - 1
         uint64_t head = 0;              ///< oldest in-flight position
         uint64_t tail = 0;              ///< next position to allocate
+        uint64_t fetchReady = 0;        ///< icache stall / redirect
         uint64_t committedEq = 0;       ///< for the current program
-        uint32_t genTick = 0;           ///< generation source for entries
+        uint64_t genTick = 0;           ///< generation source for entries
+        uint32_t slotBase = 0;          ///< first column slot of this thread
         int iqCount = 0;                ///< decoded-not-issued (ICOUNT)
         int64_t oqCount = 0;            ///< eq-weighted (OCOUNT)
         bool lastFetchVector = false;   ///< for BALANCE
         FetchRing fetchQ;
-        std::vector<RobEntry> rob;      ///< circular, pow2-rounded storage
-        int64_t rename[256];            ///< logical reg -> producer pos
+        int64_t *rename = nullptr;      ///< logical reg -> producer pos (256)
     };
 
     /**
-     * Issue-queue/stream-list reference. Carries the entry pointer
-     * (ROB storage never moves after construction) so queue scans
-     * check readiness without touching the Thread indirection; tid and
-     * pos stay for flush scrubbing and staleness validation.
+     * Issue-queue/stream-list reference. Carries the flat column slot
+     * (slots never move) plus the allocation's generation tag, so a
+     * scan validates the entry (generation + state) and reads its
+     * readiness from the slot's single 16-byte hot record — no Thread
+     * indirection, no position column. tid and pos stay for flush
+     * scrubbing and the debug layout invariants.
      */
     struct IqEntry
     {
-        RobEntry *entry;
         uint64_t pos;
-        int tid;
+        uint64_t gen;
+        uint32_t slot;
+        int32_t tid;
     };
 
     /** Why (or whether) the head of a thread's fetch queue can't rename. */
@@ -240,21 +262,97 @@ class SmtCore
     void fetchStage();
 
     void flushThread(int tid, uint64_t branchPos);
-    RobEntry &entryAt(Thread &t, uint64_t pos);
-    const RobEntry &entryAt(const Thread &t, uint64_t pos) const;
+    /** Column slot of @p pos within thread @p t (pos may be in flight). */
+    size_t
+    slotOf(const Thread &t, uint64_t pos) const
+    {
+        return t.slotBase + static_cast<size_t>(pos & _robMask);
+    }
+
+    // ---- per-slot hot record: the two words every scan reads ----
+    //
+    // `meta` packs [63:16] generation tag, [15:8] pending producers
+    // (<= 3), [7:4] isa::QueueKind, [3:0] State. `when` is the slot's
+    // scheduling timestamp, interpreted by state: the operand-ready
+    // cycle while Dispatched, the completion cycle once Done — the two
+    // are never needed at the same time, so they share one word. Pairing
+    // the words keeps a scan's entire readiness test (staleness, state,
+    // pending count, cycle comparison) inside a single 16-byte load.
+    struct SlotHot
+    {
+        uint64_t when;      ///< ready cycle (Dispatched) / done cycle (Done)
+        uint64_t meta;      ///< packed gen/pending/qkind/state
+    };
+
+    static constexpr uint64_t kMetaStateMask = 0xfull;
+    static constexpr int kMetaQKindShift = 4;
+    static constexpr int kMetaPendShift = 8;
+    static constexpr uint64_t kMetaPendOne = 1ull << kMetaPendShift;
+    static constexpr int kMetaGenShift = 16;
+    /// 48-bit generation space: unique per allocation for any run short
+    /// of 2^48 dispatches per thread (centuries of simulated time).
+    static constexpr uint64_t kMetaGenMask = ~0ull >> kMetaGenShift;
+
+    static State
+    metaState(uint64_t m)
+    {
+        return static_cast<State>(m & kMetaStateMask);
+    }
+    static int
+    metaQKind(uint64_t m)
+    {
+        return static_cast<int>((m >> kMetaQKindShift) & 0xf);
+    }
+    static int
+    metaPending(uint64_t m)
+    {
+        return static_cast<int>((m >> kMetaPendShift) & 0xff);
+    }
+    static uint64_t
+    metaGen(uint64_t m)
+    {
+        return m >> kMetaGenShift;
+    }
+    static uint64_t
+    metaPack(uint64_t gen, int pending, isa::QueueKind kind, State st)
+    {
+        return (gen << kMetaGenShift) |
+               (static_cast<uint64_t>(pending) << kMetaPendShift) |
+               (static_cast<uint64_t>(kind) << kMetaQKindShift) |
+               static_cast<uint64_t>(st);
+    }
+    /** Rewrite only the state field of slot @p s. */
+    void
+    setMetaState(size_t s, State st)
+    {
+        _hot[s].meta = (_hot[s].meta & ~kMetaStateMask) |
+                       static_cast<uint64_t>(st);
+    }
     int physPoolOf(isa::RegRef reg) const;
     const std::vector<int> &fetchOrder();
     bool vectorPipeEmpty() const;
     void issueFromQueue(std::vector<IqEntry> &queue, int width,
                         isa::QueueKind kind);
-    bool tryExecute(int tid, RobEntry &e, isa::QueueKind kind);
+    bool tryExecute(int tid, size_t slot, isa::QueueKind kind);
 
-    /** Resolve producers of a freshly allocated entry; register waiters. */
-    void trackProducers(Thread &t, RobEntry &e);
-    /** Producer @p e just reached Done: wake registered consumers. */
-    void wakeDependents(Thread &t, RobEntry &e);
-    /** Entry @p e became ready: lower its queue's earliest-ready bound. */
-    void relaxQueueBound(const RobEntry &e);
+    /**
+     * Resolve producers of a freshly allocated slot: set its ready
+     * column, register waiters (tagged @p pos / @p gen) on unresolved
+     * producers, and return the pending-producer count for the
+     * dispatcher's metadata pack.
+     */
+    int trackProducers(Thread &t, size_t slot, uint64_t pos, uint64_t gen);
+    /** Producer @p slot just reached Done: wake registered consumers. */
+    void wakeDependents(Thread &t, size_t slot);
+    /** Slot @p slot became ready: lower its queue's earliest-ready bound. */
+    void
+    relaxQueueBound(size_t slot)
+    {
+        const SlotHot h = _hot[slot];
+        uint64_t &bound = _queueMinReady[metaQKind(h.meta)];
+        if (h.when < bound)
+            bound = h.when;
+    }
     /**
      * The structural gate dispatch would hit for thread @p t's head.
      * On Ok, @p kindOut (when given) receives the target queue kind so
@@ -278,6 +376,23 @@ class SmtCore
     std::vector<Thread> _threads;
     std::vector<IqEntry> _intQ, _memQ, _fpQ, _simdQ;
     std::vector<IqEntry> _activeStreams;
+
+    // ---- structure-of-arrays ROB state ----
+    //
+    // One slot per (thread, window entry): slot = thread.slotBase +
+    // (pos & _robMask). The hot scheduling columns below plus every
+    // thread's rename table and fetch-ring buffer are carved from
+    // _arenaStore, one contiguous cache-aligned allocation, so a
+    // simulation's per-cycle working set is dense and prefetchable.
+    std::unique_ptr<std::byte[]> _arenaStore;
+    uint64_t *_colPos = nullptr;    ///< absolute position, ~0ull = squashed
+    SlotHot *_hot = nullptr;        ///< when + meta, see SlotHot
+    uint64_t _robMask = 0;          ///< per-thread window storage mask
+    size_t _numSlots = 0;
+    // Cold payload and wakeup lists, parallel to the columns. Waiter
+    // vectors are recycled with the slot so their capacity survives.
+    std::vector<RobCold> _cold;
+    std::vector<std::vector<Waiter>> _waiters;
 
     /**
      * Per-queue lower bound (indexed by QueueKind) on the earliest
@@ -307,28 +422,27 @@ class SmtCore
     // Per-cycle scratch (a member so the hot loop never allocates).
     std::vector<int> _fetchOrderBuf;
 
-    // Hot-path counters, cached once so per-event accounting is an
-    // increment instead of a string lookup (StatGroup counter
-    // references are stable for the group's lifetime).
-    uint64_t *_ctrCommits = nullptr;
-    uint64_t *_ctrCommitInt = nullptr;
-    uint64_t *_ctrCommitFp = nullptr;
-    uint64_t *_ctrCommitSimd = nullptr;
-    uint64_t *_ctrCommitMem = nullptr;
-    uint64_t *_ctrIssued = nullptr;
-    uint64_t *_ctrDispatched = nullptr;
-    uint64_t *_ctrFetched = nullptr;
-    uint64_t *_ctrCondBranches = nullptr;
-    uint64_t *_ctrRobFullStalls = nullptr;
-    uint64_t *_ctrIqFullStalls = nullptr;
-    uint64_t *_ctrRegFullStalls = nullptr;
-    uint64_t *_ctrIdleCyclesSkipped = nullptr;
-    uint64_t *_ctrCommitStoreStalls = nullptr;
-    uint64_t *_ctrMispredicts = nullptr;
-    uint64_t *_ctrFlushes = nullptr;
-    uint64_t *_ctrSquashed = nullptr;
-    uint64_t *_ctrIfetchRejected = nullptr;
-    uint64_t *_ctrIcacheMissStalls = nullptr;
+    // Hot-path counters, resolved to stable StatIds once so per-event
+    // accounting is an indexed increment instead of a string lookup.
+    StatId _ctrCommits = 0;
+    StatId _ctrCommitInt = 0;
+    StatId _ctrCommitFp = 0;
+    StatId _ctrCommitSimd = 0;
+    StatId _ctrCommitMem = 0;
+    StatId _ctrIssued = 0;
+    StatId _ctrDispatched = 0;
+    StatId _ctrFetched = 0;
+    StatId _ctrCondBranches = 0;
+    StatId _ctrRobFullStalls = 0;
+    StatId _ctrIqFullStalls = 0;
+    StatId _ctrRegFullStalls = 0;
+    StatId _ctrIdleCyclesSkipped = 0;
+    StatId _ctrCommitStoreStalls = 0;
+    StatId _ctrMispredicts = 0;
+    StatId _ctrFlushes = 0;
+    StatId _ctrSquashed = 0;
+    StatId _ctrIfetchRejected = 0;
+    StatId _ctrIcacheMissStalls = 0;
 
     /**
      * Set when the last stage pass made no visible progress; gates the

@@ -72,6 +72,9 @@ BenchOptions::flagTable()
     static const std::vector<BenchFlagInfo> table = {
         { "--jobs", "-j", "N",
           "worker threads for the sweep (default: all hardware)" },
+        { "--batch", nullptr, "K",
+          "interleave K consecutive sweep points per worker task "
+          "(default 1); results are byte-identical for any K" },
         { "--quick", nullptr, nullptr,
           "tiny workload scale, for smoke tests and CI" },
         { "--workload", nullptr, "NAME[,NAME...]",
@@ -203,6 +206,15 @@ BenchOptions::parseInto(int argc, char **argv, BenchOptions &out,
             opts.jobs = std::atoi(v);
             if (opts.jobs < 1) {
                 error = strfmt("bad --jobs '%s' (want an integer >= 1)", v);
+                return false;
+            }
+        } else if (std::strcmp(arg, "--batch") == 0) {
+            if (!value(i, &v))
+                return false;
+            opts.batch = std::atoi(v);
+            if (opts.batch < 1) {
+                error = strfmt("bad --batch '%s' (want an integer >= 1)",
+                               v);
                 return false;
             }
         } else if (std::strcmp(arg, "--quick") == 0) {
@@ -385,8 +397,10 @@ BenchHarness::declareNoSweep()
 ExperimentRunner &
 BenchHarness::runner()
 {
-    if (!_runner)
+    if (!_runner) {
         _runner = std::make_unique<ExperimentRunner>(_repo, _pool);
+        _runner->setBatchSize(_opts.batch);
+    }
     return *_runner;
 }
 

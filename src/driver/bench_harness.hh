@@ -68,6 +68,7 @@ struct BenchFlagInfo
 struct BenchOptions
 {
     int jobs = 0;               ///< 0 => hardware concurrency
+    int batch = 1;              ///< sweep points interleaved per task
     bool quick = false;
     bool dryRun = false;
     bool listWorkloads = false; ///< print the registry and exit

@@ -1,5 +1,6 @@
 #include "driver/experiment.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <mutex>
 
@@ -168,38 +169,85 @@ SweepGrid::expand(uint64_t baseSeed) const
 ResultRow
 ExperimentRunner::runOne(const ExperimentSpec &spec) const
 {
-    auto start = std::chrono::steady_clock::now();
+    return runBatch({ &spec }).front();
+}
 
-    cpu::CoreConfig cfg =
-        cpu::CoreConfig::preset(spec.threads, spec.simd, spec.policy);
-    if (spec.tweakCore)
-        spec.tweakCore(cfg);
+std::vector<ResultRow>
+ExperimentRunner::runBatch(
+    const std::vector<const ExperimentSpec *> &specs) const
+{
+    MOMSIM_ASSERT(!specs.empty(), "empty batch");
+    using clock = std::chrono::steady_clock;
 
-    mem::MemConfig memCfg;
-    if (spec.tweakMem)
-        spec.tweakMem(memCfg);
+    // Construct every machine up front, then arm the runs. The
+    // per-spec setup wall time is attributed to that spec's row; the
+    // interleaved simulation time is self-measured per advance() by
+    // each Simulation.
+    struct Active
+    {
+        std::shared_ptr<const workloads::MediaWorkload> workload;
+        std::unique_ptr<core::Simulation> sim;
+        double setupMs = 0.0;
+    };
+    std::vector<Active> act(specs.size());
+    for (size_t i = 0; i < specs.size(); ++i) {
+        const ExperimentSpec &spec = *specs[i];
+        auto start = clock::now();
 
-    std::shared_ptr<const workloads::MediaWorkload> workload =
-        _repo.get(spec.workload);
-    core::Simulation sim(cfg, spec.memModel,
-                         workload->rotation(spec.simd), memCfg);
-    core::RunResult run = sim.run(spec.targetCompletions, spec.maxCycles);
+        cpu::CoreConfig cfg =
+            cpu::CoreConfig::preset(spec.threads, spec.simd, spec.policy);
+        if (spec.tweakCore)
+            spec.tweakCore(cfg);
 
-    ResultRow row;
-    row.id = spec.id.empty() ? spec.canonicalId() : spec.id;
-    row.workload = spec.workload;
-    row.simd = spec.simd;
-    row.threads = spec.threads;
-    row.memModel = spec.memModel;
-    row.policy = spec.policy;
-    row.variant = spec.variant;
-    row.seed = spec.seed;
-    row.run = run;
-    row.headline = ResultSink::headlineOf(run, spec.simd);
-    row.wallMs = std::chrono::duration<double, std::milli>(
-                     std::chrono::steady_clock::now() - start)
-                     .count();
-    return row;
+        mem::MemConfig memCfg;
+        if (spec.tweakMem)
+            spec.tweakMem(memCfg);
+
+        act[i].workload = _repo.get(spec.workload);
+        act[i].sim = std::make_unique<core::Simulation>(
+            cfg, spec.memModel, act[i].workload->rotation(spec.simd),
+            memCfg);
+        act[i].sim->begin(spec.targetCompletions, spec.maxCycles);
+        act[i].setupMs = std::chrono::duration<double, std::milli>(
+                             clock::now() - start)
+                             .count();
+    }
+
+    // Round-robin the runs in fixed cycle quanta until all complete.
+    // The machines are fully independent — interleaving only changes
+    // which simulation the worker touches next, never what any of
+    // them computes, so each row is byte-identical to a solo run.
+    size_t live = 0;
+    for (const Active &a : act)
+        live += a.sim->done() ? 0 : 1;
+    while (live > 0) {
+        for (Active &a : act) {
+            if (a.sim->done())
+                continue;
+            if (a.sim->advance(kBatchQuantumCycles))
+                live -= 1;
+        }
+    }
+
+    std::vector<ResultRow> rows(specs.size());
+    for (size_t i = 0; i < specs.size(); ++i) {
+        const ExperimentSpec &spec = *specs[i];
+        core::RunResult run = act[i].sim->finish();
+        ResultRow row;
+        row.id = spec.id.empty() ? spec.canonicalId() : spec.id;
+        row.workload = spec.workload;
+        row.simd = spec.simd;
+        row.threads = spec.threads;
+        row.memModel = spec.memModel;
+        row.policy = spec.policy;
+        row.variant = spec.variant;
+        row.seed = spec.seed;
+        row.run = run;
+        row.headline = ResultSink::headlineOf(run, spec.simd);
+        row.wallMs = act[i].setupMs + run.wallMs;
+        rows[i] = std::move(row);
+    }
+    return rows;
 }
 
 void
@@ -227,10 +275,27 @@ ExperimentRunner::run(const std::vector<ExperimentSpec> &specs)
         costs[i] = specCost(specs[i],
                             _repo.get(specs[i].workload)->numPrograms());
 
+    // Deal ceil(n/K) groups of K consecutive points to the pool; each
+    // group's cost is the sum of its members' so the LPT deal stays
+    // balanced. K == 1 degenerates to one task per point.
+    const size_t k = static_cast<size_t>(_batchSize);
+    const size_t groups = (specs.size() + k - 1) / k;
+    std::vector<double> groupCosts(groups, 0.0);
+    for (size_t i = 0; i < specs.size(); ++i)
+        groupCosts[i / k] += costs[i];
+
     std::vector<ResultRow> rows(specs.size());
-    _pool.parallelFor(specs.size(), costs,
-                      [this, &specs, &rows](size_t i) {
-                          rows[i] = runOne(specs[i]);
+    _pool.parallelFor(groups, groupCosts,
+                      [this, k, &specs, &rows](size_t g) {
+                          size_t lo = g * k;
+                          size_t hi = std::min(specs.size(), lo + k);
+                          std::vector<const ExperimentSpec *> batch;
+                          batch.reserve(hi - lo);
+                          for (size_t i = lo; i < hi; ++i)
+                              batch.push_back(&specs[i]);
+                          std::vector<ResultRow> out = runBatch(batch);
+                          for (size_t i = lo; i < hi; ++i)
+                              rows[i] = std::move(out[i - lo]);
                       });
 
     ResultSink sink;
@@ -263,35 +328,54 @@ ExperimentRunner::run(const RunPlan &plan, ResultStore *store)
     // fully-cached re-run synthesizes nothing at all.
     prebuildWorkloads(names);
 
-    // Persist each row the moment its simulation finishes (not after
-    // the whole sweep): an interrupted multi-hour run then resumes
-    // from its last completed point instead of from scratch. The store
-    // is not thread-safe, so puts serialize through a mutex.
+    // Deal ceil(n/K) groups of K consecutive misses to the pool (K ==
+    // 1 degenerates to one task per point); groups carry summed costs
+    // so the LPT deal stays balanced.
+    const size_t k = static_cast<size_t>(_batchSize);
+    const size_t groups = (todo.size() + k - 1) / k;
+    std::vector<double> groupCosts(groups, 0.0);
+    for (size_t i = 0; i < todo.size(); ++i)
+        groupCosts[i / k] += costs[i];
+
+    // Persist each row the moment its batch finishes (not after the
+    // whole sweep): an interrupted multi-hour run then resumes from
+    // its last completed point instead of from scratch. The store is
+    // not thread-safe, so puts serialize through a mutex.
     std::mutex storeMutex;
     std::vector<ResultRow> fresh(todo.size());
-    _pool.parallelFor(todo.size(), costs,
-                      [this, &plan, &todo, &fresh, store,
-                       &storeMutex](size_t k) {
-                          ResultRow row = runOne(plan.points[todo[k]].spec);
-                          if (store) {
-                              std::lock_guard<std::mutex> lock(storeMutex);
-                              store->put(plan.points[todo[k]].key, row);
+    _pool.parallelFor(groups, groupCosts,
+                      [this, k, &plan, &todo, &fresh, store,
+                       &storeMutex](size_t g) {
+                          size_t lo = g * k;
+                          size_t hi = std::min(todo.size(), lo + k);
+                          std::vector<const ExperimentSpec *> batch;
+                          batch.reserve(hi - lo);
+                          for (size_t i = lo; i < hi; ++i)
+                              batch.push_back(&plan.points[todo[i]].spec);
+                          std::vector<ResultRow> out = runBatch(batch);
+                          for (size_t i = lo; i < hi; ++i) {
+                              if (store) {
+                                  std::lock_guard<std::mutex> lock(
+                                      storeMutex);
+                                  store->put(plan.points[todo[i]].key,
+                                             out[i - lo]);
+                              }
+                              fresh[i] = std::move(out[i - lo]);
                           }
-                          fresh[k] = std::move(row);
                       });
 
     // Splice in sweep order: cached rows verbatim, fresh rows from the
     // pool.
     ResultSink sink;
-    size_t k = 0;
+    size_t next = 0;
     for (const PlannedPoint &p : plan.points) {
         if (p.shard != plan.shardIndex)
             continue;
         if (p.cached) {
             sink.append(p.row);
         } else {
-            sink.append(std::move(fresh[k]));
-            ++k;
+            sink.append(std::move(fresh[next]));
+            ++next;
         }
     }
     return sink;

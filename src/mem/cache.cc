@@ -51,20 +51,20 @@ Cache::Cache(const CacheConfig &cfg)
     for (uint32_t i = cfg.writeBufferEntries; i > 0; --i)
         _wbFree.push_back(static_cast<uint16_t>(i - 1));
 
-    _ctrAccesses = &_stats.counter("accesses");
-    _ctrHits = &_stats.counter("hits");
-    _ctrMisses = &_stats.counter("misses");
-    _ctrLatencySum = &_stats.counter("latencySum");
-    _ctrStoreAccesses = &_stats.counter("storeAccesses");
-    _ctrPortConflicts = &_stats.counter("portConflicts");
-    _ctrBankConflicts = &_stats.counter("bankConflicts");
-    _ctrQueueCycles = &_stats.counter("queueCycles");
-    _ctrDelayedHits = &_stats.counter("delayedHits");
-    _ctrMshrCoalesced = &_stats.counter("mshrCoalesced");
-    _ctrWbCoalesced = &_stats.counter("wbCoalesced");
-    _ctrWbInserts = &_stats.counter("wbInserts");
-    _ctrMshrFull = &_stats.counter("mshrFull");
-    _ctrMshrWait = &_stats.counter("mshrWait");
+    _ctrAccesses = _stats.id("accesses");
+    _ctrHits = _stats.id("hits");
+    _ctrMisses = _stats.id("misses");
+    _ctrLatencySum = _stats.id("latencySum");
+    _ctrStoreAccesses = _stats.id("storeAccesses");
+    _ctrPortConflicts = _stats.id("portConflicts");
+    _ctrBankConflicts = _stats.id("bankConflicts");
+    _ctrQueueCycles = _stats.id("queueCycles");
+    _ctrDelayedHits = _stats.id("delayedHits");
+    _ctrMshrCoalesced = _stats.id("mshrCoalesced");
+    _ctrWbCoalesced = _stats.id("wbCoalesced");
+    _ctrWbInserts = _stats.id("wbInserts");
+    _ctrMshrFull = _stats.id("mshrFull");
+    _ctrMshrWait = _stats.id("mshrWait");
 }
 
 Cache::Line *
@@ -138,16 +138,24 @@ Cache::freeMshr(uint64_t cycle)
 void
 Cache::wbPrune(uint64_t cycle) const
 {
+    // Nothing can have drained yet: the walk would keep every entry in
+    // place, so skipping it entirely is behavior-identical.
+    if (cycle < _wbNextFree)
+        return;
     // Liveness is membership in _wbLive; the entry's valid flag is left
     // alone so this lazy recycling can run from const probes.
     size_t keep = 0;
+    uint64_t nextFree = ~0ull;
     for (uint16_t idx : _wbLive) {
-        if (_wb[idx].freeCycle <= cycle)
+        if (_wb[idx].freeCycle <= cycle) {
             _wbFree.push_back(idx);
-        else
+        } else {
+            nextFree = std::min(nextFree, _wb[idx].freeCycle);
             _wbLive[keep++] = idx;
+        }
     }
     _wbLive.resize(keep);
+    _wbNextFree = nextFree;
 }
 
 bool
@@ -212,15 +220,15 @@ Cache::lookup(uint64_t cycle, uint64_t addr, bool isWrite)
         if (Mshr *pending = findMshr(line)) {
             if (pending->readyCycle > res.readyCycle) {
                 res.readyCycle = pending->readyCycle;
-                *_ctrDelayedHits += 1;
+                _stats.at(_ctrDelayedHits) += 1;
             }
         }
         if (wtStore) {
-            *_ctrStoreAccesses += 1;
+            _stats.at(_ctrStoreAccesses) += 1;
         } else {
-            *_ctrAccesses += 1;
-            *_ctrHits += 1;
-            *_ctrLatencySum += res.readyCycle - cycle;
+            _stats.at(_ctrAccesses) += 1;
+            _stats.at(_ctrHits) += 1;
+            _stats.at(_ctrLatencySum) += res.readyCycle - cycle;
         }
         return res;
     }
@@ -231,7 +239,7 @@ Cache::lookup(uint64_t cycle, uint64_t addr, bool isWrite)
         res.accepted = true;
         res.hit = false;
         res.readyCycle = cycle + _cfg.hitLatency;
-        *_ctrStoreAccesses += 1;
+        _stats.at(_ctrStoreAccesses) += 1;
         return res;
     }
 
@@ -245,10 +253,10 @@ Cache::lookup(uint64_t cycle, uint64_t addr, bool isWrite)
             res.hit = false;
             res.readyCycle = std::max(m->readyCycle,
                                       cycle + _cfg.hitLatency);
-            *_ctrAccesses += 1;
-            *_ctrMisses += 1;
-            *_ctrMshrCoalesced += 1;
-            *_ctrLatencySum += res.readyCycle - cycle;
+            _stats.at(_ctrAccesses) += 1;
+            _stats.at(_ctrMisses) += 1;
+            _stats.at(_ctrMshrCoalesced) += 1;
+            _stats.at(_ctrLatencySum) += res.readyCycle - cycle;
             return res;
         }
         m->valid = false;
@@ -257,7 +265,7 @@ Cache::lookup(uint64_t cycle, uint64_t addr, bool isWrite)
 
     Mshr *m = freeMshr(cycle);
     if (!m) {
-        *_ctrMshrFull += 1;
+        _stats.at(_ctrMshrFull) += 1;
         return res;     // structural stall; retry
     }
 
@@ -283,8 +291,8 @@ Cache::lookup(uint64_t cycle, uint64_t addr, bool isWrite)
     res.needsFill = true;
     res.missAddr = line;
     res.readyCycle = 0;         // caller sets it after scheduling the fill
-    *_ctrAccesses += 1;
-    *_ctrMisses += 1;
+    _stats.at(_ctrAccesses) += 1;
+    _stats.at(_ctrMisses) += 1;
     return res;
 }
 
@@ -292,13 +300,13 @@ CacheResult
 Cache::access(uint64_t cycle, uint64_t addr, bool isWrite)
 {
     if (!takePort(cycle)) {
-        *_ctrPortConflicts += 1;
+        _stats.at(_ctrPortConflicts) += 1;
         return {};
     }
 
     uint32_t bank = bankIndexOf(addr);
     if (!bankAvailable(bank, cycle)) {
-        *_ctrBankConflicts += 1;
+        _stats.at(_ctrBankConflicts) += 1;
         return {};
     }
 
@@ -331,7 +339,7 @@ Cache::accessBlocking(uint64_t cycle, uint64_t addr, bool isWrite,
             }
             if (earliest != ~0ull)
                 start = std::max(start, earliest);
-            *_ctrMshrWait += 1;
+            _stats.at(_ctrMshrWait) += 1;
         }
     }
 
@@ -341,7 +349,7 @@ Cache::accessBlocking(uint64_t cycle, uint64_t addr, bool isWrite,
     useBank(bank, start, occ);
     // Express the queueing delay in the result.
     if (res.readyCycle != 0 && start > cycle)
-        *_ctrQueueCycles += start - cycle;
+        _stats.at(_ctrQueueCycles) += start - cycle;
     return res;
 }
 
@@ -397,7 +405,7 @@ Cache::wbInsert(uint64_t cycle, uint64_t addr, uint64_t drainDone,
             // Coalesced into a resident entry: no new drain traffic.
             if (coalesced)
                 *coalesced = true;
-            *_ctrWbCoalesced += 1;
+            _stats.at(_ctrWbCoalesced) += 1;
             return;
         }
     }
@@ -410,9 +418,10 @@ Cache::wbInsert(uint64_t cycle, uint64_t addr, uint64_t drainDone,
     e.valid = true;
     e.lineAddr = line;
     e.freeCycle = drainDone;
+    _wbNextFree = std::min(_wbNextFree, drainDone);
     if (coalesced)
         *coalesced = false;
-    *_ctrWbInserts += 1;
+    _stats.at(_ctrWbInserts) += 1;
 }
 
 bool
@@ -464,6 +473,7 @@ Cache::reset()
     _wbFree.clear();
     for (uint32_t i = _cfg.writeBufferEntries; i > 0; --i)
         _wbFree.push_back(static_cast<uint16_t>(i - 1));
+    _wbNextFree = ~0ull;
     _portCycle = ~0ull;
     _portsUsed = 0;
     _useTick = 0;

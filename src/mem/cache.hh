@@ -235,26 +235,33 @@ class Cache
     // predicate rechecks freeCycle explicitly.
     mutable std::vector<uint16_t> _wbLive;
     mutable std::vector<uint16_t> _wbFree;
+    /**
+     * Exact earliest freeCycle across live write-buffer entries (~0ull
+     * when none are draining): wbPrune's walk is skipped outright while
+     * the bound is in the future, since a prune that can free nothing
+     * is a no-op by construction.
+     */
+    mutable uint64_t _wbNextFree = ~0ull;
     uint64_t _portCycle = ~0ull;
     uint32_t _portsUsed = 0;
     uint64_t _useTick = 0;
     StatGroup _stats;
 
     // Hot-path counters, cached once (StatGroup references are stable).
-    uint64_t *_ctrAccesses = nullptr;
-    uint64_t *_ctrHits = nullptr;
-    uint64_t *_ctrMisses = nullptr;
-    uint64_t *_ctrLatencySum = nullptr;
-    uint64_t *_ctrStoreAccesses = nullptr;
-    uint64_t *_ctrPortConflicts = nullptr;
-    uint64_t *_ctrBankConflicts = nullptr;
-    uint64_t *_ctrQueueCycles = nullptr;
-    uint64_t *_ctrDelayedHits = nullptr;
-    uint64_t *_ctrMshrCoalesced = nullptr;
-    uint64_t *_ctrWbCoalesced = nullptr;
-    uint64_t *_ctrWbInserts = nullptr;
-    uint64_t *_ctrMshrFull = nullptr;
-    uint64_t *_ctrMshrWait = nullptr;
+    StatId _ctrAccesses = 0;
+    StatId _ctrHits = 0;
+    StatId _ctrMisses = 0;
+    StatId _ctrLatencySum = 0;
+    StatId _ctrStoreAccesses = 0;
+    StatId _ctrPortConflicts = 0;
+    StatId _ctrBankConflicts = 0;
+    StatId _ctrQueueCycles = 0;
+    StatId _ctrDelayedHits = 0;
+    StatId _ctrMshrCoalesced = 0;
+    StatId _ctrWbCoalesced = 0;
+    StatId _ctrWbInserts = 0;
+    StatId _ctrMshrFull = 0;
+    StatId _ctrMshrWait = 0;
 };
 
 } // namespace momsim::mem

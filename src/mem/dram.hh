@@ -46,10 +46,10 @@ class RambusChannel
         _deviceFree.fill(0);
         // Cached so per-access accounting never does a string lookup
         // (StatGroup references are stable).
-        _ctrReads = &_stats.counter("reads");
-        _ctrWrites = &_stats.counter("writes");
-        _ctrBytes = &_stats.counter("bytes");
-        _ctrQueueCycles = &_stats.counter("queueCycles");
+        _ctrReads = _stats.id("reads");
+        _ctrWrites = _stats.id("writes");
+        _ctrBytes = _stats.id("bytes");
+        _ctrQueueCycles = _stats.id("queueCycles");
     }
 
     /**
@@ -69,9 +69,9 @@ class RambusChannel
         _channelFree = start + occupancy;
         _deviceFree[dev] = start + _cfg.deviceBusy;
 
-        *(isWrite ? _ctrWrites : _ctrReads) += 1;
-        *_ctrBytes += bytes;
-        *_ctrQueueCycles += start - cycle;
+        _stats.at(isWrite ? _ctrWrites : _ctrReads) += 1;
+        _stats.at(_ctrBytes) += bytes;
+        _stats.at(_ctrQueueCycles) += start - cycle;
         return done;
     }
 
@@ -111,10 +111,10 @@ class RambusChannel
     uint64_t _channelFree = 0;
     std::array<uint64_t, 16> _deviceFree{};
     StatGroup _stats;
-    uint64_t *_ctrReads = nullptr;
-    uint64_t *_ctrWrites = nullptr;
-    uint64_t *_ctrBytes = nullptr;
-    uint64_t *_ctrQueueCycles = nullptr;
+    StatId _ctrReads = 0;
+    StatId _ctrWrites = 0;
+    StatId _ctrBytes = 0;
+    StatId _ctrQueueCycles = 0;
 };
 
 } // namespace momsim::mem

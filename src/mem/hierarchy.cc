@@ -98,10 +98,13 @@ MemConfig::applyDecoupledShape()
 BaseHierarchy::BaseHierarchy(const MemConfig &cfg)
     : _cfg(cfg), _l1(cfg.l1), _ic(cfg.icache), _l2(cfg.l2), _dram(cfg.dram)
 {
-    _ctrL1WbFull = &_l1.stats().counter("wbFull");
-    _ctrL1WbForwards = &_l1.stats().counter("wbForwards");
-    _ctrL1LatencySum = &_l1.stats().counter("latencySum");
-    _ctrL2LatencySum = &_l2.stats().counter("latencySum");
+    _ctrL1WbFull = _l1.stats().id("wbFull");
+    _ctrL1WbForwards = _l1.stats().id("wbForwards");
+    _ctrL1LatencySum = _l1.stats().id("latencySum");
+    _ctrL2LatencySum = _l2.stats().id("latencySum");
+    _ctrIcLatencySum = _ic.stats().id("latencySum");
+    _ctrL2VecPortConflicts = _l2.stats().id("vectorPortConflicts");
+    _ctrL2VecInvalidations = _l2.stats().id("vecInvalidations");
 }
 
 uint64_t
@@ -140,7 +143,7 @@ BaseHierarchy::l2Read(uint64_t cycle, uint64_t addr, uint32_t bytes)
         uint64_t done = _dram.access(cycle + _cfg.l2.hitLatency, r.missAddr,
                                      _cfg.l2.lineBytes, false);
         _l2.fillDone(r.missAddr, done);
-        *_ctrL2LatencySum += done - cycle;
+        _l2.stats().at(_ctrL2LatencySum) += done - cycle;
         return done;
     }
     return r.readyCycle;
@@ -159,7 +162,7 @@ BaseHierarchy::l2Write(uint64_t cycle, uint64_t addr, uint32_t bytes)
         uint64_t done = _dram.access(cycle + _cfg.l2.hitLatency, r.missAddr,
                                      _cfg.l2.lineBytes, false);
         _l2.fillDone(r.missAddr, done);
-        *_ctrL2LatencySum += done - cycle;
+        _l2.stats().at(_ctrL2LatencySum) += done - cycle;
         return done;
     }
     return r.readyCycle;
@@ -169,7 +172,7 @@ bool
 BaseHierarchy::storeThroughWb(uint64_t cycle, uint64_t addr, MemReply &rep)
 {
     if (!_l1.wbProbe(cycle, addr)) {
-        *_ctrL1WbFull += 1;
+        _l1.stats().at(_ctrL1WbFull) += 1;
         return false;
     }
     CacheResult r = _l1.access(cycle, addr, true);
@@ -197,7 +200,7 @@ BaseHierarchy::ifetch(uint64_t cycle, uint64_t pc)
         uint64_t done = l2Read(cycle + _cfg.icache.hitLatency, r.missAddr,
                                _cfg.icache.lineBytes);
         _ic.fillDone(r.missAddr, done);
-        _ic.stats().counter("latencySum") += done - cycle;
+        _ic.stats().at(_ctrIcLatencySum) += done - cycle;
         rep.readyCycle = done;
     } else {
         rep.readyCycle = r.readyCycle;
@@ -221,7 +224,7 @@ ConventionalHierarchy::access(uint64_t cycle, const MemAccess &req)
     // Load forwarding from a resident write-buffer entry ("selective
     // flush": the matching entry services the load directly).
     if (_l1.wbHit(cycle, req.addr)) {
-        *_ctrL1WbForwards += 1;
+        _l1.stats().at(_ctrL1WbForwards) += 1;
         rep.accepted = true;
         rep.l1Hit = true;
         rep.readyCycle = cycle + 1;
@@ -237,7 +240,7 @@ ConventionalHierarchy::access(uint64_t cycle, const MemAccess &req)
         uint64_t done = l2Read(cycle + _cfg.l1.hitLatency, r.missAddr,
                                _cfg.l1.lineBytes);
         _l1.fillDone(r.missAddr, done);
-        *_ctrL1LatencySum += done - cycle;
+        _l1.stats().at(_ctrL1LatencySum) += done - cycle;
         rep.readyCycle = done;
     } else {
         rep.readyCycle = r.readyCycle;
@@ -284,7 +287,7 @@ DecoupledHierarchy::scalarAccess(uint64_t cycle, const MemAccess &req)
         return rep;
     }
     if (_l1.wbHit(cycle, req.addr)) {
-        *_ctrL1WbForwards += 1;
+        _l1.stats().at(_ctrL1WbForwards) += 1;
         rep.accepted = true;
         rep.l1Hit = true;
         rep.readyCycle = cycle + 1;
@@ -299,7 +302,7 @@ DecoupledHierarchy::scalarAccess(uint64_t cycle, const MemAccess &req)
         uint64_t done = l2Read(cycle + _cfg.l1.hitLatency, r.missAddr,
                                _cfg.l1.lineBytes);
         _l1.fillDone(r.missAddr, done);
-        *_ctrL1LatencySum += done - cycle;
+        _l1.stats().at(_ctrL1LatencySum) += done - cycle;
         rep.readyCycle = done;
         _vecOwned.erase(req.addr & ~static_cast<uint64_t>(
             _cfg.l2.lineBytes - 1));
@@ -314,7 +317,7 @@ DecoupledHierarchy::vectorAccess(uint64_t cycle, const MemAccess &req)
 {
     MemReply rep;
     if (!takeVectorPort(cycle)) {
-        _l2.stats().counter("vectorPortConflicts") += 1;
+        _l2.stats().at(_ctrL2VecPortConflicts) += 1;
         return rep;
     }
 
@@ -326,7 +329,7 @@ DecoupledHierarchy::vectorAccess(uint64_t cycle, const MemAccess &req)
     // pulls it out of the L1 before proceeding.
     if (_l1.probe(req.addr)) {
         _l1.invalidate(req.addr);
-        _l2.stats().counter("vecInvalidations") += 1;
+        _l2.stats().at(_ctrL2VecInvalidations) += 1;
         penalty = _cfg.invalidatePenalty;
         if (req.isWrite)
             _vecOwned.insert(l2line);

@@ -128,14 +128,14 @@ class PerfectMemory : public MemorySystem
   public:
     PerfectMemory() : _stats("perfect")
     {
-        _ctrAccesses = &_stats.counter("accesses");
+        _ctrAccesses = _stats.id("accesses");
     }
 
     MemReply
     access(uint64_t cycle, const MemAccess &req) override
     {
         (void)req;
-        *_ctrAccesses += 1;
+        _stats.at(_ctrAccesses) += 1;
         return { true, true, cycle + 1 };
     }
 
@@ -153,7 +153,7 @@ class PerfectMemory : public MemorySystem
 
   private:
     StatGroup _stats;
-    uint64_t *_ctrAccesses = nullptr;
+    StatId _ctrAccesses = 0;
 };
 
 /** Shared plumbing for the two realistic hierarchies. */
@@ -187,12 +187,15 @@ class BaseHierarchy : public MemorySystem
     Cache _l2;
     RambusChannel _dram;
     // Hierarchy-level counters on the member caches' stat groups,
-    // cached once (references are stable): these fire per store, per
-    // forwarded load and per fill on the data path.
-    uint64_t *_ctrL1WbFull = nullptr;
-    uint64_t *_ctrL1WbForwards = nullptr;
-    uint64_t *_ctrL1LatencySum = nullptr;
-    uint64_t *_ctrL2LatencySum = nullptr;
+    // resolved to stable StatIds once at construction: these fire per
+    // store, per forwarded load and per fill on the data path.
+    StatId _ctrL1WbFull = 0;
+    StatId _ctrL1WbForwards = 0;
+    StatId _ctrL1LatencySum = 0;
+    StatId _ctrL2LatencySum = 0;
+    StatId _ctrIcLatencySum = 0;
+    StatId _ctrL2VecPortConflicts = 0;
+    StatId _ctrL2VecInvalidations = 0;
 };
 
 /** Figure 7(a): four general-purpose ports into the banked L1. */

@@ -97,6 +97,8 @@ SimRequest::toJson() const
                   static_cast<unsigned long long>(seed));
     out += strfmt("\"shardIndex\":%d,\"shardCount\":%d,", shardIndex,
                   shardCount);
+    if (batch != 1)
+        out += strfmt("\"batch\":%d,", batch);
     out += "\"cacheDir\":" + jsonQuote(cacheDir);
     return out + "}";
 }
@@ -188,6 +190,11 @@ SimRequest::fromJson(const std::string &json, SimRequest &out,
         } else if (name == "shardCount") {
             if (!v.toInt(req.shardCount)) {
                 error = "field \"shardCount\" must be an integer";
+                return false;
+            }
+        } else if (name == "batch") {
+            if (!v.toInt(req.batch)) {
+                error = "field \"batch\" must be an integer";
                 return false;
             }
         } else {

@@ -65,6 +65,14 @@ struct SimRequest
     uint64_t seed = 0;          ///< base of the per-task seeds
     int shardIndex = 1;         ///< 1-based, <= shardCount
     int shardCount = 1;
+    /**
+     * Sweep points interleaved per worker task (ExperimentRunner
+     * batching). Purely an execution knob: rows are byte-identical for
+     * any value, so it participates in neither point ids nor cache
+     * keys. Optional on the wire (toJson omits the default 1, older
+     * clients never send it), hence no schemaVersion bump.
+     */
+    int batch = 1;
     std::string cacheDir;       ///< "" => no persistence
 
     /** One-line JSON, fixed field order (JSONL-ready). */

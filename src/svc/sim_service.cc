@@ -172,6 +172,11 @@ SimService::submit(const SimRequest &req)
             strfmt("bad shard %d/%d (want 1 <= I <= N)", req.shardIndex,
                    req.shardCount));
     }
+    if (req.batch < 1) {
+        return SimResponse::failure(
+            req.id, errc::kBadRequest,
+            strfmt("bad batch %d (want an integer >= 1)", req.batch));
+    }
     for (const std::string &name : req.workloads) {
         if (!workloads::WorkloadSpec::isKnown(name)) {
             return SimResponse::failure(
@@ -238,6 +243,7 @@ SimService::submit(const SimRequest &req)
                   req.shardIndex - 1, req.shardCount);
 
     driver::ExperimentRunner runner(repo, _pool);
+    runner.setBatchSize(req.batch);
     driver::ResultSink sink = runner.run(plan, store);
 
     SimResponse resp;

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * A bump arena for sealed trace storage.
+ *
+ * Workload builds produce one Program per benchmark instance, each with
+ * its own heap-grown instruction vector scattered across the allocator.
+ * Sealing the finished programs into an InstArena packs every trace of a
+ * workload into one contiguous block, so a simulation walking several
+ * programs round-robin streams through a single dense region instead of
+ * pointer-chasing per-program allocations.
+ *
+ * The arena is reserve-then-append: capacity is fixed up front (the
+ * owner counts its records first) and never reallocates afterwards,
+ * because sealed Programs hold raw spans into the block.
+ */
+
+#ifndef MOMSIM_TRACE_INST_ARENA_HH
+#define MOMSIM_TRACE_INST_ARENA_HH
+
+#include <cstring>
+#include <memory>
+
+#include "common/logging.hh"
+#include "isa/trace_inst.hh"
+
+namespace momsim::trace
+{
+
+class InstArena
+{
+  public:
+    /**
+     * Size the block for @p records instructions. Only legal while the
+     * arena is unused — growing would move spans already handed out.
+     */
+    void
+    reserve(size_t records)
+    {
+        if (_used != 0)
+            panic("InstArena::reserve after spans were handed out");
+        _store = std::make_unique<isa::TraceInst[]>(records);
+        _capacity = records;
+        _used = 0;
+    }
+
+    /** Copy @p n records in; returns the stable span start. */
+    const isa::TraceInst *
+    append(const isa::TraceInst *src, size_t n)
+    {
+        if (_used + n > _capacity)
+            panic("InstArena capacity exceeded; reserve() the full count");
+        isa::TraceInst *dst = _store.get() + _used;
+        if (n != 0)
+            std::memcpy(dst, src, n * sizeof(isa::TraceInst));
+        _used += n;
+        return dst;
+    }
+
+    size_t size() const { return _used; }
+    size_t capacity() const { return _capacity; }
+    const isa::TraceInst *data() const { return _store.get(); }
+
+  private:
+    std::unique_ptr<isa::TraceInst[]> _store;
+    size_t _capacity = 0;
+    size_t _used = 0;
+};
+
+} // namespace momsim::trace
+
+#endif // MOMSIM_TRACE_INST_ARENA_HH

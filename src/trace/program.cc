@@ -1,5 +1,7 @@
 #include "trace/program.hh"
 
+#include "trace/inst_arena.hh"
+
 namespace momsim::trace
 {
 
@@ -7,7 +9,7 @@ MixSummary
 Program::computeMix() const
 {
     MixSummary m;
-    for (const auto &inst : _insts) {
+    for (const auto &inst : insts()) {
         uint32_t eq = inst.eqInsts();
         m.records += 1;
         m.eqInsts += eq;
@@ -35,11 +37,25 @@ Program::computeMix() const
     return m;
 }
 
+void
+Program::seal(InstArena &arena)
+{
+    if (_sealed)
+        return;
+    mix();      // warm the memoized mix while the data is hot
+    _span = arena.append(_insts.data(), _insts.size());
+    _spanSize = _insts.size();
+    _sealed = true;
+    // Release the build storage; the arena block is the trace now.
+    std::vector<isa::TraceInst>().swap(_insts);
+}
+
 Program
 Program::rebased(uint32_t delta, const std::string &newName) const
 {
     Program p(newName, _simd);
-    p._insts = _insts;
+    InstView src = insts();
+    p._insts.assign(src.begin(), src.end());
     for (auto &inst : p._insts) {
         inst.pc += delta;
         if (inst.isMemory() || inst.isControl())

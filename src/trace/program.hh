@@ -2,6 +2,12 @@
  * @file
  * A Program is the dynamic instruction stream of one benchmark instance,
  * produced by the emulation libraries and consumed by the SMT core.
+ *
+ * A Program has two storage modes. While being built it owns a growable
+ * vector; once finished it can be seal()ed into an InstArena, which
+ * copies the records into the arena's contiguous block and drops the
+ * vector — every consumer reads through the InstView returned by
+ * insts(), which works identically in both modes.
  */
 
 #ifndef MOMSIM_TRACE_PROGRAM_HH
@@ -11,11 +17,14 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.hh"
 #include "isa/simd_isa.hh"
 #include "isa/trace_inst.hh"
 
 namespace momsim::trace
 {
+
+class InstArena;
 
 /** Table-3-style instruction accounting for one program. */
 struct MixSummary
@@ -43,6 +52,32 @@ struct MixSummary
     }
 };
 
+/**
+ * Read-only span over a program's trace records. Mirrors the subset of
+ * the std::vector interface the consumers use (indexing, iteration,
+ * back), so sealed and in-build programs read the same way.
+ */
+class InstView
+{
+  public:
+    InstView() = default;
+    InstView(const isa::TraceInst *data, size_t size)
+        : _data(data), _size(size)
+    {}
+
+    const isa::TraceInst *begin() const { return _data; }
+    const isa::TraceInst *end() const { return _data + _size; }
+    const isa::TraceInst *data() const { return _data; }
+    const isa::TraceInst &operator[](size_t i) const { return _data[i]; }
+    const isa::TraceInst &back() const { return _data[_size - 1]; }
+    size_t size() const { return _size; }
+    bool empty() const { return _size == 0; }
+
+  private:
+    const isa::TraceInst *_data = nullptr;
+    size_t _size = 0;
+};
+
 /** A finished benchmark trace plus its identity and layout. */
 class Program
 {
@@ -55,33 +90,53 @@ class Program
     const std::string &name() const { return _name; }
     isa::SimdIsa simdIsa() const { return _simd; }
 
-    const std::vector<isa::TraceInst> &insts() const { return _insts; }
+    InstView
+    insts() const
+    {
+        return _sealed ? InstView(_span, _spanSize)
+                       : InstView(_insts.data(), _insts.size());
+    }
 
+    /** Mutable access to the in-build trace; illegal once sealed. */
     std::vector<isa::TraceInst> &
     insts()
     {
+        if (_sealed)
+            panic("mutating a sealed Program");
         _mixValid = false;      // caller may mutate the trace
         return _insts;
     }
 
-    size_t size() const { return _insts.size(); }
-    bool empty() const { return _insts.empty(); }
+    size_t size() const { return _sealed ? _spanSize : _insts.size(); }
+    bool empty() const { return size() == 0; }
+    bool sealed() const { return _sealed; }
 
     void
     append(const isa::TraceInst &inst)
     {
+        if (_sealed)
+            panic("appending to a sealed Program");
         _mixValid = false;
         _insts.push_back(inst);
     }
 
     /**
+     * Move the trace into @p arena's contiguous block and drop the
+     * build vector. Identity, layout and the memoized mix are
+     * unchanged (the mix is warmed first so sealed programs shared
+     * read-only across pool workers never compute it concurrently).
+     * Idempotent per program; the arena must have capacity reserved.
+     */
+    void seal(InstArena &arena);
+
+    /**
      * The Table-3 accounting over the whole trace. Memoized: the
      * simulation driver reads eqInsts per run (partial-credit EIPC), so
      * recomputing the O(trace) walk each time would dominate short
-     * runs. The cache is warmed by TraceBuilder::take()/rebased(), so
-     * programs shared read-only across pool workers never write it
-     * concurrently; warm (call once) before sharing any Program built
-     * another way.
+     * runs. The cache is warmed by TraceBuilder::take()/rebased() and
+     * by seal(), so programs shared read-only across pool workers never
+     * write it concurrently; warm (call once) before sharing any
+     * Program built another way.
      */
     const MixSummary &
     mix() const
@@ -96,7 +151,8 @@ class Program
     /**
      * A copy with every code and data address shifted by @p delta.
      * Used to give the second instance of a benchmark (the paper runs
-     * MPEG-2 decode twice) its own address space.
+     * MPEG-2 decode twice) its own address space. The copy is always
+     * in build storage (unsealed), whatever the source mode.
      */
     Program rebased(uint32_t delta, const std::string &newName) const;
 
@@ -105,7 +161,10 @@ class Program
 
     std::string _name;
     isa::SimdIsa _simd = isa::SimdIsa::Mmx;
-    std::vector<isa::TraceInst> _insts;
+    std::vector<isa::TraceInst> _insts;     ///< build storage (unsealed)
+    const isa::TraceInst *_span = nullptr;  ///< arena storage (sealed)
+    size_t _spanSize = 0;
+    bool _sealed = false;
     mutable MixSummary _mix;
     mutable bool _mixValid = false;
 };

@@ -155,7 +155,9 @@ quantLar(int32_t q15)
 int32_t
 dequantLar(int code)
 {
-    return static_cast<int32_t>((code - 64) << 9);
+    // Multiply rather than shift: code < 64 makes the operand negative,
+    // and left-shifting a negative value is UB before C++20.
+    return static_cast<int32_t>((code - 64) * 512);
 }
 
 struct GsmMem
@@ -431,8 +433,10 @@ buildGsmEncoder(isa::SimdIsa simd, uint32_t base, const GsmConfig &cfg,
                 vlc.put(static_cast<uint32_t>(q + 4), 3);
                 IVal ev = s.imm(e[static_cast<size_t>(i)]);
                 s.srai(ev, scaleBits);
+                // q can be negative; multiply instead of shifting (UB
+                // on negative operands before C++20).
                 erec[static_cast<size_t>(i)] =
-                    satS16(q << scaleBits);
+                    satS16(q * (1 << scaleBits));
             }
 
             // Feedback: rebuild this subframe's residual as the decoder
@@ -509,7 +513,8 @@ buildGsmDecoder(isa::SimdIsa simd, uint32_t base, const GsmStream &stream,
             std::vector<int32_t> erec(kSub, 0);
             for (int i = phase; i < kSub; i += 3) {
                 int q = static_cast<int>(vlc.get(3)) - 4;
-                erec[static_cast<size_t>(i)] = satS16(q << scaleBits);
+                erec[static_cast<size_t>(i)] =
+                    satS16(q * (1 << scaleBits));  // q may be negative
                 IVal ev = s.imm(q);
                 s.slli(ev, scaleBits);
             }

@@ -232,6 +232,20 @@ MediaWorkload::build(const WorkloadSpec &spec)
         wl->_momEq.push_back(wl->_mom[static_cast<size_t>(i)].mix().eqInsts);
     }
 
+    // Seal every finished program of both ISAs into one contiguous
+    // arena block: a simulation interleaving the rotation then streams
+    // through a single dense region instead of per-program heap
+    // allocations. Content (and therefore the fingerprint below) is
+    // unchanged — seal() is a straight copy.
+    size_t totalRecords = 0;
+    for (const auto *arr : { &wl->_mmx, &wl->_mom })
+        for (const trace::Program &prog : *arr)
+            totalRecords += prog.size();
+    wl->_arena.reserve(totalRecords);
+    for (auto *arr : { &wl->_mmx, &wl->_mom })
+        for (trace::Program &prog : *arr)
+            prog.seal(wl->_arena);
+
     // Content fingerprint over both ISAs' traces (see fingerprint()).
     uint64_t h = kHashSeed;
     for (const auto *arr : { &wl->_mmx, &wl->_mom })

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/simulation.hh"
+#include "trace/inst_arena.hh"
 #include "trace/program.hh"
 #include "workloads/workload_spec.hh"
 
@@ -78,7 +79,12 @@ class MediaWorkload
      */
     uint64_t fingerprint() const { return _fingerprint; }
 
+    /** The packed trace block every sealed program points into. */
+    const trace::InstArena &arena() const { return _arena; }
+
   private:
+    /** Contiguous storage for every sealed trace of both ISAs. */
+    trace::InstArena _arena;
     std::vector<trace::Program> _mmx;
     std::vector<trace::Program> _mom;
     std::vector<std::string> _names;

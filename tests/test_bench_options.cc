@@ -58,6 +58,7 @@ TEST(BenchOptions, DefaultsAreNeutral)
 {
     BenchOptions opts = expectOk({});
     EXPECT_EQ(opts.jobs, 0);
+    EXPECT_EQ(opts.batch, 1);
     EXPECT_FALSE(opts.quick);
     EXPECT_FALSE(opts.dryRun);
     EXPECT_FALSE(opts.listWorkloads);
@@ -74,7 +75,8 @@ TEST(BenchOptions, DefaultsAreNeutral)
 
 TEST(BenchOptions, EveryFlagRoundTrips)
 {
-    BenchOptions opts = expectOk({ "--jobs", "3", "--quick", "--seed",
+    BenchOptions opts = expectOk({ "--jobs", "3", "--batch", "4",
+                                   "--quick", "--seed",
                                    "0x2a", "--max-cycles", "500000",
                                    "--csv", "a.csv", "--json",
                                    "b.json", "--cache-dir", "cache",
@@ -82,6 +84,7 @@ TEST(BenchOptions, EveryFlagRoundTrips)
                                    "--workload", "paper,gsmx8",
                                    "--dry-run" });
     EXPECT_EQ(opts.jobs, 3);
+    EXPECT_EQ(opts.batch, 4);
     EXPECT_TRUE(opts.quick);
     EXPECT_TRUE(opts.dryRun);
     EXPECT_EQ(opts.baseSeed, 42u);
@@ -134,9 +137,22 @@ TEST(BenchOptions, ValueFlagsAtEndOfArgvErrorInsteadOfReadingPast)
     }
 }
 
+TEST(BenchOptions, BatchValidatesAndRoundTrips)
+{
+    EXPECT_EQ(expectOk({ "--batch", "1" }).batch, 1);
+    EXPECT_EQ(expectOk({ "--batch", "8" }).batch, 8);
+    // A batch size below 1 cannot mean anything; garbage atoi()s to 0.
+    for (const char *bad : { "0", "-2", "x" }) {
+        std::string error = expectError({ "--batch", bad });
+        EXPECT_NE(error.find("--batch"), std::string::npos) << error;
+    }
+    EXPECT_TRUE(BenchOptions::takesValue("--batch"));
+}
+
 TEST(BenchOptions, TakesValueMatchesTheParser)
 {
-    for (const char *flag : { "--jobs", "-j", "--seed", "--max-cycles",
+    for (const char *flag : { "--jobs", "-j", "--batch", "--seed",
+                              "--max-cycles",
                               "--csv", "--json", "--cache-dir", "--shard",
                               "--merge", "--workload" })
         EXPECT_TRUE(BenchOptions::takesValue(flag)) << flag;

@@ -524,5 +524,47 @@ TEST(ExperimentRunner, RunOneMatchesPooledRun)
     EXPECT_DOUBLE_EQ(direct.run.ipc, pooled.rows()[0].run.ipc);
 }
 
+TEST(ExperimentRunner, BatchedExecutionIsByteIdenticalToUnbatched)
+{
+    // Interleaving K consecutive sweep points per worker task is a
+    // pure execution optimization: for every batch size — aligned,
+    // ragged tail, larger than the whole sweep — the rows must match
+    // the classic one-task-per-point run byte for byte.
+    SweepGrid grid = integrationGrid();
+
+    ThreadPool pool(2);
+    ExperimentRunner runner(tinyRepo(), pool);
+    ASSERT_EQ(runner.batchSize(), 1);
+    ResultSink ref = runner.run(grid, 1234);
+    ASSERT_EQ(ref.size(), 16u);
+
+    for (int batch : { 2, 3, 16, 99 }) {
+        SCOPED_TRACE(testing::Message() << "batch=" << batch);
+        runner.setBatchSize(batch);
+        EXPECT_EQ(runner.batchSize(), batch);
+        ResultSink out = runner.run(grid, 1234);
+        ASSERT_EQ(out.size(), ref.size());
+        EXPECT_EQ(stripSelfMeasurement(out.toCsv()),
+                  stripSelfMeasurement(ref.toCsv()));
+    }
+    // Values below 1 clamp instead of dividing by zero.
+    runner.setBatchSize(0);
+    EXPECT_EQ(runner.batchSize(), 1);
+
+    // runBatch itself, driven directly on the calling thread.
+    auto specs = grid.expand(1234);
+    std::vector<const ExperimentSpec *> firstThree {
+        &specs[0], &specs[1], &specs[2]
+    };
+    std::vector<ResultRow> rows = runner.runBatch(firstThree);
+    ASSERT_EQ(rows.size(), 3u);
+    for (size_t i = 0; i < rows.size(); ++i) {
+        EXPECT_EQ(rows[i].id, ref.rows()[i].id);
+        EXPECT_EQ(rows[i].run.cycles, ref.rows()[i].run.cycles);
+        EXPECT_DOUBLE_EQ(rows[i].run.ipc, ref.rows()[i].run.ipc);
+        EXPECT_DOUBLE_EQ(rows[i].run.eipc, ref.rows()[i].run.eipc);
+    }
+}
+
 } // namespace
 } // namespace momsim::driver

@@ -322,6 +322,100 @@ TEST(KernelFastForward, RandomizedDifferentialIsBitIdentical)
     }
 }
 
+/** Every deterministic RunResult field (not the self-measurement). */
+void
+expectSameRun(const core::RunResult &a, const core::RunResult &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.committedEq, b.committedEq);
+    EXPECT_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.eipc, b.eipc);
+    EXPECT_EQ(a.l1HitRate, b.l1HitRate);
+    EXPECT_EQ(a.icacheHitRate, b.icacheHitRate);
+    EXPECT_EQ(a.l1AvgLatency, b.l1AvgLatency);
+    EXPECT_EQ(a.mispredicts, b.mispredicts);
+    EXPECT_EQ(a.condBranches, b.condBranches);
+    EXPECT_EQ(a.completions, b.completions);
+    EXPECT_EQ(a.hitCycleLimit, b.hitCycleLimit);
+}
+
+TEST(KernelResumable, ChunkedAdvanceIsBitIdenticalToOneRun)
+{
+    // The foundation of batched sweep execution: slicing a run into
+    // begin()/advance(budget)/finish() — at any budget, down to one
+    // cycle — must reproduce run()'s RunResult bit for bit.
+    for (uint32_t seed : { 0xACE1u, 0x5EEDu }) {
+        for (mem::MemModel model :
+             { mem::MemModel::Perfect, mem::MemModel::Conventional }) {
+            Program p = randomProgram(seed, isa::SimdIsa::Mmx);
+            std::vector<core::WorkloadProgram> rotation(
+                4, core::WorkloadProgram{ &p, p.mix().eqInsts });
+            CoreConfig cfg = CoreConfig::preset(2, isa::SimdIsa::Mmx);
+            core::Simulation whole(cfg, model, rotation);
+            core::RunResult ref = whole.run(-1, 3'000'000);
+            ASSERT_FALSE(ref.hitCycleLimit);
+
+            for (uint64_t budget : { uint64_t(1), uint64_t(777),
+                                     uint64_t(32768) }) {
+                SCOPED_TRACE(testing::Message()
+                             << "seed=" << seed << " mem="
+                             << mem::toString(model) << " budget="
+                             << budget);
+                core::Simulation sliced(cfg, model, rotation);
+                sliced.begin(-1, 3'000'000);
+                int slices = 0;
+                while (!sliced.advance(budget))
+                    ++slices;
+                EXPECT_TRUE(sliced.done());
+                expectSameRun(sliced.finish(), ref);
+                if (budget < ref.cycles)
+                    EXPECT_GT(slices, 0) << "budget never sliced the run";
+            }
+        }
+    }
+}
+
+TEST(KernelLayout, ColumnInvariantsHoldThroughFlushHeavyRuns)
+{
+    // debugLayoutIssue() cross-checks the structure-of-arrays hot
+    // columns against the cold records mid-flight: slot mapping, state
+    // vs inst/generation consistency, queue references, per-thread
+    // queue counts and waiter generation ranges. Probe it repeatedly
+    // through runs with flushes and slot recycling, in both ISAs.
+    for (isa::SimdIsa simdIsa : { isa::SimdIsa::Mmx, isa::SimdIsa::Mom }) {
+        Program p = randomProgram(0xF1CEu, simdIsa);
+        CoreConfig cfg = CoreConfig::preset(2, simdIsa);
+        cfg.windowPerThread = 16;       // recycle slots aggressively
+        auto mem = mem::makeMemorySystem(mem::MemModel::Conventional);
+        SmtCore core(cfg, *mem);
+        for (int tid = 0; tid < cfg.numThreads; ++tid)
+            core.attachProgram(tid, &p);
+        auto allIdle = [&] {
+            for (int tid = 0; tid < cfg.numThreads; ++tid) {
+                if (!core.threadIdle(tid))
+                    return false;
+            }
+            return true;
+        };
+        int checks = 0;
+        while (!allIdle() && core.now() < 3'000'000) {
+            core.step();
+            if (core.committedRecords() % 64 == 0) {
+                std::string issue = core.debugLayoutIssue();
+                ASSERT_TRUE(issue.empty())
+                    << isa::toString(simdIsa) << " @" << core.now()
+                    << ": " << issue;
+                ++checks;
+            }
+        }
+        EXPECT_TRUE(allIdle()) << "core appears hung";
+        EXPECT_GT(checks, 0);
+        // And at quiescence, when every slot should read Empty.
+        std::string finalIssue = core.debugLayoutIssue();
+        EXPECT_TRUE(finalIssue.empty()) << finalIssue;
+    }
+}
+
 TEST(KernelFastForward, EmptyProgramsInTheRotationStillComplete)
 {
     // A zero-instruction program is idle without ever committing; the

@@ -7,8 +7,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <vector>
+
 #include "common/rng.hh"
+#include "trace/builder.hh"
+#include "trace/inst_arena.hh"
 #include "trace/packed.hh"
+#include "trace/program.hh"
+#include "trace/scalar_emitter.hh"
 
 namespace momsim::trace
 {
@@ -285,6 +292,97 @@ TEST(Packed, Q15RoundMultiply)
     uint64_t corner = pmulrw(splatW(-32768), splatW(-32768));
     for (int i = 0; i < 4; ++i)
         EXPECT_EQ(laneW(corner, i), 32767);
+}
+
+// ---------------------------------------------------------------------
+// Sealed trace layout: Program::seal() into an InstArena
+// ---------------------------------------------------------------------
+
+/** A small deterministic program with memory, branch and ALU records. */
+Program
+smallProgram(const std::string &name, int length)
+{
+    TraceBuilder tb(name, isa::SimdIsa::Mmx, 16u << 20);
+    ScalarEmitter s(tb);
+    uint32_t buf = tb.alloc(1 << 12);
+    IVal base = s.imm(static_cast<int32_t>(buf));
+    IVal acc = s.imm(0);
+    for (int i = 0; i < length; ++i) {
+        acc = s.add(acc, s.loadI32(base, (i * 8) % (1 << 12)));
+        if (i % 5 == 0)
+            s.condBr(acc, (i % 2) != 0);
+    }
+    return tb.take();
+}
+
+TEST(SealedTrace, SealPacksProgramsContiguouslyWithIdenticalContent)
+{
+    Program a = smallProgram("a", 40);
+    Program b = smallProgram("b", 25);
+    // Read through const refs: the mutable insts() overload is (by
+    // design) illegal on sealed programs.
+    const Program &ca = a;
+    const Program &cb = b;
+    // Snapshot the build-mode records and mix before sealing.
+    std::vector<isa::TraceInst> beforeA(ca.insts().begin(),
+                                        ca.insts().end());
+    std::vector<isa::TraceInst> beforeB(cb.insts().begin(),
+                                        cb.insts().end());
+    MixSummary mixA = a.mix();
+
+    InstArena arena;
+    arena.reserve(a.size() + b.size());
+    a.seal(arena);
+    b.seal(arena);
+
+    ASSERT_TRUE(a.sealed());
+    ASSERT_TRUE(b.sealed());
+    ASSERT_EQ(a.size(), beforeA.size());
+    ASSERT_EQ(b.size(), beforeB.size());
+    EXPECT_EQ(arena.size(), a.size() + b.size());
+    EXPECT_EQ(arena.capacity(), arena.size());
+
+    // Sealed spans are dense inside the arena block, in seal order.
+    EXPECT_EQ(ca.insts().data(), arena.data());
+    EXPECT_EQ(cb.insts().data(), arena.data() + a.size());
+
+    // Byte-identical records through the view.
+    EXPECT_EQ(std::memcmp(ca.insts().data(), beforeA.data(),
+                          beforeA.size() * sizeof(isa::TraceInst)), 0);
+    EXPECT_EQ(std::memcmp(cb.insts().data(), beforeB.data(),
+                          beforeB.size() * sizeof(isa::TraceInst)), 0);
+
+    // The memoized mix survives unchanged, and sealing is idempotent.
+    EXPECT_EQ(a.mix().records, mixA.records);
+    EXPECT_EQ(a.mix().eqInsts, mixA.eqInsts);
+    EXPECT_EQ(a.mix().memAccesses, mixA.memAccesses);
+    a.seal(arena);
+    EXPECT_EQ(arena.size(), beforeA.size() + beforeB.size());
+    EXPECT_EQ(ca.insts().data(), arena.data());
+}
+
+TEST(SealedTrace, RebasedCopiesOfSealedProgramsAreUnsealed)
+{
+    Program a = smallProgram("orig", 30);
+    InstArena arena;
+    arena.reserve(a.size());
+    a.seal(arena);
+
+    constexpr uint32_t kDelta = 1u << 20;
+    const Program &ca = a;
+    Program moved = a.rebased(kDelta, "copy");
+    const Program &cmoved = moved;
+    EXPECT_FALSE(moved.sealed());
+    ASSERT_EQ(moved.size(), a.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        const isa::TraceInst &src = ca.insts()[i];
+        const isa::TraceInst &dst = cmoved.insts()[i];
+        EXPECT_EQ(dst.pc, src.pc + kDelta);
+        EXPECT_EQ(dst.op, src.op);
+    }
+    // The copy is independent build storage: appending to it is legal
+    // and leaves the sealed original untouched.
+    EXPECT_EQ(moved.mix().eqInsts, a.mix().eqInsts);
 }
 
 } // namespace

@@ -110,6 +110,7 @@ TEST(SimRequest, JsonRoundTrips)
     req.seed = 42;
     req.shardIndex = 2;
     req.shardCount = 3;
+    req.batch = 4;
     req.cacheDir = "/tmp/momsim \"cache\"";
 
     SimRequest back;
@@ -124,6 +125,7 @@ TEST(SimRequest, JsonRoundTrips)
     EXPECT_EQ(back.seed, req.seed);
     EXPECT_EQ(back.shardIndex, req.shardIndex);
     EXPECT_EQ(back.shardCount, req.shardCount);
+    EXPECT_EQ(back.batch, req.batch);
     EXPECT_EQ(back.cacheDir, req.cacheDir);
     // Re-serialization is stable (fixed field order).
     EXPECT_EQ(back.toJson(), req.toJson());
@@ -344,6 +346,35 @@ TEST(SimService, ExecutesExplicitAxesDeterministically)
     // toJson(false) zeroes; sanity-check the flag actually strips.
     EXPECT_NE(resp.toJson(false).find("\"wallMs\":0.000"),
               std::string::npos);
+}
+
+TEST(SimService, BatchKnobValidatesAndNeverChangesRows)
+{
+    SimService service;
+
+    // batch < 1 is a structured error, not a panic.
+    SimRequest bad = tinyRequest("b0");
+    bad.batch = 0;
+    SimResponse resp = service.submit(bad);
+    EXPECT_FALSE(resp.ok);
+    EXPECT_EQ(resp.errorCode, errc::kBadRequest);
+    EXPECT_NE(resp.errorMessage.find("batch"), std::string::npos);
+
+    // Interleaved execution is an execution knob only: rows are
+    // byte-identical to the unbatched submit (modulo timing fields).
+    SimResponse plain = service.submit(tinyRequest("b1"));
+    ASSERT_TRUE(plain.ok) << plain.errorMessage;
+    SimRequest batched = tinyRequest("b1");
+    batched.batch = 3;
+    SimResponse interleaved = service.submit(batched);
+    ASSERT_TRUE(interleaved.ok) << interleaved.errorMessage;
+    EXPECT_EQ(interleaved.toJson(false), plain.toJson(false));
+
+    // On the wire the field is optional (default omitted), so older
+    // readers of schemaVersion 1 never see it.
+    EXPECT_EQ(tinyRequest("b1").toJson().find("\"batch\""),
+              std::string::npos);
+    EXPECT_NE(batched.toJson().find("\"batch\":3"), std::string::npos);
 }
 
 TEST(SimService, ConcurrentSubmitsMatchSerialByteForByte)

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Compare two `momsim sim_throughput --json` snapshots.
+
+Rows are matched by their stable sweep-point "id"; the tracked metric is
+the self-measured simulation throughput ("sim_kcps", simulated kilocycles
+per wall-clock second).  The script prints a before/after table and fails
+(exit 1) when the geometric-mean ratio new/old across matched rows drops
+below --min-ratio (default 0.9, i.e. a >10% regression).
+
+Stdlib only — CI runs it with whatever python3 the runner image ships.
+
+Usage:
+    bench_compare.py OLD.json NEW.json [--min-ratio 0.9] [--metric sim_kcps]
+
+Exit codes:
+    0  geomean(new/old) >= min-ratio (or nothing comparable — see below)
+    1  geomean(new/old) <  min-ratio
+    2  bad invocation / unreadable input
+
+A missing or empty OLD file is not an error: the first CI run on a fresh
+cache has no baseline yet, and the step must seed one rather than fail.
+Rows present on only one side are reported but excluded from the geomean.
+"""
+
+import argparse
+import json
+import math
+import os
+import sys
+
+
+def load_rows(path, metric):
+    """Return {id: metric} for one snapshot, {} if the file is absent."""
+    if not os.path.exists(path):
+        return {}
+    with open(path, "r", encoding="utf-8") as fh:
+        rows = json.load(fh)
+    if not isinstance(rows, list):
+        raise ValueError("%s: expected a JSON array of rows" % path)
+    out = {}
+    for row in rows:
+        rid = row.get("id")
+        val = row.get(metric)
+        if rid is None or val is None:
+            raise ValueError(
+                "%s: row missing \"id\" or \"%s\": %r" % (path, metric, row)
+            )
+        if rid in out:
+            raise ValueError("%s: duplicate row id %r" % (path, rid))
+        out[rid] = float(val)
+    return out
+
+
+def geomean(values):
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Diff two sim_throughput JSON snapshots by row id."
+    )
+    parser.add_argument("old", help="baseline snapshot (may not exist yet)")
+    parser.add_argument("new", help="freshly measured snapshot")
+    parser.add_argument(
+        "--min-ratio",
+        type=float,
+        default=0.9,
+        help="fail when geomean(new/old) is below this (default: 0.9)",
+    )
+    parser.add_argument(
+        "--metric",
+        default="sim_kcps",
+        help="per-row field to compare (default: sim_kcps)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        old = load_rows(args.old, args.metric)
+        new = load_rows(args.new, args.metric)
+    except (OSError, ValueError, json.JSONDecodeError) as err:
+        print("bench_compare: %s" % err, file=sys.stderr)
+        return 2
+
+    if not old:
+        print(
+            "bench_compare: no baseline at %s -- nothing to compare, "
+            "treating %s as the new baseline" % (args.old, args.new)
+        )
+        return 0
+    if not new:
+        print("bench_compare: %s is missing or empty" % args.new, file=sys.stderr)
+        return 2
+
+    common = sorted(set(old) & set(new))
+    only_old = sorted(set(old) - set(new))
+    only_new = sorted(set(new) - set(old))
+
+    width = max([len(rid) for rid in common + only_old + only_new] + [len("id")])
+    print(
+        "%-*s  %12s  %12s  %7s"
+        % (width, "id", "old " + args.metric, "new " + args.metric, "ratio")
+    )
+    print("-" * (width + 2 + 12 + 2 + 12 + 2 + 7))
+    ratios = []
+    for rid in common:
+        ratio = new[rid] / old[rid]
+        ratios.append(ratio)
+        print(
+            "%-*s  %12.2f  %12.2f  %6.3fx" % (width, rid, old[rid], new[rid], ratio)
+        )
+    for rid in only_old:
+        print("%-*s  %12.2f  %12s  %7s" % (width, rid, old[rid], "-", "gone"))
+    for rid in only_new:
+        print("%-*s  %12s  %12.2f  %7s" % (width, rid, "-", new[rid], "new"))
+
+    if not common:
+        print("bench_compare: no overlapping row ids -- sweep was renamed?")
+        return 0
+
+    gm = geomean(ratios)
+    print("-" * (width + 2 + 12 + 2 + 12 + 2 + 7))
+    print(
+        "%-*s  %12s  %12s  %6.3fx  (min allowed: %.3fx)"
+        % (width, "geomean (%d rows)" % len(common), "", "", gm, args.min_ratio)
+    )
+    if gm < args.min_ratio:
+        print(
+            "bench_compare: FAIL -- geomean %.3fx is below %.3fx"
+            % (gm, args.min_ratio),
+            file=sys.stderr,
+        )
+        return 1
+    print("bench_compare: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
