@@ -2,11 +2,15 @@
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstring>
+#include <random>
+#include <thread>
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -107,6 +111,66 @@ readSome(int fd, void *buf, size_t n)
         if (got < 0 && errno == EINTR)
             continue;
         return static_cast<long>(got);
+    }
+}
+
+int
+waitReadable(int fd, int timeoutMs)
+{
+    using clock = std::chrono::steady_clock;
+    const bool forever = timeoutMs < 0;
+    clock::time_point deadline =
+        clock::now() + std::chrono::milliseconds(forever ? 0 : timeoutMs);
+    for (;;) {
+        int wait = -1;
+        if (!forever) {
+            auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            deadline - clock::now())
+                            .count();
+            wait = left > 0 ? static_cast<int>(left) : 0;
+        }
+        struct pollfd pfd;
+        pfd.fd = fd;
+        pfd.events = POLLIN;
+        pfd.revents = 0;
+        int rc = ::poll(&pfd, 1, wait);
+        if (rc > 0)
+            return 1;   // readable, EOF or error — read() will tell
+        if (rc == 0)
+            return 0;
+        if (errno != EINTR)
+            return -1;
+    }
+}
+
+int
+connectRetry(const std::function<int(std::string &)> &dial, int retries,
+             int backoffMs, std::string &error, int *attempts)
+{
+    // Per-thread PRNG so concurrent dialers (the coordinator runs one
+    // per worker) never share — or synchronize on — generator state.
+    thread_local std::minstd_rand rng(
+        static_cast<unsigned>(::getpid()) * 2654435761u ^
+        static_cast<unsigned>(
+            std::chrono::steady_clock::now().time_since_epoch().count()));
+
+    int made = 0;
+    for (int attempt = 0;; ++attempt) {
+        ++made;
+        int fd = dial(error);
+        if (fd >= 0 || attempt >= retries) {
+            if (attempts)
+                *attempts = made;
+            return fd;
+        }
+        double base = static_cast<double>(backoffMs < 1 ? 1 : backoffMs);
+        for (int i = 0; i < attempt; ++i)
+            base *= 2.0;
+        if (base > 10000.0)
+            base = 10000.0;
+        std::uniform_real_distribution<double> jitter(0.5, 1.5);
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+            base * jitter(rng)));
     }
 }
 

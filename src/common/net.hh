@@ -14,6 +14,7 @@
 #define MOMSIM_COMMON_NET_HH
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <utility>
 
@@ -85,6 +86,30 @@ bool writeAll(int fd, const void *data, size_t n);
 /** Read up to @p n bytes; retries EINTR. Returns bytes read, 0 on
  *  EOF, -1 on error. */
 long readSome(int fd, void *buf, size_t n);
+
+/**
+ * Wait up to @p timeoutMs for @p fd to become readable (or reach
+ * EOF/error, which also reads as readable). Returns 1 when readable,
+ * 0 on timeout, -1 on poll error. EINTR re-arms with the remaining
+ * time; @p timeoutMs < 0 waits forever. The deadline primitive behind
+ * the fabric coordinator's straggler detection.
+ */
+int waitReadable(int fd, int timeoutMs);
+
+/**
+ * Dial through @p dial (any of the connect* functions below, curried;
+ * returns an fd >= 0, or -1 with an error string), retrying up to
+ * @p retries additional attempts after the first one fails. Attempts
+ * are separated by a jittered exponential backoff starting at
+ * @p backoffMs (doubling per attempt, +/-50% jitter, capped at 10 s)
+ * so a fleet of clients racing a worker's startup neither gives up
+ * instantly nor stampedes in lockstep. On exhaustion returns -1 with
+ * the last error; @p attempts (when given) reports how many dials
+ * were made either way.
+ */
+int connectRetry(const std::function<int(std::string &)> &dial,
+                 int retries, int backoffMs, std::string &error,
+                 int *attempts = nullptr);
 
 // ---- socket setup: each returns an fd >= 0, or -1 with *error* ----
 

@@ -311,7 +311,8 @@ ExperimentRunner::run(const SweepGrid &grid, uint64_t baseSeed)
 }
 
 ResultSink
-ExperimentRunner::run(const RunPlan &plan, ResultStore *store)
+ExperimentRunner::run(const RunPlan &plan, ResultStore *store,
+                      const RowFn &onRow)
 {
     std::vector<size_t> todo;
     std::vector<double> costs;
@@ -344,7 +345,7 @@ ExperimentRunner::run(const RunPlan &plan, ResultStore *store)
     std::mutex storeMutex;
     std::vector<ResultRow> fresh(todo.size());
     _pool.parallelFor(groups, groupCosts,
-                      [this, k, &plan, &todo, &fresh, store,
+                      [this, k, &plan, &todo, &fresh, store, &onRow,
                        &storeMutex](size_t g) {
                           size_t lo = g * k;
                           size_t hi = std::min(todo.size(), lo + k);
@@ -354,11 +355,15 @@ ExperimentRunner::run(const RunPlan &plan, ResultStore *store)
                               batch.push_back(&plan.points[todo[i]].spec);
                           std::vector<ResultRow> out = runBatch(batch);
                           for (size_t i = lo; i < hi; ++i) {
-                              if (store) {
+                              if (store || onRow) {
                                   std::lock_guard<std::mutex> lock(
                                       storeMutex);
-                                  store->put(plan.points[todo[i]].key,
-                                             out[i - lo]);
+                                  if (store)
+                                      store->put(plan.points[todo[i]].key,
+                                                 out[i - lo]);
+                                  if (onRow)
+                                      onRow(plan.points[todo[i]],
+                                            out[i - lo]);
                               }
                               fresh[i] = std::move(out[i - lo]);
                           }

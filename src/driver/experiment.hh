@@ -41,6 +41,7 @@ namespace momsim::driver
 {
 
 class ResultStore;
+struct PlannedPoint;
 struct RunPlan;
 
 /** One fully-specified simulation point. */
@@ -171,13 +172,23 @@ class ExperimentRunner
     ResultSink run(const SweepGrid &grid, uint64_t baseSeed = 0);
 
     /**
+     * Per-completion callback of the RunPlan overload: fired once per
+     * freshly simulated row, serialized (under the same lock as store
+     * puts) but in completion order, not sweep order. The fabric
+     * worker streams rows back to its coordinator from here.
+     */
+    using RowFn =
+        std::function<void(const PlannedPoint &, const ResultRow &)>;
+
+    /**
      * Execute a RunPlan (see result_store.hh): simulate only this
      * shard's cache misses, splice cached rows back in sweep order,
      * and persist freshly simulated rows to @p store when given. The
      * sink holds exactly this shard's points — for an unsharded plan
      * that is the whole sweep, byte-identical to run(specs).
      */
-    ResultSink run(const RunPlan &plan, ResultStore *store = nullptr);
+    ResultSink run(const RunPlan &plan, ResultStore *store = nullptr,
+                   const RowFn &onRow = nullptr);
 
     /** Execute one spec on the calling thread. */
     ResultRow runOne(const ExperimentSpec &spec) const;

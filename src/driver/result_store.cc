@@ -619,23 +619,38 @@ planSweep(std::vector<ExperimentSpec> specs,
     // Cost-weighted dealing: heaviest points first, each onto the
     // least-loaded shard. Depends only on the spec list — never on the
     // cache — so independent shard processes agree on the assignment.
-    std::vector<size_t> order(plan.points.size());
+    std::vector<double> costs;
+    costs.reserve(plan.points.size());
+    for (const PlannedPoint &p : plan.points)
+        costs.push_back(p.cost);
+    std::vector<int> bins = dealByCost(costs, shardCount);
+    for (size_t i = 0; i < plan.points.size(); ++i)
+        plan.points[i].shard = bins[i];
+    return plan;
+}
+
+std::vector<int>
+dealByCost(const std::vector<double> &costs, int binCount)
+{
+    MOMSIM_ASSERT(binCount >= 1, "dealByCost needs at least one bin");
+    std::vector<size_t> order(costs.size());
     std::iota(order.begin(), order.end(), size_t { 0 });
     std::stable_sort(order.begin(), order.end(),
-                     [&plan](size_t a, size_t b) {
-                         return plan.points[a].cost > plan.points[b].cost;
+                     [&costs](size_t a, size_t b) {
+                         return costs[a] > costs[b];
                      });
-    std::vector<double> load(static_cast<size_t>(shardCount), 0.0);
+    std::vector<double> load(static_cast<size_t>(binCount), 0.0);
+    std::vector<int> bins(costs.size(), 0);
     for (size_t idx : order) {
         size_t best = 0;
         for (size_t s = 1; s < load.size(); ++s) {
             if (load[s] < load[best])
                 best = s;
         }
-        plan.points[idx].shard = static_cast<int>(best);
-        load[best] += plan.points[idx].cost;
+        bins[idx] = static_cast<int>(best);
+        load[best] += costs[idx];
     }
-    return plan;
+    return bins;
 }
 
 RunPlan

@@ -167,6 +167,17 @@ struct RunPlan
     size_t simulateCount() const;
 };
 
+/**
+ * The cost-weighted deal shared by planSweep and the fabric
+ * coordinator: assign each item (by its cost) to one of @p binCount
+ * bins, heaviest first onto the least-loaded bin (LPT). Ties break
+ * toward input order and the lowest bin, so the assignment is a pure
+ * function of the cost list — every process that computes it agrees.
+ * Returns the bin index per item, in input order.
+ */
+std::vector<int> dealByCost(const std::vector<double> &costs,
+                            int binCount);
+
 /** Per-spec workload fingerprint source (name -> content hash). */
 using WorkloadFingerprintFn = std::function<uint64_t(const std::string &)>;
 /** Per-spec cost model override (tests inject constants). */

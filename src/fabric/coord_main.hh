@@ -1,0 +1,18 @@
+/**
+ * @file
+ * `momsim coord` — the distributed-sweep coordinator. See
+ * coord_main.cc for the full story; the entry point takes the argv
+ * tail after the subcommand name, like runServe/runClient.
+ */
+
+#ifndef MOMSIM_FABRIC_COORD_MAIN_HH
+#define MOMSIM_FABRIC_COORD_MAIN_HH
+
+namespace momsim::fabric
+{
+
+int runCoord(int argc, char **argv);
+
+} // namespace momsim::fabric
+
+#endif // MOMSIM_FABRIC_COORD_MAIN_HH

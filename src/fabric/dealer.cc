@@ -1,0 +1,187 @@
+#include "fabric/dealer.hh"
+
+#include "common/logging.hh"
+#include "driver/result_store.hh"
+
+namespace momsim::fabric
+{
+
+Dealer::Dealer(std::vector<DealPoint> points, int workerCount)
+{
+    MOMSIM_ASSERT(workerCount >= 1, "dealer needs at least one worker");
+    _initial.resize(static_cast<size_t>(workerCount));
+    _dead.assign(static_cast<size_t>(workerCount), false);
+
+    std::vector<double> costs;
+    costs.reserve(points.size());
+    for (const DealPoint &p : points)
+        costs.push_back(p.cost);
+    const std::vector<int> bins = driver::dealByCost(costs, workerCount);
+
+    _entries.reserve(points.size());
+    for (size_t i = 0; i < points.size(); ++i) {
+        const bool inserted = _byId.emplace(points[i].id, i).second;
+        MOMSIM_ASSERT(inserted, "duplicate point id dealt");
+        (void)inserted;
+        _entries.push_back(Entry{ std::move(points[i]),
+                                  State::Assigned, -1 });
+        _initial[static_cast<size_t>(bins[i])].push_back(i);
+    }
+    _remaining = _entries.size();
+}
+
+bool
+Dealer::terminalLocked(int worker) const
+{
+    if (_remaining == 0)
+        return true;
+    if (_dead[static_cast<size_t>(worker)])
+        return true;
+    bool allDead = true;
+    for (bool d : _dead)
+        allDead = allDead && d;
+    return allDead;
+}
+
+std::vector<DealPoint>
+Dealer::claim(int worker)
+{
+    MOMSIM_ASSERT(worker >= 0 &&
+                      static_cast<size_t>(worker) < _initial.size(),
+                  "claim by unknown worker");
+    std::unique_lock<std::mutex> lock(_mutex);
+    std::deque<size_t> &mine = _initial[static_cast<size_t>(worker)];
+    _cv.wait(lock, [&] {
+        return !mine.empty() || !_requeued.empty() ||
+               terminalLocked(worker);
+    });
+
+    std::vector<DealPoint> out;
+    if (_dead[static_cast<size_t>(worker)] || _remaining == 0)
+        return out;
+    // Grab everything on the table for this worker: its own remaining
+    // initial deal first (preserves the LPT balance on the healthy
+    // path), then any re-dealt strays. Points that completed while
+    // queued (a duplicate row beat the re-deal) are skipped.
+    auto take = [&](std::deque<size_t> &queue) {
+        while (!queue.empty()) {
+            const size_t idx = queue.front();
+            queue.pop_front();
+            Entry &e = _entries[idx];
+            if (e.state == State::Done)
+                continue;
+            e.state = State::Claimed;
+            e.owner = worker;
+            out.push_back(e.point);
+        }
+    };
+    take(mine);
+    take(_requeued);
+    if (out.empty() && !terminalLocked(worker)) {
+        // Everything we woke for was already done; wait again.
+        lock.unlock();
+        return claim(worker);
+    }
+    return out;
+}
+
+bool
+Dealer::complete(const std::string &id)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    auto it = _byId.find(id);
+    MOMSIM_ASSERT(it != _byId.end(), "completion for un-dealt point");
+    if (it == _byId.end())
+        return false;
+    Entry &e = _entries[it->second];
+    if (e.state == State::Done)
+        return false;
+    e.state = State::Done;
+    e.owner = -1;
+    --_remaining;
+    if (_remaining == 0)
+        _cv.notify_all();
+    return true;
+}
+
+size_t
+Dealer::fail(int worker)
+{
+    MOMSIM_ASSERT(worker >= 0 &&
+                      static_cast<size_t>(worker) < _initial.size(),
+                  "fail of unknown worker");
+    std::lock_guard<std::mutex> lock(_mutex);
+    if (_dead[static_cast<size_t>(worker)])
+        return 0;
+    _dead[static_cast<size_t>(worker)] = true;
+
+    size_t requeued = 0;
+    // Unclaimed initial deal: straight back on the table.
+    std::deque<size_t> &mine = _initial[static_cast<size_t>(worker)];
+    while (!mine.empty()) {
+        const size_t idx = mine.front();
+        mine.pop_front();
+        if (_entries[idx].state == State::Assigned) {
+            _requeued.push_back(idx);
+            ++requeued;
+        }
+    }
+    // Claimed but unfinished: the failure cost, re-dealt.
+    for (size_t i = 0; i < _entries.size(); ++i) {
+        Entry &e = _entries[i];
+        if (e.state == State::Claimed && e.owner == worker) {
+            e.state = State::Assigned;
+            e.owner = -1;
+            _requeued.push_back(i);
+            ++requeued;
+        }
+    }
+    _redealt += requeued;
+    _cv.notify_all();
+    return requeued;
+}
+
+bool
+Dealer::done() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _remaining == 0;
+}
+
+bool
+Dealer::failed() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    if (_remaining == 0)
+        return false;
+    for (bool d : _dead)
+        if (!d)
+            return false;
+    return true;
+}
+
+size_t
+Dealer::remaining() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _remaining;
+}
+
+size_t
+Dealer::redealCount() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _redealt;
+}
+
+int
+Dealer::liveWorkers() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    int live = 0;
+    for (bool d : _dead)
+        live += d ? 0 : 1;
+    return live;
+}
+
+} // namespace momsim::fabric

@@ -1,0 +1,135 @@
+#include "fabric/handler.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "driver/result_store.hh"
+#include "fabric/protocol.hh"
+#include "svc/json.hh"
+#include "svc/sim_service.hh"
+
+namespace momsim::fabric
+{
+
+WorkerHandler::WorkerHandler(svc::SimService &service)
+    : _service(service), _start(std::chrono::steady_clock::now())
+{}
+
+bool
+WorkerHandler::handle(const std::string &line,
+                      const std::function<void(std::string)> &chunk,
+                      std::string &finalLine)
+{
+    svc::JsonValue doc;
+    std::string error;
+    if (!svc::parseJson(line, doc, error))
+        return false;   // not even JSON; let the strict path report it
+    const std::string kind = kindOf(doc);
+    if (kind.empty())
+        return false;   // a plain SimRequest line
+
+    if (kind == "ping") {
+        const svc::JsonValue *id = doc.field("id");
+        finalLine =
+            handlePing(id && id->isString() ? id->text : std::string());
+        return true;
+    }
+    if (kind == "shard_run") {
+        finalLine = handleShardRun(doc, chunk);
+        return true;
+    }
+    const svc::JsonValue *id = doc.field("id");
+    finalLine = errorToJson(id && id->isString() ? id->text : "",
+                            "unknown_kind",
+                            strfmt("unknown fabric message kind \"%s\"",
+                                   kind.c_str()));
+    return true;
+}
+
+std::string
+WorkerHandler::handlePing(const std::string &id) const
+{
+    Pong pong;
+    pong.id = id;
+    pong.version = fabricVersionString();
+    pong.uptimeMs = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - _start)
+            .count());
+    pong.inFlight = _service.inFlight();
+    pong.pendingPoints = pendingPoints();
+    return pongToJson(pong);
+}
+
+std::string
+WorkerHandler::handleShardRun(
+    const svc::JsonValue &doc,
+    const std::function<void(std::string)> &chunk)
+{
+    ShardRun run;
+    std::string error;
+    if (!parseShardRun(doc, run, error)) {
+        const svc::JsonValue *id = doc.field("id");
+        ShardDone done;
+        done.id = id && id->isString() ? id->text : "";
+        done.ok = false;
+        done.errorCode = "bad_shard_run";
+        done.errorMessage = error;
+        return shardDoneToJson(done);
+    }
+
+    ShardDone done;
+    done.id = run.id;
+
+    svc::SimRequest sweep;
+    if (!svc::SimRequest::fromJson(run.sweepJson, sweep, error)) {
+        done.ok = false;
+        done.errorCode = "bad_sweep";
+        done.errorMessage = strfmt("embedded sweep: %s", error.c_str());
+        return shardDoneToJson(done);
+    }
+
+    // The log line lands *before* execution on purpose: the
+    // kill-mid-run equivalence gate keys on it to know the worker has
+    // accepted the deal and is busy.
+    std::fprintf(stderr, "[fabric] shard_run %s: %zu point(s)\n",
+                 run.id.c_str(), run.points.size());
+    _pendingPoints.fetch_add(static_cast<long>(run.points.size()),
+                             std::memory_order_relaxed);
+
+    uint64_t streamed = 0;
+    auto onRow = [&](const driver::PlannedPoint &p,
+                     const driver::ResultRow &row) {
+        RowMsg msg;
+        msg.id = run.id;
+        msg.point = p.spec.canonicalId();
+        msg.key = p.key;
+        msg.rowLine = driver::serializeResultRow(row);
+        chunk(rowToJson(msg));
+        ++streamed;
+        _pendingPoints.fetch_sub(1, std::memory_order_relaxed);
+    };
+    svc::SimResponse resp =
+        _service.submitFiltered(sweep, run.points, onRow);
+    // Points never streamed (validation failure, partial abort) must
+    // not leak into the pending gauge forever.
+    _pendingPoints.fetch_sub(
+        static_cast<long>(run.points.size()) -
+            static_cast<long>(streamed),
+        std::memory_order_relaxed);
+
+    if (!resp.ok) {
+        done.ok = false;
+        done.errorCode = resp.errorCode;
+        done.errorMessage = resp.errorMessage;
+        return shardDoneToJson(done);
+    }
+    done.ok = true;
+    done.points = streamed;
+    done.cached = resp.cachedPoints;
+    done.simulated = resp.simulatedPoints;
+    return shardDoneToJson(done);
+}
+
+} // namespace momsim::fabric

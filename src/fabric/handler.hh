@@ -1,0 +1,61 @@
+/**
+ * @file
+ * WorkerHandler — the fabric side of a `momsim serve` / `momsim batch`
+ * worker. It plugs into the ResponseSequencer's rawSubmit hook: every
+ * input line is offered here first; lines that are not fabric messages
+ * (no top-level "kind") fall through to the normal SimRequest path, so
+ * one listener serves plain clients and coordinators alike.
+ */
+
+#ifndef MOMSIM_FABRIC_HANDLER_HH
+#define MOMSIM_FABRIC_HANDLER_HH
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <string>
+
+namespace momsim::svc
+{
+class SimService;
+struct JsonValue;
+}
+
+namespace momsim::fabric
+{
+
+class WorkerHandler
+{
+  public:
+    explicit WorkerHandler(svc::SimService &service);
+
+    /**
+     * Offer @p line to the fabric protocol. Returns false when the
+     * line is not a fabric message (caller should treat it as a plain
+     * SimRequest). Otherwise handles it: streams any per-row output
+     * through @p chunk and readies the terminal reply in @p finalLine.
+     * Thread-safe; shard_run execution serializes inside SimService.
+     */
+    bool handle(const std::string &line,
+                const std::function<void(std::string)> &chunk,
+                std::string &finalLine);
+
+    /** Dealt sweep points accepted but not yet streamed back. */
+    long pendingPoints() const
+    {
+        return _pendingPoints.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::string handlePing(const std::string &id) const;
+    std::string handleShardRun(const svc::JsonValue &doc,
+                               const std::function<void(std::string)> &chunk);
+
+    svc::SimService &_service;
+    std::chrono::steady_clock::time_point _start;
+    std::atomic<long> _pendingPoints{ 0 };
+};
+
+} // namespace momsim::fabric
+
+#endif // MOMSIM_FABRIC_HANDLER_HH

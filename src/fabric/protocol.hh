@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The fabric wire protocol: the "kind"-tagged JSONL messages the
+ * distributed-sweep coordinator (`momsim coord`) and its workers
+ * (`momsim serve` / `momsim batch`) exchange on top of the existing
+ * SimRequest/SimResponse transport.
+ *
+ * The transport stays line-oriented JSON; fabric messages are the
+ * lines whose top-level object carries a "kind" field (a plain
+ * SimRequest can never carry one — its strict parser rejects unknown
+ * fields), which is how one socket serves both protocols:
+ *
+ *   ping       -> pong          worker health/version probe
+ *   shard_run  -> row* shard_done
+ *                               execute a dealt subset of a sweep and
+ *                               stream each completed row back
+ *   error                       structured protocol-level failure
+ *
+ * Nested payloads (the shard_run's embedded SimRequest, the row's
+ * serialized ResultRow) travel as *escaped JSON-line strings* — the
+ * byte-exact line formats those layers already round-trip (%.17g
+ * doubles and all) — so the fabric adds framing, never a second
+ * serialization of simulator data.
+ *
+ * Versioning: every coordinator-facing message carries fabricVersion;
+ * the pong's version string additionally folds in the request/
+ * response/row-schema/sim-code versions, and a coordinator refuses
+ * workers whose string differs from its own — a mixed-version fleet
+ * would disagree on cache keys, which must be a startup error, not a
+ * silent wrong merge.
+ */
+
+#ifndef MOMSIM_FABRIC_PROTOCOL_HH
+#define MOMSIM_FABRIC_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "svc/json.hh"
+
+namespace momsim::fabric
+{
+
+/** Version of the fabric message set. Bump on any message change. */
+constexpr int kFabricSchemaVersion = 1;
+
+/**
+ * The compatibility fingerprint a worker reports in its pong:
+ * "fabric<F>/req<R>/resp<S>/rows<V>/sim<C>". Two processes with equal
+ * strings agree on every wire format *and* on result-cache keys.
+ */
+std::string fabricVersionString();
+
+/** The top-level "kind" of a parsed line; "" when @p doc is not an
+ *  object or carries no string "kind" (i.e. not a fabric message). */
+std::string kindOf(const svc::JsonValue &doc);
+
+// ---- ping / pong -----------------------------------------------------
+
+/** `{"kind":"ping"}` with an optional correlation id. Deliberately
+ *  lenient to parse: a hand-typed health check needs no version. */
+std::string pingToJson(const std::string &id);
+
+struct Pong
+{
+    std::string id;             ///< echo of the ping's id ("" if none)
+    std::string version;        ///< fabricVersionString() of the worker
+    uint64_t uptimeMs = 0;      ///< since the worker started serving
+    int inFlight = 0;           ///< requests executing right now
+    long pendingPoints = 0;     ///< dealt sweep points not yet finished
+};
+
+std::string pongToJson(const Pong &pong);
+bool parsePong(const svc::JsonValue &doc, Pong &out, std::string &error);
+
+// ---- shard_run -------------------------------------------------------
+
+/** One deal: run @p points (canonical point ids) of the sweep that
+ *  @p sweepJson (a serialized SimRequest line) describes. */
+struct ShardRun
+{
+    std::string id;             ///< deal id, echoed in rows and done
+    std::string sweepJson;      ///< SimRequest::toJson() of the sweep
+    std::vector<std::string> points;
+};
+
+std::string shardRunToJson(const ShardRun &run);
+bool parseShardRun(const svc::JsonValue &doc, ShardRun &out,
+                   std::string &error);
+
+// ---- row (streamed per completed point) ------------------------------
+
+struct RowMsg
+{
+    std::string id;             ///< the deal this row answers
+    std::string point;          ///< canonical point id
+    std::string key;            ///< the point's result-cache key
+    std::string rowLine;        ///< serializeResultRow() of the row
+};
+
+std::string rowToJson(const RowMsg &msg);
+bool parseRow(const svc::JsonValue &doc, RowMsg &out, std::string &error);
+
+// ---- shard_done ------------------------------------------------------
+
+struct ShardDone
+{
+    std::string id;
+    bool ok = false;
+    uint64_t points = 0;        ///< rows streamed for this deal
+    uint64_t cached = 0;        ///< of which worker-cache replays
+    uint64_t simulated = 0;     ///< of which fresh simulations
+    std::string errorCode;      ///< valid when !ok
+    std::string errorMessage;   ///< valid when !ok
+};
+
+std::string shardDoneToJson(const ShardDone &done);
+bool parseShardDone(const svc::JsonValue &doc, ShardDone &out,
+                    std::string &error);
+
+// ---- error -----------------------------------------------------------
+
+/** A protocol-level failure line (unknown kind, bad version, ...). */
+std::string errorToJson(const std::string &id, const std::string &code,
+                        const std::string &message);
+
+} // namespace momsim::fabric
+
+#endif // MOMSIM_FABRIC_PROTOCOL_HH

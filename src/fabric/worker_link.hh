@@ -1,0 +1,71 @@
+/**
+ * @file
+ * WorkerLink — the coordinator's connection to one worker: an address
+ * parser for the --workers list, a retrying dialer, and line-framed
+ * reads with a deadline (the straggler timeout: a worker that streams
+ * nothing for the timeout window is presumed dead and its points are
+ * re-dealt).
+ */
+
+#ifndef MOMSIM_FABRIC_WORKER_LINK_HH
+#define MOMSIM_FABRIC_WORKER_LINK_HH
+
+#include <string>
+
+#include "common/net.hh"
+
+namespace momsim::fabric
+{
+
+/** A parsed --workers entry: "unix:PATH" or "HOST:PORT". */
+struct WorkerAddr
+{
+    bool isUnix = false;
+    std::string path;   ///< unix socket path (isUnix)
+    std::string host;   ///< tcp host (!isUnix)
+    int port = 0;       ///< tcp port (!isUnix)
+
+    /** The address back in its spelled form, for logs. */
+    std::string display() const;
+};
+
+/** Parse one --workers entry; false + @p error on a bad spelling. */
+bool parseWorkerAddr(const std::string &text, WorkerAddr &out,
+                     std::string &error);
+
+class WorkerLink
+{
+  public:
+    explicit WorkerLink(WorkerAddr addr) : _addr(std::move(addr)) {}
+
+    /** Dial with net::connectRetry semantics. False + @p error when
+     *  every attempt failed. */
+    bool dial(int retries, int backoffMs, std::string &error);
+
+    /** Write one protocol line (newline appended). */
+    bool sendLine(const std::string &line);
+
+    enum class ReadResult { Line, Eof, Error, Timeout };
+
+    /**
+     * Read the next newline-terminated line into @p line, waiting at
+     * most @p timeoutMs (< 0 = forever) across however many socket
+     * reads it takes. Eof/Error mean the link is unusable; Timeout
+     * means the worker went silent past the deadline.
+     */
+    ReadResult readLine(std::string &line, int timeoutMs);
+
+    void close() { _fd.reset(); }
+    bool connected() const { return _fd.valid(); }
+    const WorkerAddr &addr() const { return _addr; }
+    std::string display() const { return _addr.display(); }
+
+  private:
+    WorkerAddr _addr;
+    net::FdGuard _fd;
+    std::string _buffer;    ///< bytes read past the last line
+};
+
+} // namespace momsim::fabric
+
+#endif // MOMSIM_FABRIC_WORKER_LINK_HH

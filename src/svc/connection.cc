@@ -54,6 +54,7 @@ Connection::run()
         std::string out = line + "\n";
         return net::writeAll(fd, out.data(), out.size());
     };
+    cfg.rawSubmit = _opts.rawSubmit;
     cfg.parallel = _opts.parallel;
     cfg.maxPending = _opts.maxPending;
     cfg.shedOnFull = true;      // a full queue sheds, never stalls

@@ -20,6 +20,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <thread>
 
@@ -38,6 +39,12 @@ class Connection
         int parallel = 2;       ///< submitter threads per connection
         size_t maxPending = 0;  ///< admission queue bound; 0 => auto
         bool withTiming = true;
+        /** Pre-parse interceptor for fabric messages (see
+         *  ResponseSequencer::Config::rawSubmit). Shared by every
+         *  connection of a server; null disables the fabric. */
+        std::function<bool(const std::string &line,
+                           const std::function<void(std::string)> &chunk,
+                           std::string &finalLine)> rawSubmit;
     };
 
     /** Takes ownership of @p fd. @p clientTag is this connection's

@@ -17,6 +17,9 @@
  *                            unix socket, warm across requests
  *   momsim client [...]      loopback client for serve (stdin -> wire
  *                            -> stdout); also the test harness's tool
+ *   momsim coord [...]       distributed-sweep coordinator: deal any
+ *                            bench sweep across a fleet of serve
+ *                            workers, byte-identical to a local run
  *
  * batch flags:
  *   --jobs N      simulation pool workers (default: all hardware)
@@ -44,6 +47,9 @@
 
 #include "common/logging.hh"
 #include "common/net.hh"
+#include "fabric/coord_main.hh"
+#include "fabric/handler.hh"
+#include "fabric/protocol.hh"
 #include "svc/bench_registry.hh"
 #include "svc/sequencer.hh"
 #include "svc/serve_main.hh"
@@ -71,6 +77,8 @@ usage(std::FILE *to, int rc)
                  "socket)\n"
                  "  client        stream stdin to a momsim serve "
                  "daemon\n"
+                 "  coord         run a sweep across a fleet of serve "
+                 "workers\n"
                  "\n"
                  "run `momsim help` for the shared bench flags.\n");
     return rc;
@@ -157,7 +165,16 @@ runHelp(int argc, char **argv)
                 "the server answers ok:false code:overloaded instead "
                 "of stalling.\nSIGINT/SIGTERM drains gracefully: stop "
                 "accepting, finish in-flight\nrequests, flush, exit 0 "
-                "(second signal: stop reading new requests).\n");
+                "(second signal: stop reading new requests).\n"
+                "\n"
+                "Fabric: lines whose JSON carries a top-level \"kind\" "
+                "speak the\ndistributed-sweep protocol instead. "
+                "{\"kind\":\"ping\"} answers with a pong\ncarrying the "
+                "worker's version fingerprint (%s),\nuptimeMs, inFlight "
+                "(requests executing) and pendingPoints (dealt sweep\n"
+                "points not yet streamed back); \"shard_run\" executes "
+                "a coordinator's\ndeal — see `momsim help coord`.\n",
+                momsim::fabric::fabricVersionString().c_str());
             return 0;
         }
         if (std::strcmp(argv[0], "client") == 0) {
@@ -166,13 +183,59 @@ runHelp(int argc, char **argv)
                 "serve daemon\n"
                 "\n"
                 "usage: momsim client (--connect HOST:PORT | --unix "
-                "PATH) [--abort]\n"
+                "PATH)\n"
+                "                     [--connect-retries N] "
+                "[--retry-backoff-ms MS] [--abort]\n"
                 "\n"
                 "Sends stdin to the server (half-closing at EOF) and "
                 "prints response\nlines to stdout until the server "
                 "finishes. --abort resets the\nconnection after "
                 "sending without reading responses (fault-injection\n"
-                "for the disconnect-hardening tests).\n");
+                "for the disconnect-hardening tests).\n"
+                "\n"
+                "--connect-retries N (default 0) re-dials a refused "
+                "connection up to N\nextra times with jittered "
+                "exponential backoff starting at\n--retry-backoff-ms "
+                "MS (default 200, doubled per attempt, capped 10 s) —\n"
+                "for clients racing a daemon's startup. Exhaustion "
+                "prints one\nstructured {\"error\":{\"code\":"
+                "\"connect_failed\",...}} line and exits 1.\n");
+            return 0;
+        }
+        if (std::strcmp(argv[0], "coord") == 0) {
+            std::printf(
+                "momsim coord — run a sweep across a fleet of momsim "
+                "serve workers\n"
+                "\n"
+                "usage: momsim coord --workers LIST <bench> [bench "
+                "flags]\n"
+                "\n"
+                "flags:\n"
+                "  --workers LIST          comma-separated worker "
+                "addresses\n"
+                "                          (HOST:PORT or unix:PATH); "
+                "repeatable\n"
+                "  --connect-retries N     extra dial attempts per "
+                "worker (default 5)\n"
+                "  --retry-backoff-ms MS   first retry backoff; "
+                "doubled + jittered\n"
+                "                          per attempt (default 200)\n"
+                "  --worker-timeout-ms MS  silence window before a "
+                "worker is presumed\n"
+                "                          dead and its points re-dealt "
+                "(default 120000)\n"
+                "  --worker-cache-dir DIR  cacheDir workers use for "
+                "their own stores\n"
+                "\n"
+                "The coordinator plans the sweep locally (skipping "
+                "points already in\n--cache-dir), deals the rest to the "
+                "workers cost-balanced, streams\ncompleted rows into "
+                "the store as they arrive, re-deals a dead or\nsilent "
+                "worker's unfinished points to idle workers, and prints "
+                "the\ncanonical output — byte-identical to the "
+                "single-process run.\nBench flags (--quick, --workload, "
+                "--cache-dir, --csv, ...) pass\nthrough; --shard and "
+                "--merge reject (they are the coordinator's job).\n");
             return 0;
         }
         const BenchDef *def = findBench(argv[0]);
@@ -267,9 +330,20 @@ runBatch(int argc, char **argv)
     cfg.jobs = jobs;
     SimService service(cfg);
 
+    // batch speaks the fabric too (ping/shard_run over stdin/stdout) —
+    // the same handler serve wires in, which keeps the protocol
+    // testable without sockets.
+    momsim::fabric::WorkerHandler fabricHandler(service);
+
     ResponseSequencer::Config scfg;
     scfg.submit = [&service](const SimRequest &req) {
         return service.submit(req);
+    };
+    scfg.rawSubmit = [&fabricHandler](
+                         const std::string &reqLine,
+                         const std::function<void(std::string)> &chunk,
+                         std::string &finalLine) {
+        return fabricHandler.handle(reqLine, chunk, finalLine);
     };
     scfg.emit = [](const std::string &line) {
         // In-order, line-buffered: each response is one line, flushed,
@@ -352,6 +426,8 @@ main(int argc, char **argv)
         return runServe(argc - 2, argv + 2);
     if (std::strcmp(cmd, "client") == 0)
         return runClient(argc - 2, argv + 2);
+    if (std::strcmp(cmd, "coord") == 0)
+        return momsim::fabric::runCoord(argc - 2, argv + 2);
     if (const BenchDef *def = findBench(cmd))
         return runRegistered(*def, argc - 2, argv + 2);
     std::fprintf(stderr, "momsim: unknown command '%s'\n\n", cmd);

@@ -87,7 +87,31 @@ ResponseSequencer::submitLoop()
         // the queue so finish() completes, but skip the work.
         std::string json;
         bool produced = false;
-        if (!_writeFailed.load(std::memory_order_acquire)) {
+        bool handled = false;
+        if (!_writeFailed.load(std::memory_order_acquire) &&
+            _cfg.rawSubmit) {
+            // Chunks enqueue under the slot's seq; the emitter streams
+            // them ahead of the final line. rawSubmit returns before
+            // the final is readied, so within one slot every chunk
+            // precedes the final by construction.
+            auto chunkFn = [this, seq = item.seq](std::string chunkLine) {
+                {
+                    std::lock_guard<std::mutex> lock(_mutex);
+                    if (_writeFailed.load(std::memory_order_relaxed))
+                        return;     // undeliverable; drop quietly
+                    _chunks[seq].push_back(std::move(chunkLine));
+                }
+                _emitCv.notify_one();
+            };
+            std::string finalLine;
+            if (_cfg.rawSubmit(item.line, chunkFn, finalLine)) {
+                json = std::move(finalLine);
+                produced = true;
+                handled = true;
+            }
+        }
+        if (!handled &&
+            !_writeFailed.load(std::memory_order_acquire)) {
             SimRequest req;
             std::string error;
             SimResponse resp;
@@ -120,25 +144,45 @@ ResponseSequencer::emitLoop()
     size_t next = 0;
     for (;;) {
         std::string json;
+        bool isChunk = false;
         {
             std::unique_lock<std::mutex> lock(_mutex);
             _emitCv.wait(lock, [&] {
-                return _ready.count(next) != 0 ||
-                       (_inputDone && _pending.empty() &&
-                        next >= _accepted);
+                if (_ready.count(next) != 0)
+                    return true;
+                auto c = _chunks.find(next);
+                if (c != _chunks.end() && !c->second.empty())
+                    return true;
+                return _inputDone && _pending.empty() &&
+                       next >= _accepted;
             });
-            auto it = _ready.find(next);
-            if (it == _ready.end())
-                return;     // all input drained and emitted
-            json = std::move(it->second);
-            _ready.erase(it);
+            // The head slot's streamed chunks go out as they arrive,
+            // strictly before the slot's final response; the cursor
+            // only advances on the final, so chunk/final interleaving
+            // never reorders across requests.
+            auto c = _chunks.find(next);
+            if (c != _chunks.end() && !c->second.empty()) {
+                json = std::move(c->second.front());
+                c->second.pop_front();
+                isChunk = true;
+            } else {
+                auto it = _ready.find(next);
+                if (it == _ready.end())
+                    return;     // all input drained and emitted
+                json = std::move(it->second);
+                _ready.erase(it);
+                _chunks.erase(next);    // stragglers of a dropped slot
+            }
         }
-        ++next;
+        if (!isChunk)
+            ++next;
         if (json.empty())
             continue;   // slot dropped after delivery died
         if (_cfg.emit(json)) {
-            std::lock_guard<std::mutex> lock(_mutex);
-            ++_emittedCount;
+            if (!isChunk) {
+                std::lock_guard<std::mutex> lock(_mutex);
+                ++_emittedCount;
+            }
             continue;
         }
         // Delivery is dead: flip to drain mode and wake everyone —

@@ -63,6 +63,22 @@ class ResponseSequencer
          *  Returning false marks delivery as dead. */
         std::function<bool(const std::string &jsonLine)> emit;
 
+        /**
+         * Optional transport-level interceptor for lines that are not
+         * plain SimRequests (the fabric protocol's "kind"-tagged
+         * messages). Called from a submitter thread before SimRequest
+         * parsing; returning true claims the line and @p finalLine is
+         * emitted in the request's sequence slot. Lines passed to
+         * @p chunk along the way stream back in the same slot *before*
+         * the final line — and stream live (as they are produced) once
+         * the slot is the oldest in flight, which is how a fabric
+         * shard_run's rows reach the coordinator per-completion while
+         * per-request ordering stays intact for everyone else.
+         */
+        std::function<bool(const std::string &line,
+                           const std::function<void(std::string)> &chunk,
+                           std::string &finalLine)> rawSubmit;
+
         int parallel = 2;       ///< submitter threads (clamped 1..16)
         size_t maxPending = 0;  ///< input backlog bound; 0 => auto
         bool shedOnFull = false; ///< true: kOverloaded instead of block
@@ -122,6 +138,9 @@ class ResponseSequencer
     std::condition_variable _spaceCv;  ///< push() waits for queue space
     std::deque<Item> _pending;
     std::map<size_t, std::string> _ready;   ///< seq -> response JSON
+    /** seq -> streamed chunk lines, emitted before that slot's final
+     *  response (rawSubmit enqueues chunks strictly before _ready). */
+    std::map<size_t, std::deque<std::string>> _chunks;
     bool _inputDone = false;
     size_t _accepted = 0;
     size_t _emittedCount = 0;

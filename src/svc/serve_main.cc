@@ -15,7 +15,10 @@
 
 #include "common/logging.hh"
 #include "common/net.hh"
+#include "fabric/handler.hh"
+#include "fabric/protocol.hh"
 #include "svc/connection.hh"
+#include "svc/json.hh"
 #include "svc/listener.hh"
 #include "svc/sim_service.hh"
 
@@ -194,10 +197,21 @@ runServe(int argc, char **argv)
         std::rename(tmp.c_str(), readyFile.c_str());
     }
 
+    // Every connection shares one fabric handler: a coordinator's
+    // ping/shard_run lines are intercepted ahead of SimRequest parsing,
+    // plain clients never notice it exists.
+    fabric::WorkerHandler fabricHandler(service);
+
     Connection::Options copts;
     copts.parallel = parallel;
     copts.maxPending = static_cast<size_t>(maxPending);
     copts.withTiming = withTiming;
+    copts.rawSubmit = [&fabricHandler](
+                          const std::string &line,
+                          const std::function<void(std::string)> &chunk,
+                          std::string &finalLine) {
+        return fabricHandler.handle(line, chunk, finalLine);
+    };
 
     std::vector<std::unique_ptr<Connection>> conns;
     uint64_t serial = 0;
@@ -261,6 +275,8 @@ runClient(int argc, char **argv)
     std::string connectAddr;
     std::string unixPath;
     bool abortive = false;
+    int connectRetries = 0;
+    int retryBackoffMs = 200;
 
     for (int i = 0; i < argc; ++i) {
         const char *arg = argv[i];
@@ -269,6 +285,12 @@ runClient(int argc, char **argv)
                 return 2;
         } else if (std::strcmp(arg, "--unix") == 0) {
             if (!stringFlag(cmd, argc, argv, i, unixPath))
+                return 2;
+        } else if (std::strcmp(arg, "--connect-retries") == 0) {
+            if (!intFlag(cmd, argc, argv, i, 0, connectRetries))
+                return 2;
+        } else if (std::strcmp(arg, "--retry-backoff-ms") == 0) {
+            if (!intFlag(cmd, argc, argv, i, 1, retryBackoffMs))
                 return 2;
         } else if (std::strcmp(arg, "--abort") == 0) {
             abortive = true;
@@ -286,13 +308,10 @@ runClient(int argc, char **argv)
 
     net::ignoreSigpipe();
 
-    std::string error;
-    int rawFd = -1;
-    if (!unixPath.empty()) {
-        rawFd = net::connectUnix(unixPath, error);
-    } else {
+    std::string host;
+    int port = -1;
+    if (unixPath.empty()) {
         size_t colon = connectAddr.rfind(':');
-        int port = -1;
         if (colon != std::string::npos) {
             char *end = nullptr;
             long parsed =
@@ -305,11 +324,29 @@ runClient(int argc, char **argv)
                          "HOST:PORT)\n", cmd, connectAddr.c_str());
             return 2;
         }
-        rawFd = net::connectTcp(connectAddr.substr(0, colon), port,
-                                error);
+        host = connectAddr.substr(0, colon);
     }
+
+    // The dial, with --connect-retries worth of jittered exponential
+    // backoff — a client racing its server's startup waits politely
+    // instead of failing instantly or hammering in lockstep.
+    auto dialOnce = [&](std::string &err) {
+        return unixPath.empty() ? net::connectTcp(host, port, err)
+                                : net::connectUnix(unixPath, err);
+    };
+    std::string error;
+    int attempts = 0;
+    const int rawFd = net::connectRetry(dialOnce, connectRetries,
+                                        retryBackoffMs, error, &attempts);
     if (rawFd < 0) {
-        std::fprintf(stderr, "%s: %s\n", cmd, error.c_str());
+        // One structured line so retry-exhaustion is machine-readable
+        // in fleet logs, not just a prose message.
+        std::fprintf(stderr,
+                     "{\"error\":{\"code\":\"connect_failed\","
+                     "\"message\":%s,\"attempts\":%d}}\n",
+                     jsonQuote(strfmt("%s: %s", cmd, error.c_str()))
+                         .c_str(),
+                     attempts);
         return 1;
     }
     net::FdGuard fd(rawFd);

@@ -1,6 +1,7 @@
 #include "svc/sim_service.hh"
 
 #include <chrono>
+#include <unordered_set>
 
 #include "common/logging.hh"
 #include "driver/result_store.hh"
@@ -162,6 +163,35 @@ SimService::resolveGrid(const SimRequest &req, driver::SweepGrid &grid,
 SimResponse
 SimService::submit(const SimRequest &req)
 {
+    return execute(req, nullptr, nullptr);
+}
+
+SimResponse
+SimService::submitFiltered(const SimRequest &req,
+                           const std::vector<std::string> &pointIds,
+                           const RowFn &onRow)
+{
+    return execute(req, &pointIds, onRow);
+}
+
+SimResponse
+SimService::execute(const SimRequest &req,
+                    const std::vector<std::string> *pointIds,
+                    const RowFn &onRow)
+{
+    struct ActiveGuard
+    {
+        std::atomic<int> &counter;
+        explicit ActiveGuard(std::atomic<int> &c) : counter(c)
+        {
+            counter.fetch_add(1, std::memory_order_relaxed);
+        }
+        ~ActiveGuard()
+        {
+            counter.fetch_sub(1, std::memory_order_relaxed);
+        }
+    } guard(_active);
+
     const double t0 = nowMs();
 
     // ---- request validation, all via structured errors ----
@@ -171,6 +201,12 @@ SimService::submit(const SimRequest &req)
             req.id, errc::kBadShard,
             strfmt("bad shard %d/%d (want 1 <= I <= N)", req.shardIndex,
                    req.shardCount));
+    }
+    if (pointIds && req.shardCount != 1) {
+        return SimResponse::failure(
+            req.id, errc::kBadShard,
+            "a filtered (shard_run) request must be unsharded — the "
+            "point filter is the shard");
     }
     if (req.batch < 1) {
         return SimResponse::failure(
@@ -242,9 +278,38 @@ SimService::submit(const SimRequest &req)
         planSweep(grid.expand(req.seed), repo, store,
                   req.shardIndex - 1, req.shardCount);
 
+    if (pointIds) {
+        // Keep only the dealt points: everything else becomes foreign
+        // (shard -1, which is never plan.shardIndex), so the runner
+        // simulates — and the counts describe — exactly the filter.
+        std::unordered_set<std::string> want(pointIds->begin(),
+                                             pointIds->end());
+        for (driver::PlannedPoint &p : plan.points) {
+            auto it = want.find(p.spec.canonicalId());
+            if (it == want.end())
+                p.shard = -1;
+            else
+                want.erase(it);
+        }
+        if (!want.empty()) {
+            return SimResponse::failure(
+                req.id, errc::kBadRequest,
+                strfmt("unknown point \"%s\" (not in this sweep)",
+                       want.begin()->c_str()));
+        }
+        // Cache hits among the dealt points replay right away, in
+        // sweep order, before any simulation starts.
+        if (onRow) {
+            for (const driver::PlannedPoint &p : plan.points) {
+                if (p.shard == plan.shardIndex && p.cached)
+                    onRow(p, p.row);
+            }
+        }
+    }
+
     driver::ExperimentRunner runner(repo, _pool);
     runner.setBatchSize(req.batch);
-    driver::ResultSink sink = runner.run(plan, store);
+    driver::ResultSink sink = runner.run(plan, store, onRow);
 
     SimResponse resp;
     resp.id = req.id;

@@ -23,9 +23,12 @@
 #ifndef MOMSIM_SVC_SIM_SERVICE_HH
 #define MOMSIM_SVC_SIM_SERVICE_HH
 
+#include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "driver/experiment.hh"
 #include "driver/result_store.hh"
@@ -58,6 +61,33 @@ class SimService
      */
     SimResponse submit(const SimRequest &req);
 
+    /** Per-row callback of submitFiltered: the planned point (with
+     *  its cache key) and its row, cached replays first (in sweep
+     *  order), then fresh rows as they complete. Serialized. */
+    using RowFn = std::function<void(const driver::PlannedPoint &,
+                                     const driver::ResultRow &)>;
+
+    /**
+     * Execute only the sweep points of @p req whose canonical ids are
+     * in @p pointIds — the fabric worker's entry point: a coordinator
+     * plans the full sweep itself and deals each worker a subset by
+     * id. The request must be unsharded (shard 1/1; the filter *is*
+     * the shard), and every id must name a point of the expanded
+     * sweep. @p onRow fires per completed point (cache hits replay
+     * immediately); the response carries the same rows plus the
+     * full-sweep totalPoints, like a sharded submit would.
+     */
+    SimResponse submitFiltered(const SimRequest &req,
+                               const std::vector<std::string> &pointIds,
+                               const RowFn &onRow);
+
+    /** Requests currently inside submit()/submitFiltered() — executing
+     *  or queued on the run lock. The serve ping reports this. */
+    int inFlight() const
+    {
+        return _active.load(std::memory_order_relaxed);
+    }
+
     /**
      * Open (or create) @p dir as the service-lifetime result store.
      * Requests that name no cacheDir of their own — and requests
@@ -87,7 +117,14 @@ class SimService
     bool resolveGrid(const SimRequest &req, driver::SweepGrid &grid,
                      std::string &benchName, SimResponse &error) const;
 
+    /** Shared core of submit/submitFiltered. @p pointIds null means
+     *  unfiltered. */
+    SimResponse execute(const SimRequest &req,
+                        const std::vector<std::string> *pointIds,
+                        const RowFn &onRow);
+
     driver::ThreadPool _pool;
+    std::atomic<int> _active{ 0 };
     workloads::WorkloadRepo _paperRepo;
     workloads::WorkloadRepo _tinyRepo;
     mutable std::mutex _runMutex;       ///< serializes pool use across clients

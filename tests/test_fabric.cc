@@ -1,0 +1,490 @@
+/**
+ * @file
+ * Tests for the distributed-sweep fabric (src/fabric/): the wire
+ * protocol round-trips and rejects version skew, the Dealer's
+ * fault-tolerance state machine (worker death mid-shard re-deals,
+ * duplicate completions are idempotent, an all-dead fleet reports
+ * failure instead of hanging), the WorkerHandler end to end against a
+ * real SimService, and the sequencer's chunk streaming that carries
+ * fabric rows without reordering anyone else's responses.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "driver/experiment.hh"
+#include "driver/result_store.hh"
+#include "fabric/dealer.hh"
+#include "fabric/handler.hh"
+#include "fabric/protocol.hh"
+#include "svc/json.hh"
+#include "svc/sequencer.hh"
+#include "svc/sim_request.hh"
+#include "svc/sim_response.hh"
+#include "svc/sim_service.hh"
+
+namespace momsim::fabric
+{
+namespace
+{
+
+svc::JsonValue
+mustParse(const std::string &line)
+{
+    svc::JsonValue doc;
+    std::string error;
+    EXPECT_TRUE(svc::parseJson(line, doc, error)) << line << ": "
+                                                  << error;
+    return doc;
+}
+
+// ---------------------------------------------------------------------
+// Wire protocol
+// ---------------------------------------------------------------------
+
+TEST(FabricProtocol, PongRoundTrips)
+{
+    Pong pong;
+    pong.id = "p1";
+    pong.version = fabricVersionString();
+    pong.uptimeMs = 123456789ull;
+    pong.inFlight = 3;
+    pong.pendingPoints = 42;
+
+    Pong back;
+    std::string error;
+    ASSERT_TRUE(parsePong(mustParse(pongToJson(pong)), back, error))
+        << error;
+    EXPECT_EQ(back.id, pong.id);
+    EXPECT_EQ(back.version, pong.version);
+    EXPECT_EQ(back.uptimeMs, pong.uptimeMs);
+    EXPECT_EQ(back.inFlight, pong.inFlight);
+    EXPECT_EQ(back.pendingPoints, pong.pendingPoints);
+}
+
+TEST(FabricProtocol, ShardRunRoundTrips)
+{
+    ShardRun run;
+    run.id = "d0-1";
+    run.sweepJson = "{\"schemaVersion\":1,\"bench\":\"fig6\"}";
+    run.points = { "paper/mmx/t1/perfect/rr", "paper/mmx/t2/perfect/rr" };
+
+    ShardRun back;
+    std::string error;
+    ASSERT_TRUE(
+        parseShardRun(mustParse(shardRunToJson(run)), back, error))
+        << error;
+    EXPECT_EQ(back.id, run.id);
+    // The embedded sweep must come back byte-exact: it re-parses as a
+    // SimRequest on the worker, where a mangled escape would change
+    // cache keys.
+    EXPECT_EQ(back.sweepJson, run.sweepJson);
+    EXPECT_EQ(back.points, run.points);
+}
+
+TEST(FabricProtocol, RowAndShardDoneRoundTrip)
+{
+    RowMsg msg;
+    msg.id = "d1-0";
+    msg.point = "paper/mmx/t1/perfect/rr";
+    msg.key = "k|1|2";
+    msg.rowLine = "{\"schema\":4,\"id\":\"x\",\"ipc\":0.5}";
+    RowMsg rowBack;
+    std::string error;
+    ASSERT_TRUE(parseRow(mustParse(rowToJson(msg)), rowBack, error))
+        << error;
+    EXPECT_EQ(rowBack.point, msg.point);
+    EXPECT_EQ(rowBack.key, msg.key);
+    EXPECT_EQ(rowBack.rowLine, msg.rowLine);
+
+    ShardDone ok;
+    ok.id = "d1-0";
+    ok.ok = true;
+    ok.points = 7;
+    ok.cached = 2;
+    ok.simulated = 5;
+    ShardDone okBack;
+    ASSERT_TRUE(
+        parseShardDone(mustParse(shardDoneToJson(ok)), okBack, error))
+        << error;
+    EXPECT_TRUE(okBack.ok);
+    EXPECT_EQ(okBack.points, 7u);
+    EXPECT_EQ(okBack.cached, 2u);
+    EXPECT_EQ(okBack.simulated, 5u);
+
+    ShardDone bad;
+    bad.id = "d1-1";
+    bad.ok = false;
+    bad.errorCode = "bad_sweep";
+    bad.errorMessage = "no such bench";
+    ShardDone badBack;
+    ASSERT_TRUE(
+        parseShardDone(mustParse(shardDoneToJson(bad)), badBack, error))
+        << error;
+    EXPECT_FALSE(badBack.ok);
+    EXPECT_EQ(badBack.errorCode, "bad_sweep");
+    EXPECT_EQ(badBack.errorMessage, "no such bench");
+}
+
+TEST(FabricProtocol, RejectsVersionSkewAndUnknownFields)
+{
+    std::string error;
+    Pong pong;
+    EXPECT_FALSE(parsePong(
+        mustParse("{\"kind\":\"pong\",\"fabricVersion\":99,"
+                  "\"version\":\"x\",\"uptimeMs\":0,\"inFlight\":0,"
+                  "\"pendingPoints\":0}"),
+        pong, error));
+    EXPECT_NE(error.find("fabricVersion"), std::string::npos) << error;
+
+    ShardRun run;
+    error.clear();
+    EXPECT_FALSE(parseShardRun(
+        mustParse(strfmt("{\"kind\":\"shard_run\",\"fabricVersion\":%d,"
+                         "\"id\":\"d\",\"sweep\":\"{}\","
+                         "\"points\":[\"p\"],\"surprise\":1}",
+                         kFabricSchemaVersion)),
+        run, error));
+    EXPECT_NE(error.find("surprise"), std::string::npos) << error;
+
+    // An empty deal is meaningless and must reject, not no-op.
+    error.clear();
+    EXPECT_FALSE(parseShardRun(
+        mustParse(strfmt("{\"kind\":\"shard_run\",\"fabricVersion\":%d,"
+                         "\"id\":\"d\",\"sweep\":\"{}\",\"points\":[]}",
+                         kFabricSchemaVersion)),
+        run, error));
+}
+
+TEST(FabricProtocol, KindOfSeparatesTheTwoProtocols)
+{
+    EXPECT_EQ(kindOf(mustParse(pingToJson(""))), "ping");
+    // A plain SimRequest line carries no "kind": the dual-protocol
+    // dispatch depends on that staying true.
+    svc::SimRequest req;
+    req.id = "r1";
+    req.bench = "fig6";
+    EXPECT_EQ(kindOf(mustParse(req.toJson())), "");
+}
+
+// ---------------------------------------------------------------------
+// Dealer
+// ---------------------------------------------------------------------
+
+std::vector<DealPoint>
+makePoints(int n)
+{
+    std::vector<DealPoint> points;
+    for (int i = 0; i < n; ++i) {
+        DealPoint p;
+        p.id = strfmt("p%d", i);
+        p.key = strfmt("k%d", i);
+        p.cost = 1.0 + i;
+        points.push_back(std::move(p));
+    }
+    return points;
+}
+
+TEST(Dealer, InitialDealPartitionsAllPoints)
+{
+    Dealer dealer(makePoints(7), 2);
+    const std::vector<DealPoint> a = dealer.claim(0);
+    const std::vector<DealPoint> b = dealer.claim(1);
+    std::set<std::string> seen;
+    for (const DealPoint &p : a)
+        EXPECT_TRUE(seen.insert(p.id).second) << p.id;
+    for (const DealPoint &p : b)
+        EXPECT_TRUE(seen.insert(p.id).second) << p.id;
+    EXPECT_EQ(seen.size(), 7u);
+    EXPECT_FALSE(a.empty());
+    EXPECT_FALSE(b.empty());
+    // The deal is the same LPT assignment the shard planner computes.
+    std::vector<double> costs;
+    for (int i = 0; i < 7; ++i)
+        costs.push_back(1.0 + i);
+    const std::vector<int> bins = driver::dealByCost(costs, 2);
+    for (const DealPoint &p : a)
+        EXPECT_EQ(bins[std::stoi(p.id.substr(1))], 0) << p.id;
+    for (const DealPoint &p : b)
+        EXPECT_EQ(bins[std::stoi(p.id.substr(1))], 1) << p.id;
+}
+
+TEST(Dealer, WorkerDeathRedealsUnfinishedPoints)
+{
+    Dealer dealer(makePoints(6), 2);
+    const std::vector<DealPoint> mine = dealer.claim(1);
+    for (const DealPoint &p : mine)
+        EXPECT_TRUE(dealer.complete(p.id));
+
+    // Worker 0 claimed its deal, finished one point, then died.
+    const std::vector<DealPoint> theirs = dealer.claim(0);
+    ASSERT_GE(theirs.size(), 2u);
+    EXPECT_TRUE(dealer.complete(theirs[0].id));
+    const size_t redealt = dealer.fail(0);
+    EXPECT_EQ(redealt, theirs.size() - 1);
+    EXPECT_EQ(dealer.redealCount(), redealt);
+    EXPECT_EQ(dealer.liveWorkers(), 1);
+
+    // The survivor picks up exactly the dead worker's unfinished load.
+    const std::vector<DealPoint> rescued = dealer.claim(1);
+    EXPECT_EQ(rescued.size(), redealt);
+    for (const DealPoint &p : rescued)
+        EXPECT_TRUE(dealer.complete(p.id));
+    EXPECT_TRUE(dealer.done());
+    EXPECT_FALSE(dealer.failed());
+    // Everything finished: the next claim returns empty immediately.
+    EXPECT_TRUE(dealer.claim(1).empty());
+}
+
+TEST(Dealer, DuplicateCompletionIsIdempotent)
+{
+    Dealer dealer(makePoints(2), 1);
+    const std::vector<DealPoint> mine = dealer.claim(0);
+    ASSERT_EQ(mine.size(), 2u);
+    EXPECT_TRUE(dealer.complete("p0"));
+    EXPECT_FALSE(dealer.complete("p0"));    // the late duplicate row
+    EXPECT_EQ(dealer.remaining(), 1u);
+    EXPECT_TRUE(dealer.complete("p1"));
+    EXPECT_TRUE(dealer.done());
+}
+
+TEST(Dealer, PointCompletedWhileQueuedIsNeverClaimed)
+{
+    Dealer dealer(makePoints(3), 1);
+    // A duplicate completion can land before the point is ever dealt
+    // (a presumed-dead worker's rows arriving after a re-deal): the
+    // claimer must skip it.
+    EXPECT_TRUE(dealer.complete("p1"));
+    const std::vector<DealPoint> mine = dealer.claim(0);
+    ASSERT_EQ(mine.size(), 2u);
+    for (const DealPoint &p : mine)
+        EXPECT_NE(p.id, "p1");
+}
+
+TEST(Dealer, AllWorkersDeadReportsFailure)
+{
+    Dealer dealer(makePoints(4), 2);
+    EXPECT_GT(dealer.fail(0), 0u);
+    EXPECT_EQ(dealer.fail(0), 0u);  // idempotent
+    EXPECT_GT(dealer.fail(1), 0u);
+    EXPECT_TRUE(dealer.failed());
+    EXPECT_FALSE(dealer.done());
+    EXPECT_EQ(dealer.liveWorkers(), 0);
+    // claim() must unblock with nothing rather than hang the fleet.
+    EXPECT_TRUE(dealer.claim(0).empty());
+    EXPECT_TRUE(dealer.claim(1).empty());
+}
+
+TEST(Dealer, BlockedClaimWakesWhenAnotherWorkerDies)
+{
+    // One point, two workers: one initial queue is empty, so that
+    // worker's claim blocks until the owner dies and the point
+    // re-deals.
+    Dealer dealer(makePoints(1), 2);
+    const bool zeroOwns = !dealer.claim(0).empty();
+    const int idleWorker = zeroOwns ? 1 : 0;
+    const int busyWorker = zeroOwns ? 0 : 1;
+    if (!zeroOwns)
+        ASSERT_FALSE(dealer.claim(1).empty());
+
+    std::vector<DealPoint> rescued;
+    std::thread claimer([&] { rescued = dealer.claim(idleWorker); });
+    dealer.fail(busyWorker);
+    claimer.join();
+    ASSERT_EQ(rescued.size(), 1u);
+    EXPECT_TRUE(dealer.complete(rescued[0].id));
+    EXPECT_TRUE(dealer.done());
+}
+
+// ---------------------------------------------------------------------
+// WorkerHandler against a real SimService
+// ---------------------------------------------------------------------
+
+/** The quickest real sweep: one point, tiny scale, capped cycles. */
+svc::SimRequest
+tinyRequest()
+{
+    svc::SimRequest req;
+    req.id = "sweep";
+    req.isas = { "mmx" };
+    req.memModels = { "perfect" };
+    req.quick = true;
+    req.maxCycles = 50000;
+    return req;
+}
+
+/** The canonical point ids of tinyRequest(), straight from the same
+ *  grid expansion the service performs. */
+std::vector<std::string>
+tinyPointIds()
+{
+    driver::SweepGrid grid;
+    grid.isas({ isa::SimdIsa::Mmx });
+    grid.memModels({ mem::MemModel::Perfect });
+    driver::applyRunSelection(grid, {}, 50000);
+    std::vector<std::string> ids;
+    for (const driver::ExperimentSpec &spec : grid.expand(0))
+        ids.push_back(spec.canonicalId());
+    return ids;
+}
+
+TEST(WorkerHandler, PingAnswersPongWithVersionAndGauges)
+{
+    svc::SimService service;
+    WorkerHandler handler(service);
+    std::vector<std::string> chunks;
+    std::string finalLine;
+    ASSERT_TRUE(handler.handle(
+        pingToJson("hi"),
+        [&](std::string line) { chunks.push_back(std::move(line)); },
+        finalLine));
+    EXPECT_TRUE(chunks.empty());
+    Pong pong;
+    std::string error;
+    ASSERT_TRUE(parsePong(mustParse(finalLine), pong, error)) << error;
+    EXPECT_EQ(pong.id, "hi");
+    EXPECT_EQ(pong.version, fabricVersionString());
+    EXPECT_EQ(pong.inFlight, 0);
+    EXPECT_EQ(pong.pendingPoints, 0);
+}
+
+TEST(WorkerHandler, ShardRunStreamsRowsThenReportsDone)
+{
+    svc::SimService service;
+    WorkerHandler handler(service);
+    const std::vector<std::string> ids = tinyPointIds();
+    ASSERT_EQ(ids.size(), 1u);
+
+    ShardRun deal;
+    deal.id = "d0-0";
+    deal.sweepJson = tinyRequest().toJson();
+    deal.points = ids;
+
+    std::vector<std::string> chunks;
+    std::string finalLine;
+    ASSERT_TRUE(handler.handle(
+        shardRunToJson(deal),
+        [&](std::string line) { chunks.push_back(std::move(line)); },
+        finalLine));
+
+    ASSERT_EQ(chunks.size(), 1u);
+    RowMsg msg;
+    std::string error;
+    ASSERT_TRUE(parseRow(mustParse(chunks[0]), msg, error)) << error;
+    EXPECT_EQ(msg.id, deal.id);
+    EXPECT_EQ(msg.point, ids[0]);
+    EXPECT_FALSE(msg.key.empty());
+    driver::ResultRow row;
+    ASSERT_TRUE(driver::parseResultRow(msg.rowLine, row));
+    EXPECT_EQ(row.id + "", msg.point);
+
+    ShardDone done;
+    ASSERT_TRUE(parseShardDone(mustParse(finalLine), done, error))
+        << error;
+    EXPECT_TRUE(done.ok);
+    EXPECT_EQ(done.id, deal.id);
+    EXPECT_EQ(done.points, 1u);
+    EXPECT_EQ(done.simulated, 1u);
+    EXPECT_EQ(done.cached, 0u);
+    EXPECT_EQ(handler.pendingPoints(), 0);
+}
+
+TEST(WorkerHandler, UnknownPointFailsTheDeal)
+{
+    svc::SimService service;
+    WorkerHandler handler(service);
+    ShardRun deal;
+    deal.id = "d0-0";
+    deal.sweepJson = tinyRequest().toJson();
+    deal.points = { "not/a/real/point" };
+
+    std::vector<std::string> chunks;
+    std::string finalLine;
+    ASSERT_TRUE(handler.handle(
+        shardRunToJson(deal),
+        [&](std::string line) { chunks.push_back(std::move(line)); },
+        finalLine));
+    EXPECT_TRUE(chunks.empty());
+    ShardDone done;
+    std::string error;
+    ASSERT_TRUE(parseShardDone(mustParse(finalLine), done, error))
+        << error;
+    EXPECT_FALSE(done.ok);
+    EXPECT_EQ(done.errorCode, svc::errc::kBadRequest);
+    // No dealt point may leak into the pending gauge after a failure.
+    EXPECT_EQ(handler.pendingPoints(), 0);
+}
+
+TEST(WorkerHandler, NonFabricLinesFallThrough)
+{
+    svc::SimService service;
+    WorkerHandler handler(service);
+    std::string finalLine;
+    auto chunk = [](std::string) {};
+    // A plain SimRequest and plain garbage both belong to the strict
+    // SimRequest path, not the fabric.
+    EXPECT_FALSE(handler.handle(tinyRequest().toJson(), chunk,
+                                finalLine));
+    EXPECT_FALSE(handler.handle("not json at all", chunk, finalLine));
+    // An unknown kind IS a fabric message — answered with an error
+    // line instead of falling through.
+    ASSERT_TRUE(handler.handle("{\"kind\":\"frobnicate\"}", chunk,
+                               finalLine));
+    EXPECT_EQ(kindOf(mustParse(finalLine)), "error");
+}
+
+// ---------------------------------------------------------------------
+// Sequencer chunk streaming
+// ---------------------------------------------------------------------
+
+TEST(SequencerChunks, ChunksPrecedeTheirFinalAndNeverReorderOthers)
+{
+    std::vector<std::string> out;
+    std::mutex outMutex;
+    svc::ResponseSequencer::Config cfg;
+    cfg.parallel = 4;
+    cfg.submit = [](const svc::SimRequest &req) {
+        return svc::SimResponse::failure(req.id, svc::errc::kBadRequest,
+                                         "plain");
+    };
+    cfg.rawSubmit = [](const std::string &line,
+                       const std::function<void(std::string)> &chunk,
+                       std::string &finalLine) {
+        if (line.rfind("chunky:", 0) != 0)
+            return false;
+        for (int i = 0; i < 3; ++i)
+            chunk(strfmt("%s.c%d", line.c_str(), i));
+        finalLine = line + ".done";
+        return true;
+    };
+    cfg.emit = [&](const std::string &line) {
+        std::lock_guard<std::mutex> lock(outMutex);
+        out.push_back(line);
+        return true;
+    };
+    {
+        svc::ResponseSequencer seq(cfg);
+        seq.push("chunky:a");
+        seq.push("{\"schemaVersion\":1,\"id\":\"r1\",\"bench\":\"x\"}");
+        seq.push("chunky:b");
+        seq.finish();
+    }
+    ASSERT_EQ(out.size(), 9u);
+    // Slot order is strict: all of a's chunks, a's final, the plain
+    // response, then b's chunks and final.
+    EXPECT_EQ(out[0], "chunky:a.c0");
+    EXPECT_EQ(out[1], "chunky:a.c1");
+    EXPECT_EQ(out[2], "chunky:a.c2");
+    EXPECT_EQ(out[3], "chunky:a.done");
+    EXPECT_NE(out[4].find("\"r1\""), std::string::npos) << out[4];
+    EXPECT_EQ(out[5], "chunky:b.c0");
+    EXPECT_EQ(out[8], "chunky:b.done");
+}
+
+} // namespace
+} // namespace momsim::fabric

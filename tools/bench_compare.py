@@ -74,8 +74,21 @@ def main(argv):
     )
     args = parser.parse_args(argv)
 
+    # The baseline is best-effort by design: the first CI run has none,
+    # and a cache that went stale or corrupt (schema change, truncated
+    # upload) must seed a fresh one, not wedge the pipeline. Only a bad
+    # NEW snapshot — the thing this very run just produced — is an error.
     try:
         old = load_rows(args.old, args.metric)
+    except (OSError, ValueError, json.JSONDecodeError) as err:
+        print(
+            "bench_compare: no usable baseline snapshot at %s (%s) -- "
+            "nothing to compare, treating %s as the new baseline"
+            % (args.old, err, args.new)
+        )
+        return 0
+
+    try:
         new = load_rows(args.new, args.metric)
     except (OSError, ValueError, json.JSONDecodeError) as err:
         print("bench_compare: %s" % err, file=sys.stderr)
@@ -83,8 +96,8 @@ def main(argv):
 
     if not old:
         print(
-            "bench_compare: no baseline at %s -- nothing to compare, "
-            "treating %s as the new baseline" % (args.old, args.new)
+            "bench_compare: no baseline snapshot at %s -- nothing to "
+            "compare, treating %s as the new baseline" % (args.old, args.new)
         )
         return 0
     if not new:
