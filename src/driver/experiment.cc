@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "core/simulation.hh"
+#include "driver/point_scheduler.hh"
 #include "driver/result_store.hh"
 
 namespace momsim::driver
@@ -176,8 +177,17 @@ std::vector<ResultRow>
 ExperimentRunner::runBatch(
     const std::vector<const ExperimentSpec *> &specs) const
 {
+    return runSpecBatch(_repo, specs);
+}
+
+std::vector<ResultRow>
+runSpecBatch(workloads::WorkloadRepo &repo,
+             const std::vector<const ExperimentSpec *> &specs)
+{
     MOMSIM_ASSERT(!specs.empty(), "empty batch");
     using clock = std::chrono::steady_clock;
+    constexpr uint64_t kBatchQuantumCycles =
+        ExperimentRunner::kBatchQuantumCycles;
 
     // Construct every machine up front, then arm the runs. The
     // per-spec setup wall time is attributed to that spec's row; the
@@ -203,7 +213,7 @@ ExperimentRunner::runBatch(
         if (spec.tweakMem)
             spec.tweakMem(memCfg);
 
-        act[i].workload = _repo.get(spec.workload);
+        act[i].workload = repo.get(spec.workload);
         act[i].sim = std::make_unique<core::Simulation>(
             cfg, spec.memModel, act[i].workload->rotation(spec.simd),
             memCfg);
@@ -371,6 +381,61 @@ ExperimentRunner::run(const RunPlan &plan, ResultStore *store,
 
     // Splice in sweep order: cached rows verbatim, fresh rows from the
     // pool.
+    ResultSink sink;
+    size_t next = 0;
+    for (const PlannedPoint &p : plan.points) {
+        if (p.shard != plan.shardIndex)
+            continue;
+        if (p.cached) {
+            sink.append(p.row);
+        } else {
+            sink.append(std::move(fresh[next]));
+            ++next;
+        }
+    }
+    return sink;
+}
+
+ResultSink
+runPlanOnScheduler(PointScheduler &sched, workloads::WorkloadRepo &repo,
+                   const RunPlan &plan, int batchSize,
+                   ResultStore *store,
+                   const ExperimentRunner::RowFn &onRow)
+{
+    std::vector<size_t> todo;
+    for (size_t i = 0; i < plan.points.size(); ++i) {
+        const PlannedPoint &p = plan.points[i];
+        if (p.shard == plan.shardIndex && !p.cached)
+            todo.push_back(i);
+    }
+
+    // Deliveries run on scheduler workers (several rows of this
+    // request may complete concurrently) — one mutex preserves the
+    // RowFn/store contract: puts and onRow fire serialized, per row,
+    // the moment it completes. Rows the request did not simulate
+    // itself (joins, memory-cache replays) pass through here too, so
+    // a request-private --cache-dir still ends up complete.
+    std::vector<ResultRow> fresh(todo.size());
+    std::mutex deliverMutex;
+    PointScheduler::Request request(
+        sched,
+        [&repo](const std::vector<const ExperimentSpec *> &specs) {
+            return runSpecBatch(repo, specs);
+        },
+        [&](size_t slot, const ResultRow &row) {
+            std::lock_guard<std::mutex> lock(deliverMutex);
+            if (store)
+                store->put(plan.points[todo[slot]].key, row);
+            if (onRow)
+                onRow(plan.points[todo[slot]], row);
+            fresh[slot] = row;
+        },
+        batchSize);
+    for (size_t i : todo)
+        request.add(plan.points[i].spec, plan.points[i].key);
+    request.wait();
+
+    // Splice in sweep order, exactly like the pool path above.
     ResultSink sink;
     size_t next = 0;
     for (const PlannedPoint &p : plan.points) {

@@ -196,7 +196,9 @@ class ExperimentRunner
     /**
      * Execute several specs on the calling thread, interleaved in
      * kBatchQuantumCycles slices. Row i corresponds to spec i; every
-     * row is byte-identical to what runOne would produce.
+     * row is byte-identical to what runOne would produce. (Delegates
+     * to the free runSpecBatch(), which the point scheduler's exec
+     * hook uses directly.)
      */
     std::vector<ResultRow>
     runBatch(const std::vector<const ExperimentSpec *> &specs) const;
@@ -240,6 +242,45 @@ void applyRunSelection(SweepGrid &grid,
 
 /** SplitMix64 step — the seed-derivation primitive used by SweepGrid. */
 uint64_t mixSeed(uint64_t base, const std::string &key);
+
+/**
+ * The batched-execution core of ExperimentRunner::runBatch as a free
+ * function: construct every machine, interleave the runs in
+ * kBatchQuantumCycles slices, return row i for spec i. Thread-safe for
+ * concurrent callers (the repo's get() is); this is the exec hook the
+ * PointScheduler workers run.
+ */
+std::vector<ResultRow>
+runSpecBatch(workloads::WorkloadRepo &repo,
+             const std::vector<const ExperimentSpec *> &specs);
+
+class PointScheduler;
+
+/**
+ * Execute a RunPlan through the shared PointScheduler instead of a
+ * private ThreadPool: this shard's cache misses are add()ed as one
+ * scheduler request (grouped @p batchSize consecutive points per
+ * worker task), rows land back via the request's deliver hook — which
+ * also persists each row to @p store and fires @p onRow, serialized,
+ * the moment it completes — and the sink splices cached + fresh rows
+ * in sweep order, byte-identical to ExperimentRunner::run(plan, ...).
+ *
+ * Rows another request simulated (singleflight joins) and memory-cache
+ * replays flow through the same deliver hook, so @p store still ends
+ * up holding every row this plan claims to have produced and @p onRow
+ * still fires once per non-disk-cached point.
+ *
+ * The plan must have been built against @p repo (planSweep's
+ * fingerprinting already built every workload the specs name, so
+ * scheduler workers never race a first-time build... they would be
+ * safe anyway: WorkloadRepo::get is thread-safe).
+ */
+ResultSink runPlanOnScheduler(PointScheduler &sched,
+                              workloads::WorkloadRepo &repo,
+                              const RunPlan &plan, int batchSize,
+                              ResultStore *store = nullptr,
+                              const ExperimentRunner::RowFn &onRow =
+                                  nullptr);
 
 } // namespace momsim::driver
 

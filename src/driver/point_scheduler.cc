@@ -1,0 +1,399 @@
+#include "driver/point_scheduler.hh"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <list>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "common/logging.hh"
+#include "driver/experiment.hh"
+
+namespace momsim::driver
+{
+
+namespace
+{
+
+/** One scheduled-but-unfinished point of a request. */
+struct PendingPoint
+{
+    const ExperimentSpec *spec = nullptr;
+    std::string key;
+    size_t slot = 0;
+};
+
+} // namespace
+
+struct PointRequestState
+{
+    PointScheduler::ExecFn exec;
+    PointScheduler::DeliverFn deliver;
+    size_t batchSize = 1;
+    size_t nextSlot = 0;
+
+    /** The accumulating partial group (< batchSize points). */
+    std::vector<PendingPoint> open;
+    /** Sealed task groups awaiting a worker, oldest first. */
+    std::deque<std::vector<PendingPoint>> queue;
+    /** Points added but not yet delivered or failed. */
+    size_t undelivered = 0;
+    /** First execution failure; rethrown from wait(). */
+    std::exception_ptr error;
+};
+
+struct PointSchedulerState
+{
+    /** A point queued or executing; joiners receive its row too. */
+    struct Inflight
+    {
+        std::vector<std::pair<std::shared_ptr<PointRequestState>, size_t>>
+            joiners;
+    };
+
+    std::mutex mutex;
+    std::condition_variable workCv;     ///< workers: "a group is queued"
+    std::condition_variable doneCv;     ///< requests: "a delivery landed"
+
+    std::vector<std::shared_ptr<PointRequestState>> active;
+    size_t cursor = 0;                  ///< round-robin position
+
+    std::unordered_map<std::string, Inflight> inflight;
+
+    // LRU row cache: list front = most recent; index into the list.
+    size_t memCacheRows = 0;
+    std::list<std::pair<std::string, ResultRow>> lru;
+    std::unordered_map<std::string,
+                       std::list<std::pair<std::string, ResultRow>>::iterator>
+        lruIndex;
+
+    PointScheduler::Counters counters;
+
+    bool stop = false;
+    std::vector<std::thread> workers;
+
+    bool anyQueuedLocked() const
+    {
+        for (const auto &req : active) {
+            if (!req->queue.empty())
+                return true;
+        }
+        return false;
+    }
+
+    bool lruFindLocked(const std::string &key, ResultRow &out)
+    {
+        auto it = lruIndex.find(key);
+        if (it == lruIndex.end())
+            return false;
+        lru.splice(lru.begin(), lru, it->second);   // touch: move to MRU
+        out = lru.front().second;
+        return true;
+    }
+
+    void lruInsertLocked(const std::string &key, const ResultRow &row)
+    {
+        if (memCacheRows == 0)
+            return;
+        auto it = lruIndex.find(key);
+        if (it != lruIndex.end()) {
+            lru.splice(lru.begin(), lru, it->second);
+            lru.front().second = row;
+            return;
+        }
+        lru.emplace_front(key, row);
+        lruIndex[key] = lru.begin();
+        while (lru.size() > memCacheRows) {
+            lruIndex.erase(lru.back().first);
+            lru.pop_back();
+        }
+    }
+};
+
+PointScheduler::PointScheduler() : PointScheduler(Config {}) {}
+
+PointScheduler::PointScheduler(Config cfg)
+    : _state(std::make_unique<PointSchedulerState>())
+{
+    _state->memCacheRows = cfg.memCacheRows;
+    unsigned n = cfg.workers > 0
+                     ? static_cast<unsigned>(cfg.workers)
+                     : std::thread::hardware_concurrency();
+    if (n == 0)
+        n = 1;
+    _state->workers.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        _state->workers.emplace_back([this] { workerLoop(); });
+}
+
+PointScheduler::~PointScheduler()
+{
+    {
+        std::lock_guard<std::mutex> lock(_state->mutex);
+        _state->stop = true;
+    }
+    _state->workCv.notify_all();
+    for (std::thread &t : _state->workers)
+        t.join();
+}
+
+int
+PointScheduler::workers() const
+{
+    return static_cast<int>(_state->workers.size());
+}
+
+PointScheduler::Counters
+PointScheduler::counters() const
+{
+    std::lock_guard<std::mutex> lock(_state->mutex);
+    return _state->counters;
+}
+
+void
+PointScheduler::noteDiskCacheHits(uint64_t n)
+{
+    if (n == 0)
+        return;
+    std::lock_guard<std::mutex> lock(_state->mutex);
+    _state->counters.diskCacheHits += n;
+}
+
+std::shared_ptr<PointRequestState>
+PointScheduler::registerRequest(ExecFn exec, DeliverFn deliver,
+                                int batchSize)
+{
+    auto req = std::make_shared<PointRequestState>();
+    req->exec = std::move(exec);
+    req->deliver = std::move(deliver);
+    req->batchSize = batchSize < 1 ? 1 : static_cast<size_t>(batchSize);
+    std::lock_guard<std::mutex> lock(_state->mutex);
+    _state->active.push_back(req);
+    _state->counters.requestsStarted += 1;
+    _state->counters.activeRequests =
+        static_cast<int>(_state->active.size());
+    return req;
+}
+
+void
+PointScheduler::addPoint(const std::shared_ptr<PointRequestState> &req,
+                         const ExperimentSpec &spec,
+                         const std::string &key)
+{
+    ResultRow hit;
+    size_t slot;
+    {
+        std::lock_guard<std::mutex> lock(_state->mutex);
+        slot = req->nextSlot++;
+
+        if (_state->lruFindLocked(key, hit)) {
+            _state->counters.memCacheHits += 1;
+            // fall through to deliver outside the lock
+        } else if (auto it = _state->inflight.find(key);
+                   it != _state->inflight.end()) {
+            // Singleflight: ride the execution some request already
+            // queued — this is the "N concurrent identical sweeps cost
+            // ~1x" path.
+            it->second.joiners.emplace_back(req, slot);
+            _state->counters.pointsDeduped += 1;
+            req->undelivered += 1;
+            return;
+        } else {
+            _state->inflight.emplace(key,
+                                     PointSchedulerState::Inflight {});
+            req->open.push_back(PendingPoint { &spec, key, slot });
+            req->undelivered += 1;
+            if (req->open.size() >= req->batchSize) {
+                req->queue.push_back(std::move(req->open));
+                req->open.clear();
+                _state->workCv.notify_one();
+            }
+            return;
+        }
+    }
+    req->deliver(slot, hit);
+}
+
+void
+PointScheduler::waitRequest(const std::shared_ptr<PointRequestState> &req)
+{
+    std::unique_lock<std::mutex> lock(_state->mutex);
+    if (!req->open.empty()) {
+        req->queue.push_back(std::move(req->open));
+        req->open.clear();
+        _state->workCv.notify_one();
+    }
+    _state->doneCv.wait(lock, [&] { return req->undelivered == 0; });
+
+    auto &active = _state->active;
+    active.erase(std::remove(active.begin(), active.end(), req),
+                 active.end());
+    if (!active.empty())
+        _state->cursor %= active.size();
+    else
+        _state->cursor = 0;
+    _state->counters.activeRequests = static_cast<int>(active.size());
+
+    std::exception_ptr error = req->error;
+    req->error = nullptr;
+    lock.unlock();
+    if (error)
+        std::rethrow_exception(error);
+}
+
+void
+PointScheduler::workerLoop()
+{
+    PointSchedulerState &s = *_state;
+    std::unique_lock<std::mutex> lock(s.mutex);
+    for (;;) {
+        s.workCv.wait(lock,
+                      [&] { return s.stop || s.anyQueuedLocked(); });
+        if (s.stop)
+            return;
+
+        // Fair dispatch: scan the active requests round-robin from the
+        // rotating cursor and take ONE group from the first that has
+        // work — so every active request gets a worker within one
+        // rotation, regardless of how deep any single request's queue
+        // is.
+        std::shared_ptr<PointRequestState> req;
+        const size_t n = s.active.size();
+        for (size_t i = 0; i < n; ++i) {
+            auto &cand = s.active[(s.cursor + i) % n];
+            if (!cand->queue.empty()) {
+                req = cand;
+                s.cursor = (s.cursor + i + 1) % n;
+                break;
+            }
+        }
+        if (!req)
+            continue;       // raced another worker; re-wait
+        std::vector<PendingPoint> group = std::move(req->queue.front());
+        req->queue.pop_front();
+        lock.unlock();
+
+        std::vector<const ExperimentSpec *> specs;
+        specs.reserve(group.size());
+        for (const PendingPoint &p : group)
+            specs.push_back(p.spec);
+
+        std::vector<ResultRow> rows;
+        std::exception_ptr error;
+        try {
+            rows = req->exec(specs);
+            if (rows.size() != specs.size())
+                throw std::runtime_error(
+                    "point scheduler: exec returned wrong row count");
+        } catch (...) {
+            error = std::current_exception();
+        }
+
+        // Resolve every point of the group under the lock: publish to
+        // the LRU, collect the owner + joiner deliveries, and retire
+        // the in-flight entries — then run the delivery callbacks
+        // outside the lock.
+        struct Delivery
+        {
+            std::shared_ptr<PointRequestState> req;
+            size_t slot;
+            size_t rowIdx;
+        };
+        std::vector<Delivery> deliveries;
+        lock.lock();
+        if (!error)
+            s.counters.pointsSimulated += group.size();
+        for (size_t i = 0; i < group.size(); ++i) {
+            if (!error) {
+                s.lruInsertLocked(group[i].key, rows[i]);
+                deliveries.push_back(
+                    Delivery { req, group[i].slot, i });
+            }
+            auto it = s.inflight.find(group[i].key);
+            MOMSIM_ASSERT(it != s.inflight.end(),
+                          "executed point missing from inflight map");
+            for (auto &joiner : it->second.joiners) {
+                if (!error) {
+                    deliveries.push_back(Delivery { joiner.first,
+                                                    joiner.second, i });
+                } else {
+                    if (!joiner.first->error)
+                        joiner.first->error = error;
+                    joiner.first->undelivered -= 1;
+                }
+            }
+            s.inflight.erase(it);
+            if (error) {
+                if (!req->error)
+                    req->error = error;
+                req->undelivered -= 1;
+            }
+        }
+        if (error) {
+            lock.unlock();
+            s.doneCv.notify_all();
+            lock.lock();
+            continue;
+        }
+        lock.unlock();
+
+        for (const Delivery &d : deliveries) {
+            try {
+                d.req->deliver(d.slot, rows[d.rowIdx]);
+            } catch (...) {
+                std::lock_guard<std::mutex> errLock(s.mutex);
+                if (!d.req->error)
+                    d.req->error = std::current_exception();
+            }
+        }
+
+        lock.lock();
+        for (const Delivery &d : deliveries)
+            d.req->undelivered -= 1;
+        lock.unlock();
+        s.doneCv.notify_all();
+        lock.lock();
+    }
+}
+
+PointScheduler::Request::Request(PointScheduler &sched, ExecFn exec,
+                                 DeliverFn deliver, int batchSize)
+    : _sched(sched),
+      _state(sched.registerRequest(std::move(exec), std::move(deliver),
+                                   batchSize))
+{}
+
+PointScheduler::Request::~Request()
+{
+    if (_waited)
+        return;
+    // A handle abandoned without wait() still has to drain (workers
+    // hold references to its state) — but a destructor cannot rethrow.
+    try {
+        wait();
+    } catch (...) {
+    }
+}
+
+void
+PointScheduler::Request::add(const ExperimentSpec &spec,
+                             const std::string &key)
+{
+    MOMSIM_ASSERT(!_waited, "add() after wait()");
+    _sched.addPoint(_state, spec, key);
+}
+
+void
+PointScheduler::Request::wait()
+{
+    if (_waited)
+        return;
+    _waited = true;
+    _sched.waitRequest(_state);
+}
+
+} // namespace momsim::driver

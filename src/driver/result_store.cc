@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <numeric>
 
 #include "common/hash.hh"
@@ -460,12 +461,44 @@ specCost(const ExperimentSpec &spec, int workloadPrograms)
     return cost;
 }
 
+namespace
+{
+
+/**
+ * The process-wide append lock for one store file, keyed by the
+ * canonical (realpath) directory so "cache" and "./cache" — or two
+ * ResultStore instances different requests opened on one --cache-dir —
+ * resolve to the same mutex. Entries are never removed: the set of
+ * distinct cache dirs a process touches is tiny, and a stable address
+ * is what lets stores cache the pointer.
+ */
+std::mutex &
+appendLockFor(const std::string &dir)
+{
+    static std::mutex registryMutex;
+    static std::unordered_map<std::string, std::unique_ptr<std::mutex>>
+        registry;
+    std::string key = dir;
+    if (char *canon = ::realpath(dir.c_str(), nullptr)) {
+        key.assign(canon);
+        std::free(canon);
+    }
+    std::lock_guard<std::mutex> lock(registryMutex);
+    std::unique_ptr<std::mutex> &slot = registry[key];
+    if (!slot)
+        slot = std::make_unique<std::mutex>();
+    return *slot;
+}
+
+} // namespace
+
 bool
 ResultStore::openDir(const std::string &dir)
 {
     if (dir.empty() || !makeDirs(dir))
         return false;
     _path = dir + "/" + kFileName;
+    _appendLock = &appendLockFor(dir);
     std::FILE *f = std::fopen(_path.c_str(), "r");
     if (!f)
         return true;    // nothing persisted yet: an empty, bound store
@@ -536,27 +569,52 @@ ResultStore::lookup(const std::string &key) const
     return it == _rows.end() ? nullptr : &it->second;
 }
 
+bool
+ResultStore::find(const std::string &key, ResultRow &out) const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    auto it = _rows.find(key);
+    if (it == _rows.end())
+        return false;
+    out = it->second;
+    return true;
+}
+
 void
 ResultStore::put(const std::string &key, const ResultRow &row)
 {
-    _rows[key] = row;
-    if (_path.empty())
-        return;
-    std::FILE *f = std::fopen(_path.c_str(), "a");
-    if (!f) {
-        warn("result store: cannot append to " + _path);
-        return;
+    std::string path;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _rows[key] = row;
+        path = _path;
     }
+    if (path.empty())
+        return;
     std::string line = "{\"key\":\"" + jsonEscape(key) + "\"," +
                        serializeRowFields(row) + "}\n";
-    size_t written = std::fwrite(line.data(), 1, line.size(), f);
-    if (std::fclose(f) != 0 || written != line.size()) {
+    bool shortWrite;
+    {
+        // One whole line per lock hold: concurrent puts — from this
+        // store's workers or a sibling store another request bound to
+        // the same file — append whole lines, never interleaved bytes.
+        std::lock_guard<std::mutex> appendLock(*_appendLock);
+        std::FILE *f = std::fopen(path.c_str(), "a");
+        if (!f) {
+            warn("result store: cannot append to " + path);
+            return;
+        }
+        size_t written = std::fwrite(line.data(), 1, line.size(), f);
+        shortWrite = std::fclose(f) != 0 || written != line.size();
+    }
+    if (shortWrite) {
         // A partial line may now be on disk. Stop appending: another
         // put would continue on the same line and turn a tolerable
         // truncated *tail* into corruption in the *middle* of the
         // file, which loadFile rightly refuses.
-        warn("result store: short write to " + _path +
+        warn("result store: short write to " + path +
              "; disabling persistence for this run");
+        std::lock_guard<std::mutex> lock(_mutex);
         _path.clear();
     }
 }
@@ -608,9 +666,12 @@ planSweep(std::vector<ExperimentSpec> specs,
         p.cost = costOf(spec);
         p.spec = std::move(spec);
         if (store) {
-            if (const ResultRow *hit = store->lookup(p.key)) {
+            // find(), not lookup(): on a serve daemon's shared store
+            // another request may be put()ting concurrently.
+            ResultRow hit;
+            if (store->find(p.key, hit)) {
                 p.cached = true;
-                p.row = *hit;
+                p.row = std::move(hit);
             }
         }
         plan.points.push_back(std::move(p));

@@ -25,6 +25,7 @@
 #ifndef MOMSIM_DRIVER_RESULT_STORE_HH
 #define MOMSIM_DRIVER_RESULT_STORE_HH
 
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -105,6 +106,15 @@ double specCost(const ExperimentSpec &spec, int workloadPrograms = 8);
  * merges another store's file read-only — the mechanism behind
  * --merge. Later lines win, so appending the same key twice is
  * harmless.
+ *
+ * Concurrency: put(), find() and size() are thread-safe — concurrent
+ * requests sharing one store (the serve daemon's --cache-dir) persist
+ * distinct points from different workers by design. File appends
+ * additionally serialize on a process-wide per-file lock keyed by the
+ * *canonical* path, so two in-process ResultStore instances that a
+ * pair of requests opened on the same --cache-dir cannot interleave
+ * a line. openDir()/loadFile() and the pointer-returning lookup() are
+ * single-threaded-setup APIs: call them before sharing the store.
  */
 class ResultStore
 {
@@ -121,19 +131,32 @@ class ResultStore
      */
     bool loadFile(const std::string &path);
 
+    /** Not thread-safe against concurrent put() (the map cell the
+     *  pointer names may be overwritten): use find() on shared
+     *  stores. */
     const ResultRow *lookup(const std::string &key) const;
 
-    /** Insert (last wins) and, when openDir() succeeded, append. */
+    /** Thread-safe lookup-by-copy. */
+    bool find(const std::string &key, ResultRow &out) const;
+
+    /** Insert (last wins) and, when openDir() succeeded, append.
+     *  Thread-safe, including across instances bound to one file. */
     void put(const std::string &key, const ResultRow &row);
 
-    size_t size() const { return _rows.size(); }
+    size_t size() const
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        return _rows.size();
+    }
 
     /** Append-file path; empty for an in-memory store. */
     const std::string &path() const { return _path; }
 
   private:
+    mutable std::mutex _mutex;          ///< guards _rows and _path
     std::unordered_map<std::string, ResultRow> _rows;
     std::string _path;
+    std::mutex *_appendLock = nullptr;  ///< per-canonical-file, global
 };
 
 /** One point of a planned sweep. */

@@ -59,6 +59,12 @@ WorkerHandler::handlePing(const std::string &id) const
             .count());
     pong.inFlight = _service.inFlight();
     pong.pendingPoints = pendingPoints();
+    const driver::PointScheduler::Counters counters =
+        _service.counters();
+    pong.pointsSimulated = counters.pointsSimulated;
+    pong.pointsDeduped = counters.pointsDeduped;
+    pong.memCacheHits = counters.memCacheHits;
+    pong.diskCacheHits = counters.diskCacheHits;
     return pongToJson(pong);
 }
 

@@ -114,9 +114,15 @@ pongToJson(const Pong &pong)
         out += ",\"id\":" + svc::jsonQuote(pong.id);
     out += ",\"version\":" + svc::jsonQuote(pong.version);
     out += strfmt(",\"uptimeMs\":%llu,\"inFlight\":%d,"
-                  "\"pendingPoints\":%ld}",
+                  "\"pendingPoints\":%ld",
                   static_cast<unsigned long long>(pong.uptimeMs),
                   pong.inFlight, pong.pendingPoints);
+    out += strfmt(",\"pointsSimulated\":%llu,\"pointsDeduped\":%llu,"
+                  "\"memCacheHits\":%llu,\"diskCacheHits\":%llu}",
+                  static_cast<unsigned long long>(pong.pointsSimulated),
+                  static_cast<unsigned long long>(pong.pointsDeduped),
+                  static_cast<unsigned long long>(pong.memCacheHits),
+                  static_cast<unsigned long long>(pong.diskCacheHits));
     return out;
 }
 
@@ -127,7 +133,9 @@ parsePong(const svc::JsonValue &doc, Pong &out, std::string &error)
         return false;
     if (!rejectUnknownFields(doc,
                              { "kind", "fabricVersion", "id", "version",
-                               "uptimeMs", "inFlight", "pendingPoints" },
+                               "uptimeMs", "inFlight", "pendingPoints",
+                               "pointsSimulated", "pointsDeduped",
+                               "memCacheHits", "diskCacheHits" },
                              error))
         return false;
     if (!stringField(doc, "id", false, out.id, error) ||
@@ -150,6 +158,23 @@ parsePong(const svc::JsonValue &doc, Pong &out, std::string &error)
         return false;
     }
     out.pendingPoints = static_cast<long>(pending);
+    const struct
+    {
+        const char *name;
+        uint64_t &dst;
+    } gauges[] = {
+        { "pointsSimulated", out.pointsSimulated },
+        { "pointsDeduped", out.pointsDeduped },
+        { "memCacheHits", out.memCacheHits },
+        { "diskCacheHits", out.diskCacheHits },
+    };
+    for (const auto &g : gauges) {
+        v = doc.field(g.name);
+        if (!v || !v->toU64(g.dst)) {
+            error = strfmt("missing or bad \"%s\"", g.name);
+            return false;
+        }
+    }
     return true;
 }
 

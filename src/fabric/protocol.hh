@@ -42,8 +42,10 @@
 namespace momsim::fabric
 {
 
-/** Version of the fabric message set. Bump on any message change. */
-constexpr int kFabricSchemaVersion = 1;
+/** Version of the fabric message set. Bump on any message change.
+ *  v2 = v1 + the pong's scheduler gauges (pointsSimulated,
+ *  pointsDeduped, memCacheHits, diskCacheHits). */
+constexpr int kFabricSchemaVersion = 2;
 
 /**
  * The compatibility fingerprint a worker reports in its pong:
@@ -69,6 +71,11 @@ struct Pong
     uint64_t uptimeMs = 0;      ///< since the worker started serving
     int inFlight = 0;           ///< requests executing right now
     long pendingPoints = 0;     ///< dealt sweep points not yet finished
+    // Scheduler gauges (lifetime totals of the worker's SimService):
+    uint64_t pointsSimulated = 0;   ///< points executed on a worker
+    uint64_t pointsDeduped = 0;     ///< points joined in flight
+    uint64_t memCacheHits = 0;      ///< memory-row-cache replays
+    uint64_t diskCacheHits = 0;     ///< disk-store planning-time hits
 };
 
 std::string pongToJson(const Pong &pong);

@@ -79,6 +79,8 @@ usage(std::FILE *to, int rc)
                  "daemon\n"
                  "  coord         run a sweep across a fleet of serve "
                  "workers\n"
+                 "  loadgen       drive a serve daemon with concurrent "
+                 "clients\n"
                  "\n"
                  "run `momsim help` for the shared bench flags.\n");
     return rc;
@@ -108,9 +110,10 @@ runHelp(int argc, char **argv)
                 "\n"
                 "usage: momsim batch [--jobs N] [--parallel M] "
                 "[--client C] [--no-timing]\n"
+                "                    [--mem-cache-rows N] [--stats]\n"
                 "\n"
                 "flags:\n"
-                "  --jobs, -j N     simulation pool workers (default: "
+                "  --jobs, -j N     scheduler workers (default: "
                 "all hardware)\n"
                 "  --parallel M     concurrent client submitters "
                 "(default 2, max 16)\n"
@@ -120,6 +123,14 @@ runHelp(int argc, char **argv)
                 "so identical\n"
                 "                   request streams emit byte-identical "
                 "output\n"
+                "  --mem-cache-rows N  in-memory result-row LRU "
+                "capacity (default 4096,\n"
+                "                   0 disables)\n"
+                "  --stats          print scheduler counters (points "
+                "simulated /\n"
+                "                   dedup-joined / memory- and "
+                "disk-cache hits) to\n"
+                "                   stderr after the stream drains\n"
                 "\n"
                 "One SimRequest JSON object per input line "
                 "(schemaVersion %d); one\nSimResponse per output line, "
@@ -143,10 +154,13 @@ runHelp(int argc, char **argv)
                 "  --host H         TCP bind address (default "
                 "127.0.0.1)\n"
                 "  --unix PATH      listen on a unix-domain socket\n"
-                "  --jobs, -j N     simulation pool workers (default: "
+                "  --jobs, -j N     scheduler workers (default: "
                 "all hardware)\n"
                 "  --parallel M     submitter threads per connection "
                 "(default 2, max 16)\n"
+                "  --mem-cache-rows N  in-memory result-row LRU "
+                "capacity (default 4096,\n"
+                "                   0 disables)\n"
                 "  --max-clients N  concurrent connections before "
                 "shedding (default 32)\n"
                 "  --max-pending N  per-connection admission queue "
@@ -171,9 +185,12 @@ runHelp(int argc, char **argv)
                 "speak the\ndistributed-sweep protocol instead. "
                 "{\"kind\":\"ping\"} answers with a pong\ncarrying the "
                 "worker's version fingerprint (%s),\nuptimeMs, inFlight "
-                "(requests executing) and pendingPoints (dealt sweep\n"
-                "points not yet streamed back); \"shard_run\" executes "
-                "a coordinator's\ndeal — see `momsim help coord`.\n",
+                "(requests executing), pendingPoints (dealt sweep\n"
+                "points not yet streamed back) and the scheduler's "
+                "lifetime gauges:\npointsSimulated, pointsDeduped "
+                "(in-flight joins), memCacheHits and\ndiskCacheHits; "
+                "\"shard_run\" executes a coordinator's deal — see\n"
+                "`momsim help coord`.\n",
                 momsim::fabric::fabricVersionString().c_str());
             return 0;
         }
@@ -200,6 +217,47 @@ runHelp(int argc, char **argv)
                 "for clients racing a daemon's startup. Exhaustion "
                 "prints one\nstructured {\"error\":{\"code\":"
                 "\"connect_failed\",...}} line and exits 1.\n");
+            return 0;
+        }
+        if (std::strcmp(argv[0], "loadgen") == 0) {
+            std::printf(
+                "momsim loadgen — drive a serve daemon with concurrent "
+                "clients\n"
+                "\n"
+                "usage: momsim loadgen (--connect HOST:PORT | --unix "
+                "PATH) [flags]\n"
+                "\n"
+                "flags:\n"
+                "  --clients K             concurrent client "
+                "connections (default 4)\n"
+                "  --requests N            requests per client "
+                "(default 8)\n"
+                "  --overlap PCT           %% of requests drawn from a "
+                "shared sweep all\n"
+                "                          clients repeat (exercises "
+                "dedup + row cache);\n"
+                "                          the rest are per-client "
+                "unique (default 50)\n"
+                "  --max-cycles N          sweep depth per request "
+                "(default 20000)\n"
+                "  --threads LIST          thread counts swept per "
+                "request (default 1,2,4)\n"
+                "  --isas LIST             ISAs swept per request "
+                "(default mmx)\n"
+                "  --json FILE             write the report as JSON "
+                "(for CI artifacts)\n"
+                "  --connect-retries N     extra dial attempts "
+                "(default 5)\n"
+                "  --retry-backoff-ms MS   first retry backoff, "
+                "doubled + jittered\n"
+                "                          (default 200)\n"
+                "\n"
+                "Each client sends its requests back-to-back over one "
+                "connection and\nmeasures per-request latency. The "
+                "report aggregates answered points\nper second and p50/"
+                "p95 request latency across all clients — the\n"
+                "serving-throughput benchmark for the point-level "
+                "scheduler.\n");
             return 0;
         }
         if (std::strcmp(argv[0], "coord") == 0) {
@@ -272,13 +330,15 @@ runBatch(int argc, char **argv)
 {
     int jobs = 0;
     int parallel = 2;
+    int memCacheRows = -1;
     bool withTiming = true;
+    bool stats = false;
     std::string clientTag;
     for (int i = 0; i < argc; ++i) {
         const char *arg = argv[i];
-        // Strict like the bench flags: the whole token must be a
-        // positive integer ("4x" or "2/3" reject, they don't truncate).
-        auto intValue = [&](int &out) {
+        // Strict like the bench flags: the whole token must be an
+        // integer ("4x" or "2/3" reject, they don't truncate).
+        auto intValueMin = [&](int minValue, int &out) {
             if (i + 1 >= argc) {
                 std::fprintf(stderr, "momsim batch: %s expects a value\n",
                              arg);
@@ -287,16 +347,17 @@ runBatch(int argc, char **argv)
             const char *v = argv[++i];
             char *end = nullptr;
             long parsed = std::strtol(v, &end, 10);
-            if (*v == '\0' || !end || *end != '\0' || parsed < 1 ||
-                parsed > 1 << 20) {
+            if (*v == '\0' || !end || *end != '\0' ||
+                parsed < minValue || parsed > 1 << 20) {
                 std::fprintf(stderr,
                              "momsim batch: bad %s '%s' (want an "
-                             "integer >= 1)\n", arg, v);
+                             "integer >= %d)\n", arg, v, minValue);
                 return false;
             }
             out = static_cast<int>(parsed);
             return true;
         };
+        auto intValue = [&](int &out) { return intValueMin(1, out); };
         if (std::strcmp(arg, "--jobs") == 0 ||
             std::strcmp(arg, "-j") == 0) {
             if (!intValue(jobs))
@@ -306,6 +367,11 @@ runBatch(int argc, char **argv)
                 return 2;
             if (parallel > 16)
                 parallel = 16;
+        } else if (std::strcmp(arg, "--mem-cache-rows") == 0) {
+            if (!intValueMin(0, memCacheRows))
+                return 2;
+        } else if (std::strcmp(arg, "--stats") == 0) {
+            stats = true;
         } else if (std::strcmp(arg, "--client") == 0) {
             if (i + 1 >= argc) {
                 std::fprintf(stderr,
@@ -328,6 +394,8 @@ runBatch(int argc, char **argv)
 
     SimServiceConfig cfg;
     cfg.jobs = jobs;
+    if (memCacheRows >= 0)
+        cfg.memCacheRows = static_cast<size_t>(memCacheRows);
     SimService service(cfg);
 
     // batch speaks the fabric too (ping/shard_run over stdin/stdout) —
@@ -377,6 +445,23 @@ runBatch(int argc, char **argv)
     }
     seq.push(std::move(line));  // a final line without trailing newline
     seq.finish();
+
+    if (stats) {
+        // The same gauge set the serve ping reports, for the one-shot
+        // transport: where every answered point actually came from.
+        const driver::PointScheduler::Counters gauges =
+            service.counters();
+        std::fprintf(stderr,
+                     "momsim batch: scheduler stats: %llu request(s), "
+                     "%llu point(s) simulated, %llu dedup-joined, "
+                     "%llu memory-cache hit(s), %llu disk-cache "
+                     "hit(s)\n",
+                     (unsigned long long)gauges.requestsStarted,
+                     (unsigned long long)gauges.pointsSimulated,
+                     (unsigned long long)gauges.pointsDeduped,
+                     (unsigned long long)gauges.memCacheHits,
+                     (unsigned long long)gauges.diskCacheHits);
+    }
 
     if (seq.writeFailed()) {
         std::fprintf(stderr,
@@ -428,6 +513,8 @@ main(int argc, char **argv)
         return runClient(argc - 2, argv + 2);
     if (std::strcmp(cmd, "coord") == 0)
         return momsim::fabric::runCoord(argc - 2, argv + 2);
+    if (std::strcmp(cmd, "loadgen") == 0)
+        return runLoadgen(argc - 2, argv + 2);
     if (const BenchDef *def = findBench(cmd))
         return runRegistered(*def, argc - 2, argv + 2);
     std::fprintf(stderr, "momsim: unknown command '%s'\n\n", cmd);

@@ -93,6 +93,7 @@ runServe(int argc, char **argv)
     std::string unixPath;
     int jobs = 0;
     int parallel = 2;
+    int memCacheRows = -1;
     int maxClients = 32;
     int maxPending = 0;
     std::string cacheDir;
@@ -123,6 +124,9 @@ runServe(int argc, char **argv)
                 return 2;
             if (parallel > 16)
                 parallel = 16;
+        } else if (std::strcmp(arg, "--mem-cache-rows") == 0) {
+            if (!intFlag(cmd, argc, argv, i, 0, memCacheRows))
+                return 2;
         } else if (std::strcmp(arg, "--max-clients") == 0) {
             if (!intFlag(cmd, argc, argv, i, 1, maxClients))
                 return 2;
@@ -156,6 +160,8 @@ runServe(int argc, char **argv)
     // store are built once and amortized across every connection.
     SimServiceConfig cfg;
     cfg.jobs = jobs;
+    if (memCacheRows >= 0)
+        cfg.memCacheRows = static_cast<size_t>(memCacheRows);
     SimService service(cfg);
     if (!cacheDir.empty()) {
         std::string error;

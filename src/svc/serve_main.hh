@@ -12,8 +12,12 @@
  *                    server, responses to stdout. The test harness's
  *                    counterpart to serve, and a worked example of
  *                    the wire protocol.
+ *   momsim loadgen — closed-loop load generator: K concurrent client
+ *                    connections issuing sweep requests (with a
+ *                    configurable cross-client overlap fraction) and
+ *                    reporting points/s plus p50/p95 request latency.
  *
- * Both take (argc, argv) past their subcommand token, batch-style.
+ * All take (argc, argv) past their subcommand token, batch-style.
  */
 
 #ifndef MOMSIM_SVC_SERVE_MAIN_HH
@@ -24,6 +28,7 @@ namespace momsim::svc
 
 int runServe(int argc, char **argv);
 int runClient(int argc, char **argv);
+int runLoadgen(int argc, char **argv);
 
 } // namespace momsim::svc
 

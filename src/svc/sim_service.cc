@@ -27,7 +27,9 @@ nowMs()
 } // namespace
 
 SimService::SimService(SimServiceConfig cfg)
-    : _pool(cfg.jobs), _paperRepo(workloads::WorkloadScale::Paper),
+    : _sched(driver::PointScheduler::Config { cfg.jobs,
+                                              cfg.memCacheRows }),
+      _paperRepo(workloads::WorkloadScale::Paper),
       _tinyRepo(workloads::WorkloadScale::Tiny)
 {}
 
@@ -242,21 +244,26 @@ SimService::execute(const SimRequest &req,
     // points cannot drift on key-affecting semantics.
     driver::applyRunSelection(grid, req.workloads, req.maxCycles);
 
-    // ---- execution (serialized: parallelFor is not reentrant) ----
-    std::lock_guard<std::mutex> lock(_runMutex);
+    // ---- execution: no run lock — requests interleave point-by-point
+    // on the shared scheduler ----
 
     // Store selection: a request naming its own cacheDir gets that
-    // store (the service-lifetime one if the dirs coincide — two open
-    // appenders on one file would interleave rows); a request naming
-    // none inherits the service's shared store when openCache() bound
-    // one, which is how a warm daemon turns repeat traffic into cache
-    // replays instead of simulations.
+    // store (the service-lifetime one if the dirs coincide); a request
+    // naming none inherits the service's shared store when openCache()
+    // bound one, which is how a warm daemon turns repeat traffic into
+    // cache replays instead of simulations. Stores are internally
+    // thread-safe, and even two request-private stores on one dir
+    // serialize their file appends on a per-path lock.
+    std::shared_ptr<driver::ResultStore> shared;
+    {
+        std::lock_guard<std::mutex> lock(_cacheMutex);
+        if (req.cacheDir.empty() || req.cacheDir == _sharedDir)
+            shared = _sharedStore;
+    }
     driver::ResultStore localStore;
-    driver::ResultStore *store = nullptr;
-    if (!req.cacheDir.empty()) {
-        if (_sharedStore && req.cacheDir == _sharedDir) {
-            store = _sharedStore.get();
-        } else if (localStore.openDir(req.cacheDir)) {
+    driver::ResultStore *store = shared.get();
+    if (!store && !req.cacheDir.empty()) {
+        if (localStore.openDir(req.cacheDir)) {
             store = &localStore;
         } else {
             return SimResponse::failure(
@@ -264,15 +271,13 @@ SimService::execute(const SimRequest &req,
                 strfmt("cannot open cacheDir \"%s\"",
                        req.cacheDir.c_str()));
         }
-    } else if (_sharedStore) {
-        store = _sharedStore.get();
     }
 
+    // Workloads build on the submitting thread during planning (the
+    // repo's get() is thread-safe and builds each name exactly once
+    // process-wide, so concurrent requests needing distinct mixes
+    // still synthesize them concurrently).
     workloads::WorkloadRepo &repo = this->repo(req.quick);
-    std::vector<std::string> toBuild = repo.missing(grid.workloadList());
-    _pool.parallelFor(toBuild.size(), [&repo, &toBuild](size_t i) {
-        repo.get(toBuild[i]);
-    });
 
     driver::RunPlan plan =
         planSweep(grid.expand(req.seed), repo, store,
@@ -307,9 +312,9 @@ SimService::execute(const SimRequest &req,
         }
     }
 
-    driver::ExperimentRunner runner(repo, _pool);
-    runner.setBatchSize(req.batch);
-    driver::ResultSink sink = runner.run(plan, store, onRow);
+    _sched.noteDiskCacheHits(plan.cachedMineCount());
+    driver::ResultSink sink = driver::runPlanOnScheduler(
+        _sched, repo, plan, req.batch, store, onRow);
 
     SimResponse resp;
     resp.id = req.id;
@@ -326,12 +331,12 @@ SimService::execute(const SimRequest &req,
 bool
 SimService::openCache(const std::string &dir, std::string &error)
 {
-    std::lock_guard<std::mutex> lock(_runMutex);
-    auto store = std::make_unique<driver::ResultStore>();
+    auto store = std::make_shared<driver::ResultStore>();
     if (!store->openDir(dir)) {
         error = strfmt("cannot open cache dir \"%s\"", dir.c_str());
         return false;
     }
+    std::lock_guard<std::mutex> lock(_cacheMutex);
     _sharedStore = std::move(store);
     _sharedDir = dir;
     return true;
@@ -340,7 +345,7 @@ SimService::openCache(const std::string &dir, std::string &error)
 std::string
 SimService::cacheDir() const
 {
-    std::lock_guard<std::mutex> lock(_runMutex);
+    std::lock_guard<std::mutex> lock(_cacheMutex);
     return _sharedDir;
 }
 

@@ -4,7 +4,8 @@
  * the momsim CLI's `batch` mode and any in-process client.
  *
  * One SimService owns the process-wide simulation resources exactly
- * once — the work-stealing ThreadPool, one WorkloadRepo per scale
+ * once — the point-level PointScheduler (worker pool + singleflight
+ * dedup + in-memory LRU row cache), one WorkloadRepo per scale
  * (paper / tiny) and, per request, the ResultStore a request's
  * cacheDir names — and executes SimRequests submitted from any number
  * of client threads. submit() is thread-safe and never calls exit():
@@ -15,9 +16,19 @@
  * the request (and its cache contents), never on submission
  * concurrency — N client threads submitting concurrently produce
  * byte-identical responses (modulo the explicitly-timed fields) to a
- * serial replay. Sweep execution serializes internally on one pool
- * (parallelFor is not reentrant); concurrency between clients is a
- * queueing property, not a results property.
+ * serial replay. Requests no longer serialize on a run lock: every
+ * request decomposes into content-addressed sweep points feeding the
+ * shared scheduler, which interleaves *all* active requests fairly
+ * (no head-of-line blocking behind a big sweep), joins duplicate
+ * points in flight instead of re-simulating them, and replays
+ * recently-computed rows from memory. Rows are deterministic per
+ * point, so none of that is observable in response bytes — only in
+ * the counters() gauges.
+ *
+ * Response accounting keeps its planning-time meaning: cachedPoints /
+ * simulatedPoints describe *disk-store* state when the request was
+ * planned, so identical request streams produce identical responses
+ * no matter what the scheduler coalesced at run time.
  */
 
 #ifndef MOMSIM_SVC_SIM_SERVICE_HH
@@ -31,8 +42,8 @@
 #include <vector>
 
 #include "driver/experiment.hh"
+#include "driver/point_scheduler.hh"
 #include "driver/result_store.hh"
-#include "driver/thread_pool.hh"
 #include "svc/sim_request.hh"
 #include "svc/sim_response.hh"
 #include "workloads/workload_repo.hh"
@@ -42,7 +53,10 @@ namespace momsim::svc
 
 struct SimServiceConfig
 {
-    int jobs = 0;               ///< pool workers; 0 => all hardware
+    int jobs = 0;               ///< scheduler workers; 0 => all hardware
+    /** In-memory LRU row-cache capacity, in rows (0 disables): warm
+     *  points replay from memory without touching the disk store. */
+    size_t memCacheRows = 4096;
 };
 
 class SimService
@@ -54,8 +68,8 @@ class SimService
     SimService &operator=(const SimService &) = delete;
 
     /**
-     * Execute @p req and return its response. Thread-safe; requests
-     * from concurrent callers queue on the internal run lock. Never
+     * Execute @p req and return its response. Thread-safe; concurrent
+     * callers' sweep points interleave on the shared scheduler. Never
      * exits, never throws for request-shaped problems (only for
      * simulator bugs, which panic as they always have).
      */
@@ -81,11 +95,19 @@ class SimService
                                const std::vector<std::string> &pointIds,
                                const RowFn &onRow);
 
-    /** Requests currently inside submit()/submitFiltered() — executing
-     *  or queued on the run lock. The serve ping reports this. */
+    /** Requests currently inside submit()/submitFiltered(). The serve
+     *  ping reports this. */
     int inFlight() const
     {
         return _active.load(std::memory_order_relaxed);
+    }
+
+    /** The scheduler's gauge set (points simulated / dedup-joined /
+     *  memory-cache hits / disk-cache hits, ...) — the serve ping and
+     *  `momsim batch --stats` report these. */
+    driver::PointScheduler::Counters counters() const
+    {
+        return _sched.counters();
     }
 
     /**
@@ -102,9 +124,6 @@ class SimService
 
     /** The directory openCache() bound, or "" when none. */
     std::string cacheDir() const;
-
-    /** The shared pool (for clients that also run their own loops). */
-    driver::ThreadPool &pool() { return _pool; }
 
     /** The repo serving requests at @p quick scale. */
     workloads::WorkloadRepo &repo(bool quick)
@@ -123,14 +142,16 @@ class SimService
                         const std::vector<std::string> *pointIds,
                         const RowFn &onRow);
 
-    driver::ThreadPool _pool;
+    driver::PointScheduler _sched;
     std::atomic<int> _active{ 0 };
     workloads::WorkloadRepo _paperRepo;
     workloads::WorkloadRepo _tinyRepo;
-    mutable std::mutex _runMutex;       ///< serializes pool use across clients
 
-    // The service-lifetime store (openCache); used under _runMutex.
-    std::unique_ptr<driver::ResultStore> _sharedStore;
+    // The service-lifetime store (openCache). The pointer is stable
+    // once bound; _cacheMutex guards the binding itself, the store is
+    // internally thread-safe for concurrent requests.
+    mutable std::mutex _cacheMutex;
+    std::shared_ptr<driver::ResultStore> _sharedStore;
     std::string _sharedDir;
 };
 

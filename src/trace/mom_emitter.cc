@@ -231,8 +231,12 @@ MomEmitter::bitsel(SVal mask, SVal a, SVal b)
 namespace
 {
 
-// Shift helpers bound to fixed counts via thread-local capture-free shims.
-int g_shiftCount = 0;
+// Shift helpers bound to fixed counts via thread-local capture-free
+// shims. thread_local matters: workloads build concurrently (distinct
+// specs synthesize outside the WorkloadRepo lock, and the service
+// plans requests in parallel), and the count is only live across the
+// unop() call that consumes it on the emitting thread.
+thread_local int g_shiftCount = 0;
 uint64_t shiftSll(uint64_t a) { return psllw(a, g_shiftCount); }
 uint64_t shiftSra(uint64_t a) { return psraw(a, g_shiftCount); }
 uint64_t shiftSrar(uint64_t a) { return psrarw(a, g_shiftCount); }

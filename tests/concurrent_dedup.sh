@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# concurrent_dedup — the acceptance gate for the point-level scheduler:
+#
+#  N=4 clients fire the *same* sweep at one daemon concurrently and
+#
+#  (1) every response is byte-identical (responses pin their own
+#      "client" tag, so the bytes carry no connection identity);
+#  (2) the daemon's {"kind":"ping"} gauges prove each sweep point was
+#      *executed exactly once* — pointsSimulated equals the sweep size,
+#      and the other 3N-3 per-point answers are accounted as in-flight
+#      joins (pointsDeduped) or memory-row-cache replays (memCacheHits);
+#  (3) a serial `momsim batch --no-timing` replay of the same request
+#      produces those same bytes — coalescing is unobservable in the
+#      response, only in the gauges.
+#
+# Usage: concurrent_dedup.sh <momsim-binary> <workdir>
+set -u
+
+MOMSIM=$1
+WORKDIR=${2:-.}
+dir="$WORKDIR/concurrent_dedup"
+rm -rf "$dir"
+mkdir -p "$dir"
+
+server_pid=""
+fail() {
+    echo "concurrent_dedup: FAIL: $*" >&2
+    [ -n "$server_pid" ] && kill -9 "$server_pid" 2>/dev/null
+    exit 1
+}
+
+# One request, 4 points (2 isas x 2 thread counts), with a pinned
+# client tag so all transports emit identical bytes.
+req='{"schemaVersion":1,"id":"dedup","client":"gate","isas":["mmx","mom"],"threads":[1,2],"memModels":["perfect"],"quick":true,"maxCycles":100000}'
+points=4
+clients=4
+printf '%s\n' "$req" > "$dir/request.jsonl"
+
+# ---- serial reference bytes ----
+timeout 120 "$MOMSIM" batch --no-timing < "$dir/request.jsonl" \
+    > "$dir/batch.out" 2> "$dir/batch.err" \
+    || fail "momsim batch exited $?"
+
+# ---- one daemon, N concurrent identical submissions ----
+sock="$dir/momsim.sock"
+ready="$dir/ready"
+"$MOMSIM" serve --unix "$sock" --no-timing --ready-file "$ready" \
+    2> "$dir/serve.err" &
+server_pid=$!
+for _ in $(seq 1 200); do
+    [ -f "$ready" ] && break
+    kill -0 "$server_pid" 2>/dev/null \
+        || fail "daemon died during startup (see $dir/serve.err)"
+    sleep 0.05
+done
+[ -f "$ready" ] || fail "daemon never wrote --ready-file"
+
+client_pids=
+for i in $(seq 1 "$clients"); do
+    timeout 120 "$MOMSIM" client --unix "$sock" \
+        < "$dir/request.jsonl" > "$dir/client.$i.out" &
+    client_pids="$client_pids $!"
+done
+for pid in $client_pids; do
+    wait "$pid" || fail "a concurrent client exited non-zero"
+done
+
+# ---- (1)+(3) byte-identity across all clients and vs. batch ----
+for i in $(seq 1 "$clients"); do
+    cmp -s "$dir/batch.out" "$dir/client.$i.out" \
+        || fail "client $i differs from the serial batch replay (see $dir/batch.out vs $dir/client.$i.out)"
+done
+
+# ---- (2) exactly-once execution, proven by the scheduler gauges ----
+printf '{"kind":"ping"}\n' | timeout 120 "$MOMSIM" client --unix "$sock" \
+    > "$dir/pong.out" || fail "ping client exited $?"
+grep -q "\"pointsSimulated\":$points," "$dir/pong.out" \
+    || fail "expected pointsSimulated:$points — a point was re-simulated or lost: $(cat "$dir/pong.out")"
+# The remaining (clients-1)*points answers came from coalescing.
+joined=$(sed -n 's/.*"pointsDeduped":\([0-9]*\).*/\1/p' "$dir/pong.out")
+memhits=$(sed -n 's/.*"memCacheHits":\([0-9]*\).*/\1/p' "$dir/pong.out")
+[ -n "$joined" ] && [ -n "$memhits" ] \
+    || fail "pong carries no scheduler gauges: $(cat "$dir/pong.out")"
+want=$(( (clients - 1) * points ))
+[ $((joined + memhits)) -eq "$want" ] \
+    || fail "coalesced answers joined=$joined + memhits=$memhits != $want: $(cat "$dir/pong.out")"
+
+kill -TERM "$server_pid"
+wait "$server_pid" || fail "daemon exited non-zero on SIGTERM"
+server_pid=""
+
+echo "concurrent_dedup: $clients identical concurrent sweeps byte-identical, $points points simulated exactly once ($joined joined, $memhits memory replays), exit 0"

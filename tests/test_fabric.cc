@@ -55,6 +55,10 @@ TEST(FabricProtocol, PongRoundTrips)
     pong.uptimeMs = 123456789ull;
     pong.inFlight = 3;
     pong.pendingPoints = 42;
+    pong.pointsSimulated = 1000;
+    pong.pointsDeduped = 250;
+    pong.memCacheHits = 70;
+    pong.diskCacheHits = 9;
 
     Pong back;
     std::string error;
@@ -65,6 +69,10 @@ TEST(FabricProtocol, PongRoundTrips)
     EXPECT_EQ(back.uptimeMs, pong.uptimeMs);
     EXPECT_EQ(back.inFlight, pong.inFlight);
     EXPECT_EQ(back.pendingPoints, pong.pendingPoints);
+    EXPECT_EQ(back.pointsSimulated, pong.pointsSimulated);
+    EXPECT_EQ(back.pointsDeduped, pong.pointsDeduped);
+    EXPECT_EQ(back.memCacheHits, pong.memCacheHits);
+    EXPECT_EQ(back.diskCacheHits, pong.diskCacheHits);
 }
 
 TEST(FabricProtocol, ShardRunRoundTrips)
@@ -351,6 +359,11 @@ TEST(WorkerHandler, PingAnswersPongWithVersionAndGauges)
     EXPECT_EQ(pong.version, fabricVersionString());
     EXPECT_EQ(pong.inFlight, 0);
     EXPECT_EQ(pong.pendingPoints, 0);
+    // A fresh service has touched no points yet: all gauges zero.
+    EXPECT_EQ(pong.pointsSimulated, 0u);
+    EXPECT_EQ(pong.pointsDeduped, 0u);
+    EXPECT_EQ(pong.memCacheHits, 0u);
+    EXPECT_EQ(pong.diskCacheHits, 0u);
 }
 
 TEST(WorkerHandler, ShardRunStreamsRowsThenReportsDone)
