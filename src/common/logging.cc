@@ -1,8 +1,9 @@
 #include "common/logging.hh"
 
 #include <cstdlib>
-#include <mutex>
 #include <vector>
+
+#include "common/thread_annotations.hh"
 
 namespace momsim
 {
@@ -11,10 +12,10 @@ namespace
 {
 
 /** Serializes multi-line stderr dumps from concurrent pool workers. */
-std::mutex &
+Mutex &
 dumpMutex()
 {
-    static std::mutex m;
+    static Mutex m;
     return m;
 }
 
@@ -68,7 +69,7 @@ inform(const std::string &msg)
 void
 dumpRaw(const std::string &text)
 {
-    std::lock_guard<std::mutex> lock(dumpMutex());
+    MutexLock lock(dumpMutex());
     std::fwrite(text.data(), 1, text.size(), stderr);
     std::fflush(stderr);
 }

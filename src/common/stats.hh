@@ -13,6 +13,15 @@
  * Indices stay valid across later registrations, so components resolve
  * their ids once at construction and per-event accounting is a single
  * indexed increment.
+ *
+ * Threading: a StatGroup is deliberately unsynchronized — it has no
+ * mutex and carries no thread-safety annotations (see
+ * common/thread_annotations.hh for the annotated primitives the
+ * concurrent layers use). Each simulation owns its groups exclusively;
+ * the scheduler's one-worker-per-simulation dispatch is the external
+ * synchronization. Hot-path increments must stay a single unlocked
+ * indexed add — putting a capability here would tax the kernel's
+ * tightest loop for a sharing pattern that never happens.
  */
 
 #ifndef MOMSIM_COMMON_STATS_HH

@@ -71,6 +71,8 @@ Simulation::advance(uint64_t cycleBudget)
     if (_phase == Phase::Done)
         return true;
 
+    // momlint: allow(nondet-source) self-measurement: wallMs feeds the
+    // reporting-only wall_ms/sim_kcps fields, never simulation state
     auto wallStart = std::chrono::steady_clock::now();
     // The slice's horizon caps the core's idle fast-forward at a
     // nearer cycle, which is byte-identical to an uncapped run: the
@@ -101,6 +103,7 @@ Simulation::advance(uint64_t cycleBudget)
         }
     }
     _wallMs += std::chrono::duration<double, std::milli>(
+                   // momlint: allow(nondet-source) self-measurement, as above
                    std::chrono::steady_clock::now() - wallStart)
                    .count();
 

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <mutex>
 
 #include "common/logging.hh"
 #include "core/simulation.hh"
@@ -352,7 +351,7 @@ ExperimentRunner::run(const RunPlan &plan, ResultStore *store,
     // whole sweep): an interrupted multi-hour run then resumes from
     // its last completed point instead of from scratch. The store is
     // not thread-safe, so puts serialize through a mutex.
-    std::mutex storeMutex;
+    momsim::Mutex storeMutex;
     std::vector<ResultRow> fresh(todo.size());
     _pool.parallelFor(groups, groupCosts,
                       [this, k, &plan, &todo, &fresh, store, &onRow,
@@ -366,8 +365,7 @@ ExperimentRunner::run(const RunPlan &plan, ResultStore *store,
                           std::vector<ResultRow> out = runBatch(batch);
                           for (size_t i = lo; i < hi; ++i) {
                               if (store || onRow) {
-                                  std::lock_guard<std::mutex> lock(
-                                      storeMutex);
+                                  MutexLock lock(storeMutex);
                                   if (store)
                                       store->put(plan.points[todo[i]].key,
                                                  out[i - lo]);
@@ -416,14 +414,14 @@ runPlanOnScheduler(PointScheduler &sched, workloads::WorkloadRepo &repo,
     // itself (joins, memory-cache replays) pass through here too, so
     // a request-private --cache-dir still ends up complete.
     std::vector<ResultRow> fresh(todo.size());
-    std::mutex deliverMutex;
+    momsim::Mutex deliverMutex;
     PointScheduler::Request request(
         sched,
         [&repo](const std::vector<const ExperimentSpec *> &specs) {
             return runSpecBatch(repo, specs);
         },
         [&](size_t slot, const ResultRow &row) {
-            std::lock_guard<std::mutex> lock(deliverMutex);
+            MutexLock lock(deliverMutex);
             if (store)
                 store->put(plan.points[todo[slot]].key, row);
             if (onRow)

@@ -1,16 +1,15 @@
 #include "driver/point_scheduler.hh"
 
 #include <algorithm>
-#include <condition_variable>
 #include <deque>
 #include <list>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <unordered_map>
 #include <utility>
 
 #include "common/logging.hh"
+#include "common/thread_annotations.hh"
 #include "driver/experiment.hh"
 
 namespace momsim::driver
@@ -29,6 +28,14 @@ struct PendingPoint
 
 } // namespace
 
+/**
+ * Mutable request fields (nextSlot, open, queue, undelivered, error)
+ * are guarded by the owning PointSchedulerState's mutex. That guard is
+ * not expressible as a GUARDED_BY here — the capability lives on
+ * another object — so the scheduler's REQUIRES-annotated sections are
+ * where the analysis enforces it; exec/deliver/batchSize are
+ * set once at registration and immutable after.
+ */
 struct PointRequestState
 {
     PointScheduler::ExecFn exec;
@@ -55,28 +62,33 @@ struct PointSchedulerState
             joiners;
     };
 
-    std::mutex mutex;
-    std::condition_variable workCv;     ///< workers: "a group is queued"
-    std::condition_variable doneCv;     ///< requests: "a delivery landed"
+    explicit PointSchedulerState(size_t cacheRows)
+        : memCacheRows(cacheRows)
+    {}
 
-    std::vector<std::shared_ptr<PointRequestState>> active;
-    size_t cursor = 0;                  ///< round-robin position
+    Mutex mutex;
+    CondVar workCv;                     ///< workers: "a group is queued"
+    CondVar doneCv;                     ///< requests: "a delivery landed"
 
-    std::unordered_map<std::string, Inflight> inflight;
+    std::vector<std::shared_ptr<PointRequestState>> active
+        GUARDED_BY(mutex);
+    size_t cursor GUARDED_BY(mutex) = 0;    ///< round-robin position
+
+    std::unordered_map<std::string, Inflight> inflight GUARDED_BY(mutex);
 
     // LRU row cache: list front = most recent; index into the list.
-    size_t memCacheRows = 0;
-    std::list<std::pair<std::string, ResultRow>> lru;
+    const size_t memCacheRows;          ///< capacity; fixed at creation
+    std::list<std::pair<std::string, ResultRow>> lru GUARDED_BY(mutex);
     std::unordered_map<std::string,
                        std::list<std::pair<std::string, ResultRow>>::iterator>
-        lruIndex;
+        lruIndex GUARDED_BY(mutex);
 
-    PointScheduler::Counters counters;
+    PointScheduler::Counters counters GUARDED_BY(mutex);
 
-    bool stop = false;
-    std::vector<std::thread> workers;
+    bool stop GUARDED_BY(mutex) = false;
+    std::vector<std::thread> workers;   ///< ctor/dtor only
 
-    bool anyQueuedLocked() const
+    bool anyQueuedLocked() const REQUIRES(mutex)
     {
         for (const auto &req : active) {
             if (!req->queue.empty())
@@ -86,6 +98,7 @@ struct PointSchedulerState
     }
 
     bool lruFindLocked(const std::string &key, ResultRow &out)
+        REQUIRES(mutex)
     {
         auto it = lruIndex.find(key);
         if (it == lruIndex.end())
@@ -96,6 +109,7 @@ struct PointSchedulerState
     }
 
     void lruInsertLocked(const std::string &key, const ResultRow &row)
+        REQUIRES(mutex)
     {
         if (memCacheRows == 0)
             return;
@@ -117,9 +131,8 @@ struct PointSchedulerState
 PointScheduler::PointScheduler() : PointScheduler(Config {}) {}
 
 PointScheduler::PointScheduler(Config cfg)
-    : _state(std::make_unique<PointSchedulerState>())
+    : _state(std::make_unique<PointSchedulerState>(cfg.memCacheRows))
 {
-    _state->memCacheRows = cfg.memCacheRows;
     unsigned n = cfg.workers > 0
                      ? static_cast<unsigned>(cfg.workers)
                      : std::thread::hardware_concurrency();
@@ -133,7 +146,7 @@ PointScheduler::PointScheduler(Config cfg)
 PointScheduler::~PointScheduler()
 {
     {
-        std::lock_guard<std::mutex> lock(_state->mutex);
+        MutexLock lock(_state->mutex);
         _state->stop = true;
     }
     _state->workCv.notify_all();
@@ -150,7 +163,7 @@ PointScheduler::workers() const
 PointScheduler::Counters
 PointScheduler::counters() const
 {
-    std::lock_guard<std::mutex> lock(_state->mutex);
+    MutexLock lock(_state->mutex);
     return _state->counters;
 }
 
@@ -159,7 +172,7 @@ PointScheduler::noteDiskCacheHits(uint64_t n)
 {
     if (n == 0)
         return;
-    std::lock_guard<std::mutex> lock(_state->mutex);
+    MutexLock lock(_state->mutex);
     _state->counters.diskCacheHits += n;
 }
 
@@ -171,7 +184,7 @@ PointScheduler::registerRequest(ExecFn exec, DeliverFn deliver,
     req->exec = std::move(exec);
     req->deliver = std::move(deliver);
     req->batchSize = batchSize < 1 ? 1 : static_cast<size_t>(batchSize);
-    std::lock_guard<std::mutex> lock(_state->mutex);
+    MutexLock lock(_state->mutex);
     _state->active.push_back(req);
     _state->counters.requestsStarted += 1;
     _state->counters.activeRequests =
@@ -187,7 +200,7 @@ PointScheduler::addPoint(const std::shared_ptr<PointRequestState> &req,
     ResultRow hit;
     size_t slot;
     {
-        std::lock_guard<std::mutex> lock(_state->mutex);
+        MutexLock lock(_state->mutex);
         slot = req->nextSlot++;
 
         if (_state->lruFindLocked(key, hit)) {
@@ -221,13 +234,14 @@ PointScheduler::addPoint(const std::shared_ptr<PointRequestState> &req,
 void
 PointScheduler::waitRequest(const std::shared_ptr<PointRequestState> &req)
 {
-    std::unique_lock<std::mutex> lock(_state->mutex);
+    MutexLock lock(_state->mutex);
     if (!req->open.empty()) {
         req->queue.push_back(std::move(req->open));
         req->open.clear();
         _state->workCv.notify_one();
     }
-    _state->doneCv.wait(lock, [&] { return req->undelivered == 0; });
+    while (req->undelivered != 0)
+        _state->doneCv.wait(_state->mutex);
 
     auto &active = _state->active;
     active.erase(std::remove(active.begin(), active.end(), req),
@@ -249,10 +263,10 @@ void
 PointScheduler::workerLoop()
 {
     PointSchedulerState &s = *_state;
-    std::unique_lock<std::mutex> lock(s.mutex);
+    MutexLock lock(s.mutex);
     for (;;) {
-        s.workCv.wait(lock,
-                      [&] { return s.stop || s.anyQueuedLocked(); });
+        while (!s.stop && !s.anyQueuedLocked())
+            s.workCv.wait(s.mutex);
         if (s.stop)
             return;
 
@@ -345,7 +359,7 @@ PointScheduler::workerLoop()
             try {
                 d.req->deliver(d.slot, rows[d.rowIdx]);
             } catch (...) {
-                std::lock_guard<std::mutex> errLock(s.mutex);
+                MutexLock errLock(s.mutex);
                 if (!d.req->error)
                     d.req->error = std::current_exception();
             }

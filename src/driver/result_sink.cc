@@ -31,6 +31,8 @@ csvField(const std::string &s)
 std::string
 num(double v)
 {
+    // momlint: allow(float-format) deliberate display precision: CSV/table
+    // renders quantize for readability; the store keeps the exact %.17g
     return strfmt("%.6g", v);
 }
 

@@ -472,21 +472,24 @@ namespace
  * distinct cache dirs a process touches is tiny, and a stable address
  * is what lets stores cache the pointer.
  */
-std::mutex &
+Mutex &
 appendLockFor(const std::string &dir)
 {
-    static std::mutex registryMutex;
-    static std::unordered_map<std::string, std::unique_ptr<std::mutex>>
+    // registry is guarded by registryMutex; every access below is
+    // inside one MutexLock hold, so the guard needs no attribute (and
+    // GUARDED_BY is not specified for function-local statics).
+    static Mutex registryMutex;
+    static std::unordered_map<std::string, std::unique_ptr<Mutex>>
         registry;
     std::string key = dir;
     if (char *canon = ::realpath(dir.c_str(), nullptr)) {
         key.assign(canon);
         std::free(canon);
     }
-    std::lock_guard<std::mutex> lock(registryMutex);
-    std::unique_ptr<std::mutex> &slot = registry[key];
+    MutexLock lock(registryMutex);
+    std::unique_ptr<Mutex> &slot = registry[key];
     if (!slot)
-        slot = std::make_unique<std::mutex>();
+        slot = std::make_unique<Mutex>();
     return *slot;
 }
 
@@ -497,13 +500,18 @@ ResultStore::openDir(const std::string &dir)
 {
     if (dir.empty() || !makeDirs(dir))
         return false;
-    _path = dir + "/" + kFileName;
-    _appendLock = &appendLockFor(dir);
-    std::FILE *f = std::fopen(_path.c_str(), "r");
+    std::string path = dir + "/" + kFileName;
+    Mutex *appendLock = &appendLockFor(dir);
+    {
+        MutexLock lock(_mutex);
+        _path = path;
+        _appendLock = appendLock;
+    }
+    std::FILE *f = std::fopen(path.c_str(), "r");
     if (!f)
         return true;    // nothing persisted yet: an empty, bound store
     std::fclose(f);
-    return loadFile(_path);
+    return loadFile(path);
 }
 
 bool
@@ -522,6 +530,11 @@ ResultStore::loadFile(const std::string &path)
     if (!ok)
         return false;
 
+    // Parse the whole file into file-ordered rows first, then merge
+    // under one lock hold: the parse is the expensive part, and doing
+    // it unlocked keeps a big --merge load from stalling concurrent
+    // find()/put() traffic on a shared store.
+    std::vector<std::pair<std::string, ResultRow>> parsed;
     size_t foreignRows = 0;
     size_t start = 0;
     while (start < text.size()) {
@@ -554,11 +567,14 @@ ResultStore::loadFile(const std::string &path)
             }
             return false;
         }
-        _rows[key] = std::move(row);    // last wins
+        parsed.emplace_back(std::move(key), std::move(row));
     }
     if (foreignRows)
         warn(strfmt("result store: skipped %zu row(s) of another schema "
                     "version in %s", foreignRows, path.c_str()));
+    MutexLock lock(_mutex);
+    for (auto &kv : parsed)
+        _rows[kv.first] = std::move(kv.second);     // last wins
     return true;
 }
 
@@ -572,7 +588,7 @@ ResultStore::lookup(const std::string &key) const
 bool
 ResultStore::find(const std::string &key, ResultRow &out) const
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    MutexLock lock(_mutex);
     auto it = _rows.find(key);
     if (it == _rows.end())
         return false;
@@ -583,11 +599,16 @@ ResultStore::find(const std::string &key, ResultRow &out) const
 void
 ResultStore::put(const std::string &key, const ResultRow &row)
 {
+    // Snapshot the path *and* the append lock together: a concurrent
+    // openDir() may rebind both, and appending to the new path under
+    // the old file's lock would lose the whole-line guarantee.
     std::string path;
+    Mutex *appendLock = nullptr;
     {
-        std::lock_guard<std::mutex> lock(_mutex);
+        MutexLock lock(_mutex);
         _rows[key] = row;
         path = _path;
+        appendLock = _appendLock;
     }
     if (path.empty())
         return;
@@ -598,7 +619,7 @@ ResultStore::put(const std::string &key, const ResultRow &row)
         // One whole line per lock hold: concurrent puts — from this
         // store's workers or a sibling store another request bound to
         // the same file — append whole lines, never interleaved bytes.
-        std::lock_guard<std::mutex> appendLock(*_appendLock);
+        MutexLock appendHold(*appendLock);
         std::FILE *f = std::fopen(path.c_str(), "a");
         if (!f) {
             warn("result store: cannot append to " + path);
@@ -614,7 +635,7 @@ ResultStore::put(const std::string &key, const ResultRow &row)
         // file, which loadFile rightly refuses.
         warn("result store: short write to " + path +
              "; disabling persistence for this run");
-        std::lock_guard<std::mutex> lock(_mutex);
+        MutexLock lock(_mutex);
         _path.clear();
     }
 }

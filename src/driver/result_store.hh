@@ -25,11 +25,11 @@
 #ifndef MOMSIM_DRIVER_RESULT_STORE_HH
 #define MOMSIM_DRIVER_RESULT_STORE_HH
 
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.hh"
 #include "driver/experiment.hh"
 #include "driver/result_sink.hh"
 
@@ -133,8 +133,9 @@ class ResultStore
 
     /** Not thread-safe against concurrent put() (the map cell the
      *  pointer names may be overwritten): use find() on shared
-     *  stores. */
-    const ResultRow *lookup(const std::string &key) const;
+     *  stores. Setup/test API, hence exempt from lock analysis. */
+    const ResultRow *lookup(const std::string &key) const
+        NO_THREAD_SAFETY_ANALYSIS;
 
     /** Thread-safe lookup-by-copy. */
     bool find(const std::string &key, ResultRow &out) const;
@@ -145,18 +146,25 @@ class ResultStore
 
     size_t size() const
     {
-        std::lock_guard<std::mutex> lock(_mutex);
+        momsim::MutexLock lock(_mutex);
         return _rows.size();
     }
 
     /** Append-file path; empty for an in-memory store. */
-    const std::string &path() const { return _path; }
+    std::string path() const
+    {
+        momsim::MutexLock lock(_mutex);
+        return _path;
+    }
 
   private:
-    mutable std::mutex _mutex;          ///< guards _rows and _path
-    std::unordered_map<std::string, ResultRow> _rows;
-    std::string _path;
-    std::mutex *_appendLock = nullptr;  ///< per-canonical-file, global
+    mutable momsim::Mutex _mutex;
+    std::unordered_map<std::string, ResultRow> _rows GUARDED_BY(_mutex);
+    std::string _path GUARDED_BY(_mutex);
+    /** Per-canonical-file process-wide append lock; which lock this
+     *  points at is guarded by _mutex (openDir rebinds it), the lock
+     *  itself is a capability in its own right. */
+    momsim::Mutex *_appendLock GUARDED_BY(_mutex) = nullptr;
 };
 
 /** One point of a planned sweep. */

@@ -29,7 +29,7 @@ ThreadPool::ThreadPool(int numWorkers)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(_mutex);
+        MutexLock lock(_mutex);
         _stopping = true;
     }
     _wake.notify_all();
@@ -63,7 +63,7 @@ ThreadPool::parallelFor(size_t n, const std::vector<double> &costs,
     }
 
     {
-        std::lock_guard<std::mutex> lock(_mutex);
+        MutexLock lock(_mutex);
         MOMSIM_ASSERT(_remaining == 0, "parallelFor is not reentrant");
         _body = &body;
         _remaining = n;
@@ -76,7 +76,7 @@ ThreadPool::parallelFor(size_t n, const std::vector<double> &costs,
                          static_cast<size_t>(_size);
             size_t next = 0;
             for (int w = 0; w < _size && next < n; ++w) {
-                std::lock_guard<std::mutex> qlock(_queues[w]->mutex);
+                MutexLock qlock(_queues[w]->mutex);
                 size_t end = std::min(n, next + per);
                 for (size_t i = next; i < end; ++i)
                     _queues[w]->tasks.push_back(i);
@@ -105,7 +105,7 @@ ThreadPool::parallelFor(size_t n, const std::vector<double> &costs,
                 load[best] += costs[idx];
             }
             for (int w = 0; w < _size; ++w) {
-                std::lock_guard<std::mutex> qlock(_queues[w]->mutex);
+                MutexLock qlock(_queues[w]->mutex);
                 // Owners pop LIFO from the back: push in reverse so
                 // each worker starts with its heaviest assignment
                 // (thieves then take the lightest from the front).
@@ -118,10 +118,11 @@ ThreadPool::parallelFor(size_t n, const std::vector<double> &costs,
     }
     _wake.notify_all();
 
-    drain(0);
+    drain(0, body);
 
-    std::unique_lock<std::mutex> lock(_mutex);
-    _done.wait(lock, [this] { return _remaining == 0; });
+    MutexLock lock(_mutex);
+    while (_remaining != 0)
+        _done.wait(_mutex);
     _body = nullptr;
     if (_firstError)
         std::rethrow_exception(_firstError);
@@ -132,25 +133,31 @@ ThreadPool::workerLoop(int self)
 {
     uint64_t seenBatch = 0;
     for (;;) {
+        const std::function<void(size_t)> *body = nullptr;
         {
-            std::unique_lock<std::mutex> lock(_mutex);
-            _wake.wait(lock, [this, seenBatch] {
-                return _stopping || (_batchId != seenBatch && _remaining > 0);
-            });
+            MutexLock lock(_mutex);
+            while (!_stopping &&
+                   !(_batchId != seenBatch && _remaining > 0))
+                _wake.wait(_mutex);
             if (_stopping)
                 return;
             seenBatch = _batchId;
+            // Snapshot the batch body while holding _mutex: tasks run
+            // outside any lock, and the pointer itself is rebound by
+            // the next parallelFor. The object it points at outlives
+            // the batch (parallelFor blocks on _done before returning).
+            body = _body;
         }
-        drain(self);
+        drain(self, *body);
     }
 }
 
 void
-ThreadPool::drain(int self)
+ThreadPool::drain(int self, const std::function<void(size_t)> &body)
 {
     size_t idx;
     while (popOwn(self, idx) || steal(self, idx))
-        runTask(idx);
+        runTask(body, idx);
     // Every deque is empty. A batch never adds tasks after the deal,
     // so nothing further can become stealable: in-flight tasks finish
     // on the workers that hold them. The caller blocks on _done in
@@ -161,7 +168,7 @@ bool
 ThreadPool::popOwn(int self, size_t &idx)
 {
     Queue &q = *_queues[self];
-    std::lock_guard<std::mutex> lock(q.mutex);
+    MutexLock lock(q.mutex);
     if (q.tasks.empty())
         return false;
     idx = q.tasks.back();   // LIFO on the owner: hot, just-dealt work
@@ -175,7 +182,7 @@ ThreadPool::steal(int self, size_t &idx)
     for (int off = 1; off < _size; ++off) {
         int victim = (self + off) % _size;
         Queue &q = *_queues[victim];
-        std::lock_guard<std::mutex> lock(q.mutex);
+        MutexLock lock(q.mutex);
         if (q.tasks.empty())
             continue;
         idx = q.tasks.front();  // FIFO on thieves: take the coldest task
@@ -186,16 +193,16 @@ ThreadPool::steal(int self, size_t &idx)
 }
 
 void
-ThreadPool::runTask(size_t idx)
+ThreadPool::runTask(const std::function<void(size_t)> &body, size_t idx)
 {
     try {
-        (*_body)(idx);
+        body(idx);
     } catch (...) {
-        std::lock_guard<std::mutex> lock(_mutex);
+        MutexLock lock(_mutex);
         if (!_firstError)
             _firstError = std::current_exception();
     }
-    std::lock_guard<std::mutex> lock(_mutex);
+    MutexLock lock(_mutex);
     _remaining -= 1;
     if (_remaining == 0)
         _done.notify_all();

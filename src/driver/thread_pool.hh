@@ -26,15 +26,15 @@
 #ifndef MOMSIM_DRIVER_THREAD_POOL_HH
 #define MOMSIM_DRIVER_THREAD_POOL_HH
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.hh"
 
 namespace momsim::driver
 {
@@ -75,28 +75,31 @@ class ThreadPool
   private:
     struct Queue
     {
-        std::mutex mutex;
-        std::deque<size_t> tasks;
+        momsim::Mutex mutex;
+        std::deque<size_t> tasks GUARDED_BY(mutex);
     };
 
     void workerLoop(int self);
-    void drain(int self);
+    /// Run tasks until every deque is empty. @p body is the batch body
+    /// snapshotted under _mutex by the caller, so task execution never
+    /// touches _body unlocked.
+    void drain(int self, const std::function<void(size_t)> &body);
     bool popOwn(int self, size_t &idx);
     bool steal(int self, size_t &idx);
-    void runTask(size_t idx);
+    void runTask(const std::function<void(size_t)> &body, size_t idx);
 
     int _size = 1;
     std::vector<std::unique_ptr<Queue>> _queues;
     std::vector<std::thread> _threads;
 
-    std::mutex _mutex;
-    std::condition_variable _wake;      ///< workers wait for a batch
-    std::condition_variable _done;      ///< caller waits for completion
-    const std::function<void(size_t)> *_body = nullptr;
-    size_t _remaining = 0;              ///< tasks not yet finished
-    uint64_t _batchId = 0;              ///< bumped per parallelFor call
-    bool _stopping = false;
-    std::exception_ptr _firstError;
+    momsim::Mutex _mutex;
+    momsim::CondVar _wake;              ///< workers wait for a batch
+    momsim::CondVar _done;              ///< caller waits for completion
+    const std::function<void(size_t)> *_body GUARDED_BY(_mutex) = nullptr;
+    size_t _remaining GUARDED_BY(_mutex) = 0;   ///< tasks not yet finished
+    uint64_t _batchId GUARDED_BY(_mutex) = 0;   ///< bumped per parallelFor
+    bool _stopping GUARDED_BY(_mutex) = false;
+    std::exception_ptr _firstError GUARDED_BY(_mutex);
 };
 
 } // namespace momsim::driver

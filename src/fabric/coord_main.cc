@@ -30,7 +30,6 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -41,6 +40,7 @@
 
 #include "common/logging.hh"
 #include "common/net.hh"
+#include "common/thread_annotations.hh"
 #include "driver/bench_harness.hh"
 #include "driver/result_store.hh"
 #include "driver/thread_pool.hh"
@@ -119,11 +119,11 @@ class WorkerThread
     {
         Dealer &dealer;
         driver::ResultStore &store;
-        std::mutex &storeMutex;
+        momsim::Mutex &storeMutex;
         const std::unordered_map<std::string, std::string> &keyOf;
         const std::string &sweepJson;
         int timeoutMs;
-        std::mutex &logMutex;
+        momsim::Mutex &logMutex;
         std::string &lastError;
     };
 
@@ -150,7 +150,7 @@ class WorkerThread
     {
         _link.close();
         const size_t redealt = _shared.dealer.fail(_index);
-        std::lock_guard<std::mutex> lock(_shared.logMutex);
+        MutexLock lock(_shared.logMutex);
         _shared.lastError = why;
         std::fprintf(stderr,
                      "[coord] worker %s lost (%s); re-dealing %zu "
@@ -231,7 +231,7 @@ class WorkerThread
                     return false;
                 }
                 {
-                    std::lock_guard<std::mutex> lock(_shared.storeMutex);
+                    MutexLock lock(_shared.storeMutex);
                     _shared.store.put(msg.key, row);
                 }
                 _shared.dealer.complete(msg.point);
@@ -530,8 +530,8 @@ runCoord(int argc, char **argv)
         const std::string sweepJson = sweep.toJson();
 
         Dealer dealer(toSim, static_cast<int>(links.size()));
-        std::mutex storeMutex;
-        std::mutex logMutex;
+        momsim::Mutex storeMutex;
+        momsim::Mutex logMutex;
         std::string lastError;
         std::vector<std::unique_ptr<WorkerThread>> threads;
         for (size_t i = 0; i < links.size(); ++i) {

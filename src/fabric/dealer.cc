@@ -46,49 +46,49 @@ Dealer::terminalLocked(int worker) const
 std::vector<DealPoint>
 Dealer::claim(int worker)
 {
+    MutexLock lock(_mutex);
     MOMSIM_ASSERT(worker >= 0 &&
                       static_cast<size_t>(worker) < _initial.size(),
                   "claim by unknown worker");
-    std::unique_lock<std::mutex> lock(_mutex);
     std::deque<size_t> &mine = _initial[static_cast<size_t>(worker)];
-    _cv.wait(lock, [&] {
-        return !mine.empty() || !_requeued.empty() ||
-               terminalLocked(worker);
-    });
-
     std::vector<DealPoint> out;
-    if (_dead[static_cast<size_t>(worker)] || _remaining == 0)
-        return out;
-    // Grab everything on the table for this worker: its own remaining
-    // initial deal first (preserves the LPT balance on the healthy
-    // path), then any re-dealt strays. Points that completed while
-    // queued (a duplicate row beat the re-deal) are skipped.
-    auto take = [&](std::deque<size_t> &queue) {
-        while (!queue.empty()) {
-            const size_t idx = queue.front();
-            queue.pop_front();
-            Entry &e = _entries[idx];
-            if (e.state == State::Done)
-                continue;
-            e.state = State::Claimed;
-            e.owner = worker;
-            out.push_back(e.point);
+    for (;;) {
+        while (mine.empty() && _requeued.empty() &&
+               !terminalLocked(worker))
+            _cv.wait(_mutex);
+
+        if (_dead[static_cast<size_t>(worker)] || _remaining == 0)
+            return out;
+        // Grab everything on the table for this worker: its own
+        // remaining initial deal first (preserves the LPT balance on
+        // the healthy path), then any re-dealt strays. Points that
+        // completed while queued (a duplicate row beat the re-deal)
+        // are skipped.
+        for (std::deque<size_t> *queue : { &mine, &_requeued }) {
+            while (!queue->empty()) {
+                const size_t idx = queue->front();
+                queue->pop_front();
+                Entry &e = _entries[idx];
+                if (e.state == State::Done)
+                    continue;
+                e.state = State::Claimed;
+                e.owner = worker;
+                out.push_back(e.point);
+            }
         }
-    };
-    take(mine);
-    take(_requeued);
-    if (out.empty() && !terminalLocked(worker)) {
-        // Everything we woke for was already done; wait again.
-        lock.unlock();
-        return claim(worker);
+        if (!out.empty() || terminalLocked(worker))
+            return out;
+        // Everything we woke for was already done: loop back to the
+        // wait. A loop, not a tail call — under a notify_all() storm
+        // with many already-done wakeups the old recursive retry grew
+        // the stack unboundedly.
     }
-    return out;
 }
 
 bool
 Dealer::complete(const std::string &id)
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    MutexLock lock(_mutex);
     auto it = _byId.find(id);
     MOMSIM_ASSERT(it != _byId.end(), "completion for un-dealt point");
     if (it == _byId.end())
@@ -107,10 +107,10 @@ Dealer::complete(const std::string &id)
 size_t
 Dealer::fail(int worker)
 {
+    MutexLock lock(_mutex);
     MOMSIM_ASSERT(worker >= 0 &&
                       static_cast<size_t>(worker) < _initial.size(),
                   "fail of unknown worker");
-    std::lock_guard<std::mutex> lock(_mutex);
     if (_dead[static_cast<size_t>(worker)])
         return 0;
     _dead[static_cast<size_t>(worker)] = true;
@@ -144,14 +144,14 @@ Dealer::fail(int worker)
 bool
 Dealer::done() const
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    MutexLock lock(_mutex);
     return _remaining == 0;
 }
 
 bool
 Dealer::failed() const
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    MutexLock lock(_mutex);
     if (_remaining == 0)
         return false;
     for (bool d : _dead)
@@ -163,21 +163,21 @@ Dealer::failed() const
 size_t
 Dealer::remaining() const
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    MutexLock lock(_mutex);
     return _remaining;
 }
 
 size_t
 Dealer::redealCount() const
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    MutexLock lock(_mutex);
     return _redealt;
 }
 
 int
 Dealer::liveWorkers() const
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    MutexLock lock(_mutex);
     int live = 0;
     for (bool d : _dead)
         live += d ? 0 : 1;

@@ -22,12 +22,12 @@
 #ifndef MOMSIM_FABRIC_DEALER_HH
 #define MOMSIM_FABRIC_DEALER_HH
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "common/thread_annotations.hh"
 
 namespace momsim::fabric
 {
@@ -82,17 +82,19 @@ class Dealer
         int owner = -1;         ///< claiming worker (Claimed only)
     };
 
-    bool terminalLocked(int worker) const;
+    bool terminalLocked(int worker) const REQUIRES(_mutex);
 
-    mutable std::mutex _mutex;
-    std::condition_variable _cv;
-    std::vector<Entry> _entries;
-    std::unordered_map<std::string, size_t> _byId;
-    std::vector<std::deque<size_t>> _initial;   ///< per-worker LPT deal
-    std::deque<size_t> _requeued;               ///< re-dealt, unclaimed
-    std::vector<bool> _dead;
-    size_t _remaining = 0;
-    size_t _redealt = 0;
+    mutable momsim::Mutex _mutex;
+    momsim::CondVar _cv;
+    std::vector<Entry> _entries GUARDED_BY(_mutex);
+    std::unordered_map<std::string, size_t> _byId GUARDED_BY(_mutex);
+    /** Per-worker LPT deal. */
+    std::vector<std::deque<size_t>> _initial GUARDED_BY(_mutex);
+    /** Re-dealt, unclaimed. */
+    std::deque<size_t> _requeued GUARDED_BY(_mutex);
+    std::vector<bool> _dead GUARDED_BY(_mutex);
+    size_t _remaining GUARDED_BY(_mutex) = 0;
+    size_t _redealt GUARDED_BY(_mutex) = 0;
 };
 
 } // namespace momsim::fabric

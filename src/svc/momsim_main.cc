@@ -314,6 +314,11 @@ runHelp(int argc, char **argv)
     usage(stdout, 0);
     std::printf("\nshared bench flags:\n%s",
                 driver::BenchOptions::helpText().c_str());
+    std::printf(
+        "\nstatic analysis: byte-determinism and lock discipline are\n"
+        "also checked at compile/lint time (clang -Wthread-safety,\n"
+        "clang-tidy, tools/momlint.py) — see README \"Static "
+        "analysis\".\n");
     return 0;
 }
 

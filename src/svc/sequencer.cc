@@ -32,39 +32,51 @@ ResponseSequencer::push(std::string line)
     if (line.empty())
         return;
     bool shed = false;
+    size_t shedSeq = 0;
     {
-        std::unique_lock<std::mutex> lock(_mutex);
+        MutexLock lock(_mutex);
         if (_writeFailed.load(std::memory_order_relaxed))
             return;     // nothing pushed now can ever be delivered
         if (_cfg.shedOnFull) {
             shed = _pending.size() >= _cfg.maxPending;
         } else {
-            _spaceCv.wait(lock, [&] {
-                return _pending.size() < _cfg.maxPending ||
-                       _writeFailed.load(std::memory_order_relaxed);
-            });
+            while (_pending.size() >= _cfg.maxPending &&
+                   !_writeFailed.load(std::memory_order_relaxed))
+                _spaceCv.wait(_mutex);
             if (_writeFailed.load(std::memory_order_relaxed))
                 return;
         }
         if (shed) {
-            // Answer in-slot without executing: the structured
-            // kOverloaded error keeps the response stream in input
-            // order and tells the client the request was never run.
-            SimResponse resp = SimResponse::failure(
-                salvageTopLevelId(line), errc::kOverloaded,
-                strfmt("request queue full (max %zu pending); request "
-                       "not executed", _cfg.maxPending));
-            resp.client = _cfg.clientTag;
-            _ready.emplace(_accepted++, resp.toJson(_cfg.withTiming));
+            // Claim the sequence slot now — ordering is fixed by
+            // arrival — but build the response outside the lock; the
+            // emitter simply cannot pass this slot until the JSON
+            // lands in _ready below.
+            shedSeq = _accepted++;
             ++_shed;
         } else {
             _pending.push_back({ _accepted++, std::move(line) });
         }
     }
-    if (shed)
-        _emitCv.notify_one();
-    else
+    if (!shed) {
         _workCv.notify_one();
+        return;
+    }
+    // Answer in-slot without executing: the structured kOverloaded
+    // error keeps the response stream in input order and tells the
+    // client the request was never run. Serializing it here, not under
+    // _mutex, keeps the shed path from stalling submitters mid-burst —
+    // exactly when shedding happens.
+    SimResponse resp = SimResponse::failure(
+        salvageTopLevelId(line), errc::kOverloaded,
+        strfmt("request queue full (max %zu pending); request "
+               "not executed", _cfg.maxPending));
+    resp.client = _cfg.clientTag;
+    std::string json = resp.toJson(_cfg.withTiming);
+    {
+        MutexLock lock(_mutex);
+        _ready.emplace(shedSeq, std::move(json));
+    }
+    _emitCv.notify_one();
 }
 
 void
@@ -73,10 +85,9 @@ ResponseSequencer::submitLoop()
     for (;;) {
         Item item;
         {
-            std::unique_lock<std::mutex> lock(_mutex);
-            _workCv.wait(lock, [&] {
-                return !_pending.empty() || _inputDone;
-            });
+            MutexLock lock(_mutex);
+            while (_pending.empty() && !_inputDone)
+                _workCv.wait(_mutex);
             if (_pending.empty())
                 return;
             item = std::move(_pending.front());
@@ -96,7 +107,7 @@ ResponseSequencer::submitLoop()
             // precedes the final by construction.
             auto chunkFn = [this, seq = item.seq](std::string chunkLine) {
                 {
-                    std::lock_guard<std::mutex> lock(_mutex);
+                    MutexLock lock(_mutex);
                     if (_writeFailed.load(std::memory_order_relaxed))
                         return;     // undeliverable; drop quietly
                     _chunks[seq].push_back(std::move(chunkLine));
@@ -128,7 +139,7 @@ ResponseSequencer::submitLoop()
             produced = true;
         }
         {
-            std::lock_guard<std::mutex> lock(_mutex);
+            MutexLock lock(_mutex);
             // Even a dropped item claims its slot (empty marker) so
             // the emitter's in-order cursor can pass it.
             _ready.emplace(item.seq,
@@ -146,16 +157,17 @@ ResponseSequencer::emitLoop()
         std::string json;
         bool isChunk = false;
         {
-            std::unique_lock<std::mutex> lock(_mutex);
-            _emitCv.wait(lock, [&] {
+            MutexLock lock(_mutex);
+            for (;;) {
                 if (_ready.count(next) != 0)
-                    return true;
-                auto c = _chunks.find(next);
-                if (c != _chunks.end() && !c->second.empty())
-                    return true;
-                return _inputDone && _pending.empty() &&
-                       next >= _accepted;
-            });
+                    break;
+                auto pending = _chunks.find(next);
+                if (pending != _chunks.end() && !pending->second.empty())
+                    break;
+                if (_inputDone && _pending.empty() && next >= _accepted)
+                    break;
+                _emitCv.wait(_mutex);
+            }
             // The head slot's streamed chunks go out as they arrive,
             // strictly before the slot's final response; the cursor
             // only advances on the final, so chunk/final interleaving
@@ -180,7 +192,7 @@ ResponseSequencer::emitLoop()
             continue;   // slot dropped after delivery died
         if (_cfg.emit(json)) {
             if (!isChunk) {
-                std::lock_guard<std::mutex> lock(_mutex);
+                MutexLock lock(_mutex);
                 ++_emittedCount;
             }
             continue;
@@ -199,7 +211,7 @@ void
 ResponseSequencer::finish()
 {
     {
-        std::lock_guard<std::mutex> lock(_mutex);
+        MutexLock lock(_mutex);
         if (_finished)
             return;
         _finished = true;
@@ -215,21 +227,21 @@ ResponseSequencer::finish()
 size_t
 ResponseSequencer::accepted() const
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    MutexLock lock(_mutex);
     return _accepted;
 }
 
 size_t
 ResponseSequencer::emitted() const
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    MutexLock lock(_mutex);
     return _emittedCount;
 }
 
 size_t
 ResponseSequencer::shedCount() const
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    MutexLock lock(_mutex);
     return _shed;
 }
 

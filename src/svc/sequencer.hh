@@ -32,16 +32,15 @@
 #define MOMSIM_SVC_SEQUENCER_HH
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.hh"
 #include "svc/sim_request.hh"
 #include "svc/sim_response.hh"
 
@@ -130,26 +129,27 @@ class ResponseSequencer
     void submitLoop();
     void emitLoop();
 
-    Config _cfg;
+    Config _cfg;    ///< set in the ctor, immutable afterwards
 
-    mutable std::mutex _mutex;
-    std::condition_variable _workCv;   ///< submitters wait for input
-    std::condition_variable _emitCv;   ///< emitter waits for responses
-    std::condition_variable _spaceCv;  ///< push() waits for queue space
-    std::deque<Item> _pending;
-    std::map<size_t, std::string> _ready;   ///< seq -> response JSON
+    mutable momsim::Mutex _mutex;
+    momsim::CondVar _workCv;    ///< submitters wait for input
+    momsim::CondVar _emitCv;    ///< emitter waits for responses
+    momsim::CondVar _spaceCv;   ///< push() waits for queue space
+    std::deque<Item> _pending GUARDED_BY(_mutex);
+    /** seq -> response JSON. */
+    std::map<size_t, std::string> _ready GUARDED_BY(_mutex);
     /** seq -> streamed chunk lines, emitted before that slot's final
      *  response (rawSubmit enqueues chunks strictly before _ready). */
-    std::map<size_t, std::deque<std::string>> _chunks;
-    bool _inputDone = false;
-    size_t _accepted = 0;
-    size_t _emittedCount = 0;
-    size_t _shed = 0;
+    std::map<size_t, std::deque<std::string>> _chunks GUARDED_BY(_mutex);
+    bool _inputDone GUARDED_BY(_mutex) = false;
+    size_t _accepted GUARDED_BY(_mutex) = 0;
+    size_t _emittedCount GUARDED_BY(_mutex) = 0;
+    size_t _shed GUARDED_BY(_mutex) = 0;
     std::atomic<bool> _writeFailed{ false };
 
     std::vector<std::thread> _submitters;
     std::thread _emitter;
-    bool _finished = false;
+    bool _finished GUARDED_BY(_mutex) = false;
 };
 
 } // namespace momsim::svc

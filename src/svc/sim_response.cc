@@ -25,6 +25,8 @@ SimResponse::toJson(bool withTiming) const
     out += strfmt("\"plan\":{\"total\":%zu,\"cached\":%zu,"
                   "\"simulated\":%zu},",
                   totalPoints, cachedPoints, simulatedPoints);
+    // momlint: allow(float-format) wire-format timing field: %.3f is the
+    // protocol's pinned shape and the value is zeroed when timing is off
     out += strfmt("\"wallMs\":%.3f,", withTiming ? wallMs : 0.0);
     out += "\"rows\":[";
     for (size_t i = 0; i < rows.size(); ++i) {

@@ -256,7 +256,7 @@ SimService::execute(const SimRequest &req,
     // serialize their file appends on a per-path lock.
     std::shared_ptr<driver::ResultStore> shared;
     {
-        std::lock_guard<std::mutex> lock(_cacheMutex);
+        MutexLock lock(_cacheMutex);
         if (req.cacheDir.empty() || req.cacheDir == _sharedDir)
             shared = _sharedStore;
     }
@@ -297,10 +297,21 @@ SimService::execute(const SimRequest &req,
                 want.erase(it);
         }
         if (!want.empty()) {
+            // Report the first unknown id in the *request's* order:
+            // want is an unordered_set, and its begin() under multiple
+            // unknowns would pick a hash-order-dependent one — a
+            // nondeterministic response byte.
+            const std::string *unknown = nullptr;
+            for (const std::string &id : *pointIds) {
+                if (want.count(id) != 0) {
+                    unknown = &id;
+                    break;
+                }
+            }
             return SimResponse::failure(
                 req.id, errc::kBadRequest,
                 strfmt("unknown point \"%s\" (not in this sweep)",
-                       want.begin()->c_str()));
+                       unknown->c_str()));
         }
         // Cache hits among the dealt points replay right away, in
         // sweep order, before any simulation starts.
@@ -336,7 +347,7 @@ SimService::openCache(const std::string &dir, std::string &error)
         error = strfmt("cannot open cache dir \"%s\"", dir.c_str());
         return false;
     }
-    std::lock_guard<std::mutex> lock(_cacheMutex);
+    MutexLock lock(_cacheMutex);
     _sharedStore = std::move(store);
     _sharedDir = dir;
     return true;
@@ -345,7 +356,7 @@ SimService::openCache(const std::string &dir, std::string &error)
 std::string
 SimService::cacheDir() const
 {
-    std::lock_guard<std::mutex> lock(_cacheMutex);
+    MutexLock lock(_cacheMutex);
     return _sharedDir;
 }
 

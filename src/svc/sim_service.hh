@@ -37,10 +37,10 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.hh"
 #include "driver/experiment.hh"
 #include "driver/point_scheduler.hh"
 #include "driver/result_store.hh"
@@ -147,12 +147,14 @@ class SimService
     workloads::WorkloadRepo _paperRepo;
     workloads::WorkloadRepo _tinyRepo;
 
-    // The service-lifetime store (openCache). The pointer is stable
-    // once bound; _cacheMutex guards the binding itself, the store is
-    // internally thread-safe for concurrent requests.
-    mutable std::mutex _cacheMutex;
-    std::shared_ptr<driver::ResultStore> _sharedStore;
-    std::string _sharedDir;
+    // The service-lifetime store (openCache). _cacheMutex guards the
+    // *binding* — which store/dir the service hands out; a request's
+    // shared_ptr copy keeps its store alive across a rebind, and the
+    // store itself is internally thread-safe for concurrent requests.
+    mutable momsim::Mutex _cacheMutex;
+    std::shared_ptr<driver::ResultStore> _sharedStore
+        GUARDED_BY(_cacheMutex);
+    std::string _sharedDir GUARDED_BY(_cacheMutex);
 };
 
 } // namespace momsim::svc

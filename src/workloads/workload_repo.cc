@@ -11,7 +11,7 @@ std::shared_ptr<const MediaWorkload>
 WorkloadRepo::get(const std::string &name)
 {
     {
-        std::lock_guard<std::mutex> lock(_mutex);
+        MutexLock lock(_mutex);
         auto it = _cache.find(name);
         if (it != _cache.end())
             return it->second;
@@ -25,7 +25,7 @@ WorkloadRepo::get(const std::string &name)
     // Build outside the lock so distinct specs synthesize concurrently.
     std::shared_ptr<const MediaWorkload> built = MediaWorkload::build(spec);
 
-    std::lock_guard<std::mutex> lock(_mutex);
+    MutexLock lock(_mutex);
     auto [it, inserted] = _cache.emplace(name, std::move(built));
     (void)inserted;     // lost race: the earlier identical build wins
     return it->second;
@@ -40,7 +40,7 @@ WorkloadRepo::fingerprintOf(const std::string &name)
 std::vector<std::string>
 WorkloadRepo::missing(const std::vector<std::string> &names) const
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    MutexLock lock(_mutex);
     std::vector<std::string> out;
     std::set<std::string> seen;
     for (const std::string &name : names) {
@@ -53,7 +53,7 @@ WorkloadRepo::missing(const std::vector<std::string> &names) const
 size_t
 WorkloadRepo::size() const
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    MutexLock lock(_mutex);
     return _cache.size();
 }
 

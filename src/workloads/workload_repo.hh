@@ -11,11 +11,11 @@
 #define MOMSIM_WORKLOADS_WORKLOAD_REPO_HH
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.hh"
 #include "workloads/media_workload.hh"
 
 namespace momsim::workloads
@@ -57,9 +57,9 @@ class WorkloadRepo
 
   private:
     WorkloadScale _scale;
-    mutable std::mutex _mutex;
+    mutable momsim::Mutex _mutex;
     std::unordered_map<std::string, std::shared_ptr<const MediaWorkload>>
-        _cache;
+        _cache GUARDED_BY(_mutex);
 };
 
 } // namespace momsim::workloads

@@ -1,0 +1,11 @@
+// momlint fixture: MUST produce float-format findings.
+// %.6f quantizes: a stored row re-rendered through it is no longer
+// byte-identical to the run that produced it.
+#include <cstdio>
+
+void
+emitRow(char *buf, unsigned long n, double ipc)
+{
+    std::snprintf(buf, n, "\"ipc\":%.6f", ipc);     // flagged
+    std::snprintf(buf, n, "\"eipc\":%g", ipc);      // flagged
+}

@@ -1,0 +1,13 @@
+// momlint fixture: MUST be clean for float-format.
+// The canonical %.17g round-trips every double; prose in comments
+// (like "CSV uses %.2f") must not trip the rule either.
+#include <cstdio>
+
+void
+emitRow(char *buf, unsigned long n, double ipc, double wallMs)
+{
+    std::snprintf(buf, n, "\"ipc\":%.17g", ipc);
+    std::snprintf(buf, n, "\"count\":%d", 3);       // ints are fine
+    // momlint: allow(float-format) timing field pinned by the protocol
+    std::snprintf(buf, n, "\"wallMs\":%.3f", wallMs);
+}

@@ -1,0 +1,17 @@
+// momlint fixture: MUST produce nondet-source findings.
+// Ambient entropy in the simulator core makes results depend on when
+// and where they ran instead of on the request alone.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+unsigned long
+pickLatency()
+{
+    std::random_device rd;                              // flagged
+    unsigned seed = rd() ^ static_cast<unsigned>(
+        std::chrono::steady_clock::now()                // flagged
+            .time_since_epoch().count());
+    std::srand(seed);                                   // flagged
+    return static_cast<unsigned long>(std::rand());     // flagged
+}

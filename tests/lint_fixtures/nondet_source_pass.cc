@@ -1,0 +1,23 @@
+// momlint fixture: MUST be clean for nondet-source.
+// Entropy derives from the point seed (SplitMix64 here), so the same
+// request always simulates the same bytes. Mentioning rand() or a
+// steady_clock in a comment must not trip the rule.
+#include <cstdint>
+
+uint64_t
+splitmix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+double
+wallSample(uint64_t seed)
+{
+    // momlint: allow(nondet-source) fixture demonstrating a reasoned
+    // waiver for a reporting-only wall-clock read
+    return static_cast<double>(splitmix64(seed) >> 40) *
+           (1.0 / (1 << 24)) * static_cast<double>(sizeof(long));
+}

@@ -1,0 +1,8 @@
+#include <string>
+
+std::string
+serialize(int a, int b, int c)
+{
+    return "{\"a\":" + std::to_string(a) + ",\"b\":" + std::to_string(b) +
+           ",\"c\":" + std::to_string(c) + "}";
+}

@@ -1,0 +1,4 @@
+// momlint fixture (schema-lock MUST flag): the serializer in mini.cc
+// grew a "c" field, but the version constant was not bumped and the
+// lock still records the two-field schema.
+constexpr int kMiniSchemaVersion = 1;

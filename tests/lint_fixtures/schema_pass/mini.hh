@@ -1,0 +1,3 @@
+// momlint fixture (schema-lock MUST pass): the lock matches the
+// serializer's field list and version exactly.
+constexpr int kMiniSchemaVersion = 2;

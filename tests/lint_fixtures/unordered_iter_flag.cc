@@ -1,0 +1,17 @@
+// momlint fixture: MUST produce unordered-iter findings.
+// A serializer walking a hash map emits bytes in hash order — the
+// exact bug class the rule exists to catch.
+#include <string>
+#include <unordered_map>
+
+std::string
+emitAll(const std::unordered_map<std::string, int> &rows)
+{
+    std::string out;
+    for (const auto &kv : rows)             // flagged: range-for
+        out += kv.first;
+    auto first = rows.begin();              // flagged: .begin()
+    if (first != rows.end())
+        out += first->first;
+    return out;
+}

@@ -1,0 +1,24 @@
+// momlint fixture: MUST be clean for unordered-iter.
+// The deterministic idioms: key lookups are fine, and emission walks a
+// sorted key list instead of the map itself.
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+std::string
+emitAll(const std::unordered_map<std::string, int> &rows,
+        const std::vector<std::string> &orderedKeys)
+{
+    std::string out;
+    for (const std::string &key : orderedKeys) {
+        auto it = rows.find(key);           // lookup, not iteration
+        if (it != rows.end())
+            out += it->first;
+    }
+    // momlint: allow(unordered-iter) keys are copied out and sorted
+    // before anything is emitted, so hash order never reaches a byte
+    for (const auto &kv : rows)
+        out += kv.first[0];
+    return out;
+}
